@@ -1,0 +1,51 @@
+//! Microbenchmarks of the from-scratch crypto substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edgelet_core::crypto::aead::ChaCha20Poly1305;
+use edgelet_core::crypto::hmac::hmac_sha256;
+use edgelet_core::crypto::sha256::sha256;
+use edgelet_core::crypto::x25519::{x25519, X25519_BASEPOINT};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto/sha256");
+    for size in [256usize, 16 * 1024] {
+        let data = vec![0x5Au8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| b.iter(|| sha256(black_box(&data))));
+    }
+    g.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![0x5Au8; 1024];
+    c.bench_function("crypto/hmac_sha256_1k", |b| {
+        b.iter(|| hmac_sha256(black_box(b"key"), black_box(&data)))
+    });
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let aead = ChaCha20Poly1305::new([7u8; 32]);
+    let nonce = [1u8; 12];
+    let plaintext = vec![0x42u8; 4096];
+    let sealed = aead.seal(&nonce, &[], &plaintext);
+    let mut g = c.benchmark_group("crypto/chacha20poly1305");
+    g.throughput(Throughput::Bytes(plaintext.len() as u64));
+    g.bench_function("seal_4k", |b| {
+        b.iter(|| aead.seal(black_box(&nonce), &[], black_box(&plaintext)))
+    });
+    g.bench_function("open_4k", |b| {
+        b.iter(|| aead.open(black_box(&nonce), &[], black_box(&sealed)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_x25519(c: &mut Criterion) {
+    let sk = [9u8; 32];
+    c.bench_function("crypto/x25519_scalarmult", |b| {
+        b.iter(|| x25519(black_box(&sk), black_box(&X25519_BASEPOINT)))
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_hmac, bench_aead, bench_x25519);
+criterion_main!(benches);

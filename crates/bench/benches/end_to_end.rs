@@ -1,0 +1,51 @@
+//! End-to-end benchmark: one full Edgelet query (plan + simulate +
+//! combine) — the simulator-side cost of the demo's Part 2.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use edgelet_bench::census_spec;
+use edgelet_core::prelude::*;
+
+fn run_once(seed: u64) -> bool {
+    let mut p = Platform::build(PlatformConfig {
+        seed,
+        contributors: 1_000,
+        processors: 80,
+        network: NetworkProfile::Lossy {
+            drop_probability: 0.05,
+        },
+        ..PlatformConfig::default()
+    });
+    let spec = census_spec(&mut p, 200);
+    let run = p
+        .run_query(
+            &spec,
+            &PrivacyConfig::none().with_max_tuples(50),
+            &ResilienceConfig {
+                strategy: Strategy::Overcollection,
+                failure_probability: 0.1,
+                ..ResilienceConfig::default()
+            },
+        )
+        .expect("run");
+    run.report.valid
+}
+
+fn bench_full_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(20);
+    let mut seed = 0u64;
+    g.bench_function("grouping_query_1k_contributors", |b| {
+        b.iter_batched(
+            || {
+                seed += 1;
+                seed
+            },
+            run_once,
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_query);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Compute-kernel benchmarks: the work one edgelet does per partition.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use edgelet_core::ml::gen::{gaussian_mixture, rows_to_points};
+use edgelet_core::ml::grouping::GroupingQuery;
+use edgelet_core::ml::kmeans::{KMeans, KMeansConfig};
+use edgelet_core::ml::{AggKind, AggSpec};
+use edgelet_core::store::synth;
+use edgelet_core::util::rng::DetRng;
+use std::hint::black_box;
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut rng = DetRng::new(1);
+    let store = synth::health_store(10_000, &mut rng);
+    let q = GroupingQuery::new(
+        &[&["sex"], &["gir"], &[]],
+        vec![
+            AggSpec::count_star(),
+            AggSpec::over(AggKind::Avg, "bmi"),
+            AggSpec::over(AggKind::Max, "age"),
+        ],
+    );
+    let mut g = c.benchmark_group("kernels/grouping");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("compute_10k_rows", |b| {
+        b.iter(|| q.compute(black_box(store.schema()), black_box(store.rows())).unwrap())
+    });
+    let partial_a = q.compute(store.schema(), &store.rows()[..5_000]).unwrap();
+    let partial_b = q.compute(store.schema(), &store.rows()[5_000..]).unwrap();
+    g.bench_function("merge_partials", |b| {
+        b.iter_batched(
+            || partial_a.clone(),
+            |mut a| {
+                a.merge(&partial_b).unwrap();
+                a
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = DetRng::new(2);
+    let (points, _) = gaussian_mixture(
+        &[
+            (vec![0.0, 0.0], 1.0),
+            (vec![10.0, 0.0], 1.0),
+            (vec![0.0, 10.0], 1.0),
+        ],
+        10_000,
+        &mut rng,
+    );
+    let cfg = KMeansConfig {
+        k: 3,
+        max_iterations: 20,
+        tolerance: 1e-6,
+    };
+    let mut g = c.benchmark_group("kernels/kmeans");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("lloyd_step_10k_points", |b| {
+        b.iter_batched(
+            || {
+                let mut seed_rng = DetRng::new(3);
+                KMeans::seed(&points, &cfg, &mut seed_rng).unwrap()
+            },
+            |mut km| {
+                km.lloyd_step(&points);
+                km
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut rng = DetRng::new(4);
+    let store = synth::health_store(10_000, &mut rng);
+    let mut g = c.benchmark_group("kernels/features");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("rows_to_points_10k", |b| {
+        b.iter(|| {
+            rows_to_points(
+                black_box(store.schema()),
+                black_box(store.rows()),
+                &["age", "bmi", "systolic_bp"],
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_grouping, bench_kmeans, bench_feature_extraction);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Planner benchmarks, including the DESIGN.md ablation: exact binomial
+//! tail vs normal approximation when choosing the overcollection degree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgelet_core::ml::grouping::GroupingQuery;
+use edgelet_core::prelude::*;
+use edgelet_core::query::plan::build_plan;
+use edgelet_core::query::resilience::{plan_overcollection, plan_overcollection_approx};
+use edgelet_core::store::synth::health_schema;
+use edgelet_core::tee::Directory;
+use edgelet_core::util::rng::DetRng;
+use std::hint::black_box;
+
+fn bench_overcollection_planners(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planner/overcollection");
+    for &n in &[8u64, 64, 512] {
+        g.bench_function(format!("exact_n{n}"), |b| {
+            b.iter(|| plan_overcollection(black_box(n), 0.15, 0.999, 4096).unwrap())
+        });
+        g.bench_function(format!("approx_n{n}"), |b| {
+            b.iter(|| plan_overcollection_approx(black_box(n), 0.15, 0.999, 4096).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_build_plan(c: &mut Criterion) {
+    let mut dir = Directory::new();
+    let mut rng = DetRng::new(1);
+    for i in 0..4_000u64 {
+        dir.enroll(
+            DeviceId::new(i),
+            DeviceClass::SgxPc,
+            i < 3_000,
+            i >= 3_000,
+            &mut rng,
+        );
+    }
+    let spec = QuerySpec {
+        id: QueryId::new(1),
+        filter: Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+        snapshot_cardinality: 2_000,
+        kind: QueryKind::GroupingSets(GroupingQuery::new(
+            &[&["sex"], &["gir"], &[]],
+            vec![
+                AggSpec::count_star(),
+                AggSpec::over(AggKind::Avg, "bmi"),
+                AggSpec::over(AggKind::Avg, "systolic_bp"),
+            ],
+        )),
+        deadline_secs: 3_600.0,
+    };
+    let privacy = PrivacyConfig::none()
+        .with_max_tuples(100)
+        .separate("bmi", "systolic_bp");
+    let resilience = ResilienceConfig {
+        strategy: Strategy::Overcollection,
+        failure_probability: 0.15,
+        ..ResilienceConfig::default()
+    };
+    c.bench_function("planner/build_plan_4k_directory", |b| {
+        b.iter(|| {
+            let mut plan_rng = DetRng::new(7);
+            build_plan(
+                black_box(&spec),
+                &health_schema(),
+                &privacy,
+                &resilience,
+                &dir,
+                DeviceId::new(0),
+                &mut plan_rng,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_overcollection_planners, bench_build_plan);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Event throughput of the discrete-event engine: how many protocol
+//! messages per second of real time the simulator sustains.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use edgelet_core::sim::{
+    Actor, Context, DeviceConfig, Duration, NetworkModel, SimConfig, Simulation,
+};
+use edgelet_core::util::ids::DeviceId;
+
+/// Bounces a message back and forth a fixed number of times.
+struct Bouncer {
+    remaining: u32,
+    peer: DeviceId,
+    kick_off: bool,
+}
+
+impl Actor for Bouncer {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.kick_off {
+            ctx.send(self.peer, vec![0u8; 64]);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: DeviceId, payload: &[u8]) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(from, payload.to_vec());
+        }
+    }
+}
+
+fn build(pairs: usize, bounces: u32) -> Simulation {
+    let mut sim = Simulation::new(
+        SimConfig {
+            network: NetworkModel::reliable(Duration::from_millis(1)),
+            ..SimConfig::default()
+        },
+        1,
+    );
+    for _ in 0..pairs {
+        let a = sim.add_device(DeviceConfig::default());
+        let b = sim.add_device(DeviceConfig::default());
+        sim.install_actor(
+            a,
+            Box::new(Bouncer {
+                remaining: bounces,
+                peer: b,
+                kick_off: true,
+            }),
+        );
+        sim.install_actor(
+            b,
+            Box::new(Bouncer {
+                remaining: bounces,
+                peer: a,
+                kick_off: false,
+            }),
+        );
+    }
+    sim
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/events");
+    // 50 pairs x 200 bounces x 2 directions = ~20k deliveries per run.
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("20k_deliveries", |b| {
+        b.iter_batched(
+            || build(50, 200),
+            |mut sim| {
+                sim.run();
+                sim.metrics().messages_delivered
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_throughput);
+criterion_main!(benches);

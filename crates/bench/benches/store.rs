@@ -1,0 +1,64 @@
+//! Personal-store benchmarks: filtered scans and reservoir sampling, the
+//! per-contribution work on each edgelet.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edgelet_core::store::{synth, CmpOp, Predicate, SortedIndex, Value};
+use edgelet_core::util::rng::DetRng;
+use std::hint::black_box;
+
+fn bench_scans(c: &mut Criterion) {
+    let mut rng = DetRng::new(1);
+    let store = synth::health_store(100_000, &mut rng);
+    let pred = Predicate::cmp("age", CmpOp::Gt, Value::Int(65))
+        .and(Predicate::cmp("gir", CmpOp::Le, Value::Int(3)));
+    let mut g = c.benchmark_group("store");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("scan_filtered_100k", |b| {
+        b.iter(|| store.scan(black_box(&pred)).unwrap())
+    });
+    g.bench_function("count_filtered_100k", |b| {
+        b.iter(|| store.count(black_box(&pred)).unwrap())
+    });
+    g.bench_function("scan_project_100k", |b| {
+        b.iter(|| {
+            store
+                .scan_project(black_box(&pred), &["age", "bmi"])
+                .unwrap()
+        })
+    });
+    g.bench_function("reservoir_sample_1k_of_100k", |b| {
+        b.iter(|| {
+            let mut sample_rng = DetRng::new(2);
+            store
+                .sample(black_box(&Predicate::True), 1_000, &mut sample_rng)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut rng = DetRng::new(2);
+    let store = synth::health_store(100_000, &mut rng);
+    let index = SortedIndex::build(&store, "age").unwrap();
+    let mut g = c.benchmark_group("store/index");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("build_100k", |b| {
+        b.iter(|| SortedIndex::build(black_box(&store), "age").unwrap())
+    });
+    // The selective lookup an elderly-care query performs: ~1.4% of rows.
+    g.bench_function("lookup_age_ge_95", |b| {
+        b.iter(|| index.lookup(CmpOp::Ge, black_box(&Value::Int(95))).unwrap())
+    });
+    g.bench_function("scan_age_ge_95", |b| {
+        b.iter(|| {
+            store
+                .count(black_box(&Predicate::cmp("age", CmpOp::Ge, Value::Int(95))))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scans, bench_index);
+criterion_main!(benches);

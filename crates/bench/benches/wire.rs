@@ -1,0 +1,57 @@
+//! Microbenchmarks of the wire codec: the cost of every byte that crosses
+//! the opportunistic network.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use edgelet_core::store::{synth, Row};
+use edgelet_core::util::rng::DetRng;
+use edgelet_core::wire::{crc::crc32, from_bytes, to_bytes, Frame};
+use std::hint::black_box;
+
+fn rows(n: usize) -> Vec<Row> {
+    let mut rng = DetRng::new(1);
+    synth::health_store(n, &mut rng).rows().to_vec()
+}
+
+fn bench_rows_roundtrip(c: &mut Criterion) {
+    let batch = rows(1_000);
+    let encoded = to_bytes(&batch);
+    let mut g = c.benchmark_group("wire/rows");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_1000_rows", |b| {
+        b.iter(|| to_bytes(black_box(&batch)))
+    });
+    g.bench_function("decode_1000_rows", |b| {
+        b.iter(|| from_bytes::<Vec<Row>>(black_box(&encoded)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_frame(c: &mut Criterion) {
+    let batch = rows(100);
+    let frame = Frame::new(3, &batch);
+    let wire = frame.to_wire();
+    let mut g = c.benchmark_group("wire/frame");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("to_wire_100_rows", |b| {
+        b.iter_batched(
+            || frame.clone(),
+            |f| f.to_wire(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("from_wire_100_rows", |b| {
+        b.iter(|| Frame::from_wire(black_box(&wire)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = vec![0xABu8; 64 * 1024];
+    let mut g = c.benchmark_group("wire/crc32");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("crc32_64k", |b| b.iter(|| crc32(black_box(&data))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_rows_roundtrip, bench_frame, bench_crc);
+criterion_main!(benches);

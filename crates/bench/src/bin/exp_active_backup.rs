@@ -1,0 +1,122 @@
+//! E9 — ablation: the Combiner's Active Backup (§2.2).
+//!
+//! "We need to add to the Computing Combiner an Active Backup ... in
+//! order to handle its potential failure." This ablation powers off the
+//! primary Combiner and compares a plan WITH the replicated combiner
+//! (Overcollection) against one WITHOUT (Naive keeps a single combiner,
+//! with overcollected partitions simulated by generous quotas).
+
+use edgelet_bench::emit;
+use edgelet_core::exec::driver::{enroll_crowd, execute_plan};
+use edgelet_core::exec::ExecConfig;
+use edgelet_core::ml::grouping::GroupingQuery;
+use edgelet_core::prelude::*;
+use edgelet_core::query::plan::build_plan;
+use edgelet_core::sim::{DeviceConfig, Duration, NetworkModel, SimConfig, SimTime, Simulation};
+use edgelet_core::store::synth::health_schema;
+use edgelet_core::tee::Directory;
+use edgelet_core::util::rng::DetRng;
+use edgelet_core::util::table::{fnum, Table};
+use std::collections::BTreeMap;
+
+fn run(strategy: Strategy, kill_combiner: bool) -> (usize, bool, bool, f64) {
+    let mut sim = Simulation::new(
+        SimConfig {
+            network: NetworkModel::reliable(Duration::from_millis(20)),
+            ..SimConfig::default()
+        },
+        5,
+    );
+    let mut directory = Directory::new();
+    let mut rng = DetRng::new(5);
+    let (stores, _) = enroll_crowd(
+        &mut directory,
+        &mut sim,
+        1_500,
+        150,
+        DeviceClass::SgxPc,
+        1,
+        &mut rng,
+    );
+    let querier = sim.add_device(DeviceConfig::default());
+    let spec = QuerySpec {
+        id: QueryId::new(1),
+        filter: Predicate::True,
+        snapshot_cardinality: 200,
+        kind: QueryKind::GroupingSets(GroupingQuery::new(
+            &[&[]],
+            vec![AggSpec::count_star()],
+        )),
+        deadline_secs: 600.0,
+    };
+    let plan = build_plan(
+        &spec,
+        &health_schema(),
+        &PrivacyConfig::none().with_max_tuples(50),
+        &ResilienceConfig {
+            strategy,
+            failure_probability: 0.1,
+            target_validity: 0.99,
+            ..ResilienceConfig::default()
+        },
+        &directory,
+        querier,
+        &mut rng,
+    )
+    .expect("plan");
+    if kill_combiner {
+        sim.crash_at(plan.combiner().device, SimTime::from_micros(1));
+    }
+    let report = execute_plan(
+        &plan,
+        &health_schema(),
+        &stores,
+        &BTreeMap::new(),
+        &mut sim,
+        &ExecConfig::fast(),
+        [0u8; 32],
+    )
+    .expect("execute");
+    (
+        plan.combiners().len(),
+        report.completed,
+        report.valid,
+        report.completion_secs.unwrap_or(f64::NAN),
+    )
+}
+
+fn main() {
+    let mut table = Table::new(
+        "E9 — ablation: Active Backup of the Computing Combiner",
+        &[
+            "plan",
+            "combiner replicas",
+            "combiner killed",
+            "completed",
+            "valid",
+            "t (s)",
+        ],
+    );
+    for (label, strategy, kill) in [
+        ("with active backup", Strategy::Overcollection, false),
+        ("with active backup", Strategy::Overcollection, true),
+        ("single combiner", Strategy::Naive, false),
+        ("single combiner", Strategy::Naive, true),
+    ] {
+        let (replicas, completed, valid, t) = run(strategy, kill);
+        table.row(&[
+            label.to_string(),
+            replicas.to_string(),
+            kill.to_string(),
+            completed.to_string(),
+            valid.to_string(),
+            fnum(t),
+        ]);
+    }
+    emit(&table);
+    println!(
+        "Paper claim (§2.2): without a replicated Combiner the whole query\n\
+         dies with that single device; the Active Backup running in parallel\n\
+         delivers the result with no takeover delay."
+    );
+}

@@ -1,0 +1,66 @@
+//! E14 (extension) — the Backup strategy's failure detector.
+//!
+//! The suspicion timeout trades takeover latency against false
+//! suspicion: too short and backups activate while the primary lives
+//! (duplicate traffic), too long and a real crash stalls the query.
+//! The paper's taxonomy mentions the Backup strategy's "higher
+//! complexity and lower performance" — this is where that latency lives.
+
+use edgelet_bench::{emit, survey_spec, sweep};
+use edgelet_core::prelude::*;
+use edgelet_core::sim::Duration;
+use edgelet_core::util::table::{fnum, Table};
+
+fn main() {
+    let trials = 10;
+    let mut table = Table::new(
+        format!("E14 — Backup suspicion timeout sweep ({trials} trials/point, p = 0.2)"),
+        &[
+            "suspect timeout (s)",
+            "valid",
+            "mean msgs",
+            "mean t (s)",
+        ],
+    );
+    for &timeout_s in &[2u64, 6, 15, 30] {
+        let point = sweep(trials, |seed| {
+            let mut config = PlatformConfig {
+                seed: seed * 11 + 4,
+                contributors: 3_500,
+                processors: 300,
+                network: NetworkProfile::Internet,
+                processor_crash_probability: 0.2,
+                crash_at_start: true,
+                ..PlatformConfig::default()
+            };
+            config.exec.ping_period = Duration::from_secs((timeout_s / 2).max(1));
+            config.exec.suspect_timeout = Duration::from_secs(timeout_s);
+            let mut p = Platform::build(config);
+            let spec = survey_spec(&mut p, 300);
+            p.run_query(
+                &spec,
+                &PrivacyConfig::none().with_max_tuples(50),
+                &ResilienceConfig {
+                    strategy: Strategy::Backup,
+                    failure_probability: 0.2,
+                    target_validity: 0.99,
+                    ..ResilienceConfig::default()
+                },
+            )
+            .expect("run")
+        });
+        table.row(&[
+            timeout_s.to_string(),
+            format!("{}/{}", point.valid, point.trials),
+            fnum(point.mean_messages),
+            fnum(point.mean_completion_secs),
+        ]);
+    }
+    emit(&table);
+    println!(
+        "Reading: completion time under failures tracks the suspicion\n\
+         timeout almost linearly — the Backup strategy's structural latency\n\
+         cost. Shorter timeouts buy speed with more liveness traffic; the\n\
+         rank-gated output keeps duplicates harmless either way."
+    );
+}

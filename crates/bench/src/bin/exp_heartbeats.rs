@@ -1,0 +1,94 @@
+//! E4 — result accuracy vs number of heartbeats (§3.3).
+//!
+//! Distributed K-Means under message loss: more heartbeats give the
+//! Computers more synchronization rounds; loss degrades what each round
+//! can achieve. Accuracy = inertia of the combined centroids evaluated on
+//! the full eligible population, relative to a centralized fit.
+
+use edgelet_bench::emit;
+use edgelet_core::ml::gen::rows_to_points;
+use edgelet_core::ml::kmeans::inertia;
+use edgelet_core::prelude::*;
+use edgelet_core::util::table::{fnum, Table};
+
+fn one_run(seed: u64, heartbeats: usize, drop_p: f64) -> Option<f64> {
+    let mut p = Platform::build(PlatformConfig {
+        seed,
+        contributors: 2_500,
+        processors: 80,
+        network: if drop_p > 0.0 {
+            NetworkProfile::Lossy {
+                drop_probability: drop_p,
+            }
+        } else {
+            NetworkProfile::Reliable
+        },
+        ..PlatformConfig::default()
+    });
+    let spec = p.kmeans_query(
+        Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+        400,
+        3,
+        &["age", "systolic_bp"],
+        heartbeats,
+        vec![],
+    );
+    let run = p
+        .run_query(
+            &spec,
+            &PrivacyConfig::none().with_max_tuples(100),
+            &ResilienceConfig {
+                strategy: Strategy::Overcollection,
+                failure_probability: 0.1,
+                ..ResilienceConfig::default()
+            },
+        )
+        .ok()?;
+    let QueryOutcome::KMeans { centroids, .. } = run.report.outcome? else {
+        return None;
+    };
+    let columns = spec.kind.referenced_columns();
+    let rows = p.matching_rows(&spec.filter, &columns).ok()?;
+    let names: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let sub = p.schema().project(&names).ok()?;
+    let points = rows_to_points(&sub, &rows, &["age", "systolic_bp"]).ok()?;
+    let distributed = inertia(&centroids.centroids, &points);
+    let central = p.centralized_kmeans(&spec).ok()?.inertia;
+    Some(distributed / central)
+}
+
+fn main() {
+    let seeds = 5u64;
+    let mut table = Table::new(
+        format!("E4 — K-Means inertia ratio vs heartbeats ({seeds} seeds/point)"),
+        &["loss p", "heartbeats", "mean inertia ratio", "completed"],
+    );
+    for &drop_p in &[0.0f64, 0.15, 0.30] {
+        for &heartbeats in &[1usize, 2, 4, 8] {
+            let mut ratios = Vec::new();
+            for seed in 0..seeds {
+                if let Some(r) = one_run(seed * 13 + 5, heartbeats, drop_p) {
+                    ratios.push(r);
+                }
+            }
+            let mean = if ratios.is_empty() {
+                f64::NAN
+            } else {
+                ratios.iter().sum::<f64>() / ratios.len() as f64
+            };
+            table.row(&[
+                fnum(drop_p),
+                heartbeats.to_string(),
+                fnum(mean),
+                format!("{}/{}", ratios.len(), seeds),
+            ]);
+        }
+    }
+    emit(&table);
+    println!(
+        "Paper claim (§3.3): the Heartbeat keeps the iteration advancing under\n\
+         loss; accuracy improves with the number of heartbeats and degrades\n\
+         gracefully (not catastrophically) as the loss rate rises. Ratio 1.0 =\n\
+         centralized quality."
+    );
+}

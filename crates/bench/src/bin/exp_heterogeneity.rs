@@ -1,0 +1,67 @@
+//! E8 — device heterogeneity (§3.1): from SGX PCs down to STM32F417 home
+//! boxes, how the processor hardware mix moves the completion time.
+
+use edgelet_bench::{census_spec, emit};
+use edgelet_core::prelude::*;
+use edgelet_core::util::table::{fnum, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "E8 — completion time vs processor hardware mix (C = 20k, cap 5k)",
+        &["mix", "completed", "valid", "virtual t (s)", "messages"],
+    );
+    let mixes: Vec<(&str, DeviceMix)> = vec![
+        ("all PCs (SGX)", DeviceMix::only(DeviceClass::SgxPc)),
+        (
+            "all phones (TrustZone)",
+            DeviceMix::only(DeviceClass::TrustZonePhone),
+        ),
+        (
+            "all home boxes (TPM)",
+            DeviceMix::only(DeviceClass::TpmHomeBox),
+        ),
+        ("demo mix 20/50/30", DeviceMix::default()),
+    ];
+    for (label, mix) in mixes {
+        // A data-heavy snapshot (C = 20k, 5k tuples per partition) makes
+        // the per-device compute cost visible next to network time: the
+        // STM32F417 box crunches ~20k tuples/s vs the PC's 2M/s.
+        let mut config = PlatformConfig {
+            seed: 21,
+            contributors: 3_000,
+            rows_per_contributor: 20,
+            processors: 80,
+            network: NetworkProfile::Internet,
+            device_mix: mix,
+            ..PlatformConfig::default()
+        };
+        config.exec.charge_compute_time = true;
+        let mut p = Platform::build(config);
+        let spec = census_spec(&mut p, 20_000);
+        let run = p
+            .run_query(
+                &spec,
+                &PrivacyConfig::none().with_max_tuples(5_000),
+                &ResilienceConfig {
+                    strategy: Strategy::Overcollection,
+                    failure_probability: 0.05,
+                    ..ResilienceConfig::default()
+                },
+            )
+            .expect("run");
+        table.row(&[
+            label.to_string(),
+            run.report.completed.to_string(),
+            run.report.valid.to_string(),
+            fnum(run.report.completion_secs.unwrap_or(f64::NAN)),
+            run.report.messages_sent.to_string(),
+        ]);
+    }
+    emit(&table);
+    println!(
+        "Paper claim (§3.1/§3.3): the framework runs across heterogeneous\n\
+         TEEs; low-end home boxes (STM32F417, ~100x slower) stretch the\n\
+         computation phase but the protocol completes identically — the\n\
+         demo's versatility argument."
+    );
+}

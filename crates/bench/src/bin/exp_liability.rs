@@ -1,0 +1,69 @@
+//! E13 (extension) — the Crowd Liability property (§1).
+//!
+//! "The liability of the processing is equally distributed among all
+//! query participants." Measures, from executed queries, how evenly the
+//! raw-data handling spreads over the crowd as the privacy cap varies:
+//! max share of the snapshot per device, Gini coefficient of the
+//! raw-tuple distribution, operators per device.
+
+use edgelet_bench::emit;
+use edgelet_core::prelude::*;
+use edgelet_core::util::table::{fnum, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "E13 — crowd liability vs horizontal cap (C = 1000)",
+        &[
+            "cap",
+            "processors used",
+            "max ops/device",
+            "max raw share %",
+            "gini(processors)",
+        ],
+    );
+    for &cap in &[1_000usize, 500, 200, 100, 50] {
+        let mut p = Platform::build(PlatformConfig {
+            seed: 8,
+            contributors: 6_000,
+            processors: 400,
+            network: NetworkProfile::Reliable,
+            ..PlatformConfig::default()
+        });
+        let spec = p.grouping_query(
+            Predicate::True,
+            1_000,
+            &[&["sex"], &[]],
+            vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "bmi")],
+        );
+        let run = p
+            .run_query(
+                &spec,
+                &PrivacyConfig::none().with_max_tuples(cap),
+                &ResilienceConfig {
+                    strategy: Strategy::Overcollection,
+                    failure_probability: 0.05,
+                    ..ResilienceConfig::default()
+                },
+            )
+            .expect("run");
+        assert!(run.report.valid, "cap {cap}: {:?}", run.report);
+        let ledger = &run.report.ledger;
+        let processors_used = run.plan.processor_devices().len();
+        table.row(&[
+            cap.to_string(),
+            processors_used.to_string(),
+            ledger.max_operators().to_string(),
+            fnum(100.0 * ledger.max_raw_tuples() as f64 / 1_000.0),
+            fnum(ledger.processor_gini()),
+        ]);
+    }
+    emit(&table);
+    println!(
+        "Paper claim (§1): responsibility shifts from one data controller to\n\
+         the crowd. Lowering the cap multiplies the processors involved while\n\
+         shrinking each one's share of the snapshot — no participant ever\n\
+         carries more than cap/C of the data, and nobody hosts two operators.\n\
+         The processor Gini near 0 shows the even split among those who do\n\
+         carry data."
+    );
+}

@@ -1,0 +1,88 @@
+//! E11 (extension) — fixed snapshot vs per-heartbeat resampling.
+//!
+//! §2.2: "strict validity is not a prerequisite for these algorithms, and
+//! resampling at each iteration sometimes even produces better accuracy
+//! (as in Mini-batch K-Means)". Each Computer either iterates on its full
+//! fixed partition, or draws a fresh mini-batch from it every heartbeat.
+
+use edgelet_bench::emit;
+use edgelet_core::ml::gen::rows_to_points;
+use edgelet_core::ml::kmeans::inertia;
+use edgelet_core::prelude::*;
+use edgelet_core::util::table::{fnum, Table};
+
+fn one_run(seed: u64, minibatch: Option<f64>, heartbeats: usize) -> Option<f64> {
+    let mut config = PlatformConfig {
+        seed,
+        contributors: 2_500,
+        processors: 80,
+        network: NetworkProfile::Lossy {
+            drop_probability: 0.1,
+        },
+        ..PlatformConfig::default()
+    };
+    config.exec.minibatch_fraction = minibatch;
+    let mut p = Platform::build(config);
+    let spec = p.kmeans_query(
+        Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+        400,
+        3,
+        &["age", "systolic_bp"],
+        heartbeats,
+        vec![],
+    );
+    let run = p
+        .run_query(
+            &spec,
+            &PrivacyConfig::none().with_max_tuples(100),
+            &ResilienceConfig {
+                strategy: Strategy::Overcollection,
+                failure_probability: 0.1,
+                ..ResilienceConfig::default()
+            },
+        )
+        .ok()?;
+    let QueryOutcome::KMeans { centroids, .. } = run.report.outcome? else {
+        return None;
+    };
+    let columns = spec.kind.referenced_columns();
+    let rows = p.matching_rows(&spec.filter, &columns).ok()?;
+    let names: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let sub = p.schema().project(&names).ok()?;
+    let points = rows_to_points(&sub, &rows, &["age", "systolic_bp"]).ok()?;
+    Some(inertia(&centroids.centroids, &points) / p.centralized_kmeans(&spec).ok()?.inertia)
+}
+
+fn main() {
+    let seeds = 5u64;
+    let mut table = Table::new(
+        format!("E11 — fixed partition vs mini-batch resampling ({seeds} seeds, 10% loss)"),
+        &["mode", "heartbeats", "mean inertia ratio"],
+    );
+    for &(label, frac) in &[
+        ("fixed partition", None::<f64>),
+        ("resample 25%", Some(0.25)),
+        ("resample 50%", Some(0.5)),
+    ] {
+        for &h in &[2usize, 4, 8] {
+            let mut ratios = Vec::new();
+            for seed in 0..seeds {
+                if let Some(r) = one_run(seed * 17 + 3, frac, h) {
+                    ratios.push(r);
+                }
+            }
+            let mean = if ratios.is_empty() {
+                f64::NAN
+            } else {
+                ratios.iter().sum::<f64>() / ratios.len() as f64
+            };
+            table.row(&[label.to_string(), h.to_string(), fnum(mean)]);
+        }
+    }
+    emit(&table);
+    println!(
+        "Paper claim (§2.2): resampling per iteration is admissible (strict\n\
+         validity is not required for iterative ML) and stays competitive with\n\
+         fixed-partition iteration — the Mini-batch-K-Means observation."
+    );
+}

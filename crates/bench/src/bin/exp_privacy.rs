@@ -1,0 +1,91 @@
+//! E6 — "Is privacy protected whatever the attack?" (§3.3).
+//!
+//! Sealed-glass compromise trials against plans with varying horizontal
+//! caps and vertical separation: measures the exposed snapshot fraction
+//! and the quasi-identifier co-exposure rate.
+
+use edgelet_bench::emit;
+use edgelet_core::prelude::*;
+use edgelet_core::util::rng::DetRng;
+use edgelet_core::util::table::{fnum, Table};
+
+fn main() {
+    let pair = vec![("bmi".to_string(), "systolic_bp".to_string())];
+    let trials = 2_000;
+    let mut table = Table::new(
+        format!("E6 — sealed-glass adversary, k compromised devices ({trials} trials)"),
+        &[
+            "cap",
+            "separate bmi|bp",
+            "k",
+            "mean exposed %",
+            "max exposed %",
+            "pair co-exposure %",
+        ],
+    );
+
+    let platform = Platform::build(PlatformConfig {
+        seed: 3,
+        contributors: 4_000,
+        processors: 400,
+        network: NetworkProfile::Reliable,
+        ..PlatformConfig::default()
+    });
+    let mut p = platform;
+    let spec = p.grouping_query(
+        Predicate::True,
+        1_000,
+        &[&["sex"], &[]],
+        vec![
+            AggSpec::count_star(),
+            AggSpec::over(AggKind::Avg, "bmi"),
+            AggSpec::over(AggKind::Avg, "systolic_bp"),
+        ],
+    );
+    let resilience = ResilienceConfig {
+        strategy: Strategy::Overcollection,
+        failure_probability: 0.1,
+        ..ResilienceConfig::default()
+    };
+
+    for &(cap, separate) in &[
+        (None::<usize>, false),
+        (Some(500), false),
+        (Some(200), false),
+        (Some(100), false),
+        (Some(100), true),
+        (Some(50), true),
+    ] {
+        let mut privacy = PrivacyConfig::none();
+        if let Some(c) = cap {
+            privacy = privacy.with_max_tuples(c);
+        }
+        if separate {
+            privacy = privacy.separate("bmi", "systolic_bp");
+        }
+        let plan = p.plan_query(&spec, &privacy, &resilience).expect("plan");
+        let exposure = edgelet_core::privacy::analyze_plan(&plan);
+        for &k in &[1usize, 3] {
+            let mut rng = DetRng::new(1000 + k as u64);
+            let sweep = edgelet_core::privacy::compromise_sweep(
+                &exposure, k, &pair, trials, &mut rng,
+            );
+            table.row(&[
+                cap.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+                separate.to_string(),
+                k.to_string(),
+                fnum(100.0 * sweep.snapshot_fraction.mean()),
+                fnum(100.0 * sweep.snapshot_fraction.max()),
+                fnum(100.0 * sweep.pair_co_exposure_rate),
+            ]);
+        }
+    }
+    emit(&table);
+    println!(
+        "Paper claim (§3.3): horizontal partitioning bounds what one\n\
+         compromised enclave exposes to C/n tuples; vertical partitioning\n\
+         keeps quasi-identifier pairs from ever co-residing on a Computer\n\
+         (residual co-exposure comes from Snapshot Builders, which hold\n\
+         full rows of their partition)."
+    );
+}

@@ -1,0 +1,61 @@
+//! E12 (extension) — collection retry rounds vs overcollection degree.
+//!
+//! Two ways to absorb message loss at the collection stage: retry the
+//! contribution round (message-level reliability) or overcollect
+//! partitions (query-level reliability, the paper's mechanism). This
+//! ablation measures how partition fill and validity respond to each.
+
+use edgelet_bench::{emit, survey_spec, sweep};
+use edgelet_core::prelude::*;
+use edgelet_core::util::table::{fnum, Table};
+
+fn main() {
+    let trials = 10;
+    let mut table = Table::new(
+        format!("E12 — collection retries under message loss ({trials} trials/point)"),
+        &["loss p", "retries", "valid", "mean msgs", "mean t (s)"],
+    );
+    for &loss in &[0.1f64, 0.25, 0.4] {
+        for &retries in &[0u32, 1, 3] {
+            let point = sweep(trials, |seed| {
+                let mut config = PlatformConfig {
+                    seed: seed * 5 + 2,
+                    contributors: 2_200,
+                    processors: 120,
+                    network: NetworkProfile::Lossy {
+                        drop_probability: loss,
+                    },
+                    ..PlatformConfig::default()
+                };
+                config.exec.collection_retries = retries;
+                let mut p = Platform::build(config);
+                let spec = survey_spec(&mut p, 300);
+                p.run_query(
+                    &spec,
+                    &PrivacyConfig::none().with_max_tuples(75),
+                    &ResilienceConfig {
+                        strategy: Strategy::Overcollection,
+                        failure_probability: 0.1,
+                        target_validity: 0.99,
+                        ..ResilienceConfig::default()
+                    },
+                )
+                .expect("run")
+            });
+            table.row(&[
+                fnum(loss),
+                retries.to_string(),
+                format!("{}/{}", point.valid, point.trials),
+                fnum(point.mean_messages),
+                fnum(point.mean_completion_secs),
+            ]);
+        }
+    }
+    emit(&table);
+    println!(
+        "Reading: under light loss overcollection alone suffices; as loss\n\
+         grows, retry rounds recover silent contributors and keep partitions\n\
+         complete at the price of extra request traffic — the two mechanisms\n\
+         compose (retries fix collection, overcollection fixes processors)."
+    );
+}

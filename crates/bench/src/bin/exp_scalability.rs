@@ -1,0 +1,70 @@
+//! E5 — scalability: "thousands of simulated edgelets" (§3.2/§3.3).
+//!
+//! Grows the contributor crowd by two orders of magnitude and reports the
+//! simulator's real wall-clock alongside the protocol's virtual costs.
+
+use edgelet_bench::emit;
+use edgelet_core::prelude::*;
+use edgelet_core::util::table::{fnum, Table};
+use std::time::Instant;
+
+fn main() {
+    let mut table = Table::new(
+        "E5 — scalability with crowd size (C = 400, cap 100)",
+        &[
+            "contributors",
+            "processors",
+            "messages",
+            "bytes",
+            "virtual t (s)",
+            "wall-clock (ms)",
+            "valid",
+        ],
+    );
+    for &contributors in &[2_000usize, 5_000, 10_000, 20_000, 50_000] {
+        let start = Instant::now();
+        let mut p = Platform::build(PlatformConfig {
+            seed: 9,
+            contributors,
+            processors: 100,
+            network: NetworkProfile::Lossy {
+                drop_probability: 0.05,
+            },
+            ..PlatformConfig::default()
+        });
+        let spec = p.grouping_query(
+            Predicate::True,
+            400,
+            &[&["sex"], &[]],
+            vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "bmi")],
+        );
+        let run = p
+            .run_query(
+                &spec,
+                &PrivacyConfig::none().with_max_tuples(100),
+                &ResilienceConfig {
+                    strategy: Strategy::Overcollection,
+                    failure_probability: 0.1,
+                    ..ResilienceConfig::default()
+                },
+            )
+            .expect("run");
+        let wall = start.elapsed().as_millis();
+        table.row(&[
+            contributors.to_string(),
+            "100".into(),
+            run.report.messages_sent.to_string(),
+            run.report.bytes_sent.to_string(),
+            fnum(run.report.completion_secs.unwrap_or(f64::NAN)),
+            wall.to_string(),
+            run.report.valid.to_string(),
+        ]);
+    }
+    emit(&table);
+    println!(
+        "Paper claim (§3.3): TEE-based computation on cleartext data keeps the\n\
+         protocol generic AND scalable — cost grows linearly with the crowd\n\
+         (one contribution round trip per participant), unlike cryptographic\n\
+         alternatives whose cost explodes with participant count."
+    );
+}

@@ -1,0 +1,65 @@
+//! E10 — Backup vs Overcollection (taxonomy of \[14\], recalled in §2.2 and
+//! §3.3): validity, message cost and completion latency across the fault
+//! presumption range.
+
+use edgelet_bench::{emit, survey_spec, sweep};
+use edgelet_core::prelude::*;
+use edgelet_core::util::table::{fnum, Table};
+
+fn main() {
+    let trials = 15;
+    let mut table = Table::new(
+        format!("E10 — strategy trade-offs ({trials} trials/point, crashes at launch)"),
+        &[
+            "p",
+            "strategy",
+            "valid",
+            "mean msgs",
+            "mean bytes",
+            "mean t (s)",
+        ],
+    );
+    for &p_fail in &[0.05f64, 0.15, 0.25] {
+        for strategy in [Strategy::Overcollection, Strategy::Backup] {
+            let point = sweep(trials, |seed| {
+                let mut p = Platform::build(PlatformConfig {
+                    seed: seed * 3 + 11,
+                    contributors: 3_500,
+                    processors: 300,
+                    network: NetworkProfile::Internet,
+                    processor_crash_probability: p_fail,
+                    crash_at_start: true,
+                    ..PlatformConfig::default()
+                });
+                let spec = survey_spec(&mut p, 300);
+                p.run_query(
+                    &spec,
+                    &PrivacyConfig::none().with_max_tuples(50),
+                    &ResilienceConfig {
+                        strategy,
+                        failure_probability: p_fail,
+                        target_validity: 0.99,
+                        ..ResilienceConfig::default()
+                    },
+                )
+                .expect("run")
+            });
+            table.row(&[
+                fnum(p_fail),
+                strategy.name().to_string(),
+                format!("{}/{}", point.valid, point.trials),
+                fnum(point.mean_messages),
+                fnum(point.mean_bytes),
+                fnum(point.mean_completion_secs),
+            ]);
+        }
+    }
+    emit(&table);
+    println!(
+        "Paper claim ([14] via §2.2/§3.3): both strategies meet the resiliency\n\
+         target; Overcollection is the performance choice (no takeover\n\
+         timeouts, fewer duplicated messages), Backup pays replication and\n\
+         failure-detection latency for strict validity on non-distributive\n\
+         workloads."
+    );
+}

@@ -1,0 +1,138 @@
+//! Shared helpers for the experiment binaries (`src/bin/`) and Criterion
+//! benches (`benches/`).
+//!
+//! Every binary regenerates one of the paper's figures or §3.3 claims and
+//! prints the series as a plain table plus CSV; EXPERIMENTS.md records the
+//! outputs. See DESIGN.md §4 for the experiment index.
+
+use edgelet_core::prelude::*;
+use std::sync::Mutex;
+
+/// Standard survey query used across experiments: count + mean BMI by sex
+/// and overall, over the 65+ population.
+pub fn survey_spec(platform: &mut Platform, c: usize) -> QuerySpec {
+    platform.grouping_query(
+        Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+        c,
+        &[&["sex"], &[]],
+        vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "bmi")],
+    )
+}
+
+/// Standard unfiltered variant (every contributor eligible) for sweeps
+/// where bucket starvation must not confound the measurement.
+pub fn census_spec(platform: &mut Platform, c: usize) -> QuerySpec {
+    platform.grouping_query(
+        Predicate::True,
+        c,
+        &[&["sex"], &[]],
+        vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "bmi")],
+    )
+}
+
+/// Outcome counters for repeated runs of one configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SweepPoint {
+    /// Trials run.
+    pub trials: usize,
+    /// Runs where the querier got a result before the deadline.
+    pub completed: usize,
+    /// Runs meeting the structural validity criterion.
+    pub valid: usize,
+    /// Mean messages per run.
+    pub mean_messages: f64,
+    /// Mean bytes per run.
+    pub mean_bytes: f64,
+    /// Mean virtual completion seconds (completed runs only).
+    pub mean_completion_secs: f64,
+    /// Mean overcollection degree planned.
+    pub mean_m: f64,
+}
+
+/// Runs `trials` independent seeds of one configuration in parallel and
+/// aggregates. `make_run` builds a platform and executes one query.
+pub fn sweep<F>(trials: usize, make_run: F) -> SweepPoint
+where
+    F: Fn(u64) -> edgelet_core::platform::RunResult + Sync,
+{
+    let acc = Mutex::new((SweepPoint::default(), 0usize, 0.0f64));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(trials.max(1));
+        for _ in 0..threads {
+            let next = &next;
+            let acc = &acc;
+            let make_run = &make_run;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let run = make_run(i as u64);
+                let mut guard = acc.lock().expect("sweep accumulator");
+                let (point, completed_n, completion_sum) = &mut *guard;
+                point.trials += 1;
+                if run.report.completed {
+                    point.completed += 1;
+                    *completed_n += 1;
+                    *completion_sum += run.report.completion_secs.unwrap_or(0.0);
+                }
+                if run.report.valid {
+                    point.valid += 1;
+                }
+                point.mean_messages += run.report.messages_sent as f64;
+                point.mean_bytes += run.report.bytes_sent as f64;
+                point.mean_m += run.plan.m as f64;
+            });
+        }
+    });
+    let (mut point, completed_n, completion_sum) = acc.into_inner().expect("sweep accumulator");
+    if point.trials > 0 {
+        point.mean_messages /= point.trials as f64;
+        point.mean_bytes /= point.trials as f64;
+        point.mean_m /= point.trials as f64;
+    }
+    if completed_n > 0 {
+        point.mean_completion_secs = completion_sum / completed_n as f64;
+    }
+    point
+}
+
+/// Prints a table followed by its CSV form (for plotting).
+pub fn emit(table: &edgelet_core::util::table::Table) {
+    println!("{}", table.render());
+    println!("--- csv ---\n{}", table.render_csv());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_aggregates_across_seeds() {
+        let point = sweep(4, |seed| {
+            let mut p = Platform::build(PlatformConfig {
+                seed,
+                contributors: 600,
+                processors: 40,
+                network: NetworkProfile::Reliable,
+                ..PlatformConfig::default()
+            });
+            let spec = census_spec(&mut p, 100);
+            p.run_query(
+                &spec,
+                &PrivacyConfig::none().with_max_tuples(50),
+                &ResilienceConfig::default(),
+            )
+            .unwrap()
+        });
+        assert_eq!(point.trials, 4);
+        assert_eq!(point.completed, 4);
+        assert_eq!(point.valid, 4);
+        assert!(point.mean_messages > 0.0);
+        assert!(point.mean_completion_secs > 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Hand-rolled argument parsing for the `edgelet` tool.
+
+use edgelet_core::util::{Error, Result};
+use std::collections::BTreeMap;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `edgelet plan …`
+    Plan(QueryArgs),
+    /// `edgelet run …`
+    Run(QueryArgs),
+    /// `edgelet dataset --rows N [--seed S]`
+    Dataset {
+        /// Rows to generate.
+        rows: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// `edgelet experiments`
+    Experiments,
+    /// `edgelet help` (or `--help`)
+    Help,
+}
+
+/// Options shared by `plan` and `run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryArgs {
+    /// World seed.
+    pub seed: u64,
+    /// Data contributors in the crowd.
+    pub contributors: usize,
+    /// Volunteer processors in the crowd.
+    pub processors: usize,
+    /// Snapshot cardinality C.
+    pub cardinality: usize,
+    /// Horizontal cap (max raw tuples per edgelet).
+    pub cap: Option<usize>,
+    /// Attribute pairs to separate, as `a:b`.
+    pub separate: Vec<(String, String)>,
+    /// Fault presumption rate.
+    pub failure_p: f64,
+    /// Strategy name: `overcollection` | `backup` | `naive`.
+    pub strategy: String,
+    /// Network: `reliable` | `internet` | `lossy:<p>` | `oppnet:<median_s>,<p>`.
+    pub network: String,
+    /// Actual crash probability injected on processors.
+    pub crash_p: f64,
+    /// Run K-Means instead of the survey query: `k,heartbeats`.
+    pub kmeans: Option<(usize, usize)>,
+    /// Emit Graphviz DOT instead of ASCII (plan only).
+    pub dot: bool,
+}
+
+impl Default for QueryArgs {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            contributors: 2_000,
+            processors: 150,
+            cardinality: 300,
+            cap: Some(75),
+            separate: Vec::new(),
+            failure_p: 0.1,
+            strategy: "overcollection".into(),
+            network: "lossy:0.05".into(),
+            crash_p: 0.0,
+            kmeans: None,
+            dot: false,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+edgelet — resilient, privacy-preserving queries on personal devices
+
+USAGE:
+    edgelet plan  [OPTIONS]   inspect the QEP a configuration produces
+    edgelet run   [OPTIONS]   execute on a simulated crowd
+    edgelet dataset --rows N [--seed S]   print synthetic health data (CSV)
+    edgelet experiments       list the figure-regeneration binaries
+    edgelet help              this text
+
+OPTIONS (plan/run):
+    --seed N            world seed                       [default: 7]
+    --contributors N    data contributors                [default: 2000]
+    --processors N      volunteer processors             [default: 150]
+    --cardinality C     snapshot cardinality             [default: 300]
+    --cap N             max raw tuples per edgelet       [default: 75]
+    --separate a:b      vertical separation (repeatable)
+    --failure-p F       fault presumption rate           [default: 0.1]
+    --strategy S        overcollection|backup|naive      [default: overcollection]
+    --network NET       reliable|internet|lossy:<p>|oppnet:<median_s>,<p>
+                                                         [default: lossy:0.05]
+    --crash-p F         injected processor crash rate    [default: 0]
+    --kmeans K,H        K-Means with K clusters, H heartbeats
+    --dot               print Graphviz DOT (plan only)
+";
+
+/// Parses argv (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command> {
+    let Some((sub, rest)) = argv.split_first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "experiments" => Ok(Command::Experiments),
+        "dataset" => {
+            let flags = collect_flags(rest)?;
+            let rows = flag_parse(&flags, "rows", 100usize)?;
+            let seed = flag_parse(&flags, "seed", 7u64)?;
+            Ok(Command::Dataset { rows, seed })
+        }
+        "plan" | "run" => {
+            let flags = collect_flags(rest)?;
+            let mut q = QueryArgs {
+                seed: flag_parse(&flags, "seed", 7u64)?,
+                contributors: flag_parse(&flags, "contributors", 2_000usize)?,
+                processors: flag_parse(&flags, "processors", 150usize)?,
+                cardinality: flag_parse(&flags, "cardinality", 300usize)?,
+                failure_p: flag_parse(&flags, "failure-p", 0.1f64)?,
+                crash_p: flag_parse(&flags, "crash-p", 0.0f64)?,
+                ..QueryArgs::default()
+            };
+            if let Some(values) = flags.get("cap") {
+                let raw = single(values, "cap")?;
+                q.cap = if raw == "none" {
+                    None
+                } else {
+                    Some(parse_value(raw, "cap")?)
+                };
+            }
+            if let Some(values) = flags.get("strategy") {
+                let s = single(values, "strategy")?;
+                if !["overcollection", "backup", "naive"].contains(&s.as_str()) {
+                    return Err(Error::InvalidConfig(format!("unknown strategy `{s}`")));
+                }
+                q.strategy = s.clone();
+            }
+            if let Some(values) = flags.get("network") {
+                q.network = single(values, "network")?.clone();
+            }
+            if let Some(values) = flags.get("separate") {
+                for v in values {
+                    let (a, b) = v.split_once(':').ok_or_else(|| {
+                        Error::InvalidConfig(format!("--separate expects a:b, got `{v}`"))
+                    })?;
+                    q.separate.push((a.to_string(), b.to_string()));
+                }
+            }
+            if let Some(values) = flags.get("kmeans") {
+                let v = single(values, "kmeans")?;
+                let (k, h) = v.split_once(',').ok_or_else(|| {
+                    Error::InvalidConfig(format!("--kmeans expects K,H, got `{v}`"))
+                })?;
+                q.kmeans = Some((parse_value(k, "kmeans K")?, parse_value(h, "kmeans H")?));
+            }
+            q.dot = flags.contains_key("dot");
+            if sub == "plan" {
+                Ok(Command::Plan(q))
+            } else {
+                Ok(Command::Run(q))
+            }
+        }
+        other => Err(Error::InvalidConfig(format!(
+            "unknown subcommand `{other}` (try `edgelet help`)"
+        ))),
+    }
+}
+
+/// Collects `--flag value` and bare `--flag` pairs; flags may repeat.
+fn collect_flags(args: &[String]) -> Result<BTreeMap<String, Vec<String>>> {
+    const BARE: &[&str] = &["dot"];
+    let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(Error::InvalidConfig(format!(
+                "expected a --flag, got `{arg}`"
+            )));
+        };
+        if BARE.contains(&name) {
+            out.entry(name.to_string()).or_default();
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            return Err(Error::InvalidConfig(format!("--{name} needs a value")));
+        };
+        out.entry(name.to_string())
+            .or_default()
+            .push(value.clone());
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn single<'a>(values: &'a [String], name: &str) -> Result<&'a String> {
+    match values {
+        [one] => Ok(one),
+        _ => Err(Error::InvalidConfig(format!(
+            "--{name} given {} times, expected once",
+            values.len()
+        ))),
+    }
+}
+
+fn parse_value<T: std::str::FromStr>(raw: &str, what: &str) -> Result<T> {
+    raw.parse()
+        .map_err(|_| Error::InvalidConfig(format!("cannot parse `{raw}` for {what}")))
+}
+
+fn flag_parse<T: std::str::FromStr + Copy>(
+    flags: &BTreeMap<String, Vec<String>>,
+    name: &str,
+    default: T,
+) -> Result<T> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(values) => parse_value(single(values, name)?, name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("experiments")).unwrap(), Command::Experiments);
+    }
+
+    #[test]
+    fn plan_with_options() {
+        let cmd = parse(&argv(
+            "plan --cardinality 500 --cap 100 --separate bmi:systolic_bp \
+             --separate age:region --strategy backup --dot",
+        ))
+        .unwrap();
+        let Command::Plan(q) = cmd else { panic!() };
+        assert_eq!(q.cardinality, 500);
+        assert_eq!(q.cap, Some(100));
+        assert_eq!(q.separate.len(), 2);
+        assert_eq!(q.separate[0], ("bmi".into(), "systolic_bp".into()));
+        assert_eq!(q.strategy, "backup");
+        assert!(q.dot);
+    }
+
+    #[test]
+    fn run_with_kmeans_and_network() {
+        let cmd = parse(&argv(
+            "run --kmeans 3,6 --network oppnet:600,0.05 --crash-p 0.2 --cap none",
+        ))
+        .unwrap();
+        let Command::Run(q) = cmd else { panic!() };
+        assert_eq!(q.kmeans, Some((3, 6)));
+        assert_eq!(q.network, "oppnet:600,0.05");
+        assert_eq!(q.crash_p, 0.2);
+        assert_eq!(q.cap, None);
+    }
+
+    #[test]
+    fn dataset_args() {
+        let cmd = parse(&argv("dataset --rows 50 --seed 9")).unwrap();
+        assert_eq!(cmd, Command::Dataset { rows: 50, seed: 9 });
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("plan --cap")).is_err());
+        assert!(parse(&argv("plan cap 5")).is_err());
+        assert!(parse(&argv("plan --strategy wat")).is_err());
+        assert!(parse(&argv("plan --separate nope")).is_err());
+        assert!(parse(&argv("run --kmeans 3")).is_err());
+        assert!(parse(&argv("plan --cardinality abc")).is_err());
+        assert!(parse(&argv("plan --seed 1 --seed 2")).is_err());
+    }
+}

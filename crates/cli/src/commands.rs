@@ -1,0 +1,313 @@
+//! Command execution for the `edgelet` tool.
+
+use crate::args::{Command, QueryArgs, USAGE};
+use edgelet_core::prelude::*;
+use edgelet_core::query::{estimate, QueryPlan};
+use edgelet_core::store::{csv, synth};
+use edgelet_core::util::rng::DetRng;
+use edgelet_core::util::{Error, Result};
+use std::fmt::Write as _;
+
+/// Executes one parsed command, returning the output text.
+pub fn execute(cmd: Command) -> Result<String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Experiments => Ok(experiments_text()),
+        Command::Dataset { rows, seed } => {
+            let mut rng = DetRng::new(seed);
+            let store = synth::health_store(rows, &mut rng);
+            Ok(csv::to_csv(&store))
+        }
+        Command::Plan(q) => {
+            let (platform, spec, privacy, resilience) = build_world(&q)?;
+            let plan = platform.plan_query(&spec, &privacy, &resilience)?;
+            let mut out = String::new();
+            if q.dot {
+                out.push_str(&platform.render_plan_dot(&plan));
+            } else {
+                out.push_str(&platform.render_plan(&plan));
+                let cost = estimate(&plan);
+                let _ = writeln!(
+                    out,
+                    "predicted cost: <= {} messages ({} contribution round trips)",
+                    cost.total_messages_max(),
+                    cost.contribute_requests
+                );
+                for w in &plan.warnings {
+                    let _ = writeln!(out, "warning: {w}");
+                }
+            }
+            Ok(out)
+        }
+        Command::Run(q) => {
+            let (mut platform, spec, privacy, resilience) = build_world(&q)?;
+            let run = platform.run_query(&spec, &privacy, &resilience)?;
+            Ok(render_run(&run.plan, &run))
+        }
+    }
+}
+
+fn build_world(
+    q: &QueryArgs,
+) -> Result<(Platform, QuerySpec, PrivacyConfig, ResilienceConfig)> {
+    let network = parse_network(&q.network)?;
+    let mut platform = Platform::build(PlatformConfig {
+        seed: q.seed,
+        contributors: q.contributors,
+        processors: q.processors,
+        network,
+        processor_crash_probability: q.crash_p,
+        crash_at_start: q.crash_p > 0.0,
+        ..PlatformConfig::default()
+    });
+
+    let spec = match q.kmeans {
+        None => platform.grouping_query(
+            Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+            q.cardinality,
+            &[&["sex"], &["gir"], &[]],
+            vec![
+                AggSpec::count_star(),
+                AggSpec::over(AggKind::Avg, "bmi"),
+                AggSpec::over(AggKind::Avg, "systolic_bp"),
+            ],
+        ),
+        Some((k, heartbeats)) => platform.kmeans_query(
+            Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+            q.cardinality,
+            k,
+            &["age", "bmi", "systolic_bp"],
+            heartbeats,
+            vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "gir")],
+        ),
+    };
+
+    let mut privacy = PrivacyConfig::none();
+    if let Some(cap) = q.cap {
+        privacy = privacy.with_max_tuples(cap);
+    }
+    for (a, b) in &q.separate {
+        privacy = privacy.separate(a, b);
+    }
+
+    let strategy = match q.strategy.as_str() {
+        "overcollection" => Strategy::Overcollection,
+        "backup" => Strategy::Backup,
+        "naive" => Strategy::Naive,
+        other => {
+            return Err(Error::InvalidConfig(format!("unknown strategy `{other}`")))
+        }
+    };
+    let resilience = ResilienceConfig {
+        strategy,
+        failure_probability: q.failure_p,
+        ..ResilienceConfig::default()
+    };
+    Ok((platform, spec, privacy, resilience))
+}
+
+fn parse_network(raw: &str) -> Result<NetworkProfile> {
+    match raw {
+        "reliable" => Ok(NetworkProfile::Reliable),
+        "internet" => Ok(NetworkProfile::Internet),
+        _ => {
+            if let Some(p) = raw.strip_prefix("lossy:") {
+                let p: f64 = p.parse().map_err(|_| {
+                    Error::InvalidConfig(format!("bad loss probability in `{raw}`"))
+                })?;
+                return Ok(NetworkProfile::Lossy {
+                    drop_probability: p,
+                });
+            }
+            if let Some(rest) = raw.strip_prefix("oppnet:") {
+                let (median, p) = rest.split_once(',').ok_or_else(|| {
+                    Error::InvalidConfig(format!(
+                        "oppnet expects `oppnet:<median_s>,<p>`, got `{raw}`"
+                    ))
+                })?;
+                return Ok(NetworkProfile::Opportunistic {
+                    median_delay_secs: median.parse().map_err(|_| {
+                        Error::InvalidConfig(format!("bad median in `{raw}`"))
+                    })?,
+                    drop_probability: p.parse().map_err(|_| {
+                        Error::InvalidConfig(format!("bad loss in `{raw}`"))
+                    })?,
+                });
+            }
+            Err(Error::InvalidConfig(format!("unknown network `{raw}`")))
+        }
+    }
+}
+
+fn render_run(plan: &QueryPlan, run: &edgelet_core::platform::RunResult) -> String {
+    let r = &run.report;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "plan: n={} m={} backup_degree={} | {} operators | strategy {}",
+        plan.n,
+        plan.m,
+        plan.backup_degree,
+        plan.operators.len(),
+        plan.strategy.name()
+    );
+    for w in &plan.warnings {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    let _ = writeln!(
+        out,
+        "completed={} valid={} t={}s | partitions {}/{} complete | replica {} won",
+        r.completed,
+        r.valid,
+        r.completion_secs.map(|t| format!("{t:.2}")).unwrap_or_else(|| "-".into()),
+        r.partitions_complete,
+        r.partitions_merged,
+        r.winning_replica,
+    );
+    let _ = writeln!(
+        out,
+        "network: {} msgs, {} bytes, {} dropped, {} deferred | {} crashes, {} disconnections",
+        r.messages_sent,
+        r.bytes_sent,
+        r.messages_dropped,
+        r.messages_deferred,
+        r.crashes,
+        r.disconnections,
+    );
+    let _ = writeln!(
+        out,
+        "liability: max {} raw tuples/device, processor gini {:.3}",
+        r.ledger.max_raw_tuples(),
+        r.ledger.processor_gini(),
+    );
+    match &r.outcome {
+        Some(QueryOutcome::Grouping(table)) => {
+            let _ = writeln!(out, "\n{table}");
+        }
+        Some(QueryOutcome::KMeans {
+            centroids,
+            per_cluster,
+        }) => {
+            let _ = writeln!(out, "\ncentroids (age, bmi, systolic_bp):");
+            for (i, (c, w)) in centroids
+                .centroids
+                .iter()
+                .zip(&centroids.weights)
+                .enumerate()
+            {
+                let coords: Vec<String> = c.iter().map(|x| format!("{x:.1}")).collect();
+                let _ = writeln!(out, "  cluster {i}: [{}] weight {w:.0}", coords.join(", "));
+            }
+            if let Some(t) = per_cluster {
+                let _ = writeln!(out, "\n{t}");
+            }
+        }
+        None => {
+            let _ = writeln!(out, "\n(no result before the deadline)");
+        }
+    }
+    out
+}
+
+fn experiments_text() -> String {
+    let rows = [
+        ("fig2_qep", "Figure 2: QEP shape vs privacy knobs"),
+        ("fig3_overcollection", "Figure 3: overcollection degree"),
+        ("exp_resiliency", "E3: completion/validity vs crash rate"),
+        ("exp_heartbeats", "E4: K-Means accuracy vs heartbeats"),
+        ("exp_scalability", "E5: crowd-size scaling"),
+        ("exp_privacy", "E6: sealed-glass compromise trials"),
+        ("exp_validity", "E7: validity edge at m lost partitions"),
+        ("exp_heterogeneity", "E8: PC vs phone vs home-box mixes"),
+        ("exp_active_backup", "E9: combiner Active Backup ablation"),
+        ("exp_strategies", "E10: Backup vs Overcollection"),
+        ("exp_minibatch", "E11: fixed partition vs resampling"),
+        ("exp_retries", "E12: collection retry rounds"),
+        ("exp_liability", "E13: crowd-liability spread"),
+        ("exp_failure_detector", "E14: Backup suspicion-timeout sweep"),
+    ];
+    let mut out = String::from("figure-regeneration binaries (run with --release):\n");
+    for (name, desc) in rows {
+        let _ = writeln!(
+            out,
+            "  cargo run --release -p edgelet-bench --bin {name:<22} # {desc}"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    fn run_cli_text(s: &str) -> String {
+        execute(parse(&argv(s)).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn help_and_experiments_render() {
+        assert!(run_cli_text("help").contains("USAGE"));
+        assert!(run_cli_text("experiments").contains("fig2_qep"));
+    }
+
+    #[test]
+    fn dataset_emits_csv() {
+        let text = run_cli_text("dataset --rows 5 --seed 3");
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "age,sex,bmi,systolic_bp,gir,region,diabetic"
+        );
+        assert_eq!(lines.count(), 5);
+        // Deterministic.
+        assert_eq!(text, run_cli_text("dataset --rows 5 --seed 3"));
+    }
+
+    #[test]
+    fn plan_renders_qep_and_cost() {
+        let text = run_cli_text(
+            "plan --contributors 800 --processors 120 --cardinality 200 --cap 50",
+        );
+        assert!(text.contains("QEP"), "{text}");
+        assert!(text.contains("predicted cost"), "{text}");
+        let dot = run_cli_text(
+            "plan --contributors 800 --processors 120 --cardinality 200 --cap 50 --dot",
+        );
+        assert!(dot.starts_with("digraph"), "{dot}");
+    }
+
+    #[test]
+    fn run_executes_grouping_query() {
+        let text = run_cli_text(
+            "run --contributors 1500 --processors 120 --cardinality 200 --cap 50 \
+             --network reliable",
+        );
+        assert!(text.contains("completed=true"), "{text}");
+        assert!(text.contains("valid=true"), "{text}");
+        assert!(text.contains("COUNT(*)=200"), "{text}");
+    }
+
+    #[test]
+    fn run_executes_kmeans_query() {
+        let text = run_cli_text(
+            "run --contributors 1500 --processors 80 --cardinality 150 --cap 50 \
+             --network reliable --kmeans 3,3",
+        );
+        assert!(text.contains("centroids"), "{text}");
+        assert!(text.contains("cluster 0"), "{text}");
+    }
+
+    #[test]
+    fn bad_network_is_rejected() {
+        let err = execute(parse(&argv("run --network warp")).unwrap());
+        assert!(err.is_err());
+        assert!(parse_network("lossy:abc").is_err());
+        assert!(parse_network("oppnet:60").is_err());
+        assert!(parse_network("oppnet:60,0.1").is_ok());
+    }
+}

@@ -1,0 +1,31 @@
+//! Implementation of the `edgelet` command-line tool.
+//!
+//! Subcommands mirror the two parts of the demonstration (§3.2):
+//!
+//! * `edgelet plan …` — Part 1: configure privacy/resiliency knobs and
+//!   inspect the resulting QEP (and its predicted cost) without running;
+//! * `edgelet run …` — Part 2: execute on a simulated crowd and report
+//!   completion, validity, accuracy and liability;
+//! * `edgelet dataset …` — emit the synthetic health data as CSV;
+//! * `edgelet experiments` — list the figure-regeneration binaries.
+//!
+//! The argument parser is hand-rolled (no external dependency) and unit
+//! tested here; `main.rs` is a thin shell around [`run_cli`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use edgelet_util::Result;
+
+/// Entry point: parses `argv` (without the program name) and executes.
+/// Returns the text to print on success.
+pub fn run_cli(argv: &[String]) -> Result<String> {
+    let cmd = args::parse(argv)?;
+    commands::execute(cmd)
+}
+
+pub use edgelet_core as core_api;
+use edgelet_core::util as edgelet_util;

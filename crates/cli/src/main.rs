@@ -1,0 +1,13 @@
+//! The `edgelet` command-line tool.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match edgelet_cli::run_cli(&argv) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `edgelet help` for usage");
+            std::process::exit(1);
+        }
+    }
+}

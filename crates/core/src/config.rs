@@ -1,0 +1,211 @@
+//! Platform configuration: crowd composition, network, fault model.
+
+use edgelet_exec::ExecConfig;
+use edgelet_sim::{Availability, Duration, NetworkModel};
+use edgelet_tee::DeviceClass;
+
+/// Network environment presets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkProfile {
+    /// Fixed low latency, no loss (validity baselines).
+    Reliable,
+    /// Uniform 20–120 ms latency, no loss (well-connected internet).
+    Internet,
+    /// Internet latency plus independent message loss.
+    Lossy {
+        /// Per-message drop probability.
+        drop_probability: f64,
+    },
+    /// Opportunistic store-and-forward: heavy-tailed delays around the
+    /// given median, plus loss.
+    Opportunistic {
+        /// Median one-way delay, seconds.
+        median_delay_secs: u64,
+        /// Per-message drop probability.
+        drop_probability: f64,
+    },
+}
+
+impl NetworkProfile {
+    /// Materializes the simulator's network model.
+    pub fn to_model(&self) -> NetworkModel {
+        match *self {
+            NetworkProfile::Reliable => NetworkModel::reliable(Duration::from_millis(10)),
+            NetworkProfile::Internet => NetworkModel::default(),
+            NetworkProfile::Lossy { drop_probability } => NetworkModel::lossy(
+                Duration::from_millis(20),
+                Duration::from_millis(120),
+                drop_probability,
+            ),
+            NetworkProfile::Opportunistic {
+                median_delay_secs,
+                drop_probability,
+            } => NetworkModel::opportunistic(
+                Duration::from_secs(median_delay_secs),
+                drop_probability,
+            ),
+        }
+    }
+}
+
+/// Hardware mix of the processor crowd (fractions normalize themselves).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceMix {
+    /// Weight of SGX PCs.
+    pub sgx_pc: f64,
+    /// Weight of TrustZone phones.
+    pub trustzone_phone: f64,
+    /// Weight of TPM home boxes.
+    pub tpm_home_box: f64,
+}
+
+impl Default for DeviceMix {
+    fn default() -> Self {
+        // The demo platform's population: mostly phones, some PCs, the
+        // DomYcile boxes.
+        Self {
+            sgx_pc: 0.2,
+            trustzone_phone: 0.5,
+            tpm_home_box: 0.3,
+        }
+    }
+}
+
+impl DeviceMix {
+    /// A homogeneous mix.
+    pub fn only(class: DeviceClass) -> Self {
+        Self {
+            sgx_pc: f64::from(u8::from(class == DeviceClass::SgxPc)),
+            trustzone_phone: f64::from(u8::from(class == DeviceClass::TrustZonePhone)),
+            tpm_home_box: f64::from(u8::from(class == DeviceClass::TpmHomeBox)),
+        }
+    }
+
+    /// Picks a class for the `i`-th processor (deterministic round-robin
+    /// proportional to the weights).
+    pub fn class_for(&self, i: usize) -> DeviceClass {
+        let total = self.sgx_pc + self.trustzone_phone + self.tpm_home_box;
+        if total <= 0.0 {
+            return DeviceClass::SgxPc;
+        }
+        // Stratified assignment with a 10-device cycle: proportions hold
+        // in every window of ten processors.
+        let pos = ((i % 10) as f64 + 0.5) / 10.0 * total;
+        if pos < self.sgx_pc {
+            DeviceClass::SgxPc
+        } else if pos < self.sgx_pc + self.trustzone_phone {
+            DeviceClass::TrustZonePhone
+        } else {
+            DeviceClass::TpmHomeBox
+        }
+    }
+}
+
+/// Full platform configuration.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Root seed: every random choice in the world derives from it.
+    pub seed: u64,
+    /// Number of Data Contributor devices.
+    pub contributors: usize,
+    /// Records per contributor store (1 = one personal record).
+    pub rows_per_contributor: usize,
+    /// Number of volunteer Data Processor devices.
+    pub processors: usize,
+    /// Hardware mix of the processors.
+    pub device_mix: DeviceMix,
+    /// Network environment.
+    pub network: NetworkProfile,
+    /// Availability model for processor devices.
+    pub processor_availability: Availability,
+    /// Availability model for contributor devices.
+    pub contributor_availability: Availability,
+    /// Probability that a processor crash-stops during the query window
+    /// (the fault presumption rate the resiliency planner must absorb).
+    pub processor_crash_probability: f64,
+    /// Probability that a contributor crash-stops during the window.
+    pub contributor_crash_probability: f64,
+    /// When true, crash-fated devices fail at query launch instead of at
+    /// a uniform instant within the deadline window. Launch-time crashes
+    /// are the harshest realization of the fault presumption (a fast
+    /// query on a reliable network can otherwise outrun its failures);
+    /// the resiliency experiments use this mode.
+    pub crash_at_start: bool,
+    /// Execution knobs.
+    pub exec: ExecConfig,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xED6E1E7,
+            contributors: 500,
+            rows_per_contributor: 1,
+            processors: 60,
+            device_mix: DeviceMix::only(DeviceClass::SgxPc),
+            network: NetworkProfile::Reliable,
+            processor_availability: Availability::AlwaysUp,
+            contributor_availability: Availability::AlwaysUp,
+            processor_crash_probability: 0.0,
+            contributor_crash_probability: 0.0,
+            crash_at_start: false,
+            exec: ExecConfig::fast(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgelet_sim::network::LatencyModel;
+
+    #[test]
+    fn network_profiles_materialize() {
+        assert_eq!(
+            NetworkProfile::Reliable.to_model().drop_probability,
+            0.0
+        );
+        let lossy = NetworkProfile::Lossy {
+            drop_probability: 0.3,
+        }
+        .to_model();
+        assert_eq!(lossy.drop_probability, 0.3);
+        let opp = NetworkProfile::Opportunistic {
+            median_delay_secs: 120,
+            drop_probability: 0.1,
+        }
+        .to_model();
+        assert!(matches!(opp.latency, LatencyModel::LogNormal { .. }));
+    }
+
+    #[test]
+    fn device_mix_proportions() {
+        let mix = DeviceMix::default();
+        let classes: Vec<DeviceClass> = (0..100).map(|i| mix.class_for(i)).collect();
+        let pcs = classes.iter().filter(|c| **c == DeviceClass::SgxPc).count();
+        let phones = classes
+            .iter()
+            .filter(|c| **c == DeviceClass::TrustZonePhone)
+            .count();
+        let boxes = classes
+            .iter()
+            .filter(|c| **c == DeviceClass::TpmHomeBox)
+            .count();
+        assert_eq!(pcs + phones + boxes, 100);
+        assert!((15..=25).contains(&pcs), "pcs {pcs}");
+        assert!((45..=55).contains(&phones), "phones {phones}");
+        assert!((25..=35).contains(&boxes), "boxes {boxes}");
+    }
+
+    #[test]
+    fn homogeneous_mix() {
+        let mix = DeviceMix::only(DeviceClass::TpmHomeBox);
+        assert!((0..50).all(|i| mix.class_for(i) == DeviceClass::TpmHomeBox));
+        let zero = DeviceMix {
+            sgx_pc: 0.0,
+            trustzone_phone: 0.0,
+            tpm_home_box: 0.0,
+        };
+        assert_eq!(zero.class_for(3), DeviceClass::SgxPc);
+    }
+}

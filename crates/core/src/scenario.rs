@@ -1,0 +1,114 @@
+//! Scenario presets matching the paper's motivating use cases (§1).
+
+use crate::config::{DeviceMix, NetworkProfile, PlatformConfig};
+use edgelet_exec::ExecConfig;
+use edgelet_sim::{Availability, Duration};
+use edgelet_tee::DeviceClass;
+
+/// Named crowd scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// "Data altruism": a health survey over DomYcile-style home boxes
+    /// visited opportunistically by caregivers — long delays, long
+    /// disconnections, small devices.
+    DataAltruism,
+    /// "Opportunistic polling": a large venue full of TrustZone
+    /// smartphones — short-lived connectivity, churny, but low latency.
+    OpportunisticPolling,
+    /// A laboratory baseline: reliable network, homogeneous PCs.
+    Laboratory,
+}
+
+impl Scenario {
+    /// Builds the platform configuration for the scenario.
+    pub fn config(self, seed: u64) -> PlatformConfig {
+        match self {
+            Scenario::DataAltruism => PlatformConfig {
+                seed,
+                contributors: 4_000,
+                rows_per_contributor: 1,
+                processors: 120,
+                device_mix: DeviceMix {
+                    sgx_pc: 0.2,
+                    trustzone_phone: 0.0,
+                    tpm_home_box: 0.8,
+                },
+                network: NetworkProfile::Opportunistic {
+                    median_delay_secs: 600,
+                    drop_probability: 0.05,
+                },
+                processor_availability: Availability::Intermittent {
+                    mean_up: Duration::from_secs(4 * 3_600),
+                    mean_down: Duration::from_secs(3_600),
+                    start_up: true,
+                },
+                contributor_availability: Availability::Intermittent {
+                    mean_up: Duration::from_secs(2 * 3_600),
+                    mean_down: Duration::from_secs(2 * 3_600),
+                    start_up: true,
+                },
+                processor_crash_probability: 0.05,
+                contributor_crash_probability: 0.02,
+                crash_at_start: false,
+                exec: ExecConfig::opportunistic(),
+            },
+            Scenario::OpportunisticPolling => PlatformConfig {
+                seed,
+                contributors: 4_000,
+                rows_per_contributor: 1,
+                processors: 150,
+                device_mix: DeviceMix {
+                    sgx_pc: 0.1,
+                    trustzone_phone: 0.9,
+                    tpm_home_box: 0.0,
+                },
+                network: NetworkProfile::Lossy {
+                    drop_probability: 0.08,
+                },
+                processor_availability: Availability::Intermittent {
+                    mean_up: Duration::from_secs(600),
+                    mean_down: Duration::from_secs(120),
+                    start_up: true,
+                },
+                contributor_availability: Availability::Intermittent {
+                    mean_up: Duration::from_secs(600),
+                    mean_down: Duration::from_secs(120),
+                    start_up: true,
+                },
+                processor_crash_probability: 0.1,
+                contributor_crash_probability: 0.05,
+                crash_at_start: false,
+                exec: ExecConfig::default(),
+            },
+            Scenario::Laboratory => PlatformConfig {
+                seed,
+                contributors: 600,
+                processors: 80,
+                device_mix: DeviceMix::only(DeviceClass::SgxPc),
+                network: NetworkProfile::Reliable,
+                ..PlatformConfig::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_differ_meaningfully() {
+        let altruism = Scenario::DataAltruism.config(1);
+        let polling = Scenario::OpportunisticPolling.config(1);
+        let lab = Scenario::Laboratory.config(1);
+        assert!(altruism.device_mix.tpm_home_box > 0.5);
+        assert!(polling.device_mix.trustzone_phone > 0.5);
+        assert_eq!(lab.processor_crash_probability, 0.0);
+        assert!(matches!(
+            altruism.network,
+            NetworkProfile::Opportunistic { .. }
+        ));
+        assert!(matches!(polling.network, NetworkProfile::Lossy { .. }));
+        assert_eq!(altruism.contributors, 4_000);
+    }
+}

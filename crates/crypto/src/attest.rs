@@ -1,0 +1,217 @@
+//! Simulated remote attestation.
+//!
+//! In the real deployments the paper targets, each device class carries its
+//! own attestation machinery (SGX quoting enclaves, TPM quotes signed by an
+//! endorsement hierarchy, TrustZone equivalents). For the simulator we model
+//! the *guarantee*, not the mechanism: a [`TrustAnchor`] stands in for the
+//! manufacturer/PKI root, issues per-device attestation keys, and verifies
+//! [`AttestationQuote`]s — MACs binding a device identity, the enclave code
+//! *measurement* and a verifier-chosen nonce.
+//!
+//! A device whose TEE is compromised in "sealed glass" mode (integrity kept,
+//! confidentiality lost — §2.1 of the paper) still produces valid quotes;
+//! a device whose *integrity* is compromised cannot, and the directory
+//! refuses to schedule operators on it.
+
+use crate::hmac::{hmac_sha256, mac_eq};
+use crate::sha256::sha256;
+use edgelet_util::ids::DeviceId;
+use edgelet_util::{Error, Result};
+use std::collections::BTreeMap;
+
+/// A 32-byte code measurement (hash of the operator code an enclave runs).
+pub type Measurement = [u8; 32];
+
+/// Computes a measurement for a code blob (here: the operator identifier).
+pub fn measure(code: &[u8]) -> Measurement {
+    sha256(code)
+}
+
+/// A quote proving that `device` runs code with `measurement` inside a TEE,
+/// freshly bound to `nonce`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttestationQuote {
+    /// The attested device.
+    pub device: DeviceId,
+    /// The code measurement the TEE reports.
+    pub measurement: Measurement,
+    /// Verifier-supplied anti-replay nonce.
+    pub nonce: [u8; 32],
+    /// MAC by the device's attestation key.
+    pub mac: [u8; 32],
+}
+
+impl AttestationQuote {
+    fn message(device: DeviceId, measurement: &Measurement, nonce: &[u8; 32]) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(8 + 32 + 32 + 16);
+        msg.extend_from_slice(b"edgelet-quote-v1");
+        msg.extend_from_slice(&device.raw().to_le_bytes());
+        msg.extend_from_slice(measurement);
+        msg.extend_from_slice(nonce);
+        msg
+    }
+}
+
+/// The simulated manufacturer root that provisions attestation keys and
+/// verifies quotes. One per simulated world.
+#[derive(Debug, Clone)]
+pub struct TrustAnchor {
+    root_key: [u8; 32],
+    /// Devices whose integrity has been revoked (fully compromised TEEs).
+    revoked: BTreeMap<DeviceId, ()>,
+}
+
+impl TrustAnchor {
+    /// Creates a trust anchor from a root secret.
+    pub fn new(root_key: [u8; 32]) -> Self {
+        Self {
+            root_key,
+            revoked: BTreeMap::new(),
+        }
+    }
+
+    /// Derives the attestation key provisioned into `device` at manufacture.
+    pub fn provision_device_key(&self, device: DeviceId) -> [u8; 32] {
+        let mut info = Vec::with_capacity(24);
+        info.extend_from_slice(b"attest-key");
+        info.extend_from_slice(&device.raw().to_le_bytes());
+        hmac_sha256(&self.root_key, &info)
+    }
+
+    /// Produces a quote on behalf of a device (what the device's TEE would
+    /// compute locally with its provisioned key).
+    pub fn quote(
+        &self,
+        device: DeviceId,
+        measurement: Measurement,
+        nonce: [u8; 32],
+    ) -> AttestationQuote {
+        let key = self.provision_device_key(device);
+        let msg = AttestationQuote::message(device, &measurement, &nonce);
+        AttestationQuote {
+            device,
+            measurement,
+            nonce,
+            mac: hmac_sha256(&key, &msg),
+        }
+    }
+
+    /// Marks a device's TEE integrity as broken; its quotes stop verifying.
+    pub fn revoke(&mut self, device: DeviceId) {
+        self.revoked.insert(device, ());
+    }
+
+    /// True if the device has been revoked.
+    pub fn is_revoked(&self, device: DeviceId) -> bool {
+        self.revoked.contains_key(&device)
+    }
+
+    /// Verifies a quote against an expected measurement and nonce.
+    pub fn verify(
+        &self,
+        quote: &AttestationQuote,
+        expected_measurement: &Measurement,
+        expected_nonce: &[u8; 32],
+    ) -> Result<()> {
+        if self.is_revoked(quote.device) {
+            return Err(Error::Crypto(format!(
+                "device {} attestation revoked",
+                quote.device
+            )));
+        }
+        if &quote.measurement != expected_measurement {
+            return Err(Error::Crypto("measurement mismatch".into()));
+        }
+        if &quote.nonce != expected_nonce {
+            return Err(Error::Crypto("stale attestation nonce".into()));
+        }
+        let key = self.provision_device_key(quote.device);
+        let msg = AttestationQuote::message(quote.device, &quote.measurement, &quote.nonce);
+        let expected = hmac_sha256(&key, &msg);
+        if !mac_eq(&expected, &quote.mac) {
+            return Err(Error::Crypto("quote MAC invalid".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anchor() -> TrustAnchor {
+        TrustAnchor::new([0x42u8; 32])
+    }
+
+    #[test]
+    fn quote_verifies() {
+        let ta = anchor();
+        let m = measure(b"snapshot-builder-v1");
+        let nonce = [7u8; 32];
+        let q = ta.quote(DeviceId::new(3), m, nonce);
+        ta.verify(&q, &m, &nonce).unwrap();
+    }
+
+    #[test]
+    fn wrong_measurement_rejected() {
+        let ta = anchor();
+        let m = measure(b"computer-v1");
+        let nonce = [1u8; 32];
+        let q = ta.quote(DeviceId::new(1), m, nonce);
+        let other = measure(b"evil-code");
+        assert!(ta.verify(&q, &other, &nonce).is_err());
+    }
+
+    #[test]
+    fn replayed_nonce_rejected() {
+        let ta = anchor();
+        let m = measure(b"combiner-v1");
+        let q = ta.quote(DeviceId::new(2), m, [9u8; 32]);
+        assert!(ta.verify(&q, &m, &[8u8; 32]).is_err());
+    }
+
+    #[test]
+    fn forged_mac_rejected() {
+        let ta = anchor();
+        let m = measure(b"code");
+        let nonce = [5u8; 32];
+        let mut q = ta.quote(DeviceId::new(4), m, nonce);
+        q.mac[0] ^= 1;
+        assert!(ta.verify(&q, &m, &nonce).is_err());
+        // A quote minted under a different root also fails.
+        let other_root = TrustAnchor::new([0x43u8; 32]);
+        let q2 = other_root.quote(DeviceId::new(4), m, nonce);
+        assert!(ta.verify(&q2, &m, &nonce).is_err());
+    }
+
+    #[test]
+    fn quote_is_device_bound() {
+        let ta = anchor();
+        let m = measure(b"code");
+        let nonce = [5u8; 32];
+        let mut q = ta.quote(DeviceId::new(4), m, nonce);
+        q.device = DeviceId::new(5);
+        assert!(ta.verify(&q, &m, &nonce).is_err());
+    }
+
+    #[test]
+    fn revocation_blocks_verification() {
+        let mut ta = anchor();
+        let m = measure(b"code");
+        let nonce = [5u8; 32];
+        let q = ta.quote(DeviceId::new(6), m, nonce);
+        ta.verify(&q, &m, &nonce).unwrap();
+        ta.revoke(DeviceId::new(6));
+        assert!(ta.is_revoked(DeviceId::new(6)));
+        assert!(ta.verify(&q, &m, &nonce).is_err());
+    }
+
+    #[test]
+    fn device_keys_are_distinct() {
+        let ta = anchor();
+        assert_ne!(
+            ta.provision_device_key(DeviceId::new(0)),
+            ta.provision_device_key(DeviceId::new(1))
+        );
+    }
+}

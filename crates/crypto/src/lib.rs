@@ -1,0 +1,39 @@
+//! Cryptographic primitives for the simulated TEE substrate.
+//!
+//! Everything here is implemented from scratch and validated against the
+//! published test vectors:
+//!
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256;
+//! * [`mod@hmac`] — RFC 2104 HMAC-SHA256 and RFC 5869 HKDF;
+//! * [`chacha20`] — RFC 8439 ChaCha20 stream cipher;
+//! * [`poly1305`] — RFC 8439 Poly1305 one-time authenticator;
+//! * [`aead`] — RFC 8439 ChaCha20-Poly1305 AEAD construction;
+//! * [`mod@x25519`] — RFC 7748 Curve25519 Diffie–Hellman;
+//! * [`attest`] — the *simulated* attestation layer: quotes are MACs keyed
+//!   by a manufacturer root held by a [`attest::TrustAnchor`] registry. This
+//!   stands in for SGX/TPM attestation infrastructure (see DESIGN.md §2);
+//!   it is a simulation device, **not** a hardened PKI.
+//!
+//! # Scope warning
+//!
+//! This crate exists so the Edgelet protocols can exercise realistic
+//! attestation/secure-channel flows **inside a simulator**. It makes no
+//! constant-time or side-channel claims and must not be reused as a
+//! general-purpose cryptography library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod attest;
+pub mod chacha20;
+pub mod hmac;
+pub mod poly1305;
+pub mod sha256;
+pub mod x25519;
+
+pub use aead::ChaCha20Poly1305;
+pub use attest::{AttestationQuote, TrustAnchor};
+pub use hmac::{hkdf_expand, hkdf_extract, hmac_sha256};
+pub use sha256::{sha256, Sha256};
+pub use x25519::{x25519, X25519_BASEPOINT};

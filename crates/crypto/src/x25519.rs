@@ -1,0 +1,420 @@
+//! X25519 Diffie–Hellman (RFC 7748) over Curve25519.
+//!
+//! Field arithmetic modulo `p = 2^255 - 19` uses five 51-bit limbs in `u64`
+//! with `u128` intermediate products; scalar multiplication uses the
+//! Montgomery ladder with a constant-shape conditional swap.
+
+// Limb arithmetic reads better with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+/// The standard base point (u = 9).
+pub const X25519_BASEPOINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+const MASK51: u64 = (1 << 51) - 1;
+
+/// Field element in 5 × 51-bit limbs, little-endian limb order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fe([u64; 5]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |i: usize| -> u64 {
+            let mut v = 0u64;
+            for j in (0..8).rev() {
+                v = (v << 8) | u64::from(bytes[i + j]);
+            }
+            v
+        };
+        // RFC 7748: the top bit of the u-coordinate is masked off.
+        let l0 = load(0) & MASK51;
+        let l1 = (load(6) >> 3) & MASK51;
+        let l2 = (load(12) >> 6) & MASK51;
+        let l3 = (load(19) >> 1) & MASK51;
+        let l4 = (load(24) >> 12) & MASK51;
+        Fe([l0, l1, l2, l3, l4])
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        // Fully reduce mod p first (two weak passes bound every limb by
+        // 2^51 - 1, after which the q-trick below finishes the reduction).
+        let mut t = self.reduce_weak().reduce_weak();
+        // t may still be in [p, 2^255): subtract p once via add 19 trick.
+        let mut q = (t.0[0].wrapping_add(19)) >> 51;
+        q = (t.0[1].wrapping_add(q)) >> 51;
+        q = (t.0[2].wrapping_add(q)) >> 51;
+        q = (t.0[3].wrapping_add(q)) >> 51;
+        q = (t.0[4].wrapping_add(q)) >> 51;
+        t.0[0] = t.0[0].wrapping_add(19u64.wrapping_mul(q));
+        let mut carry = t.0[0] >> 51;
+        t.0[0] &= MASK51;
+        t.0[1] = t.0[1].wrapping_add(carry);
+        carry = t.0[1] >> 51;
+        t.0[1] &= MASK51;
+        t.0[2] = t.0[2].wrapping_add(carry);
+        carry = t.0[2] >> 51;
+        t.0[2] &= MASK51;
+        t.0[3] = t.0[3].wrapping_add(carry);
+        carry = t.0[3] >> 51;
+        t.0[3] &= MASK51;
+        t.0[4] = t.0[4].wrapping_add(carry);
+        t.0[4] &= MASK51;
+
+        let mut out = [0u8; 32];
+        let limbs = t.0;
+        // Pack 5 × 51 bits = 255 bits little-endian.
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for &limb in &limbs {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 && idx < 32 {
+                out[idx] = (acc & 0xFF) as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        while idx < 32 {
+            out[idx] = (acc & 0xFF) as u8;
+            acc >>= 8;
+            idx += 1;
+        }
+        out
+    }
+
+    /// Carries limbs so each fits in 52 bits (enough headroom for add/sub).
+    fn reduce_weak(self) -> Fe {
+        let mut l = self.0;
+        let c0 = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c0;
+        let c1 = l[1] >> 51;
+        l[1] &= MASK51;
+        l[2] += c1;
+        let c2 = l[2] >> 51;
+        l[2] &= MASK51;
+        l[3] += c2;
+        let c3 = l[3] >> 51;
+        l[3] &= MASK51;
+        l[4] += c3;
+        let c4 = l[4] >> 51;
+        l[4] &= MASK51;
+        l[0] += c4 * 19;
+        Fe(l)
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        let mut out = [0u64; 5];
+        for i in 0..5 {
+            out[i] = self.0[i] + rhs.0[i];
+        }
+        Fe(out).reduce_weak()
+    }
+
+    fn sub(self, rhs: Fe) -> Fe {
+        // Add 2p to keep limbs positive before subtracting.
+        let two_p0 = 2 * (MASK51 - 18); // 2*(2^51 - 19)
+        let two_p_rest = 2 * MASK51; // 2*(2^51 - 1)
+        let mut out = [0u64; 5];
+        out[0] = self.0[0] + two_p0 - rhs.0[0];
+        for i in 1..5 {
+            out[i] = self.0[i] + two_p_rest - rhs.0[i];
+        }
+        Fe(out).reduce_weak()
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let a = self.0;
+        let b = rhs.0;
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+        let b1_19 = b[1] * 19;
+        let b2_19 = b[2] * 19;
+        let b3_19 = b[3] * 19;
+        let b4_19 = b[4] * 19;
+
+        let mut t0 = m(a[0], b[0])
+            + m(a[1], b4_19)
+            + m(a[2], b3_19)
+            + m(a[3], b2_19)
+            + m(a[4], b1_19);
+        let mut t1 =
+            m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let mut t2 =
+            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let mut t3 =
+            m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let mut t4 =
+            m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        let mut out = [0u64; 5];
+        let mut carry: u128;
+        carry = t0 >> 51;
+        out[0] = (t0 as u64) & MASK51;
+        t1 += carry;
+        carry = t1 >> 51;
+        out[1] = (t1 as u64) & MASK51;
+        t2 += carry;
+        carry = t2 >> 51;
+        out[2] = (t2 as u64) & MASK51;
+        t3 += carry;
+        carry = t3 >> 51;
+        out[3] = (t3 as u64) & MASK51;
+        t4 += carry;
+        carry = t4 >> 51;
+        out[4] = (t4 as u64) & MASK51;
+        t0 = (out[0] as u128) + carry * 19;
+        out[0] = (t0 as u64) & MASK51;
+        out[1] += (t0 >> 51) as u64;
+        Fe(out)
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn mul_small(self, k: u64) -> Fe {
+        let mut t = [0u128; 5];
+        for i in 0..5 {
+            t[i] = (self.0[i] as u128) * (k as u128);
+        }
+        let mut out = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..5 {
+            let v = t[i] + carry;
+            out[i] = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        let t0 = (out[0] as u128) + carry * 19;
+        out[0] = (t0 as u64) & MASK51;
+        out[1] += (t0 >> 51) as u64;
+        Fe(out)
+    }
+
+    /// Multiplicative inverse via Fermat: `a^(p-2)`.
+    fn invert(self) -> Fe {
+        // Addition chain from curve25519 reference implementations.
+        let z2 = self.square();
+        let z8 = z2.square().square();
+        let z9 = self.mul(z8);
+        let z11 = z2.mul(z9);
+        let z22 = z11.square();
+        let z_5_0 = z9.mul(z22); // 2^5 - 2^0
+        let mut t = z_5_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        let z_10_0 = t.mul(z_5_0);
+        t = z_10_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_20_0 = t.mul(z_10_0);
+        t = z_20_0;
+        for _ in 0..20 {
+            t = t.square();
+        }
+        let z_40_0 = t.mul(z_20_0);
+        t = z_40_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_50_0 = t.mul(z_10_0);
+        t = z_50_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_100_0 = t.mul(z_50_0);
+        t = z_100_0;
+        for _ in 0..100 {
+            t = t.square();
+        }
+        let z_200_0 = t.mul(z_100_0);
+        t = z_200_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_250_0 = t.mul(z_50_0);
+        t = z_250_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        t.mul(z11) // 2^255 - 21 = p - 2
+    }
+
+    /// Conditional swap driven by a bit (constant shape).
+    fn cswap(a: &mut Fe, b: &mut Fe, swap: u64) {
+        let mask = 0u64.wrapping_sub(swap);
+        for i in 0..5 {
+            let x = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= x;
+            b.0[i] ^= x;
+        }
+    }
+}
+
+/// Clamps a 32-byte scalar per RFC 7748.
+fn clamp(scalar: &[u8; 32]) -> [u8; 32] {
+    let mut s = *scalar;
+    s[0] &= 248;
+    s[31] &= 127;
+    s[31] |= 64;
+    s
+}
+
+/// Computes `scalar * u` on Curve25519 (the X25519 function of RFC 7748).
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(scalar);
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = u64::from((k[t / 8] >> (t % 8)) & 1);
+        swap ^= k_t;
+        Fe::cswap(&mut x2, &mut x3, swap);
+        Fe::cswap(&mut z2, &mut z3, swap);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121_665)));
+    }
+
+    Fe::cswap(&mut x2, &mut x3, swap);
+    Fe::cswap(&mut z2, &mut z3, swap);
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// Derives the public key for a secret scalar.
+pub fn x25519_public(scalar: &[u8; 32]) -> [u8; 32] {
+    x25519(scalar, &X25519_BASEPOINT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).unwrap();
+        }
+        out
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar =
+            unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        assert_eq!(
+            hex(&x25519(&scalar, &u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    #[test]
+    fn rfc7748_vector_2() {
+        let scalar =
+            unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        assert_eq!(
+            hex(&x25519(&scalar, &u)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    #[test]
+    fn rfc7748_iterated_1_and_1000() {
+        let mut k = X25519_BASEPOINT;
+        let mut u = X25519_BASEPOINT;
+        // 1 iteration.
+        let r = x25519(&k, &u);
+        u = k;
+        k = r;
+        assert_eq!(
+            hex(&k),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+        // Continue to 1000 iterations.
+        for _ in 1..1000 {
+            let r = x25519(&k, &u);
+            u = k;
+            k = r;
+        }
+        assert_eq!(
+            hex(&k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"
+        );
+    }
+
+    #[test]
+    fn diffie_hellman_agreement() {
+        let alice_sk = [0x11u8; 32];
+        let bob_sk = [0x22u8; 32];
+        let alice_pk = x25519_public(&alice_sk);
+        let bob_pk = x25519_public(&bob_sk);
+        let s1 = x25519(&alice_sk, &bob_pk);
+        let s2 = x25519(&bob_sk, &alice_pk);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, [0u8; 32]);
+        // A third party gets a different secret.
+        let eve_sk = [0x33u8; 32];
+        assert_ne!(x25519(&eve_sk, &bob_pk), s1);
+    }
+
+    #[test]
+    fn high_bit_of_u_is_ignored() {
+        let scalar = [0x55u8; 32];
+        let mut u = [0x10u8; 32];
+        let a = x25519(&scalar, &u);
+        u[31] |= 0x80;
+        let b = x25519(&scalar, &u);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn field_roundtrip_via_bytes() {
+        let vals = [
+            [0u8; 32],
+            {
+                let mut v = [0u8; 32];
+                v[0] = 1;
+                v
+            },
+            unhex32("edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f"),
+        ];
+        for v in vals {
+            let fe = Fe::from_bytes(&v);
+            let back = fe.to_bytes();
+            // Values >= p reduce; check canonical ones roundtrip.
+            let fe2 = Fe::from_bytes(&back);
+            assert_eq!(fe2.to_bytes(), back);
+        }
+    }
+}

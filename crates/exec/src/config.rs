@@ -1,0 +1,110 @@
+//! Execution configuration.
+
+use edgelet_sim::Duration;
+
+/// Knobs controlling how a plan executes.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// How long Snapshot Builders wait for contributions before shipping
+    /// what they have.
+    pub collection_timeout: Duration,
+    /// Extra contribution-request rounds a builder sends to contributors
+    /// that have not answered yet (loss recovery at the collection stage).
+    /// Retries are spread evenly within the collection timeout.
+    pub collection_retries: u32,
+    /// How long Combiners wait for partials before finalizing (the
+    /// "right before the query deadline" margin of §2.2).
+    pub combine_timeout: Duration,
+    /// Heartbeat period cadencing K-Means iterations.
+    pub heartbeat_period: Duration,
+    /// Lloyd steps a Computer runs per heartbeat (local convergence).
+    pub lloyd_steps_per_heartbeat: usize,
+    /// Whether inter-operator payloads are AEAD-sealed under a query key.
+    pub encrypt_channels: bool,
+    /// Whether to charge device compute time (via timers) for kernels.
+    pub charge_compute_time: bool,
+    /// K-Means: fraction of the local partition used per heartbeat
+    /// (`None` = full partition; `Some(f)` resamples a fresh mini-batch
+    /// each heartbeat, the Mini-batch-K-Means behaviour of §2.2).
+    pub minibatch_fraction: Option<f64>,
+    /// Backup strategy: replica liveness probe period.
+    pub ping_period: Duration,
+    /// Backup strategy: silence span after which a replica is suspected.
+    pub suspect_timeout: Duration,
+    /// Virtual-time horizon after which periodic timers (pings,
+    /// heartbeats) stop re-arming. The driver sets this to the query
+    /// deadline so the simulation quiesces.
+    pub query_deadline: Duration,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self {
+            collection_timeout: Duration::from_secs(120),
+            collection_retries: 1,
+            combine_timeout: Duration::from_secs(480),
+            heartbeat_period: Duration::from_secs(30),
+            lloyd_steps_per_heartbeat: 3,
+            encrypt_channels: false,
+            charge_compute_time: true,
+            minibatch_fraction: None,
+            ping_period: Duration::from_secs(20),
+            suspect_timeout: Duration::from_secs(60),
+            query_deadline: Duration::from_secs(3_600),
+        }
+    }
+}
+
+impl ExecConfig {
+    /// A profile for fast unit tests: tight timers, no crypto.
+    pub fn fast() -> Self {
+        Self {
+            collection_timeout: Duration::from_secs(5),
+            collection_retries: 1,
+            combine_timeout: Duration::from_secs(30),
+            heartbeat_period: Duration::from_secs(2),
+            lloyd_steps_per_heartbeat: 2,
+            encrypt_channels: false,
+            charge_compute_time: false,
+            minibatch_fraction: None,
+            ping_period: Duration::from_secs(2),
+            suspect_timeout: Duration::from_secs(6),
+            query_deadline: Duration::from_secs(120),
+        }
+    }
+
+    /// A profile matching opportunistic-network time scales (minutes to
+    /// hours), used by the OppNet experiments.
+    pub fn opportunistic() -> Self {
+        Self {
+            collection_timeout: Duration::from_secs(3_600),
+            collection_retries: 2,
+            combine_timeout: Duration::from_secs(4 * 3_600),
+            heartbeat_period: Duration::from_secs(1_800),
+            lloyd_steps_per_heartbeat: 5,
+            encrypt_channels: false,
+            charge_compute_time: true,
+            minibatch_fraction: None,
+            ping_period: Duration::from_secs(900),
+            suspect_timeout: Duration::from_secs(2_700),
+            query_deadline: Duration::from_secs(24 * 3_600),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_sensibly() {
+        let fast = ExecConfig::fast();
+        let def = ExecConfig::default();
+        let opp = ExecConfig::opportunistic();
+        assert!(fast.collection_timeout < def.collection_timeout);
+        assert!(def.collection_timeout < opp.collection_timeout);
+        assert!(fast.heartbeat_period < opp.heartbeat_period);
+        assert!(opp.suspect_timeout > opp.ping_period);
+        assert!(def.suspect_timeout > def.ping_period);
+    }
+}

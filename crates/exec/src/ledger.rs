@@ -1,0 +1,177 @@
+//! Crowd-liability accounting.
+//!
+//! Edgelet computing's third property shifts processing liability from a
+//! single data controller to the crowd: every participant does a bounded,
+//! comparable share. The ledger records, per device, what it hosted and
+//! how much raw data it saw, so experiments can verify the spread.
+
+use edgelet_util::ids::DeviceId;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// One device's liability record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LiabilityEntry {
+    /// Operator instances hosted (primary or activated backup).
+    pub operators_hosted: u32,
+    /// Raw (pre-aggregation) tuples processed in cleartext.
+    pub raw_tuples_seen: u64,
+    /// Aggregated records processed (partials, knowledge).
+    pub aggregates_seen: u64,
+}
+
+/// The crowd-liability ledger for one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    entries: BTreeMap<DeviceId, LiabilityEntry>,
+}
+
+/// Shared handle actors use to record liability while the simulation runs.
+pub type SharedLedger = Rc<RefCell<Ledger>>;
+
+/// Creates a fresh shared ledger.
+pub fn shared() -> SharedLedger {
+    Rc::new(RefCell::new(Ledger::default()))
+}
+
+impl Ledger {
+    /// Records an operator hosted on a device.
+    pub fn host_operator(&mut self, device: DeviceId) {
+        self.entries.entry(device).or_default().operators_hosted += 1;
+    }
+
+    /// Records raw tuples processed on a device.
+    pub fn raw_tuples(&mut self, device: DeviceId, tuples: u64) {
+        self.entries.entry(device).or_default().raw_tuples_seen += tuples;
+    }
+
+    /// Records aggregated records processed on a device.
+    pub fn aggregates(&mut self, device: DeviceId, records: u64) {
+        self.entries.entry(device).or_default().aggregates_seen += records;
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &BTreeMap<DeviceId, LiabilityEntry> {
+        &self.entries
+    }
+
+    /// Largest number of raw tuples any single device saw.
+    pub fn max_raw_tuples(&self) -> u64 {
+        self.entries
+            .values()
+            .map(|e| e.raw_tuples_seen)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest operator count any single device hosted.
+    pub fn max_operators(&self) -> u32 {
+        self.entries
+            .values()
+            .map(|e| e.operators_hosted)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Gini coefficient of the raw-tuple distribution over participating
+    /// devices (0 = perfectly even liability, →1 = concentrated).
+    pub fn raw_tuple_gini(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .entries
+            .values()
+            .map(|e| e.raw_tuples_seen as f64)
+            .collect();
+        Self::gini(xs)
+    }
+
+    /// Gini coefficient restricted to devices that processed raw data —
+    /// the Data Processors among whom the paper wants liability spread
+    /// evenly (contributors only ever touch their own record).
+    pub fn processor_gini(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .entries
+            .values()
+            .filter(|e| e.raw_tuples_seen > 0)
+            .map(|e| e.raw_tuples_seen as f64)
+            .collect();
+        Self::gini(xs)
+    }
+
+    fn gini(mut xs: Vec<f64>) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("tuple counts are finite"));
+
+        let n = xs.len() as f64;
+        let total: f64 = xs.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let weighted: f64 = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (i as f64 + 1.0) * x)
+            .sum();
+        (2.0 * weighted) / (n * total) - (n + 1.0) / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut l = Ledger::default();
+        l.host_operator(DeviceId::new(1));
+        l.host_operator(DeviceId::new(1));
+        l.raw_tuples(DeviceId::new(1), 500);
+        l.aggregates(DeviceId::new(2), 3);
+        assert_eq!(l.entries()[&DeviceId::new(1)].operators_hosted, 2);
+        assert_eq!(l.entries()[&DeviceId::new(1)].raw_tuples_seen, 500);
+        assert_eq!(l.entries()[&DeviceId::new(2)].aggregates_seen, 3);
+        assert_eq!(l.max_raw_tuples(), 500);
+        assert_eq!(l.max_operators(), 2);
+    }
+
+    #[test]
+    fn gini_even_vs_concentrated() {
+        let mut even = Ledger::default();
+        for i in 0..10 {
+            even.raw_tuples(DeviceId::new(i), 100);
+        }
+        assert!(even.raw_tuple_gini().abs() < 1e-9);
+
+        let mut concentrated = Ledger::default();
+        concentrated.raw_tuples(DeviceId::new(0), 1000);
+        for i in 1..10 {
+            concentrated.raw_tuples(DeviceId::new(i), 0);
+        }
+        assert!(concentrated.raw_tuple_gini() > 0.8);
+
+        assert_eq!(Ledger::default().raw_tuple_gini(), 0.0);
+    }
+
+    #[test]
+    fn processor_gini_excludes_zero_raw_devices() {
+        let mut l = Ledger::default();
+        // Four processors with equal shares, many zero-raw contributors.
+        for i in 0..4 {
+            l.raw_tuples(DeviceId::new(i), 250);
+        }
+        for i in 10..100 {
+            l.aggregates(DeviceId::new(i), 1);
+        }
+        assert!(l.processor_gini().abs() < 1e-9, "{}", l.processor_gini());
+        assert!(l.raw_tuple_gini() > 0.5);
+    }
+
+    #[test]
+    fn shared_handle_mutates() {
+        let handle = shared();
+        handle.borrow_mut().host_operator(DeviceId::new(7));
+        assert_eq!(handle.borrow().max_operators(), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! The Snapshot Builder actor: collects one partition's share of the
+//! representative snapshot and ships vertical slices to its Computers.
+
+use crate::config::ExecConfig;
+use crate::ledger::SharedLedger;
+use crate::messages::Msg;
+use crate::roles::{RankGate, Sealer};
+use edgelet_sim::{Actor, Context, Duration, TimerToken};
+use edgelet_store::{Predicate, Row, Schema};
+use edgelet_tee::DeviceProfile;
+use edgelet_util::ids::{DeviceId, PartitionId, QueryId};
+use std::collections::BTreeSet;
+
+/// One vertical slice this builder must produce.
+#[derive(Debug, Clone)]
+pub struct SliceWiring {
+    /// Vertical group index.
+    pub attr_group: u32,
+    /// Columns of the slice.
+    pub columns: Vec<String>,
+    /// Devices hosting the Computer for this slice (primary + backups).
+    pub targets: Vec<DeviceId>,
+}
+
+/// Static wiring of one builder replica.
+#[derive(Debug, Clone)]
+pub struct BuilderWiring {
+    /// Query id.
+    pub query: QueryId,
+    /// Partition handled.
+    pub partition: PartitionId,
+    /// Tuples to collect (`C / n`).
+    pub quota: usize,
+    /// Selection predicate contributors apply.
+    pub filter: Predicate,
+    /// All columns to collect (union of slice columns).
+    pub columns: Vec<String>,
+    /// Contributors assigned to this partition.
+    pub contributors: Vec<DeviceId>,
+    /// Slices to produce.
+    pub slices: Vec<SliceWiring>,
+    /// Host device performance profile.
+    pub profile: DeviceProfile,
+}
+
+enum Phase {
+    Collecting,
+    Computing,
+    Shipped,
+}
+
+/// The Snapshot Builder actor.
+pub struct BuilderActor {
+    wiring: BuilderWiring,
+    config: ExecConfig,
+    sealer: Sealer,
+    ledger: SharedLedger,
+    schema: Schema,
+    gate: RankGate,
+    collected: Vec<Row>,
+    responded: BTreeSet<DeviceId>,
+    retries_left: u32,
+    phase: Phase,
+    collection_timer: Option<TimerToken>,
+    retry_timer: Option<TimerToken>,
+    compute_timer: Option<TimerToken>,
+    ping_timer: Option<TimerToken>,
+    pending_output: Vec<(DeviceId, Vec<u8>)>,
+}
+
+impl BuilderActor {
+    /// Creates a builder replica. `schema` is the shared database schema;
+    /// `gate` carries the replica rank (rank 0 for the primary).
+    pub fn new(
+        wiring: BuilderWiring,
+        config: ExecConfig,
+        sealer: Sealer,
+        ledger: SharedLedger,
+        schema: Schema,
+        gate: RankGate,
+    ) -> Self {
+        let config_retries = config.collection_retries;
+        Self {
+            wiring,
+            config,
+            sealer,
+            ledger,
+            schema,
+            gate,
+            collected: Vec::new(),
+            responded: BTreeSet::new(),
+            retries_left: config_retries,
+            phase: Phase::Collecting,
+            collection_timer: None,
+            retry_timer: None,
+            compute_timer: None,
+            ping_timer: None,
+            pending_output: Vec::new(),
+        }
+    }
+
+    /// Sub-schema of the collected rows (columns in collection order).
+    fn collected_schema(&self) -> Schema {
+        let names: Vec<&str> = self.wiring.columns.iter().map(|s| s.as_str()).collect();
+        self.schema
+            .project(&names)
+            .expect("wiring columns validated at plan time")
+    }
+
+    fn finish_collection(&mut self, ctx: &mut Context<'_>) {
+        self.phase = Phase::Computing;
+        if let Some(t) = self.collection_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        if let Some(t) = self.retry_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.ledger
+            .borrow_mut()
+            .raw_tuples(ctx.device(), self.collected.len() as u64);
+        if self.config.charge_compute_time {
+            let secs = self.wiring.profile.compute_seconds(self.collected.len());
+            self.compute_timer = Some(ctx.set_timer(Duration::from_secs_f64(secs)));
+        } else {
+            self.ship(ctx);
+        }
+    }
+
+    fn ship(&mut self, ctx: &mut Context<'_>) {
+        self.phase = Phase::Shipped;
+        let complete = self.collected.len() >= self.wiring.quota;
+        let sub_schema = self.collected_schema();
+        ctx.observe(
+            "partition_fill",
+            self.collected.len() as f64 / self.wiring.quota.max(1) as f64,
+        );
+        let slices = self.wiring.slices.clone();
+        for slice in &slices {
+            let names: Vec<&str> = slice.columns.iter().map(|s| s.as_str()).collect();
+            let rows: Vec<Row> = self
+                .collected
+                .iter()
+                .map(|r| {
+                    r.project(&sub_schema, &names)
+                        .expect("slice columns are a subset of collected columns")
+                })
+                .collect();
+            let msg = Msg::PartitionData {
+                query: self.wiring.query,
+                partition: self.wiring.partition,
+                attr_group: slice.attr_group,
+                columns: slice.columns.clone(),
+                rows,
+                complete,
+            };
+            let bytes = self.sealer.wrap(&msg);
+            for &target in &slice.targets {
+                if self.gate.is_active() {
+                    ctx.send(target, bytes.clone());
+                } else {
+                    self.pending_output.push((target, bytes.clone()));
+                }
+            }
+        }
+    }
+
+    fn flush_pending(&mut self, ctx: &mut Context<'_>) {
+        for (target, bytes) in std::mem::take(&mut self.pending_output) {
+            ctx.send(target, bytes);
+        }
+    }
+
+    /// Interval between contribution-request rounds.
+    fn retry_interval(&self) -> Duration {
+        Duration::from_secs_f64(
+            self.config.collection_timeout.as_secs_f64()
+                / (f64::from(self.config.collection_retries) + 1.0),
+        )
+    }
+
+    fn request_contributions(&mut self, ctx: &mut Context<'_>, targets: Vec<DeviceId>) {
+        if targets.is_empty() {
+            return;
+        }
+        let request = Msg::ContributeRequest {
+            query: self.wiring.query,
+            filter: self.wiring.filter.clone(),
+            columns: self.wiring.columns.clone(),
+        };
+        let bytes = self.sealer.wrap(&request);
+        ctx.broadcast(targets, bytes);
+    }
+
+    fn arm_ping(&mut self, ctx: &mut Context<'_>) {
+        // Backups monitor lower ranks until they either take over (and
+        // have flushed) or the query deadline passes; actives never ping.
+        let done = self.gate.is_active()
+            && matches!(self.phase, Phase::Shipped)
+            && self.pending_output.is_empty();
+        let past_deadline =
+            ctx.now().as_secs_f64() >= self.config.query_deadline.as_secs_f64();
+        if self.gate.rank > 0 && !done && !past_deadline {
+            self.ping_timer = Some(ctx.set_timer(self.config.ping_period));
+        }
+    }
+}
+
+impl Actor for BuilderActor {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.ledger.borrow_mut().host_operator(ctx.device());
+        let contributors = self.wiring.contributors.clone();
+        self.request_contributions(ctx, contributors);
+        self.collection_timer = Some(ctx.set_timer(self.config.collection_timeout));
+        if self.retries_left > 0 {
+            self.retry_timer = Some(ctx.set_timer(self.retry_interval()));
+        }
+        self.arm_ping(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: DeviceId, payload: &[u8]) {
+        let Ok(msg) = self.sealer.unwrap(payload) else {
+            ctx.observe("corrupt_messages", 1.0);
+            return;
+        };
+        match msg {
+            Msg::Contribution { query, rows } if query == self.wiring.query => {
+                if !matches!(self.phase, Phase::Collecting) {
+                    return; // late contribution; snapshot already built
+                }
+                if !self.responded.insert(from) {
+                    return; // duplicate answer (a retry round crossed it)
+                }
+                let room = self.wiring.quota.saturating_sub(self.collected.len());
+                self.collected.extend(rows.into_iter().take(room));
+                if self.collected.len() >= self.wiring.quota {
+                    self.finish_collection(ctx);
+                }
+            }
+            Msg::Ping { query, .. } if query == self.wiring.query => {
+                let pong = Msg::Pong {
+                    query,
+                    from_rank: self.gate.rank,
+                };
+                let bytes = self.sealer.wrap(&pong);
+                ctx.send(from, bytes);
+            }
+            Msg::Pong { query, .. } if query == self.wiring.query => {
+                self.gate.saw(from, ctx.now().as_secs_f64());
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        if Some(token) == self.collection_timer {
+            self.collection_timer = None;
+            if matches!(self.phase, Phase::Collecting) {
+                self.finish_collection(ctx);
+            }
+        } else if Some(token) == self.retry_timer {
+            self.retry_timer = None;
+            if matches!(self.phase, Phase::Collecting)
+                && self.retries_left > 0
+                && self.collected.len() < self.wiring.quota
+            {
+                self.retries_left -= 1;
+                ctx.observe("collection_retries", 1.0);
+                let silent: Vec<DeviceId> = self
+                    .wiring
+                    .contributors
+                    .iter()
+                    .copied()
+                    .filter(|d| !self.responded.contains(d))
+                    .collect();
+                self.request_contributions(ctx, silent);
+                if self.retries_left > 0 {
+                    self.retry_timer = Some(ctx.set_timer(self.retry_interval()));
+                }
+            }
+        } else if Some(token) == self.compute_timer {
+            self.compute_timer = None;
+            self.ship(ctx);
+        } else if Some(token) == self.ping_timer {
+            // Probe lower ranks and re-evaluate activation.
+            let ping = Msg::Ping {
+                query: self.wiring.query,
+                from_rank: self.gate.rank,
+            };
+            let bytes = self.sealer.wrap(&ping);
+            ctx.broadcast(self.gate.lower.clone(), bytes);
+            if self
+                .gate
+                .evaluate(ctx.now().as_secs_f64(), self.config.suspect_timeout.as_secs_f64())
+            {
+                ctx.observe("backup_takeovers", 1.0);
+                self.flush_pending(ctx);
+            }
+            self.arm_ping(ctx);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The Data Contributor actor: answers contribution requests from its
+//! owner's personal store.
+
+use crate::ledger::SharedLedger;
+use crate::messages::Msg;
+use crate::roles::Sealer;
+use edgelet_sim::{Actor, Context};
+use edgelet_store::DataStore;
+use edgelet_util::ids::{DeviceId, QueryId};
+
+/// Actor holding one individual's data store.
+pub struct ContributorActor {
+    query: QueryId,
+    store: DataStore,
+    sealer: Sealer,
+    ledger: SharedLedger,
+    /// Upper bound on rows contributed per request (the owner's consent
+    /// may cap how much leaves the device; usually 1 record anyway).
+    max_rows: usize,
+}
+
+impl ContributorActor {
+    /// Creates a contributor endpoint.
+    pub fn new(
+        query: QueryId,
+        store: DataStore,
+        sealer: Sealer,
+        ledger: SharedLedger,
+        max_rows: usize,
+    ) -> Self {
+        Self {
+            query,
+            store,
+            sealer,
+            ledger,
+            max_rows,
+        }
+    }
+}
+
+impl Actor for ContributorActor {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: DeviceId, payload: &[u8]) {
+        let Ok(msg) = self.sealer.unwrap(payload) else {
+            ctx.observe("corrupt_messages", 1.0);
+            return;
+        };
+        let Msg::ContributeRequest {
+            query,
+            filter,
+            columns,
+        } = msg
+        else {
+            return; // contributors only serve contribution requests
+        };
+        if query != self.query {
+            return;
+        }
+        let names: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+        let rows = match self.store.scan_project(&filter, &names) {
+            Ok(mut rows) => {
+                rows.truncate(self.max_rows);
+                rows
+            }
+            Err(_) => Vec::new(), // schema mismatch: contribute nothing
+        };
+        if rows.is_empty() {
+            return; // nothing matching; silence = no contribution
+        }
+        let reply = Msg::Contribution {
+            query: self.query,
+            rows,
+        };
+        let bytes = self.sealer.wrap(&reply);
+        self.ledger.borrow_mut().host_operator(ctx.device());
+        ctx.send(from, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger;
+    use edgelet_sim::{DeviceConfig, Duration, NetworkModel, SimConfig, Simulation};
+    use edgelet_store::synth;
+    use edgelet_store::{CmpOp, Predicate, Value};
+    use edgelet_util::rng::DetRng;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Probe {
+        target: DeviceId,
+        request: Msg,
+        sealer: Sealer,
+        got: Rc<RefCell<Vec<Msg>>>,
+    }
+    impl Actor for Probe {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let bytes = self.sealer.wrap(&self.request);
+            ctx.send(self.target, bytes);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: DeviceId, payload: &[u8]) {
+            self.got.borrow_mut().push(self.sealer.unwrap(payload).unwrap());
+        }
+    }
+
+    fn run_request(request: Msg, store_rows: usize) -> Vec<Msg> {
+        let mut sim = Simulation::new(
+            SimConfig {
+                network: NetworkModel::reliable(Duration::from_millis(5)),
+                ..SimConfig::default()
+            },
+            42,
+        );
+        let probe_dev = sim.add_device(DeviceConfig::default());
+        let contrib_dev = sim.add_device(DeviceConfig::default());
+        let mut rng = DetRng::new(9);
+        let store = synth::health_store(store_rows, &mut rng);
+        let sealer = Sealer::new(false, &[0u8; 32], QueryId::new(1), contrib_dev);
+        sim.install_actor(
+            contrib_dev,
+            Box::new(ContributorActor::new(
+                QueryId::new(1),
+                store,
+                sealer,
+                ledger::shared(),
+                10,
+            )),
+        );
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.install_actor(
+            probe_dev,
+            Box::new(Probe {
+                target: contrib_dev,
+                request,
+                sealer: Sealer::new(false, &[0u8; 32], QueryId::new(1), probe_dev),
+                got: got.clone(),
+            }),
+        );
+        sim.run();
+        let out = got.borrow().clone();
+        out
+    }
+
+    #[test]
+    fn contributes_matching_projected_rows() {
+        let got = run_request(
+            Msg::ContributeRequest {
+                query: QueryId::new(1),
+                filter: Predicate::cmp("age", CmpOp::Gt, Value::Int(0)),
+                columns: vec!["age".into(), "gir".into()],
+            },
+            5,
+        );
+        assert_eq!(got.len(), 1);
+        let Msg::Contribution { rows, .. } = &got[0] else {
+            panic!("expected contribution")
+        };
+        assert!(!rows.is_empty() && rows.len() <= 5);
+        assert!(rows.iter().all(|r| r.arity() == 2));
+    }
+
+    #[test]
+    fn silent_when_nothing_matches_or_wrong_query() {
+        let got = run_request(
+            Msg::ContributeRequest {
+                query: QueryId::new(1),
+                filter: Predicate::cmp("age", CmpOp::Gt, Value::Int(500)),
+                columns: vec!["age".into()],
+            },
+            5,
+        );
+        assert!(got.is_empty());
+
+        let got = run_request(
+            Msg::ContributeRequest {
+                query: QueryId::new(99),
+                filter: Predicate::True,
+                columns: vec!["age".into()],
+            },
+            5,
+        );
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn bad_predicate_contributes_nothing() {
+        let got = run_request(
+            Msg::ContributeRequest {
+                query: QueryId::new(1),
+                filter: Predicate::cmp("no_such_column", CmpOp::Eq, Value::Int(1)),
+                columns: vec!["age".into()],
+            },
+            5,
+        );
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn max_rows_cap_applies() {
+        let got = run_request(
+            Msg::ContributeRequest {
+                query: QueryId::new(1),
+                filter: Predicate::True,
+                columns: vec!["age".into()],
+            },
+            50,
+        );
+        let Msg::Contribution { rows, .. } = &got[0] else {
+            panic!("expected contribution")
+        };
+        assert_eq!(rows.len(), 10, "cap of 10 applies");
+    }
+}

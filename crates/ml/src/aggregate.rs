@@ -1,0 +1,641 @@
+//! Distributive aggregates with mergeable partial states.
+//!
+//! The Overcollection strategy (§2.2) requires operators to be
+//! *distributive*: a partial state computed on each partition, merged
+//! associatively, finalized once. COUNT, SUM, MIN and MAX are distributive;
+//! AVG is algebraic and decomposes into SUM + COUNT, which is what
+//! [`PartialAgg::Avg`] carries.
+
+use edgelet_store::value::Value;
+use edgelet_store::{Row, Schema};
+use edgelet_util::{Error, Result};
+use edgelet_wire::{Decode, Encode, Reader, Writer};
+use std::fmt;
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// Row count (column ignored beyond null-skipping when named).
+    Count,
+    /// Sum of a numeric column.
+    Sum,
+    /// Minimum of a column.
+    Min,
+    /// Maximum of a column.
+    Max,
+    /// Average of a numeric column (decomposed into sum + count).
+    Avg,
+    /// Population variance of a numeric column (sum + sum of squares +
+    /// count: algebraic, hence mergeable).
+    Var,
+    /// Population standard deviation (same partial state as `Var`).
+    StdDev,
+}
+
+impl fmt::Display for AggKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggKind::Count => "COUNT",
+            AggKind::Sum => "SUM",
+            AggKind::Min => "MIN",
+            AggKind::Max => "MAX",
+            AggKind::Avg => "AVG",
+            AggKind::Var => "VAR",
+            AggKind::StdDev => "STDDEV",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One aggregate column of a query, e.g. `AVG(bmi)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggSpec {
+    /// The function.
+    pub kind: AggKind,
+    /// The input column (`None` only for `COUNT(*)`).
+    pub column: Option<String>,
+}
+
+impl AggSpec {
+    /// `COUNT(*)`.
+    pub fn count_star() -> Self {
+        Self {
+            kind: AggKind::Count,
+            column: None,
+        }
+    }
+
+    /// An aggregate over a named column.
+    pub fn over(kind: AggKind, column: &str) -> Self {
+        Self {
+            kind,
+            column: Some(column.to_string()),
+        }
+    }
+
+    /// Validates against a schema: the column must exist, and numeric
+    /// aggregates need numeric input.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        match (&self.column, self.kind) {
+            (None, AggKind::Count) => Ok(()),
+            (None, k) => Err(Error::InvalidQuery(format!("{k} requires a column"))),
+            (Some(c), k) => {
+                let col = schema.column(c)?;
+                match k {
+                    AggKind::Sum | AggKind::Avg | AggKind::Var | AggKind::StdDev => match col.ty {
+                        edgelet_store::ColumnType::Int | edgelet_store::ColumnType::Float => {
+                            Ok(())
+                        }
+                        other => Err(Error::InvalidQuery(format!(
+                            "{k}({c}) needs a numeric column, `{c}` is {other}"
+                        ))),
+                    },
+                    _ => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Fresh (empty) partial state.
+    pub fn init(&self) -> PartialAgg {
+        match self.kind {
+            AggKind::Count => PartialAgg::Count(0),
+            AggKind::Sum => PartialAgg::Sum(0.0),
+            AggKind::Min => PartialAgg::Min(None),
+            AggKind::Max => PartialAgg::Max(None),
+            AggKind::Avg => PartialAgg::Avg { sum: 0.0, count: 0 },
+            AggKind::Var | AggKind::StdDev => PartialAgg::Moments {
+                sum: 0.0,
+                sum_sq: 0.0,
+                count: 0,
+            },
+        }
+    }
+
+    /// Folds one row into a partial state.
+    pub fn update(&self, state: &mut PartialAgg, schema: &Schema, row: &Row) -> Result<()> {
+        let cell: Option<&Value> = match &self.column {
+            None => None,
+            Some(c) => Some(row.get(schema.index_of(c)?).ok_or_else(|| {
+                Error::Schema(format!("row too short for aggregate column `{c}`"))
+            })?),
+        };
+        match (state, self.kind) {
+            (PartialAgg::Count(n), AggKind::Count) => {
+                // COUNT(col) skips nulls; COUNT(*) counts every row.
+                if cell.map(|v| !v.is_null()).unwrap_or(true) {
+                    *n += 1;
+                }
+            }
+            (PartialAgg::Sum(s), AggKind::Sum) => {
+                if let Some(x) = cell.and_then(|v| v.as_f64()) {
+                    *s += x;
+                }
+            }
+            (PartialAgg::Min(m), AggKind::Min) => {
+                if let Some(v) = cell {
+                    if !v.is_null() {
+                        let replace = match m {
+                            None => true,
+                            Some(cur) => {
+                                matches!(v.compare(cur), Some(std::cmp::Ordering::Less))
+                            }
+                        };
+                        if replace {
+                            *m = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            (PartialAgg::Max(m), AggKind::Max) => {
+                if let Some(v) = cell {
+                    if !v.is_null() {
+                        let replace = match m {
+                            None => true,
+                            Some(cur) => {
+                                matches!(v.compare(cur), Some(std::cmp::Ordering::Greater))
+                            }
+                        };
+                        if replace {
+                            *m = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            (PartialAgg::Avg { sum, count }, AggKind::Avg) => {
+                if let Some(x) = cell.and_then(|v| v.as_f64()) {
+                    *sum += x;
+                    *count += 1;
+                }
+            }
+            (
+                PartialAgg::Moments { sum, sum_sq, count },
+                AggKind::Var | AggKind::StdDev,
+            ) => {
+                if let Some(x) = cell.and_then(|v| v.as_f64()) {
+                    *sum += x;
+                    *sum_sq += x * x;
+                    *count += 1;
+                }
+            }
+            (state, kind) => {
+                return Err(Error::InvalidQuery(format!(
+                    "partial state {state:?} does not match aggregate {kind}"
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AggSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.column {
+            None => write!(f, "{}(*)", self.kind),
+            Some(c) => write!(f, "{}({c})", self.kind),
+        }
+    }
+}
+
+/// Mergeable partial aggregate state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartialAgg {
+    /// Running count.
+    Count(u64),
+    /// Running sum.
+    Sum(f64),
+    /// Running minimum.
+    Min(Option<Value>),
+    /// Running maximum.
+    Max(Option<Value>),
+    /// Running sum + count for AVG.
+    Avg {
+        /// Sum of inputs.
+        sum: f64,
+        /// Count of non-null inputs.
+        count: u64,
+    },
+    /// Running first and second moments for VAR/STDDEV.
+    Moments {
+        /// Sum of inputs.
+        sum: f64,
+        /// Sum of squared inputs.
+        sum_sq: f64,
+        /// Count of non-null inputs.
+        count: u64,
+    },
+}
+
+impl PartialAgg {
+    /// Merges another partial of the same shape into this one.
+    pub fn merge(&mut self, other: &PartialAgg) -> Result<()> {
+        match (self, other) {
+            (PartialAgg::Count(a), PartialAgg::Count(b)) => *a += b,
+            (PartialAgg::Sum(a), PartialAgg::Sum(b)) => *a += b,
+            (PartialAgg::Min(a), PartialAgg::Min(b)) => {
+                if let Some(bv) = b {
+                    let replace = match &a {
+                        None => true,
+                        Some(av) => {
+                            matches!(bv.compare(av), Some(std::cmp::Ordering::Less))
+                        }
+                    };
+                    if replace {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (PartialAgg::Max(a), PartialAgg::Max(b)) => {
+                if let Some(bv) = b {
+                    let replace = match &a {
+                        None => true,
+                        Some(av) => {
+                            matches!(bv.compare(av), Some(std::cmp::Ordering::Greater))
+                        }
+                    };
+                    if replace {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (
+                PartialAgg::Avg { sum: a_s, count: a_c },
+                PartialAgg::Avg { sum: b_s, count: b_c },
+            ) => {
+                *a_s += b_s;
+                *a_c += b_c;
+            }
+            (
+                PartialAgg::Moments {
+                    sum: a_s,
+                    sum_sq: a_q,
+                    count: a_c,
+                },
+                PartialAgg::Moments {
+                    sum: b_s,
+                    sum_sq: b_q,
+                    count: b_c,
+                },
+            ) => {
+                *a_s += b_s;
+                *a_q += b_q;
+                *a_c += b_c;
+            }
+            (a, b) => {
+                return Err(Error::Protocol(format!(
+                    "cannot merge mismatched partials {a:?} / {b:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes to a result value.
+    pub fn finalize(&self) -> Value {
+        match self {
+            PartialAgg::Count(n) => Value::Int(*n as i64),
+            PartialAgg::Sum(s) => Value::Float(*s),
+            PartialAgg::Min(v) | PartialAgg::Max(v) => {
+                v.clone().unwrap_or(Value::Null)
+            }
+            PartialAgg::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / *count as f64)
+                }
+            }
+            PartialAgg::Moments { sum, sum_sq, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    let n = *count as f64;
+                    let mean = sum / n;
+                    // Guard tiny negative values from float cancellation.
+                    Value::Float((sum_sq / n - mean * mean).max(0.0))
+                }
+            }
+        }
+    }
+
+    /// Finalizes interpreting the state for the given aggregate kind
+    /// (VAR and STDDEV share the moments state but finalize differently).
+    pub fn finalize_as(&self, kind: AggKind) -> Value {
+        match (self, kind) {
+            (PartialAgg::Moments { .. }, AggKind::StdDev) => match self.finalize() {
+                Value::Float(var) => Value::Float(var.sqrt()),
+                other => other,
+            },
+            _ => self.finalize(),
+        }
+    }
+}
+
+const TAG_COUNT: u64 = 0;
+const TAG_SUM: u64 = 1;
+const TAG_MIN: u64 = 2;
+const TAG_MAX: u64 = 3;
+const TAG_AVG: u64 = 4;
+const TAG_MOMENTS: u64 = 5;
+
+impl Encode for PartialAgg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            PartialAgg::Count(n) => {
+                w.put_varint(TAG_COUNT);
+                n.encode(w);
+            }
+            PartialAgg::Sum(s) => {
+                w.put_varint(TAG_SUM);
+                s.encode(w);
+            }
+            PartialAgg::Min(v) => {
+                w.put_varint(TAG_MIN);
+                v.encode(w);
+            }
+            PartialAgg::Max(v) => {
+                w.put_varint(TAG_MAX);
+                v.encode(w);
+            }
+            PartialAgg::Avg { sum, count } => {
+                w.put_varint(TAG_AVG);
+                sum.encode(w);
+                count.encode(w);
+            }
+            PartialAgg::Moments { sum, sum_sq, count } => {
+                w.put_varint(TAG_MOMENTS);
+                sum.encode(w);
+                sum_sq.encode(w);
+                count.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for PartialAgg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.varint()? {
+            TAG_COUNT => Ok(PartialAgg::Count(u64::decode(r)?)),
+            TAG_SUM => Ok(PartialAgg::Sum(f64::decode(r)?)),
+            TAG_MIN => Ok(PartialAgg::Min(Option::<Value>::decode(r)?)),
+            TAG_MAX => Ok(PartialAgg::Max(Option::<Value>::decode(r)?)),
+            TAG_AVG => Ok(PartialAgg::Avg {
+                sum: f64::decode(r)?,
+                count: u64::decode(r)?,
+            }),
+            TAG_MOMENTS => Ok(PartialAgg::Moments {
+                sum: f64::decode(r)?,
+                sum_sq: f64::decode(r)?,
+                count: u64::decode(r)?,
+            }),
+            other => Err(Error::Decode(format!("invalid partial agg tag {other}"))),
+        }
+    }
+}
+
+impl Encode for AggSpec {
+    fn encode(&self, w: &mut Writer) {
+        let tag: u8 = match self.kind {
+            AggKind::Count => 0,
+            AggKind::Sum => 1,
+            AggKind::Min => 2,
+            AggKind::Max => 3,
+            AggKind::Avg => 4,
+            AggKind::Var => 5,
+            AggKind::StdDev => 6,
+        };
+        tag.encode(w);
+        self.column.encode(w);
+    }
+}
+
+impl Decode for AggSpec {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let kind = match u8::decode(r)? {
+            0 => AggKind::Count,
+            1 => AggKind::Sum,
+            2 => AggKind::Min,
+            3 => AggKind::Max,
+            4 => AggKind::Avg,
+            5 => AggKind::Var,
+            6 => AggKind::StdDev,
+            other => return Err(Error::Decode(format!("invalid agg kind tag {other}"))),
+        };
+        Ok(AggSpec {
+            kind,
+            column: Option::<String>::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgelet_store::ColumnType;
+    use edgelet_wire::{from_bytes, to_bytes};
+    use proptest::prelude::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("age", ColumnType::Int), ("bmi", ColumnType::Float)]).unwrap()
+    }
+
+    fn row(age: Option<i64>, bmi: f64) -> Row {
+        Row::new(vec![
+            age.map(Value::Int).unwrap_or(Value::Null),
+            Value::Float(bmi),
+        ])
+    }
+
+    #[test]
+    fn count_star_vs_count_column() {
+        let s = schema();
+        let star = AggSpec::count_star();
+        let col = AggSpec::over(AggKind::Count, "age");
+        let mut st_star = star.init();
+        let mut st_col = col.init();
+        for r in [row(Some(1), 20.0), row(None, 21.0), row(Some(3), 22.0)] {
+            star.update(&mut st_star, &s, &r).unwrap();
+            col.update(&mut st_col, &s, &r).unwrap();
+        }
+        assert_eq!(st_star.finalize(), Value::Int(3));
+        assert_eq!(st_col.finalize(), Value::Int(2));
+    }
+
+    #[test]
+    fn sum_min_max_avg() {
+        let s = schema();
+        let rows = [row(Some(70), 20.0), row(Some(80), 30.0), row(None, 25.0)];
+        let mut states: Vec<(AggSpec, PartialAgg)> = [
+            AggSpec::over(AggKind::Sum, "bmi"),
+            AggSpec::over(AggKind::Min, "age"),
+            AggSpec::over(AggKind::Max, "age"),
+            AggSpec::over(AggKind::Avg, "bmi"),
+        ]
+        .into_iter()
+        .map(|spec| {
+            let st = spec.init();
+            (spec, st)
+        })
+        .collect();
+        for r in &rows {
+            for (spec, st) in states.iter_mut() {
+                spec.update(st, &s, r).unwrap();
+            }
+        }
+        assert_eq!(states[0].1.finalize(), Value::Float(75.0));
+        assert_eq!(states[1].1.finalize(), Value::Int(70));
+        assert_eq!(states[2].1.finalize(), Value::Int(80));
+        assert_eq!(states[3].1.finalize(), Value::Float(25.0));
+    }
+
+    #[test]
+    fn empty_states_finalize_sensibly() {
+        assert_eq!(AggSpec::count_star().init().finalize(), Value::Int(0));
+        assert_eq!(
+            AggSpec::over(AggKind::Sum, "bmi").init().finalize(),
+            Value::Float(0.0)
+        );
+        assert_eq!(
+            AggSpec::over(AggKind::Min, "age").init().finalize(),
+            Value::Null
+        );
+        assert_eq!(
+            AggSpec::over(AggKind::Avg, "bmi").init().finalize(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn validation() {
+        let s = schema();
+        AggSpec::count_star().validate(&s).unwrap();
+        AggSpec::over(AggKind::Avg, "bmi").validate(&s).unwrap();
+        assert!(AggSpec::over(AggKind::Sum, "nope").validate(&s).is_err());
+        let text_schema = Schema::new(vec![("name", ColumnType::Text)]).unwrap();
+        assert!(AggSpec::over(AggKind::Sum, "name").validate(&text_schema).is_err());
+        AggSpec::over(AggKind::Min, "name").validate(&text_schema).unwrap();
+        assert!(
+            AggSpec {
+                kind: AggKind::Sum,
+                column: None
+            }
+            .validate(&s)
+            .is_err()
+        );
+    }
+
+    #[test]
+    fn variance_matches_direct_computation() {
+        let s = schema();
+        let xs = [2.0f64, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let spec = AggSpec::over(AggKind::Var, "bmi");
+        let mut st = spec.init();
+        for &x in &xs {
+            spec.update(&mut st, &s, &row(Some(1), x)).unwrap();
+        }
+        // Known population variance of this classic sample is 4.
+        assert_eq!(st.finalize(), Value::Float(4.0));
+        assert_eq!(st.finalize_as(AggKind::StdDev), Value::Float(2.0));
+        // Var over no inputs is null.
+        assert_eq!(spec.init().finalize(), Value::Null);
+    }
+
+    #[test]
+    fn variance_is_distributive() {
+        let s = schema();
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64) * 0.7 - 10.0).collect();
+        let spec = AggSpec::over(AggKind::Var, "bmi");
+        let mut whole = spec.init();
+        for &x in &xs {
+            spec.update(&mut whole, &s, &row(Some(1), x)).unwrap();
+        }
+        let mut a = spec.init();
+        let mut b = spec.init();
+        for &x in &xs[..20] {
+            spec.update(&mut a, &s, &row(Some(1), x)).unwrap();
+        }
+        for &x in &xs[20..] {
+            spec.update(&mut b, &s, &row(Some(1), x)).unwrap();
+        }
+        a.merge(&b).unwrap();
+        let (Value::Float(va), Value::Float(vw)) = (a.finalize(), whole.finalize()) else {
+            panic!("floats expected");
+        };
+        assert!((va - vw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stddev_on_text_rejected() {
+        let text_schema = Schema::new(vec![("name", ColumnType::Text)]).unwrap();
+        assert!(AggSpec::over(AggKind::StdDev, "name")
+            .validate(&text_schema)
+            .is_err());
+        assert!(AggSpec::over(AggKind::Var, "name")
+            .validate(&text_schema)
+            .is_err());
+    }
+
+    #[test]
+    fn merge_mismatch_fails() {
+        let mut a = PartialAgg::Count(1);
+        assert!(a.merge(&PartialAgg::Sum(2.0)).is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for p in [
+            PartialAgg::Count(7),
+            PartialAgg::Sum(-1.5),
+            PartialAgg::Min(Some(Value::Int(3))),
+            PartialAgg::Max(None),
+            PartialAgg::Avg { sum: 10.0, count: 4 },
+            PartialAgg::Moments {
+                sum: 3.0,
+                sum_sq: 5.0,
+                count: 2,
+            },
+        ] {
+            let back: PartialAgg = from_bytes(&to_bytes(&p)).unwrap();
+            assert_eq!(back, p);
+        }
+        let spec = AggSpec::over(AggKind::Avg, "bmi");
+        let back: AggSpec = from_bytes(&to_bytes(&spec)).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    proptest! {
+        /// Distributivity: fold(all) == merge(fold(chunk_1), ..., fold(chunk_k)).
+        #[test]
+        fn prop_merge_equals_global_fold(
+            ages in prop::collection::vec(0i64..100, 1..60),
+            split in any::<prop::sample::Index>(),
+        ) {
+            let s = Schema::new(vec![("age", ColumnType::Int)]).unwrap();
+            let rows: Vec<Row> = ages.iter().map(|&a| Row::new(vec![Value::Int(a)])).collect();
+            let cut = split.index(rows.len());
+            for spec in [
+                AggSpec::count_star(),
+                AggSpec::over(AggKind::Sum, "age"),
+                AggSpec::over(AggKind::Min, "age"),
+                AggSpec::over(AggKind::Max, "age"),
+                AggSpec::over(AggKind::Avg, "age"),
+                AggSpec::over(AggKind::Var, "age"),
+            ] {
+                let mut global = spec.init();
+                for r in &rows {
+                    spec.update(&mut global, &s, r).unwrap();
+                }
+                let mut left = spec.init();
+                for r in &rows[..cut] {
+                    spec.update(&mut left, &s, r).unwrap();
+                }
+                let mut right = spec.init();
+                for r in &rows[cut..] {
+                    spec.update(&mut right, &s, r).unwrap();
+                }
+                left.merge(&right).unwrap();
+                prop_assert_eq!(left.finalize(), global.finalize());
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Distributed K-Means knowledge: weighted centroid sets.
+//!
+//! In the paper's iterative execution (§2.2), each Computer alternates a
+//! *local convergence* phase (improving its centroids on its partition) and
+//! a *synchronization* phase where it merges the centroid sets it "has
+//! heard of", taking "the barycenter for each centroid". A [`CentroidSet`]
+//! is the unit of exchanged knowledge: `k` centroids with the data weight
+//! backing each, merged index-wise by weighted barycenter. Index-wise
+//! merging is meaningful because every Computer starts from the same
+//! broadcast seed centroids.
+
+use crate::kmeans::Point;
+use edgelet_util::{Error, Result};
+use edgelet_wire::{Decode, Encode, Reader, Writer};
+
+/// Exchanged K-Means knowledge: centroids plus their supporting weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentroidSet {
+    /// Cluster centers.
+    pub centroids: Vec<Point>,
+    /// Weight (number of points) behind each centroid.
+    pub weights: Vec<f64>,
+}
+
+impl CentroidSet {
+    /// Builds a set; centroid/weight arity must match.
+    pub fn new(centroids: Vec<Point>, weights: Vec<f64>) -> Result<Self> {
+        if centroids.len() != weights.len() {
+            return Err(Error::InvalidConfig(format!(
+                "{} centroids but {} weights",
+                centroids.len(),
+                weights.len()
+            )));
+        }
+        if let Some(first) = centroids.first() {
+            let dim = first.len();
+            if centroids.iter().any(|c| c.len() != dim) {
+                return Err(Error::InvalidConfig("inconsistent centroid dims".into()));
+            }
+        }
+        Ok(Self { centroids, weights })
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Merges peer knowledge index-wise by weighted barycenter.
+    ///
+    /// A centroid with zero total weight keeps this set's position.
+    pub fn merge(&mut self, other: &CentroidSet) -> Result<()> {
+        if self.k() != other.k() {
+            return Err(Error::Protocol(format!(
+                "cannot merge knowledge with k={} into k={}",
+                other.k(),
+                self.k()
+            )));
+        }
+        for i in 0..self.k() {
+            let w1 = self.weights[i];
+            let w2 = other.weights[i];
+            let total = w1 + w2;
+            if total <= 0.0 {
+                continue;
+            }
+            if self.centroids[i].len() != other.centroids[i].len() {
+                return Err(Error::Protocol("centroid dimension mismatch".into()));
+            }
+            for (a, b) in self.centroids[i].iter_mut().zip(&other.centroids[i]) {
+                *a = (*a * w1 + *b * w2) / total;
+            }
+            self.weights[i] = total;
+        }
+        Ok(())
+    }
+
+    /// Merges many sets into the first (returns an error if any is
+    /// incompatible; earlier merges stick).
+    pub fn merge_all<'a>(
+        mut base: CentroidSet,
+        others: impl IntoIterator<Item = &'a CentroidSet>,
+    ) -> Result<CentroidSet> {
+        for o in others {
+            base.merge(o)?;
+        }
+        Ok(base)
+    }
+
+    /// Total weight across clusters.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+}
+
+impl Encode for CentroidSet {
+    fn encode(&self, w: &mut Writer) {
+        self.centroids.encode(w);
+        self.weights.encode(w);
+    }
+}
+
+impl Decode for CentroidSet {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let centroids = Vec::<Point>::decode(r)?;
+        let weights = Vec::<f64>::decode(r)?;
+        CentroidSet::new(centroids, weights).map_err(|e| Error::Decode(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgelet_wire::{from_bytes, to_bytes};
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(CentroidSet::new(vec![vec![1.0]], vec![1.0, 2.0]).is_err());
+        assert!(CentroidSet::new(vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 1.0]).is_err());
+        let s = CentroidSet::new(vec![vec![1.0], vec![2.0]], vec![3.0, 4.0]).unwrap();
+        assert_eq!(s.k(), 2);
+        assert_eq!(s.total_weight(), 7.0);
+    }
+
+    #[test]
+    fn weighted_barycenter() {
+        let mut a = CentroidSet::new(vec![vec![0.0, 0.0]], vec![1.0]).unwrap();
+        let b = CentroidSet::new(vec![vec![3.0, 6.0]], vec![2.0]).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.centroids[0], vec![2.0, 4.0]);
+        assert_eq!(a.weights[0], 3.0);
+    }
+
+    #[test]
+    fn zero_weight_peer_is_ignored() {
+        let mut a = CentroidSet::new(vec![vec![1.0]], vec![5.0]).unwrap();
+        let b = CentroidSet::new(vec![vec![100.0]], vec![0.0]).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.centroids[0], vec![1.0]);
+        assert_eq!(a.weights[0], 5.0);
+        // And a zero-weight self adopts the peer.
+        let mut c = CentroidSet::new(vec![vec![0.0]], vec![0.0]).unwrap();
+        c.merge(&CentroidSet::new(vec![vec![7.0]], vec![3.0]).unwrap())
+            .unwrap();
+        assert_eq!(c.centroids[0], vec![7.0]);
+    }
+
+    #[test]
+    fn mismatched_k_rejected() {
+        let mut a = CentroidSet::new(vec![vec![1.0]], vec![1.0]).unwrap();
+        let b = CentroidSet::new(vec![vec![1.0], vec![2.0]], vec![1.0, 1.0]).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn merge_all_equals_pairwise() {
+        let base = CentroidSet::new(vec![vec![0.0]], vec![1.0]).unwrap();
+        let peers = [CentroidSet::new(vec![vec![10.0]], vec![1.0]).unwrap(),
+            CentroidSet::new(vec![vec![20.0]], vec![2.0]).unwrap()];
+        let merged = CentroidSet::merge_all(base, peers.iter()).unwrap();
+        // (0*1 + 10*1)/2 = 5; (5*2 + 20*2)/4 = 12.5
+        assert_eq!(merged.centroids[0], vec![12.5]);
+        assert_eq!(merged.weights[0], 4.0);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let s = CentroidSet::new(
+            vec![vec![1.5, -2.0], vec![0.0, 3.25]],
+            vec![10.0, 0.0],
+        )
+        .unwrap();
+        let back: CentroidSet = from_bytes(&to_bytes(&s)).unwrap();
+        assert_eq!(back, s);
+        // Corrupt arity fails decode.
+        let bad = CentroidSet {
+            centroids: vec![vec![1.0]],
+            weights: vec![1.0, 2.0],
+        };
+        assert!(from_bytes::<CentroidSet>(&to_bytes(&bad)).is_err());
+    }
+
+    proptest! {
+        /// Merging all partition centroids (same index) equals the global
+        /// weighted mean of the partition means.
+        #[test]
+        fn prop_merge_preserves_weighted_mean(
+            chunks in prop::collection::vec(
+                prop::collection::vec(-100.0f64..100.0, 1..20),
+                1..6,
+            )
+        ) {
+            // Each chunk is one "partition" of scalars; its centroid is its
+            // mean with weight = len.
+            let sets: Vec<CentroidSet> = chunks
+                .iter()
+                .map(|c| {
+                    let mean = c.iter().sum::<f64>() / c.len() as f64;
+                    CentroidSet::new(vec![vec![mean]], vec![c.len() as f64]).unwrap()
+                })
+                .collect();
+            let merged = CentroidSet::merge_all(sets[0].clone(), sets[1..].iter()).unwrap();
+            let all: Vec<f64> = chunks.iter().flatten().copied().collect();
+            let global_mean = all.iter().sum::<f64>() / all.len() as f64;
+            prop_assert!((merged.centroids[0][0] - global_mean).abs() < 1e-9);
+            prop_assert!((merged.total_weight() - all.len() as f64).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Synthetic clusterable data: isotropic Gaussian mixtures.
+
+use crate::kmeans::Point;
+use edgelet_util::rng::DetRng;
+
+/// Samples `n` points from a mixture of isotropic Gaussians given as
+/// `(center, standard deviation)` pairs, components equally weighted.
+/// Returns the points and their true component labels.
+pub fn gaussian_mixture(
+    components: &[(Point, f64)],
+    n: usize,
+    rng: &mut DetRng,
+) -> (Vec<Point>, Vec<usize>) {
+    assert!(!components.is_empty(), "mixture needs at least one component");
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.range(0..components.len());
+        let (center, sd) = &components[c];
+        let p: Point = center.iter().map(|&m| rng.normal(m, *sd)).collect();
+        points.push(p);
+        labels.push(c);
+    }
+    (points, labels)
+}
+
+/// Extracts numeric feature vectors from store rows over named columns,
+/// skipping rows with nulls or non-numeric values in those columns.
+pub fn rows_to_points(
+    schema: &edgelet_store::Schema,
+    rows: &[edgelet_store::Row],
+    columns: &[&str],
+) -> edgelet_util::Result<Vec<Point>> {
+    let idx: Vec<usize> = columns
+        .iter()
+        .map(|c| schema.index_of(c))
+        .collect::<edgelet_util::Result<_>>()?;
+    let mut out = Vec::with_capacity(rows.len());
+    'rows: for row in rows {
+        let mut p = Vec::with_capacity(idx.len());
+        for &i in &idx {
+            match row.get(i).and_then(|v| v.as_f64()) {
+                Some(x) => p.push(x),
+                None => continue 'rows,
+            }
+        }
+        out.push(p);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgelet_store::{synth, Row, Value};
+
+    #[test]
+    fn mixture_shape_and_labels() {
+        let mut rng = DetRng::new(1);
+        let (points, labels) = gaussian_mixture(
+            &[(vec![0.0, 0.0], 1.0), (vec![100.0, 100.0], 1.0)],
+            1000,
+            &mut rng,
+        );
+        assert_eq!(points.len(), 1000);
+        assert_eq!(labels.len(), 1000);
+        // Labels match proximity for well-separated components.
+        for (p, &l) in points.iter().zip(&labels) {
+            let near0 = p[0] < 50.0;
+            assert_eq!(near0, l == 0, "point {p:?} label {l}");
+        }
+        // Roughly balanced.
+        let ones = labels.iter().filter(|&&l| l == 1).count();
+        assert!((ones as f64 - 500.0).abs() < 60.0, "{ones}");
+    }
+
+    #[test]
+    fn rows_to_points_extracts_and_skips() {
+        let mut rng = DetRng::new(2);
+        let store = synth::health_store(50, &mut rng);
+        let pts = rows_to_points(store.schema(), store.rows(), &["age", "bmi"]).unwrap();
+        assert_eq!(pts.len(), 50);
+        assert!(pts.iter().all(|p| p.len() == 2));
+
+        // Nulls are skipped.
+        let schema = store.schema().clone();
+        let mut row_vals: Vec<Value> = store.rows()[0].values().to_vec();
+        row_vals[0] = Value::Null;
+        let rows = vec![Row::new(row_vals), store.rows()[1].clone()];
+        let pts = rows_to_points(&schema, &rows, &["age", "bmi"]).unwrap();
+        assert_eq!(pts.len(), 1);
+
+        // Unknown column errors.
+        assert!(rows_to_points(&schema, &rows, &["zzz"]).is_err());
+        // Text column yields no points (all skipped).
+        let pts = rows_to_points(&schema, &rows, &["sex"]).unwrap();
+        assert!(pts.is_empty());
+    }
+}

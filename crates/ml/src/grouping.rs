@@ -1,0 +1,512 @@
+//! Grouping Sets: several Group-By clauses over one sample, in one pass.
+//!
+//! The demo's first query (§3.2) is a Grouping Sets query "to cross
+//! multiple statistics over the same data sample". A [`GroupingQuery`]
+//! carries the grouping sets and the aggregate list; evaluation produces a
+//! [`GroupedPartial`] — a mergeable map from `(set index, group key)` to
+//! partial aggregates — which Computers exchange and the Combiner merges
+//! and finalizes into a [`ResultTable`].
+
+use crate::aggregate::{AggSpec, PartialAgg};
+use edgelet_store::value::GroupKeyPart;
+use edgelet_store::{Row, Schema, Value};
+use edgelet_util::{Error, Result};
+use edgelet_wire::{Decode, Encode, Reader, Writer};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A Grouping-Sets aggregation query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupingQuery {
+    /// The grouping sets; each inner vec lists grouped column names.
+    /// An empty inner vec is the grand-total group (like `GROUP BY ()`).
+    pub sets: Vec<Vec<String>>,
+    /// The aggregates computed for every grouping set.
+    pub aggregates: Vec<AggSpec>,
+}
+
+impl GroupingQuery {
+    /// Builds a query from string slices.
+    pub fn new(sets: &[&[&str]], aggregates: Vec<AggSpec>) -> Self {
+        Self {
+            sets: sets
+                .iter()
+                .map(|s| s.iter().map(|c| c.to_string()).collect())
+                .collect(),
+            aggregates,
+        }
+    }
+
+    /// `ROLLUP(a, b, c)`: grouping sets `(a,b,c), (a,b), (a), ()`.
+    pub fn rollup(columns: &[&str], aggregates: Vec<AggSpec>) -> Self {
+        let mut sets: Vec<Vec<String>> = Vec::with_capacity(columns.len() + 1);
+        for take in (0..=columns.len()).rev() {
+            sets.push(columns[..take].iter().map(|c| c.to_string()).collect());
+        }
+        Self { sets, aggregates }
+    }
+
+    /// `CUBE(a, b, ...)`: all subsets of the columns as grouping sets
+    /// (ordered by subset bitmask, full set first).
+    pub fn cube(columns: &[&str], aggregates: Vec<AggSpec>) -> Self {
+        let n = columns.len();
+        assert!(n <= 16, "cube over more than 16 columns is unreasonable");
+        let mut sets: Vec<Vec<String>> = Vec::with_capacity(1 << n);
+        for mask in (0..(1u32 << n)).rev() {
+            let set: Vec<String> = columns
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << *i) != 0)
+                .map(|(_, c)| c.to_string())
+                .collect();
+            sets.push(set);
+        }
+        Self { sets, aggregates }
+    }
+
+    /// Validates the query against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        if self.sets.is_empty() {
+            return Err(Error::InvalidQuery("no grouping sets".into()));
+        }
+        if self.aggregates.is_empty() {
+            return Err(Error::InvalidQuery("no aggregates".into()));
+        }
+        for set in &self.sets {
+            for col in set {
+                let c = schema.column(col)?;
+                if c.ty == edgelet_store::ColumnType::Float {
+                    return Err(Error::InvalidQuery(format!(
+                        "cannot group by float column `{col}`"
+                    )));
+                }
+            }
+        }
+        for agg in &self.aggregates {
+            agg.validate(schema)?;
+        }
+        Ok(())
+    }
+
+    /// Every column the query touches (grouping + aggregate inputs).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.sets.iter().flatten().cloned().collect();
+        for a in &self.aggregates {
+            if let Some(c) = &a.column {
+                out.push(c.clone());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Evaluates the query over rows, producing a mergeable partial.
+    pub fn compute(&self, schema: &Schema, rows: &[Row]) -> Result<GroupedPartial> {
+        self.validate(schema)?;
+        let mut partial = GroupedPartial::default();
+        // Pre-resolve column indexes per set.
+        let set_indexes: Vec<Vec<usize>> = self
+            .sets
+            .iter()
+            .map(|set| set.iter().map(|c| schema.index_of(c)).collect())
+            .collect::<Result<_>>()?;
+        for row in rows {
+            for (set_idx, indexes) in set_indexes.iter().enumerate() {
+                let mut key = Vec::with_capacity(indexes.len());
+                for &i in indexes {
+                    key.push(
+                        row.get(i)
+                            .ok_or_else(|| Error::Schema("row too short".into()))?
+                            .group_key()?,
+                    );
+                }
+                let entry = partial
+                    .groups
+                    .entry((set_idx as u32, key))
+                    .or_insert_with(|| self.aggregates.iter().map(|a| a.init()).collect());
+                for (agg, state) in self.aggregates.iter().zip(entry.iter_mut()) {
+                    agg.update(state, schema, row)?;
+                }
+            }
+        }
+        Ok(partial)
+    }
+
+    /// Finalizes a (merged) partial into result rows.
+    pub fn finalize(&self, partial: &GroupedPartial) -> ResultTable {
+        let mut rows = Vec::with_capacity(partial.groups.len());
+        for ((set_idx, key), states) in &partial.groups {
+            let group_columns = self
+                .sets
+                .get(*set_idx as usize)
+                .cloned()
+                .unwrap_or_default();
+            let key_values: Vec<Value> = key.iter().map(|k| k.to_value()).collect();
+            // finalize_as: VAR and STDDEV share the moments state but
+            // finalize differently.
+            let agg_values: Vec<Value> = states
+                .iter()
+                .zip(&self.aggregates)
+                .map(|(s, a)| s.finalize_as(a.kind))
+                .collect();
+            rows.push(ResultRow {
+                set_index: *set_idx,
+                group_columns,
+                key: key_values,
+                aggregates: agg_values,
+            });
+        }
+        ResultTable {
+            aggregate_names: self.aggregates.iter().map(|a| a.to_string()).collect(),
+            rows,
+        }
+    }
+}
+
+impl fmt::Display for GroupingQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let aggs: Vec<String> = self.aggregates.iter().map(|a| a.to_string()).collect();
+        let sets: Vec<String> = self
+            .sets
+            .iter()
+            .map(|s| format!("({})", s.join(", ")))
+            .collect();
+        write!(
+            f,
+            "SELECT {} GROUP BY GROUPING SETS {}",
+            aggs.join(", "),
+            sets.join(", ")
+        )
+    }
+}
+
+/// Mergeable partial result: `(set index, group key) -> partial aggregates`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupedPartial {
+    /// Group states.
+    pub groups: BTreeMap<(u32, Vec<GroupKeyPart>), Vec<PartialAgg>>,
+}
+
+impl GroupedPartial {
+    /// Merges another partial into this one.
+    pub fn merge(&mut self, other: &GroupedPartial) -> Result<()> {
+        for (key, states) in &other.groups {
+            match self.groups.get_mut(key) {
+                None => {
+                    self.groups.insert(key.clone(), states.clone());
+                }
+                Some(mine) => {
+                    if mine.len() != states.len() {
+                        return Err(Error::Protocol(
+                            "mismatched aggregate arity in merge".into(),
+                        ));
+                    }
+                    for (a, b) in mine.iter_mut().zip(states) {
+                        a.merge(b)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of groups currently tracked.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+impl Encode for GroupedPartial {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.groups.len() as u64);
+        for ((set_idx, key), states) in &self.groups {
+            set_idx.encode(w);
+            key.encode(w);
+            states.encode(w);
+        }
+    }
+}
+
+impl Decode for GroupedPartial {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let len = r.seq_len()?;
+        let mut groups = BTreeMap::new();
+        for _ in 0..len {
+            let set_idx = u32::decode(r)?;
+            let key = Vec::<GroupKeyPart>::decode(r)?;
+            let states = Vec::<PartialAgg>::decode(r)?;
+            groups.insert((set_idx, key), states);
+        }
+        Ok(GroupedPartial { groups })
+    }
+}
+
+/// One row of the final result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    /// Which grouping set produced this row.
+    pub set_index: u32,
+    /// Names of the grouped columns (empty for the grand total).
+    pub group_columns: Vec<String>,
+    /// Group key values, aligned with `group_columns`.
+    pub key: Vec<Value>,
+    /// Finalized aggregate values, aligned with the query's aggregate list.
+    pub aggregates: Vec<Value>,
+}
+
+/// The final result of a grouping query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    /// Display names of the aggregates.
+    pub aggregate_names: Vec<String>,
+    /// Result rows (ordered by set index, then key).
+    pub rows: Vec<ResultRow>,
+}
+
+impl ResultTable {
+    /// Looks up one group's aggregates.
+    pub fn group(&self, set_index: u32, key: &[Value]) -> Option<&ResultRow> {
+        self.rows
+            .iter()
+            .find(|r| r.set_index == set_index && r.key == key)
+    }
+
+    /// Maximum absolute relative difference of numeric aggregates vs. a
+    /// reference table, over groups present in the reference. Missing
+    /// groups count as difference 1.0. Used for validity measurements.
+    pub fn max_relative_error(&self, reference: &ResultTable) -> f64 {
+        let mut worst: f64 = 0.0;
+        for r in &reference.rows {
+            match self.group(r.set_index, &r.key) {
+                None => worst = worst.max(1.0),
+                Some(mine) => {
+                    for (a, b) in mine.aggregates.iter().zip(&r.aggregates) {
+                        match (a.as_f64(), b.as_f64()) {
+                            (Some(x), Some(y)) => {
+                                let denom = y.abs().max(1e-12);
+                                worst = worst.max((x - y).abs() / denom);
+                            }
+                            _ => {
+                                if a != b {
+                                    worst = worst.max(1.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        worst
+    }
+}
+
+impl fmt::Display for ResultTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "groups: {}", self.rows.len())?;
+        for r in &self.rows {
+            let key: Vec<String> = r
+                .group_columns
+                .iter()
+                .zip(&r.key)
+                .map(|(c, v)| format!("{c}={v}"))
+                .collect();
+            let aggs: Vec<String> = self
+                .aggregate_names
+                .iter()
+                .zip(&r.aggregates)
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect();
+            let key_str = if key.is_empty() {
+                "(total)".to_string()
+            } else {
+                key.join(", ")
+            };
+            writeln!(f, "  [{key_str}] {}", aggs.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggKind;
+    use edgelet_store::synth;
+    use edgelet_util::rng::DetRng;
+    use edgelet_wire::{from_bytes, to_bytes};
+
+    fn demo_query() -> GroupingQuery {
+        GroupingQuery::new(
+            &[&["sex"], &["gir"], &[]],
+            vec![
+                AggSpec::count_star(),
+                AggSpec::over(AggKind::Avg, "bmi"),
+                AggSpec::over(AggKind::Max, "age"),
+            ],
+        )
+    }
+
+    #[test]
+    fn grand_total_matches_input() {
+        let mut rng = DetRng::new(1);
+        let store = synth::health_store(300, &mut rng);
+        let q = demo_query();
+        let partial = q.compute(store.schema(), store.rows()).unwrap();
+        let table = q.finalize(&partial);
+        let total = table.group(2, &[]).unwrap();
+        assert_eq!(total.aggregates[0], Value::Int(300));
+        // Per-sex counts sum to the total.
+        let f = table.group(0, &[Value::Text("F".into())]).unwrap();
+        let m = table.group(0, &[Value::Text("M".into())]).unwrap();
+        assert_eq!(
+            f.aggregates[0].as_i64().unwrap() + m.aggregates[0].as_i64().unwrap(),
+            300
+        );
+        // GIR groups are in 1..=6.
+        for r in table.rows.iter().filter(|r| r.set_index == 1) {
+            let gir = r.key[0].as_i64().unwrap();
+            assert!((1..=6).contains(&gir));
+        }
+    }
+
+    #[test]
+    fn partition_merge_equals_centralized() {
+        let mut rng = DetRng::new(2);
+        let store = synth::health_store(500, &mut rng);
+        let q = demo_query();
+        let central = q.compute(store.schema(), store.rows()).unwrap();
+
+        // Split into 7 partitions, compute separately, merge.
+        let mut merged = GroupedPartial::default();
+        for chunk in store.rows().chunks(72) {
+            let p = q.compute(store.schema(), chunk).unwrap();
+            merged.merge(&p).unwrap();
+        }
+        // Same groups; aggregates equal up to float summation order.
+        assert_eq!(merged.group_count(), central.group_count());
+        let err = q
+            .finalize(&merged)
+            .max_relative_error(&q.finalize(&central));
+        assert!(err < 1e-12, "relative error {err}");
+    }
+
+    #[test]
+    fn rollup_and_cube_shapes() {
+        let q = GroupingQuery::rollup(&["sex", "gir"], vec![AggSpec::count_star()]);
+        assert_eq!(
+            q.sets,
+            vec![
+                vec!["sex".to_string(), "gir".into()],
+                vec!["sex".into()],
+                vec![],
+            ]
+        );
+        let q = GroupingQuery::cube(&["sex", "gir"], vec![AggSpec::count_star()]);
+        assert_eq!(q.sets.len(), 4);
+        assert!(q.sets.contains(&vec!["sex".to_string(), "gir".into()]));
+        assert!(q.sets.contains(&vec!["gir".to_string()]));
+        assert!(q.sets.contains(&vec![]));
+
+        // Rollup totals are consistent: per-level counts all sum to C.
+        let mut rng = DetRng::new(12);
+        let store = synth::health_store(200, &mut rng);
+        let q = GroupingQuery::rollup(&["sex", "gir"], vec![AggSpec::count_star()]);
+        let t = q.finalize(&q.compute(store.schema(), store.rows()).unwrap());
+        for set_idx in 0..3u32 {
+            let sum: i64 = t
+                .rows
+                .iter()
+                .filter(|r| r.set_index == set_idx)
+                .map(|r| r.aggregates[0].as_i64().unwrap())
+                .sum();
+            assert_eq!(sum, 200, "rollup level {set_idx}");
+        }
+    }
+
+    #[test]
+    fn stddev_finalizes_as_root_of_var() {
+        let mut rng = DetRng::new(9);
+        let store = synth::health_store(400, &mut rng);
+        let q = GroupingQuery::new(
+            &[&[]],
+            vec![
+                AggSpec::over(AggKind::Var, "bmi"),
+                AggSpec::over(AggKind::StdDev, "bmi"),
+            ],
+        );
+        let t = q.finalize(&q.compute(store.schema(), store.rows()).unwrap());
+        let var = t.rows[0].aggregates[0].as_f64().unwrap();
+        let sd = t.rows[0].aggregates[1].as_f64().unwrap();
+        assert!((sd * sd - var).abs() < 1e-9, "sd^2 {} != var {}", sd * sd, var);
+        assert!(var > 0.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut rng = DetRng::new(3);
+        let store = synth::health_store(10, &mut rng);
+        let schema = store.schema();
+        assert!(GroupingQuery::new(&[], vec![AggSpec::count_star()])
+            .validate(schema)
+            .is_err());
+        assert!(GroupingQuery::new(&[&["sex"]], vec![])
+            .validate(schema)
+            .is_err());
+        assert!(
+            GroupingQuery::new(&[&["bmi"]], vec![AggSpec::count_star()])
+                .validate(schema)
+                .is_err(),
+            "grouping by float must fail"
+        );
+        assert!(
+            GroupingQuery::new(&[&["nope"]], vec![AggSpec::count_star()])
+                .validate(schema)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn referenced_columns() {
+        let q = demo_query();
+        assert_eq!(
+            q.referenced_columns(),
+            vec!["age".to_string(), "bmi".into(), "gir".into(), "sex".into()]
+        );
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut rng = DetRng::new(4);
+        let store = synth::health_store(100, &mut rng);
+        let q = demo_query();
+        let partial = q.compute(store.schema(), store.rows()).unwrap();
+        let back: GroupedPartial = from_bytes(&to_bytes(&partial)).unwrap();
+        assert_eq!(back, partial);
+    }
+
+    #[test]
+    fn relative_error_detects_missing_and_wrong_groups() {
+        let mut rng = DetRng::new(5);
+        let store = synth::health_store(200, &mut rng);
+        let q = demo_query();
+        let full = q.finalize(&q.compute(store.schema(), store.rows()).unwrap());
+        let half = q.finalize(
+            &q.compute(store.schema(), &store.rows()[..100]).unwrap(),
+        );
+        let err = half.max_relative_error(&full);
+        assert!(err > 0.0, "half the data must show an error");
+        assert_eq!(full.max_relative_error(&full), 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let q = demo_query();
+        let s = q.to_string();
+        assert!(s.contains("GROUPING SETS"), "{s}");
+        let mut rng = DetRng::new(6);
+        let store = synth::health_store(20, &mut rng);
+        let t = q.finalize(&q.compute(store.schema(), store.rows()).unwrap());
+        assert!(t.to_string().contains("(total)"));
+    }
+}

@@ -1,0 +1,327 @@
+//! K-Means: k-means++ seeding, Lloyd iterations, mini-batch refinement.
+
+use edgelet_util::rng::DetRng;
+use edgelet_util::{Error, Result};
+
+/// A data point in feature space.
+pub type Point = Vec<f64>;
+
+/// K-Means configuration.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+    /// Relative inertia improvement below which iteration stops.
+    pub tolerance: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 4,
+            max_iterations: 50,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// K-Means state: centroids plus the weight (point count) behind each.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centers.
+    pub centroids: Vec<Point>,
+    /// Points assigned to each centroid during the last refinement.
+    pub weights: Vec<f64>,
+}
+
+/// Squared Euclidean distance.
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Index of the nearest centroid.
+pub fn nearest(centroids: &[Point], p: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = dist2(c, p);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Sum of squared distances of points to their nearest centroid.
+pub fn inertia(centroids: &[Point], points: &[Point]) -> f64 {
+    points
+        .iter()
+        .map(|p| dist2(&centroids[nearest(centroids, p)], p))
+        .sum()
+}
+
+/// k-means++ seeding (Arthur & Vassilvitskii).
+pub fn kmeans_pp_seed(points: &[Point], k: usize, rng: &mut DetRng) -> Result<Vec<Point>> {
+    if points.is_empty() {
+        return Err(Error::InvalidConfig("cannot seed k-means on no points".into()));
+    }
+    if k == 0 {
+        return Err(Error::InvalidConfig("k must be positive".into()));
+    }
+    let k = k.min(points.len());
+    let mut centroids: Vec<Point> = Vec::with_capacity(k);
+    centroids.push(points[rng.range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| dist2(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a centroid; pick uniformly.
+            points[rng.range(0..points.len())].clone()
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            points[chosen].clone()
+        };
+        for (i, p) in points.iter().enumerate() {
+            let d = dist2(p, &next);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+        centroids.push(next);
+    }
+    Ok(centroids)
+}
+
+impl KMeans {
+    /// Seeds with k-means++ over the given points.
+    pub fn seed(points: &[Point], config: &KMeansConfig, rng: &mut DetRng) -> Result<Self> {
+        let centroids = kmeans_pp_seed(points, config.k, rng)?;
+        let weights = vec![0.0; centroids.len()];
+        Ok(Self { centroids, weights })
+    }
+
+    /// Creates a state from explicit centroids (e.g. received knowledge).
+    pub fn from_centroids(centroids: Vec<Point>) -> Self {
+        let weights = vec![0.0; centroids.len()];
+        Self { centroids, weights }
+    }
+
+    /// Runs Lloyd iterations until convergence or the iteration cap.
+    /// Returns the number of iterations performed.
+    pub fn fit(&mut self, points: &[Point], config: &KMeansConfig) -> Result<usize> {
+        if points.is_empty() {
+            return Ok(0);
+        }
+        let mut prev_inertia = f64::INFINITY;
+        for iter in 0..config.max_iterations {
+            let moved = self.lloyd_step(points);
+            let cur = inertia(&self.centroids, points);
+            let improved = (prev_inertia - cur) / prev_inertia.max(1e-300);
+            prev_inertia = cur;
+            if !moved || improved.abs() < config.tolerance {
+                return Ok(iter + 1);
+            }
+        }
+        Ok(config.max_iterations)
+    }
+
+    /// One Lloyd step: assign + recompute. Returns whether any centroid
+    /// moved. Also refreshes `weights` with the assignment counts.
+    pub fn lloyd_step(&mut self, points: &[Point]) -> bool {
+        let k = self.centroids.len();
+        if k == 0 || points.is_empty() {
+            return false;
+        }
+        let dim = self.centroids[0].len();
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for p in points {
+            let c = nearest(&self.centroids, p);
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        let mut moved = false;
+        for i in 0..k {
+            if counts[i] == 0 {
+                // Empty cluster keeps its previous position.
+                self.weights[i] = 0.0;
+                continue;
+            }
+            let new: Point = sums[i].iter().map(|s| s / counts[i] as f64).collect();
+            if dist2(&new, &self.centroids[i]) > 0.0 {
+                moved = true;
+            }
+            self.centroids[i] = new;
+            self.weights[i] = counts[i] as f64;
+        }
+        moved
+    }
+
+    /// Mini-batch update (Sculley, WWW'10): each batch point pulls its
+    /// nearest centroid with a per-centroid learning rate `1/n_c`.
+    pub fn mini_batch_step(&mut self, batch: &[Point]) {
+        for p in batch {
+            let c = nearest(&self.centroids, p);
+            self.weights[c] += 1.0;
+            let eta = 1.0 / self.weights[c];
+            for (ci, xi) in self.centroids[c].iter_mut().zip(p) {
+                *ci += eta * (xi - *ci);
+            }
+        }
+    }
+
+    /// Cluster assignment for each point.
+    pub fn assign(&self, points: &[Point]) -> Vec<usize> {
+        points.iter().map(|p| nearest(&self.centroids, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gaussian_mixture;
+
+    fn three_blobs(n: usize, seed: u64) -> (Vec<Point>, Vec<usize>) {
+        gaussian_mixture(
+            &[
+                (vec![0.0, 0.0], 0.5),
+                (vec![10.0, 0.0], 0.5),
+                (vec![0.0, 10.0], 0.5),
+            ],
+            n,
+            &mut DetRng::new(seed),
+        )
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(nearest(&[vec![0.0], vec![10.0]], &[6.0]), 1);
+        assert_eq!(inertia(&[vec![0.0]], &[vec![1.0], vec![-1.0]]), 2.0);
+    }
+
+    #[test]
+    fn seeding_picks_distinct_spread_points() {
+        // k-means++ lands one seed per well-separated blob with high (not
+        // certain) probability; check the success rate over many seeds.
+        let (points, _) = three_blobs(300, 1);
+        let mut covered = 0;
+        for seed in 0..20 {
+            let mut rng = DetRng::new(seed);
+            let seeds = kmeans_pp_seed(&points, 3, &mut rng).unwrap();
+            assert_eq!(seeds.len(), 3);
+            let mut blob_hits = [false; 3];
+            for s in &seeds {
+                let blob = nearest(
+                    &[vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0]],
+                    s,
+                );
+                blob_hits[blob] = true;
+            }
+            if blob_hits.iter().all(|&h| h) {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 15, "only {covered}/20 seedings covered all blobs");
+    }
+
+    #[test]
+    fn seeding_edge_cases() {
+        let mut rng = DetRng::new(3);
+        assert!(kmeans_pp_seed(&[], 3, &mut rng).is_err());
+        assert!(kmeans_pp_seed(&[vec![1.0]], 0, &mut rng).is_err());
+        // k > points clamps.
+        let seeds = kmeans_pp_seed(&[vec![1.0], vec![2.0]], 5, &mut rng).unwrap();
+        assert_eq!(seeds.len(), 2);
+        // Identical points don't loop forever.
+        let same = vec![vec![7.0]; 10];
+        let seeds = kmeans_pp_seed(&same, 3, &mut rng).unwrap();
+        assert_eq!(seeds.len(), 3);
+    }
+
+    #[test]
+    fn lloyd_recovers_blobs() {
+        let (points, _) = three_blobs(600, 4);
+        let cfg = KMeansConfig {
+            k: 3,
+            max_iterations: 100,
+            tolerance: 1e-9,
+        };
+        let mut rng = DetRng::new(5);
+        let mut km = KMeans::seed(&points, &cfg, &mut rng).unwrap();
+        let iters = km.fit(&points, &cfg).unwrap();
+        assert!(iters >= 1);
+        // Each true center must be close to some centroid.
+        for truth in [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]] {
+            let d = km
+                .centroids
+                .iter()
+                .map(|c| dist2(c, &truth))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d < 0.5, "center {truth:?} missed: {:?}", km.centroids);
+        }
+        // Inertia near the noise floor: 600 points * 2 dims * 0.25 var.
+        let final_inertia = inertia(&km.centroids, &points);
+        assert!(final_inertia < 600.0, "inertia {final_inertia}");
+        // Weights hold the assignment counts.
+        let total_w: f64 = km.weights.iter().sum();
+        assert_eq!(total_w as usize, 600);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let (points, _) = three_blobs(200, 6);
+        let cfg = KMeansConfig::default();
+        let run = |seed| {
+            let mut rng = DetRng::new(seed);
+            let mut km = KMeans::seed(&points, &cfg, &mut rng).unwrap();
+            km.fit(&points, &cfg).unwrap();
+            km.centroids
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn mini_batch_improves_inertia() {
+        let (points, _) = three_blobs(500, 7);
+        let mut rng = DetRng::new(8);
+        let cfg = KMeansConfig {
+            k: 3,
+            ..KMeansConfig::default()
+        };
+        let mut km = KMeans::seed(&points, &cfg, &mut rng).unwrap();
+        let before = inertia(&km.centroids, &points);
+        for chunk in points.chunks(50) {
+            km.mini_batch_step(chunk);
+        }
+        let after = inertia(&km.centroids, &points);
+        assert!(after <= before, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let cfg = KMeansConfig::default();
+        let mut km = KMeans::from_centroids(vec![vec![0.0], vec![1.0]]);
+        assert_eq!(km.fit(&[], &cfg).unwrap(), 0);
+        assert!(!km.lloyd_step(&[]));
+        km.mini_batch_step(&[]);
+        assert!(km.assign(&[]).is_empty());
+    }
+}

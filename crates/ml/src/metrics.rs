@@ -1,0 +1,107 @@
+//! Clustering quality metrics: inertia ratio and adjusted Rand index.
+
+/// Ratio of a clustering's inertia to a reference inertia (1.0 = as good
+/// as the reference; > 1 worse). Guards against a zero reference.
+pub fn inertia_ratio(measured: f64, reference: f64) -> f64 {
+    if reference <= 0.0 {
+        if measured <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        measured / reference
+    }
+}
+
+/// Adjusted Rand index between two labelings (Hubert & Arabie).
+///
+/// 1.0 for identical partitions (up to label permutation), ~0 for random
+/// agreement. Panics if the labelings differ in length.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must align");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ka = a.iter().max().map(|&m| m + 1).unwrap_or(0);
+    let kb = b.iter().max().map(|&m| m + 1).unwrap_or(0);
+    let mut contingency = vec![vec![0u64; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        contingency[x][y] += 1;
+    }
+    let choose2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let mut sum_ij = 0.0;
+    let mut row_sums = vec![0u64; ka];
+    let mut col_sums = vec![0u64; kb];
+    for (i, row) in contingency.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            sum_ij += choose2(c);
+            row_sums[i] += c;
+            col_sums[j] += c;
+        }
+    }
+    let sum_a: f64 = row_sums.iter().map(|&x| choose2(x)).sum();
+    let sum_b: f64 = col_sums.iter().map(|&x| choose2(x)).sum();
+    let total = choose2(n as u64);
+    let expected = sum_a * sum_b / total;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate: both partitions are single-cluster (or empty
+        // structure); identical partitions get 1.
+        return if sum_ij == max_index { 1.0 } else { 0.0 };
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inertia_ratio_cases() {
+        assert_eq!(inertia_ratio(2.0, 1.0), 2.0);
+        assert_eq!(inertia_ratio(0.0, 0.0), 1.0);
+        assert_eq!(inertia_ratio(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn ari_identical_is_one() {
+        let a = [0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        // Label permutation doesn't matter.
+        let b = [2, 2, 0, 0, 1, 1];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_disagreement_is_low() {
+        let a = [0, 0, 0, 1, 1, 1];
+        let b = [0, 1, 0, 1, 0, 1];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari < 0.2, "ari {ari}");
+    }
+
+    #[test]
+    fn ari_known_value() {
+        // Classic example: ARI of these two labelings is 0.24242...
+        let a = [0, 0, 1, 1];
+        let b = [0, 0, 1, 2];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!((ari - 0.5714285714).abs() < 1e-6, "ari {ari}");
+    }
+
+    #[test]
+    fn ari_degenerate_cases() {
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+        // Both single-cluster: identical partitions.
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn ari_length_mismatch_panics() {
+        adjusted_rand_index(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Monte-Carlo compromise trials: sealed-glass adversary corrupting `k`
+//! random Data Processor devices.
+
+use crate::exposure::PlanExposure;
+use edgelet_util::ids::DeviceId;
+use edgelet_util::rng::DetRng;
+use edgelet_util::stats::OnlineStats;
+
+/// Outcome of one compromise trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompromiseOutcome {
+    /// The corrupted devices.
+    pub compromised: Vec<DeviceId>,
+    /// Raw tuples the adversary reads across all corrupted enclaves.
+    pub raw_tuples_exposed: u64,
+    /// Fraction of the snapshot cardinality that represents (can exceed
+    /// 1.0 with overcollection duplicates).
+    pub snapshot_fraction: f64,
+    /// Separated pairs co-exposed *on a single device* (index into the
+    /// pair list given to the trial).
+    pub co_exposed_pairs: Vec<usize>,
+}
+
+/// Aggregated results over many trials.
+#[derive(Debug, Clone)]
+pub struct CompromiseSummary {
+    /// Devices corrupted per trial.
+    pub k: usize,
+    /// Trials run.
+    pub trials: usize,
+    /// Distribution of exposed snapshot fraction.
+    pub snapshot_fraction: OnlineStats,
+    /// Probability that at least one separated pair was co-exposed on one
+    /// device.
+    pub pair_co_exposure_rate: f64,
+}
+
+/// Runs one trial: corrupt `k` devices drawn uniformly from the plan's
+/// processors and measure what leaks.
+pub fn compromise_trial(
+    exposure: &PlanExposure,
+    k: usize,
+    pairs: &[(String, String)],
+    rng: &mut DetRng,
+) -> CompromiseOutcome {
+    let devices = exposure.devices();
+    let picked = rng.sample_indices(devices.len(), k);
+    let compromised: Vec<DeviceId> = picked.into_iter().map(|i| devices[i]).collect();
+
+    let mut raw = 0u64;
+    let mut co_exposed: Vec<usize> = Vec::new();
+    for dev in &compromised {
+        let e = &exposure.per_device[dev];
+        raw += e.raw_tuples;
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            if e.co_exposes(a, b) && !co_exposed.contains(&i) {
+                co_exposed.push(i);
+            }
+        }
+    }
+    let fraction = if exposure.snapshot_cardinality == 0 {
+        0.0
+    } else {
+        raw as f64 / exposure.snapshot_cardinality as f64
+    };
+    CompromiseOutcome {
+        compromised,
+        raw_tuples_exposed: raw,
+        snapshot_fraction: fraction,
+        co_exposed_pairs: co_exposed,
+    }
+}
+
+/// Runs `trials` compromise trials and summarizes.
+pub fn compromise_sweep(
+    exposure: &PlanExposure,
+    k: usize,
+    pairs: &[(String, String)],
+    trials: usize,
+    rng: &mut DetRng,
+) -> CompromiseSummary {
+    let mut fraction = OnlineStats::new();
+    let mut pair_hits = 0usize;
+    for t in 0..trials {
+        let mut trial_rng = rng.fork_indexed("compromise-trial", t as u64);
+        let outcome = compromise_trial(exposure, k, pairs, &mut trial_rng);
+        fraction.push(outcome.snapshot_fraction);
+        if !outcome.co_exposed_pairs.is_empty() {
+            pair_hits += 1;
+        }
+    }
+    CompromiseSummary {
+        k,
+        trials,
+        snapshot_fraction: fraction,
+        pair_co_exposure_rate: if trials == 0 {
+            0.0
+        } else {
+            pair_hits as f64 / trials as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exposure::analyze_plan;
+    use edgelet_ml::grouping::GroupingQuery;
+    use edgelet_ml::{AggKind, AggSpec};
+    use edgelet_query::plan::build_plan;
+    use edgelet_query::{
+        PrivacyConfig, QueryKind, QueryPlan, QuerySpec, ResilienceConfig, Strategy,
+    };
+    use edgelet_store::synth::health_schema;
+    use edgelet_store::Predicate;
+    use edgelet_tee::{DeviceClass, Directory};
+    use edgelet_util::ids::QueryId;
+
+    fn make_plan(privacy: PrivacyConfig) -> QueryPlan {
+        let mut dir = Directory::new();
+        let mut rng = DetRng::new(21);
+        for i in 0..600u64 {
+            dir.enroll(
+                DeviceId::new(i),
+                DeviceClass::SgxPc,
+                i < 300,
+                i >= 300,
+                &mut rng,
+            );
+        }
+        let spec = QuerySpec {
+            id: QueryId::new(1),
+            filter: Predicate::True,
+            snapshot_cardinality: 1000,
+            kind: QueryKind::GroupingSets(GroupingQuery::new(
+                &[&["sex"]],
+                vec![
+                    AggSpec::over(AggKind::Avg, "bmi"),
+                    AggSpec::over(AggKind::Avg, "systolic_bp"),
+                ],
+            )),
+            deadline_secs: 600.0,
+        };
+        build_plan(
+            &spec,
+            &health_schema(),
+            &privacy,
+            &ResilienceConfig {
+                strategy: Strategy::Naive,
+                ..ResilienceConfig::default()
+            },
+            &dir,
+            DeviceId::new(0),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    fn pair() -> Vec<(String, String)> {
+        vec![("bmi".to_string(), "systolic_bp".to_string())]
+    }
+
+    #[test]
+    fn trial_is_deterministic_and_bounded() {
+        let exposure = analyze_plan(&make_plan(PrivacyConfig::none().with_max_tuples(100)));
+        let a = compromise_trial(&exposure, 3, &pair(), &mut DetRng::new(5));
+        let b = compromise_trial(&exposure, 3, &pair(), &mut DetRng::new(5));
+        assert_eq!(a, b);
+        assert_eq!(a.compromised.len(), 3);
+        // Each device exposes at most its quota (100) and a builder+computer
+        // both corrupted expose at most 2 * quota * 3 devices.
+        assert!(a.raw_tuples_exposed <= 300);
+    }
+
+    #[test]
+    fn horizontal_partitioning_shrinks_exposure() {
+        // One device holds everything vs. ten devices holding 10% each.
+        let coarse = analyze_plan(&make_plan(PrivacyConfig::none()));
+        let fine = analyze_plan(&make_plan(PrivacyConfig::none().with_max_tuples(100)));
+        let mut rng = DetRng::new(7);
+        let sc = compromise_sweep(&coarse, 1, &[], 300, &mut rng);
+        let sf = compromise_sweep(&fine, 1, &[], 300, &mut rng);
+        assert!(
+            sc.snapshot_fraction.mean() > 4.0 * sf.snapshot_fraction.mean(),
+            "coarse {} vs fine {}",
+            sc.snapshot_fraction.mean(),
+            sf.snapshot_fraction.mean()
+        );
+    }
+
+    #[test]
+    fn vertical_partitioning_lowers_pair_co_exposure() {
+        let merged = analyze_plan(&make_plan(PrivacyConfig::none().with_max_tuples(100)));
+        let separated = analyze_plan(&make_plan(
+            PrivacyConfig::none()
+                .with_max_tuples(100)
+                .separate("bmi", "systolic_bp"),
+        ));
+        let mut rng = DetRng::new(9);
+        let sm = compromise_sweep(&merged, 2, &pair(), 400, &mut rng);
+        let ss = compromise_sweep(&separated, 2, &pair(), 400, &mut rng);
+        assert!(
+            sm.pair_co_exposure_rate > ss.pair_co_exposure_rate,
+            "merged {} vs separated {}",
+            sm.pair_co_exposure_rate,
+            ss.pair_co_exposure_rate
+        );
+    }
+
+    #[test]
+    fn more_compromise_more_exposure() {
+        let exposure = analyze_plan(&make_plan(PrivacyConfig::none().with_max_tuples(100)));
+        let mut rng = DetRng::new(13);
+        let s1 = compromise_sweep(&exposure, 1, &[], 200, &mut rng);
+        let s5 = compromise_sweep(&exposure, 5, &[], 200, &mut rng);
+        assert!(s5.snapshot_fraction.mean() > s1.snapshot_fraction.mean());
+        assert_eq!(s1.trials, 200);
+        assert_eq!(s5.k, 5);
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic_expectation() {
+        // E[exposed fraction | k=1] = mean over devices of (exposure / C).
+        let exposure = analyze_plan(&make_plan(PrivacyConfig::none().with_max_tuples(100)));
+        let devices = exposure.devices();
+        let analytic: f64 = devices
+            .iter()
+            .map(|d| exposure.per_device[d].raw_tuples_seen_fraction(exposure.snapshot_cardinality))
+            .sum::<f64>()
+            / devices.len() as f64;
+        let mut rng = DetRng::new(99);
+        let sweep = compromise_sweep(&exposure, 1, &[], 4_000, &mut rng);
+        let measured = sweep.snapshot_fraction.mean();
+        assert!(
+            (measured - analytic).abs() < 0.01,
+            "measured {measured} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn empty_sweep_is_safe() {
+        let exposure = analyze_plan(&make_plan(PrivacyConfig::none().with_max_tuples(100)));
+        let mut rng = DetRng::new(1);
+        let s = compromise_sweep(&exposure, 1, &[], 0, &mut rng);
+        assert_eq!(s.pair_co_exposure_rate, 0.0);
+        assert_eq!(s.snapshot_fraction.count(), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Static exposure analysis of a query plan.
+
+use edgelet_query::{OperatorRole, QueryPlan};
+use edgelet_util::ids::DeviceId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What one device would expose if its TEE went sealed-glass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceExposure {
+    /// Attribute names present in cleartext on the device.
+    pub columns: BTreeSet<String>,
+    /// Raw (pre-aggregation) tuples present in cleartext.
+    pub raw_tuples: u64,
+    /// Role labels hosted (for reporting).
+    pub roles: Vec<String>,
+}
+
+impl DeviceExposure {
+    /// Whether both attributes of a pair are co-exposed here.
+    pub fn co_exposes(&self, a: &str, b: &str) -> bool {
+        self.raw_tuples > 0 && self.columns.contains(a) && self.columns.contains(b)
+    }
+
+    /// Raw-tuple exposure as a fraction of the snapshot cardinality.
+    pub fn raw_tuples_seen_fraction(&self, snapshot_cardinality: u64) -> f64 {
+        if snapshot_cardinality == 0 {
+            0.0
+        } else {
+            self.raw_tuples as f64 / snapshot_cardinality as f64
+        }
+    }
+}
+
+/// Exposure of every Data Processor device in a plan.
+#[derive(Debug, Clone, Default)]
+pub struct PlanExposure {
+    /// Per-device exposure.
+    pub per_device: BTreeMap<DeviceId, DeviceExposure>,
+    /// The snapshot cardinality `C` (denominator for fractions).
+    pub snapshot_cardinality: u64,
+}
+
+impl PlanExposure {
+    /// Devices analyzed.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        self.per_device.keys().copied().collect()
+    }
+
+    /// Largest raw-tuple exposure of any single device.
+    pub fn max_raw_tuples(&self) -> u64 {
+        self.per_device
+            .values()
+            .map(|e| e.raw_tuples)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest fraction of the snapshot any single device exposes.
+    pub fn max_snapshot_fraction(&self) -> f64 {
+        if self.snapshot_cardinality == 0 {
+            0.0
+        } else {
+            self.max_raw_tuples() as f64 / self.snapshot_cardinality as f64
+        }
+    }
+
+    /// Whether any single device co-exposes the given attribute pair.
+    pub fn any_co_exposure(&self, a: &str, b: &str) -> bool {
+        self.per_device.values().any(|e| e.co_exposes(a, b))
+    }
+}
+
+/// Computes the worst-case exposure each device incurs by hosting its
+/// operators in `plan`.
+///
+/// Builders hold the full column union of their partition; Computers hold
+/// their vertical slice; Combiners and the Querier only ever see
+/// aggregated data, so their raw-tuple exposure is zero (the paper's
+/// "only the results of the computations ... are sent to the successor
+/// operators").
+pub fn analyze_plan(plan: &QueryPlan) -> PlanExposure {
+    let mut per_device: BTreeMap<DeviceId, DeviceExposure> = BTreeMap::new();
+    let quota = plan.partition_quota as u64;
+    let all_columns: BTreeSet<String> = plan
+        .attr_groups
+        .iter()
+        .flatten()
+        .cloned()
+        .collect();
+
+    for op in &plan.operators {
+        let (columns, raw): (BTreeSet<String>, u64) = match &op.role {
+            OperatorRole::SnapshotBuilder { .. } => (all_columns.clone(), quota),
+            OperatorRole::Computer { attr_group, .. } => (
+                plan.attr_groups[*attr_group as usize]
+                    .iter()
+                    .cloned()
+                    .collect(),
+                quota,
+            ),
+            OperatorRole::Combiner { .. } | OperatorRole::Querier => (BTreeSet::new(), 0),
+        };
+        for dev in std::iter::once(op.device).chain(op.backups.iter().copied()) {
+            let entry = per_device.entry(dev).or_default();
+            entry.columns.extend(columns.iter().cloned());
+            entry.raw_tuples += raw;
+            entry.roles.push(op.role.label());
+        }
+    }
+
+    PlanExposure {
+        per_device,
+        snapshot_cardinality: plan.spec.snapshot_cardinality as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgelet_ml::grouping::GroupingQuery;
+    use edgelet_ml::{AggKind, AggSpec};
+    use edgelet_query::plan::build_plan;
+    use edgelet_query::{PrivacyConfig, QueryKind, QuerySpec, ResilienceConfig, Strategy};
+    use edgelet_store::synth::health_schema;
+    use edgelet_store::Predicate;
+    use edgelet_tee::{DeviceClass, Directory};
+    use edgelet_util::ids::QueryId;
+    use edgelet_util::rng::DetRng;
+
+    fn make_plan(privacy: PrivacyConfig, c: usize) -> QueryPlan {
+        let mut dir = Directory::new();
+        let mut rng = DetRng::new(11);
+        for i in 0..600u64 {
+            dir.enroll(
+                DeviceId::new(i),
+                DeviceClass::SgxPc,
+                i < 300,
+                i >= 300,
+                &mut rng,
+            );
+        }
+        let spec = QuerySpec {
+            id: QueryId::new(1),
+            filter: Predicate::True,
+            snapshot_cardinality: c,
+            kind: QueryKind::GroupingSets(GroupingQuery::new(
+                &[&["sex"]],
+                vec![
+                    AggSpec::count_star(),
+                    AggSpec::over(AggKind::Avg, "bmi"),
+                    AggSpec::over(AggKind::Avg, "systolic_bp"),
+                ],
+            )),
+            deadline_secs: 600.0,
+        };
+        build_plan(
+            &spec,
+            &health_schema(),
+            &privacy,
+            &ResilienceConfig {
+                strategy: Strategy::Naive,
+                ..ResilienceConfig::default()
+            },
+            &dir,
+            DeviceId::new(0),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn horizontal_cap_bounds_exposure() {
+        let loose = analyze_plan(&make_plan(PrivacyConfig::none(), 1000));
+        assert_eq!(loose.max_raw_tuples(), 1000);
+        assert_eq!(loose.max_snapshot_fraction(), 1.0);
+
+        let tight = analyze_plan(&make_plan(
+            PrivacyConfig::none().with_max_tuples(100),
+            1000,
+        ));
+        assert_eq!(tight.max_raw_tuples(), 100);
+        assert!((tight.max_snapshot_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertical_separation_prevents_co_exposure_on_computers() {
+        let plan = make_plan(
+            PrivacyConfig::none()
+                .with_max_tuples(250)
+                .separate("bmi", "systolic_bp"),
+            1000,
+        );
+        let exposure = analyze_plan(&plan);
+        // Computers never co-expose the pair...
+        for op in plan
+            .operators
+            .iter()
+            .filter(|o| matches!(o.role, OperatorRole::Computer { .. }))
+        {
+            let e = &exposure.per_device[&op.device];
+            assert!(!e.co_exposes("bmi", "systolic_bp"), "{:?}", e);
+        }
+        // ...but snapshot builders still hold the full rows (the paper's
+        // residual exposure: partitioning helps at the computing stage).
+        assert!(exposure.any_co_exposure("bmi", "systolic_bp"));
+    }
+
+    #[test]
+    fn combiner_and_querier_have_zero_raw_exposure() {
+        let plan = make_plan(PrivacyConfig::none().with_max_tuples(100), 400);
+        let exposure = analyze_plan(&plan);
+        for op in &plan.operators {
+            if matches!(
+                op.role,
+                OperatorRole::Combiner { .. } | OperatorRole::Querier
+            ) {
+                let e = &exposure.per_device[&op.device];
+                assert_eq!(e.raw_tuples, 0, "{:?}", op.role);
+                assert!(e.columns.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn every_processor_is_analyzed() {
+        let plan = make_plan(PrivacyConfig::none().with_max_tuples(100), 400);
+        let exposure = analyze_plan(&plan);
+        assert_eq!(
+            exposure.devices().len(),
+            plan.processor_devices().len() + 1 // + querier
+        );
+    }
+}

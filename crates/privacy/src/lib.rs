@@ -1,0 +1,23 @@
+//! Privacy exposure analysis under TEE compromise.
+//!
+//! The paper's threat model (§2.1, §3.3) assumes side-channel attacks can
+//! place a TEE in "sealed glass" mode: the attacker reads whatever data is
+//! present in the compromised enclave, while integrity (and thus results)
+//! is preserved. The QEP-level counter-measures are horizontal and
+//! vertical partitioning; this crate quantifies their benefit:
+//!
+//! * [`exposure`] — static analysis of a plan: which columns and how many
+//!   raw tuples each device would expose if compromised;
+//! * [`adversary`] — Monte-Carlo compromise trials: an adversary corrupts
+//!   `k` random Data Processor devices; we measure the exposed fraction of
+//!   the snapshot and whether any separated quasi-identifier pair was
+//!   co-exposed on a single device.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod exposure;
+
+pub use adversary::{compromise_sweep, compromise_trial, CompromiseOutcome, CompromiseSummary};
+pub use exposure::{analyze_plan, DeviceExposure, PlanExposure};

@@ -1,0 +1,176 @@
+//! The configuration knobs the demo exposes (§3.2, part 1).
+
+use edgelet_util::{Error, Result};
+
+/// Privacy parameters controlling QEP partitioning.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PrivacyConfig {
+    /// Maximum raw tuples a single edgelet may see in cleartext
+    /// (horizontal partitioning knob). `None` disables the cap.
+    pub max_tuples_per_edgelet: Option<usize>,
+    /// Attribute pairs that must never be exposed on the same edgelet
+    /// (vertical partitioning knob; quasi-identifier protection).
+    pub separated_attribute_pairs: Vec<(String, String)>,
+}
+
+impl PrivacyConfig {
+    /// No privacy constraints.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Caps raw tuples per edgelet.
+    pub fn with_max_tuples(mut self, cap: usize) -> Self {
+        self.max_tuples_per_edgelet = Some(cap);
+        self
+    }
+
+    /// Adds an attribute pair to separate.
+    pub fn separate(mut self, a: &str, b: &str) -> Self {
+        self.separated_attribute_pairs
+            .push((a.to_string(), b.to_string()));
+        self
+    }
+
+    /// Validates basic sanity.
+    pub fn validate(&self) -> Result<()> {
+        if let Some(0) = self.max_tuples_per_edgelet {
+            return Err(Error::InvalidConfig(
+                "max tuples per edgelet cannot be zero".into(),
+            ));
+        }
+        for (a, b) in &self.separated_attribute_pairs {
+            if a == b {
+                return Err(Error::InvalidConfig(format!(
+                    "cannot separate attribute `{a}` from itself"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The execution strategy (taxonomy of \[14\], recalled in §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Split work over `n + m` partitions; valid while at most `m` are
+    /// lost. Best for distributive/approximate workloads.
+    Overcollection,
+    /// Replicate each Data Processor on backups that take over on presumed
+    /// failure. Strict validity at higher cost.
+    Backup,
+    /// No resiliency mechanism (baseline: single point of failure
+    /// everywhere).
+    Naive,
+}
+
+impl Strategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [Strategy; 3] = [Strategy::Overcollection, Strategy::Backup, Strategy::Naive];
+
+    /// Short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Overcollection => "overcollection",
+            Strategy::Backup => "backup",
+            Strategy::Naive => "naive",
+        }
+    }
+}
+
+/// Resiliency parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// Fault presumption rate: probability that a participating edgelet
+    /// fails (or stays unreachable) during the query window.
+    pub failure_probability: f64,
+    /// Required probability that the query completes with a valid result.
+    pub target_validity: f64,
+    /// Strategy to plan for.
+    pub strategy: Strategy,
+    /// Upper bound on the overcollection degree `m` (cost cap).
+    pub max_overcollection: u64,
+    /// Upper bound on per-operator backups for the Backup strategy.
+    pub max_backups: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            failure_probability: 0.1,
+            target_validity: 0.999,
+            strategy: Strategy::Overcollection,
+            max_overcollection: 512,
+            max_backups: 16,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..1.0).contains(&self.failure_probability) {
+            return Err(Error::InvalidConfig(format!(
+                "failure probability {} outside [0, 1)",
+                self.failure_probability
+            )));
+        }
+        if !(0.0..1.0).contains(&self.target_validity) {
+            return Err(Error::InvalidConfig(format!(
+                "target validity {} outside [0, 1)",
+                self.target_validity
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privacy_builder() {
+        let p = PrivacyConfig::none()
+            .with_max_tuples(500)
+            .separate("age", "region");
+        assert_eq!(p.max_tuples_per_edgelet, Some(500));
+        assert_eq!(p.separated_attribute_pairs.len(), 1);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn privacy_validation() {
+        assert!(PrivacyConfig::none().with_max_tuples(0).validate().is_err());
+        assert!(PrivacyConfig::none().separate("a", "a").validate().is_err());
+        PrivacyConfig::none().validate().unwrap();
+    }
+
+    #[test]
+    fn resilience_validation() {
+        ResilienceConfig::default().validate().unwrap();
+        let r = ResilienceConfig {
+            failure_probability: 1.0,
+            ..ResilienceConfig::default()
+        };
+        assert!(r.validate().is_err());
+        let r = ResilienceConfig {
+            failure_probability: -0.1,
+            ..ResilienceConfig::default()
+        };
+        assert!(r.validate().is_err());
+        let r = ResilienceConfig {
+            target_validity: 1.0,
+            ..ResilienceConfig::default()
+        };
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(Strategy::Overcollection.name(), "overcollection");
+        assert_eq!(Strategy::Backup.name(), "backup");
+        assert_eq!(Strategy::Naive.name(), "naive");
+        assert_eq!(Strategy::ALL.len(), 3);
+    }
+}

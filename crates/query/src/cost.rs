@@ -1,0 +1,187 @@
+//! Analytic cost model of a plan: expected messages and critical path.
+//!
+//! The demo GUI shows attendees what a knob costs *before* running; this
+//! estimator provides those numbers, and the test suite checks it against
+//! the simulator's measurements (the model should predict message counts
+//! exactly on a loss-free network and bound them from above under loss).
+
+use crate::plan::{OperatorRole, QueryPlan};
+use crate::Strategy;
+
+/// Predicted protocol costs for one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEstimate {
+    /// Contribution requests (builders × their contributors, all replicas).
+    pub contribute_requests: u64,
+    /// Upper bound on contributions (every contributor answers every
+    /// requesting replica).
+    pub contributions_max: u64,
+    /// Partition-data messages (builder replicas × slices × targets).
+    pub partition_data: u64,
+    /// Partial/knowledge result messages to combiners.
+    pub partials: u64,
+    /// K-Means peer-broadcast messages (0 for grouping queries).
+    pub knowledge_broadcasts: u64,
+    /// Final results to the querier.
+    pub final_results: u64,
+    /// Protocol stage count on the critical path (request → contribution
+    /// → partition data → partial → final result).
+    pub critical_path_hops: u32,
+}
+
+impl CostEstimate {
+    /// Total message upper bound for a loss-free run, excluding
+    /// Backup-strategy liveness pings and collection retry rounds (both
+    /// only fire on failures/loss and depend on run duration).
+    pub fn total_messages_max(&self) -> u64 {
+        self.contribute_requests
+            + self.contributions_max
+            + self.partition_data
+            + self.partials
+            + self.knowledge_broadcasts
+            + self.final_results
+    }
+}
+
+/// Computes the estimate for a plan.
+pub fn estimate(plan: &QueryPlan) -> CostEstimate {
+    let replicas_per_op = 1 + plan.backup_degree;
+    let combiner_targets: u64 = plan
+        .combiners()
+        .iter()
+        .map(|c| 1 + c.backups.len() as u64)
+        .sum();
+
+    let mut contribute_requests = 0u64;
+    let mut partition_data = 0u64;
+    for op in &plan.operators {
+        if let OperatorRole::SnapshotBuilder { partition } = op.role {
+            let contributors = plan.contributors[partition.index()].len() as u64;
+            let builder_replicas = 1 + op.backups.len() as u64;
+            contribute_requests += contributors * builder_replicas;
+            // Each builder replica ships each slice to every computer
+            // replica of its partition.
+            let slices = plan.attr_groups.len() as u64;
+            partition_data += builder_replicas * slices * replicas_per_op;
+        }
+    }
+    let contributions_max = contribute_requests; // one answer per request
+
+    let computers = plan
+        .operators_where(|r| matches!(r, OperatorRole::Computer { .. }))
+        .len() as u64;
+    let computer_instances = computers * replicas_per_op;
+    let partials = computer_instances * combiner_targets;
+
+    // K-Means: every computer broadcasts knowledge to all peers each
+    // heartbeat round.
+    let knowledge_broadcasts = match &plan.spec.kind {
+        crate::QueryKind::KMeans { heartbeats, .. } => {
+            computers * computers.saturating_sub(1) * (*heartbeats as u64)
+        }
+        _ => 0,
+    };
+
+    let final_results = combiner_targets;
+
+    CostEstimate {
+        contribute_requests,
+        contributions_max,
+        partition_data,
+        partials,
+        knowledge_broadcasts,
+        final_results,
+        critical_path_hops: match plan.strategy {
+            // Backup adds suspicion rounds before outputs flow on failure,
+            // but the failure-free path has the same hop count.
+            Strategy::Overcollection | Strategy::Backup | Strategy::Naive => 5,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PrivacyConfig, ResilienceConfig, Strategy};
+    use crate::plan::build_plan;
+    use crate::spec::{QueryKind, QuerySpec};
+    use edgelet_ml::grouping::GroupingQuery;
+    use edgelet_ml::AggSpec;
+    use edgelet_store::synth::health_schema;
+    use edgelet_store::Predicate;
+    use edgelet_tee::{DeviceClass, Directory};
+    use edgelet_util::ids::{DeviceId, QueryId};
+    use edgelet_util::rng::DetRng;
+
+    fn plan(strategy: Strategy) -> QueryPlan {
+        let mut dir = Directory::new();
+        let mut rng = DetRng::new(2);
+        for i in 0..1_000u64 {
+            dir.enroll(
+                DeviceId::new(i),
+                DeviceClass::SgxPc,
+                i < 600,
+                i >= 600,
+                &mut rng,
+            );
+        }
+        let spec = QuerySpec {
+            id: QueryId::new(1),
+            filter: Predicate::True,
+            snapshot_cardinality: 300,
+            kind: QueryKind::GroupingSets(GroupingQuery::new(
+                &[&[]],
+                vec![AggSpec::count_star()],
+            )),
+            deadline_secs: 600.0,
+        };
+        build_plan(
+            &spec,
+            &health_schema(),
+            &PrivacyConfig::none().with_max_tuples(100),
+            &ResilienceConfig {
+                strategy,
+                failure_probability: 0.1,
+                ..ResilienceConfig::default()
+            },
+            &dir,
+            DeviceId::new(0),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn overcollection_estimate_shape() {
+        let p = plan(Strategy::Overcollection);
+        let e = estimate(&p);
+        // Every contributor is in exactly one bucket with one builder.
+        assert_eq!(e.contribute_requests, 600);
+        assert_eq!(e.contributions_max, 600);
+        let parts = p.total_partitions();
+        assert_eq!(e.partition_data, parts);
+        let combiners = p.combiners().len() as u64;
+        assert_eq!(e.partials, parts * combiners);
+        assert_eq!(e.final_results, combiners);
+        assert_eq!(e.knowledge_broadcasts, 0);
+        assert!(e.total_messages_max() > 1_200);
+    }
+
+    #[test]
+    fn backup_costs_multiply() {
+        let over = estimate(&plan(Strategy::Overcollection));
+        let backup = estimate(&plan(Strategy::Backup));
+        // Replicated builders re-request from every contributor.
+        assert!(backup.contribute_requests > over.contribute_requests);
+        assert!(backup.partition_data > over.partition_data);
+        assert!(backup.total_messages_max() > over.total_messages_max());
+    }
+
+    #[test]
+    fn naive_is_cheapest() {
+        let naive = estimate(&plan(Strategy::Naive));
+        let over = estimate(&plan(Strategy::Overcollection));
+        assert!(naive.total_messages_max() <= over.total_messages_max());
+        assert_eq!(naive.final_results, 1);
+    }
+}

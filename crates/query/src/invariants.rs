@@ -1,0 +1,266 @@
+//! Structural invariants every well-formed plan must satisfy.
+//!
+//! `build_plan` is tested against these, and the execution driver can
+//! assert them before wiring actors — a malformed plan fails loudly
+//! instead of producing a silently wrong distributed execution.
+
+use crate::plan::{OperatorRole, QueryPlan};
+use edgelet_util::{Error, Result};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Checks all structural invariants; returns the first violation.
+pub fn check_plan(plan: &QueryPlan) -> Result<()> {
+    let total = plan.total_partitions();
+
+    // 1. Exactly one builder per partition, covering 0..n+m.
+    let mut builders: BTreeSet<u64> = BTreeSet::new();
+    for op in &plan.operators {
+        if let OperatorRole::SnapshotBuilder { partition } = op.role {
+            if !builders.insert(partition.raw()) {
+                return Err(Error::InvalidConfig(format!(
+                    "duplicate snapshot builder for partition {partition}"
+                )));
+            }
+        }
+    }
+    if builders.len() as u64 != total || builders.last() != Some(&(total - 1)) {
+        return Err(Error::InvalidConfig(format!(
+            "builders cover {builders:?}, expected 0..{total}"
+        )));
+    }
+
+    // 2. Exactly one computer per (partition, group), full grid.
+    let groups = plan.attr_groups.len() as u32;
+    let mut computers: BTreeSet<(u64, u32)> = BTreeSet::new();
+    for op in &plan.operators {
+        if let OperatorRole::Computer {
+            partition,
+            attr_group,
+        } = op.role
+        {
+            if attr_group >= groups {
+                return Err(Error::InvalidConfig(format!(
+                    "computer references unknown attr group {attr_group}"
+                )));
+            }
+            if !computers.insert((partition.raw(), attr_group)) {
+                return Err(Error::InvalidConfig(format!(
+                    "duplicate computer for ({partition}, g{attr_group})"
+                )));
+            }
+        }
+    }
+    if computers.len() as u64 != total * u64::from(groups) {
+        return Err(Error::InvalidConfig(format!(
+            "computer grid has {} cells, expected {}",
+            computers.len(),
+            total * u64::from(groups)
+        )));
+    }
+
+    // 3. At least one combiner, contiguous replica indices, one querier.
+    let mut replicas: Vec<u32> = plan
+        .operators
+        .iter()
+        .filter_map(|o| match o.role {
+            OperatorRole::Combiner { replica } => Some(replica),
+            _ => None,
+        })
+        .collect();
+    replicas.sort_unstable();
+    if replicas.is_empty() || replicas[0] != 0 {
+        return Err(Error::InvalidConfig("missing primary combiner".into()));
+    }
+    for (i, r) in replicas.iter().enumerate() {
+        if *r != i as u32 {
+            return Err(Error::InvalidConfig(format!(
+                "combiner replicas not contiguous: {replicas:?}"
+            )));
+        }
+    }
+    let queriers = plan
+        .operators_where(|r| matches!(r, OperatorRole::Querier))
+        .len();
+    if queriers != 1 {
+        return Err(Error::InvalidConfig(format!(
+            "expected exactly one querier, found {queriers}"
+        )));
+    }
+
+    // 4. No device hosts two Data Processor operator instances.
+    let mut hosting: BTreeMap<u64, String> = BTreeMap::new();
+    for op in plan.operators.iter().filter(|o| o.role.is_data_processor()) {
+        for dev in std::iter::once(op.device).chain(op.backups.iter().copied()) {
+            if let Some(prev) = hosting.insert(dev.raw(), op.role.label()) {
+                return Err(Error::InvalidConfig(format!(
+                    "device {dev} hosts both {prev} and {}",
+                    op.role.label()
+                )));
+            }
+        }
+    }
+
+    // 5. Contributor buckets match the partition count.
+    if plan.contributors.len() as u64 != total {
+        return Err(Error::InvalidConfig(format!(
+            "{} contributor buckets for {total} partitions",
+            plan.contributors.len()
+        )));
+    }
+
+    // 6. Every edge references an existing operator, and the dataflow is
+    //    bottom-up: builder -> computer -> combiner -> querier.
+    let ids: BTreeSet<u64> = plan.operators.iter().map(|o| o.id.raw()).collect();
+    let role_of: BTreeMap<u64, &OperatorRole> = plan
+        .operators
+        .iter()
+        .map(|o| (o.id.raw(), &o.role))
+        .collect();
+    for (a, b) in &plan.edges {
+        if !ids.contains(&a.raw()) || !ids.contains(&b.raw()) {
+            return Err(Error::InvalidConfig(format!(
+                "edge ({a}, {b}) references unknown operators"
+            )));
+        }
+        let ok = matches!(
+            (role_of[&a.raw()], role_of[&b.raw()]),
+            (
+                OperatorRole::SnapshotBuilder { .. },
+                OperatorRole::Computer { .. }
+            ) | (OperatorRole::Computer { .. }, OperatorRole::Combiner { .. })
+                | (OperatorRole::Combiner { .. }, OperatorRole::Querier)
+        );
+        if !ok {
+            return Err(Error::InvalidConfig(format!(
+                "edge ({a}, {b}) violates the QEP stage order"
+            )));
+        }
+    }
+
+    // 7. Vertical groups actually separate the configured pairs: checked
+    //    by the vertical module; here we check groups are non-empty for
+    //    grouping queries with aggregates assigned.
+    for (g, aggs) in plan.attr_group_aggregates.iter().enumerate() {
+        let _ = (g, aggs); // arity checked below
+    }
+    if !plan.attr_group_aggregates.is_empty()
+        && plan.attr_group_aggregates.len() != plan.attr_groups.len()
+    {
+        return Err(Error::InvalidConfig(
+            "aggregate assignment arity differs from attr groups".into(),
+        ));
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PrivacyConfig, ResilienceConfig, Strategy};
+    use crate::plan::build_plan;
+    use crate::spec::{QueryKind, QuerySpec};
+    use edgelet_ml::grouping::GroupingQuery;
+    use edgelet_ml::{AggKind, AggSpec};
+    use edgelet_store::synth::health_schema;
+    use edgelet_store::Predicate;
+    use edgelet_tee::{DeviceClass, Directory};
+    use edgelet_util::ids::{DeviceId, QueryId};
+    use edgelet_util::rng::DetRng;
+
+    fn plan(strategy: Strategy) -> QueryPlan {
+        let mut dir = Directory::new();
+        let mut rng = DetRng::new(1);
+        for i in 0..800u64 {
+            dir.enroll(
+                DeviceId::new(i),
+                DeviceClass::SgxPc,
+                i < 400,
+                i >= 400,
+                &mut rng,
+            );
+        }
+        let spec = QuerySpec {
+            id: QueryId::new(1),
+            filter: Predicate::True,
+            snapshot_cardinality: 600,
+            kind: QueryKind::GroupingSets(GroupingQuery::new(
+                &[&["sex"], &[]],
+                vec![
+                    AggSpec::count_star(),
+                    AggSpec::over(AggKind::Avg, "bmi"),
+                    AggSpec::over(AggKind::Avg, "systolic_bp"),
+                ],
+            )),
+            deadline_secs: 600.0,
+        };
+        build_plan(
+            &spec,
+            &health_schema(),
+            &PrivacyConfig::none()
+                .with_max_tuples(100)
+                .separate("bmi", "systolic_bp"),
+            &ResilienceConfig {
+                strategy,
+                failure_probability: 0.15,
+                ..ResilienceConfig::default()
+            },
+            &dir,
+            DeviceId::new(0),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn built_plans_satisfy_all_invariants() {
+        for strategy in [Strategy::Overcollection, Strategy::Backup, Strategy::Naive] {
+            check_plan(&plan(strategy)).unwrap();
+        }
+    }
+
+    #[test]
+    fn mutations_are_caught() {
+        // Drop a computer.
+        let mut p = plan(Strategy::Naive);
+        let idx = p
+            .operators
+            .iter()
+            .position(|o| matches!(o.role, OperatorRole::Computer { .. }))
+            .unwrap();
+        p.operators.remove(idx);
+        assert!(check_plan(&p).is_err());
+
+        // Duplicate a builder partition.
+        let mut p = plan(Strategy::Naive);
+        let b = p
+            .operators
+            .iter()
+            .find(|o| matches!(o.role, OperatorRole::SnapshotBuilder { .. }))
+            .unwrap()
+            .clone();
+        p.operators.push(b);
+        assert!(check_plan(&p).is_err());
+
+        // Host two operators on one device.
+        let mut p = plan(Strategy::Naive);
+        let d0 = p.operators[0].device;
+        for op in p.operators.iter_mut() {
+            if matches!(op.role, OperatorRole::Combiner { .. }) {
+                op.device = d0;
+            }
+        }
+        assert!(check_plan(&p).is_err());
+
+        // Backwards edge.
+        let mut p = plan(Strategy::Naive);
+        let (a, b) = p.edges[0];
+        p.edges.push((b, a));
+        assert!(check_plan(&p).is_err());
+
+        // Contributor bucket count mismatch.
+        let mut p = plan(Strategy::Naive);
+        p.contributors.pop();
+        assert!(check_plan(&p).is_err());
+    }
+}

@@ -1,0 +1,743 @@
+//! QEP construction and device assignment.
+//!
+//! The planner realizes Figures 2 and 3 of the paper:
+//!
+//! * horizontal partitioning — the snapshot of cardinality `C` is split
+//!   into `n` partitions of `C/n` tuples (`n` derived from the privacy cap
+//!   on raw tuples per edgelet), overcollected to `n + m` partitions under
+//!   the Overcollection strategy;
+//! * vertical partitioning — the referenced attributes are colored into
+//!   groups so that separated pairs never co-reside; each group gets its
+//!   own Computer per partition;
+//! * each partition gets one Snapshot Builder feeding its Computers;
+//!   Computers feed the Computing Combiner, which runs with an Active
+//!   Backup replica; the Combiner reports to the Querier;
+//! * Data Contributors are assigned to partitions by hashing their
+//!   identity keys; Data Processor operators are placed on randomly drawn
+//!   volunteer devices (secure assignment).
+
+use crate::config::{PrivacyConfig, ResilienceConfig, Strategy};
+use crate::resilience::{plan_backup_degree, plan_overcollection};
+use crate::spec::{QueryKind, QuerySpec};
+use crate::vertical::partition_attributes;
+use edgelet_store::Schema;
+use edgelet_tee::Directory;
+use edgelet_util::ids::{DeviceId, OperatorId, PartitionId};
+use edgelet_util::rng::DetRng;
+use edgelet_util::{Error, Result};
+
+/// The role an operator plays in the QEP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OperatorRole {
+    /// Collects one partition's share of the snapshot.
+    SnapshotBuilder {
+        /// Partition handled.
+        partition: PartitionId,
+    },
+    /// Computes over one partition and one vertical attribute group.
+    Computer {
+        /// Partition handled.
+        partition: PartitionId,
+        /// Index into [`QueryPlan::attr_groups`].
+        attr_group: u32,
+    },
+    /// Combines Computer outputs. Replica 0 is the primary, higher
+    /// replicas are Active Backups running in parallel (§2.2).
+    Combiner {
+        /// Replica index.
+        replica: u32,
+    },
+    /// Receives the final result.
+    Querier,
+}
+
+impl OperatorRole {
+    /// Short label for rendering.
+    pub fn label(&self) -> String {
+        match self {
+            OperatorRole::SnapshotBuilder { partition } => format!("SB[{partition}]"),
+            OperatorRole::Computer {
+                partition,
+                attr_group,
+            } => format!("C[{partition},g{attr_group}]"),
+            OperatorRole::Combiner { replica } => {
+                if *replica == 0 {
+                    "CC".to_string()
+                } else {
+                    format!("CC-backup{replica}")
+                }
+            }
+            OperatorRole::Querier => "Q".to_string(),
+        }
+    }
+
+    /// Whether the role is a Data Processor (counts toward crowd
+    /// liability and backup planning).
+    pub fn is_data_processor(&self) -> bool {
+        !matches!(self, OperatorRole::Querier)
+    }
+}
+
+/// One planned operator instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedOperator {
+    /// Operator id, unique within the plan.
+    pub id: OperatorId,
+    /// Role.
+    pub role: OperatorRole,
+    /// Primary hosting device.
+    pub device: DeviceId,
+    /// Backup devices (Backup strategy only; empty otherwise).
+    pub backups: Vec<DeviceId>,
+}
+
+/// A fully planned query.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The query being planned.
+    pub spec: QuerySpec,
+    /// Strategy realized by this plan.
+    pub strategy: Strategy,
+    /// Minimum number of partitions for validity.
+    pub n: u64,
+    /// Overcollection degree (0 unless Overcollection).
+    pub m: u64,
+    /// Per-operator backup degree (0 unless Backup).
+    pub backup_degree: u64,
+    /// Tuples each partition must collect (`ceil(C / n)`).
+    pub partition_quota: usize,
+    /// Vertical attribute groups (columns each Computer slice sees).
+    pub attr_groups: Vec<Vec<String>>,
+    /// For Grouping-Sets queries: indices into the spec's aggregate list
+    /// evaluated by each vertical group (aligned with `attr_groups`).
+    pub attr_group_aggregates: Vec<Vec<usize>>,
+    /// All operators (Snapshot Builders, Computers, Combiners, Querier).
+    pub operators: Vec<PlannedOperator>,
+    /// Dataflow edges between operators.
+    pub edges: Vec<(OperatorId, OperatorId)>,
+    /// Data Contributors assigned to each partition (index = partition).
+    pub contributors: Vec<Vec<DeviceId>>,
+    /// Non-fatal planning caveats (e.g. partition quotas that the
+    /// contributor pool may not be able to fill).
+    pub warnings: Vec<String>,
+}
+
+impl QueryPlan {
+    /// Total partitions (`n + m`).
+    pub fn total_partitions(&self) -> u64 {
+        self.n + self.m
+    }
+
+    /// Operators with a given predicate on the role.
+    pub fn operators_where(
+        &self,
+        mut pred: impl FnMut(&OperatorRole) -> bool,
+    ) -> Vec<&PlannedOperator> {
+        self.operators.iter().filter(|o| pred(&o.role)).collect()
+    }
+
+    /// The primary Combiner.
+    pub fn combiner(&self) -> &PlannedOperator {
+        self.operators
+            .iter()
+            .find(|o| o.role == OperatorRole::Combiner { replica: 0 })
+            .expect("plan always has a primary combiner")
+    }
+
+    /// All Combiner replicas (primary first).
+    pub fn combiners(&self) -> Vec<&PlannedOperator> {
+        let mut out = self.operators_where(|r| matches!(r, OperatorRole::Combiner { .. }));
+        out.sort_by_key(|o| match o.role {
+            OperatorRole::Combiner { replica } => replica,
+            _ => u32::MAX,
+        });
+        out
+    }
+
+    /// The Querier operator.
+    pub fn querier(&self) -> &PlannedOperator {
+        self.operators
+            .iter()
+            .find(|o| o.role == OperatorRole::Querier)
+            .expect("plan always has a querier")
+    }
+
+    /// Number of distinct devices hosting Data Processor operators.
+    pub fn processor_devices(&self) -> Vec<DeviceId> {
+        let mut out: Vec<DeviceId> = self
+            .operators
+            .iter()
+            .filter(|o| o.role.is_data_processor())
+            .flat_map(|o| std::iter::once(o.device).chain(o.backups.iter().copied()))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Crowd-liability balance: the maximum number of Data Processor
+    /// operators hosted by any single device. 1 = perfectly spread.
+    pub fn max_operators_per_device(&self) -> usize {
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<DeviceId, usize> = BTreeMap::new();
+        for o in self.operators.iter().filter(|o| o.role.is_data_processor()) {
+            *counts.entry(o.device).or_default() += 1;
+            for b in &o.backups {
+                *counts.entry(*b).or_default() += 1;
+            }
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Builds the QEP for a query under the given privacy and resiliency
+/// configurations, assigning devices from the directory.
+///
+/// `querier_device` hosts the Querier endpoint (it need not volunteer as a
+/// processor).
+pub fn build_plan(
+    spec: &QuerySpec,
+    schema: &Schema,
+    privacy: &PrivacyConfig,
+    resilience: &ResilienceConfig,
+    directory: &Directory,
+    querier_device: DeviceId,
+    rng: &mut DetRng,
+) -> Result<QueryPlan> {
+    spec.validate(schema)?;
+    privacy.validate()?;
+    resilience.validate()?;
+
+    // ---- horizontal partitioning: n from the raw-tuple cap ----
+    let c = spec.snapshot_cardinality;
+    let n: u64 = match privacy.max_tuples_per_edgelet {
+        None => 1,
+        Some(cap) => (c as u64).div_ceil(cap as u64).max(1),
+    };
+    let partition_quota = c.div_ceil(n as usize);
+
+    // ---- vertical partitioning ----
+    let (attr_groups, attr_group_aggregates) = plan_attr_groups(spec, privacy)?;
+
+    // ---- resiliency ----
+    let v = attr_groups.len() as u64;
+    let combiner_replicas: u64 = match resilience.strategy {
+        Strategy::Overcollection => {
+            // §2.2 mandates at least one Active Backup; at higher fault
+            // presumption more parallel replicas are needed for the
+            // combination stage to meet the validity target at all:
+            // 1 - p^r >= target  =>  r >= ln(1-target) / ln(p).
+            let p = resilience.failure_probability;
+            if p <= 0.0 {
+                2
+            } else {
+                let needed = ((1.0 - resilience.target_validity).ln() / p.ln()).ceil();
+                (needed as u64).clamp(2, 8)
+            }
+        }
+        _ => 1,
+    };
+    let (m, backup_degree) = match resilience.strategy {
+        Strategy::Overcollection => {
+            // `failure_probability` presumes per-DEVICE faults; a partition
+            // pipeline spans one Snapshot Builder plus `v` Computers and
+            // survives only if all of them do.
+            let p_dev = resilience.failure_probability;
+            let p_partition = 1.0 - (1.0 - p_dev).powi((1 + v) as i32);
+            // The Combiner pair must also survive; budget the validity
+            // target across both events.
+            let combiner_survival = 1.0 - p_dev.powi(combiner_replicas as i32);
+            let adjusted_target = if combiner_survival <= resilience.target_validity {
+                // Even a perfect partition supply cannot reach the target;
+                // plan for the best achievable partition-side validity.
+                0.999_999
+            } else {
+                (resilience.target_validity / combiner_survival).min(0.999_999)
+            };
+            (
+                plan_overcollection(
+                    n,
+                    p_partition,
+                    adjusted_target,
+                    resilience.max_overcollection,
+                )?,
+                0,
+            )
+        }
+        Strategy::Backup => {
+            // Every Data Processor operator must survive: builders and
+            // computers per partition, plus the combiner.
+            let ops = n * (1 + v) + 1;
+            (
+                0,
+                plan_backup_degree(
+                    ops,
+                    resilience.failure_probability,
+                    resilience.target_validity,
+                    resilience.max_backups,
+                )?,
+            )
+        }
+        Strategy::Naive => (0, 0),
+    };
+    let total_partitions = n + m;
+
+    // ---- contributor assignment by identity-key hashing ----
+    let contributors_by_partition = directory.assign_contributors(total_partitions as usize);
+    let contributors: Vec<Vec<DeviceId>> = contributors_by_partition;
+    if contributors.iter().all(|c| c.is_empty()) {
+        return Err(Error::Unsatisfiable(
+            "directory has no data contributors".into(),
+        ));
+    }
+    let mut warnings: Vec<String> = Vec::new();
+    let thin_buckets = contributors
+        .iter()
+        .filter(|c| c.len() < partition_quota)
+        .count();
+    if thin_buckets > 0 {
+        warnings.push(format!(
+            "{thin_buckets} of {total_partitions} partitions have fewer \
+             contributors than their quota of {partition_quota} tuples; \
+             those partitions cannot complete even with full eligibility"
+        ));
+    }
+
+    // ---- processor selection ----
+    // One builder per partition, one computer per (partition, group), the
+    // combiner + one active backup (Overcollection; §2.2 requires it), and
+    // `backup_degree` extra replicas per operator under Backup.
+    let primary_ops = total_partitions * (1 + v) + combiner_replicas;
+    let backup_ops = backup_degree * (n * (1 + v) + 1);
+    let needed = primary_ops + backup_ops;
+    let picked = directory.select_processors(needed as usize, rng)?;
+    let mut pool = picked.into_iter();
+    let mut next = || pool.next().expect("pool sized to demand");
+
+    let mut operators: Vec<PlannedOperator> = Vec::with_capacity(needed as usize + 1);
+    let mut edges: Vec<(OperatorId, OperatorId)> = Vec::new();
+    let mut next_op_id = 0u64;
+    let mut fresh_id = || {
+        let id = OperatorId::new(next_op_id);
+        next_op_id += 1;
+        id
+    };
+    let backups_for = |pool_next: &mut dyn FnMut() -> DeviceId| -> Vec<DeviceId> {
+        (0..backup_degree).map(|_| pool_next()).collect()
+    };
+
+    // Builders and computers per partition.
+    let mut builder_ids = Vec::with_capacity(total_partitions as usize);
+    let mut computer_ids: Vec<Vec<OperatorId>> = Vec::with_capacity(total_partitions as usize);
+    for part in 0..total_partitions {
+        let partition = PartitionId::new(part);
+        let builder_id = fresh_id();
+        operators.push(PlannedOperator {
+            id: builder_id,
+            role: OperatorRole::SnapshotBuilder { partition },
+            device: next(),
+            backups: backups_for(&mut next),
+        });
+        builder_ids.push(builder_id);
+        let mut per_group = Vec::with_capacity(attr_groups.len());
+        for g in 0..attr_groups.len() {
+            let comp_id = fresh_id();
+            operators.push(PlannedOperator {
+                id: comp_id,
+                role: OperatorRole::Computer {
+                    partition,
+                    attr_group: g as u32,
+                },
+                device: next(),
+                backups: backups_for(&mut next),
+            });
+            edges.push((builder_id, comp_id));
+            per_group.push(comp_id);
+        }
+        computer_ids.push(per_group);
+    }
+
+    // Combiner replicas.
+    let mut combiner_ids = Vec::new();
+    for replica in 0..combiner_replicas {
+        let id = fresh_id();
+        operators.push(PlannedOperator {
+            id,
+            role: OperatorRole::Combiner {
+                replica: replica as u32,
+            },
+            device: next(),
+            backups: if replica == 0 {
+                backups_for(&mut next)
+            } else {
+                Vec::new()
+            },
+        });
+        combiner_ids.push(id);
+    }
+    for per_group in &computer_ids {
+        for &comp in per_group {
+            for &comb in &combiner_ids {
+                edges.push((comp, comb));
+            }
+        }
+    }
+
+    // Querier.
+    let querier_id = fresh_id();
+    operators.push(PlannedOperator {
+        id: querier_id,
+        role: OperatorRole::Querier,
+        device: querier_device,
+        backups: Vec::new(),
+    });
+    for &comb in &combiner_ids {
+        edges.push((comb, querier_id));
+    }
+
+    Ok(QueryPlan {
+        spec: spec.clone(),
+        strategy: resilience.strategy,
+        n,
+        m,
+        backup_degree,
+        partition_quota,
+        attr_groups,
+        attr_group_aggregates,
+        operators,
+        edges,
+        contributors,
+        warnings,
+    })
+}
+
+/// Per-group column sets plus, for Grouping-Sets queries, the aggregate
+/// indices each group evaluates.
+type AttrGrouping = (Vec<Vec<String>>, Vec<Vec<usize>>);
+
+/// Splits the referenced attributes into vertical groups, respecting the
+/// query kind's constraints. Returns the per-group column sets and, for
+/// Grouping-Sets queries, the aggregate indices each group evaluates.
+///
+/// For Grouping-Sets (the paper's "each Computer manages a single
+/// statistic, e.g., Age, BMI"), the grouping columns are replicated into
+/// every slice (every statistic is broken down by the same groups) while
+/// the *aggregate input columns* are what vertical partitioning
+/// separates. A separation involving a grouping column is therefore
+/// unsatisfiable, as is one between two K-Means features.
+fn plan_attr_groups(spec: &QuerySpec, privacy: &PrivacyConfig) -> Result<AttrGrouping> {
+    match &spec.kind {
+        QueryKind::GroupingSets(q) => {
+            let mut group_cols: Vec<String> = q.sets.iter().flatten().cloned().collect();
+            group_cols.sort();
+            group_cols.dedup();
+            // Aggregate input columns not already replicated as grouping
+            // columns are the separable ones.
+            let mut agg_cols: Vec<String> = q
+                .aggregates
+                .iter()
+                .filter_map(|a| a.column.clone())
+                .filter(|c| !group_cols.contains(c))
+                .collect();
+            agg_cols.sort();
+            agg_cols.dedup();
+
+            for (a, b) in &privacy.separated_attribute_pairs {
+                let a_grouping = group_cols.contains(a);
+                let b_grouping = group_cols.contains(b);
+                let a_used = a_grouping || agg_cols.contains(a);
+                let b_used = b_grouping || agg_cols.contains(b);
+                if a_used && b_used && (a_grouping || b_grouping) {
+                    return Err(Error::Unsatisfiable(format!(
+                        "cannot separate `{a}` from `{b}`: grouping columns \
+                         are replicated into every computer slice"
+                    )));
+                }
+            }
+
+            let groups = partition_attributes(&agg_cols, &privacy.separated_attribute_pairs)?;
+            // Assign each aggregate to the group holding its column;
+            // COUNT(*) and aggregates over grouping columns go to group 0.
+            let mut agg_assignment: Vec<Vec<usize>> = vec![Vec::new(); groups.len()];
+            for (i, agg) in q.aggregates.iter().enumerate() {
+                let g = match &agg.column {
+                    Some(c) if !group_cols.contains(c) => groups
+                        .iter()
+                        .position(|grp| grp.contains(c))
+                        .expect("aggregate column present in exactly one group"),
+                    _ => 0,
+                };
+                agg_assignment[g].push(i);
+            }
+            // Each slice sees the grouping columns plus its aggregates'.
+            let attr_groups: Vec<Vec<String>> = groups
+                .iter()
+                .map(|grp| {
+                    let mut cols = group_cols.clone();
+                    cols.extend(grp.iter().cloned());
+                    cols
+                })
+                .collect();
+            Ok((attr_groups, agg_assignment))
+        }
+        QueryKind::KMeans { .. } => {
+            // Clustering needs all features on the same operator; a
+            // separation constraint between two referenced columns cannot
+            // be honored.
+            let attrs = spec.kind.referenced_columns();
+            for (a, b) in &privacy.separated_attribute_pairs {
+                if attrs.contains(a) && attrs.contains(b) {
+                    return Err(Error::Unsatisfiable(format!(
+                        "k-means requires `{a}` and `{b}` on the same computer; \
+                         drop the separation or the feature"
+                    )));
+                }
+            }
+            Ok((vec![attrs], vec![Vec::new()]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgelet_ml::grouping::GroupingQuery;
+    use edgelet_ml::{AggKind, AggSpec};
+    use edgelet_store::synth::health_schema;
+    use edgelet_store::{CmpOp, Predicate, Value};
+    use edgelet_tee::DeviceClass;
+    use edgelet_util::ids::QueryId;
+
+    fn directory(contributors: usize, processors: usize) -> Directory {
+        let mut dir = Directory::new();
+        let mut rng = DetRng::new(77);
+        let mut id = 0u64;
+        for _ in 0..contributors {
+            dir.enroll(DeviceId::new(id), DeviceClass::TpmHomeBox, true, false, &mut rng);
+            id += 1;
+        }
+        for _ in 0..processors {
+            dir.enroll(DeviceId::new(id), DeviceClass::SgxPc, false, true, &mut rng);
+            id += 1;
+        }
+        dir
+    }
+
+    fn grouping_spec(c: usize) -> QuerySpec {
+        QuerySpec {
+            id: QueryId::new(1),
+            filter: Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+            snapshot_cardinality: c,
+            kind: QueryKind::GroupingSets(GroupingQuery::new(
+                &[&["sex"], &["gir"], &[]],
+                vec![
+                    AggSpec::count_star(),
+                    AggSpec::over(AggKind::Avg, "bmi"),
+                    AggSpec::over(AggKind::Avg, "systolic_bp"),
+                ],
+            )),
+            deadline_secs: 3600.0,
+        }
+    }
+
+    fn kmeans_spec(c: usize) -> QuerySpec {
+        QuerySpec {
+            id: QueryId::new(2),
+            filter: Predicate::True,
+            snapshot_cardinality: c,
+            kind: QueryKind::KMeans {
+                k: 3,
+                features: vec!["age".into(), "bmi".into()],
+                heartbeats: 4,
+                per_cluster_aggregates: vec![AggSpec::over(AggKind::Avg, "gir")],
+            },
+            deadline_secs: 3600.0,
+        }
+    }
+
+    fn plan_with(
+        spec: &QuerySpec,
+        privacy: PrivacyConfig,
+        resilience: ResilienceConfig,
+    ) -> Result<QueryPlan> {
+        let dir = directory(500, 300);
+        let mut rng = DetRng::new(3);
+        build_plan(
+            spec,
+            &health_schema(),
+            &privacy,
+            &resilience,
+            &dir,
+            DeviceId::new(0),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn figure2_shape_horizontal_and_vertical() {
+        // C=2000, cap 500 -> n=4; one separated pair -> 2 attr groups.
+        let spec = grouping_spec(2000);
+        // Separating the two statistics' input columns (`bmi` and
+        // `systolic_bp`) forces two vertical groups — each Computer
+        // "manages a single statistic" as in Figure 2. The grouping
+        // columns are replicated into both slices.
+        let privacy = PrivacyConfig::none()
+            .with_max_tuples(500)
+            .separate("bmi", "systolic_bp");
+        let resilience = ResilienceConfig {
+            strategy: Strategy::Naive,
+            ..ResilienceConfig::default()
+        };
+        let plan = plan_with(&spec, privacy, resilience).unwrap();
+        assert_eq!(plan.n, 4);
+        assert_eq!(plan.m, 0);
+        assert_eq!(plan.partition_quota, 500);
+        assert_eq!(plan.attr_groups.len(), 2);
+        let builders =
+            plan.operators_where(|r| matches!(r, OperatorRole::SnapshotBuilder { .. }));
+        assert_eq!(builders.len(), 4);
+        let computers = plan.operators_where(|r| matches!(r, OperatorRole::Computer { .. }));
+        assert_eq!(computers.len(), 8);
+        assert_eq!(plan.combiners().len(), 1, "naive has no active backup");
+        // Every edge references existing operators.
+        let ids: std::collections::HashSet<_> = plan.operators.iter().map(|o| o.id).collect();
+        for (a, b) in &plan.edges {
+            assert!(ids.contains(a) && ids.contains(b));
+        }
+    }
+
+    #[test]
+    fn figure3_overcollection_adds_partitions_and_active_backup() {
+        let spec = grouping_spec(2000);
+        let privacy = PrivacyConfig::none().with_max_tuples(500);
+        let resilience = ResilienceConfig {
+            strategy: Strategy::Overcollection,
+            failure_probability: 0.2,
+            target_validity: 0.999,
+            ..ResilienceConfig::default()
+        };
+        let plan = plan_with(&spec, privacy, resilience).unwrap();
+        assert_eq!(plan.n, 4);
+        assert!(plan.m >= 2, "p=0.2 must force overcollection, m={}", plan.m);
+        assert_eq!(plan.total_partitions(), plan.n + plan.m);
+        assert!(plan.combiners().len() >= 2, "active backup present");
+        let builders =
+            plan.operators_where(|r| matches!(r, OperatorRole::SnapshotBuilder { .. }));
+        assert_eq!(builders.len() as u64, plan.total_partitions());
+        // Contributors are spread over all n+m partitions.
+        assert_eq!(plan.contributors.len() as u64, plan.total_partitions());
+        assert!(plan.contributors.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn backup_strategy_assigns_backups() {
+        let spec = grouping_spec(1000);
+        let privacy = PrivacyConfig::none().with_max_tuples(500);
+        let resilience = ResilienceConfig {
+            strategy: Strategy::Backup,
+            failure_probability: 0.2,
+            target_validity: 0.99,
+            ..ResilienceConfig::default()
+        };
+        let plan = plan_with(&spec, privacy, resilience).unwrap();
+        assert_eq!(plan.m, 0);
+        assert!(plan.backup_degree >= 1);
+        for op in plan.operators.iter().filter(|o| o.role.is_data_processor()) {
+            match op.role {
+                OperatorRole::Combiner { replica } if replica > 0 => {}
+                _ => assert_eq!(op.backups.len() as u64, plan.backup_degree, "{:?}", op.role),
+            }
+        }
+        assert_eq!(plan.querier().backups.len(), 0);
+    }
+
+    #[test]
+    fn operators_land_on_distinct_devices() {
+        let spec = grouping_spec(2000);
+        let privacy = PrivacyConfig::none().with_max_tuples(200);
+        let plan = plan_with(&spec, privacy, ResilienceConfig::default()).unwrap();
+        assert_eq!(plan.max_operators_per_device(), 1);
+        let devices = plan.processor_devices();
+        let processors: usize = plan
+            .operators
+            .iter()
+            .filter(|o| o.role.is_data_processor())
+            .map(|o| 1 + o.backups.len())
+            .sum();
+        assert_eq!(devices.len(), processors);
+    }
+
+    #[test]
+    fn kmeans_keeps_features_together() {
+        let spec = kmeans_spec(1000);
+        let plan = plan_with(
+            &spec,
+            PrivacyConfig::none().with_max_tuples(250),
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(plan.attr_groups.len(), 1);
+        assert!(plan.attr_groups[0].contains(&"age".to_string()));
+        assert!(plan.attr_groups[0].contains(&"gir".to_string()));
+
+        // Separating two features is unsatisfiable.
+        let err = plan_with(
+            &spec,
+            PrivacyConfig::none().separate("age", "bmi"),
+            ResilienceConfig::default(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn insufficient_processors_fail() {
+        let spec = grouping_spec(2000);
+        let dir = directory(100, 3);
+        let mut rng = DetRng::new(5);
+        let err = build_plan(
+            &spec,
+            &health_schema(),
+            &PrivacyConfig::none().with_max_tuples(100),
+            &ResilienceConfig::default(),
+            &dir,
+            DeviceId::new(0),
+            &mut rng,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn no_contributors_fail() {
+        let spec = grouping_spec(100);
+        let dir = directory(0, 50);
+        let mut rng = DetRng::new(6);
+        let err = build_plan(
+            &spec,
+            &health_schema(),
+            &PrivacyConfig::none(),
+            &ResilienceConfig::default(),
+            &dir,
+            DeviceId::new(0),
+            &mut rng,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn querier_and_combiner_accessors() {
+        let spec = grouping_spec(500);
+        let plan = plan_with(
+            &spec,
+            PrivacyConfig::none().with_max_tuples(250),
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(plan.querier().role, OperatorRole::Querier);
+        assert_eq!(plan.combiner().role, OperatorRole::Combiner { replica: 0 });
+        assert_eq!(plan.combiners()[0].id, plan.combiner().id);
+        assert!(plan
+            .operators
+            .iter()
+            .any(|o| o.role.label().starts_with("SB[")));
+    }
+}

@@ -1,0 +1,165 @@
+//! Plan rendering: ASCII summary and Graphviz DOT.
+
+use crate::plan::{OperatorRole, QueryPlan};
+use std::fmt::Write as _;
+
+/// Renders a compact ASCII summary of a plan (what the demo GUI shows).
+pub fn render_ascii(plan: &QueryPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "QEP for {} ({}; strategy={})",
+        plan.spec.id,
+        plan.spec.kind.name(),
+        plan.strategy.name()
+    );
+    let _ = writeln!(
+        out,
+        "  snapshot C={} | partitions n={} (+m={}) x quota {} | attr groups: {}",
+        plan.spec.snapshot_cardinality,
+        plan.n,
+        plan.m,
+        plan.partition_quota,
+        plan.attr_groups.len()
+    );
+    for (g, attrs) in plan.attr_groups.iter().enumerate() {
+        let _ = writeln!(out, "    group {g}: [{}]", attrs.join(", "));
+    }
+    let contributors: usize = plan.contributors.iter().map(|c| c.len()).sum();
+    let _ = writeln!(out, "  contributors: {contributors}");
+    for op in &plan.operators {
+        let backups = if op.backups.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " backups=[{}]",
+                op.backups
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        let _ = writeln!(out, "  {:<16} @ {}{}", op.role.label(), op.device, backups);
+    }
+    let _ = writeln!(out, "  edges: {}", plan.edges.len());
+    out
+}
+
+/// Renders the dataflow graph in Graphviz DOT format.
+pub fn render_dot(plan: &QueryPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph qep {{");
+    let _ = writeln!(out, "  rankdir=BT;");
+    let _ = writeln!(
+        out,
+        "  label=\"{} / {} (n={}, m={})\";",
+        plan.spec.id,
+        plan.strategy.name(),
+        plan.n,
+        plan.m
+    );
+    let _ = writeln!(
+        out,
+        "  contributors [shape=box3d, label=\"{} Data Contributors\"];",
+        plan.contributors.iter().map(|c| c.len()).sum::<usize>()
+    );
+    for op in &plan.operators {
+        let shape = match op.role {
+            OperatorRole::SnapshotBuilder { .. } => "box",
+            OperatorRole::Computer { .. } => "ellipse",
+            OperatorRole::Combiner { .. } => "hexagon",
+            OperatorRole::Querier => "doublecircle",
+        };
+        let _ = writeln!(
+            out,
+            "  op{} [shape={shape}, label=\"{}\\n{}\"];",
+            op.id.raw(),
+            op.role.label(),
+            op.device
+        );
+        if matches!(op.role, OperatorRole::SnapshotBuilder { .. }) {
+            let _ = writeln!(out, "  contributors -> op{};", op.id.raw());
+        }
+    }
+    for (a, b) in &plan.edges {
+        let _ = writeln!(out, "  op{} -> op{};", a.raw(), b.raw());
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PrivacyConfig, ResilienceConfig};
+    use crate::plan::build_plan;
+    use crate::spec::{QueryKind, QuerySpec};
+    use edgelet_ml::grouping::GroupingQuery;
+    use edgelet_ml::AggSpec;
+    use edgelet_store::synth::health_schema;
+    use edgelet_store::Predicate;
+    use edgelet_tee::{DeviceClass, Directory};
+    use edgelet_util::ids::{DeviceId, QueryId};
+    use edgelet_util::rng::DetRng;
+
+    fn plan() -> QueryPlan {
+        let mut dir = Directory::new();
+        let mut rng = DetRng::new(1);
+        for i in 0..200u64 {
+            dir.enroll(
+                DeviceId::new(i),
+                DeviceClass::SgxPc,
+                i < 100,
+                i >= 100,
+                &mut rng,
+            );
+        }
+        let spec = QuerySpec {
+            id: QueryId::new(9),
+            filter: Predicate::True,
+            snapshot_cardinality: 400,
+            kind: QueryKind::GroupingSets(GroupingQuery::new(
+                &[&["sex"]],
+                vec![AggSpec::count_star()],
+            )),
+            deadline_secs: 600.0,
+        };
+        build_plan(
+            &spec,
+            &health_schema(),
+            &PrivacyConfig::none().with_max_tuples(100),
+            &ResilienceConfig::default(),
+            &dir,
+            DeviceId::new(0),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ascii_mentions_all_roles() {
+        let text = render_ascii(&plan());
+        assert!(text.contains("SB[part#0]"), "{text}");
+        assert!(text.contains("CC"), "{text}");
+        assert!(text.contains('Q'), "{text}");
+        assert!(text.contains("contributors: 100"), "{text}");
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let p = plan();
+        let dot = render_dot(&p);
+        assert!(dot.starts_with("digraph qep {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // One node line per operator plus the contributors pseudo-node.
+        let nodes = dot.matches("[shape=").count();
+        assert_eq!(nodes, p.operators.len() + 1);
+        // Every edge rendered.
+        let arrows = dot.matches("->").count();
+        let builder_count = p
+            .operators_where(|r| matches!(r, crate::plan::OperatorRole::SnapshotBuilder { .. }))
+            .len();
+        assert_eq!(arrows, p.edges.len() + builder_count);
+    }
+}

@@ -1,0 +1,177 @@
+//! Resiliency planning: choosing the Overcollection degree `m` and the
+//! Backup degree `b`.
+//!
+//! **Overcollection.** With `n + m` partitions and i.i.d. failure
+//! probability `p` per partition pipeline, the query remains valid when at
+//! least `n` partitions survive:
+//! `P[valid] = P[Binomial(n+m, 1-p) >= n]`. The planner returns the
+//! smallest `m` achieving the target validity.
+//!
+//! **Backup.** Each of the `ops` Data Processors is replicated `b` times;
+//! an operator survives when at least one of its `1 + b` replicas does,
+//! so `P[valid] = (1 - p^(1+b))^ops`. The planner returns the smallest `b`.
+
+use edgelet_util::binom::{overcollection_validity, overcollection_validity_normal_approx};
+use edgelet_util::{Error, Result};
+
+/// Smallest `m` such that `P[>= n of n+m partitions survive] >= target`.
+pub fn plan_overcollection(n: u64, p: f64, target: f64, max_m: u64) -> Result<u64> {
+    validate_inputs(n, p, target)?;
+    if p == 0.0 {
+        return Ok(0);
+    }
+    for m in 0..=max_m {
+        if overcollection_validity(n, m, p) >= target {
+            return Ok(m);
+        }
+    }
+    Err(Error::Unsatisfiable(format!(
+        "no m <= {max_m} reaches validity {target} with n={n}, p={p}"
+    )))
+}
+
+/// Variant using the normal approximation of the binomial tail — O(1) per
+/// candidate instead of O(n+m); the ablation bench compares both.
+pub fn plan_overcollection_approx(n: u64, p: f64, target: f64, max_m: u64) -> Result<u64> {
+    validate_inputs(n, p, target)?;
+    if p == 0.0 {
+        return Ok(0);
+    }
+    for m in 0..=max_m {
+        if overcollection_validity_normal_approx(n, m, p) >= target {
+            return Ok(m);
+        }
+    }
+    Err(Error::Unsatisfiable(format!(
+        "no m <= {max_m} reaches validity {target} with n={n}, p={p} (approx)"
+    )))
+}
+
+/// Smallest backup degree `b` such that every one of `ops` operators keeps
+/// at least one live replica with overall probability `target`.
+pub fn plan_backup_degree(ops: u64, p: f64, target: f64, max_b: u64) -> Result<u64> {
+    validate_inputs(ops.max(1), p, target)?;
+    if p == 0.0 || ops == 0 {
+        return Ok(0);
+    }
+    for b in 0..=max_b {
+        let per_op = 1.0 - p.powi((b + 1) as i32);
+        let overall = per_op.powi(ops as i32);
+        if overall >= target {
+            return Ok(b);
+        }
+    }
+    Err(Error::Unsatisfiable(format!(
+        "no b <= {max_b} reaches validity {target} with {ops} operators, p={p}"
+    )))
+}
+
+fn validate_inputs(n: u64, p: f64, target: f64) -> Result<()> {
+    if n == 0 {
+        return Err(Error::InvalidConfig("n must be positive".into()));
+    }
+    if !(0.0..1.0).contains(&p) {
+        return Err(Error::InvalidConfig(format!(
+            "failure probability {p} outside [0, 1)"
+        )));
+    }
+    if !(0.0..1.0).contains(&target) {
+        return Err(Error::InvalidConfig(format!(
+            "target validity {target} outside [0, 1)"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_failure_needs_no_overcollection() {
+        assert_eq!(plan_overcollection(10, 0.0, 0.999, 100).unwrap(), 0);
+        assert_eq!(plan_backup_degree(10, 0.0, 0.999, 10).unwrap(), 0);
+    }
+
+    #[test]
+    fn m_is_minimal() {
+        let n = 10;
+        let p = 0.2;
+        let target = 0.999;
+        let m = plan_overcollection(n, p, target, 100).unwrap();
+        assert!(overcollection_validity(n, m, p) >= target);
+        if m > 0 {
+            assert!(overcollection_validity(n, m - 1, p) < target);
+        }
+    }
+
+    #[test]
+    fn m_grows_with_p_and_target() {
+        let m_low_p = plan_overcollection(10, 0.05, 0.999, 100).unwrap();
+        let m_high_p = plan_overcollection(10, 0.3, 0.999, 100).unwrap();
+        assert!(m_high_p > m_low_p);
+        let m_low_t = plan_overcollection(10, 0.2, 0.9, 100).unwrap();
+        let m_high_t = plan_overcollection(10, 0.2, 0.99999, 100).unwrap();
+        assert!(m_high_t > m_low_t);
+    }
+
+    #[test]
+    fn relative_overcollection_shrinks_with_n() {
+        // Law of large numbers: m/n decreases as n grows at fixed p, target.
+        let m10 = plan_overcollection(10, 0.1, 0.999, 1000).unwrap() as f64 / 10.0;
+        let m1000 = plan_overcollection(1000, 0.1, 0.999, 1000).unwrap() as f64 / 1000.0;
+        assert!(m1000 < m10, "m/n at n=10: {m10}, at n=1000: {m1000}");
+    }
+
+    #[test]
+    fn unsatisfiable_when_capped() {
+        assert!(plan_overcollection(10, 0.5, 0.999999, 2).is_err());
+        assert!(plan_backup_degree(10, 0.9, 0.99999, 1).is_err());
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(plan_overcollection(0, 0.1, 0.9, 10).is_err());
+        assert!(plan_overcollection(5, 1.0, 0.9, 10).is_err());
+        assert!(plan_overcollection(5, -0.1, 0.9, 10).is_err());
+        assert!(plan_overcollection(5, 0.1, 1.0, 10).is_err());
+        assert!(plan_backup_degree(5, 1.5, 0.9, 10).is_err());
+    }
+
+    #[test]
+    fn backup_degree_is_minimal_and_monotone() {
+        let b = plan_backup_degree(20, 0.2, 0.999, 50).unwrap();
+        let per_op = |b: u64| (1.0 - 0.2f64.powi((b + 1) as i32)).powi(20);
+        assert!(per_op(b) >= 0.999);
+        if b > 0 {
+            assert!(per_op(b - 1) < 0.999);
+        }
+        // More operators need at least as many backups.
+        let b_more = plan_backup_degree(200, 0.2, 0.999, 50).unwrap();
+        assert!(b_more >= b);
+    }
+
+    #[test]
+    fn approx_matches_exact_at_scale() {
+        for &(n, p) in &[(50u64, 0.1), (200, 0.15), (500, 0.05)] {
+            let exact = plan_overcollection(n, p, 0.999, 2000).unwrap();
+            let approx = plan_overcollection_approx(n, p, 0.999, 2000).unwrap();
+            let diff = exact.abs_diff(approx);
+            assert!(diff <= 2, "n={n} p={p}: exact {exact}, approx {approx}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_planned_m_meets_target(
+            n in 1u64..200,
+            p in 0.0f64..0.6,
+            target in 0.5f64..0.9999,
+        ) {
+            if let Ok(m) = plan_overcollection(n, p, target, 4096) {
+                prop_assert!(overcollection_validity(n, m, p) >= target);
+            }
+        }
+    }
+}

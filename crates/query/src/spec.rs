@@ -1,0 +1,229 @@
+//! Query specifications: what the Querier asks the crowd to compute.
+
+use edgelet_ml::grouping::GroupingQuery;
+use edgelet_store::{Predicate, Schema};
+use edgelet_util::ids::QueryId;
+use edgelet_util::{Error, Result};
+
+/// The computation payload of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryKind {
+    /// Grouping-Sets aggregation (demo query (i)).
+    GroupingSets(GroupingQuery),
+    /// K-Means over numeric features, optionally followed by a Group-By on
+    /// the resulting clusters (demo query (ii)).
+    KMeans {
+        /// Number of clusters.
+        k: usize,
+        /// Numeric feature columns.
+        features: Vec<String>,
+        /// Iterative heartbeats before the final combination (§2.2).
+        heartbeats: usize,
+        /// Aggregate these columns per resulting cluster (may be empty).
+        per_cluster_aggregates: Vec<edgelet_ml::AggSpec>,
+    },
+}
+
+impl QueryKind {
+    /// Columns the computation reads.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        match self {
+            QueryKind::GroupingSets(q) => q.referenced_columns(),
+            QueryKind::KMeans {
+                features,
+                per_cluster_aggregates,
+                ..
+            } => {
+                let mut out = features.clone();
+                for a in per_cluster_aggregates {
+                    if let Some(c) = &a.column {
+                        out.push(c.clone());
+                    }
+                }
+                out.sort();
+                out.dedup();
+                out
+            }
+        }
+    }
+
+    /// Validates against the shared schema.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        match self {
+            QueryKind::GroupingSets(q) => q.validate(schema),
+            QueryKind::KMeans {
+                k,
+                features,
+                heartbeats,
+                per_cluster_aggregates,
+            } => {
+                if *k == 0 {
+                    return Err(Error::InvalidQuery("k-means needs k >= 1".into()));
+                }
+                if features.is_empty() {
+                    return Err(Error::InvalidQuery("k-means needs features".into()));
+                }
+                if *heartbeats == 0 {
+                    return Err(Error::InvalidQuery(
+                        "iterative execution needs at least one heartbeat".into(),
+                    ));
+                }
+                for f in features {
+                    let col = schema.column(f)?;
+                    match col.ty {
+                        edgelet_store::ColumnType::Int | edgelet_store::ColumnType::Float => {}
+                        other => {
+                            return Err(Error::InvalidQuery(format!(
+                                "k-means feature `{f}` must be numeric, found {other}"
+                            )))
+                        }
+                    }
+                }
+                for a in per_cluster_aggregates {
+                    a.validate(schema)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Short human name for rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryKind::GroupingSets(_) => "grouping-sets",
+            QueryKind::KMeans { .. } => "k-means",
+        }
+    }
+}
+
+/// A complete query specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Query identifier.
+    pub id: QueryId,
+    /// Selection predicate applied by Data Contributors (e.g. `age > 65`).
+    pub filter: Predicate,
+    /// Representative snapshot cardinality `C` (e.g. 2000 patients).
+    pub snapshot_cardinality: usize,
+    /// The computation.
+    pub kind: QueryKind,
+    /// Query deadline in virtual seconds (the Resiliency property is
+    /// "completes before the deadline").
+    pub deadline_secs: f64,
+}
+
+impl QuerySpec {
+    /// Validates the whole spec against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        if self.snapshot_cardinality == 0 {
+            return Err(Error::InvalidQuery("snapshot cardinality is zero".into()));
+        }
+        if self.deadline_secs <= 0.0 {
+            return Err(Error::InvalidQuery("deadline must be positive".into()));
+        }
+        self.filter.validate(schema)?;
+        self.kind.validate(schema)
+    }
+
+    /// All columns the query touches (filter + computation): the basis of
+    /// the exposure analysis and vertical partitioning.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .filter
+            .referenced_columns()
+            .into_iter()
+            .map(|s| s.to_string())
+            .collect();
+        out.extend(self.kind.referenced_columns());
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgelet_ml::{AggKind, AggSpec};
+    use edgelet_store::synth::health_schema;
+    use edgelet_store::{CmpOp, Value};
+
+    fn grouping_spec() -> QuerySpec {
+        QuerySpec {
+            id: QueryId::new(1),
+            filter: Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+            snapshot_cardinality: 2000,
+            kind: QueryKind::GroupingSets(GroupingQuery::new(
+                &[&["sex"], &["gir"]],
+                vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "bmi")],
+            )),
+            deadline_secs: 3600.0,
+        }
+    }
+
+    fn kmeans_spec() -> QuerySpec {
+        QuerySpec {
+            id: QueryId::new(2),
+            filter: Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+            snapshot_cardinality: 1000,
+            kind: QueryKind::KMeans {
+                k: 3,
+                features: vec!["age".into(), "bmi".into(), "systolic_bp".into()],
+                heartbeats: 5,
+                per_cluster_aggregates: vec![AggSpec::over(AggKind::Avg, "gir")],
+            },
+            deadline_secs: 7200.0,
+        }
+    }
+
+    #[test]
+    fn valid_specs_pass() {
+        let schema = health_schema();
+        grouping_spec().validate(&schema).unwrap();
+        kmeans_spec().validate(&schema).unwrap();
+        assert_eq!(grouping_spec().kind.name(), "grouping-sets");
+        assert_eq!(kmeans_spec().kind.name(), "k-means");
+    }
+
+    #[test]
+    fn referenced_columns_cover_filter_and_payload() {
+        let cols = grouping_spec().referenced_columns();
+        assert_eq!(cols, vec!["age", "bmi", "gir", "sex"]);
+        let cols = kmeans_spec().referenced_columns();
+        assert_eq!(cols, vec!["age", "bmi", "gir", "systolic_bp"]);
+    }
+
+    #[test]
+    fn invalid_specs_fail() {
+        let schema = health_schema();
+        let mut s = grouping_spec();
+        s.snapshot_cardinality = 0;
+        assert!(s.validate(&schema).is_err());
+
+        let mut s = grouping_spec();
+        s.deadline_secs = 0.0;
+        assert!(s.validate(&schema).is_err());
+
+        let mut s = grouping_spec();
+        s.filter = Predicate::cmp("nope", CmpOp::Eq, Value::Int(1));
+        assert!(s.validate(&schema).is_err());
+
+        let mut s = kmeans_spec();
+        if let QueryKind::KMeans { k, .. } = &mut s.kind {
+            *k = 0;
+        }
+        assert!(s.validate(&schema).is_err());
+
+        let mut s = kmeans_spec();
+        if let QueryKind::KMeans { features, .. } = &mut s.kind {
+            *features = vec!["sex".into()];
+        }
+        assert!(s.validate(&schema).is_err());
+
+        let mut s = kmeans_spec();
+        if let QueryKind::KMeans { heartbeats, .. } = &mut s.kind {
+            *heartbeats = 0;
+        }
+        assert!(s.validate(&schema).is_err());
+    }
+}

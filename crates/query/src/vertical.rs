@@ -1,0 +1,177 @@
+//! Vertical partitioning: separating quasi-identifier attribute pairs.
+//!
+//! Attributes referenced by a query form the vertices of a *conflict
+//! graph*; each separated pair is an edge. A valid vertical partitioning
+//! is a proper coloring: no edge inside one group. Each color class
+//! becomes one Computer slice in the QEP, so fewer colors = fewer extra
+//! operators. Greedy coloring in degree order stays within Δ+1 groups,
+//! ample for the handful of attributes real queries carry.
+
+use edgelet_util::{Error, Result};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Splits `attributes` into groups such that no `separated` pair shares a
+/// group. Attribute names in `separated` that the query does not reference
+/// are ignored. Group order (and content order) is deterministic.
+pub fn partition_attributes(
+    attributes: &[String],
+    separated: &[(String, String)],
+) -> Result<Vec<Vec<String>>> {
+    let attr_set: BTreeSet<&str> = attributes.iter().map(|s| s.as_str()).collect();
+    if attr_set.len() != attributes.len() {
+        return Err(Error::InvalidConfig("duplicate attribute names".into()));
+    }
+    // Build adjacency among referenced attributes only.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for a in &attr_set {
+        adj.insert(a, BTreeSet::new());
+    }
+    for (a, b) in separated {
+        if a == b {
+            return Err(Error::InvalidConfig(format!(
+                "cannot separate `{a}` from itself"
+            )));
+        }
+        if attr_set.contains(a.as_str()) && attr_set.contains(b.as_str()) {
+            adj.get_mut(a.as_str()).expect("present").insert(b);
+            adj.get_mut(b.as_str()).expect("present").insert(a);
+        }
+    }
+
+    // Greedy coloring, highest degree first (ties broken by name for
+    // determinism).
+    let mut order: Vec<&str> = attr_set.iter().copied().collect();
+    order.sort_by_key(|a| (usize::MAX - adj[a].len(), *a));
+
+    let mut color: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut n_colors = 0usize;
+    for a in order {
+        let neighbor_colors: BTreeSet<usize> = adj[a]
+            .iter()
+            .filter_map(|n| color.get(n).copied())
+            .collect();
+        let mut c = 0;
+        while neighbor_colors.contains(&c) {
+            c += 1;
+        }
+        color.insert(a, c);
+        n_colors = n_colors.max(c + 1);
+    }
+
+    let mut groups: Vec<Vec<String>> = vec![Vec::new(); n_colors.max(1)];
+    for a in attributes {
+        let c = color.get(a.as_str()).copied().unwrap_or(0);
+        groups[c].push(a.clone());
+    }
+    groups.retain(|g| !g.is_empty());
+    if groups.is_empty() {
+        groups.push(Vec::new());
+    }
+    Ok(groups)
+}
+
+/// Verifies that a grouping separates every pair (used in tests and by the
+/// privacy auditor).
+pub fn verify_separation(groups: &[Vec<String>], separated: &[(String, String)]) -> bool {
+    for group in groups {
+        let set: BTreeSet<&str> = group.iter().map(|s| s.as_str()).collect();
+        for (a, b) in separated {
+            if set.contains(a.as_str()) && set.contains(b.as_str()) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn pairs(v: &[(&str, &str)]) -> Vec<(String, String)> {
+        v.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect()
+    }
+
+    #[test]
+    fn no_conflicts_single_group() {
+        let groups = partition_attributes(&s(&["age", "bmi", "gir"]), &[]).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0], s(&["age", "bmi", "gir"]));
+    }
+
+    #[test]
+    fn one_pair_two_groups() {
+        let groups =
+            partition_attributes(&s(&["age", "region", "bmi"]), &pairs(&[("age", "region")]))
+                .unwrap();
+        assert_eq!(groups.len(), 2);
+        assert!(verify_separation(&groups, &pairs(&[("age", "region")])));
+        // All attributes survive.
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn triangle_needs_three_groups() {
+        let seps = pairs(&[("a", "b"), ("b", "c"), ("a", "c")]);
+        let groups = partition_attributes(&s(&["a", "b", "c"]), &seps).unwrap();
+        assert_eq!(groups.len(), 3);
+        assert!(verify_separation(&groups, &seps));
+    }
+
+    #[test]
+    fn unreferenced_pairs_ignored() {
+        let groups = partition_attributes(
+            &s(&["age"]),
+            &pairs(&[("height", "weight"), ("age", "shoe_size")]),
+        )
+        .unwrap();
+        assert_eq!(groups.len(), 1);
+    }
+
+    #[test]
+    fn self_pair_and_duplicates_fail() {
+        assert!(partition_attributes(&s(&["a"]), &pairs(&[("a", "a")])).is_err());
+        assert!(partition_attributes(&s(&["a", "a"]), &[]).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let attrs = s(&["age", "bmi", "gir", "region", "sex"]);
+        let seps = pairs(&[("age", "region"), ("sex", "region"), ("age", "gir")]);
+        let a = partition_attributes(&attrs, &seps).unwrap();
+        let b = partition_attributes(&attrs, &seps).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_attributes() {
+        let groups = partition_attributes(&[], &[]).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert!(groups[0].is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_grouping_always_separates(
+            n_attrs in 1usize..10,
+            edges in prop::collection::vec((0usize..10, 0usize..10), 0..20),
+        ) {
+            let attrs: Vec<String> = (0..n_attrs).map(|i| format!("a{i}")).collect();
+            let seps: Vec<(String, String)> = edges
+                .into_iter()
+                .filter(|(a, b)| a != b && *a < n_attrs && *b < n_attrs)
+                .map(|(a, b)| (format!("a{a}"), format!("a{b}")))
+                .collect();
+            let groups = partition_attributes(&attrs, &seps).unwrap();
+            prop_assert!(verify_separation(&groups, &seps));
+            let total: usize = groups.iter().map(|g| g.len()).sum();
+            prop_assert_eq!(total, n_attrs);
+        }
+    }
+}

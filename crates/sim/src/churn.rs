@@ -1,0 +1,186 @@
+//! Device availability (churn) and crash-stop failure plans.
+//!
+//! The paper's fault presumption covers two distinct behaviours:
+//!
+//! * **temporary disconnection** — a device goes out of reach and returns
+//!   later (offline smartphone, box visited opportunistically). Modeled as
+//!   an alternating renewal process with exponential up/down durations.
+//! * **failure** — a device crashes and never returns. Modeled either as a
+//!   per-device Bernoulli draw at a given time (matching the per-partition
+//!   failure probability `p` of the Overcollection analysis) or as an
+//!   explicit scripted crash (the demo's "power off a device at will").
+
+use crate::time::{Duration, SimTime};
+use edgelet_util::rng::DetRng;
+
+/// Availability model of one device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Availability {
+    /// Never disconnects.
+    AlwaysUp,
+    /// Alternates exponential up and down periods.
+    Intermittent {
+        /// Mean duration of connected periods.
+        mean_up: Duration,
+        /// Mean duration of disconnected periods.
+        mean_down: Duration,
+        /// Whether the device starts connected.
+        start_up: bool,
+    },
+}
+
+impl Availability {
+    /// Whether the device is connected at simulation start.
+    pub fn starts_up(&self) -> bool {
+        match *self {
+            Availability::AlwaysUp => true,
+            Availability::Intermittent { start_up, .. } => start_up,
+        }
+    }
+
+    /// Draws the duration of the next period, given the state it is in.
+    /// Returns `None` for models that never transition.
+    pub fn next_period(&self, currently_up: bool, rng: &mut DetRng) -> Option<Duration> {
+        match *self {
+            Availability::AlwaysUp => None,
+            Availability::Intermittent {
+                mean_up, mean_down, ..
+            } => {
+                let mean = if currently_up { mean_up } else { mean_down };
+                Some(Duration::from_secs_f64(
+                    rng.exponential(mean.as_secs_f64().max(1e-9)),
+                ))
+            }
+        }
+    }
+
+    /// Long-run fraction of time connected.
+    pub fn steady_state_up_fraction(&self) -> f64 {
+        match *self {
+            Availability::AlwaysUp => 1.0,
+            Availability::Intermittent {
+                mean_up, mean_down, ..
+            } => {
+                let up = mean_up.as_secs_f64();
+                let down = mean_down.as_secs_f64();
+                if up + down == 0.0 {
+                    1.0
+                } else {
+                    up / (up + down)
+                }
+            }
+        }
+    }
+}
+
+/// When (if ever) a device crash-stops.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrashPlan {
+    /// Never crashes.
+    Never,
+    /// Crashes at a fixed instant (the demo's "power off at will").
+    At(SimTime),
+    /// With probability `p`, crashes at a time uniform in `[0, window]`.
+    /// This realizes the paper's per-participant failure presumption rate.
+    Bernoulli {
+        /// Probability of crashing at all.
+        p: f64,
+        /// Crash time is drawn uniformly within this window.
+        window: Duration,
+    },
+}
+
+impl CrashPlan {
+    /// Resolves the plan into a concrete crash instant, if any.
+    pub fn resolve(&self, rng: &mut DetRng) -> Option<SimTime> {
+        match *self {
+            CrashPlan::Never => None,
+            CrashPlan::At(t) => Some(t),
+            CrashPlan::Bernoulli { p, window } => {
+                if rng.chance(p) {
+                    let us = window.as_micros();
+                    let at = if us == 0 { 0 } else { rng.range(0..=us) };
+                    Some(SimTime::from_micros(at))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_up_never_transitions() {
+        let a = Availability::AlwaysUp;
+        let mut rng = DetRng::new(1);
+        assert!(a.starts_up());
+        assert_eq!(a.next_period(true, &mut rng), None);
+        assert_eq!(a.steady_state_up_fraction(), 1.0);
+    }
+
+    #[test]
+    fn intermittent_periods_match_means() {
+        let a = Availability::Intermittent {
+            mean_up: Duration::from_secs(100),
+            mean_down: Duration::from_secs(25),
+            start_up: true,
+        };
+        let mut rng = DetRng::new(2);
+        let n = 5_000;
+        let up_mean: f64 = (0..n)
+            .map(|_| a.next_period(true, &mut rng).unwrap().as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        let down_mean: f64 = (0..n)
+            .map(|_| a.next_period(false, &mut rng).unwrap().as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((up_mean - 100.0).abs() < 5.0, "up {up_mean}");
+        assert!((down_mean - 25.0).abs() < 1.5, "down {down_mean}");
+        assert!((a.steady_state_up_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_plans_resolve() {
+        let mut rng = DetRng::new(3);
+        assert_eq!(CrashPlan::Never.resolve(&mut rng), None);
+        assert_eq!(
+            CrashPlan::At(SimTime::from_micros(5)).resolve(&mut rng),
+            Some(SimTime::from_micros(5))
+        );
+
+        let plan = CrashPlan::Bernoulli {
+            p: 0.25,
+            window: Duration::from_secs(10),
+        };
+        let n = 20_000;
+        let mut crashed = 0;
+        for _ in 0..n {
+            if let Some(t) = plan.resolve(&mut rng) {
+                crashed += 1;
+                assert!(t <= SimTime::ZERO + Duration::from_secs(10));
+            }
+        }
+        let rate = crashed as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = DetRng::new(4);
+        let never = CrashPlan::Bernoulli {
+            p: 0.0,
+            window: Duration::from_secs(1),
+        };
+        assert_eq!(never.resolve(&mut rng), None);
+        let always = CrashPlan::Bernoulli {
+            p: 1.0,
+            window: Duration::ZERO,
+        };
+        assert_eq!(always.resolve(&mut rng), Some(SimTime::ZERO));
+    }
+}

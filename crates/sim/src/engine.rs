@@ -1,0 +1,919 @@
+//! The discrete-event engine: devices, event heap, command application.
+
+use crate::actor::{Actor, Command, Context, TimerToken};
+use crate::churn::{Availability, CrashPlan};
+use crate::metrics::SimMetrics;
+use crate::network::{Fate, NetworkModel};
+use crate::time::{Duration, SimTime};
+use crate::trace::{Trace, TraceEvent};
+use edgelet_util::ids::DeviceId;
+use edgelet_util::rng::DetRng;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Global simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The link model applied to every message.
+    pub network: NetworkModel,
+    /// Hard cap on processed events (runaway-protocol backstop).
+    pub max_events: u64,
+    /// Messages parked in a down device's queue longer than this are
+    /// dropped (store-and-forward TTL). `None` keeps them forever.
+    pub store_and_forward_ttl: Option<Duration>,
+    /// Ring-buffer capacity of the event trace (0 disables tracing).
+    pub trace_capacity: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            network: NetworkModel::default(),
+            max_events: 50_000_000,
+            store_and_forward_ttl: None,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// Per-device configuration.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Availability (connection churn) model.
+    pub availability: Availability,
+    /// Crash-stop plan.
+    pub crash: CrashPlan,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self {
+            availability: Availability::AlwaysUp,
+            crash: CrashPlan::Never,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Start(DeviceId),
+    Deliver {
+        to: DeviceId,
+        from: DeviceId,
+        payload: Vec<u8>,
+        sent_at: SimTime,
+    },
+    Timer {
+        device: DeviceId,
+        token: TimerToken,
+    },
+    ChurnToggle(DeviceId),
+    Crash(DeviceId),
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct DeviceState {
+    up: bool,
+    crashed: bool,
+    halted: bool,
+    actor: Option<Box<dyn Actor>>,
+    rng: DetRng,
+    churn_rng: DetRng,
+    next_timer: u64,
+    cancelled: HashSet<TimerToken>,
+    availability: Availability,
+    /// Messages waiting for this (down) sender to reconnect.
+    outbox: Vec<(DeviceId, Vec<u8>, SimTime)>,
+    /// Messages waiting for this (down) receiver to reconnect.
+    inbox: Vec<(DeviceId, Vec<u8>, SimTime)>,
+}
+
+/// A deterministic simulated world of devices and actors.
+pub struct Simulation {
+    config: SimConfig,
+    devices: Vec<DeviceState>,
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    /// Pending events other than churn toggles. When this and `parked`
+    /// reach zero the system is quiescent: churn alone cannot create work.
+    real_pending: u64,
+    /// Messages parked in inboxes/outboxes of down devices.
+    parked: u64,
+    now: SimTime,
+    net_rng: DetRng,
+    root_rng: DetRng,
+    metrics: SimMetrics,
+    trace: Trace,
+}
+
+impl Simulation {
+    /// Creates an empty world.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        let root = DetRng::new(seed);
+        Self {
+            devices: Vec::new(),
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            real_pending: 0,
+            parked: 0,
+            now: SimTime::ZERO,
+            net_rng: root.fork("network"),
+            root_rng: root,
+            metrics: SimMetrics::default(),
+            trace: Trace::new(config.trace_capacity),
+            config,
+        }
+    }
+
+    /// Registers a device; returns its id.
+    pub fn add_device(&mut self, cfg: DeviceConfig) -> DeviceId {
+        let id = DeviceId::new(self.devices.len() as u64);
+        let mut churn_rng = self.root_rng.fork_indexed("churn", id.raw());
+        let up = cfg.availability.starts_up();
+        let state = DeviceState {
+            up,
+            crashed: false,
+            halted: false,
+            actor: None,
+            rng: self.root_rng.fork_indexed("device", id.raw()),
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            availability: cfg.availability.clone(),
+            outbox: Vec::new(),
+            inbox: Vec::new(),
+            churn_rng: churn_rng.clone(),
+        };
+        self.devices.push(state);
+
+        // Schedule the first availability transition.
+        if let Some(period) = cfg.availability.next_period(up, &mut churn_rng) {
+            self.devices[id.index()].churn_rng = churn_rng;
+            self.push(self.now + period, EventKind::ChurnToggle(id));
+        }
+        // Resolve the crash plan.
+        let mut crash_rng = self.root_rng.fork_indexed("crash", id.raw());
+        if let Some(t) = cfg.crash.resolve(&mut crash_rng) {
+            self.push(t.max(self.now), EventKind::Crash(id));
+        }
+        id
+    }
+
+    /// Installs an actor on a device; its `on_start` runs at the current
+    /// virtual time (once the simulation is stepped).
+    pub fn install_actor(&mut self, device: DeviceId, actor: Box<dyn Actor>) {
+        let state = &mut self.devices[device.index()];
+        assert!(state.actor.is_none(), "device {device} already has an actor");
+        state.actor = Some(actor);
+        self.push(self.now, EventKind::Start(device));
+    }
+
+    /// Schedules a scripted crash (the demo's "power off a device").
+    pub fn crash_at(&mut self, device: DeviceId, at: SimTime) {
+        self.push(at.max(self.now), EventKind::Crash(device));
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of registered devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether a device is currently connected.
+    pub fn is_up(&self, device: DeviceId) -> bool {
+        let d = &self.devices[device.index()];
+        d.up && !d.crashed
+    }
+
+    /// Whether a device has crashed.
+    pub fn is_crashed(&self, device: DeviceId) -> bool {
+        self.devices[device.index()].crashed
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// The event trace (empty unless `trace_capacity > 0`).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Runs until the event queue empties or `max_events` is hit.
+    /// Returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX);
+        self.now
+    }
+
+    /// Runs until the queue empties or virtual time would exceed
+    /// `deadline`. Returns `true` if events remain (deadline hit first).
+    pub fn run_until(&mut self, deadline: SimTime) -> bool {
+        while let Some(ev) = self.heap.peek() {
+            // Quiescence: churn toggles alone cannot create new work, so
+            // stop once no protocol events or parked messages remain.
+            if self.real_pending == 0 && self.parked == 0 {
+                break;
+            }
+            if ev.at > deadline {
+                self.now = deadline;
+                return true;
+            }
+            if self.metrics.events_processed >= self.config.max_events {
+                return true;
+            }
+            let ev = self.heap.pop().expect("peeked event");
+            if !matches!(ev.kind, EventKind::ChurnToggle(_)) {
+                self.real_pending -= 1;
+            }
+            self.now = ev.at;
+            self.metrics.events_processed += 1;
+            self.dispatch(ev.kind);
+        }
+        if deadline != SimTime::MAX {
+            self.now = deadline;
+        }
+        false
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        if !matches!(kind, EventKind::ChurnToggle(_)) {
+            self.real_pending += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Start(device) => {
+                self.with_actor(device, |actor, ctx| actor.on_start(ctx));
+            }
+            EventKind::Deliver {
+                to,
+                from,
+                payload,
+                sent_at,
+            } => self.handle_delivery(to, from, payload, sent_at),
+            EventKind::Timer { device, token } => {
+                let state = &mut self.devices[device.index()];
+                if state.crashed || state.halted {
+                    return;
+                }
+                if state.cancelled.remove(&token) {
+                    return;
+                }
+                self.with_actor(device, |actor, ctx| actor.on_timer(ctx, token));
+            }
+            EventKind::ChurnToggle(device) => self.handle_churn(device),
+            EventKind::Crash(device) => self.handle_crash(device),
+        }
+    }
+
+    fn handle_delivery(&mut self, to: DeviceId, from: DeviceId, payload: Vec<u8>, sent_at: SimTime) {
+        let state = &mut self.devices[to.index()];
+        if state.crashed {
+            self.metrics.messages_to_crashed += 1;
+            return;
+        }
+        if !state.up {
+            // Store-and-forward: park until reconnection.
+            self.metrics.messages_deferred += 1;
+            self.parked += 1;
+            state.inbox.push((from, payload, sent_at));
+            return;
+        }
+        if state.halted || state.actor.is_none() {
+            return;
+        }
+        let delay = self.now.since(sent_at).as_secs_f64();
+        self.metrics.messages_delivered += 1;
+        self.metrics.delivery_delay.push(delay);
+        self.trace.record(self.now, TraceEvent::Delivered { from, to });
+        self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, &payload));
+    }
+
+    fn handle_churn(&mut self, device: DeviceId) {
+        let state = &mut self.devices[device.index()];
+        if state.crashed {
+            return;
+        }
+        state.up = !state.up;
+        let now_up = state.up;
+        if !now_up {
+            self.metrics.disconnections += 1;
+            self.trace.record(self.now, TraceEvent::WentDown(device));
+        } else {
+            self.trace.record(self.now, TraceEvent::CameUp(device));
+        }
+        // Schedule the next transition.
+        let mut churn_rng = state.churn_rng.clone();
+        if let Some(period) = state.availability.next_period(now_up, &mut churn_rng) {
+            self.devices[device.index()].churn_rng = churn_rng;
+            self.push(self.now + period, EventKind::ChurnToggle(device));
+        }
+
+        if now_up {
+            // Flush parked traffic. Inbox messages re-enter as immediate
+            // deliveries; outbox messages now traverse the network.
+            let state = &mut self.devices[device.index()];
+            let inbox = std::mem::take(&mut state.inbox);
+            let outbox = std::mem::take(&mut state.outbox);
+            self.parked -= (inbox.len() + outbox.len()) as u64;
+            let ttl = self.config.store_and_forward_ttl;
+            for (from, payload, sent_at) in inbox {
+                if let Some(ttl) = ttl {
+                    if self.now.since(sent_at) > ttl {
+                        self.metrics.messages_dropped += 1;
+                        continue;
+                    }
+                }
+                self.push(
+                    self.now,
+                    EventKind::Deliver {
+                        to: device,
+                        from,
+                        payload,
+                        sent_at,
+                    },
+                );
+            }
+            for (to, payload, sent_at) in outbox {
+                if let Some(ttl) = ttl {
+                    if self.now.since(sent_at) > ttl {
+                        self.metrics.messages_dropped += 1;
+                        continue;
+                    }
+                }
+                self.route(device, to, payload, sent_at);
+            }
+            self.with_actor(device, |actor, ctx| actor.on_reconnect(ctx));
+        }
+    }
+
+    fn handle_crash(&mut self, device: DeviceId) {
+        let state = &mut self.devices[device.index()];
+        if state.crashed {
+            return;
+        }
+        state.crashed = true;
+        state.up = false;
+        state.actor = None;
+        let cleared = (state.inbox.len() + state.outbox.len()) as u64;
+        state.inbox.clear();
+        state.outbox.clear();
+        self.parked -= cleared;
+        self.metrics.crashes += 1;
+        self.trace.record(self.now, TraceEvent::Crashed(device));
+    }
+
+    /// Runs a callback on a device's actor, then applies its commands.
+    fn with_actor<F>(&mut self, device: DeviceId, f: F)
+    where
+        F: FnOnce(&mut Box<dyn Actor>, &mut Context<'_>),
+    {
+        let now = self.now;
+        let state = &mut self.devices[device.index()];
+        if state.crashed || state.halted {
+            return;
+        }
+        let Some(mut actor) = state.actor.take() else {
+            return;
+        };
+        let mut ctx = Context::new(device, now, &mut state.rng, &mut state.next_timer);
+        f(&mut actor, &mut ctx);
+        let commands = std::mem::take(&mut ctx.commands);
+        drop(ctx);
+        state.actor = Some(actor);
+        self.apply_commands(device, commands);
+    }
+
+    fn apply_commands(&mut self, device: DeviceId, commands: Vec<Command>) {
+        for cmd in commands {
+            match cmd {
+                Command::Send { to, payload } => self.submit_send(device, to, payload),
+                Command::Broadcast { to, payload } => {
+                    for target in to {
+                        self.submit_send(device, target, payload.clone());
+                    }
+                }
+                Command::SetTimer { token, fire_at } => {
+                    self.push(fire_at, EventKind::Timer { device, token });
+                }
+                Command::CancelTimer { token } => {
+                    self.devices[device.index()].cancelled.insert(token);
+                }
+                Command::Observe { name, value } => {
+                    self.metrics.observe(name, value);
+                }
+                Command::Halt => {
+                    self.devices[device.index()].halted = true;
+                }
+            }
+        }
+    }
+
+    fn submit_send(&mut self, from: DeviceId, to: DeviceId, payload: Vec<u8>) {
+        self.metrics.messages_sent += 1;
+        self.metrics.bytes_sent += payload.len() as u64;
+        let sender = &mut self.devices[from.index()];
+        if !sender.up {
+            // Sender is offline: park in the outbox until reconnection.
+            self.metrics.messages_deferred += 1;
+            self.parked += 1;
+            sender.outbox.push((to, payload, self.now));
+            return;
+        }
+        self.route(from, to, payload, self.now);
+    }
+
+    /// Applies the network model and schedules delivery.
+    fn route(&mut self, from: DeviceId, to: DeviceId, mut payload: Vec<u8>, sent_at: SimTime) {
+        if to.index() >= self.devices.len() {
+            self.metrics.messages_dropped += 1;
+            return;
+        }
+        match self.config.network.fate(&mut self.net_rng) {
+            Fate::Dropped => {
+                self.metrics.messages_dropped += 1;
+                self.trace.record(self.now, TraceEvent::Dropped { from, to });
+                return;
+            }
+            Fate::Corrupted(offset) => {
+                if !payload.is_empty() {
+                    let idx = offset % payload.len();
+                    payload[idx] ^= 0x01;
+                }
+                self.metrics.messages_corrupted += 1;
+            }
+            Fate::Delivered => {}
+        }
+        self.trace.record(
+            self.now,
+            TraceEvent::Sent {
+                from,
+                to,
+                bytes: payload.len(),
+            },
+        );
+        let latency = self.config.network.sample_latency(&mut self.net_rng);
+        self.push(
+            self.now + latency,
+            EventKind::Deliver {
+                to,
+                from,
+                payload,
+                sent_at,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LatencyModel;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Replies "pong" to any message and counts what it sees.
+    struct Pong {
+        seen: Rc<RefCell<Vec<Vec<u8>>>>,
+    }
+    impl Actor for Pong {
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: DeviceId, payload: &[u8]) {
+            self.seen.borrow_mut().push(payload.to_vec());
+            ctx.send(from, b"pong".to_vec());
+        }
+    }
+
+    /// Sends `count` pings at start, records replies.
+    struct Ping {
+        target: DeviceId,
+        count: usize,
+        replies: Rc<RefCell<usize>>,
+    }
+    impl Actor for Ping {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.count {
+                ctx.send(self.target, b"ping".to_vec());
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: DeviceId, payload: &[u8]) {
+            assert_eq!(payload, b"pong");
+            *self.replies.borrow_mut() += 1;
+        }
+    }
+
+    fn reliable_sim(seed: u64) -> Simulation {
+        Simulation::new(
+            SimConfig {
+                network: NetworkModel::reliable(Duration::from_millis(10)),
+                ..SimConfig::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let mut sim = reliable_sim(1);
+        let a = sim.add_device(DeviceConfig::default());
+        let b = sim.add_device(DeviceConfig::default());
+        let replies = Rc::new(RefCell::new(0));
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        sim.install_actor(
+            a,
+            Box::new(Ping {
+                target: b,
+                count: 3,
+                replies: replies.clone(),
+            }),
+        );
+        sim.install_actor(b, Box::new(Pong { seen: seen.clone() }));
+        let end = sim.run();
+        assert_eq!(*replies.borrow(), 3);
+        assert_eq!(seen.borrow().len(), 3);
+        assert_eq!(sim.metrics().messages_sent, 6);
+        assert_eq!(sim.metrics().messages_delivered, 6);
+        // Two 10ms hops.
+        assert_eq!(end, SimTime::from_micros(20_000));
+        assert!((sim.metrics().delivery_delay.mean() - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(
+                SimConfig {
+                    network: NetworkModel::lossy(
+                        Duration::from_millis(1),
+                        Duration::from_millis(50),
+                        0.2,
+                    ),
+                    ..SimConfig::default()
+                },
+                seed,
+            );
+            let a = sim.add_device(DeviceConfig::default());
+            let b = sim.add_device(DeviceConfig::default());
+            let replies = Rc::new(RefCell::new(0));
+            sim.install_actor(
+                a,
+                Box::new(Ping {
+                    target: b,
+                    count: 100,
+                    replies: replies.clone(),
+                }),
+            );
+            sim.install_actor(
+                b,
+                Box::new(Pong {
+                    seen: Rc::new(RefCell::new(Vec::new())),
+                }),
+            );
+            sim.run();
+            let reply_count = *replies.borrow();
+            (
+                reply_count,
+                sim.metrics().messages_dropped,
+                sim.now().as_micros(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn drops_reduce_deliveries() {
+        let mut sim = Simulation::new(
+            SimConfig {
+                network: NetworkModel::lossy(Duration::ZERO, Duration::from_millis(1), 0.5),
+                ..SimConfig::default()
+            },
+            3,
+        );
+        let a = sim.add_device(DeviceConfig::default());
+        let b = sim.add_device(DeviceConfig::default());
+        let replies = Rc::new(RefCell::new(0));
+        sim.install_actor(
+            a,
+            Box::new(Ping {
+                target: b,
+                count: 1000,
+                replies: replies.clone(),
+            }),
+        );
+        sim.install_actor(
+            b,
+            Box::new(Pong {
+                seen: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.run();
+        let m = sim.metrics();
+        assert!(m.messages_dropped > 0);
+        assert_eq!(m.messages_sent, 1000 + m.messages_sent - 1000); // sanity
+        // Roughly 25% of pings should produce replies (0.5 * 0.5).
+        let r = *replies.borrow() as f64 / 1000.0;
+        assert!((r - 0.25).abs() < 0.05, "reply rate {r}");
+    }
+
+    /// Timer-driven actor used by timer tests.
+    struct TimerActor {
+        fired: Rc<RefCell<Vec<u64>>>,
+        cancel_second: bool,
+    }
+    impl Actor for TimerActor {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let _t1 = ctx.set_timer(Duration::from_millis(10));
+            let t2 = ctx.set_timer(Duration::from_millis(20));
+            if self.cancel_second {
+                ctx.cancel_timer(t2);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: DeviceId, _payload: &[u8]) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+            self.fired.borrow_mut().push(token.0);
+            ctx.observe("fired", 1.0);
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        let mut sim = reliable_sim(5);
+        let a = sim.add_device(DeviceConfig::default());
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        sim.install_actor(
+            a,
+            Box::new(TimerActor {
+                fired: fired.clone(),
+                cancel_second: true,
+            }),
+        );
+        let end = sim.run();
+        assert_eq!(*fired.borrow(), vec![0]);
+        assert_eq!(end, SimTime::from_micros(20_000)); // cancelled event still pops
+        assert_eq!(sim.metrics().observations["fired"].count(), 1);
+    }
+
+    #[test]
+    fn crashed_device_stops_everything() {
+        let mut sim = reliable_sim(6);
+        let a = sim.add_device(DeviceConfig::default());
+        let b = sim.add_device(DeviceConfig {
+            availability: Availability::AlwaysUp,
+            crash: CrashPlan::At(SimTime::from_micros(5_000)),
+        });
+        let replies = Rc::new(RefCell::new(0));
+        sim.install_actor(
+            a,
+            Box::new(Ping {
+                target: b,
+                count: 4,
+                replies: replies.clone(),
+            }),
+        );
+        sim.install_actor(
+            b,
+            Box::new(Pong {
+                seen: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.run();
+        // Pings arrive at t=10ms, after the crash at t=5ms.
+        assert_eq!(*replies.borrow(), 0);
+        assert_eq!(sim.metrics().crashes, 1);
+        assert_eq!(sim.metrics().messages_to_crashed, 4);
+        assert!(sim.is_crashed(b));
+        assert!(!sim.is_up(b));
+    }
+
+    #[test]
+    fn down_device_defers_and_recovers() {
+        // b starts down and reconnects via churn; the ping waits in b's
+        // inbox and is delivered on reconnection.
+        let mut sim = reliable_sim(9);
+        let a = sim.add_device(DeviceConfig::default());
+        let b = sim.add_device(DeviceConfig {
+            availability: Availability::Intermittent {
+                mean_up: Duration::from_secs(1_000_000),
+                mean_down: Duration::from_secs(60),
+                start_up: false,
+            },
+            crash: CrashPlan::Never,
+        });
+        let replies = Rc::new(RefCell::new(0));
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        sim.install_actor(
+            a,
+            Box::new(Ping {
+                target: b,
+                count: 1,
+                replies: replies.clone(),
+            }),
+        );
+        sim.install_actor(b, Box::new(Pong { seen: seen.clone() }));
+        assert!(!sim.is_up(b));
+        sim.run();
+        assert_eq!(seen.borrow().len(), 1);
+        assert_eq!(*replies.borrow(), 1);
+        assert!(sim.metrics().messages_deferred >= 1);
+        // Delivery delay includes the down period, so it exceeds the link
+        // latency alone.
+        assert!(sim.metrics().delivery_delay.max() > 0.010);
+    }
+
+    #[test]
+    fn ttl_discards_stale_parked_messages() {
+        let mut sim = Simulation::new(
+            SimConfig {
+                network: NetworkModel::reliable(Duration::from_millis(1)),
+                store_and_forward_ttl: Some(Duration::from_secs(1)),
+                ..SimConfig::default()
+            },
+            11,
+        );
+        let a = sim.add_device(DeviceConfig::default());
+        // Down for ~1h on average: far beyond the 1s TTL.
+        let b = sim.add_device(DeviceConfig {
+            availability: Availability::Intermittent {
+                mean_up: Duration::from_secs(1_000_000),
+                mean_down: Duration::from_secs(3_600),
+                start_up: false,
+            },
+            crash: CrashPlan::Never,
+        });
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let replies = Rc::new(RefCell::new(0));
+        sim.install_actor(
+            a,
+            Box::new(Ping {
+                target: b,
+                count: 1,
+                replies: replies.clone(),
+            }),
+        );
+        sim.install_actor(b, Box::new(Pong { seen: seen.clone() }));
+        sim.run();
+        // The message either expired (down > 1s) or was delivered (down <=
+        // 1s); with this seed verify via the TTL bookkeeping.
+        let m = sim.metrics();
+        assert_eq!(
+            seen.borrow().len() as u64 + m.messages_dropped,
+            1,
+            "message must be delivered or TTL-dropped"
+        );
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = reliable_sim(13);
+        let a = sim.add_device(DeviceConfig::default());
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        sim.install_actor(
+            a,
+            Box::new(TimerActor {
+                fired: fired.clone(),
+                cancel_second: false,
+            }),
+        );
+        let more = sim.run_until(SimTime::from_micros(15_000));
+        assert!(more, "the 20ms timer is still pending");
+        assert_eq!(*fired.borrow(), vec![0]);
+        assert_eq!(sim.now(), SimTime::from_micros(15_000));
+        let more = sim.run_until(SimTime::from_micros(100_000));
+        assert!(!more);
+        assert_eq!(*fired.borrow(), vec![0, 1]);
+    }
+
+    #[test]
+    fn corruption_flips_a_byte() {
+        struct Recorder {
+            seen: Rc<RefCell<Vec<Vec<u8>>>>,
+        }
+        impl Actor for Recorder {
+            fn on_message(&mut self, _ctx: &mut Context<'_>, _from: DeviceId, payload: &[u8]) {
+                self.seen.borrow_mut().push(payload.to_vec());
+            }
+        }
+        struct Sender {
+            target: DeviceId,
+        }
+        impl Actor for Sender {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for _ in 0..200 {
+                    ctx.send(self.target, vec![0u8; 8]);
+                }
+            }
+            fn on_message(&mut self, _c: &mut Context<'_>, _f: DeviceId, _p: &[u8]) {}
+        }
+        let mut sim = Simulation::new(
+            SimConfig {
+                network: NetworkModel {
+                    latency: LatencyModel::Fixed(Duration::from_millis(1)),
+                    drop_probability: 0.0,
+                    corruption_probability: 0.5,
+                },
+                ..SimConfig::default()
+            },
+            17,
+        );
+        let a = sim.add_device(DeviceConfig::default());
+        let b = sim.add_device(DeviceConfig::default());
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        sim.install_actor(a, Box::new(Sender { target: b }));
+        sim.install_actor(b, Box::new(Recorder { seen: seen.clone() }));
+        sim.run();
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 200);
+        let corrupted = seen.iter().filter(|p| p.iter().any(|&b| b != 0)).count();
+        assert_eq!(corrupted as u64, sim.metrics().messages_corrupted);
+        assert!(corrupted > 60 && corrupted < 140, "corrupted {corrupted}");
+    }
+
+    #[test]
+    fn halt_stops_an_actor() {
+        struct HaltOnFirst {
+            got: Rc<RefCell<usize>>,
+        }
+        impl Actor for HaltOnFirst {
+            fn on_message(&mut self, ctx: &mut Context<'_>, _f: DeviceId, _p: &[u8]) {
+                *self.got.borrow_mut() += 1;
+                ctx.halt();
+            }
+        }
+        let mut sim = reliable_sim(19);
+        let a = sim.add_device(DeviceConfig::default());
+        let b = sim.add_device(DeviceConfig::default());
+        let got = Rc::new(RefCell::new(0));
+        sim.install_actor(
+            a,
+            Box::new(Ping {
+                target: b,
+                count: 5,
+                replies: Rc::new(RefCell::new(0)),
+            }),
+        );
+        sim.install_actor(b, Box::new(HaltOnFirst { got: got.clone() }));
+        sim.run();
+        assert_eq!(*got.borrow(), 1, "actor must stop after halting");
+    }
+
+    #[test]
+    fn max_events_backstop() {
+        /// Two actors ping each other forever.
+        struct Echo;
+        impl Actor for Echo {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send(DeviceId::new(1 - ctx.device().raw()), vec![1]);
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_>, from: DeviceId, _p: &[u8]) {
+                ctx.send(from, vec![1]);
+            }
+        }
+        let mut sim = Simulation::new(
+            SimConfig {
+                network: NetworkModel::reliable(Duration::from_millis(1)),
+                max_events: 1_000,
+                ..SimConfig::default()
+            },
+            23,
+        );
+        let a = sim.add_device(DeviceConfig::default());
+        let b = sim.add_device(DeviceConfig::default());
+        sim.install_actor(a, Box::new(Echo));
+        sim.install_actor(b, Box::new(Echo));
+        let more = sim.run_until(SimTime::MAX);
+        assert!(more, "backstop must stop the infinite exchange");
+        assert_eq!(sim.metrics().events_processed, 1_000);
+    }
+}

@@ -1,0 +1,70 @@
+//! Simulation metrics: message/byte counters, delays, custom observations.
+
+use edgelet_util::stats::OnlineStats;
+use std::collections::BTreeMap;
+
+/// Counters and distributions collected during one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimMetrics {
+    /// Messages submitted by actors.
+    pub messages_sent: u64,
+    /// Messages handed to receiving actors.
+    pub messages_delivered: u64,
+    /// Messages dropped by the network model.
+    pub messages_dropped: u64,
+    /// Messages corrupted in transit (delivered with a flipped byte).
+    pub messages_corrupted: u64,
+    /// Messages discarded because sender or receiver crashed.
+    pub messages_to_crashed: u64,
+    /// Messages that waited in a store-and-forward queue at least once.
+    pub messages_deferred: u64,
+    /// Payload bytes submitted by actors.
+    pub bytes_sent: u64,
+    /// End-to-end delivery delay distribution (seconds).
+    pub delivery_delay: OnlineStats,
+    /// Number of device up→down transitions.
+    pub disconnections: u64,
+    /// Number of device crashes.
+    pub crashes: u64,
+    /// Number of events processed by the engine.
+    pub events_processed: u64,
+    /// Named scalar observations recorded by actors.
+    pub observations: BTreeMap<&'static str, OnlineStats>,
+}
+
+impl SimMetrics {
+    /// Records a named observation.
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        self.observations.entry(name).or_default().push(value);
+    }
+
+    /// Fraction of sent messages that were delivered (1.0 when none sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages_sent == 0 {
+            1.0
+        } else {
+            self.messages_delivered as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_handles_zero() {
+        let m = SimMetrics::default();
+        assert_eq!(m.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn observations_accumulate() {
+        let mut m = SimMetrics::default();
+        m.observe("inertia", 2.0);
+        m.observe("inertia", 4.0);
+        let s = &m.observations["inertia"];
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,262 @@
+//! Network link model: latency distributions, loss and corruption.
+//!
+//! A single [`NetworkModel`] applies to all links. For each message the
+//! model draws, from the simulation's dedicated network RNG stream:
+//!
+//! 1. a **fate** — delivered, dropped (with probability `drop_probability`),
+//!    or corrupted (one random byte flipped; the wire frame CRC turns this
+//!    into a detected loss at the receiver);
+//! 2. a **latency** from the configured [`LatencyModel`].
+//!
+//! Opportunistic networks are modeled by the heavy-tailed
+//! [`LatencyModel::LogNormal`] option combined with device churn in
+//! [`crate::churn`]: uncertainty in the paper's sense is "late or never",
+//! and both knobs contribute.
+
+use crate::time::Duration;
+use edgelet_util::rng::DetRng;
+
+/// Distribution of one-way message latency.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Constant latency.
+    Fixed(Duration),
+    /// Uniform between the bounds.
+    Uniform {
+        /// Minimum latency.
+        min: Duration,
+        /// Maximum latency.
+        max: Duration,
+    },
+    /// Exponential with the given mean, shifted by `base` (models a
+    /// well-connected but queueing network).
+    Exponential {
+        /// Fixed propagation component.
+        base: Duration,
+        /// Mean of the exponential component.
+        mean: Duration,
+    },
+    /// Log-normal parameterized by median and sigma (heavy tail; models
+    /// opportunistic store-and-forward hops where a message may take
+    /// minutes or hours).
+    LogNormal {
+        /// Median latency.
+        median: Duration,
+        /// Log-space standard deviation; 0.5–1.5 are realistic OppNet values.
+        sigma: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Draws one latency.
+    pub fn sample(&self, rng: &mut DetRng) -> Duration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                let (lo, hi) = (min.as_micros(), max.as_micros());
+                if hi <= lo {
+                    min
+                } else {
+                    Duration::from_micros(rng.range(lo..=hi))
+                }
+            }
+            LatencyModel::Exponential { base, mean } => {
+                base + Duration::from_secs_f64(rng.exponential(mean.as_secs_f64().max(1e-9)))
+            }
+            LatencyModel::LogNormal { median, sigma } => {
+                Duration::from_secs_f64(rng.log_normal(median.as_secs_f64().max(1e-9), sigma))
+            }
+        }
+    }
+}
+
+/// What happens to one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fate {
+    /// Delivered intact after the latency.
+    Delivered,
+    /// Silently lost.
+    Dropped,
+    /// Delivered after the latency with one byte flipped at the given
+    /// offset (modulo payload length).
+    Corrupted(usize),
+}
+
+/// The link model applied to every message.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    /// Latency distribution.
+    pub latency: LatencyModel,
+    /// Probability a message is silently lost.
+    pub drop_probability: f64,
+    /// Probability a delivered message has a byte flipped in transit.
+    pub corruption_probability: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self {
+            latency: LatencyModel::Uniform {
+                min: Duration::from_millis(20),
+                max: Duration::from_millis(120),
+            },
+            drop_probability: 0.0,
+            corruption_probability: 0.0,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// A perfectly reliable low-latency network (validity baselines).
+    pub fn reliable(latency: Duration) -> Self {
+        Self {
+            latency: LatencyModel::Fixed(latency),
+            drop_probability: 0.0,
+            corruption_probability: 0.0,
+        }
+    }
+
+    /// A lossy network with uniform latency.
+    pub fn lossy(min: Duration, max: Duration, drop_probability: f64) -> Self {
+        Self {
+            latency: LatencyModel::Uniform { min, max },
+            drop_probability,
+            corruption_probability: 0.0,
+        }
+    }
+
+    /// An opportunistic-network profile: heavy-tailed delays (median
+    /// `median_delay`, sigma 1.0) plus the given loss rate.
+    pub fn opportunistic(median_delay: Duration, drop_probability: f64) -> Self {
+        Self {
+            latency: LatencyModel::LogNormal {
+                median: median_delay,
+                sigma: 1.0,
+            },
+            drop_probability,
+            corruption_probability: 0.0,
+        }
+    }
+
+    /// Draws the fate of one message.
+    pub fn fate(&self, rng: &mut DetRng) -> Fate {
+        if rng.chance(self.drop_probability) {
+            Fate::Dropped
+        } else if rng.chance(self.corruption_probability) {
+            Fate::Corrupted(rng.range(0..usize::MAX))
+        } else {
+            Fate::Delivered
+        }
+    }
+
+    /// Draws a latency.
+    pub fn sample_latency(&self, rng: &mut DetRng) -> Duration {
+        self.latency.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(42)
+    }
+
+    #[test]
+    fn fixed_latency() {
+        let m = LatencyModel::Fixed(Duration::from_millis(10));
+        let mut r = rng();
+        for _ in 0..5 {
+            assert_eq!(m.sample(&mut r), Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn uniform_latency_within_bounds() {
+        let m = LatencyModel::Uniform {
+            min: Duration::from_millis(5),
+            max: Duration::from_millis(15),
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = m.sample(&mut r);
+            assert!(d >= Duration::from_millis(5) && d <= Duration::from_millis(15));
+        }
+        // Degenerate bounds fall back to min.
+        let deg = LatencyModel::Uniform {
+            min: Duration::from_millis(7),
+            max: Duration::from_millis(7),
+        };
+        assert_eq!(deg.sample(&mut r), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn exponential_latency_exceeds_base() {
+        let m = LatencyModel::Exponential {
+            base: Duration::from_millis(10),
+            mean: Duration::from_millis(50),
+        };
+        let mut r = rng();
+        let mut total = 0.0;
+        for _ in 0..5000 {
+            let d = m.sample(&mut r);
+            assert!(d >= Duration::from_millis(10));
+            total += d.as_secs_f64();
+        }
+        let mean = total / 5000.0;
+        assert!((mean - 0.060).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_calibrated() {
+        let m = LatencyModel::LogNormal {
+            median: Duration::from_secs(60),
+            sigma: 1.0,
+        };
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..4001).map(|_| m.sample(&mut r).as_secs_f64()).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 60.0).abs() < 6.0, "median {median}");
+        // Heavy tail exists.
+        assert!(xs[xs.len() - 1] > 300.0);
+    }
+
+    #[test]
+    fn fate_probabilities() {
+        let model = NetworkModel {
+            latency: LatencyModel::Fixed(Duration::ZERO),
+            drop_probability: 0.3,
+            corruption_probability: 0.1,
+        };
+        let mut r = rng();
+        let n = 20_000;
+        let mut dropped = 0;
+        let mut corrupted = 0;
+        for _ in 0..n {
+            match model.fate(&mut r) {
+                Fate::Dropped => dropped += 1,
+                Fate::Corrupted(_) => corrupted += 1,
+                Fate::Delivered => {}
+            }
+        }
+        let drop_rate = dropped as f64 / n as f64;
+        // Corruption applies to non-dropped messages: expected 0.7 * 0.1.
+        let corrupt_rate = corrupted as f64 / n as f64;
+        assert!((drop_rate - 0.3).abs() < 0.02, "drop {drop_rate}");
+        assert!((corrupt_rate - 0.07).abs() < 0.01, "corrupt {corrupt_rate}");
+    }
+
+    #[test]
+    fn presets() {
+        let r = NetworkModel::reliable(Duration::from_millis(1));
+        assert_eq!(r.drop_probability, 0.0);
+        let mut g = rng();
+        assert_eq!(r.fate(&mut g), Fate::Delivered);
+        let l = NetworkModel::lossy(Duration::ZERO, Duration::from_millis(5), 0.5);
+        assert_eq!(l.drop_probability, 0.5);
+        let o = NetworkModel::opportunistic(Duration::from_secs(30), 0.1);
+        assert!(matches!(o.latency, LatencyModel::LogNormal { .. }));
+    }
+}

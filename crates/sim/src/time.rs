@@ -1,0 +1,162 @@
+//! Virtual time with microsecond resolution.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock (microseconds since start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl SimTime {
+    /// The simulation origin.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; used as an "never happens" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Raw microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the origin, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration elapsed since `earlier` (saturating).
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Builds from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+
+    /// Builds from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000)
+    }
+
+    /// Builds from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000)
+    }
+
+    /// Builds from fractional seconds (negative values clamp to zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            Duration(0)
+        } else {
+            Duration((s * 1e6).round() as u64)
+        }
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Scales by a positive factor (used for device speed ratios).
+    pub fn mul_f64(self, factor: f64) -> Duration {
+        Duration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_micros(1_000);
+        let d = Duration::from_millis(2);
+        assert_eq!((t + d).as_micros(), 3_000);
+        assert_eq!((t + d).since(t), d);
+        assert_eq!(t.since(t + d), Duration::ZERO);
+        let mut t2 = t;
+        t2 += Duration::from_secs(1);
+        assert_eq!(t2.as_micros(), 1_001_000);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Duration::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(Duration::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+        assert!((SimTime::from_micros(1_500_000).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(Duration::from_secs(3).mul_f64(0.5), Duration::from_secs_f64(1.5));
+    }
+
+    #[test]
+    fn saturation() {
+        let t = SimTime::MAX;
+        assert_eq!(t + Duration::from_secs(1), SimTime::MAX);
+        let d = Duration::from_secs(1) - Duration::from_secs(5);
+        assert_eq!(d, Duration::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", SimTime::from_micros(1_234_000)), "t=1.234s");
+        assert_eq!(format!("{}", Duration::from_millis(250)), "0.250s");
+    }
+}

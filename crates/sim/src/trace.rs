@@ -1,0 +1,174 @@
+//! Optional event tracing: the textual equivalent of the demo GUI's
+//! step-by-step execution view.
+//!
+//! When enabled (see [`crate::SimConfig::trace_capacity`]), the engine
+//! records one [`TraceEvent`] per interesting transition into a bounded
+//! ring buffer; the harness can then reconstruct the phases of an
+//! execution ("collection started", "partition 3 shipped", "device 17
+//! crashed") or assert fine-grained protocol properties in tests.
+
+use crate::time::SimTime;
+use edgelet_util::ids::DeviceId;
+use std::collections::VecDeque;
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message left `from` toward `to` (after the network fate roll).
+    Sent {
+        /// Sender.
+        from: DeviceId,
+        /// Receiver.
+        to: DeviceId,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// A message was handed to the receiving actor.
+    Delivered {
+        /// Sender.
+        from: DeviceId,
+        /// Receiver.
+        to: DeviceId,
+    },
+    /// A message was lost in transit.
+    Dropped {
+        /// Sender.
+        from: DeviceId,
+        /// Intended receiver.
+        to: DeviceId,
+    },
+    /// A device disconnected.
+    WentDown(DeviceId),
+    /// A device reconnected.
+    CameUp(DeviceId),
+    /// A device crash-stopped.
+    Crashed(DeviceId),
+}
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// Bounded ring buffer of trace records.
+#[derive(Debug, Default)]
+pub struct Trace {
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    total_recorded: u64,
+}
+
+impl Trace {
+    /// Creates a trace keeping at most `capacity` records (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            records: VecDeque::with_capacity(capacity.min(4_096)),
+            total_recorded: 0,
+        }
+    }
+
+    /// Whether recording is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records one event (drops the oldest past capacity).
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(TraceRecord { at, event });
+        self.total_recorded += 1;
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Total events recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Records involving one device.
+    pub fn for_device(&self, device: DeviceId) -> Vec<&TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| match r.event {
+                TraceEvent::Sent { from, to, .. }
+                | TraceEvent::Delivered { from, to }
+                | TraceEvent::Dropped { from, to } => from == device || to == device,
+                TraceEvent::WentDown(d) | TraceEvent::CameUp(d) | TraceEvent::Crashed(d) => {
+                    d == device
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(0);
+        assert!(!t.enabled());
+        t.record(SimTime::ZERO, TraceEvent::Crashed(DeviceId::new(1)));
+        assert_eq!(t.total_recorded(), 0);
+        assert_eq!(t.records().count(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..5u64 {
+            t.record(
+                SimTime::from_micros(i),
+                TraceEvent::WentDown(DeviceId::new(i)),
+            );
+        }
+        assert_eq!(t.total_recorded(), 5);
+        let kept: Vec<u64> = t
+            .records()
+            .map(|r| match r.event {
+                TraceEvent::WentDown(d) => d.raw(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn device_filter() {
+        let mut t = Trace::new(10);
+        t.record(
+            SimTime::ZERO,
+            TraceEvent::Sent {
+                from: DeviceId::new(1),
+                to: DeviceId::new(2),
+                bytes: 10,
+            },
+        );
+        t.record(SimTime::ZERO, TraceEvent::Crashed(DeviceId::new(3)));
+        t.record(
+            SimTime::ZERO,
+            TraceEvent::Delivered {
+                from: DeviceId::new(1),
+                to: DeviceId::new(2),
+            },
+        );
+        assert_eq!(t.for_device(DeviceId::new(2)).len(), 2);
+        assert_eq!(t.for_device(DeviceId::new(3)).len(), 1);
+        assert_eq!(t.for_device(DeviceId::new(9)).len(), 0);
+    }
+}

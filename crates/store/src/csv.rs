@@ -1,0 +1,257 @@
+//! Minimal CSV import/export for the examples and debugging.
+//!
+//! Dialect: comma separator, `"`-quoting for fields containing commas,
+//! quotes or newlines, header row mandatory. `NULL` (unquoted) denotes a
+//! null value.
+
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::store::DataStore;
+use crate::value::{ColumnType, Value};
+use edgelet_util::{Error, Result};
+use std::fmt::Write as _;
+
+/// Serializes a store to CSV (header + rows).
+pub fn to_csv(store: &DataStore) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = store
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| quote(&c.name))
+        .collect();
+    let _ = writeln!(out, "{}", names.join(","));
+    for row in store.rows() {
+        let cells: Vec<String> = row.values().iter().map(format_value).collect();
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+/// Parses CSV text into a store under the given schema.
+///
+/// The header must match the schema's column names exactly (order
+/// included); cells are parsed according to the column types.
+pub fn from_csv(schema: &Schema, text: &str) -> Result<DataStore> {
+    let mut records = parse_records(text)?;
+    if records.is_empty() {
+        return Err(Error::Decode("CSV input has no header".into()));
+    }
+    let header = records.remove(0);
+    let expected: Vec<&str> = schema.names();
+    if header.len() != expected.len()
+        || header
+            .iter()
+            .zip(&expected)
+            .any(|(h, e)| h.as_str() != *e)
+    {
+        return Err(Error::Schema(format!(
+            "CSV header {header:?} does not match schema {expected:?}"
+        )));
+    }
+    let mut store = DataStore::new(schema.clone());
+    for (line_no, record) in records.into_iter().enumerate() {
+        if record.len() != schema.arity() {
+            return Err(Error::Decode(format!(
+                "record {} has {} fields, schema expects {}",
+                line_no + 2,
+                record.len(),
+                schema.arity()
+            )));
+        }
+        let mut values = Vec::with_capacity(record.len());
+        for (cell, col) in record.into_iter().zip(schema.columns()) {
+            values.push(parse_value(&cell, col.ty).map_err(|e| {
+                Error::Decode(format!(
+                    "record {}, column `{}`: {}",
+                    line_no + 2,
+                    col.name,
+                    e.message()
+                ))
+            })?);
+        }
+        store.insert(Row::new(values))?;
+    }
+    Ok(store)
+}
+
+fn format_value(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(x) => {
+            // Keep full precision for roundtrips.
+            format!("{x:?}")
+        }
+        Value::Text(t) => quote(t),
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s == "NULL" {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Splits CSV text into records of raw cells (quotes resolved).
+/// Quoted cells are tagged by having been surrounded with quotes; we return
+/// the unescaped content and rely on the `NULL` sentinel only for unquoted
+/// cells — callers that need "the literal text NULL" quote it.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut in_quotes = false;
+    let mut was_quoted = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cell.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if cell.is_empty() {
+                    in_quotes = true;
+                    was_quoted = true;
+                } else {
+                    return Err(Error::Decode("stray quote inside unquoted cell".into()));
+                }
+            }
+            ',' => {
+                record.push(finish_cell(&mut cell, &mut was_quoted));
+            }
+            '\n' => {
+                record.push(finish_cell(&mut cell, &mut was_quoted));
+                records.push(std::mem::take(&mut record));
+            }
+            '\r' => {} // tolerate CRLF
+            _ => cell.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(Error::Decode("unterminated quoted cell".into()));
+    }
+    if !cell.is_empty() || !record.is_empty() {
+        record.push(finish_cell(&mut cell, &mut was_quoted));
+        records.push(record);
+    }
+    Ok(records)
+}
+
+fn finish_cell(cell: &mut String, was_quoted: &mut bool) -> String {
+    let out = std::mem::take(cell);
+    let quoted = *was_quoted;
+    *was_quoted = false;
+    if quoted && out == "NULL" {
+        // Quoted NULL means the literal text; mark it so parse_value keeps
+        // it as text. We use a private sentinel prefix that cannot appear
+        // otherwise because quotes are resolved already.
+        return format!("\u{0}QUOTED\u{0}{out}");
+    }
+    out
+}
+
+fn parse_value(cell: &str, ty: ColumnType) -> Result<Value> {
+    let (literal_text, cell) = match cell.strip_prefix("\u{0}QUOTED\u{0}") {
+        Some(rest) => (true, rest),
+        None => (false, cell),
+    };
+    if !literal_text && cell == "NULL" {
+        return Ok(Value::Null);
+    }
+    match ty {
+        ColumnType::Int => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| Error::Decode(format!("`{cell}` is not an int"))),
+        ColumnType::Float => cell
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::Decode(format!("`{cell}` is not a float"))),
+        ColumnType::Text => Ok(Value::Text(cell.to_string())),
+        ColumnType::Bool => match cell {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            _ => Err(Error::Decode(format!("`{cell}` is not a bool"))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+    use edgelet_util::rng::DetRng;
+
+    #[test]
+    fn roundtrip_synthetic_data() {
+        let mut rng = DetRng::new(5);
+        let store = synth::health_store(200, &mut rng);
+        let text = to_csv(&store);
+        let back = from_csv(store.schema(), &text).unwrap();
+        assert_eq!(back.rows(), store.rows());
+    }
+
+    #[test]
+    fn quoting_and_nulls() {
+        let schema = Schema::new(vec![("name", ColumnType::Text), ("age", ColumnType::Int)])
+            .unwrap();
+        let mut store = DataStore::new(schema.clone());
+        store
+            .insert(Row::new(vec![
+                Value::Text("Doe, \"Jane\"\nMD".into()),
+                Value::Null,
+            ]))
+            .unwrap();
+        store
+            .insert(Row::new(vec![Value::Text("NULL".into()), Value::Int(3)]))
+            .unwrap();
+        let text = to_csv(&store);
+        let back = from_csv(&schema, &text).unwrap();
+        assert_eq!(back.rows(), store.rows());
+        // The literal text "NULL" survived as text, the null as null.
+        assert_eq!(back.rows()[0].values()[1], Value::Null);
+        assert_eq!(back.rows()[1].values()[0], Value::Text("NULL".into()));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let schema = Schema::new(vec![("a", ColumnType::Int)]).unwrap();
+        assert!(from_csv(&schema, "b\n1\n").is_err());
+        assert!(from_csv(&schema, "a,b\n1,2\n").is_err());
+        assert!(from_csv(&schema, "").is_err());
+    }
+
+    #[test]
+    fn bad_cells_rejected_with_context() {
+        let schema = Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Bool)])
+            .unwrap();
+        let err = from_csv(&schema, "a,b\nxx,true\n").unwrap_err();
+        assert!(err.to_string().contains("column `a`"), "{err}");
+        let err = from_csv(&schema, "a,b\n1,maybe\n").unwrap_err();
+        assert!(err.to_string().contains("not a bool"), "{err}");
+        let err = from_csv(&schema, "a,b\n1\n").unwrap_err();
+        assert!(err.to_string().contains("fields"), "{err}");
+    }
+
+    #[test]
+    fn malformed_quotes_rejected() {
+        let schema = Schema::new(vec![("a", ColumnType::Text)]).unwrap();
+        assert!(from_csv(&schema, "a\n\"unterminated\n").is_err());
+        assert!(from_csv(&schema, "a\nab\"cd\n").is_err());
+    }
+}

@@ -1,0 +1,418 @@
+//! Predicate language for filtered scans (`age > 65 AND gir <= 3`).
+
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+use edgelet_util::{Error, Result};
+use edgelet_wire::{Decode, Encode, Reader, Writer};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equals.
+    Eq,
+    /// Not equals.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A boolean predicate over one row.
+///
+/// SQL-like null semantics: a comparison involving `NULL` (or incomparable
+/// types) is *false*, and `Not` of it is *true* only when the inner
+/// predicate evaluated to false for a non-null reason — we keep two-valued
+/// logic for simplicity, so `Not(Cmp(NULL > 1))` is `true`. Queries in the
+/// paper filter on mandatory attributes, where the distinction is moot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (select everything).
+    True,
+    /// Compare a column against a literal.
+    Cmp {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        value: Value,
+    },
+    /// Both must hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either must hold.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Column value equals one of the listed literals (`region IN (1,3)`).
+    InList {
+        /// Column name.
+        column: String,
+        /// Accepted values.
+        values: Vec<Value>,
+    },
+}
+
+impl Predicate {
+    /// Convenience constructor: `column op value`.
+    pub fn cmp(column: &str, op: CmpOp, value: Value) -> Predicate {
+        Predicate::Cmp {
+            column: column.to_string(),
+            op,
+            value,
+        }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// `column IN (values...)`.
+    pub fn in_list(column: &str, values: Vec<Value>) -> Predicate {
+        Predicate::InList {
+            column: column.to_string(),
+            values,
+        }
+    }
+
+    /// Validates column references against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        match self {
+            Predicate::True => Ok(()),
+            Predicate::Cmp { column, .. } => schema.index_of(column).map(|_| ()),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.validate(schema)?;
+                b.validate(schema)
+            }
+            Predicate::Not(p) => p.validate(schema),
+            Predicate::InList { column, .. } => schema.index_of(column).map(|_| ()),
+        }
+    }
+
+    /// Evaluates against a row.
+    pub fn eval(&self, schema: &Schema, row: &Row) -> Result<bool> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::Cmp { column, op, value } => {
+                let idx = schema.index_of(column)?;
+                let cell = row.get(idx).ok_or_else(|| {
+                    Error::Schema(format!("row too short for column `{column}`"))
+                })?;
+                Ok(cell.compare(value).map(|o| op.test(o)).unwrap_or(false))
+            }
+            Predicate::And(a, b) => Ok(a.eval(schema, row)? && b.eval(schema, row)?),
+            Predicate::Or(a, b) => Ok(a.eval(schema, row)? || b.eval(schema, row)?),
+            Predicate::Not(p) => Ok(!p.eval(schema, row)?),
+            Predicate::InList { column, values } => {
+                let idx = schema.index_of(column)?;
+                let cell = row.get(idx).ok_or_else(|| {
+                    Error::Schema(format!("row too short for column `{column}`"))
+                })?;
+                Ok(values.iter().any(|v| {
+                    matches!(cell.compare(v), Some(std::cmp::Ordering::Equal))
+                }))
+            }
+        }
+    }
+
+    /// Names of all columns referenced.
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Cmp { column, .. } => out.push(column),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+            Predicate::InList { column, .. } => out.push(column),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => f.write_str("TRUE"),
+            Predicate::Cmp { column, op, value } => write!(f, "{column} {op} {value}"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(p) => write!(f, "NOT {p}"),
+            Predicate::InList { column, values } => {
+                let vs: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+                write!(f, "{column} IN ({})", vs.join(", "))
+            }
+        }
+    }
+}
+
+const TAG_TRUE: u64 = 0;
+const TAG_CMP: u64 = 1;
+const TAG_AND: u64 = 2;
+const TAG_OR: u64 = 3;
+const TAG_NOT: u64 = 4;
+const TAG_IN: u64 = 5;
+
+impl Encode for Predicate {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Predicate::True => w.put_varint(TAG_TRUE),
+            Predicate::Cmp { column, op, value } => {
+                w.put_varint(TAG_CMP);
+                column.encode(w);
+                let op_tag: u8 = match op {
+                    CmpOp::Eq => 0,
+                    CmpOp::Ne => 1,
+                    CmpOp::Lt => 2,
+                    CmpOp::Le => 3,
+                    CmpOp::Gt => 4,
+                    CmpOp::Ge => 5,
+                };
+                op_tag.encode(w);
+                value.encode(w);
+            }
+            Predicate::And(a, b) => {
+                w.put_varint(TAG_AND);
+                a.encode(w);
+                b.encode(w);
+            }
+            Predicate::Or(a, b) => {
+                w.put_varint(TAG_OR);
+                a.encode(w);
+                b.encode(w);
+            }
+            Predicate::Not(p) => {
+                w.put_varint(TAG_NOT);
+                p.encode(w);
+            }
+            Predicate::InList { column, values } => {
+                w.put_varint(TAG_IN);
+                column.encode(w);
+                values.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Predicate {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.varint()? {
+            TAG_TRUE => Ok(Predicate::True),
+            TAG_CMP => {
+                let column = String::decode(r)?;
+                let op = match u8::decode(r)? {
+                    0 => CmpOp::Eq,
+                    1 => CmpOp::Ne,
+                    2 => CmpOp::Lt,
+                    3 => CmpOp::Le,
+                    4 => CmpOp::Gt,
+                    5 => CmpOp::Ge,
+                    other => {
+                        return Err(Error::Decode(format!("invalid cmp op tag {other}")))
+                    }
+                };
+                let value = Value::decode(r)?;
+                Ok(Predicate::Cmp { column, op, value })
+            }
+            TAG_AND => Ok(Predicate::And(
+                Box::new(Predicate::decode(r)?),
+                Box::new(Predicate::decode(r)?),
+            )),
+            TAG_OR => Ok(Predicate::Or(
+                Box::new(Predicate::decode(r)?),
+                Box::new(Predicate::decode(r)?),
+            )),
+            TAG_NOT => Ok(Predicate::Not(Box::new(Predicate::decode(r)?))),
+            TAG_IN => Ok(Predicate::InList {
+                column: String::decode(r)?,
+                values: Vec::<Value>::decode(r)?,
+            }),
+            other => Err(Error::Decode(format!("invalid predicate tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColumnType;
+    use edgelet_wire::{from_bytes, to_bytes};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("age", ColumnType::Int),
+            ("gir", ColumnType::Int),
+            ("sex", ColumnType::Text),
+        ])
+        .unwrap()
+    }
+
+    fn row(age: i64, gir: i64, sex: &str) -> Row {
+        Row::new(vec![
+            Value::Int(age),
+            Value::Int(gir),
+            Value::Text(sex.into()),
+        ])
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let s = schema();
+        let r = row(70, 3, "F");
+        for (op, expect) in [
+            (CmpOp::Eq, false),
+            (CmpOp::Ne, true),
+            (CmpOp::Lt, false),
+            (CmpOp::Le, false),
+            (CmpOp::Gt, true),
+            (CmpOp::Ge, true),
+        ] {
+            let p = Predicate::cmp("age", op, Value::Int(65));
+            assert_eq!(p.eval(&s, &r).unwrap(), expect, "op {op}");
+        }
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let s = schema();
+        let r = row(70, 3, "F");
+        let elderly = Predicate::cmp("age", CmpOp::Gt, Value::Int(65));
+        let dependent = Predicate::cmp("gir", CmpOp::Le, Value::Int(2));
+        let p = elderly.clone().and(dependent.clone());
+        assert!(!p.eval(&s, &r).unwrap());
+        let p = elderly.clone().or(dependent.clone());
+        assert!(p.eval(&s, &r).unwrap());
+        let p = dependent.not();
+        assert!(p.eval(&s, &r).unwrap());
+        assert!(Predicate::True.eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let s = schema();
+        let r = Row::new(vec![Value::Null, Value::Int(1), Value::Text("M".into())]);
+        let p = Predicate::cmp("age", CmpOp::Gt, Value::Int(65));
+        assert!(!p.eval(&s, &r).unwrap());
+        let p = Predicate::cmp("age", CmpOp::Eq, Value::Null);
+        assert!(!p.eval(&s, &r).unwrap());
+        // Incomparable types are false too.
+        let p = Predicate::cmp("sex", CmpOp::Eq, Value::Int(1));
+        assert!(!p.eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn validation_and_referenced_columns() {
+        let s = schema();
+        let p = Predicate::cmp("age", CmpOp::Gt, Value::Int(65))
+            .and(Predicate::cmp("sex", CmpOp::Eq, Value::Text("F".into())));
+        p.validate(&s).unwrap();
+        assert_eq!(p.referenced_columns(), vec!["age", "sex"]);
+        let bad = Predicate::cmp("height", CmpOp::Gt, Value::Int(0));
+        assert!(bad.validate(&s).is_err());
+        // Eval on an unknown column errors rather than silently failing.
+        assert!(bad.eval(&s, &row(1, 1, "F")).is_err());
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        let s = schema();
+        let r = row(70, 3, "F");
+        assert!(Predicate::in_list("gir", vec![Value::Int(1), Value::Int(3)])
+            .eval(&s, &r)
+            .unwrap());
+        assert!(!Predicate::in_list("gir", vec![Value::Int(1), Value::Int(2)])
+            .eval(&s, &r)
+            .unwrap());
+        // Empty list matches nothing; type coercion applies (3 == 3.0).
+        assert!(!Predicate::in_list("gir", vec![]).eval(&s, &r).unwrap());
+        assert!(Predicate::in_list("gir", vec![Value::Float(3.0)])
+            .eval(&s, &r)
+            .unwrap());
+        // Text membership.
+        assert!(
+            Predicate::in_list("sex", vec![Value::Text("F".into()), Value::Text("X".into())])
+                .eval(&s, &r)
+                .unwrap()
+        );
+        // Unknown column errors; referenced columns include it.
+        assert!(Predicate::in_list("zzz", vec![]).validate(&s).is_err());
+        let p = Predicate::in_list("gir", vec![Value::Int(1)])
+            .and(Predicate::cmp("age", CmpOp::Gt, Value::Int(65)));
+        assert_eq!(p.referenced_columns(), vec!["age", "gir"]);
+        assert_eq!(
+            Predicate::in_list("gir", vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "gir IN (1, 2)"
+        );
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let p = Predicate::cmp("age", CmpOp::Ge, Value::Int(65))
+            .and(Predicate::cmp("sex", CmpOp::Eq, Value::Text("F".into())))
+            .or(Predicate::cmp("gir", CmpOp::Lt, Value::Int(3)).not())
+            .and(Predicate::in_list("gir", vec![Value::Int(1), Value::Int(2)]));
+        let back: Predicate = from_bytes(&to_bytes(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn display() {
+        let p = Predicate::cmp("age", CmpOp::Gt, Value::Int(65))
+            .and(Predicate::cmp("gir", CmpOp::Le, Value::Int(2)));
+        assert_eq!(p.to_string(), "(age > 65 AND gir <= 2)");
+    }
+}

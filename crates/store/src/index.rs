@@ -1,0 +1,252 @@
+//! Secondary indexes: sorted row-id lists for range scans.
+//!
+//! Snapshot Builders filter on selective predicates (`age > 65`) against
+//! stores that, on a home box, live on slow flash; an ordered index turns
+//! the per-request scan into a binary search plus a contiguous walk. The
+//! index is immutable over a store snapshot (stores are append-only
+//! between queries, so builders index once per query epoch).
+
+use crate::expr::CmpOp;
+use crate::row::Row;
+use crate::store::DataStore;
+use crate::value::Value;
+use edgelet_util::{Error, Result};
+use std::cmp::Ordering;
+use std::ops::Bound;
+
+/// A sorted index over one column of a store snapshot.
+#[derive(Debug, Clone)]
+pub struct SortedIndex {
+    column: String,
+    /// `(key, row_id)` sorted by key then row id; null keys excluded.
+    entries: Vec<(Value, usize)>,
+}
+
+impl SortedIndex {
+    /// Builds the index over `column`. Fails on unknown columns; null
+    /// values are excluded (they match no range predicate anyway).
+    pub fn build(store: &DataStore, column: &str) -> Result<SortedIndex> {
+        let column_idx = store.schema().index_of(column)?;
+        let mut entries: Vec<(Value, usize)> = store
+            .rows()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, row)| {
+                let v = row.get(column_idx)?.clone();
+                (!v.is_null()).then_some((v, i))
+            })
+            .collect();
+        entries.sort_by(|(a, ai), (b, bi)| {
+            a.compare(b)
+                .unwrap_or(Ordering::Equal)
+                .then(ai.cmp(bi))
+        });
+        // Mixed-type columns cannot be totally ordered; reject them.
+        for w in entries.windows(2) {
+            if w[0].0.compare(&w[1].0).is_none() {
+                return Err(Error::Schema(format!(
+                    "column `{column}` mixes incomparable types; cannot index"
+                )));
+            }
+        }
+        Ok(SortedIndex {
+            column: column.to_string(),
+            entries,
+        })
+    }
+
+    /// The indexed column name.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// Number of indexed (non-null) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Row ids whose key lies within the bounds, in key order.
+    pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<usize> {
+        let start = match lo {
+            Bound::Unbounded => 0,
+            Bound::Included(v) => self.lower_bound(v),
+            Bound::Excluded(v) => self.upper_bound(v),
+        };
+        let end = match hi {
+            Bound::Unbounded => self.entries.len(),
+            Bound::Included(v) => self.upper_bound(v),
+            Bound::Excluded(v) => self.lower_bound(v),
+        };
+        if start >= end {
+            return Vec::new();
+        }
+        self.entries[start..end].iter().map(|(_, i)| *i).collect()
+    }
+
+    /// Row ids matching `column op value` (range ops only; `Ne` is not an
+    /// index-friendly predicate and returns an error).
+    pub fn lookup(&self, op: CmpOp, value: &Value) -> Result<Vec<usize>> {
+        Ok(match op {
+            CmpOp::Eq => self.range(Bound::Included(value), Bound::Included(value)),
+            CmpOp::Lt => self.range(Bound::Unbounded, Bound::Excluded(value)),
+            CmpOp::Le => self.range(Bound::Unbounded, Bound::Included(value)),
+            CmpOp::Gt => self.range(Bound::Excluded(value), Bound::Unbounded),
+            CmpOp::Ge => self.range(Bound::Included(value), Bound::Unbounded),
+            CmpOp::Ne => {
+                return Err(Error::InvalidQuery(
+                    "`!=` cannot use a sorted index; scan instead".into(),
+                ))
+            }
+        })
+    }
+
+    /// Materializes the rows for a lookup, in key order.
+    pub fn lookup_rows(
+        &self,
+        store: &DataStore,
+        op: CmpOp,
+        value: &Value,
+    ) -> Result<Vec<Row>> {
+        let ids = self.lookup(op, value)?;
+        Ok(ids
+            .into_iter()
+            .filter_map(|i| store.rows().get(i).cloned())
+            .collect())
+    }
+
+    /// First entry index with key >= v.
+    fn lower_bound(&self, v: &Value) -> usize {
+        self.entries
+            .partition_point(|(k, _)| matches!(k.compare(v), Some(Ordering::Less)))
+    }
+
+    /// First entry index with key > v.
+    fn upper_bound(&self, v: &Value) -> usize {
+        self.entries.partition_point(|(k, _)| {
+            matches!(k.compare(v), Some(Ordering::Less) | Some(Ordering::Equal))
+        })
+    }
+
+    fn key_at(&self, pos: usize) -> &Value {
+        &self.entries[pos].0
+    }
+
+    /// Smallest indexed key.
+    pub fn min_key(&self) -> Option<&Value> {
+        (!self.is_empty()).then(|| self.key_at(0))
+    }
+
+    /// Largest indexed key.
+    pub fn max_key(&self) -> Option<&Value> {
+        (!self.is_empty()).then(|| self.key_at(self.entries.len() - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Predicate;
+    use crate::schema::Schema;
+    use crate::synth;
+    use crate::value::ColumnType;
+    use edgelet_util::rng::DetRng;
+    use proptest::prelude::*;
+
+    fn store() -> DataStore {
+        let mut rng = DetRng::new(1);
+        synth::health_store(500, &mut rng)
+    }
+
+    #[test]
+    fn index_matches_scan_for_every_operator() {
+        let s = store();
+        let idx = SortedIndex::build(&s, "age").unwrap();
+        assert_eq!(idx.column(), "age");
+        assert_eq!(idx.len(), 500);
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let via_index = idx.lookup_rows(&s, op, &Value::Int(65)).unwrap().len();
+            let via_scan = s
+                .count(&Predicate::cmp("age", op, Value::Int(65)))
+                .unwrap();
+            assert_eq!(via_index, via_scan, "op {op}");
+        }
+        assert!(idx.lookup(CmpOp::Ne, &Value::Int(65)).is_err());
+    }
+
+    #[test]
+    fn range_bounds() {
+        let schema = Schema::new(vec![("x", ColumnType::Int)]).unwrap();
+        let mut s = DataStore::new(schema);
+        for v in [5i64, 1, 3, 3, 9, 7] {
+            s.insert(Row::new(vec![Value::Int(v)])).unwrap();
+        }
+        let idx = SortedIndex::build(&s, "x").unwrap();
+        assert_eq!(idx.min_key(), Some(&Value::Int(1)));
+        assert_eq!(idx.max_key(), Some(&Value::Int(9)));
+        // [3, 7): keys 3, 3, 5.
+        let ids = idx.range(Bound::Included(&Value::Int(3)), Bound::Excluded(&Value::Int(7)));
+        assert_eq!(ids.len(), 3);
+        // Empty range.
+        assert!(idx
+            .range(Bound::Excluded(&Value::Int(9)), Bound::Unbounded)
+            .is_empty());
+        // Unbounded both sides = everything.
+        assert_eq!(idx.range(Bound::Unbounded, Bound::Unbounded).len(), 6);
+    }
+
+    #[test]
+    fn nulls_are_excluded_and_unknown_column_fails() {
+        let schema = Schema::new(vec![("x", ColumnType::Int)]).unwrap();
+        let mut s = DataStore::new(schema);
+        s.insert(Row::new(vec![Value::Int(1)])).unwrap();
+        s.insert(Row::new(vec![Value::Null])).unwrap();
+        let idx = SortedIndex::build(&s, "x").unwrap();
+        assert_eq!(idx.len(), 1);
+        assert!(SortedIndex::build(&s, "nope").is_err());
+    }
+
+    #[test]
+    fn text_index_orders_lexicographically() {
+        let schema = Schema::new(vec![("name", ColumnType::Text)]).unwrap();
+        let mut s = DataStore::new(schema);
+        for n in ["carol", "alice", "bob"] {
+            s.insert(Row::new(vec![Value::Text(n.into())])).unwrap();
+        }
+        let idx = SortedIndex::build(&s, "name").unwrap();
+        let rows = idx
+            .lookup_rows(&s, CmpOp::Ge, &Value::Text("b".into()))
+            .unwrap();
+        let names: Vec<String> = rows
+            .iter()
+            .map(|r| r.values()[0].to_string())
+            .collect();
+        assert_eq!(names, vec!["bob", "carol"]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_index_equals_scan(
+            xs in prop::collection::vec(-50i64..50, 0..200),
+            cut in -50i64..50,
+        ) {
+            let schema = Schema::new(vec![("x", ColumnType::Int)]).unwrap();
+            let mut s = DataStore::new(schema);
+            for &x in &xs {
+                s.insert(Row::new(vec![Value::Int(x)])).unwrap();
+            }
+            let idx = SortedIndex::build(&s, "x").unwrap();
+            for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+                let via_index = idx.lookup(op, &Value::Int(cut)).unwrap().len();
+                let via_scan = s
+                    .count(&Predicate::cmp("x", op, Value::Int(cut)))
+                    .unwrap();
+                prop_assert_eq!(via_index, via_scan);
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Per-edgelet personal data store.
+//!
+//! Each edgelet hosts its owner's raw data (the DomYcile box stores the
+//! medical record on a micro-SD card; a phone stores its owner's profile).
+//! Edgelet computing treats those stores as a horizontal partitioning of a
+//! shared logical database: all stores conform to a common [`Schema`].
+//!
+//! * [`value`] — typed values and column types;
+//! * [`schema`] — schemas and column resolution;
+//! * [`row`] — rows and their wire encoding;
+//! * [`expr`] — the predicate language (`age > 65 AND gir <= 3`);
+//! * [`store`] — the store itself: insert, filtered scans, projection,
+//!   reservoir sampling;
+//! * [`index`] — sorted secondary indexes for range lookups;
+//! * [`synth`] — the synthetic health-survey dataset generator standing in
+//!   for the private DomYcile data (see DESIGN.md §2);
+//! * [`csv`] — plain-text import/export used by the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod expr;
+pub mod index;
+pub mod row;
+pub mod schema;
+pub mod store;
+pub mod synth;
+pub mod value;
+
+pub use expr::{CmpOp, Predicate};
+pub use index::SortedIndex;
+pub use row::Row;
+pub use schema::{Column, Schema};
+pub use store::DataStore;
+pub use value::{ColumnType, Value};

@@ -1,0 +1,114 @@
+//! Rows: ordered value vectors matching a schema.
+
+use crate::schema::Schema;
+use crate::value::Value;
+use edgelet_util::Result;
+use edgelet_wire::{Decode, Encode, Reader, Writer};
+
+/// One tuple.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Wraps a value vector.
+    pub fn new(values: Vec<Value>) -> Self {
+        Self { values }
+    }
+
+    /// The values, in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at a column index.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Value of a named column under `schema`.
+    pub fn get_named(&self, schema: &Schema, name: &str) -> Result<&Value> {
+        Ok(&self.values[schema.index_of(name)?])
+    }
+
+    /// Projects onto the named columns.
+    pub fn project(&self, schema: &Schema, names: &[&str]) -> Result<Row> {
+        let mut out = Vec::with_capacity(names.len());
+        for n in names {
+            out.push(self.values[schema.index_of(n)?].clone());
+        }
+        Ok(Row::new(out))
+    }
+
+    /// Consumes into the value vector.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl Encode for Row {
+    fn encode(&self, w: &mut Writer) {
+        self.values.encode(w);
+    }
+}
+
+impl Decode for Row {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Row {
+            values: Vec::<Value>::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColumnType;
+    use edgelet_wire::{from_bytes, to_bytes};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("age", ColumnType::Int), ("bmi", ColumnType::Float)]).unwrap()
+    }
+
+    #[test]
+    fn access_and_projection() {
+        let s = schema();
+        let r = Row::new(vec![Value::Int(70), Value::Float(23.5)]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.get(0), Some(&Value::Int(70)));
+        assert_eq!(r.get(9), None);
+        assert_eq!(r.get_named(&s, "bmi").unwrap(), &Value::Float(23.5));
+        assert!(r.get_named(&s, "zzz").is_err());
+        let p = r.project(&s, &["bmi"]).unwrap();
+        assert_eq!(p.values(), &[Value::Float(23.5)]);
+        assert_eq!(
+            Row::from(vec![Value::Int(1)]).into_values(),
+            vec![Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let r = Row::new(vec![
+            Value::Int(1),
+            Value::Null,
+            Value::Text("x".into()),
+            Value::Bool(true),
+            Value::Float(-0.5),
+        ]);
+        let back: Row = from_bytes(&to_bytes(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+}

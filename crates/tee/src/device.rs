@@ -1,0 +1,149 @@
+//! Device classes and performance profiles.
+//!
+//! Speed factors are calibrated relative to the demo's laptop (Intel Core
+//! i5-9400H with SGX): the home box's STM32F417 microcontroller runs at
+//! 168 MHz without caches worth speaking of, so a ~100x slowdown for
+//! data-crunching work is the right order of magnitude; a mid-range
+//! TrustZone smartphone lands at a few times slower than the laptop.
+
+use std::fmt;
+
+/// The three hardware families of the demonstration platform (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeviceClass {
+    /// Laptop/desktop with Intel SGX (Open Enclave host).
+    SgxPc,
+    /// Smartphone with ARM TrustZone.
+    TrustZonePhone,
+    /// DomYcile-style home box: STM32F417 + TPM + micro-SD.
+    TpmHomeBox,
+}
+
+impl DeviceClass {
+    /// All classes, for sweeps.
+    pub const ALL: [DeviceClass; 3] = [
+        DeviceClass::SgxPc,
+        DeviceClass::TrustZonePhone,
+        DeviceClass::TpmHomeBox,
+    ];
+
+    /// Default profile for the class.
+    pub fn profile(self) -> DeviceProfile {
+        match self {
+            DeviceClass::SgxPc => DeviceProfile {
+                class: self,
+                // Tuples of work processed per second (aggregate kernel).
+                tuples_per_sec: 2_000_000.0,
+                // Enclave memory budget expressed in resident tuples.
+                max_resident_tuples: 1_000_000,
+                // Fixed cost to enter/exit the enclave per protocol step.
+                enclave_call_overhead_us: 50,
+            },
+            DeviceClass::TrustZonePhone => DeviceProfile {
+                class: self,
+                tuples_per_sec: 500_000.0,
+                max_resident_tuples: 200_000,
+                enclave_call_overhead_us: 120,
+            },
+            DeviceClass::TpmHomeBox => DeviceProfile {
+                class: self,
+                tuples_per_sec: 20_000.0,
+                max_resident_tuples: 20_000,
+                enclave_call_overhead_us: 2_000,
+            },
+        }
+    }
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DeviceClass::SgxPc => "sgx-pc",
+            DeviceClass::TrustZonePhone => "trustzone-phone",
+            DeviceClass::TpmHomeBox => "tpm-home-box",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Performance/capacity profile of one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Hardware class.
+    pub class: DeviceClass,
+    /// Throughput of the aggregation/ML kernels, in tuples per second.
+    pub tuples_per_sec: f64,
+    /// Maximum number of tuples the enclave may hold at once.
+    pub max_resident_tuples: usize,
+    /// Fixed overhead per enclave invocation, microseconds.
+    pub enclave_call_overhead_us: u64,
+}
+
+impl DeviceProfile {
+    /// Time to process `tuples` tuples of work, in seconds, including one
+    /// enclave call overhead.
+    pub fn compute_seconds(&self, tuples: usize) -> f64 {
+        self.enclave_call_overhead_us as f64 / 1e6 + tuples as f64 / self.tuples_per_sec
+    }
+
+    /// Whether a partition of `tuples` tuples fits in enclave memory.
+    pub fn fits(&self, tuples: usize) -> bool {
+        tuples <= self.max_resident_tuples
+    }
+
+    /// Relative speed vs. the SGX PC baseline (1.0 for the PC itself).
+    pub fn relative_speed(&self) -> f64 {
+        self.tuples_per_sec / DeviceClass::SgxPc.profile().tuples_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ordering_of_speed() {
+        let pc = DeviceClass::SgxPc.profile();
+        let phone = DeviceClass::TrustZonePhone.profile();
+        let boxp = DeviceClass::TpmHomeBox.profile();
+        assert!(pc.tuples_per_sec > phone.tuples_per_sec);
+        assert!(phone.tuples_per_sec > boxp.tuples_per_sec);
+        assert!(pc.max_resident_tuples > boxp.max_resident_tuples);
+        assert_eq!(pc.relative_speed(), 1.0);
+        assert!(boxp.relative_speed() < 0.05);
+    }
+
+    #[test]
+    fn compute_time_scales_linearly() {
+        let p = DeviceClass::SgxPc.profile();
+        let t1 = p.compute_seconds(10_000);
+        let t2 = p.compute_seconds(20_000);
+        let overhead = p.enclave_call_overhead_us as f64 / 1e6;
+        assert!(((t2 - overhead) - 2.0 * (t1 - overhead)).abs() < 1e-12);
+        // Zero work still pays the enclave call.
+        assert!(p.compute_seconds(0) > 0.0);
+    }
+
+    #[test]
+    fn box_is_much_slower_than_pc() {
+        let pc = DeviceClass::SgxPc.profile();
+        let boxp = DeviceClass::TpmHomeBox.profile();
+        let ratio = boxp.compute_seconds(100_000) / pc.compute_seconds(100_000);
+        assert!(ratio > 50.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_caps() {
+        let boxp = DeviceClass::TpmHomeBox.profile();
+        assert!(boxp.fits(20_000));
+        assert!(!boxp.fits(20_001));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DeviceClass::SgxPc.to_string(), "sgx-pc");
+        assert_eq!(DeviceClass::TrustZonePhone.to_string(), "trustzone-phone");
+        assert_eq!(DeviceClass::TpmHomeBox.to_string(), "tpm-home-box");
+        assert_eq!(DeviceClass::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,190 @@
+//! Enclave runtime model: measurement, lifecycle, sealed-glass compromise.
+//!
+//! The paper's threat model (§2.1, §3.3) is that side-channel attacks may
+//! place a TEE in "sealed glass" mode \[23\]: the *integrity* of the
+//! computation is preserved — attestations still verify, results are still
+//! correct — but the *confidentiality* of data present in the enclave is
+//! lost. The QEP-level counter-measures are horizontal and vertical
+//! partitioning, whose benefit the privacy crate quantifies from the
+//! exposure log kept here.
+
+use edgelet_crypto::attest::{measure, AttestationQuote, Measurement, TrustAnchor};
+use edgelet_util::ids::DeviceId;
+use edgelet_util::{Error, Result};
+use std::collections::BTreeSet;
+
+/// Lifecycle state of an enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnclaveStatus {
+    /// Loaded and attestable.
+    Running,
+    /// Confidentiality compromised (sealed glass): integrity intact.
+    SealedGlass,
+    /// Integrity compromised: attestation revoked, unusable for queries.
+    IntegrityBroken,
+}
+
+/// An operator's enclave instance on one device.
+#[derive(Debug, Clone)]
+pub struct Enclave {
+    device: DeviceId,
+    measurement: Measurement,
+    status: EnclaveStatus,
+    /// Attribute names observed in cleartext inside this enclave, and the
+    /// number of raw tuples seen: the inputs to the exposure analysis.
+    observed_attributes: BTreeSet<String>,
+    observed_tuples: u64,
+}
+
+impl Enclave {
+    /// Loads operator code (identified by `code_id`) into an enclave.
+    pub fn load(device: DeviceId, code_id: &str) -> Self {
+        Self {
+            device,
+            measurement: measure(code_id.as_bytes()),
+            status: EnclaveStatus::Running,
+            observed_attributes: BTreeSet::new(),
+            observed_tuples: 0,
+        }
+    }
+
+    /// The hosting device.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// The code measurement this enclave attests to.
+    pub fn measurement(&self) -> &Measurement {
+        &self.measurement
+    }
+
+    /// Current status.
+    pub fn status(&self) -> EnclaveStatus {
+        self.status
+    }
+
+    /// Marks the enclave as sealed-glass compromised.
+    pub fn compromise_confidentiality(&mut self) {
+        if self.status == EnclaveStatus::Running {
+            self.status = EnclaveStatus::SealedGlass;
+        }
+    }
+
+    /// Marks the enclave integrity as broken (and revokes it at the anchor).
+    pub fn compromise_integrity(&mut self, anchor: &mut TrustAnchor) {
+        self.status = EnclaveStatus::IntegrityBroken;
+        anchor.revoke(self.device);
+    }
+
+    /// Whether results produced by this enclave can still be trusted.
+    pub fn integrity_intact(&self) -> bool {
+        self.status != EnclaveStatus::IntegrityBroken
+    }
+
+    /// Whether data processed inside is visible to an attacker.
+    pub fn confidentiality_lost(&self) -> bool {
+        self.status != EnclaveStatus::Running
+    }
+
+    /// Produces an attestation quote bound to `nonce`.
+    ///
+    /// Sealed-glass enclaves still attest (integrity holds); integrity-
+    /// broken enclaves fail.
+    pub fn attest(&self, anchor: &TrustAnchor, nonce: [u8; 32]) -> Result<AttestationQuote> {
+        if self.status == EnclaveStatus::IntegrityBroken {
+            return Err(Error::Crypto(format!(
+                "enclave on {} cannot attest: integrity broken",
+                self.device
+            )));
+        }
+        Ok(anchor.quote(self.device, self.measurement, nonce))
+    }
+
+    /// Records that `tuples` raw tuples carrying `attributes` entered the
+    /// enclave in cleartext.
+    pub fn record_exposure<'a>(
+        &mut self,
+        attributes: impl IntoIterator<Item = &'a str>,
+        tuples: u64,
+    ) {
+        for a in attributes {
+            self.observed_attributes.insert(a.to_string());
+        }
+        self.observed_tuples += tuples;
+    }
+
+    /// Attribute names that have been present in cleartext.
+    pub fn observed_attributes(&self) -> &BTreeSet<String> {
+        &self.observed_attributes
+    }
+
+    /// Raw tuples that have been present in cleartext.
+    pub fn observed_tuples(&self) -> u64 {
+        self.observed_tuples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anchor() -> TrustAnchor {
+        TrustAnchor::new([1u8; 32])
+    }
+
+    #[test]
+    fn lifecycle_and_attestation() {
+        let ta = anchor();
+        let e = Enclave::load(DeviceId::new(1), "snapshot-builder-v1");
+        assert_eq!(e.status(), EnclaveStatus::Running);
+        assert!(e.integrity_intact());
+        assert!(!e.confidentiality_lost());
+        let nonce = [9u8; 32];
+        let q = e.attest(&ta, nonce).unwrap();
+        ta.verify(&q, e.measurement(), &nonce).unwrap();
+    }
+
+    #[test]
+    fn sealed_glass_still_attests() {
+        let ta = anchor();
+        let mut e = Enclave::load(DeviceId::new(2), "computer-v1");
+        e.compromise_confidentiality();
+        assert_eq!(e.status(), EnclaveStatus::SealedGlass);
+        assert!(e.integrity_intact());
+        assert!(e.confidentiality_lost());
+        let nonce = [3u8; 32];
+        let q = e.attest(&ta, nonce).unwrap();
+        ta.verify(&q, e.measurement(), &nonce).unwrap();
+    }
+
+    #[test]
+    fn integrity_break_revokes() {
+        let mut ta = anchor();
+        let mut e = Enclave::load(DeviceId::new(3), "combiner-v1");
+        e.compromise_integrity(&mut ta);
+        assert_eq!(e.status(), EnclaveStatus::IntegrityBroken);
+        assert!(!e.integrity_intact());
+        assert!(e.attest(&ta, [0u8; 32]).is_err());
+        assert!(ta.is_revoked(DeviceId::new(3)));
+        // Sealed-glass after integrity break does not downgrade the status.
+        e.compromise_confidentiality();
+        assert_eq!(e.status(), EnclaveStatus::IntegrityBroken);
+    }
+
+    #[test]
+    fn different_code_different_measurement() {
+        let a = Enclave::load(DeviceId::new(1), "op-a");
+        let b = Enclave::load(DeviceId::new(1), "op-b");
+        assert_ne!(a.measurement(), b.measurement());
+    }
+
+    #[test]
+    fn exposure_log_accumulates() {
+        let mut e = Enclave::load(DeviceId::new(4), "computer-v1");
+        e.record_exposure(["age", "bmi"], 500);
+        e.record_exposure(["age"], 250);
+        assert_eq!(e.observed_tuples(), 750);
+        let attrs: Vec<_> = e.observed_attributes().iter().cloned().collect();
+        assert_eq!(attrs, vec!["age".to_string(), "bmi".to_string()]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Simulated Trusted Execution Environment devices ("edgelets").
+//!
+//! The demo platform of the paper spans heterogeneous hardware: PCs with
+//! Intel SGX, smartphones with ARM TrustZone and STM32F417 home boxes with a
+//! TPM. This crate models the properties of those devices that the Edgelet
+//! protocols actually depend on:
+//!
+//! * [`device`] — device classes and profiles: compute speed, memory
+//!   capacity, typical availability;
+//! * [`enclave`] — the enclave runtime: code measurement, lifecycle, the
+//!   "sealed glass" compromise mode of §2.1 (integrity preserved,
+//!   confidentiality lost) and an exposure log feeding the privacy
+//!   analysis;
+//! * [`channel`] — attested secure channels between enclaves: X25519 key
+//!   agreement bound to attestation quotes, HKDF-derived session keys,
+//!   ChaCha20-Poly1305 record protection;
+//! * [`directory`] — the device directory a query deployer consults to
+//!   pick Data Processors;
+//! * [`sealed_storage`] — data at rest sealed under device-bound keys
+//!   with rollback protection (the box's micro-SD + TPM arrangement).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod device;
+pub mod directory;
+pub mod enclave;
+pub mod sealed_storage;
+
+pub use channel::SecureChannel;
+pub use device::{DeviceClass, DeviceProfile};
+pub use directory::{Directory, DirectoryEntry};
+pub use enclave::{Enclave, EnclaveStatus};
+pub use sealed_storage::{seal_store, unseal_store, SealedStore};

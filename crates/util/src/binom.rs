@@ -1,0 +1,262 @@
+//! Log-space binomial combinatorics for the resiliency planner.
+//!
+//! The Overcollection strategy of the paper splits a snapshot over `n + m`
+//! edgelets and the query stays valid as long as at least `n` partitions
+//! survive. With an i.i.d. failure presumption `p` per partition, validity
+//! holds with probability
+//!
+//! ```text
+//! P[valid] = P[X >= n],   X ~ Binomial(n + m, 1 - p)
+//! ```
+//!
+//! The planner needs this tail for `n + m` up to a few thousand without
+//! overflow or underflow, hence log-space evaluation via `ln_gamma`.
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+///
+/// Accurate to ~1e-13 for the positive arguments the planner uses.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for the Lanczos approximation.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (std::f64::consts::TAU).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln C(n, k)`; `-inf` when `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Binomial pmf `P[X = k]` for `X ~ Binomial(n, p)`, computed in log space.
+pub fn binom_pmf(n: u64, k: u64, p: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    ln.exp()
+}
+
+/// Upper tail `P[X >= k]` for `X ~ Binomial(n, p)`.
+///
+/// Sums the smaller side of the distribution for accuracy.
+pub fn binom_tail_ge(n: u64, k: u64, p: f64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    // Sum whichever side has fewer terms, then complement if needed.
+    let upper_terms = n - k + 1;
+    let lower_terms = k;
+    if upper_terms <= lower_terms {
+        let mut acc = 0.0;
+        for i in k..=n {
+            acc += binom_pmf(n, i, p);
+        }
+        acc.clamp(0.0, 1.0)
+    } else {
+        let mut acc = 0.0;
+        for i in 0..k {
+            acc += binom_pmf(n, i, p);
+        }
+        (1.0 - acc).clamp(0.0, 1.0)
+    }
+}
+
+/// Probability that an Overcollection execution with `n + m` partitions and
+/// per-partition survival probability `1 - p` remains valid (at least `n`
+/// partitions survive).
+pub fn overcollection_validity(n: u64, m: u64, p: f64) -> f64 {
+    binom_tail_ge(n + m, n, 1.0 - p)
+}
+
+/// Normal (De Moivre–Laplace) approximation of [`overcollection_validity`]
+/// with continuity correction. Used by the fast planner variant and compared
+/// against the exact tail in the ablation bench.
+pub fn overcollection_validity_normal_approx(n: u64, m: u64, p: f64) -> f64 {
+    let total = (n + m) as f64;
+    let q = 1.0 - p;
+    if p <= 0.0 {
+        return 1.0;
+    }
+    if p >= 1.0 {
+        return if n == 0 { 1.0 } else { 0.0 };
+    }
+    let mu = total * q;
+    let sigma = (total * p * q).sqrt();
+    if sigma == 0.0 {
+        return if mu >= n as f64 { 1.0 } else { 0.0 };
+    }
+    // P[X >= n] with continuity correction: 1 - Phi((n - 0.5 - mu)/sigma)
+    let z = (n as f64 - 0.5 - mu) / sigma;
+    (0.5 * erfc(z / std::f64::consts::SQRT_2)).clamp(0.0, 1.0)
+}
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26-style rational
+/// approximation, max absolute error ~1.5e-7 — ample for planning).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let tau = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+        .exp();
+    if x >= 0.0 {
+        tau
+    } else {
+        2.0 - tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Gamma(n) = (n-1)! for integers.
+        assert!((ln_gamma(1.0) - 0.0).abs() < 1e-12);
+        assert!((ln_gamma(2.0) - 0.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - (24.0f64).ln()).abs() < 1e-10);
+        assert!((ln_gamma(11.0) - (3_628_800.0f64).ln()).abs() < 1e-9);
+        // Gamma(0.5) = sqrt(pi)
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert!((ln_choose(5, 2) - (10.0f64).ln()).abs() < 1e-10);
+        assert!((ln_choose(10, 5) - (252.0f64).ln()).abs() < 1e-9);
+        assert_eq!(ln_choose(4, 0), 0.0);
+        assert_eq!(ln_choose(4, 4), 0.0);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (50, 0.05), (200, 0.7)] {
+            let total: f64 = (0..=n).map(|k| binom_pmf(n, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_probabilities() {
+        assert_eq!(binom_pmf(5, 0, 0.0), 1.0);
+        assert_eq!(binom_pmf(5, 1, 0.0), 0.0);
+        assert_eq!(binom_pmf(5, 5, 1.0), 1.0);
+        assert_eq!(binom_pmf(5, 4, 1.0), 0.0);
+        assert_eq!(binom_pmf(5, 6, 0.5), 0.0);
+    }
+
+    #[test]
+    fn tail_matches_brute_force() {
+        for &(n, k, p) in &[(10u64, 3u64, 0.4), (30, 25, 0.9), (100, 50, 0.5)] {
+            let brute: f64 = (k..=n).map(|i| binom_pmf(n, i, p)).sum();
+            let fast = binom_tail_ge(n, k, p);
+            assert!((brute - fast).abs() < 1e-9, "n={n} k={k} p={p}");
+        }
+        assert_eq!(binom_tail_ge(10, 0, 0.3), 1.0);
+        assert_eq!(binom_tail_ge(10, 11, 0.3), 0.0);
+    }
+
+    #[test]
+    fn validity_monotone_in_m_and_p() {
+        // More overcollection never hurts validity.
+        for m in 0..20u64 {
+            let a = overcollection_validity(10, m, 0.2);
+            let b = overcollection_validity(10, m + 1, 0.2);
+            assert!(b >= a - 1e-12, "m={m}: {b} < {a}");
+        }
+        // Higher failure probability never helps.
+        for i in 0..20 {
+            let p1 = i as f64 * 0.04;
+            let p2 = p1 + 0.04;
+            let a = overcollection_validity(10, 5, p1);
+            let b = overcollection_validity(10, 5, p2);
+            assert!(b <= a + 1e-12, "p={p1}: {b} > {a}");
+        }
+    }
+
+    #[test]
+    fn validity_known_values() {
+        // n=1, m=0: survives iff the single partition survives.
+        assert!((overcollection_validity(1, 0, 0.25) - 0.75).abs() < 1e-12);
+        // n=1, m=1: survives unless both fail: 1 - p^2.
+        assert!((overcollection_validity(1, 1, 0.25) - (1.0 - 0.0625)).abs() < 1e-12);
+        // n=2, m=0: both must survive.
+        assert!((overcollection_validity(2, 0, 0.1) - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_approx_tracks_exact_for_large_n() {
+        for &(n, m, p) in &[(50u64, 10u64, 0.1), (200, 30, 0.15), (1000, 100, 0.08)] {
+            let exact = overcollection_validity(n, m, p);
+            let approx = overcollection_validity_normal_approx(n, m, p);
+            assert!(
+                (exact - approx).abs() < 0.02,
+                "n={n} m={m} p={p}: exact={exact} approx={approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_reference_points() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(5.0) < 2e-12);
+        assert!((erfc(-5.0) - 2.0).abs() < 2e-12);
+    }
+
+    #[test]
+    fn large_n_is_stable() {
+        // Must not overflow/underflow at planner scales.
+        let v = overcollection_validity(2000, 300, 0.1);
+        assert!(v > 0.999, "got {v}");
+        let w = overcollection_validity(2000, 0, 0.1);
+        assert!(w < 1e-60, "got {w}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Common error type shared by the workspace crates.
+
+use std::fmt;
+
+/// Convenience alias used across the Edgelet crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Platform-wide error type.
+///
+/// Each variant carries a human-readable message; lower-level crates attach
+/// enough context that callers rarely need to wrap further.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A value failed to decode from its wire representation.
+    Decode(String),
+    /// A value could not be encoded (e.g. a length exceeding the format cap).
+    Encode(String),
+    /// A cryptographic check failed (MAC mismatch, bad attestation quote...).
+    Crypto(String),
+    /// A configuration is internally inconsistent or out of supported range.
+    InvalidConfig(String),
+    /// A query definition is malformed (unknown column, empty grouping set...).
+    InvalidQuery(String),
+    /// A schema mismatch between a query and a data store.
+    Schema(String),
+    /// The simulation detected an impossible state transition.
+    Simulation(String),
+    /// An execution-protocol failure (e.g. quorum unreachable before deadline).
+    Protocol(String),
+    /// The requested resiliency target cannot be met with the given bounds.
+    Unsatisfiable(String),
+}
+
+impl Error {
+    /// The broad category of the error, used by tests and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Decode(_) => "decode",
+            Error::Encode(_) => "encode",
+            Error::Crypto(_) => "crypto",
+            Error::InvalidConfig(_) => "invalid_config",
+            Error::InvalidQuery(_) => "invalid_query",
+            Error::Schema(_) => "schema",
+            Error::Simulation(_) => "simulation",
+            Error::Protocol(_) => "protocol",
+            Error::Unsatisfiable(_) => "unsatisfiable",
+        }
+    }
+
+    /// The message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Decode(m)
+            | Error::Encode(m)
+            | Error::Crypto(m)
+            | Error::InvalidConfig(m)
+            | Error::InvalidQuery(m)
+            | Error::Schema(m)
+            | Error::Simulation(m)
+            | Error::Protocol(m)
+            | Error::Unsatisfiable(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = Error::Decode("truncated varint".into());
+        assert_eq!(e.to_string(), "decode: truncated varint");
+        assert_eq!(e.kind(), "decode");
+        assert_eq!(e.message(), "truncated varint");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let all = [
+            Error::Decode(String::new()),
+            Error::Encode(String::new()),
+            Error::Crypto(String::new()),
+            Error::InvalidConfig(String::new()),
+            Error::InvalidQuery(String::new()),
+            Error::Schema(String::new()),
+            Error::Simulation(String::new()),
+            Error::Protocol(String::new()),
+            Error::Unsatisfiable(String::new()),
+        ];
+        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+}

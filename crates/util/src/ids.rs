@@ -1,0 +1,113 @@
+//! Strongly-typed identifiers shared across the workspace.
+//!
+//! Every distributed-systems bug report starts with "we passed the wrong id".
+//! These newtypes make device ids, operator ids and query ids distinct types
+//! while still being cheap `u64`-sized copies.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Wraps a raw index.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The raw index as a `usize`, for indexing dense tables.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies one edgelet (a TEE-enabled personal device).
+    DeviceId,
+    "dev#"
+);
+
+define_id!(
+    /// Identifies one operator vertex in a query execution plan.
+    OperatorId,
+    "op#"
+);
+
+define_id!(
+    /// Identifies one query execution.
+    QueryId,
+    "q#"
+);
+
+define_id!(
+    /// Identifies one message on the simulated network.
+    MessageId,
+    "msg#"
+);
+
+define_id!(
+    /// Identifies one data partition of a snapshot (0..n+m-1).
+    PartitionId,
+    "part#"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let d = DeviceId::new(42);
+        assert_eq!(d.raw(), 42);
+        assert_eq!(d.index(), 42);
+        assert_eq!(format!("{d}"), "dev#42");
+        assert_eq!(format!("{d:?}"), "dev#42");
+        assert_eq!(DeviceId::from(42u64), d);
+    }
+
+    #[test]
+    fn ids_hash_and_order() {
+        let mut set = HashSet::new();
+        set.insert(OperatorId::new(1));
+        set.insert(OperatorId::new(2));
+        set.insert(OperatorId::new(1));
+        assert_eq!(set.len(), 2);
+        assert!(OperatorId::new(1) < OperatorId::new(2));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(QueryId::default().raw(), 0);
+        assert_eq!(PartitionId::default(), PartitionId::new(0));
+        assert_eq!(MessageId::default().index(), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared utilities for the Edgelet computing platform.
+//!
+//! This crate hosts the small, dependency-light building blocks that every
+//! other crate in the workspace leans on:
+//!
+//! * [`rng`] — deterministic, forkable random number generation so that every
+//!   simulation run is exactly reproducible from a single `u64` seed;
+//! * [`stats`] — streaming statistics and percentile helpers used by the
+//!   metrics pipeline and the benchmark harness;
+//! * [`binom`] — log-space binomial-tail combinatorics backing the
+//!   resiliency planner (choosing the overcollection degree `m`);
+//! * [`ids`] — strongly-typed identifier newtypes shared across crates;
+//! * [`table`] — plain-text table rendering for the figure-regeneration
+//!   binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binom;
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use error::{Error, Result};

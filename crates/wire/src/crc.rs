@@ -1,0 +1,122 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) implemented from scratch.
+//!
+//! Used by the frame layer to detect the bit corruption the network
+//! simulator can inject. The table is computed at first use.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 of `data` (same parameters as zlib's `crc32`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ t[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Incremental CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Self {
+            state: 0xFFFF_FFFF,
+        }
+    }
+
+    /// Feeds more bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.state = (self.state >> 8) ^ t[((self.state ^ u32::from(b)) & 0xFF) as usize];
+        }
+    }
+
+    /// Finishes and returns the checksum.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"edgelet computing over opportunistic networks";
+        let mut h = Crc32::new();
+        h.update(&data[..10]);
+        h.update(&data[10..]);
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"resiliency validity crowd liability".to_vec();
+        let reference = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), reference);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_point_invariance(
+            data in prop::collection::vec(any::<u8>(), 0..128),
+            split in any::<prop::sample::Index>(),
+        ) {
+            let cut = if data.is_empty() { 0 } else { split.index(data.len()) };
+            let mut h = Crc32::new();
+            h.update(&data[..cut]);
+            h.update(&data[cut..]);
+            prop_assert_eq!(h.finish(), crc32(&data));
+        }
+    }
+}

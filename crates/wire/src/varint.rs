@@ -1,0 +1,138 @@
+//! LEB128 variable-length integers and zigzag mapping.
+//!
+//! Unsigned integers are encoded 7 bits at a time, least-significant group
+//! first, with the high bit of each byte acting as a continuation flag.
+//! A `u64` therefore takes 1..=10 bytes. Signed integers are zigzag-mapped
+//! (`0, -1, 1, -2, ...` → `0, 1, 2, 3, ...`) before varint encoding so that
+//! small magnitudes stay small on the wire.
+
+use edgelet_util::{Error, Result};
+
+/// Maximum encoded size of a `u64` varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends the varint encoding of `value` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint from the front of `input`.
+///
+/// Returns the value and the number of bytes consumed. Rejects truncated
+/// input and non-canonical encodings longer than [`MAX_VARINT_LEN`].
+pub fn read_u64(input: &[u8]) -> Result<(u64, usize)> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return Err(Error::Decode("varint exceeds 10 bytes".into()));
+        }
+        let payload = u64::from(byte & 0x7f);
+        // The 10th byte may only carry the final bit of a u64.
+        if shift == 63 && payload > 1 {
+            return Err(Error::Decode("varint overflows u64".into()));
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(Error::Decode("truncated varint".into()))
+}
+
+/// Zigzag-maps a signed integer to unsigned.
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Number of bytes [`write_u64`] will emit for `value`.
+pub fn encoded_len(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) -> usize {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        let (back, used) = read_u64(&buf).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(used, buf.len());
+        assert_eq!(encoded_len(v), buf.len());
+        buf.len()
+    }
+
+    #[test]
+    fn roundtrip_boundaries() {
+        assert_eq!(roundtrip(0), 1);
+        assert_eq!(roundtrip(127), 1);
+        assert_eq!(roundtrip(128), 2);
+        assert_eq!(roundtrip(16_383), 2);
+        assert_eq!(roundtrip(16_384), 3);
+        assert_eq!(roundtrip(u32::MAX as u64), 5);
+        assert_eq!(roundtrip(u64::MAX), 10);
+    }
+
+    #[test]
+    fn truncated_input_fails() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert!(read_u64(&buf[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn overlong_encoding_fails() {
+        // 11 continuation bytes.
+        let buf = [0x80u8; 11];
+        assert!(read_u64(&buf).is_err());
+        // 10 bytes whose last carries more than the final u64 bit.
+        let mut buf = vec![0xFFu8; 9];
+        buf.push(0x02);
+        assert!(read_u64(&buf).is_err());
+    }
+
+    #[test]
+    fn reads_only_prefix() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 300);
+        buf.extend_from_slice(&[1, 2, 3]);
+        let (v, used) = read_u64(&buf).unwrap();
+        assert_eq!(v, 300);
+        assert_eq!(used, 2);
+    }
+
+    #[test]
+    fn zigzag_mapping() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(zigzag(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+        for v in [-1_000_000i64, -1, 0, 1, 7, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

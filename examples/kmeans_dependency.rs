@@ -1,0 +1,99 @@
+//! The demo's second query (§3.2): K-Means over elderly health profiles
+//! followed by a Group-By on the resulting clusters, to identify which
+//! characteristics most influence the dependency level (GIR).
+//!
+//! ```sh
+//! cargo run --example kmeans_dependency
+//! ```
+
+use edgelet_core::ml::kmeans::nearest;
+use edgelet_core::prelude::*;
+
+fn main() {
+    let mut platform = Platform::build(PlatformConfig {
+        seed: 7,
+        contributors: 2_500,
+        processors: 60,
+        network: NetworkProfile::Lossy {
+            drop_probability: 0.05,
+        },
+        processor_crash_probability: 0.05,
+        ..PlatformConfig::default()
+    });
+
+    // Cluster the 65+ population on (age, bmi, systolic_bp), then compute
+    // the mean dependency level (GIR: 1 = most dependent) per cluster.
+    let spec = platform.kmeans_query(
+        Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+        300,
+        3,
+        &["age", "bmi", "systolic_bp"],
+        6, // heartbeats
+        vec![
+            AggSpec::count_star(),
+            AggSpec::over(AggKind::Avg, "gir"),
+            AggSpec::over(AggKind::Avg, "age"),
+        ],
+    );
+
+    let privacy = PrivacyConfig::none().with_max_tuples(100);
+    let resilience = ResilienceConfig {
+        strategy: Strategy::Overcollection,
+        failure_probability: 0.1,
+        ..ResilienceConfig::default()
+    };
+
+    let run = platform.run_query(&spec, &privacy, &resilience).unwrap();
+    println!(
+        "completed = {} | partitions merged = {} | {:.0} s virtual | {} messages",
+        run.report.completed,
+        run.report.partitions_merged,
+        run.report.completion_secs.unwrap_or(f64::NAN),
+        run.report.messages_sent,
+    );
+
+    let Some(QueryOutcome::KMeans {
+        centroids,
+        per_cluster,
+    }) = &run.report.outcome
+    else {
+        println!("query failed to produce a k-means outcome");
+        return;
+    };
+
+    println!("\ncombined centroids (age, bmi, systolic_bp):");
+    for (i, (c, w)) in centroids
+        .centroids
+        .iter()
+        .zip(&centroids.weights)
+        .enumerate()
+    {
+        println!(
+            "  cluster {i}: age {:5.1}, bmi {:4.1}, bp {:5.1}  (weight {w:.0})",
+            c[0], c[1], c[2]
+        );
+    }
+    if let Some(table) = per_cluster {
+        println!("\nper-cluster dependency profile:\n{table}");
+    }
+
+    // Compare with the centralized run over all matching rows.
+    let central = platform.centralized_kmeans(&spec).unwrap();
+    println!("centralized inertia (reference): {:.1}", central.inertia);
+    // Map each distributed centroid to its closest centralized one.
+    for (i, c) in centroids.centroids.iter().enumerate() {
+        let j = nearest(&central.model.centroids, c);
+        let d: f64 = c
+            .iter()
+            .zip(&central.model.centroids[j])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        println!("  distributed cluster {i} ≈ centralized cluster {j} (distance {d:.2})");
+    }
+    println!(
+        "\nReading: clusters separate by age (the dominant axis); the \
+         oldest cluster shows the lowest mean GIR — highest dependency — \
+         matching the DomYcile motivation."
+    );
+}

@@ -1,0 +1,68 @@
+//! Opportunistic polling: a venue full of TrustZone smartphones adapts
+//! services to its audience in (near) real time (§1).
+//!
+//! Sweeps the audience's failure/churn level and shows how the planner
+//! reacts (overcollection degree) and what it buys (completion rate).
+//!
+//! ```sh
+//! cargo run --example opportunistic_polling
+//! ```
+
+use edgelet_core::prelude::*;
+use edgelet_core::util::table::{fnum, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "Opportunistic polling: audience statistics under churn",
+        &["crash p", "m planned", "completed", "valid", "t (s)", "msgs"],
+    );
+
+    for &crash_p in &[0.0, 0.1, 0.2, 0.3] {
+        let mut config = Scenario::OpportunisticPolling.config(99);
+        config.processor_crash_probability = crash_p;
+        let mut platform = Platform::build(config);
+
+        // Poll: audience age structure and regional origin.
+        let spec = platform.grouping_query(
+            Predicate::True,
+            500,
+            &[&["region"], &[]],
+            vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "age")],
+        );
+        let privacy = PrivacyConfig::none().with_max_tuples(100);
+        // The fault presumption must cover everything that can lose a
+        // partition: crashes, churn past the timeout, AND message loss.
+        // Presuming only the crash rate (try `crash_p.max(0.02)`) makes
+        // the planner under-provision m and the run can finish invalid —
+        // exactly the paper's point about choosing the presumption rate.
+        let resilience = ResilienceConfig {
+            strategy: Strategy::Overcollection,
+            failure_probability: crash_p.max(0.15),
+            target_validity: 0.99,
+            ..ResilienceConfig::default()
+        };
+
+        let run = platform.run_query(&spec, &privacy, &resilience).unwrap();
+        table.row(&[
+            fnum(crash_p),
+            run.plan.m.to_string(),
+            run.report.completed.to_string(),
+            run.report.valid.to_string(),
+            fnum(run.report.completion_secs.unwrap_or(f64::NAN)),
+            run.report.messages_sent.to_string(),
+        ]);
+
+        if crash_p == 0.1 {
+            if let Some(QueryOutcome::Grouping(t)) = &run.report.outcome {
+                println!("sample poll result at p=0.1:\n{t}");
+            }
+        }
+    }
+
+    println!("{}", table.render());
+    println!(
+        "Reading: the planner raises the overcollection degree m as the \
+         presumed failure rate grows, keeping completion and validity high \
+         despite phones leaving mid-query."
+    );
+}

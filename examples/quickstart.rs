@@ -1,0 +1,83 @@
+//! Quickstart: plan and run one Edgelet query, inspect everything.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use edgelet_core::prelude::*;
+
+fn main() {
+    // A crowd: 1500 individuals each holding one health record on a
+    // TEE-enabled personal device, 80 volunteer processors, a querier.
+    let mut platform = Platform::build(PlatformConfig {
+        seed: 42,
+        contributors: 1_500,
+        processors: 80,
+        network: NetworkProfile::Lossy {
+            drop_probability: 0.05,
+        },
+        processor_crash_probability: 0.1,
+        ..PlatformConfig::default()
+    });
+
+    // "Among people over 65: how many per sex, and the average BMI?"
+    let spec = platform.grouping_query(
+        Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+        200, // representative snapshot of C = 200 individuals
+        &[&["sex"], &[]],
+        vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "bmi")],
+    );
+
+    // Privacy: at most 50 raw records per edgelet (horizontal
+    // partitioning -> n = 4 partitions).
+    let privacy = PrivacyConfig::none().with_max_tuples(50);
+
+    // Resiliency: Overcollection sized for 10% fault presumption.
+    let resilience = ResilienceConfig {
+        strategy: Strategy::Overcollection,
+        failure_probability: 0.1,
+        target_validity: 0.999,
+        ..ResilienceConfig::default()
+    };
+
+    // Part 1 of the demo: inspect the QEP the knobs produce.
+    let plan = platform
+        .plan_query(&spec, &privacy, &resilience)
+        .expect("plan");
+    println!("{}", platform.render_plan(&plan));
+
+    // Part 2: execute on the simulated crowd.
+    let run = platform
+        .run_query(&spec, &privacy, &resilience)
+        .expect("run");
+    let report = &run.report;
+    println!("completed:            {}", report.completed);
+    println!("valid:                {}", report.valid);
+    println!(
+        "completion time:      {:.2} s (virtual)",
+        report.completion_secs.unwrap_or(f64::NAN)
+    );
+    println!(
+        "partitions merged:    {} ({} complete, n = {}, m = {})",
+        report.partitions_merged, report.partitions_complete, run.plan.n, run.plan.m
+    );
+    println!("messages sent:        {}", report.messages_sent);
+    println!("bytes sent:           {}", report.bytes_sent);
+    println!("crashes during run:   {}", report.crashes);
+    println!(
+        "max raw tuples/device: {} (liability spread, gini {:.3})",
+        report.ledger.max_raw_tuples(),
+        report.ledger.raw_tuple_gini()
+    );
+
+    match &report.outcome {
+        Some(QueryOutcome::Grouping(table)) => {
+            println!("\nresult:\n{table}");
+        }
+        other => println!("unexpected outcome: {other:?}"),
+    }
+
+    // Verification step: same computation, centralized.
+    let central = platform.centralized_grouping(&spec).expect("centralized");
+    println!("centralized reference (over ALL matching rows):\n{central}");
+}

@@ -1,0 +1,7 @@
+//! Workspace root of the Edgelet computing reproduction.
+//!
+//! The public API lives in [`edgelet_core`]; this crate only anchors the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`).
+
+pub use edgelet_core::*;

@@ -1,0 +1,253 @@
+//! Backup-strategy takeover mechanics with *scripted* failures: the
+//! demo's "we can intentionally power off some concrete devices to
+//! generate a failure at will" (§3.2).
+
+use edgelet_core::exec::driver::{enroll_crowd, execute_plan};
+use edgelet_core::exec::ExecConfig;
+use edgelet_core::prelude::*;
+use edgelet_core::query::plan::build_plan;
+use edgelet_core::query::OperatorRole;
+use edgelet_core::sim::{DeviceConfig, Duration, NetworkModel, SimConfig, SimTime, Simulation};
+use edgelet_core::store::synth::health_schema;
+use edgelet_core::tee::Directory;
+use edgelet_core::util::rng::DetRng;
+use std::collections::BTreeMap;
+
+struct World {
+    sim: Simulation,
+    directory: Directory,
+    stores: BTreeMap<DeviceId, edgelet_core::store::DataStore>,
+    querier: DeviceId,
+    rng: DetRng,
+}
+
+fn world(seed: u64) -> World {
+    let mut sim = Simulation::new(
+        SimConfig {
+            network: NetworkModel::reliable(Duration::from_millis(20)),
+            ..SimConfig::default()
+        },
+        seed,
+    );
+    let mut directory = Directory::new();
+    let mut rng = DetRng::new(seed ^ 0xabcd);
+    let (stores, _) = enroll_crowd(
+        &mut directory,
+        &mut sim,
+        1_200,
+        150,
+        DeviceClass::SgxPc,
+        1,
+        &mut rng,
+    );
+    let querier = sim.add_device(DeviceConfig::default());
+    World {
+        sim,
+        directory,
+        stores,
+        querier,
+        rng,
+    }
+}
+
+fn spec() -> QuerySpec {
+    QuerySpec {
+        id: QueryId::new(1),
+        filter: Predicate::True,
+        snapshot_cardinality: 200,
+        kind: QueryKind::GroupingSets(edgelet_core::ml::grouping::GroupingQuery::new(
+            &[&["sex"], &[]],
+            vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "bmi")],
+        )),
+        deadline_secs: 600.0,
+    }
+}
+
+#[test]
+fn backup_takes_over_a_powered_off_computer() {
+    let mut w = world(1);
+    let spec = spec();
+    let plan = build_plan(
+        &spec,
+        &health_schema(),
+        &PrivacyConfig::none().with_max_tuples(50),
+        &ResilienceConfig {
+            strategy: Strategy::Backup,
+            failure_probability: 0.2,
+            target_validity: 0.99,
+            ..ResilienceConfig::default()
+        },
+        &w.directory,
+        w.querier,
+        &mut w.rng,
+    )
+    .unwrap();
+    assert!(plan.backup_degree >= 1);
+
+    // Power off the primary Computer of partition 0 before it can act.
+    let victim = plan
+        .operators
+        .iter()
+        .find(|o| {
+            matches!(
+                o.role,
+                OperatorRole::Computer { partition, .. } if partition.raw() == 0
+            )
+        })
+        .unwrap()
+        .device;
+    w.sim.crash_at(victim, SimTime::from_micros(1));
+
+    let report = execute_plan(
+        &plan,
+        &health_schema(),
+        &w.stores,
+        &BTreeMap::new(),
+        &mut w.sim,
+        &ExecConfig::fast(),
+        [0u8; 32],
+    )
+    .unwrap();
+
+    assert!(report.completed, "query must complete: {report:?}");
+    assert!(
+        report.valid,
+        "the backup replica must cover the powered-off computer: {report:?}"
+    );
+    assert_eq!(report.partitions_complete, plan.n);
+    assert!(report.crashes >= 1);
+}
+
+#[test]
+fn backup_takes_over_a_powered_off_combiner() {
+    let mut w = world(2);
+    let spec = spec();
+    let plan = build_plan(
+        &spec,
+        &health_schema(),
+        &PrivacyConfig::none().with_max_tuples(50),
+        &ResilienceConfig {
+            strategy: Strategy::Backup,
+            failure_probability: 0.2,
+            target_validity: 0.99,
+            ..ResilienceConfig::default()
+        },
+        &w.directory,
+        w.querier,
+        &mut w.rng,
+    )
+    .unwrap();
+
+    let combiner = plan.combiner().device;
+    w.sim.crash_at(combiner, SimTime::from_micros(1));
+
+    let report = execute_plan(
+        &plan,
+        &health_schema(),
+        &w.stores,
+        &BTreeMap::new(),
+        &mut w.sim,
+        &ExecConfig::fast(),
+        [0u8; 32],
+    )
+    .unwrap();
+    assert!(report.completed);
+    assert!(report.valid, "{report:?}");
+    // Takeover costs time: the suspect timeout must have elapsed first.
+    assert!(
+        report.completion_secs.unwrap() >= ExecConfig::fast().suspect_timeout.as_secs_f64(),
+        "takeover cannot be instant: {:?}",
+        report.completion_secs
+    );
+}
+
+#[test]
+fn naive_plan_dies_with_its_single_computer() {
+    let mut w = world(3);
+    let spec = spec();
+    let plan = build_plan(
+        &spec,
+        &health_schema(),
+        &PrivacyConfig::none().with_max_tuples(50),
+        &ResilienceConfig {
+            strategy: Strategy::Naive,
+            ..ResilienceConfig::default()
+        },
+        &w.directory,
+        w.querier,
+        &mut w.rng,
+    )
+    .unwrap();
+    let victim = plan
+        .operators
+        .iter()
+        .find(|o| matches!(o.role, OperatorRole::Computer { .. }))
+        .unwrap()
+        .device;
+    w.sim.crash_at(victim, SimTime::from_micros(1));
+
+    let report = execute_plan(
+        &plan,
+        &health_schema(),
+        &w.stores,
+        &BTreeMap::new(),
+        &mut w.sim,
+        &ExecConfig::fast(),
+        [0u8; 32],
+    )
+    .unwrap();
+    assert!(
+        !report.valid,
+        "a naive plan cannot survive losing a computer: {report:?}"
+    );
+}
+
+#[test]
+fn overcollection_tolerates_up_to_m_powered_off_partitions() {
+    let mut w = world(4);
+    let spec = spec();
+    let plan = build_plan(
+        &spec,
+        &health_schema(),
+        &PrivacyConfig::none().with_max_tuples(50),
+        &ResilienceConfig {
+            strategy: Strategy::Overcollection,
+            failure_probability: 0.2,
+            target_validity: 0.99,
+            ..ResilienceConfig::default()
+        },
+        &w.directory,
+        w.querier,
+        &mut w.rng,
+    )
+    .unwrap();
+    assert!(plan.m >= 2, "need headroom for this test, got m={}", plan.m);
+
+    // Power off the builders of exactly m partitions.
+    let builders: Vec<DeviceId> = plan
+        .operators
+        .iter()
+        .filter(|o| matches!(o.role, OperatorRole::SnapshotBuilder { .. }))
+        .map(|o| o.device)
+        .collect();
+    for &b in builders.iter().take(plan.m as usize) {
+        w.sim.crash_at(b, SimTime::from_micros(1));
+    }
+
+    let report = execute_plan(
+        &plan,
+        &health_schema(),
+        &w.stores,
+        &BTreeMap::new(),
+        &mut w.sim,
+        &ExecConfig::fast(),
+        [0u8; 32],
+    )
+    .unwrap();
+    assert!(report.completed);
+    assert!(
+        report.valid,
+        "losing exactly m partitions must stay valid: {report:?}"
+    );
+    assert_eq!(report.partitions_merged, plan.n);
+}

@@ -1,0 +1,72 @@
+//! The analytic cost model (`edgelet_query::cost`) vs the simulator's
+//! measured message counts.
+
+use edgelet_core::prelude::*;
+use edgelet_core::query::estimate;
+
+fn run(strategy: Strategy) -> (u64, edgelet_core::query::CostEstimate, u64) {
+    let mut p = Platform::build(PlatformConfig {
+        seed: 31,
+        contributors: 2_000,
+        processors: 260,
+        network: NetworkProfile::Reliable, // loss-free: counts are exact
+        ..PlatformConfig::default()
+    });
+    let spec = p.grouping_query(
+        Predicate::True,
+        300,
+        &[&["sex"], &[]],
+        vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "bmi")],
+    );
+    let run = p
+        .run_query(
+            &spec,
+            &PrivacyConfig::none().with_max_tuples(100),
+            &ResilienceConfig {
+                strategy,
+                failure_probability: 0.1,
+                target_validity: 0.99,
+                ..ResilienceConfig::default()
+            },
+        )
+        .unwrap();
+    assert!(run.report.valid);
+    (
+        run.report.messages_sent,
+        estimate(&run.plan),
+        run.plan.total_partitions(),
+    )
+}
+
+#[test]
+fn estimate_bounds_measured_messages_without_failures() {
+    for strategy in [Strategy::Overcollection, Strategy::Naive] {
+        let (measured, est, _) = run(strategy);
+        let bound = est.total_messages_max();
+        assert!(
+            measured <= bound,
+            "{}: measured {measured} exceeds bound {bound}",
+            strategy.name()
+        );
+        // The bound is tight: contributions are the only overestimated
+        // term (quota truncation means late contributors still answer),
+        // so the model should be within 2x.
+        assert!(
+            measured * 2 >= bound,
+            "{}: bound {bound} too loose for measured {measured}",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn estimate_orders_strategies_like_the_simulator() {
+    let (m_over, e_over, _) = run(Strategy::Overcollection);
+    let (m_naive, e_naive, _) = run(Strategy::Naive);
+    let (m_backup, e_backup, _) = run(Strategy::Backup);
+    // Analytic and measured agree on the ordering.
+    assert!(e_naive.total_messages_max() <= e_over.total_messages_max());
+    assert!(e_over.total_messages_max() < e_backup.total_messages_max());
+    assert!(m_naive <= m_over);
+    assert!(m_over < m_backup);
+}

@@ -1,0 +1,120 @@
+//! Whole-stack determinism and the paper's two motivating scenarios.
+
+use edgelet_core::prelude::*;
+
+fn fingerprint(run: &edgelet_core::platform::RunResult) -> String {
+    format!(
+        "{}|{}|{}|{:?}|{}|{}|{:?}",
+        run.report.completed,
+        run.report.valid,
+        run.report.partitions_merged,
+        run.report.completion_secs,
+        run.report.messages_sent,
+        run.report.bytes_sent,
+        run.report
+            .outcome
+            .as_ref()
+            .map(|o| match o {
+                QueryOutcome::Grouping(t) => format!("{t}"),
+                QueryOutcome::KMeans { centroids, .. } => format!("{:?}", centroids.centroids),
+            })
+    )
+}
+
+#[test]
+fn opportunistic_scenario_is_bit_for_bit_reproducible() {
+    let run_once = || {
+        let mut p = Platform::build(Scenario::OpportunisticPolling.config(321));
+        let spec = p.grouping_query(
+            Predicate::True,
+            400,
+            &[&["region"], &[]],
+            vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "age")],
+        );
+        let run = p
+            .run_query(
+                &spec,
+                &PrivacyConfig::none().with_max_tuples(100),
+                &ResilienceConfig {
+                    strategy: Strategy::Overcollection,
+                    failure_probability: 0.15,
+                    ..ResilienceConfig::default()
+                },
+            )
+            .unwrap();
+        fingerprint(&run)
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn data_altruism_scenario_completes_on_oppnet_time_scales() {
+    let mut p = Platform::build(Scenario::DataAltruism.config(11));
+    let spec = p.grouping_query(
+        Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+        400,
+        &[&["gir"], &[]],
+        vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "bmi")],
+    );
+    let run = p
+        .run_query(
+            &spec,
+            &PrivacyConfig::none().with_max_tuples(100),
+            &ResilienceConfig {
+                strategy: Strategy::Overcollection,
+                failure_probability: 0.15,
+                target_validity: 0.99,
+                ..ResilienceConfig::default()
+            },
+        )
+        .unwrap();
+    assert!(run.report.completed, "{:?}", run.report);
+    // OppNet delays are minutes-to-hours: completion reflects that.
+    let t = run.report.completion_secs.unwrap();
+    assert!(t > 60.0, "opportunistic run unrealistically fast: {t}");
+    assert!(
+        t <= run.plan.spec.deadline_secs,
+        "resiliency: before the deadline ({t} vs {})",
+        run.plan.spec.deadline_secs
+    );
+    // Store-and-forward actually happened.
+    assert!(run.report.messages_deferred > 0);
+}
+
+#[test]
+fn device_heterogeneity_slows_home_boxes() {
+    // Same crowd size and query; home boxes (STM32F417-class) vs PCs.
+    let run_with = |mix: DeviceMix| {
+        let mut config = PlatformConfig {
+            seed: 5,
+            contributors: 1_500,
+            processors: 60,
+            network: NetworkProfile::Reliable,
+            device_mix: mix,
+            ..PlatformConfig::default()
+        };
+        config.exec.charge_compute_time = true;
+        let mut p = Platform::build(config);
+        let spec = p.grouping_query(
+            Predicate::True,
+            400,
+            &[&["sex"], &[]],
+            vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "bmi")],
+        );
+        let run = p
+            .run_query(
+                &spec,
+                &PrivacyConfig::none().with_max_tuples(100),
+                &ResilienceConfig::default(),
+            )
+            .unwrap();
+        assert!(run.report.completed);
+        run.report.completion_secs.unwrap()
+    };
+    let pc = run_with(DeviceMix::only(DeviceClass::SgxPc));
+    let boxes = run_with(DeviceMix::only(DeviceClass::TpmHomeBox));
+    assert!(
+        boxes > pc,
+        "home boxes must be slower: {boxes} vs {pc} (virtual seconds)"
+    );
+}

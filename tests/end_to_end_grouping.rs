@@ -1,0 +1,186 @@
+//! End-to-end Grouping-Sets execution across the whole stack:
+//! store → plan → simulate → combine → verify against the centralized
+//! reference (the demo's verification step, §3.2).
+
+use edgelet_core::prelude::*;
+
+fn platform(seed: u64) -> Platform {
+    Platform::build(PlatformConfig {
+        seed,
+        contributors: 2_500,
+        processors: 80,
+        network: NetworkProfile::Reliable,
+        ..PlatformConfig::default()
+    })
+}
+
+#[test]
+fn distributed_counts_equal_snapshot_cardinality() {
+    let mut p = platform(1);
+    let spec = p.grouping_query(
+        Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+        300,
+        &[&["sex"], &["gir"], &[]],
+        vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "bmi")],
+    );
+    let run = p
+        .run_query(
+            &spec,
+            &PrivacyConfig::none().with_max_tuples(75),
+            &ResilienceConfig::default(),
+        )
+        .unwrap();
+    assert!(run.report.completed && run.report.valid);
+
+    let Some(QueryOutcome::Grouping(table)) = &run.report.outcome else {
+        panic!("expected grouping outcome");
+    };
+    // The grand total is exactly C (each partition contributed its quota).
+    let total = table.rows.iter().find(|r| r.set_index == 2).unwrap();
+    assert_eq!(total.aggregates[0], Value::Int(300));
+    // Set-wise counts are partitions of the total.
+    for set in [0u32, 1] {
+        let sum: i64 = table
+            .rows
+            .iter()
+            .filter(|r| r.set_index == set)
+            .map(|r| r.aggregates[0].as_i64().unwrap())
+            .sum();
+        assert_eq!(sum, 300, "set {set} counts must sum to C");
+    }
+}
+
+#[test]
+fn snapshot_statistics_track_population_statistics() {
+    // The snapshot is a (hash-bucketed) sample of the eligible
+    // population: its AVG/MIN/MAX must be close to the centralized ones.
+    let mut p = platform(2);
+    let spec = p.grouping_query(
+        Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+        400,
+        &[&[]],
+        vec![
+            AggSpec::over(AggKind::Avg, "bmi"),
+            AggSpec::over(AggKind::Avg, "systolic_bp"),
+            AggSpec::over(AggKind::Min, "age"),
+            AggSpec::over(AggKind::Max, "age"),
+        ],
+    );
+    let run = p
+        .run_query(
+            &spec,
+            &PrivacyConfig::none().with_max_tuples(100),
+            &ResilienceConfig::default(),
+        )
+        .unwrap();
+    assert!(run.report.valid);
+    let Some(QueryOutcome::Grouping(distributed)) = &run.report.outcome else {
+        panic!("expected grouping outcome");
+    };
+    let central = p.centralized_grouping(&spec).unwrap();
+
+    let d = &distributed.rows[0].aggregates;
+    let c = &central.rows[0].aggregates;
+    let avg_bmi_err =
+        (d[0].as_f64().unwrap() - c[0].as_f64().unwrap()).abs() / c[0].as_f64().unwrap();
+    let avg_bp_err =
+        (d[1].as_f64().unwrap() - c[1].as_f64().unwrap()).abs() / c[1].as_f64().unwrap();
+    assert!(avg_bmi_err < 0.05, "avg bmi deviates {avg_bmi_err}");
+    assert!(avg_bp_err < 0.05, "avg bp deviates {avg_bp_err}");
+    // Domain bounds hold.
+    assert!(d[2].as_i64().unwrap() > 65);
+    assert!(d[3].as_i64().unwrap() <= 102);
+}
+
+#[test]
+fn vertical_partitioning_preserves_the_full_result() {
+    // The same query with and without vertical separation must agree on
+    // every aggregate (same platform seed -> same crowd and sample
+    // composition per partition).
+    let build_spec = |p: &mut Platform| {
+        p.grouping_query(
+            Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+            200,
+            &[&["sex"], &[]],
+            vec![
+                AggSpec::count_star(),
+                AggSpec::over(AggKind::Avg, "bmi"),
+                AggSpec::over(AggKind::Avg, "systolic_bp"),
+            ],
+        )
+    };
+    let mut p1 = platform(3);
+    let spec1 = build_spec(&mut p1);
+    let merged = p1
+        .run_query(
+            &spec1,
+            &PrivacyConfig::none().with_max_tuples(50),
+            &ResilienceConfig::default(),
+        )
+        .unwrap();
+
+    let mut p2 = platform(3);
+    let spec2 = build_spec(&mut p2);
+    let separated = p2
+        .run_query(
+            &spec2,
+            &PrivacyConfig::none()
+                .with_max_tuples(50)
+                .separate("bmi", "systolic_bp"),
+            &ResilienceConfig::default(),
+        )
+        .unwrap();
+
+    assert!(merged.report.valid && separated.report.valid);
+    assert_eq!(separated.plan.attr_groups.len(), 2);
+    let (Some(QueryOutcome::Grouping(a)), Some(QueryOutcome::Grouping(b))) =
+        (&merged.report.outcome, &separated.report.outcome)
+    else {
+        panic!("expected grouping outcomes");
+    };
+    // Same number of groups, and the total count agrees exactly.
+    assert_eq!(a.rows.len(), b.rows.len());
+    let ta = a.rows.iter().find(|r| r.set_index == 1).unwrap();
+    let tb = b.rows.iter().find(|r| r.set_index == 1).unwrap();
+    assert_eq!(ta.aggregates[0], tb.aggregates[0]);
+}
+
+#[test]
+fn channel_encryption_changes_bytes_not_results() {
+    let run_with = |encrypt: bool| {
+        let mut config = PlatformConfig {
+            seed: 4,
+            contributors: 900,
+            processors: 60,
+            network: NetworkProfile::Reliable,
+            ..PlatformConfig::default()
+        };
+        config.exec.encrypt_channels = encrypt;
+        let mut p = Platform::build(config);
+        let spec = p.grouping_query(
+            Predicate::True,
+            200,
+            &[&[]],
+            vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "age")],
+        );
+        let run = p
+            .run_query(
+                &spec,
+                &PrivacyConfig::none().with_max_tuples(50),
+                &ResilienceConfig::default(),
+            )
+            .unwrap();
+        let Some(QueryOutcome::Grouping(t)) = run.report.outcome.clone() else {
+            panic!("expected grouping outcome");
+        };
+        (run.report.bytes_sent, run.report.valid, format!("{t}"))
+    };
+    let (plain_bytes, plain_valid, plain_result) = run_with(false);
+    let (sealed_bytes, sealed_valid, sealed_result) = run_with(true);
+    assert!(plain_valid && sealed_valid);
+    assert_eq!(plain_result, sealed_result, "AEAD must be transparent");
+    assert!(
+        sealed_bytes > plain_bytes,
+        "sealing adds nonce+tag overhead: {sealed_bytes} vs {plain_bytes}"
+    );
+}

@@ -1,0 +1,93 @@
+//! Centroid-basis alignment in distributed K-Means: every Computer seeds
+//! locally and re-bases onto the lowest-partition-id proposal it hears
+//! (see `edgelet_exec::roles::kmeans`). Under a connected network all
+//! survivors converge to one basis; under heavy loss misalignment is
+//! tolerated and surfaces only as reduced accuracy.
+
+use edgelet_core::prelude::*;
+
+fn run(
+    seed: u64,
+    drop_p: f64,
+    heartbeats: usize,
+) -> (bool, u64, f64) {
+    let mut p = Platform::build(PlatformConfig {
+        seed,
+        contributors: 2_000,
+        processors: 60,
+        network: if drop_p > 0.0 {
+            NetworkProfile::Lossy {
+                drop_probability: drop_p,
+            }
+        } else {
+            NetworkProfile::Reliable
+        },
+        ..PlatformConfig::default()
+    });
+    let spec = p.kmeans_query(
+        Predicate::True,
+        400,
+        3,
+        &["age", "bmi"],
+        heartbeats,
+        vec![AggSpec::count_star()],
+    );
+    let run = p
+        .run_query(
+            &spec,
+            &PrivacyConfig::none().with_max_tuples(100),
+            &ResilienceConfig {
+                strategy: Strategy::Overcollection,
+                failure_probability: 0.1,
+                ..ResilienceConfig::default()
+            },
+        )
+        .unwrap();
+    let total_weight = match &run.report.outcome {
+        Some(QueryOutcome::KMeans { centroids, .. }) => centroids.total_weight(),
+        _ => 0.0,
+    };
+    (
+        run.report.completed,
+        run.report.partitions_merged,
+        total_weight,
+    )
+}
+
+#[test]
+fn connected_network_aligns_all_merged_partitions() {
+    // With no loss, the combiner merges n aligned partitions and the
+    // combined weight equals the merged snapshot cardinality (all of the
+    // first n complete partitions contributed their ~100 points).
+    let (completed, merged, weight) = run(1, 0.0, 5);
+    assert!(completed);
+    assert_eq!(merged, 4);
+    // Weight within a few points of 4 x 100 (null-feature rows skipped).
+    assert!(
+        (weight - 400.0).abs() < 20.0,
+        "combined weight {weight} should cover the whole snapshot"
+    );
+}
+
+#[test]
+fn lossy_network_still_produces_usable_knowledge() {
+    // At 30% loss some partitions may stay on their own basis and be
+    // excluded from the combination; the result must still exist and be
+    // backed by at least one full partition.
+    let (completed, merged, weight) = run(2, 0.3, 6);
+    assert!(completed);
+    assert!(merged >= 1);
+    assert!(weight >= 80.0, "weight {weight}");
+}
+
+#[test]
+fn alignment_improves_with_heartbeats() {
+    // More synchronization rounds give re-basing more chances under loss:
+    // combined weight (aligned mass) should not shrink with heartbeats.
+    let (_, _, w2) = run(3, 0.2, 2);
+    let (_, _, w8) = run(3, 0.2, 8);
+    assert!(
+        w8 >= w2 * 0.8,
+        "alignment collapsed with more heartbeats: {w2} -> {w8}"
+    );
+}

@@ -1,0 +1,187 @@
+//! Distributed K-Means vs the centralized reference: accuracy of the
+//! heartbeat-cadenced iterative execution (§2.2).
+
+use edgelet_core::ml::kmeans::inertia;
+use edgelet_core::prelude::*;
+
+fn run_kmeans(seed: u64, heartbeats: usize, drop_p: f64) -> (f64, f64, bool) {
+    let mut p = Platform::build(PlatformConfig {
+        seed,
+        contributors: 2_000,
+        processors: 60,
+        network: if drop_p > 0.0 {
+            NetworkProfile::Lossy {
+                drop_probability: drop_p,
+            }
+        } else {
+            NetworkProfile::Reliable
+        },
+        ..PlatformConfig::default()
+    });
+    let spec = p.kmeans_query(
+        Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+        300,
+        3,
+        &["age", "systolic_bp"],
+        heartbeats,
+        vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "gir")],
+    );
+    let run = p
+        .run_query(
+            &spec,
+            &PrivacyConfig::none().with_max_tuples(100),
+            &ResilienceConfig {
+                strategy: Strategy::Overcollection,
+                failure_probability: 0.1,
+                ..ResilienceConfig::default()
+            },
+        )
+        .unwrap();
+    let central = p.centralized_kmeans(&spec).unwrap();
+
+    let Some(QueryOutcome::KMeans { centroids, .. }) = &run.report.outcome else {
+        return (f64::INFINITY, central.inertia, run.report.completed);
+    };
+    // Evaluate the distributed centroids on the full eligible population
+    // (same point set the centralized model was fitted on).
+    let columns = spec.kind.referenced_columns();
+    let rows = p
+        .matching_rows(&spec.filter, &columns)
+        .unwrap();
+    let schema = p.schema().clone();
+    let names: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let sub = schema.project(&names).unwrap();
+    let points = edgelet_core::ml::gen::rows_to_points(
+        &sub,
+        &rows,
+        &["age", "systolic_bp"],
+    )
+    .unwrap();
+    let distributed_inertia = inertia(&centroids.centroids, &points);
+    (distributed_inertia, central.inertia, run.report.completed)
+}
+
+#[test]
+fn distributed_clustering_approaches_centralized_quality() {
+    let (distributed, central, completed) = run_kmeans(1, 6, 0.0);
+    assert!(completed);
+    let ratio = distributed / central;
+    assert!(
+        ratio < 1.35,
+        "distributed inertia {distributed} vs central {central} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn more_heartbeats_do_not_hurt_accuracy_much() {
+    // §3.3: attendees observe result accuracy with respect to the number
+    // of heartbeats. One heartbeat = almost no peer synchronization.
+    let mut ratios = Vec::new();
+    for &h in &[1usize, 3, 8] {
+        let (d, c, completed) = run_kmeans(2, h, 0.0);
+        assert!(completed, "heartbeats={h}");
+        ratios.push(d / c);
+    }
+    // The well-synchronized run must not be worse than the unsynchronized
+    // one by more than noise, and every run is within a sane bound.
+    assert!(
+        ratios[2] <= ratios[0] * 1.10,
+        "8 heartbeats ({}) much worse than 1 ({})",
+        ratios[2],
+        ratios[0]
+    );
+    for (i, r) in ratios.iter().enumerate() {
+        assert!(*r < 2.0, "run {i} ratio {r}");
+    }
+}
+
+#[test]
+fn kmeans_survives_message_loss() {
+    // Heavy loss degrades synchronization but the query still completes
+    // and produces usable centroids (heartbeats advance regardless).
+    let (distributed, central, completed) = run_kmeans(3, 6, 0.25);
+    assert!(completed, "query must complete under 25% loss");
+    let ratio = distributed / central;
+    assert!(ratio < 3.0, "ratio {ratio} out of bounds under loss");
+}
+
+#[test]
+fn per_cluster_aggregates_cover_the_snapshot() {
+    let mut p = Platform::build(PlatformConfig {
+        seed: 4,
+        contributors: 2_000,
+        processors: 60,
+        network: NetworkProfile::Reliable,
+        ..PlatformConfig::default()
+    });
+    let spec = p.kmeans_query(
+        Predicate::cmp("age", CmpOp::Gt, Value::Int(65)),
+        300,
+        3,
+        &["age", "bmi"],
+        5,
+        vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "gir")],
+    );
+    let run = p
+        .run_query(
+            &spec,
+            &PrivacyConfig::none().with_max_tuples(100),
+            &ResilienceConfig {
+                strategy: Strategy::Overcollection,
+                failure_probability: 0.05,
+                ..ResilienceConfig::default()
+            },
+        )
+        .unwrap();
+    assert!(run.report.completed);
+    let Some(QueryOutcome::KMeans {
+        per_cluster: Some(table),
+        ..
+    }) = &run.report.outcome
+    else {
+        panic!("expected per-cluster table");
+    };
+    // Counts over clusters sum to the merged snapshot size (quota * n).
+    let total: i64 = table
+        .rows
+        .iter()
+        .map(|r| r.aggregates[0].as_i64().unwrap())
+        .sum();
+    let expected = (run.plan.partition_quota as u64 * run.report.partitions_merged) as i64;
+    // Some rows may have null features and be skipped by the extractor.
+    assert!(
+        total <= expected && total >= expected * 9 / 10,
+        "cluster counts {total} vs snapshot {expected}"
+    );
+    // Dependency gradient: the oldest cluster has the lowest mean GIR.
+    let Some(QueryOutcome::KMeans { centroids, .. }) = &run.report.outcome else {
+        unreachable!()
+    };
+    let oldest = (0..centroids.k())
+        .max_by(|&a, &b| {
+            centroids.centroids[a][0]
+                .partial_cmp(&centroids.centroids[b][0])
+                .unwrap()
+        })
+        .unwrap();
+    let youngest = (0..centroids.k())
+        .min_by(|&a, &b| {
+            centroids.centroids[a][0]
+                .partial_cmp(&centroids.centroids[b][0])
+                .unwrap()
+        })
+        .unwrap();
+    let gir_of = |cluster: usize| {
+        table
+            .rows
+            .iter()
+            .find(|r| r.key[0] == Value::Int(cluster as i64))
+            .and_then(|r| r.aggregates[1].as_f64())
+    };
+    if let (Some(g_old), Some(g_young)) = (gir_of(oldest), gir_of(youngest)) {
+        assert!(
+            g_old < g_young,
+            "older cluster should be more dependent: {g_old} vs {g_young}"
+        );
+    }
+}

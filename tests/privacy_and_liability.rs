@@ -1,0 +1,111 @@
+//! Privacy (exposure under sealed-glass compromise) and Crowd Liability
+//! across the full stack (§3.3 "Is privacy protected whatever the
+//! attack?" and the liability property of §1).
+
+use edgelet_core::prelude::*;
+use edgelet_core::util::rng::DetRng;
+
+fn run(
+    seed: u64,
+    privacy: PrivacyConfig,
+) -> (edgelet_core::platform::RunResult, PrivacyConfig) {
+    let mut p = Platform::build(PlatformConfig {
+        seed,
+        contributors: 2_000,
+        processors: 100,
+        network: NetworkProfile::Reliable,
+        ..PlatformConfig::default()
+    });
+    // No filter: every contributor is eligible, so even the coarsest
+    // horizontal cap (quota 200/bucket) stays fillable.
+    let spec = p.grouping_query(
+        Predicate::True,
+        400,
+        &[&["sex"], &[]],
+        vec![
+            AggSpec::count_star(),
+            AggSpec::over(AggKind::Avg, "bmi"),
+            AggSpec::over(AggKind::Avg, "systolic_bp"),
+        ],
+    );
+    let result = p
+        .run_query(&spec, &privacy, &ResilienceConfig::default())
+        .unwrap();
+    (result, privacy)
+}
+
+#[test]
+fn ledger_matches_static_exposure_caps() {
+    let (r, _) = run(1, PrivacyConfig::none().with_max_tuples(100));
+    assert!(r.report.valid);
+    // No device processed more raw tuples than the static analysis allows.
+    assert!(r.report.ledger.max_raw_tuples() <= r.exposure.max_raw_tuples());
+    assert!(r.exposure.max_raw_tuples() <= 100);
+    // Liability spread: every processor hosted exactly one operator.
+    assert_eq!(r.report.ledger.max_operators(), 1);
+}
+
+#[test]
+fn tighter_horizontal_cap_means_less_exposure_per_device() {
+    let (coarse, _) = run(2, PrivacyConfig::none().with_max_tuples(200));
+    let (fine, _) = run(2, PrivacyConfig::none().with_max_tuples(50));
+    assert!(coarse.report.valid && fine.report.valid);
+    assert!(fine.exposure.max_raw_tuples() < coarse.exposure.max_raw_tuples());
+    assert!(fine.report.ledger.max_raw_tuples() < coarse.report.ledger.max_raw_tuples());
+    // The price: more partitions, more operators, more messages.
+    assert!(fine.plan.total_partitions() > coarse.plan.total_partitions());
+    assert!(fine.report.messages_sent > coarse.report.messages_sent);
+}
+
+#[test]
+fn vertical_separation_reduces_pair_co_exposure_under_compromise() {
+    let pair = vec![("bmi".to_string(), "systolic_bp".to_string())];
+    let (merged, _) = run(3, PrivacyConfig::none().with_max_tuples(100));
+    let (separated, _) = run(
+        3,
+        PrivacyConfig::none()
+            .with_max_tuples(100)
+            .separate("bmi", "systolic_bp"),
+    );
+    assert!(separated.report.valid);
+    assert_eq!(separated.plan.attr_groups.len(), 2);
+
+    let mut rng = DetRng::new(17);
+    let sm = edgelet_core::privacy::compromise_sweep(&merged.exposure, 2, &pair, 400, &mut rng);
+    let ss =
+        edgelet_core::privacy::compromise_sweep(&separated.exposure, 2, &pair, 400, &mut rng);
+    assert!(
+        ss.pair_co_exposure_rate < sm.pair_co_exposure_rate,
+        "separated {} !< merged {}",
+        ss.pair_co_exposure_rate,
+        sm.pair_co_exposure_rate
+    );
+}
+
+#[test]
+fn only_aggregates_reach_combiner_and_querier() {
+    let (r, _) = run(4, PrivacyConfig::none().with_max_tuples(100));
+    // The combiner devices and the querier never record raw tuples.
+    for combiner in r.plan.combiners() {
+        if let Some(entry) = r.report.ledger.entries().get(&combiner.device) {
+            assert_eq!(entry.raw_tuples_seen, 0, "combiner saw raw data");
+            assert!(entry.aggregates_seen > 0, "combiner should merge partials");
+        }
+    }
+    let querier = r.plan.querier().device;
+    if let Some(entry) = r.report.ledger.entries().get(&querier) {
+        assert_eq!(entry.raw_tuples_seen, 0);
+    }
+}
+
+#[test]
+fn contributors_share_collection_liability() {
+    let (r, _) = run(5, PrivacyConfig::none().with_max_tuples(100));
+    // Thousands of contributors each served at most a handful of queries:
+    // operator hosting is spread thin (gini close to the builder/computer
+    // concentration, but raw tuples bounded by the cap everywhere).
+    let ledger = &r.report.ledger;
+    for entry in ledger.entries().values() {
+        assert!(entry.raw_tuples_seen <= 200, "{entry:?}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Resiliency property across strategies: the query completes with a
+//! valid result before the deadline under the presumed failure rate
+//! (§2.2, §3.3 "Can a query always proceed despite the failures?").
+
+use edgelet_core::prelude::*;
+
+fn run_with(
+    seed: u64,
+    crash_p: f64,
+    strategy: Strategy,
+    presumed_p: f64,
+) -> edgelet_core::platform::RunResult {
+    let mut p = Platform::build(PlatformConfig {
+        seed,
+        contributors: 3_500,
+        processors: 220,
+        network: NetworkProfile::Reliable,
+        processor_crash_probability: crash_p,
+        crash_at_start: true,
+        ..PlatformConfig::default()
+    });
+    let spec = p.grouping_query(
+        Predicate::True,
+        300,
+        &[&["sex"], &[]],
+        vec![AggSpec::count_star(), AggSpec::over(AggKind::Avg, "bmi")],
+    );
+    p.run_query(
+        &spec,
+        &PrivacyConfig::none().with_max_tuples(50),
+        &ResilienceConfig {
+            strategy,
+            failure_probability: presumed_p,
+            target_validity: 0.999,
+            ..ResilienceConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn overcollection_absorbs_presumed_failures() {
+    // With a correctly presumed 25% crash rate, Overcollection stays
+    // valid in the vast majority of seeds.
+    let mut valid = 0;
+    for seed in 0..10 {
+        let run = run_with(seed, 0.25, Strategy::Overcollection, 0.25);
+        assert!(run.plan.m >= 3, "p=0.25 must force overcollection");
+        if run.report.valid {
+            valid += 1;
+        }
+    }
+    assert!(valid >= 9, "only {valid}/10 runs were valid");
+}
+
+#[test]
+fn naive_execution_collapses_under_the_same_failures() {
+    // The naive baseline needs every one of its single points of failure
+    // to survive; at 25% crash probability it practically never does.
+    let mut valid = 0;
+    for seed in 0..10 {
+        let run = run_with(seed, 0.25, Strategy::Naive, 0.25);
+        assert_eq!(run.plan.m, 0);
+        if run.report.valid {
+            valid += 1;
+        }
+    }
+    assert!(valid <= 3, "naive survived {valid}/10 runs at p=0.25");
+}
+
+#[test]
+fn backup_strategy_also_survives() {
+    let mut valid = 0;
+    for seed in 0..8 {
+        let run = run_with(seed, 0.2, Strategy::Backup, 0.2);
+        assert!(run.plan.backup_degree >= 1);
+        if run.report.valid {
+            valid += 1;
+        }
+    }
+    assert!(valid >= 7, "backup strategy survived only {valid}/8 runs");
+}
+
+#[test]
+fn backup_costs_more_messages_than_overcollection_costs_partitions() {
+    // The taxonomy of [14]: Backup buys strict validity with replicated
+    // traffic; Overcollection buys performance with extra partitions.
+    let over = run_with(100, 0.2, Strategy::Overcollection, 0.2);
+    let backup = run_with(100, 0.2, Strategy::Backup, 0.2);
+    assert!(over.plan.m > 0);
+    assert_eq!(backup.plan.m, 0);
+    // Backup duplicates every data-path message to all replicas.
+    assert!(
+        backup.report.messages_sent > over.report.messages_sent,
+        "backup {} msgs vs overcollection {}",
+        backup.report.messages_sent,
+        over.report.messages_sent
+    );
+}
+
+#[test]
+fn active_backup_combiner_covers_combiner_crash() {
+    // Force the primary combiner down in every seed by running many
+    // seeds at high p and checking that valid overcollection runs exist
+    // where the winning replica was the Active Backup (replica 1).
+    let mut backup_wins = 0;
+    for seed in 0..20 {
+        let run = run_with(seed, 0.3, Strategy::Overcollection, 0.3);
+        if run.report.completed && run.report.winning_replica >= 1 {
+            backup_wins += 1;
+            assert!(run.report.valid || run.report.partitions_complete < run.plan.n);
+        }
+    }
+    assert!(
+        backup_wins >= 1,
+        "across 20 seeds at p=0.3 the Active Backup should win at least once"
+    );
+}
+
+#[test]
+fn deadline_is_respected() {
+    for seed in 0..5 {
+        let run = run_with(seed, 0.2, Strategy::Overcollection, 0.2);
+        if let Some(t) = run.report.completion_secs {
+            assert!(
+                t <= run.plan.spec.deadline_secs,
+                "completion {t} past deadline {}",
+                run.plan.spec.deadline_secs
+            );
+        }
+    }
+}
