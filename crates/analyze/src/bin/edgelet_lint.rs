@@ -1,0 +1,49 @@
+//! `edgelet-lint` — walks `crates/**/src/**/*.rs` of a workspace and
+//! reports determinism/panic-hygiene findings (`E101`–`E104`).
+//!
+//! Usage: `edgelet-lint [--format json|human] [workspace_root]`
+//! (the root defaults to the current directory). Exits nonzero when any
+//! finding is reported, so CI can gate on it.
+
+use edgelet_analyze::diagnostic::{render_human, render_json};
+use edgelet_analyze::lint::lint_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("human") => json = false,
+                other => {
+                    eprintln!("edgelet-lint: bad --format {other:?} (json|human)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: edgelet-lint [--format json|human] [workspace_root]");
+                return ExitCode::SUCCESS;
+            }
+            path => root = PathBuf::from(path),
+        }
+    }
+    if !root.join("crates").is_dir() {
+        eprintln!("edgelet-lint: {} has no crates/ directory", root.display());
+        return ExitCode::from(2);
+    }
+    let findings = lint_workspace(&root);
+    if json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_human(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,376 @@
+//! The shared diagnostic model of both analysis layers.
+//!
+//! Every finding — whether from the semantic plan/config analyzer or the
+//! source-level determinism lint — is a [`Diagnostic`] with a stable code
+//! (`E0xx` errors, `W0xx` warnings for the semantic layer; `E1xx` for the
+//! source lint), a severity, a location, and a human message. Diagnostics
+//! render either as compiler-style text or as a JSON array, so tools and
+//! CI can consume them without parsing prose.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: the configuration is legal but probably not what the
+    /// operator wants (thin contributor buckets, tight deadlines...).
+    Warning,
+    /// The plan or source violates a property the paper's guarantees rest
+    /// on; execution (or merge) should be denied.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in renderings.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `E010` (see [`codes`]).
+    pub code: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Where it was found: a plan path (`operators[3]`) or a source
+    /// location (`crates/sim/src/engine.rs:106`).
+    pub location: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (optional).
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds an error diagnostic.
+    pub fn error(
+        code: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            code,
+            severity: Severity::Error,
+            location: location.into(),
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Builds a warning diagnostic.
+    pub fn warning(
+        code: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            code,
+            severity: Severity::Warning,
+            location: location.into(),
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attaches a help string.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} ({})",
+            self.severity, self.code, self.message, self.location
+        )?;
+        if let Some(help) = &self.help {
+            write!(f, "\n  help: {help}")?;
+        }
+        Ok(())
+    }
+}
+
+/// True when any diagnostic is [`Severity::Error`].
+pub fn has_errors(diagnostics: &[Diagnostic]) -> bool {
+    diagnostics.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Compiler-style text rendering, one finding per paragraph, ending with a
+/// one-line summary.
+pub fn render_human(diagnostics: &[Diagnostic]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for d in diagnostics {
+        let _ = writeln!(out, "{d}");
+    }
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diagnostics.len() - errors;
+    let _ = writeln!(
+        out,
+        "analysis: {errors} error{}, {warnings} warning{}",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+    );
+    out
+}
+
+/// JSON rendering: an array of objects with `code`, `severity`,
+/// `location`, `message`, and (when present) `help` fields. Hand-rolled —
+/// the workspace registry is offline, so no serde.
+pub fn render_json(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!("\"code\":{}", json_string(d.code)));
+        out.push_str(&format!(
+            ",\"severity\":{}",
+            json_string(d.severity.label())
+        ));
+        out.push_str(&format!(",\"location\":{}", json_string(&d.location)));
+        out.push_str(&format!(",\"message\":{}", json_string(&d.message)));
+        if let Some(help) = &d.help {
+            out.push_str(&format!(",\"help\":{}", json_string(help)));
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The stable diagnostic codes, with their default severity and a short
+/// summary. `docs/ANALYZER.md` carries the full table with example fixes.
+pub mod codes {
+    use super::Severity;
+
+    /// Planning itself failed before a plan existed to analyze.
+    pub const PLANNING_FAILED: &str = "E000";
+    /// Snapshot Builder coverage broken (missing/duplicate partitions).
+    pub const BUILDER_COVERAGE: &str = "E001";
+    /// Computer grid broken (missing/duplicate/unknown-group computers).
+    pub const COMPUTER_GRID: &str = "E002";
+    /// Combiner/Querier arity broken.
+    pub const COMBINER_ARITY: &str = "E003";
+    /// A dataflow edge violates the QEP stage order or dangles.
+    pub const EDGE_ORDER: &str = "E004";
+    /// Contributor buckets do not match the partition count.
+    pub const CONTRIBUTOR_BUCKETS: &str = "E005";
+    /// A separated (quasi-identifier) attribute pair co-resides in one
+    /// vertical group, i.e. on one Computer.
+    pub const VERTICAL_PRIVACY: &str = "E010";
+    /// Horizontal partitioning violates the raw-tuple cap or cannot cover
+    /// the snapshot.
+    pub const HORIZONTAL_CAP: &str = "E011";
+    /// A partition's contributor bucket cannot fill its quota.
+    pub const THIN_BUCKET: &str = "W012";
+    /// Provisioned resiliency misses the validity target (binomial tail
+    /// below target for Overcollection; replica survival for Backup).
+    pub const RESILIENCY_TARGET: &str = "E020";
+    /// The Naive strategy is combined with a non-zero fault presumption.
+    pub const NAIVE_WITH_FAULTS: &str = "W021";
+    /// Combiner replica pool may not survive the fault presumption.
+    pub const COMBINER_SURVIVAL: &str = "W022";
+    /// A device hosts more Data Processor operators than the liability
+    /// bound allows (crowd-liability skew).
+    pub const LIABILITY_SKEW: &str = "E030";
+    /// Contributor assignment is heavily skewed across partitions.
+    pub const CONTRIBUTOR_SKEW: &str = "W031";
+    /// The deadline is non-positive or below the critical-path floor.
+    pub const DEADLINE_INFEASIBLE: &str = "E040";
+    /// The deadline leaves less than 2x the critical-path floor.
+    pub const DEADLINE_TIGHT: &str = "W041";
+    /// Default-hasher `HashMap`/`HashSet` in a deterministic crate.
+    pub const LINT_HASHER: &str = "E101";
+    /// Wall-clock (`Instant`/`SystemTime`) outside the bench crate.
+    pub const LINT_WALL_CLOCK: &str = "E102";
+    /// Ambient randomness (`thread_rng`/`rand::random`).
+    pub const LINT_AMBIENT_RNG: &str = "E103";
+    /// `unwrap`/`expect` in non-test `exec`/`sim` library code.
+    pub const LINT_PANIC: &str = "E104";
+
+    /// Every code with its default severity and one-line summary, in code
+    /// order. Drives the documentation table and its test.
+    pub const ALL: &[(&str, Severity, &str)] = &[
+        (
+            PLANNING_FAILED,
+            Severity::Error,
+            "planning failed before analysis",
+        ),
+        (
+            BUILDER_COVERAGE,
+            Severity::Error,
+            "snapshot-builder coverage broken",
+        ),
+        (COMPUTER_GRID, Severity::Error, "computer grid broken"),
+        (
+            COMBINER_ARITY,
+            Severity::Error,
+            "combiner/querier arity broken",
+        ),
+        (
+            EDGE_ORDER,
+            Severity::Error,
+            "dataflow edge violates stage order",
+        ),
+        (
+            CONTRIBUTOR_BUCKETS,
+            Severity::Error,
+            "contributor buckets mismatch partitions",
+        ),
+        (
+            VERTICAL_PRIVACY,
+            Severity::Error,
+            "separated attribute pair co-located",
+        ),
+        (
+            HORIZONTAL_CAP,
+            Severity::Error,
+            "raw-tuple cap violated or snapshot uncovered",
+        ),
+        (
+            THIN_BUCKET,
+            Severity::Warning,
+            "contributor bucket below quota",
+        ),
+        (
+            RESILIENCY_TARGET,
+            Severity::Error,
+            "provisioned validity below target",
+        ),
+        (
+            NAIVE_WITH_FAULTS,
+            Severity::Warning,
+            "naive strategy under fault presumption",
+        ),
+        (
+            COMBINER_SURVIVAL,
+            Severity::Warning,
+            "combiner replicas may not survive",
+        ),
+        (
+            LIABILITY_SKEW,
+            Severity::Error,
+            "device exceeds operator liability bound",
+        ),
+        (
+            CONTRIBUTOR_SKEW,
+            Severity::Warning,
+            "contributor assignment skewed",
+        ),
+        (
+            DEADLINE_INFEASIBLE,
+            Severity::Error,
+            "deadline below critical-path floor",
+        ),
+        (
+            DEADLINE_TIGHT,
+            Severity::Warning,
+            "deadline within 2x of the floor",
+        ),
+        (
+            LINT_HASHER,
+            Severity::Error,
+            "default-hasher map/set in deterministic crate",
+        ),
+        (
+            LINT_WALL_CLOCK,
+            Severity::Error,
+            "wall-clock read outside bench",
+        ),
+        (LINT_AMBIENT_RNG, Severity::Error, "ambient OS randomness"),
+        (
+            LINT_PANIC,
+            Severity::Error,
+            "unwrap/expect in exec/sim library code",
+        ),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_render() {
+        let d = Diagnostic::error(codes::VERTICAL_PRIVACY, "attr_groups[0]", "pair co-located")
+            .with_help("add a separation");
+        let text = d.to_string();
+        assert!(text.contains("error[E010]"));
+        assert!(text.contains("help: add a separation"));
+        let all = vec![
+            d,
+            Diagnostic::warning(codes::THIN_BUCKET, "partition 3", "only 2 of 50"),
+        ];
+        let human = render_human(&all);
+        assert!(human.contains("1 error, 1 warning"), "{human}");
+        assert!(has_errors(&all));
+        assert!(!has_errors(&all[1..]));
+    }
+
+    #[test]
+    fn json_escapes_and_lists() {
+        let all = vec![Diagnostic::error(
+            codes::EDGE_ORDER,
+            "edge (1, 2)",
+            "a \"bad\"\nedge",
+        )];
+        let json = render_json(&all);
+        assert!(json.contains("\"code\":\"E004\""));
+        assert!(json.contains("\\\"bad\\\"\\nedge"));
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (code, severity, summary) in codes::ALL {
+            assert!(seen.insert(*code), "duplicate code {code}");
+            assert_eq!(code.len(), 4, "{code}");
+            let expected = if code.starts_with('E') {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            assert_eq!(*severity, expected, "{code}");
+            assert!(!summary.is_empty());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Static analysis for Edgelet computing.
+//!
+//! Two layers share one [`Diagnostic`](diagnostic::Diagnostic) model:
+//!
+//! * [`semantic`] — analyzes a built [`QueryPlan`](edgelet_query::QueryPlan)
+//!   plus its privacy/resiliency configuration against the paper's
+//!   guarantees: DAG wiring, vertical-partitioning safety, the horizontal
+//!   raw-tuple cap, resiliency provisioning vs. the binomial survival
+//!   tail, crowd-liability skew, and deadline feasibility. The execution
+//!   driver runs the plan-only subset as a deny-by-default
+//!   [`preflight`](semantic::preflight); the CLI exposes the full set as
+//!   `edgelet analyze`.
+//! * [`lint`] — a token-level source scanner that keeps nondeterminism
+//!   (default-hasher collections, wall clocks, ambient RNG) and panic
+//!   paths out of the deterministic crates. It runs as a tier-1 test and
+//!   as the standalone `edgelet-lint` binary for CI.
+//!
+//! Diagnostics carry stable codes (`E0xx`/`W0xx` semantic, `E1xx` lint)
+//! documented in `docs/ANALYZER.md`, and render as compiler-style text or
+//! JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnostic;
+pub mod lint;
+pub mod semantic;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use diagnostic::{has_errors, render_human, render_json, Diagnostic, Severity};
+pub use semantic::{analyze, analyze_plan, preflight, AnalyzeOptions};

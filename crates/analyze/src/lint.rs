@@ -1,0 +1,456 @@
+//! Layer 2: token-level source lint for determinism and panic hygiene.
+//!
+//! The simulator's headline guarantee is bit-identical replay from a
+//! seed. That guarantee dies quietly the moment somebody iterates a
+//! default-hasher map in a scheduling path, reads the wall clock, or
+//! draws from the OS RNG — so those constructs are denied *textually*,
+//! with no parser dependency (the registry is offline). The scanner
+//! strips comments and string/char literals, skips `#[cfg(test)]` code
+//! (test modules sit at the end of files in this workspace), and matches
+//! per-line needles:
+//!
+//! * `E101` — default-hasher `HashMap`/`HashSet` in the deterministic
+//!   crates (`sim`, `exec`, `query`); use `BTreeMap`/`BTreeSet`.
+//! * `E102` — `Instant::now`/`SystemTime` anywhere outside `bench`;
+//!   simulated time comes from the engine.
+//! * `E103` — `thread_rng`/`rand::random` anywhere outside `bench`;
+//!   randomness comes from a seeded [`DetRng`](edgelet_util::rng).
+//! * `E104` — `.unwrap()`/`.expect(` in `exec`/`sim` library code;
+//!   return a typed error or justify with an allow directive.
+//!
+//! A finding on a line is suppressed by a directive on the same or the
+//! preceding line: `// lint: allow(E104 reason why this is infallible)`.
+//! The reason is mandatory — a bare code does not suppress.
+
+use crate::diagnostic::{codes, Diagnostic};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Which crates a rule applies to (by directory name under `crates/`).
+enum CrateFilter {
+    /// Applies only to the listed crates.
+    Only(&'static [&'static str]),
+    /// Applies to every crate except the listed ones.
+    Except(&'static [&'static str]),
+}
+
+impl CrateFilter {
+    fn applies(&self, crate_name: &str) -> bool {
+        match self {
+            CrateFilter::Only(list) => list.contains(&crate_name),
+            CrateFilter::Except(list) => !list.contains(&crate_name),
+        }
+    }
+}
+
+struct Rule {
+    code: &'static str,
+    needles: Vec<String>,
+    filter: CrateFilter,
+    what: &'static str,
+    help: &'static str,
+}
+
+/// The needles are assembled from fragments so this file never contains
+/// the banned tokens itself.
+fn rules() -> Vec<Rule> {
+    let join = |parts: &[&str]| parts.concat();
+    vec![
+        Rule {
+            code: codes::LINT_HASHER,
+            needles: vec![join(&["Hash", "Map"]), join(&["Hash", "Set"])],
+            filter: CrateFilter::Only(&["sim", "exec", "query"]),
+            what: "default-hasher collection in a deterministic crate",
+            help: "iteration order is randomized per process; use BTreeMap/BTreeSet",
+        },
+        Rule {
+            code: codes::LINT_WALL_CLOCK,
+            needles: vec![join(&["Ins", "tant::now"]), join(&["System", "Time"])],
+            filter: CrateFilter::Except(&["bench"]),
+            what: "wall-clock read",
+            help: "simulated time comes from the engine; wall clocks break replay",
+        },
+        Rule {
+            code: codes::LINT_AMBIENT_RNG,
+            needles: vec![join(&["thread", "_rng"]), join(&["rand::", "random"])],
+            filter: CrateFilter::Except(&["bench"]),
+            what: "ambient OS randomness",
+            help: "draw from a seeded DetRng forked per purpose",
+        },
+        Rule {
+            code: codes::LINT_PANIC,
+            needles: vec![join(&[".unw", "rap()"]), join(&[".exp", "ect("])],
+            filter: CrateFilter::Only(&["exec", "sim"]),
+            what: "panic path in library code",
+            help: "return a typed edgelet_util::Error, or justify with \
+                   an allow directive",
+        },
+    ]
+}
+
+/// Replaces comment bodies and string/char-literal contents with spaces,
+/// preserving line structure, so needle matching never fires inside
+/// prose. Handles nested block comments and raw strings.
+fn strip_source(source: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+    }
+    let mut out = String::with_capacity(source.len());
+    let chars: Vec<char> = source.chars().collect();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                'r' if matches!(next, Some('"') | Some('#')) => {
+                    // Raw string: r"..." or r#"..."# etc.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        state = State::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs. lifetime: a literal closes with a
+                    // quote one (escaped) char later.
+                    if next == Some('\\') {
+                        out.push_str("' '");
+                        i += 2; // skip the backslash
+                        while i < chars.len() && chars[i] != '\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        out.push_str("' '");
+                        i += 3;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Code;
+                    out.push('"');
+                    i += 1;
+                }
+                c => {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && chars[i + 1..].iter().take(hashes).all(|&h| h == '#') {
+                    state = State::Code;
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True when `raw_line` carries a valid allow directive for `code` — the
+/// code followed by a non-empty reason.
+fn has_allow(raw_line: &str, code: &str) -> bool {
+    let Some(pos) = raw_line.find("lint: allow(") else {
+        return false;
+    };
+    let rest = &raw_line[pos + "lint: allow(".len()..];
+    let Some(rest) = rest.strip_prefix(code) else {
+        return false;
+    };
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    rest[..close].chars().any(|c| c.is_alphanumeric())
+}
+
+/// Lints one file's source. `display_path` is used in locations;
+/// `crate_name` selects which rules apply.
+pub fn lint_source(display_path: &str, crate_name: &str, source: &str) -> Vec<Diagnostic> {
+    let rules: Vec<Rule> = rules()
+        .into_iter()
+        .filter(|r| r.filter.applies(crate_name))
+        .collect();
+    if rules.is_empty() {
+        return Vec::new();
+    }
+    let stripped = strip_source(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+    for (idx, line) in stripped.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            // Convention in this workspace: the test module closes the
+            // file, so everything after is test-only.
+            break;
+        }
+        for rule in &rules {
+            let Some(needle) = rule.needles.iter().find(|n| line.contains(n.as_str())) else {
+                continue;
+            };
+            let raw = raw_lines.get(idx).copied().unwrap_or("");
+            let prev = if idx > 0 {
+                raw_lines.get(idx - 1).copied().unwrap_or("")
+            } else {
+                ""
+            };
+            if has_allow(raw, rule.code) || has_allow(prev, rule.code) {
+                continue;
+            }
+            out.push(
+                Diagnostic::error(
+                    rule.code,
+                    format!("{display_path}:{}", idx + 1),
+                    format!("{}: `{needle}`", rule.what),
+                )
+                .with_help(rule.help),
+            );
+        }
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints every `crates/<name>/src/**/*.rs` under `workspace_root`.
+pub fn lint_workspace(workspace_root: &Path) -> Vec<Diagnostic> {
+    let crates_dir = workspace_root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect()
+        })
+        .unwrap_or_default();
+    crate_dirs.sort();
+
+    let mut out = Vec::new();
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let mut files = Vec::new();
+        rust_files(&crate_dir.join("src"), &mut files);
+        for file in files {
+            let Ok(source) = fs::read_to_string(&file) else {
+                continue;
+            };
+            let display = file
+                .strip_prefix(workspace_root)
+                .unwrap_or(&file)
+                .display()
+                .to_string();
+            out.extend(lint_source(&display, &crate_name, &source));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes_in(found: &[Diagnostic]) -> Vec<&'static str> {
+        found.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn wall_clock_in_sim_is_caught() {
+        let src = "fn t() -> std::time::Instant { std::time::Instant::now() }\n";
+        let found = lint_source("crates/sim/src/x.rs", "sim", src);
+        assert_eq!(codes_in(&found), vec![codes::LINT_WALL_CLOCK]);
+        assert!(found[0].location.ends_with("x.rs:1"));
+    }
+
+    #[test]
+    fn wall_clock_in_bench_is_allowed() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert!(lint_source("crates/bench/src/x.rs", "bench", src).is_empty());
+    }
+
+    #[test]
+    fn default_hasher_in_query_is_caught() {
+        let src = "use std::collections::HashMap;\nlet m: HashMap<u8, u8> = HashMap::new();\n";
+        let found = lint_source("crates/query/src/x.rs", "query", src);
+        assert!(found.iter().all(|d| d.code == codes::LINT_HASHER));
+        assert_eq!(found.len(), 2, "{found:?}");
+    }
+
+    #[test]
+    fn default_hasher_in_store_is_not_checked() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(lint_source("crates/store/src/x.rs", "store", src).is_empty());
+    }
+
+    #[test]
+    fn ambient_rng_is_caught() {
+        let src = "let x: u8 = rand::random();\nlet mut r = rand::thread_rng();\n";
+        let found = lint_source("crates/util/src/x.rs", "util", src);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().all(|d| d.code == codes::LINT_AMBIENT_RNG));
+    }
+
+    #[test]
+    fn panics_in_exec_are_caught() {
+        let src = "let a = b.unwrap();\nlet c = d.expect(\"always\");\n";
+        let found = lint_source("crates/exec/src/x.rs", "exec", src);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().all(|d| d.code == codes::LINT_PANIC));
+        // The same source in a crate without the panic rule is clean.
+        assert!(lint_source("crates/query/src/x.rs", "query", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_with_arguments_is_not_a_panic() {
+        // Sealer::unwrap(payload) is envelope opening, not Option::unwrap.
+        let src = "let m = self.sealer.unwrap(payload)?;\n";
+        assert!(lint_source("crates/exec/src/x.rs", "exec", src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_match() {
+        let src = "// Instant::now() is banned\nlet s = \"Instant::now()\";\n/* HashMap too */\n";
+        assert!(lint_source("crates/sim/src/x.rs", "sim", src).is_empty());
+    }
+
+    #[test]
+    fn test_module_is_skipped() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\n";
+        assert!(lint_source("crates/exec/src/x.rs", "exec", src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_with_reason_suppresses() {
+        let same = "let a = b.unwrap(); // lint: allow(E104 checked two lines up)\n";
+        assert!(lint_source("crates/exec/src/x.rs", "exec", same).is_empty());
+        let prev = "// lint: allow(E104 invariant: pool sized to demand)\nlet a = b.unwrap();\n";
+        assert!(lint_source("crates/exec/src/x.rs", "exec", prev).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_without_reason_does_not_suppress() {
+        let src = "let a = b.unwrap(); // lint: allow(E104)\n";
+        assert_eq!(lint_source("crates/exec/src/x.rs", "exec", src).len(), 1);
+        // A directive for a different code does not suppress either.
+        let wrong = "let a = b.unwrap(); // lint: allow(E102 not the clock)\n";
+        assert_eq!(lint_source("crates/exec/src/x.rs", "exec", wrong).len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let src = "let s = r#\"contains Instant::now() text\"#;\n";
+        assert!(lint_source("crates/sim/src/x.rs", "sim", src).is_empty());
+    }
+
+    #[test]
+    fn workspace_is_lint_clean() {
+        // CARGO_MANIFEST_DIR is crates/analyze; the workspace root is two
+        // levels up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        assert!(root.join("Cargo.toml").is_file(), "bad root {root:?}");
+        let findings = lint_workspace(&root);
+        assert!(
+            findings.is_empty(),
+            "workspace must be lint-clean:\n{}",
+            crate::diagnostic::render_human(&findings)
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Deadline pass: feasibility against the cost model's critical path
+//! (`E040`, `W041`).
+//!
+//! Resiliency in the paper means *completing before the deadline* despite
+//! faults. A deadline shorter than the protocol's critical path cannot be
+//! met even on a perfect network, so it is a plan error, not a runtime
+//! surprise. The floor comes from [`edgelet_query::cost::estimate`]'s
+//! critical-path hop count (request → contribution → partition data →
+//! partial → final result), plus one sequential peer-knowledge round per
+//! K-Means heartbeat, scaled by the expected one-hop latency.
+
+use super::AnalyzeOptions;
+use crate::diagnostic::{codes, Diagnostic};
+use edgelet_query::{cost, QueryKind, QueryPlan};
+
+/// The minimum time the protocol needs under `opts`' latency model.
+pub fn critical_path_floor_secs(plan: &QueryPlan, opts: &AnalyzeOptions) -> f64 {
+    let est = cost::estimate(plan);
+    let extra_rounds = match &plan.spec.kind {
+        QueryKind::KMeans { heartbeats, .. } => *heartbeats as u64,
+        _ => 0,
+    };
+    (f64::from(est.critical_path_hops) + extra_rounds as f64) * opts.expected_hop_latency_secs
+}
+
+/// Runs the deadline checks, appending findings to `out`.
+pub fn check(plan: &QueryPlan, opts: &AnalyzeOptions, out: &mut Vec<Diagnostic>) {
+    let deadline = plan.spec.deadline_secs;
+    if !deadline.is_finite() || deadline <= 0.0 {
+        out.push(
+            Diagnostic::error(
+                codes::DEADLINE_INFEASIBLE,
+                "spec.deadline_secs",
+                format!("deadline of {deadline} seconds is not a positive duration"),
+            )
+            .with_help("set a positive, finite deadline"),
+        );
+        return;
+    }
+    let floor = critical_path_floor_secs(plan, opts);
+    if deadline < floor {
+        out.push(
+            Diagnostic::error(
+                codes::DEADLINE_INFEASIBLE,
+                "spec.deadline_secs",
+                format!(
+                    "deadline of {deadline} s is below the critical-path floor of \
+                     {floor:.1} s at {} s per hop",
+                    opts.expected_hop_latency_secs
+                ),
+            )
+            .with_help("even a fault-free run cannot finish; extend the deadline"),
+        );
+    } else if deadline < 2.0 * floor {
+        out.push(
+            Diagnostic::warning(
+                codes::DEADLINE_TIGHT,
+                "spec.deadline_secs",
+                format!(
+                    "deadline of {deadline} s leaves less than 2x the \
+                     critical-path floor of {floor:.1} s; faults or stragglers \
+                     will likely miss it"
+                ),
+            )
+            .with_help("extend the deadline or reduce per-hop latency expectations"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::has_errors;
+    use crate::testutil::{good_plan, grouping_spec, plan_with};
+    use edgelet_query::{PrivacyConfig, ResilienceConfig};
+
+    #[test]
+    fn generous_deadline_is_clean() {
+        let (plan, _, _) = good_plan();
+        let mut out = Vec::new();
+        check(&plan, &AnalyzeOptions::default(), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn nonpositive_deadline_is_e040() {
+        let (mut plan, _, _) = good_plan();
+        plan.spec.deadline_secs = 0.0;
+        let mut out = Vec::new();
+        check(&plan, &AnalyzeOptions::default(), &mut out);
+        assert!(
+            out.iter().any(|d| d.code == codes::DEADLINE_INFEASIBLE),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn sub_floor_deadline_is_e040() {
+        let (mut plan, _, _) = good_plan();
+        let floor = critical_path_floor_secs(&plan, &AnalyzeOptions::default());
+        plan.spec.deadline_secs = floor / 2.0;
+        let mut out = Vec::new();
+        check(&plan, &AnalyzeOptions::default(), &mut out);
+        assert!(has_errors(&out), "{out:?}");
+    }
+
+    #[test]
+    fn tight_deadline_is_w041_only() {
+        let (mut plan, _, _) = good_plan();
+        let floor = critical_path_floor_secs(&plan, &AnalyzeOptions::default());
+        plan.spec.deadline_secs = 1.5 * floor;
+        let mut out = Vec::new();
+        check(&plan, &AnalyzeOptions::default(), &mut out);
+        assert!(
+            out.iter().any(|d| d.code == codes::DEADLINE_TIGHT),
+            "{out:?}"
+        );
+        assert!(!has_errors(&out), "{out:?}");
+    }
+
+    #[test]
+    fn slow_network_raises_the_floor() {
+        // The same 600 s deadline that is fine at 1 s/hop becomes
+        // infeasible at opportunistic-network latencies.
+        let spec = grouping_spec(400, 600.0);
+        let privacy = PrivacyConfig::none().with_max_tuples(100);
+        let plan = plan_with(&spec, &privacy, &ResilienceConfig::default());
+        let slow = AnalyzeOptions {
+            expected_hop_latency_secs: 600.0,
+            ..AnalyzeOptions::default()
+        };
+        let mut out = Vec::new();
+        check(&plan, &slow, &mut out);
+        assert!(has_errors(&out), "{out:?}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Liability pass: crowd-liability skew bounds (`E030`, `W031`).
+//!
+//! The paper's secure assignment spreads Data Processor operators over
+//! randomly drawn volunteer devices so no single owner concentrates
+//! liability for the crowd's data. This pass bounds two skews: operator
+//! instances per device (`E030`, bound 1 by default — the planner's own
+//! guarantee) and contributor-assignment skew across partitions (`W031`).
+
+use super::AnalyzeOptions;
+use crate::diagnostic::{codes, Diagnostic};
+use edgelet_query::QueryPlan;
+use std::collections::BTreeMap;
+
+/// Runs the liability checks, appending findings to `out`.
+pub fn check(plan: &QueryPlan, opts: &AnalyzeOptions, out: &mut Vec<Diagnostic>) {
+    // E030: no device may host more Data Processor operator instances
+    // (primaries or backup replicas) than the bound allows.
+    let mut hosted: BTreeMap<u64, (usize, String)> = BTreeMap::new();
+    for op in plan.operators.iter().filter(|o| o.role.is_data_processor()) {
+        for dev in std::iter::once(op.device).chain(op.backups.iter().copied()) {
+            let entry = hosted.entry(dev.raw()).or_insert((0, String::new()));
+            entry.0 += 1;
+            if !entry.1.is_empty() {
+                entry.1.push_str(", ");
+            }
+            entry.1.push_str(&op.role.label());
+        }
+    }
+    for (dev, (count, roles)) in &hosted {
+        if *count > opts.max_operators_per_device {
+            out.push(
+                Diagnostic::error(
+                    codes::LIABILITY_SKEW,
+                    format!("device {dev}"),
+                    format!(
+                        "device hosts {count} Data Processor operators ({roles}), \
+                         bound is {}",
+                        opts.max_operators_per_device
+                    ),
+                )
+                .with_help(
+                    "concentrating operators concentrates crowd liability; \
+                     re-draw the assignment over more volunteers",
+                ),
+            );
+        }
+    }
+
+    // W031: contributor buckets should be roughly balanced — identity-key
+    // hashing makes them so; a heavily skewed assignment concentrates
+    // raw-data liability on one partition's builder.
+    let total: usize = plan.contributors.iter().map(|b| b.len()).sum();
+    let buckets = plan.contributors.len();
+    if buckets >= 2 && total > 0 {
+        let mean = total as f64 / buckets as f64;
+        let (worst_idx, worst) = plan
+            .contributors
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.len()))
+            .max_by_key(|(_, len)| *len)
+            .unwrap_or((0, 0));
+        if worst as f64 > opts.contributor_skew_factor * mean {
+            out.push(
+                Diagnostic::warning(
+                    codes::CONTRIBUTOR_SKEW,
+                    format!("plan.contributors[{worst_idx}]"),
+                    format!(
+                        "partition {worst_idx} holds {worst} contributors against \
+                         a mean of {mean:.1} (> {:.0}x skew)",
+                        opts.contributor_skew_factor
+                    ),
+                )
+                .with_help("check the identity-key hashing; buckets should balance"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::has_errors;
+    use crate::testutil::good_plan;
+
+    #[test]
+    fn good_plan_is_clean() {
+        let (plan, _, _) = good_plan();
+        let mut out = Vec::new();
+        check(&plan, &AnalyzeOptions::default(), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn device_collision_is_e030() {
+        let (mut plan, _, _) = good_plan();
+        let d0 = plan.operators[0].device;
+        for op in plan.operators.iter_mut() {
+            if matches!(op.role, edgelet_query::OperatorRole::Combiner { .. }) {
+                op.device = d0;
+            }
+        }
+        let mut out = Vec::new();
+        check(&plan, &AnalyzeOptions::default(), &mut out);
+        assert!(
+            out.iter().any(|d| d.code == codes::LIABILITY_SKEW),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn relaxed_bound_accepts_collisions() {
+        let (mut plan, _, _) = good_plan();
+        let d0 = plan.operators[0].device;
+        plan.operators[1].device = d0;
+        let opts = AnalyzeOptions {
+            max_operators_per_device: 2,
+            ..AnalyzeOptions::default()
+        };
+        let mut out = Vec::new();
+        check(&plan, &opts, &mut out);
+        assert!(!has_errors(&out), "{out:?}");
+    }
+
+    #[test]
+    fn skewed_buckets_are_w031() {
+        let (mut plan, _, _) = good_plan();
+        // Pile every contributor into bucket 0.
+        let all: Vec<_> = plan.contributors.concat();
+        for bucket in plan.contributors.iter_mut() {
+            bucket.clear();
+        }
+        plan.contributors[0] = all;
+        let mut out = Vec::new();
+        check(&plan, &AnalyzeOptions::default(), &mut out);
+        assert!(
+            out.iter().any(|d| d.code == codes::CONTRIBUTOR_SKEW),
+            "{out:?}"
+        );
+    }
+}

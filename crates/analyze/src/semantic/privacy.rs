@@ -1,0 +1,177 @@
+//! Privacy pass: vertical-partitioning safety and the horizontal
+//! raw-tuple cap (`E010`, `E011`, `W012`).
+//!
+//! Vertical partitioning exists so that no single Computer (and hence no
+//! single device owner) ever sees a separated quasi-identifier pair
+//! together; horizontal partitioning exists so that no edgelet holds more
+//! raw tuples than the configured cap. Both are static properties of the
+//! plan against its [`PrivacyConfig`].
+
+use crate::diagnostic::{codes, Diagnostic};
+use edgelet_query::{PrivacyConfig, QueryPlan};
+use std::collections::BTreeSet;
+
+/// Runs the privacy checks, appending findings to `out`.
+pub fn check(plan: &QueryPlan, privacy: &PrivacyConfig, out: &mut Vec<Diagnostic>) {
+    // E010: no separated pair may co-reside in one vertical group.
+    for (g, group) in plan.attr_groups.iter().enumerate() {
+        let set: BTreeSet<&str> = group.iter().map(|s| s.as_str()).collect();
+        for (a, b) in &privacy.separated_attribute_pairs {
+            if set.contains(a.as_str()) && set.contains(b.as_str()) {
+                out.push(
+                    Diagnostic::error(
+                        codes::VERTICAL_PRIVACY,
+                        format!("plan.attr_groups[{g}]"),
+                        format!(
+                            "separated pair (`{a}`, `{b}`) co-resides in one \
+                             computer slice"
+                        ),
+                    )
+                    .with_help(
+                        "a Computer hosting both attributes can link the \
+                         quasi-identifiers; re-plan so the pair lands in \
+                         different vertical groups",
+                    ),
+                );
+            }
+        }
+    }
+
+    // E011: horizontal partitioning must honor the raw-tuple cap and
+    // still cover the snapshot.
+    let c = plan.spec.snapshot_cardinality;
+    if let Some(cap) = privacy.max_tuples_per_edgelet {
+        if plan.partition_quota > cap {
+            out.push(
+                Diagnostic::error(
+                    codes::HORIZONTAL_CAP,
+                    "plan.partition_quota",
+                    format!(
+                        "partition quota of {} tuples exceeds the raw-tuple \
+                         cap of {cap}",
+                        plan.partition_quota
+                    ),
+                )
+                .with_help(format!(
+                    "cardinality {c} needs at least {} partitions at this cap",
+                    (c as u64).div_ceil(cap as u64).max(1)
+                )),
+            );
+        }
+    }
+    if plan.n == 0 || (plan.n as usize).saturating_mul(plan.partition_quota) < c {
+        out.push(Diagnostic::error(
+            codes::HORIZONTAL_CAP,
+            "plan.partition_quota",
+            format!(
+                "{} partitions of {} tuples cannot cover the snapshot \
+                 cardinality {c}",
+                plan.n, plan.partition_quota
+            ),
+        ));
+    }
+
+    // W012: a partition whose contributor bucket is smaller than its
+    // quota can never complete, even with full eligibility.
+    let thin = plan
+        .contributors
+        .iter()
+        .filter(|bucket| bucket.len() < plan.partition_quota)
+        .count();
+    if thin > 0 {
+        out.push(
+            Diagnostic::warning(
+                codes::THIN_BUCKET,
+                "plan.contributors",
+                format!(
+                    "{thin} of {} partitions have fewer contributors than \
+                     their quota of {} tuples",
+                    plan.contributors.len(),
+                    plan.partition_quota
+                ),
+            )
+            .with_help("enroll more contributors or raise the raw-tuple cap"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::has_errors;
+    use crate::testutil::{good_plan, grouping_spec, plan_with};
+    use edgelet_query::{ResilienceConfig, Strategy};
+
+    #[test]
+    fn good_plan_is_clean() {
+        let (plan, privacy, _) = good_plan();
+        let mut out = Vec::new();
+        check(&plan, &privacy, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn colocated_pair_is_e010() {
+        let (mut plan, privacy, _) = good_plan();
+        // Merge the two vertical groups into one slice.
+        let merged: Vec<String> = plan.attr_groups.concat();
+        plan.attr_groups = vec![merged];
+        let mut out = Vec::new();
+        check(&plan, &privacy, &mut out);
+        assert!(
+            out.iter().any(|d| d.code == codes::VERTICAL_PRIVACY),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn quota_over_cap_is_e011() {
+        let (mut plan, privacy, _) = good_plan();
+        plan.partition_quota = 101; // cap is 100
+        let mut out = Vec::new();
+        check(&plan, &privacy, &mut out);
+        assert!(
+            out.iter().any(|d| d.code == codes::HORIZONTAL_CAP),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn uncovered_snapshot_is_e011() {
+        let (mut plan, privacy, _) = good_plan();
+        plan.partition_quota = 10; // n * 10 < C = 600
+        let mut out = Vec::new();
+        check(&plan, &privacy, &mut out);
+        assert!(has_errors(&out), "{out:?}");
+    }
+
+    #[test]
+    fn thin_buckets_are_w012() {
+        let (mut plan, privacy, _) = good_plan();
+        for bucket in plan.contributors.iter_mut() {
+            bucket.truncate(1);
+        }
+        let mut out = Vec::new();
+        check(&plan, &privacy, &mut out);
+        let w = out.iter().find(|d| d.code == codes::THIN_BUCKET);
+        assert!(w.is_some(), "{out:?}");
+        assert!(
+            !has_errors(&out[..]),
+            "thin buckets warn, not error: {out:?}"
+        );
+    }
+
+    #[test]
+    fn no_cap_no_findings() {
+        let spec = grouping_spec(400, 600.0);
+        let privacy = PrivacyConfig::none();
+        let resilience = ResilienceConfig {
+            strategy: Strategy::Naive,
+            ..ResilienceConfig::default()
+        };
+        let plan = plan_with(&spec, &privacy, &resilience);
+        let mut out = Vec::new();
+        check(&plan, &privacy, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Resiliency pass: provisioning vs. the binomial survival tail (`E020`,
+//! `W021`, `W022`).
+//!
+//! The paper's Overcollection strategy keeps a query valid when at least
+//! `n` of the `n + m` partitions survive; the Backup strategy replicates
+//! every Data Processor operator. Both reduce to closed-form survival
+//! probabilities, so whether a plan's provisioning actually reaches the
+//! configured validity target is statically checkable — this pass redoes
+//! the planner's math from the plan as built and flags shortfalls.
+
+use crate::diagnostic::{codes, Diagnostic};
+use edgelet_query::{QueryPlan, ResilienceConfig, Strategy};
+use edgelet_util::binom::overcollection_validity;
+
+/// Numeric slack for re-deriving the planner's floating-point math.
+const EPS: f64 = 1e-9;
+
+/// Runs the resiliency checks, appending findings to `out`.
+pub fn check(plan: &QueryPlan, resilience: &ResilienceConfig, out: &mut Vec<Diagnostic>) {
+    let p = resilience.failure_probability;
+    let target = resilience.target_validity;
+    let v = plan.attr_groups.len() as u64;
+
+    match plan.strategy {
+        Strategy::Overcollection => {
+            // A partition pipeline spans one builder plus `v` computers;
+            // it survives only if every one of them does.
+            let p_partition = 1.0 - (1.0 - p).powi((1 + v) as i32);
+            let partition_validity = overcollection_validity(plan.n, plan.m, p_partition);
+            let replicas = plan
+                .operators_where(|r| matches!(r, edgelet_query::OperatorRole::Combiner { .. }))
+                .len() as i32;
+            let combiner_survival = 1.0 - p.powi(replicas.max(1));
+            // Mirror the planner's budget split: the partition supply must
+            // cover `target / combiner_survival`; when the combination
+            // stage alone cannot reach the target, the planner falls back
+            // to the best achievable partition-side validity.
+            let budgeted_target = if combiner_survival < target + EPS {
+                0.999_999
+            } else {
+                (target / combiner_survival).min(0.999_999)
+            };
+            if partition_validity + EPS < budgeted_target {
+                out.push(
+                    Diagnostic::error(
+                        codes::RESILIENCY_TARGET,
+                        format!("plan (n={}, m={})", plan.n, plan.m),
+                        format!(
+                            "overcollection reaches partition-side validity \
+                             {partition_validity:.6} under fault presumption {p}, \
+                             below the budgeted target {budgeted_target:.6}"
+                        ),
+                    )
+                    .with_help(
+                        "raise the overcollection degree m, add combiner \
+                         replicas, or lower the target",
+                    ),
+                );
+            }
+            if combiner_survival < target + EPS {
+                out.push(
+                    Diagnostic::warning(
+                        codes::COMBINER_SURVIVAL,
+                        format!("plan ({replicas} combiner replicas)"),
+                        format!(
+                            "combiner replica survival {combiner_survival:.6} caps \
+                             overall validity below the target {target}; no \
+                             partition supply can compensate"
+                        ),
+                    )
+                    .with_help("the combination stage caps overall validity"),
+                );
+            }
+        }
+        Strategy::Backup => {
+            // Every Data Processor operator must survive through its
+            // replica set: builders and computers per mandatory
+            // partition, plus the combiner.
+            let ops = plan.n * (1 + v) + 1;
+            let per_op = 1.0 - p.powi((1 + plan.backup_degree) as i32);
+            let achieved = per_op.powi(ops as i32);
+            if achieved + EPS < target {
+                out.push(
+                    Diagnostic::error(
+                        codes::RESILIENCY_TARGET,
+                        format!("plan (backup_degree={})", plan.backup_degree),
+                        format!(
+                            "backup replication reaches validity {achieved:.6} \
+                             under fault presumption {p}, below the target {target}"
+                        ),
+                    )
+                    .with_help("raise the backup degree or lower the target"),
+                );
+            }
+        }
+        Strategy::Naive => {
+            if p > 0.0 {
+                out.push(
+                    Diagnostic::warning(
+                        codes::NAIVE_WITH_FAULTS,
+                        "plan.strategy",
+                        format!(
+                            "naive strategy provisions no resiliency under a \
+                             fault presumption of {p}"
+                        ),
+                    )
+                    .with_help(
+                        "any single Data Processor fault invalidates the query; \
+                         use Overcollection or Backup",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::has_errors;
+    use crate::testutil::{good_plan, grouping_spec, plan_with};
+    use edgelet_query::PrivacyConfig;
+
+    #[test]
+    fn built_overcollection_plan_meets_its_target() {
+        let (plan, _, resilience) = good_plan();
+        let mut out = Vec::new();
+        check(&plan, &resilience, &mut out);
+        assert!(!has_errors(&out), "{out:?}");
+    }
+
+    #[test]
+    fn stripped_overcollection_is_e020() {
+        let (mut plan, _, resilience) = good_plan();
+        // Discard the overcollected partitions the planner provisioned.
+        plan.m = 0;
+        let mut out = Vec::new();
+        check(&plan, &resilience, &mut out);
+        assert!(
+            out.iter().any(|d| d.code == codes::RESILIENCY_TARGET),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn combiner_capped_target_warns_but_does_not_error() {
+        // With p = 0.1 and target 0.999 the planner provisions exactly
+        // three combiner replicas (survival 0.999); the combination stage
+        // alone pins overall validity at the target, which the planner
+        // knowingly accepts. The analyzer must mirror that: W022, no E020.
+        let spec = grouping_spec(600, 600.0);
+        let privacy = PrivacyConfig::none().with_max_tuples(100);
+        let resilience = ResilienceConfig {
+            strategy: Strategy::Overcollection,
+            failure_probability: 0.1,
+            ..ResilienceConfig::default()
+        };
+        let plan = plan_with(&spec, &privacy, &resilience);
+        let mut out = Vec::new();
+        check(&plan, &resilience, &mut out);
+        assert!(!has_errors(&out), "{out:?}");
+        assert!(
+            out.iter().any(|d| d.code == codes::COMBINER_SURVIVAL),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn built_backup_plan_meets_its_target() {
+        let spec = grouping_spec(400, 600.0);
+        let privacy = PrivacyConfig::none().with_max_tuples(100);
+        let resilience = ResilienceConfig {
+            strategy: Strategy::Backup,
+            failure_probability: 0.15,
+            target_validity: 0.99,
+            ..ResilienceConfig::default()
+        };
+        let plan = plan_with(&spec, &privacy, &resilience);
+        let mut out = Vec::new();
+        check(&plan, &resilience, &mut out);
+        assert!(!has_errors(&out), "{out:?}");
+
+        // Stripping the provisioned backups breaks the target.
+        let mut stripped = plan.clone();
+        stripped.backup_degree = 0;
+        let mut out = Vec::new();
+        check(&stripped, &resilience, &mut out);
+        assert!(
+            out.iter().any(|d| d.code == codes::RESILIENCY_TARGET),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn naive_under_faults_is_w021() {
+        let spec = grouping_spec(400, 600.0);
+        let privacy = PrivacyConfig::none().with_max_tuples(100);
+        let resilience = ResilienceConfig {
+            strategy: Strategy::Naive,
+            failure_probability: 0.1,
+            ..ResilienceConfig::default()
+        };
+        let plan = plan_with(&spec, &privacy, &resilience);
+        let mut out = Vec::new();
+        check(&plan, &resilience, &mut out);
+        assert!(
+            out.iter().any(|d| d.code == codes::NAIVE_WITH_FAULTS),
+            "{out:?}"
+        );
+        assert!(
+            !has_errors(&out),
+            "naive is a warning, not an error: {out:?}"
+        );
+    }
+
+    #[test]
+    fn naive_without_faults_is_clean() {
+        let spec = grouping_spec(400, 600.0);
+        let privacy = PrivacyConfig::none().with_max_tuples(100);
+        let resilience = ResilienceConfig {
+            strategy: Strategy::Naive,
+            failure_probability: 0.0,
+            ..ResilienceConfig::default()
+        };
+        let plan = plan_with(&spec, &privacy, &resilience);
+        let mut out = Vec::new();
+        check(&plan, &resilience, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

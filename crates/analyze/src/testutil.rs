@@ -1,0 +1,86 @@
+//! Shared fixtures for the semantic-pass unit tests: a populated device
+//! directory and plans built exactly as the planner builds them, so the
+//! analyzer can be tested against both faithful plans and seeded
+//! mutations of them.
+
+use edgelet_ml::grouping::GroupingQuery;
+use edgelet_ml::{AggKind, AggSpec};
+use edgelet_query::plan::build_plan;
+use edgelet_query::{PrivacyConfig, QueryKind, QueryPlan, QuerySpec, ResilienceConfig, Strategy};
+use edgelet_store::synth::health_schema;
+use edgelet_store::Predicate;
+use edgelet_tee::{DeviceClass, Directory};
+use edgelet_util::ids::{DeviceId, QueryId};
+use edgelet_util::rng::DetRng;
+
+/// A directory with `contributors` data contributors and `processors`
+/// volunteer processors.
+pub fn directory(contributors: u64, processors: u64) -> Directory {
+    let mut dir = Directory::new();
+    let mut rng = DetRng::new(91);
+    for i in 0..contributors + processors {
+        dir.enroll(
+            DeviceId::new(i),
+            DeviceClass::SgxPc,
+            i < contributors,
+            i >= contributors,
+            &mut rng,
+        );
+    }
+    dir
+}
+
+/// A Grouping-Sets spec over the synthetic health schema with two
+/// separable statistic columns (`bmi`, `systolic_bp`).
+pub fn grouping_spec(cardinality: usize, deadline_secs: f64) -> QuerySpec {
+    QuerySpec {
+        id: QueryId::new(7),
+        filter: Predicate::True,
+        snapshot_cardinality: cardinality,
+        kind: QueryKind::GroupingSets(GroupingQuery::new(
+            &[&["sex"], &[]],
+            vec![
+                AggSpec::count_star(),
+                AggSpec::over(AggKind::Avg, "bmi"),
+                AggSpec::over(AggKind::Avg, "systolic_bp"),
+            ],
+        )),
+        deadline_secs,
+    }
+}
+
+/// Builds a plan the way production code does.
+pub fn plan_with(
+    spec: &QuerySpec,
+    privacy: &PrivacyConfig,
+    resilience: &ResilienceConfig,
+) -> QueryPlan {
+    let dir = directory(4000, 400);
+    let mut rng = DetRng::new(13);
+    build_plan(
+        spec,
+        &health_schema(),
+        privacy,
+        resilience,
+        &dir,
+        DeviceId::new(0),
+        &mut rng,
+    )
+    .expect("fixture plan builds")
+}
+
+/// A well-formed Overcollection plan: C=600, cap=100 (n=6), one separated
+/// pair (2 vertical groups), p=0.15.
+pub fn good_plan() -> (QueryPlan, PrivacyConfig, ResilienceConfig) {
+    let spec = grouping_spec(600, 600.0);
+    let privacy = PrivacyConfig::none()
+        .with_max_tuples(100)
+        .separate("bmi", "systolic_bp");
+    let resilience = ResilienceConfig {
+        strategy: Strategy::Overcollection,
+        failure_probability: 0.15,
+        ..ResilienceConfig::default()
+    };
+    let plan = plan_with(&spec, &privacy, &resilience);
+    (plan, privacy, resilience)
+}

@@ -35,7 +35,10 @@ fn bench_aead(c: &mut Criterion) {
         b.iter(|| aead.seal(black_box(&nonce), &[], black_box(&plaintext)))
     });
     g.bench_function("open_4k", |b| {
-        b.iter(|| aead.open(black_box(&nonce), &[], black_box(&sealed)).unwrap())
+        b.iter(|| {
+            aead.open(black_box(&nonce), &[], black_box(&sealed))
+                .unwrap()
+        })
     });
     g.finish();
 }

@@ -23,7 +23,10 @@ fn bench_grouping(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels/grouping");
     g.throughput(Throughput::Elements(10_000));
     g.bench_function("compute_10k_rows", |b| {
-        b.iter(|| q.compute(black_box(store.schema()), black_box(store.rows())).unwrap())
+        b.iter(|| {
+            q.compute(black_box(store.schema()), black_box(store.rows()))
+                .unwrap()
+        })
     });
     let partial_a = q.compute(store.schema(), &store.rows()[..5_000]).unwrap();
     let partial_b = q.compute(store.schema(), &store.rows()[5_000..]).unwrap();
@@ -92,5 +95,10 @@ fn bench_feature_extraction(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_grouping, bench_kmeans, bench_feature_extraction);
+criterion_group!(
+    benches,
+    bench_grouping,
+    bench_kmeans,
+    bench_feature_extraction
+);
 criterion_main!(benches);

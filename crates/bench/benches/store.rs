@@ -9,8 +9,11 @@ use std::hint::black_box;
 fn bench_scans(c: &mut Criterion) {
     let mut rng = DetRng::new(1);
     let store = synth::health_store(100_000, &mut rng);
-    let pred = Predicate::cmp("age", CmpOp::Gt, Value::Int(65))
-        .and(Predicate::cmp("gir", CmpOp::Le, Value::Int(3)));
+    let pred = Predicate::cmp("age", CmpOp::Gt, Value::Int(65)).and(Predicate::cmp(
+        "gir",
+        CmpOp::Le,
+        Value::Int(3),
+    ));
     let mut g = c.benchmark_group("store");
     g.throughput(Throughput::Elements(100_000));
     g.bench_function("scan_filtered_100k", |b| {

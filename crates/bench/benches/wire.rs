@@ -33,11 +33,7 @@ fn bench_frame(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire/frame");
     g.throughput(Throughput::Bytes(wire.len() as u64));
     g.bench_function("to_wire_100_rows", |b| {
-        b.iter_batched(
-            || frame.clone(),
-            |f| f.to_wire(),
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| frame.clone(), |f| f.to_wire(), BatchSize::SmallInput)
     });
     g.bench_function("from_wire_100_rows", |b| {
         b.iter(|| Frame::from_wire(black_box(&wire)).unwrap())

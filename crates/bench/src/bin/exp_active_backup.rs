@@ -43,10 +43,7 @@ fn run(strategy: Strategy, kill_combiner: bool) -> (usize, bool, bool, f64) {
         id: QueryId::new(1),
         filter: Predicate::True,
         snapshot_cardinality: 200,
-        kind: QueryKind::GroupingSets(GroupingQuery::new(
-            &[&[]],
-            vec![AggSpec::count_star()],
-        )),
+        kind: QueryKind::GroupingSets(GroupingQuery::new(&[&[]], vec![AggSpec::count_star()])),
         deadline_secs: 600.0,
     };
     let plan = build_plan(

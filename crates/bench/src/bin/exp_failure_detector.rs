@@ -15,12 +15,7 @@ fn main() {
     let trials = 10;
     let mut table = Table::new(
         format!("E14 — Backup suspicion timeout sweep ({trials} trials/point, p = 0.2)"),
-        &[
-            "suspect timeout (s)",
-            "valid",
-            "mean msgs",
-            "mean t (s)",
-        ],
+        &["suspect timeout (s)", "valid", "mean msgs", "mean t (s)"],
     );
     for &timeout_s in &[2u64, 6, 15, 30] {
         let point = sweep(trials, |seed| {

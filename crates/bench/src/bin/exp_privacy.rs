@@ -67,9 +67,8 @@ fn main() {
         let exposure = edgelet_core::privacy::analyze_plan(&plan);
         for &k in &[1usize, 3] {
             let mut rng = DetRng::new(1000 + k as u64);
-            let sweep = edgelet_core::privacy::compromise_sweep(
-                &exposure, k, &pair, trials, &mut rng,
-            );
+            let sweep =
+                edgelet_core::privacy::compromise_sweep(&exposure, k, &pair, trials, &mut rng);
             table.row(&[
                 cap.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
                 separate.to_string(),

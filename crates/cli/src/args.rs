@@ -10,6 +10,13 @@ pub enum Command {
     Plan(QueryArgs),
     /// `edgelet run …`
     Run(QueryArgs),
+    /// `edgelet analyze …`
+    Analyze {
+        /// Scenario whose plan is analyzed.
+        query: QueryArgs,
+        /// Emit a JSON array instead of compiler-style text.
+        json: bool,
+    },
     /// `edgelet dataset --rows N [--seed S]`
     Dataset {
         /// Rows to generate.
@@ -78,11 +85,12 @@ edgelet — resilient, privacy-preserving queries on personal devices
 USAGE:
     edgelet plan  [OPTIONS]   inspect the QEP a configuration produces
     edgelet run   [OPTIONS]   execute on a simulated crowd
+    edgelet analyze [OPTIONS] statically check the plan; exits nonzero on errors
     edgelet dataset --rows N [--seed S]   print synthetic health data (CSV)
     edgelet experiments       list the figure-regeneration binaries
     edgelet help              this text
 
-OPTIONS (plan/run):
+OPTIONS (plan/run/analyze):
     --seed N            world seed                       [default: 7]
     --contributors N    data contributors                [default: 2000]
     --processors N      volunteer processors             [default: 150]
@@ -96,6 +104,8 @@ OPTIONS (plan/run):
     --crash-p F         injected processor crash rate    [default: 0]
     --kmeans K,H        K-Means with K clusters, H heartbeats
     --dot               print Graphviz DOT (plan only)
+    --format F          diagnostic output, human|json (analyze only)
+                                                         [default: human]
 ";
 
 /// Parses argv (without the program name).
@@ -112,61 +122,81 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             let seed = flag_parse(&flags, "seed", 7u64)?;
             Ok(Command::Dataset { rows, seed })
         }
-        "plan" | "run" => {
+        "plan" | "run" | "analyze" => {
             let flags = collect_flags(rest)?;
-            let mut q = QueryArgs {
-                seed: flag_parse(&flags, "seed", 7u64)?,
-                contributors: flag_parse(&flags, "contributors", 2_000usize)?,
-                processors: flag_parse(&flags, "processors", 150usize)?,
-                cardinality: flag_parse(&flags, "cardinality", 300usize)?,
-                failure_p: flag_parse(&flags, "failure-p", 0.1f64)?,
-                crash_p: flag_parse(&flags, "crash-p", 0.0f64)?,
-                ..QueryArgs::default()
-            };
-            if let Some(values) = flags.get("cap") {
-                let raw = single(values, "cap")?;
-                q.cap = if raw == "none" {
-                    None
-                } else {
-                    Some(parse_value(raw, "cap")?)
-                };
-            }
-            if let Some(values) = flags.get("strategy") {
-                let s = single(values, "strategy")?;
-                if !["overcollection", "backup", "naive"].contains(&s.as_str()) {
-                    return Err(Error::InvalidConfig(format!("unknown strategy `{s}`")));
+            let q = query_args(&flags)?;
+            match sub.as_str() {
+                "plan" => Ok(Command::Plan(q)),
+                "run" => Ok(Command::Run(q)),
+                _ => {
+                    let json = match flags.get("format") {
+                        None => false,
+                        Some(values) => match single(values, "format")?.as_str() {
+                            "json" => true,
+                            "human" => false,
+                            other => {
+                                return Err(Error::InvalidConfig(format!(
+                                    "--format expects json|human, got `{other}`"
+                                )))
+                            }
+                        },
+                    };
+                    Ok(Command::Analyze { query: q, json })
                 }
-                q.strategy = s.clone();
-            }
-            if let Some(values) = flags.get("network") {
-                q.network = single(values, "network")?.clone();
-            }
-            if let Some(values) = flags.get("separate") {
-                for v in values {
-                    let (a, b) = v.split_once(':').ok_or_else(|| {
-                        Error::InvalidConfig(format!("--separate expects a:b, got `{v}`"))
-                    })?;
-                    q.separate.push((a.to_string(), b.to_string()));
-                }
-            }
-            if let Some(values) = flags.get("kmeans") {
-                let v = single(values, "kmeans")?;
-                let (k, h) = v.split_once(',').ok_or_else(|| {
-                    Error::InvalidConfig(format!("--kmeans expects K,H, got `{v}`"))
-                })?;
-                q.kmeans = Some((parse_value(k, "kmeans K")?, parse_value(h, "kmeans H")?));
-            }
-            q.dot = flags.contains_key("dot");
-            if sub == "plan" {
-                Ok(Command::Plan(q))
-            } else {
-                Ok(Command::Run(q))
             }
         }
         other => Err(Error::InvalidConfig(format!(
             "unknown subcommand `{other}` (try `edgelet help`)"
         ))),
     }
+}
+
+/// Builds [`QueryArgs`] from the collected `plan`/`run`/`analyze` flags.
+fn query_args(flags: &BTreeMap<String, Vec<String>>) -> Result<QueryArgs> {
+    let mut q = QueryArgs {
+        seed: flag_parse(flags, "seed", 7u64)?,
+        contributors: flag_parse(flags, "contributors", 2_000usize)?,
+        processors: flag_parse(flags, "processors", 150usize)?,
+        cardinality: flag_parse(flags, "cardinality", 300usize)?,
+        failure_p: flag_parse(flags, "failure-p", 0.1f64)?,
+        crash_p: flag_parse(flags, "crash-p", 0.0f64)?,
+        ..QueryArgs::default()
+    };
+    if let Some(values) = flags.get("cap") {
+        let raw = single(values, "cap")?;
+        q.cap = if raw == "none" {
+            None
+        } else {
+            Some(parse_value(raw, "cap")?)
+        };
+    }
+    if let Some(values) = flags.get("strategy") {
+        let s = single(values, "strategy")?;
+        if !["overcollection", "backup", "naive"].contains(&s.as_str()) {
+            return Err(Error::InvalidConfig(format!("unknown strategy `{s}`")));
+        }
+        q.strategy = s.clone();
+    }
+    if let Some(values) = flags.get("network") {
+        q.network = single(values, "network")?.clone();
+    }
+    if let Some(values) = flags.get("separate") {
+        for v in values {
+            let (a, b) = v.split_once(':').ok_or_else(|| {
+                Error::InvalidConfig(format!("--separate expects a:b, got `{v}`"))
+            })?;
+            q.separate.push((a.to_string(), b.to_string()));
+        }
+    }
+    if let Some(values) = flags.get("kmeans") {
+        let v = single(values, "kmeans")?;
+        let (k, h) = v
+            .split_once(',')
+            .ok_or_else(|| Error::InvalidConfig(format!("--kmeans expects K,H, got `{v}`")))?;
+        q.kmeans = Some((parse_value(k, "kmeans K")?, parse_value(h, "kmeans H")?));
+    }
+    q.dot = flags.contains_key("dot");
+    Ok(q)
 }
 
 /// Collects `--flag value` and bare `--flag` pairs; flags may repeat.
@@ -189,9 +219,7 @@ fn collect_flags(args: &[String]) -> Result<BTreeMap<String, Vec<String>>> {
         let Some(value) = args.get(i + 1) else {
             return Err(Error::InvalidConfig(format!("--{name} needs a value")));
         };
-        out.entry(name.to_string())
-            .or_default()
-            .push(value.clone());
+        out.entry(name.to_string()).or_default().push(value.clone());
         i += 2;
     }
     Ok(out)
@@ -266,6 +294,22 @@ mod tests {
         assert_eq!(q.network, "oppnet:600,0.05");
         assert_eq!(q.crash_p, 0.2);
         assert_eq!(q.cap, None);
+    }
+
+    #[test]
+    fn analyze_with_format() {
+        let cmd = parse(&argv("analyze --cardinality 500 --format json")).unwrap();
+        let Command::Analyze { query, json } = cmd else {
+            panic!()
+        };
+        assert_eq!(query.cardinality, 500);
+        assert!(json);
+        let cmd = parse(&argv("analyze")).unwrap();
+        let Command::Analyze { json, .. } = cmd else {
+            panic!()
+        };
+        assert!(!json);
+        assert!(parse(&argv("analyze --format yaml")).is_err());
     }
 
     #[test]

@@ -10,13 +10,24 @@ use std::fmt::Write as _;
 
 /// Executes one parsed command, returning the output text.
 pub fn execute(cmd: Command) -> Result<String> {
-    match cmd {
-        Command::Help => Ok(USAGE.to_string()),
-        Command::Experiments => Ok(experiments_text()),
+    execute_with_status(cmd).map(|(text, _)| text)
+}
+
+/// Executes one parsed command, returning the output text and the process
+/// exit status the tool should use: nonzero when `analyze` found
+/// `Error`-severity diagnostics, zero otherwise.
+pub fn execute_with_status(cmd: Command) -> Result<(String, i32)> {
+    if let Command::Analyze { query, json } = cmd {
+        return analyze_command(&query, json);
+    }
+    let text = match cmd {
+        Command::Analyze { .. } => unreachable!("handled above"),
+        Command::Help => USAGE.to_string(),
+        Command::Experiments => experiments_text(),
         Command::Dataset { rows, seed } => {
             let mut rng = DetRng::new(seed);
             let store = synth::health_store(rows, &mut rng);
-            Ok(csv::to_csv(&store))
+            csv::to_csv(&store)
         }
         Command::Plan(q) => {
             let (platform, spec, privacy, resilience) = build_world(&q)?;
@@ -37,19 +48,43 @@ pub fn execute(cmd: Command) -> Result<String> {
                     let _ = writeln!(out, "warning: {w}");
                 }
             }
-            Ok(out)
+            out
         }
         Command::Run(q) => {
             let (mut platform, spec, privacy, resilience) = build_world(&q)?;
             let run = platform.run_query(&spec, &privacy, &resilience)?;
-            Ok(render_run(&run.plan, &run))
+            render_run(&run.plan, &run)
         }
-    }
+    };
+    Ok((text, 0))
 }
 
-fn build_world(
-    q: &QueryArgs,
-) -> Result<(Platform, QuerySpec, PrivacyConfig, ResilienceConfig)> {
+/// `edgelet analyze`: plans the configured query and runs every semantic
+/// pass over the result. Planner failures surface as an `E000` diagnostic
+/// rather than a hard error, so the output shape is uniform.
+fn analyze_command(q: &QueryArgs, json: bool) -> Result<(String, i32)> {
+    use edgelet_analyze::{analyze, AnalyzeOptions, Diagnostic};
+
+    let (platform, spec, privacy, resilience) = build_world(q)?;
+    let diagnostics = match platform.plan_query(&spec, &privacy, &resilience) {
+        Ok(plan) => analyze(&plan, &privacy, &resilience, &AnalyzeOptions::default()),
+        Err(e) => vec![Diagnostic::error(
+            edgelet_analyze::diagnostic::codes::PLANNING_FAILED,
+            "planner",
+            format!("no plan satisfies this configuration: {e}"),
+        )
+        .with_help("relax the cap, deadline, or resiliency target, or enroll more processors")],
+    };
+    let text = if json {
+        edgelet_analyze::render_json(&diagnostics)
+    } else {
+        edgelet_analyze::render_human(&diagnostics)
+    };
+    let status = i32::from(edgelet_analyze::has_errors(&diagnostics));
+    Ok((text, status))
+}
+
+fn build_world(q: &QueryArgs) -> Result<(Platform, QuerySpec, PrivacyConfig, ResilienceConfig)> {
     let network = parse_network(&q.network)?;
     let mut platform = Platform::build(PlatformConfig {
         seed: q.seed,
@@ -94,9 +129,7 @@ fn build_world(
         "overcollection" => Strategy::Overcollection,
         "backup" => Strategy::Backup,
         "naive" => Strategy::Naive,
-        other => {
-            return Err(Error::InvalidConfig(format!("unknown strategy `{other}`")))
-        }
+        other => return Err(Error::InvalidConfig(format!("unknown strategy `{other}`"))),
     };
     let resilience = ResilienceConfig {
         strategy,
@@ -126,12 +159,12 @@ fn parse_network(raw: &str) -> Result<NetworkProfile> {
                     ))
                 })?;
                 return Ok(NetworkProfile::Opportunistic {
-                    median_delay_secs: median.parse().map_err(|_| {
-                        Error::InvalidConfig(format!("bad median in `{raw}`"))
-                    })?,
-                    drop_probability: p.parse().map_err(|_| {
-                        Error::InvalidConfig(format!("bad loss in `{raw}`"))
-                    })?,
+                    median_delay_secs: median
+                        .parse()
+                        .map_err(|_| Error::InvalidConfig(format!("bad median in `{raw}`")))?,
+                    drop_probability: p
+                        .parse()
+                        .map_err(|_| Error::InvalidConfig(format!("bad loss in `{raw}`")))?,
                 });
             }
             Err(Error::InvalidConfig(format!("unknown network `{raw}`")))
@@ -159,7 +192,9 @@ fn render_run(plan: &QueryPlan, run: &edgelet_core::platform::RunResult) -> Stri
         "completed={} valid={} t={}s | partitions {}/{} complete | replica {} won",
         r.completed,
         r.valid,
-        r.completion_secs.map(|t| format!("{t:.2}")).unwrap_or_else(|| "-".into()),
+        r.completion_secs
+            .map(|t| format!("{t:.2}"))
+            .unwrap_or_else(|| "-".into()),
         r.partitions_complete,
         r.partitions_merged,
         r.winning_replica,
@@ -224,7 +259,10 @@ fn experiments_text() -> String {
         ("exp_minibatch", "E11: fixed partition vs resampling"),
         ("exp_retries", "E12: collection retry rounds"),
         ("exp_liability", "E13: crowd-liability spread"),
-        ("exp_failure_detector", "E14: Backup suspicion-timeout sweep"),
+        (
+            "exp_failure_detector",
+            "E14: Backup suspicion-timeout sweep",
+        ),
     ];
     let mut out = String::from("figure-regeneration binaries (run with --release):\n");
     for (name, desc) in rows {
@@ -270,9 +308,8 @@ mod tests {
 
     #[test]
     fn plan_renders_qep_and_cost() {
-        let text = run_cli_text(
-            "plan --contributors 800 --processors 120 --cardinality 200 --cap 50",
-        );
+        let text =
+            run_cli_text("plan --contributors 800 --processors 120 --cardinality 200 --cap 50");
         assert!(text.contains("QEP"), "{text}");
         assert!(text.contains("predicted cost"), "{text}");
         let dot = run_cli_text(
@@ -300,6 +337,46 @@ mod tests {
         );
         assert!(text.contains("centroids"), "{text}");
         assert!(text.contains("cluster 0"), "{text}");
+    }
+
+    fn run_cli_status(s: &str) -> (String, i32) {
+        execute_with_status(parse(&argv(s)).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn analyze_clean_configuration_exits_zero() {
+        let (text, status) = run_cli_status(
+            "analyze --contributors 1500 --processors 120 --cardinality 200 --cap 50",
+        );
+        assert_eq!(status, 0, "{text}");
+        assert!(text.contains("analysis: 0 errors"), "{text}");
+    }
+
+    #[test]
+    fn analyze_warns_on_naive_under_faults() {
+        let (text, status) = run_cli_status(
+            "analyze --contributors 1500 --processors 120 --cardinality 200 --cap 50 \
+             --strategy naive --failure-p 0.2",
+        );
+        assert_eq!(status, 0, "{text}");
+        assert!(text.contains("warning[W021]"), "{text}");
+    }
+
+    #[test]
+    fn analyze_unplannable_configuration_exits_nonzero() {
+        // A cap of 1 needs one partition per tuple: far more processors
+        // than the crowd has, so planning fails and E000 is reported.
+        let (text, status) =
+            run_cli_status("analyze --contributors 1500 --processors 20 --cardinality 200 --cap 1");
+        assert_eq!(status, 1, "{text}");
+        assert!(text.contains("E000"), "{text}");
+        let (json, status) = run_cli_status(
+            "analyze --contributors 1500 --processors 20 --cardinality 200 --cap 1 \
+             --format json",
+        );
+        assert_eq!(status, 1, "{json}");
+        assert!(json.contains("\"code\":\"E000\""), "{json}");
+        assert!(json.trim_start().starts_with('['), "{json}");
     }
 
     #[test]

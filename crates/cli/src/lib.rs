@@ -6,6 +6,8 @@
 //!   inspect the resulting QEP (and its predicted cost) without running;
 //! * `edgelet run …` — Part 2: execute on a simulated crowd and report
 //!   completion, validity, accuracy and liability;
+//! * `edgelet analyze …` — run the static plan/config analyzer and report
+//!   diagnostics (text or `--format json`), exiting nonzero on errors;
 //! * `edgelet dataset …` — emit the synthetic health data as CSV;
 //! * `edgelet experiments` — list the figure-regeneration binaries.
 //!
@@ -23,8 +25,14 @@ use edgelet_util::Result;
 /// Entry point: parses `argv` (without the program name) and executes.
 /// Returns the text to print on success.
 pub fn run_cli(argv: &[String]) -> Result<String> {
+    run_cli_with_status(argv).map(|(text, _)| text)
+}
+
+/// Like [`run_cli`], but also returns the process exit status the tool
+/// should use: nonzero when `analyze` found `Error`-severity diagnostics.
+pub fn run_cli_with_status(argv: &[String]) -> Result<(String, i32)> {
     let cmd = args::parse(argv)?;
-    commands::execute(cmd)
+    commands::execute_with_status(cmd)
 }
 
 pub use edgelet_core as core_api;

@@ -2,8 +2,11 @@
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match edgelet_cli::run_cli(&argv) {
-        Ok(text) => print!("{text}"),
+    match edgelet_cli::run_cli_with_status(&argv) {
+        Ok((text, status)) => {
+            print!("{text}");
+            std::process::exit(status);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("run `edgelet help` for usage");

@@ -161,10 +161,7 @@ mod tests {
 
     #[test]
     fn network_profiles_materialize() {
-        assert_eq!(
-            NetworkProfile::Reliable.to_model().drop_probability,
-            0.0
-        );
+        assert_eq!(NetworkProfile::Reliable.to_model().drop_probability, 0.0);
         let lossy = NetworkProfile::Lossy {
             drop_probability: 0.3,
         }

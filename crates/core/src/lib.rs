@@ -69,9 +69,7 @@ pub mod prelude {
     pub use crate::scenario::Scenario;
     pub use edgelet_exec::{ExecConfig, ExecutionReport, QueryOutcome};
     pub use edgelet_ml::{AggKind, AggSpec};
-    pub use edgelet_query::{
-        PrivacyConfig, QueryKind, QuerySpec, ResilienceConfig, Strategy,
-    };
+    pub use edgelet_query::{PrivacyConfig, QueryKind, QuerySpec, ResilienceConfig, Strategy};
     pub use edgelet_store::{CmpOp, Predicate, Value};
     pub use edgelet_tee::DeviceClass;
     pub use edgelet_util::ids::{DeviceId, QueryId};

@@ -171,8 +171,7 @@ impl Platform {
         privacy: &PrivacyConfig,
         resilience: &ResilienceConfig,
     ) -> Result<QueryPlan> {
-        let mut plan_rng = DetRng::new(self.config.seed)
-            .fork_indexed("plan", spec.id.raw());
+        let mut plan_rng = DetRng::new(self.config.seed).fork_indexed("plan", spec.id.raw());
         build_plan(
             spec,
             &self.schema,
@@ -260,10 +259,7 @@ impl Platform {
             };
             let dev = sim.add_device(DeviceConfig {
                 availability,
-                crash: CrashPlan::Bernoulli {
-                    p: crash_p,
-                    window,
-                },
+                crash: CrashPlan::Bernoulli { p: crash_p, window },
             });
             debug_assert_eq!(dev, entry.device, "device ids must match enrollment");
         }

@@ -82,8 +82,7 @@ mod tests {
     }
 
     fn rfc8439_setup() -> (ChaCha20Poly1305, [u8; 12], Vec<u8>, Vec<u8>) {
-        let key_bytes =
-            unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
+        let key_bytes = unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
         let mut key = [0u8; 32];
         key.copy_from_slice(&key_bytes);
         let nonce_bytes = unhex("070000004041424344454647");

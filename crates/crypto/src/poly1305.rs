@@ -245,8 +245,7 @@ mod tests {
     #[test]
     fn rfc8439_vector() {
         // RFC 8439 §2.5.2.
-        let key_bytes =
-            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+        let key_bytes = unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
         let mut key = [0u8; 32];
         key.copy_from_slice(&key_bytes);
         let tag = poly1305(&key, b"Cryptographic Forum Research Group");

@@ -140,19 +140,14 @@ impl Fe {
         let b3_19 = b[3] * 19;
         let b4_19 = b[4] * 19;
 
-        let mut t0 = m(a[0], b[0])
-            + m(a[1], b4_19)
-            + m(a[2], b3_19)
-            + m(a[3], b2_19)
-            + m(a[4], b1_19);
+        let mut t0 =
+            m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
         let mut t1 =
             m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
         let mut t2 =
             m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
-        let mut t3 =
-            m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
-        let mut t4 =
-            m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+        let mut t3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let mut t4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
 
         let mut out = [0u64; 5];
         let mut carry: u128;
@@ -329,8 +324,7 @@ mod tests {
 
     #[test]
     fn rfc7748_vector_1() {
-        let scalar =
-            unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let scalar = unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
         let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
         assert_eq!(
             hex(&x25519(&scalar, &u)),
@@ -340,8 +334,7 @@ mod tests {
 
     #[test]
     fn rfc7748_vector_2() {
-        let scalar =
-            unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let scalar = unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
         let u = unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
         assert_eq!(
             hex(&x25519(&scalar, &u)),

@@ -170,11 +170,7 @@ mod tests {
     #[test]
     fn run_kmeans_produces_k_clusters_and_aggregates() {
         let stores = stores(400);
-        let cols = vec![
-            "age".to_string(),
-            "bmi".to_string(),
-            "gir".to_string(),
-        ];
+        let cols = vec!["age".to_string(), "bmi".to_string(), "gir".to_string()];
         let rows = eligible_rows(&stores, &Predicate::True, &cols).unwrap();
         let mut rng = DetRng::new(5);
         let out = run_kmeans(

@@ -84,7 +84,9 @@ pub fn execute_plan(
     config: &ExecConfig,
     root_secret: [u8; 32],
 ) -> Result<ExecutionReport> {
-    edgelet_query::check_plan(plan)?;
+    // Deny-by-default static preflight: structure, liability, and
+    // deadline feasibility. Subsumes the older `check_plan` invariants.
+    edgelet_analyze::preflight(plan)?;
     let mut config = config.clone();
     config.query_deadline = Duration::from_secs_f64(plan.spec.deadline_secs);
     if matches!(plan.spec.kind, edgelet_query::QueryKind::KMeans { .. })
@@ -125,9 +127,9 @@ pub fn execute_plan(
     let all_contributors: BTreeSet<DeviceId> =
         plan.contributors.iter().flatten().copied().collect();
     for &dev in &all_contributors {
-        let store = stores.get(&dev).ok_or_else(|| {
-            Error::InvalidConfig(format!("no data store for contributor {dev}"))
-        })?;
+        let store = stores
+            .get(&dev)
+            .ok_or_else(|| Error::InvalidConfig(format!("no data store for contributor {dev}")))?;
         claim(dev, "contributor")?;
         sim.install_actor(
             dev,
@@ -359,7 +361,11 @@ pub fn execute_plan(
                 claim(op.device, "querier")?;
                 sim.install_actor(
                     op.device,
-                    Box::new(QuerierActor::new(query, sealer_for(op.device), record.clone())),
+                    Box::new(QuerierActor::new(
+                        query,
+                        sealer_for(op.device),
+                        record.clone(),
+                    )),
                 );
             }
         }
@@ -418,8 +424,7 @@ fn decode_outcome(
                 let table = sliced.finalize(partial);
                 let agg_indices = &plan.attr_group_aggregates[*g as usize];
                 for row in table.rows {
-                    let key_repr: Vec<String> =
-                        row.key.iter().map(|v| v.to_string()).collect();
+                    let key_repr: Vec<String> = row.key.iter().map(|v| v.to_string()).collect();
                     let entry = assembled
                         .entry((row.set_index, row.group_columns.clone(), key_repr))
                         .or_insert_with(|| vec![Value::Null; total_aggs]);
@@ -436,8 +441,7 @@ fn decode_outcome(
                 let sliced = &sliced_queries[*g as usize];
                 let table = sliced.finalize(partial);
                 for row in table.rows {
-                    let key_repr: Vec<String> =
-                        row.key.iter().map(|v| v.to_string()).collect();
+                    let key_repr: Vec<String> = row.key.iter().map(|v| v.to_string()).collect();
                     let map_key = (row.set_index, row.group_columns.clone(), key_repr);
                     if !seen.insert(map_key.clone()) {
                         continue;
@@ -586,7 +590,12 @@ mod tests {
         }
     }
 
-    fn run(world: &mut World, spec: &QuerySpec, privacy: PrivacyConfig, res: ResilienceConfig) -> ExecutionReport {
+    fn run(
+        world: &mut World,
+        spec: &QuerySpec,
+        privacy: PrivacyConfig,
+        res: ResilienceConfig,
+    ) -> ExecutionReport {
         let plan = build_plan(
             spec,
             &health_schema(),
@@ -677,8 +686,14 @@ mod tests {
         let total = table.rows.iter().find(|r| r.set_index == 1).unwrap();
         // All three aggregates present despite living on separate slices.
         assert_eq!(total.aggregates[0], Value::Int(300));
-        assert!(total.aggregates[1].as_f64().is_some(), "avg bmi from slice A");
-        assert!(total.aggregates[2].as_i64().is_some(), "max bp from slice B");
+        assert!(
+            total.aggregates[1].as_f64().is_some(),
+            "avg bmi from slice A"
+        );
+        assert!(
+            total.aggregates[2].as_i64().is_some(),
+            "max bp from slice B"
+        );
     }
 
     #[test]

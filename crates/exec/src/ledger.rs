@@ -102,7 +102,7 @@ impl Ledger {
         if xs.is_empty() {
             return 0.0;
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("tuple counts are finite"));
+        xs.sort_by(|a, b| a.total_cmp(b));
 
         let n = xs.len() as f64;
         let total: f64 = xs.iter().sum();

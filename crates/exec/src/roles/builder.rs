@@ -104,6 +104,7 @@ impl BuilderActor {
         let names: Vec<&str> = self.wiring.columns.iter().map(|s| s.as_str()).collect();
         self.schema
             .project(&names)
+            // lint: allow(E104 wiring columns are validated by the plan preflight)
             .expect("wiring columns validated at plan time")
     }
 
@@ -142,6 +143,7 @@ impl BuilderActor {
                 .iter()
                 .map(|r| {
                     r.project(&sub_schema, &names)
+                        // lint: allow(E104 slices are planned as subsets of the collected columns)
                         .expect("slice columns are a subset of collected columns")
                 })
                 .collect();
@@ -197,8 +199,7 @@ impl BuilderActor {
         let done = self.gate.is_active()
             && matches!(self.phase, Phase::Shipped)
             && self.pending_output.is_empty();
-        let past_deadline =
-            ctx.now().as_secs_f64() >= self.config.query_deadline.as_secs_f64();
+        let past_deadline = ctx.now().as_secs_f64() >= self.config.query_deadline.as_secs_f64();
         if self.gate.rank > 0 && !done && !past_deadline {
             self.ping_timer = Some(ctx.set_timer(self.config.ping_period));
         }
@@ -288,10 +289,10 @@ impl Actor for BuilderActor {
             };
             let bytes = self.sealer.wrap(&ping);
             ctx.broadcast(self.gate.lower.clone(), bytes);
-            if self
-                .gate
-                .evaluate(ctx.now().as_secs_f64(), self.config.suspect_timeout.as_secs_f64())
-            {
+            if self.gate.evaluate(
+                ctx.now().as_secs_f64(),
+                self.config.suspect_timeout.as_secs_f64(),
+            ) {
                 ctx.observe("backup_takeovers", 1.0);
                 self.flush_pending(ctx);
             }

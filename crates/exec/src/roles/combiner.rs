@@ -121,11 +121,7 @@ impl CombinerActor {
         if self.finalized {
             return;
         }
-        let complete_ready = self
-            .ready_partitions()
-            .iter()
-            .filter(|(_, c)| *c)
-            .count() as u64;
+        let complete_ready = self.ready_partitions().iter().filter(|(_, c)| *c).count() as u64;
         if complete_ready >= self.wiring.n {
             self.finalize(ctx);
         }
@@ -173,6 +169,7 @@ impl CombinerActor {
                     .iter()
                     .max_by_key(|(origin, count)| (**count, std::cmp::Reverse(**origin)))
                     .map(|(o, _)| *o)
+                    // lint: allow(E104 combine fires only once a quorum of partials arrived)
                     .expect("chosen non-empty");
                 let mut merged_centroids: Option<CentroidSet> = None;
                 let mut merged_clusters = GroupedPartial::default();
@@ -194,6 +191,7 @@ impl CombinerActor {
                 }
                 ctx.observe("kmeans_aligned_partitions", used as f64);
                 OutcomePayload::KMeans {
+                    // lint: allow(E104 the majority origin has at least one member by construction)
                     centroids: merged_centroids.expect("at least one aligned partition"),
                     per_cluster: merged_clusters,
                 }
@@ -217,10 +215,8 @@ impl CombinerActor {
     }
 
     fn arm_ping(&mut self, ctx: &mut Context<'_>) {
-        let done =
-            self.gate.is_active() && self.finalized && self.pending_output.is_none();
-        let past_deadline =
-            ctx.now().as_secs_f64() >= self.config.query_deadline.as_secs_f64();
+        let done = self.gate.is_active() && self.finalized && self.pending_output.is_none();
+        let past_deadline = ctx.now().as_secs_f64() >= self.config.query_deadline.as_secs_f64();
         if self.gate.rank > 0 && !done && !past_deadline {
             self.ping_timer = Some(ctx.set_timer(self.config.ping_period));
         }
@@ -307,10 +303,10 @@ impl Actor for CombinerActor {
             };
             let bytes = self.sealer.wrap(&ping);
             ctx.broadcast(self.gate.lower.clone(), bytes);
-            if self
-                .gate
-                .evaluate(ctx.now().as_secs_f64(), self.config.suspect_timeout.as_secs_f64())
-            {
+            if self.gate.evaluate(
+                ctx.now().as_secs_f64(),
+                self.config.suspect_timeout.as_secs_f64(),
+            ) {
                 ctx.observe("backup_takeovers", 1.0);
                 if let Some(bytes) = self.pending_output.take() {
                     ctx.send(self.wiring.querier, bytes);

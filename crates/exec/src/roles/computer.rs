@@ -108,8 +108,7 @@ impl GroupingComputerActor {
 
     fn arm_ping(&mut self, ctx: &mut Context<'_>) {
         let finished = self.gate.is_active() && self.done && self.pending_output.is_empty();
-        let past_deadline =
-            ctx.now().as_secs_f64() >= self.config.query_deadline.as_secs_f64();
+        let past_deadline = ctx.now().as_secs_f64() >= self.config.query_deadline.as_secs_f64();
         if self.gate.rank > 0 && !finished && !past_deadline {
             self.ping_timer = Some(ctx.set_timer(self.config.ping_period));
         }
@@ -180,10 +179,10 @@ impl Actor for GroupingComputerActor {
             };
             let bytes = self.sealer.wrap(&ping);
             ctx.broadcast(self.gate.lower.clone(), bytes);
-            if self
-                .gate
-                .evaluate(ctx.now().as_secs_f64(), self.config.suspect_timeout.as_secs_f64())
-            {
+            if self.gate.evaluate(
+                ctx.now().as_secs_f64(),
+                self.config.suspect_timeout.as_secs_f64(),
+            ) {
                 ctx.observe("backup_takeovers", 1.0);
                 for (target, bytes) in std::mem::take(&mut self.pending_output) {
                     ctx.send(target, bytes);

@@ -99,7 +99,9 @@ mod tests {
             ctx.send(self.target, bytes);
         }
         fn on_message(&mut self, _ctx: &mut Context<'_>, _from: DeviceId, payload: &[u8]) {
-            self.got.borrow_mut().push(self.sealer.unwrap(payload).unwrap());
+            self.got
+                .borrow_mut()
+                .push(self.sealer.unwrap(payload).unwrap());
         }
     }
 

@@ -108,9 +108,11 @@ impl KMeansComputerActor {
             return;
         }
         let mut seeds =
+            // lint: allow(E104 the points-empty case returns early two lines up)
             kmeans_pp_seed(&self.points, self.wiring.k, ctx.rng()).expect("points non-empty");
         // Keep k consistent across the crowd even on tiny partitions.
         while seeds.len() < self.wiring.k {
+            // lint: allow(E104 seeding always yields at least one centroid)
             let last = seeds.last().expect("at least one seed").clone();
             seeds.push(last);
         }
@@ -126,8 +128,8 @@ impl KMeansComputerActor {
         let batch: Vec<Point> = match self.config.minibatch_fraction {
             None => self.points.clone(),
             Some(f) => {
-                let size = ((self.points.len() as f64 * f).ceil() as usize)
-                    .clamp(1, self.points.len());
+                let size =
+                    ((self.points.len() as f64 * f).ceil() as usize).clamp(1, self.points.len());
                 ctx.rng()
                     .sample_indices(self.points.len(), size)
                     .into_iter()
@@ -169,6 +171,7 @@ impl KMeansComputerActor {
                 self.seed_origin = origin;
                 ctx.observe("seed_rebase", 1.0);
             } else if origin == self.seed_origin {
+                // lint: allow(E104 the km-is-none arm continues the loop above)
                 let km = self.km.as_mut().expect("checked above");
                 let mut mine = CentroidSet {
                     centroids: km.centroids.clone(),
@@ -304,8 +307,7 @@ impl Actor for KMeansComputerActor {
                 if let Some(sub_schema) = self.sub_schema() {
                     let feature_names: Vec<&str> =
                         self.wiring.features.iter().map(|s| s.as_str()).collect();
-                    if let Ok(points) = rows_to_points(&sub_schema, &self.rows, &feature_names)
-                    {
+                    if let Ok(points) = rows_to_points(&sub_schema, &self.rows, &feature_names) {
                         self.points = points;
                     }
                 }

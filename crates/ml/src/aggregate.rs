@@ -83,9 +83,7 @@ impl AggSpec {
                 let col = schema.column(c)?;
                 match k {
                     AggKind::Sum | AggKind::Avg | AggKind::Var | AggKind::StdDev => match col.ty {
-                        edgelet_store::ColumnType::Int | edgelet_store::ColumnType::Float => {
-                            Ok(())
-                        }
+                        edgelet_store::ColumnType::Int | edgelet_store::ColumnType::Float => Ok(()),
                         other => Err(Error::InvalidQuery(format!(
                             "{k}({c}) needs a numeric column, `{c}` is {other}"
                         ))),
@@ -168,10 +166,7 @@ impl AggSpec {
                     *count += 1;
                 }
             }
-            (
-                PartialAgg::Moments { sum, sum_sq, count },
-                AggKind::Var | AggKind::StdDev,
-            ) => {
+            (PartialAgg::Moments { sum, sum_sq, count }, AggKind::Var | AggKind::StdDev) => {
                 if let Some(x) = cell.and_then(|v| v.as_f64()) {
                     *sum += x;
                     *sum_sq += x * x;
@@ -259,8 +254,14 @@ impl PartialAgg {
                 }
             }
             (
-                PartialAgg::Avg { sum: a_s, count: a_c },
-                PartialAgg::Avg { sum: b_s, count: b_c },
+                PartialAgg::Avg {
+                    sum: a_s,
+                    count: a_c,
+                },
+                PartialAgg::Avg {
+                    sum: b_s,
+                    count: b_c,
+                },
             ) => {
                 *a_s += b_s;
                 *a_c += b_c;
@@ -295,9 +296,7 @@ impl PartialAgg {
         match self {
             PartialAgg::Count(n) => Value::Int(*n as i64),
             PartialAgg::Sum(s) => Value::Float(*s),
-            PartialAgg::Min(v) | PartialAgg::Max(v) => {
-                v.clone().unwrap_or(Value::Null)
-            }
+            PartialAgg::Min(v) | PartialAgg::Max(v) => v.clone().unwrap_or(Value::Null),
             PartialAgg::Avg { sum, count } => {
                 if *count == 0 {
                     Value::Null
@@ -512,16 +511,18 @@ mod tests {
         AggSpec::over(AggKind::Avg, "bmi").validate(&s).unwrap();
         assert!(AggSpec::over(AggKind::Sum, "nope").validate(&s).is_err());
         let text_schema = Schema::new(vec![("name", ColumnType::Text)]).unwrap();
-        assert!(AggSpec::over(AggKind::Sum, "name").validate(&text_schema).is_err());
-        AggSpec::over(AggKind::Min, "name").validate(&text_schema).unwrap();
-        assert!(
-            AggSpec {
-                kind: AggKind::Sum,
-                column: None
-            }
-            .validate(&s)
-            .is_err()
-        );
+        assert!(AggSpec::over(AggKind::Sum, "name")
+            .validate(&text_schema)
+            .is_err());
+        AggSpec::over(AggKind::Min, "name")
+            .validate(&text_schema)
+            .unwrap();
+        assert!(AggSpec {
+            kind: AggKind::Sum,
+            column: None
+        }
+        .validate(&s)
+        .is_err());
     }
 
     #[test]
@@ -588,7 +589,10 @@ mod tests {
             PartialAgg::Sum(-1.5),
             PartialAgg::Min(Some(Value::Int(3))),
             PartialAgg::Max(None),
-            PartialAgg::Avg { sum: 10.0, count: 4 },
+            PartialAgg::Avg {
+                sum: 10.0,
+                count: 4,
+            },
             PartialAgg::Moments {
                 sum: 3.0,
                 sum_sq: 5.0,

@@ -156,8 +156,10 @@ mod tests {
     #[test]
     fn merge_all_equals_pairwise() {
         let base = CentroidSet::new(vec![vec![0.0]], vec![1.0]).unwrap();
-        let peers = [CentroidSet::new(vec![vec![10.0]], vec![1.0]).unwrap(),
-            CentroidSet::new(vec![vec![20.0]], vec![2.0]).unwrap()];
+        let peers = [
+            CentroidSet::new(vec![vec![10.0]], vec![1.0]).unwrap(),
+            CentroidSet::new(vec![vec![20.0]], vec![2.0]).unwrap(),
+        ];
         let merged = CentroidSet::merge_all(base, peers.iter()).unwrap();
         // (0*1 + 10*1)/2 = 5; (5*2 + 20*2)/4 = 12.5
         assert_eq!(merged.centroids[0], vec![12.5]);
@@ -166,11 +168,7 @@ mod tests {
 
     #[test]
     fn wire_roundtrip() {
-        let s = CentroidSet::new(
-            vec![vec![1.5, -2.0], vec![0.0, 3.25]],
-            vec![10.0, 0.0],
-        )
-        .unwrap();
+        let s = CentroidSet::new(vec![vec![1.5, -2.0], vec![0.0, 3.25]], vec![10.0, 0.0]).unwrap();
         let back: CentroidSet = from_bytes(&to_bytes(&s)).unwrap();
         assert_eq!(back, s);
         // Corrupt arity fails decode.

@@ -11,7 +11,10 @@ pub fn gaussian_mixture(
     n: usize,
     rng: &mut DetRng,
 ) -> (Vec<Point>, Vec<usize>) {
-    assert!(!components.is_empty(), "mixture needs at least one component");
+    assert!(
+        !components.is_empty(),
+        "mixture needs at least one component"
+    );
     let mut points = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
     for _ in 0..n {

@@ -438,7 +438,12 @@ mod tests {
         let t = q.finalize(&q.compute(store.schema(), store.rows()).unwrap());
         let var = t.rows[0].aggregates[0].as_f64().unwrap();
         let sd = t.rows[0].aggregates[1].as_f64().unwrap();
-        assert!((sd * sd - var).abs() < 1e-9, "sd^2 {} != var {}", sd * sd, var);
+        assert!(
+            (sd * sd - var).abs() < 1e-9,
+            "sd^2 {} != var {}",
+            sd * sd,
+            var
+        );
         assert!(var > 0.0);
     }
 
@@ -491,9 +496,7 @@ mod tests {
         let store = synth::health_store(200, &mut rng);
         let q = demo_query();
         let full = q.finalize(&q.compute(store.schema(), store.rows()).unwrap());
-        let half = q.finalize(
-            &q.compute(store.schema(), &store.rows()[..100]).unwrap(),
-        );
+        let half = q.finalize(&q.compute(store.schema(), &store.rows()[..100]).unwrap());
         let err = half.max_relative_error(&full);
         assert!(err > 0.0, "half the data must show an error");
         assert_eq!(full.max_relative_error(&full), 0.0);

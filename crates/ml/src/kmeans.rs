@@ -67,7 +67,9 @@ pub fn inertia(centroids: &[Point], points: &[Point]) -> f64 {
 /// k-means++ seeding (Arthur & Vassilvitskii).
 pub fn kmeans_pp_seed(points: &[Point], k: usize, rng: &mut DetRng) -> Result<Vec<Point>> {
     if points.is_empty() {
-        return Err(Error::InvalidConfig("cannot seed k-means on no points".into()));
+        return Err(Error::InvalidConfig(
+            "cannot seed k-means on no points".into(),
+        ));
     }
     if k == 0 {
         return Err(Error::InvalidConfig("k must be positive".into()));
@@ -75,10 +77,7 @@ pub fn kmeans_pp_seed(points: &[Point], k: usize, rng: &mut DetRng) -> Result<Ve
     let k = k.min(points.len());
     let mut centroids: Vec<Point> = Vec::with_capacity(k);
     centroids.push(points[rng.range(0..points.len())].clone());
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| dist2(p, &centroids[0]))
-        .collect();
+    let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
@@ -229,17 +228,17 @@ mod tests {
             assert_eq!(seeds.len(), 3);
             let mut blob_hits = [false; 3];
             for s in &seeds {
-                let blob = nearest(
-                    &[vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0]],
-                    s,
-                );
+                let blob = nearest(&[vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0]], s);
                 blob_hits[blob] = true;
             }
             if blob_hits.iter().all(|&h| h) {
                 covered += 1;
             }
         }
-        assert!(covered >= 15, "only {covered}/20 seedings covered all blobs");
+        assert!(
+            covered >= 15,
+            "only {covered}/20 seedings covered all blobs"
+        );
     }
 
     #[test]

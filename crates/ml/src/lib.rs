@@ -27,5 +27,5 @@ pub mod metrics;
 
 pub use aggregate::{AggKind, AggSpec, PartialAgg};
 pub use distributed::CentroidSet;
-pub use grouping::{GroupingQuery, GroupedPartial, ResultTable};
+pub use grouping::{GroupedPartial, GroupingQuery, ResultTable};
 pub use kmeans::{KMeans, KMeansConfig};

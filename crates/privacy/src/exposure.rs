@@ -81,12 +81,7 @@ impl PlanExposure {
 pub fn analyze_plan(plan: &QueryPlan) -> PlanExposure {
     let mut per_device: BTreeMap<DeviceId, DeviceExposure> = BTreeMap::new();
     let quota = plan.partition_quota as u64;
-    let all_columns: BTreeSet<String> = plan
-        .attr_groups
-        .iter()
-        .flatten()
-        .cloned()
-        .collect();
+    let all_columns: BTreeSet<String> = plan.attr_groups.iter().flatten().cloned().collect();
 
     for op in &plan.operators {
         let (columns, raw): (BTreeSet<String>, u64) = match &op.role {
@@ -174,10 +169,7 @@ mod tests {
         assert_eq!(loose.max_raw_tuples(), 1000);
         assert_eq!(loose.max_snapshot_fraction(), 1.0);
 
-        let tight = analyze_plan(&make_plan(
-            PrivacyConfig::none().with_max_tuples(100),
-            1000,
-        ));
+        let tight = analyze_plan(&make_plan(PrivacyConfig::none().with_max_tuples(100), 1000));
         assert_eq!(tight.max_raw_tuples(), 100);
         assert!((tight.max_snapshot_fraction() - 0.1).abs() < 1e-12);
     }

@@ -129,10 +129,7 @@ mod tests {
             id: QueryId::new(1),
             filter: Predicate::True,
             snapshot_cardinality: 300,
-            kind: QueryKind::GroupingSets(GroupingQuery::new(
-                &[&[]],
-                vec![AggSpec::count_star()],
-            )),
+            kind: QueryKind::GroupingSets(GroupingQuery::new(&[&[]], vec![AggSpec::count_star()])),
             deadline_secs: 600.0,
         };
         build_plan(

@@ -513,7 +513,13 @@ mod tests {
         let mut rng = DetRng::new(77);
         let mut id = 0u64;
         for _ in 0..contributors {
-            dir.enroll(DeviceId::new(id), DeviceClass::TpmHomeBox, true, false, &mut rng);
+            dir.enroll(
+                DeviceId::new(id),
+                DeviceClass::TpmHomeBox,
+                true,
+                false,
+                &mut rng,
+            );
             id += 1;
         }
         for _ in 0..processors {
@@ -593,8 +599,7 @@ mod tests {
         assert_eq!(plan.m, 0);
         assert_eq!(plan.partition_quota, 500);
         assert_eq!(plan.attr_groups.len(), 2);
-        let builders =
-            plan.operators_where(|r| matches!(r, OperatorRole::SnapshotBuilder { .. }));
+        let builders = plan.operators_where(|r| matches!(r, OperatorRole::SnapshotBuilder { .. }));
         assert_eq!(builders.len(), 4);
         let computers = plan.operators_where(|r| matches!(r, OperatorRole::Computer { .. }));
         assert_eq!(computers.len(), 8);
@@ -621,8 +626,7 @@ mod tests {
         assert!(plan.m >= 2, "p=0.2 must force overcollection, m={}", plan.m);
         assert_eq!(plan.total_partitions(), plan.n + plan.m);
         assert!(plan.combiners().len() >= 2, "active backup present");
-        let builders =
-            plan.operators_where(|r| matches!(r, OperatorRole::SnapshotBuilder { .. }));
+        let builders = plan.operators_where(|r| matches!(r, OperatorRole::SnapshotBuilder { .. }));
         assert_eq!(builders.len() as u64, plan.total_partitions());
         // Contributors are spread over all n+m partitions.
         assert_eq!(plan.contributors.len() as u64, plan.total_partitions());

@@ -144,7 +144,12 @@ mod tests {
     fn context_collects_commands() {
         let mut rng = DetRng::new(1);
         let mut next = 0u64;
-        let mut ctx = Context::new(DeviceId::new(1), SimTime::from_micros(10), &mut rng, &mut next);
+        let mut ctx = Context::new(
+            DeviceId::new(1),
+            SimTime::from_micros(10),
+            &mut rng,
+            &mut next,
+        );
         assert_eq!(ctx.device(), DeviceId::new(1));
         assert_eq!(ctx.now(), SimTime::from_micros(10));
         ctx.send(DeviceId::new(2), vec![1, 2]);

@@ -9,7 +9,7 @@ use crate::trace::{Trace, TraceEvent};
 use edgelet_util::ids::DeviceId;
 use edgelet_util::rng::DetRng;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Global simulation parameters.
 #[derive(Debug, Clone)]
@@ -103,7 +103,7 @@ struct DeviceState {
     rng: DetRng,
     churn_rng: DetRng,
     next_timer: u64,
-    cancelled: HashSet<TimerToken>,
+    cancelled: BTreeSet<TimerToken>,
     availability: Availability,
     /// Messages waiting for this (down) sender to reconnect.
     outbox: Vec<(DeviceId, Vec<u8>, SimTime)>,
@@ -160,7 +160,7 @@ impl Simulation {
             actor: None,
             rng: self.root_rng.fork_indexed("device", id.raw()),
             next_timer: 0,
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             availability: cfg.availability.clone(),
             outbox: Vec::new(),
             inbox: Vec::new(),
@@ -185,7 +185,10 @@ impl Simulation {
     /// virtual time (once the simulation is stepped).
     pub fn install_actor(&mut self, device: DeviceId, actor: Box<dyn Actor>) {
         let state = &mut self.devices[device.index()];
-        assert!(state.actor.is_none(), "device {device} already has an actor");
+        assert!(
+            state.actor.is_none(),
+            "device {device} already has an actor"
+        );
         state.actor = Some(actor);
         self.push(self.now, EventKind::Start(device));
     }
@@ -236,20 +239,20 @@ impl Simulation {
     /// Runs until the queue empties or virtual time would exceed
     /// `deadline`. Returns `true` if events remain (deadline hit first).
     pub fn run_until(&mut self, deadline: SimTime) -> bool {
-        while let Some(ev) = self.heap.peek() {
+        while let Some(at) = self.heap.peek().map(|ev| ev.at) {
             // Quiescence: churn toggles alone cannot create new work, so
             // stop once no protocol events or parked messages remain.
             if self.real_pending == 0 && self.parked == 0 {
                 break;
             }
-            if ev.at > deadline {
+            if at > deadline {
                 self.now = deadline;
                 return true;
             }
             if self.metrics.events_processed >= self.config.max_events {
                 return true;
             }
-            let ev = self.heap.pop().expect("peeked event");
+            let Some(ev) = self.heap.pop() else { break };
             if !matches!(ev.kind, EventKind::ChurnToggle(_)) {
                 self.real_pending -= 1;
             }
@@ -298,7 +301,13 @@ impl Simulation {
         }
     }
 
-    fn handle_delivery(&mut self, to: DeviceId, from: DeviceId, payload: Vec<u8>, sent_at: SimTime) {
+    fn handle_delivery(
+        &mut self,
+        to: DeviceId,
+        from: DeviceId,
+        payload: Vec<u8>,
+        sent_at: SimTime,
+    ) {
         let state = &mut self.devices[to.index()];
         if state.crashed {
             self.metrics.messages_to_crashed += 1;
@@ -317,7 +326,8 @@ impl Simulation {
         let delay = self.now.since(sent_at).as_secs_f64();
         self.metrics.messages_delivered += 1;
         self.metrics.delivery_delay.push(delay);
-        self.trace.record(self.now, TraceEvent::Delivered { from, to });
+        self.trace
+            .record(self.now, TraceEvent::Delivered { from, to });
         self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, &payload));
     }
 
@@ -464,7 +474,8 @@ impl Simulation {
         match self.config.network.fate(&mut self.net_rng) {
             Fate::Dropped => {
                 self.metrics.messages_dropped += 1;
-                self.trace.record(self.now, TraceEvent::Dropped { from, to });
+                self.trace
+                    .record(self.now, TraceEvent::Dropped { from, to });
                 return;
             }
             Fate::Corrupted(offset) => {
@@ -642,7 +653,7 @@ mod tests {
         let m = sim.metrics();
         assert!(m.messages_dropped > 0);
         assert_eq!(m.messages_sent, 1000 + m.messages_sent - 1000); // sanity
-        // Roughly 25% of pings should produce replies (0.5 * 0.5).
+                                                                    // Roughly 25% of pings should produce replies (0.5 * 0.5).
         let r = *replies.borrow() as f64 / 1000.0;
         assert!((r - 0.25).abs() < 0.05, "reply rate {r}");
     }

@@ -143,7 +143,10 @@ mod tests {
         assert_eq!(Duration::from_secs_f64(0.5).as_micros(), 500_000);
         assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
         assert!((SimTime::from_micros(1_500_000).as_secs_f64() - 1.5).abs() < 1e-12);
-        assert_eq!(Duration::from_secs(3).mul_f64(0.5), Duration::from_secs_f64(1.5));
+        assert_eq!(
+            Duration::from_secs(3).mul_f64(0.5),
+            Duration::from_secs_f64(1.5)
+        );
     }
 
     #[test]

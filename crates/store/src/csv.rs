@@ -39,11 +39,7 @@ pub fn from_csv(schema: &Schema, text: &str) -> Result<DataStore> {
     }
     let header = records.remove(0);
     let expected: Vec<&str> = schema.names();
-    if header.len() != expected.len()
-        || header
-            .iter()
-            .zip(&expected)
-            .any(|(h, e)| h.as_str() != *e)
+    if header.len() != expected.len() || header.iter().zip(&expected).any(|(h, e)| h.as_str() != *e)
     {
         return Err(Error::Schema(format!(
             "CSV header {header:?} does not match schema {expected:?}"
@@ -208,8 +204,8 @@ mod tests {
 
     #[test]
     fn quoting_and_nulls() {
-        let schema = Schema::new(vec![("name", ColumnType::Text), ("age", ColumnType::Int)])
-            .unwrap();
+        let schema =
+            Schema::new(vec![("name", ColumnType::Text), ("age", ColumnType::Int)]).unwrap();
         let mut store = DataStore::new(schema.clone());
         store
             .insert(Row::new(vec![
@@ -238,8 +234,7 @@ mod tests {
 
     #[test]
     fn bad_cells_rejected_with_context() {
-        let schema = Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Bool)])
-            .unwrap();
+        let schema = Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Bool)]).unwrap();
         let err = from_csv(&schema, "a,b\nxx,true\n").unwrap_err();
         assert!(err.to_string().contains("column `a`"), "{err}");
         let err = from_csv(&schema, "a,b\n1,maybe\n").unwrap_err();

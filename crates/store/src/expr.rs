@@ -141,9 +141,9 @@ impl Predicate {
             Predicate::True => Ok(true),
             Predicate::Cmp { column, op, value } => {
                 let idx = schema.index_of(column)?;
-                let cell = row.get(idx).ok_or_else(|| {
-                    Error::Schema(format!("row too short for column `{column}`"))
-                })?;
+                let cell = row
+                    .get(idx)
+                    .ok_or_else(|| Error::Schema(format!("row too short for column `{column}`")))?;
                 Ok(cell.compare(value).map(|o| op.test(o)).unwrap_or(false))
             }
             Predicate::And(a, b) => Ok(a.eval(schema, row)? && b.eval(schema, row)?),
@@ -151,12 +151,12 @@ impl Predicate {
             Predicate::Not(p) => Ok(!p.eval(schema, row)?),
             Predicate::InList { column, values } => {
                 let idx = schema.index_of(column)?;
-                let cell = row.get(idx).ok_or_else(|| {
-                    Error::Schema(format!("row too short for column `{column}`"))
-                })?;
-                Ok(values.iter().any(|v| {
-                    matches!(cell.compare(v), Some(std::cmp::Ordering::Equal))
-                }))
+                let cell = row
+                    .get(idx)
+                    .ok_or_else(|| Error::Schema(format!("row too short for column `{column}`")))?;
+                Ok(values
+                    .iter()
+                    .any(|v| matches!(cell.compare(v), Some(std::cmp::Ordering::Equal))))
             }
         }
     }
@@ -261,9 +261,7 @@ impl Decode for Predicate {
                     3 => CmpOp::Le,
                     4 => CmpOp::Gt,
                     5 => CmpOp::Ge,
-                    other => {
-                        return Err(Error::Decode(format!("invalid cmp op tag {other}")))
-                    }
+                    other => return Err(Error::Decode(format!("invalid cmp op tag {other}"))),
                 };
                 let value = Value::decode(r)?;
                 Ok(Predicate::Cmp { column, op, value })
@@ -357,8 +355,11 @@ mod tests {
     #[test]
     fn validation_and_referenced_columns() {
         let s = schema();
-        let p = Predicate::cmp("age", CmpOp::Gt, Value::Int(65))
-            .and(Predicate::cmp("sex", CmpOp::Eq, Value::Text("F".into())));
+        let p = Predicate::cmp("age", CmpOp::Gt, Value::Int(65)).and(Predicate::cmp(
+            "sex",
+            CmpOp::Eq,
+            Value::Text("F".into()),
+        ));
         p.validate(&s).unwrap();
         assert_eq!(p.referenced_columns(), vec!["age", "sex"]);
         let bad = Predicate::cmp("height", CmpOp::Gt, Value::Int(0));
@@ -371,27 +372,35 @@ mod tests {
     fn in_list_semantics() {
         let s = schema();
         let r = row(70, 3, "F");
-        assert!(Predicate::in_list("gir", vec![Value::Int(1), Value::Int(3)])
-            .eval(&s, &r)
-            .unwrap());
-        assert!(!Predicate::in_list("gir", vec![Value::Int(1), Value::Int(2)])
-            .eval(&s, &r)
-            .unwrap());
+        assert!(
+            Predicate::in_list("gir", vec![Value::Int(1), Value::Int(3)])
+                .eval(&s, &r)
+                .unwrap()
+        );
+        assert!(
+            !Predicate::in_list("gir", vec![Value::Int(1), Value::Int(2)])
+                .eval(&s, &r)
+                .unwrap()
+        );
         // Empty list matches nothing; type coercion applies (3 == 3.0).
         assert!(!Predicate::in_list("gir", vec![]).eval(&s, &r).unwrap());
         assert!(Predicate::in_list("gir", vec![Value::Float(3.0)])
             .eval(&s, &r)
             .unwrap());
         // Text membership.
-        assert!(
-            Predicate::in_list("sex", vec![Value::Text("F".into()), Value::Text("X".into())])
-                .eval(&s, &r)
-                .unwrap()
-        );
+        assert!(Predicate::in_list(
+            "sex",
+            vec![Value::Text("F".into()), Value::Text("X".into())]
+        )
+        .eval(&s, &r)
+        .unwrap());
         // Unknown column errors; referenced columns include it.
         assert!(Predicate::in_list("zzz", vec![]).validate(&s).is_err());
-        let p = Predicate::in_list("gir", vec![Value::Int(1)])
-            .and(Predicate::cmp("age", CmpOp::Gt, Value::Int(65)));
+        let p = Predicate::in_list("gir", vec![Value::Int(1)]).and(Predicate::cmp(
+            "age",
+            CmpOp::Gt,
+            Value::Int(65),
+        ));
         assert_eq!(p.referenced_columns(), vec!["age", "gir"]);
         assert_eq!(
             Predicate::in_list("gir", vec![Value::Int(1), Value::Int(2)]).to_string(),
@@ -404,15 +413,21 @@ mod tests {
         let p = Predicate::cmp("age", CmpOp::Ge, Value::Int(65))
             .and(Predicate::cmp("sex", CmpOp::Eq, Value::Text("F".into())))
             .or(Predicate::cmp("gir", CmpOp::Lt, Value::Int(3)).not())
-            .and(Predicate::in_list("gir", vec![Value::Int(1), Value::Int(2)]));
+            .and(Predicate::in_list(
+                "gir",
+                vec![Value::Int(1), Value::Int(2)],
+            ));
         let back: Predicate = from_bytes(&to_bytes(&p)).unwrap();
         assert_eq!(back, p);
     }
 
     #[test]
     fn display() {
-        let p = Predicate::cmp("age", CmpOp::Gt, Value::Int(65))
-            .and(Predicate::cmp("gir", CmpOp::Le, Value::Int(2)));
+        let p = Predicate::cmp("age", CmpOp::Gt, Value::Int(65)).and(Predicate::cmp(
+            "gir",
+            CmpOp::Le,
+            Value::Int(2),
+        ));
         assert_eq!(p.to_string(), "(age > 65 AND gir <= 2)");
     }
 }

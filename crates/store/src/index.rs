@@ -36,11 +36,8 @@ impl SortedIndex {
                 (!v.is_null()).then_some((v, i))
             })
             .collect();
-        entries.sort_by(|(a, ai), (b, bi)| {
-            a.compare(b)
-                .unwrap_or(Ordering::Equal)
-                .then(ai.cmp(bi))
-        });
+        entries
+            .sort_by(|(a, ai), (b, bi)| a.compare(b).unwrap_or(Ordering::Equal).then(ai.cmp(bi)));
         // Mixed-type columns cannot be totally ordered; reject them.
         for w in entries.windows(2) {
             if w[0].0.compare(&w[1].0).is_none() {
@@ -106,12 +103,7 @@ impl SortedIndex {
     }
 
     /// Materializes the rows for a lookup, in key order.
-    pub fn lookup_rows(
-        &self,
-        store: &DataStore,
-        op: CmpOp,
-        value: &Value,
-    ) -> Result<Vec<Row>> {
+    pub fn lookup_rows(&self, store: &DataStore, op: CmpOp, value: &Value) -> Result<Vec<Row>> {
         let ids = self.lookup(op, value)?;
         Ok(ids
             .into_iter()
@@ -170,9 +162,7 @@ mod tests {
         assert_eq!(idx.len(), 500);
         for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
             let via_index = idx.lookup_rows(&s, op, &Value::Int(65)).unwrap().len();
-            let via_scan = s
-                .count(&Predicate::cmp("age", op, Value::Int(65)))
-                .unwrap();
+            let via_scan = s.count(&Predicate::cmp("age", op, Value::Int(65))).unwrap();
             assert_eq!(via_index, via_scan, "op {op}");
         }
         assert!(idx.lookup(CmpOp::Ne, &Value::Int(65)).is_err());
@@ -189,7 +179,10 @@ mod tests {
         assert_eq!(idx.min_key(), Some(&Value::Int(1)));
         assert_eq!(idx.max_key(), Some(&Value::Int(9)));
         // [3, 7): keys 3, 3, 5.
-        let ids = idx.range(Bound::Included(&Value::Int(3)), Bound::Excluded(&Value::Int(7)));
+        let ids = idx.range(
+            Bound::Included(&Value::Int(3)),
+            Bound::Excluded(&Value::Int(7)),
+        );
         assert_eq!(ids.len(), 3);
         // Empty range.
         assert!(idx
@@ -221,10 +214,7 @@ mod tests {
         let rows = idx
             .lookup_rows(&s, CmpOp::Ge, &Value::Text("b".into()))
             .unwrap();
-        let names: Vec<String> = rows
-            .iter()
-            .map(|r| r.values()[0].to_string())
-            .collect();
+        let names: Vec<String> = rows.iter().map(|r| r.values()[0].to_string()).collect();
         assert_eq!(names, vec!["bob", "carol"]);
     }
 

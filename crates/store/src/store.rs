@@ -160,8 +160,8 @@ mod tests {
     use proptest::prelude::*;
 
     fn store_with(n: i64) -> DataStore {
-        let schema = Schema::new(vec![("age", ColumnType::Int), ("bmi", ColumnType::Float)])
-            .unwrap();
+        let schema =
+            Schema::new(vec![("age", ColumnType::Int), ("bmi", ColumnType::Float)]).unwrap();
         let mut s = DataStore::new(schema);
         for i in 0..n {
             s.insert(Row::new(vec![
@@ -181,7 +181,8 @@ mod tests {
             .insert(Row::new(vec![Value::Text("x".into()), Value::Float(1.0)]))
             .is_err());
         assert!(s.insert(Row::new(vec![Value::Int(1)])).is_err());
-        s.insert(Row::new(vec![Value::Int(1), Value::Null])).unwrap();
+        s.insert(Row::new(vec![Value::Int(1), Value::Null]))
+            .unwrap();
         assert_eq!(s.len(), 1);
     }
 
@@ -220,7 +221,13 @@ mod tests {
             assert!(r.values()[0].as_i64().unwrap() < 500);
         }
         // Requesting more than available returns all matching.
-        let small = s.sample(&Predicate::cmp("age", CmpOp::Lt, Value::Int(5)), 50, &mut rng).unwrap();
+        let small = s
+            .sample(
+                &Predicate::cmp("age", CmpOp::Lt, Value::Int(5)),
+                50,
+                &mut rng,
+            )
+            .unwrap();
         assert_eq!(small.len(), 5);
         assert!(s.sample(&p, 0, &mut rng).unwrap().is_empty());
     }

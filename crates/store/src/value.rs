@@ -103,9 +103,7 @@ impl Value {
             Value::Int(i) => Ok(GroupKeyPart::Int(*i)),
             Value::Text(t) => Ok(GroupKeyPart::Text(t.clone())),
             Value::Bool(b) => Ok(GroupKeyPart::Bool(*b)),
-            Value::Float(_) => Err(Error::InvalidQuery(
-                "cannot group by a float column".into(),
-            )),
+            Value::Float(_) => Err(Error::InvalidQuery("cannot group by a float column".into())),
         }
     }
 }
@@ -217,10 +215,7 @@ mod tests {
 
     #[test]
     fn comparisons() {
-        assert_eq!(
-            Value::Int(1).compare(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
         assert_eq!(
             Value::Int(2).compare(&Value::Float(2.0)),
             Some(Ordering::Equal)
@@ -255,13 +250,13 @@ mod tests {
 
     #[test]
     fn group_keys() {
-        assert_eq!(
-            Value::Int(5).group_key().unwrap(),
-            GroupKeyPart::Int(5)
-        );
+        assert_eq!(Value::Int(5).group_key().unwrap(), GroupKeyPart::Int(5));
         assert_eq!(Value::Null.group_key().unwrap(), GroupKeyPart::Null);
         assert!(Value::Float(1.0).group_key().is_err());
-        assert_eq!(GroupKeyPart::Text("x".into()).to_value(), Value::Text("x".into()));
+        assert_eq!(
+            GroupKeyPart::Text("x".into()).to_value(),
+            Value::Text("x".into())
+        );
     }
 
     #[test]

@@ -153,12 +153,8 @@ mod tests {
     #[test]
     fn channel_roundtrip_both_directions() {
         let (anchor, a, b, m_a, m_b) = setup();
-        let mut chan_a = a
-            .establish(&b.public_key, &b.quote, &m_b, &anchor)
-            .unwrap();
-        let mut chan_b = b
-            .establish(&a.public_key, &a.quote, &m_a, &anchor)
-            .unwrap();
+        let mut chan_a = a.establish(&b.public_key, &b.quote, &m_b, &anchor).unwrap();
+        let mut chan_b = b.establish(&a.public_key, &a.quote, &m_a, &anchor).unwrap();
 
         let c1 = chan_a.seal(b"partition 3 partial aggregate");
         assert_ne!(c1, b"partition 3 partial aggregate".to_vec());
@@ -207,12 +203,8 @@ mod tests {
     #[test]
     fn tampered_record_fails_open() {
         let (anchor, a, b, m_a, m_b) = setup();
-        let mut chan_a = a
-            .establish(&b.public_key, &b.quote, &m_b, &anchor)
-            .unwrap();
-        let mut chan_b = b
-            .establish(&a.public_key, &a.quote, &m_a, &anchor)
-            .unwrap();
+        let mut chan_a = a.establish(&b.public_key, &b.quote, &m_b, &anchor).unwrap();
+        let mut chan_b = b.establish(&a.public_key, &a.quote, &m_a, &anchor).unwrap();
         let mut c = chan_a.seal(b"payload");
         c[0] ^= 1;
         assert!(chan_b.open(&c).is_err());
@@ -221,12 +213,8 @@ mod tests {
     #[test]
     fn out_of_order_records_fail() {
         let (anchor, a, b, m_a, m_b) = setup();
-        let mut chan_a = a
-            .establish(&b.public_key, &b.quote, &m_b, &anchor)
-            .unwrap();
-        let mut chan_b = b
-            .establish(&a.public_key, &a.quote, &m_a, &anchor)
-            .unwrap();
+        let mut chan_a = a.establish(&b.public_key, &b.quote, &m_b, &anchor).unwrap();
+        let mut chan_b = b.establish(&a.public_key, &a.quote, &m_a, &anchor).unwrap();
         let _c1 = chan_a.seal(b"first");
         let c2 = chan_a.seal(b"second");
         // Receiving record 2 first violates the strict counter.

@@ -197,15 +197,9 @@ mod tests {
     #[test]
     fn selection_is_seed_deterministic() {
         let dir = build(40);
-        let a = dir
-            .select_processors(8, &mut DetRng::new(5))
-            .unwrap();
-        let b = dir
-            .select_processors(8, &mut DetRng::new(5))
-            .unwrap();
-        let c = dir
-            .select_processors(8, &mut DetRng::new(6))
-            .unwrap();
+        let a = dir.select_processors(8, &mut DetRng::new(5)).unwrap();
+        let b = dir.select_processors(8, &mut DetRng::new(5)).unwrap();
+        let c = dir.select_processors(8, &mut DetRng::new(6)).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

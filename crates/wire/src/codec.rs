@@ -431,7 +431,10 @@ mod tests {
     fn primitive_roundtrips() {
         assert_eq!(from_bytes::<u8>(&to_bytes(&200u8)).unwrap(), 200);
         assert_eq!(from_bytes::<u16>(&to_bytes(&60_000u16)).unwrap(), 60_000);
-        assert_eq!(from_bytes::<u32>(&to_bytes(&4_000_000u32)).unwrap(), 4_000_000);
+        assert_eq!(
+            from_bytes::<u32>(&to_bytes(&4_000_000u32)).unwrap(),
+            4_000_000
+        );
         assert_eq!(from_bytes::<u64>(&to_bytes(&u64::MAX)).unwrap(), u64::MAX);
         assert_eq!(from_bytes::<i32>(&to_bytes(&-77i32)).unwrap(), -77);
         assert_eq!(from_bytes::<i64>(&to_bytes(&i64::MIN)).unwrap(), i64::MIN);
@@ -480,10 +483,7 @@ mod tests {
             m
         );
         let t = (1u32, "x".to_string(), -9i64);
-        assert_eq!(
-            from_bytes::<(u32, String, i64)>(&to_bytes(&t)).unwrap(),
-            t
-        );
+        assert_eq!(from_bytes::<(u32, String, i64)>(&to_bytes(&t)).unwrap(), t);
         let arr = [7u8; 16];
         assert_eq!(from_bytes::<[u8; 16]>(&to_bytes(&arr)).unwrap(), arr);
     }

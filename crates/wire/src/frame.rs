@@ -81,7 +81,9 @@ impl Frame {
         }
         let version = r.varint()?;
         if version != u64::from(FRAME_VERSION) {
-            return Err(Error::Decode(format!("unsupported frame version {version}")));
+            return Err(Error::Decode(format!(
+                "unsupported frame version {version}"
+            )));
         }
         let kind = u16::try_from(r.varint()?)
             .map_err(|_| Error::Decode("frame kind out of range".into()))?;

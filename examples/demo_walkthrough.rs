@@ -125,7 +125,10 @@ fn main() {
             _ => {}
         }
     }
-    println!("trace: {} sends, {} lost in transit", collection_msgs, drops);
+    println!(
+        "trace: {} sends, {} lost in transit",
+        collection_msgs, drops
+    );
     println!("crashes observed: [{}]", crashes.join(", "));
     println!(
         "victim {}'s last activity: {} trace records\n",

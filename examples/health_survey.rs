@@ -75,8 +75,7 @@ fn main() {
     // processors have revealed?
     let pairs = vec![("bmi".to_string(), "systolic_bp".to_string())];
     let mut rng = edgelet_core::util::rng::DetRng::new(7);
-    let sweep =
-        edgelet_core::privacy::compromise_sweep(&run.exposure, 2, &pairs, 500, &mut rng);
+    let sweep = edgelet_core::privacy::compromise_sweep(&run.exposure, 2, &pairs, 500, &mut rng);
     println!(
         "\nsealed-glass adversary (k=2, 500 trials): mean snapshot exposure {:.1}%, \
          bmi+bp co-exposure rate {:.1}%",

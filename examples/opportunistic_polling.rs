@@ -14,7 +14,14 @@ use edgelet_core::util::table::{fnum, Table};
 fn main() {
     let mut table = Table::new(
         "Opportunistic polling: audience statistics under churn",
-        &["crash p", "m planned", "completed", "valid", "t (s)", "msgs"],
+        &[
+            "crash p",
+            "m planned",
+            "completed",
+            "valid",
+            "t (s)",
+            "msgs",
+        ],
     );
 
     for &crash_p in &[0.0, 0.1, 0.2, 0.3] {

@@ -11,13 +11,10 @@ fn fingerprint(run: &edgelet_core::platform::RunResult) -> String {
         run.report.completion_secs,
         run.report.messages_sent,
         run.report.bytes_sent,
-        run.report
-            .outcome
-            .as_ref()
-            .map(|o| match o {
-                QueryOutcome::Grouping(t) => format!("{t}"),
-                QueryOutcome::KMeans { centroids, .. } => format!("{:?}", centroids.centroids),
-            })
+        run.report.outcome.as_ref().map(|o| match o {
+            QueryOutcome::Grouping(t) => format!("{t}"),
+            QueryOutcome::KMeans { centroids, .. } => format!("{:?}", centroids.centroids),
+        })
     )
 }
 

@@ -6,11 +6,7 @@
 
 use edgelet_core::prelude::*;
 
-fn run(
-    seed: u64,
-    drop_p: f64,
-    heartbeats: usize,
-) -> (bool, u64, f64) {
+fn run(seed: u64, drop_p: f64, heartbeats: usize) -> (bool, u64, f64) {
     let mut p = Platform::build(PlatformConfig {
         seed,
         contributors: 2_000,

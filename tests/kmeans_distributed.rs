@@ -45,18 +45,12 @@ fn run_kmeans(seed: u64, heartbeats: usize, drop_p: f64) -> (f64, f64, bool) {
     // Evaluate the distributed centroids on the full eligible population
     // (same point set the centralized model was fitted on).
     let columns = spec.kind.referenced_columns();
-    let rows = p
-        .matching_rows(&spec.filter, &columns)
-        .unwrap();
+    let rows = p.matching_rows(&spec.filter, &columns).unwrap();
     let schema = p.schema().clone();
     let names: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
     let sub = schema.project(&names).unwrap();
-    let points = edgelet_core::ml::gen::rows_to_points(
-        &sub,
-        &rows,
-        &["age", "systolic_bp"],
-    )
-    .unwrap();
+    let points =
+        edgelet_core::ml::gen::rows_to_points(&sub, &rows, &["age", "systolic_bp"]).unwrap();
     let distributed_inertia = inertia(&centroids.centroids, &points);
     (distributed_inertia, central.inertia, run.report.completed)
 }

@@ -5,10 +5,7 @@
 use edgelet_core::prelude::*;
 use edgelet_core::util::rng::DetRng;
 
-fn run(
-    seed: u64,
-    privacy: PrivacyConfig,
-) -> (edgelet_core::platform::RunResult, PrivacyConfig) {
+fn run(seed: u64, privacy: PrivacyConfig) -> (edgelet_core::platform::RunResult, PrivacyConfig) {
     let mut p = Platform::build(PlatformConfig {
         seed,
         contributors: 2_000,
@@ -72,8 +69,7 @@ fn vertical_separation_reduces_pair_co_exposure_under_compromise() {
 
     let mut rng = DetRng::new(17);
     let sm = edgelet_core::privacy::compromise_sweep(&merged.exposure, 2, &pair, 400, &mut rng);
-    let ss =
-        edgelet_core::privacy::compromise_sweep(&separated.exposure, 2, &pair, 400, &mut rng);
+    let ss = edgelet_core::privacy::compromise_sweep(&separated.exposure, 2, &pair, 400, &mut rng);
     assert!(
         ss.pair_co_exposure_rate < sm.pair_co_exposure_rate,
         "separated {} !< merged {}",

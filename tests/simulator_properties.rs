@@ -131,7 +131,10 @@ fn message_conservation() {
     );
     // Loss is roughly the configured 15% of routed messages.
     let drop_rate = m.messages_dropped as f64 / m.messages_sent as f64;
-    assert!(drop_rate > 0.05 && drop_rate < 0.30, "drop rate {drop_rate}");
+    assert!(
+        drop_rate > 0.05 && drop_rate < 0.30,
+        "drop rate {drop_rate}"
+    );
 }
 
 #[test]

@@ -1,0 +1,176 @@
+//! Integration tests for the `edgelet-analyze` static analyzer: the
+//! semantic passes catch seeded violations of every property family the
+//! paper's guarantees rest on, and the source lint keeps the workspace
+//! free of nondeterminism.
+
+use edgelet_analyze::{analyze, has_errors, render_json, AnalyzeOptions};
+use edgelet_core::prelude::*;
+use edgelet_core::query::{OperatorRole, QueryPlan};
+use std::path::Path;
+
+/// Plans the reference scenario: a capped, vertically-separated
+/// Grouping-Sets survey under Overcollection.
+fn planned_world() -> (QueryPlan, PrivacyConfig, ResilienceConfig) {
+    let mut platform = Platform::build(PlatformConfig {
+        seed: 11,
+        contributors: 4_000,
+        processors: 400,
+        network: NetworkProfile::Reliable,
+        ..PlatformConfig::default()
+    });
+    let spec = platform.grouping_query(
+        Predicate::True,
+        400,
+        &[&["sex"], &[]],
+        vec![
+            AggSpec::count_star(),
+            AggSpec::over(AggKind::Avg, "bmi"),
+            AggSpec::over(AggKind::Avg, "systolic_bp"),
+        ],
+    );
+    let privacy = PrivacyConfig::none()
+        .with_max_tuples(100)
+        .separate("bmi", "systolic_bp");
+    let resilience = ResilienceConfig {
+        strategy: Strategy::Overcollection,
+        failure_probability: 0.15,
+        ..ResilienceConfig::default()
+    };
+    let plan = platform.plan_query(&spec, &privacy, &resilience).unwrap();
+    (plan, privacy, resilience)
+}
+
+fn codes_of(
+    plan: &QueryPlan,
+    privacy: &PrivacyConfig,
+    resilience: &ResilienceConfig,
+) -> Vec<&'static str> {
+    analyze(plan, privacy, resilience, &AnalyzeOptions::default())
+        .iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+#[test]
+fn planner_output_passes_every_semantic_pass() {
+    let (plan, privacy, resilience) = planned_world();
+    let findings = analyze(&plan, &privacy, &resilience, &AnalyzeOptions::default());
+    assert!(!has_errors(&findings), "{findings:?}");
+}
+
+#[test]
+fn missing_computer_is_a_structure_error() {
+    let (mut plan, privacy, resilience) = planned_world();
+    let victim = plan
+        .operators
+        .iter()
+        .position(|o| matches!(o.role, OperatorRole::Computer { .. }))
+        .unwrap();
+    plan.operators.remove(victim);
+    assert!(codes_of(&plan, &privacy, &resilience).contains(&"E002"));
+}
+
+#[test]
+fn colocated_separated_pair_is_a_privacy_error() {
+    let (mut plan, privacy, resilience) = planned_world();
+    assert!(plan.attr_groups.len() >= 2, "separation must split groups");
+    let merged: Vec<String> = plan.attr_groups.concat();
+    plan.attr_groups = vec![merged];
+    assert!(codes_of(&plan, &privacy, &resilience).contains(&"E010"));
+}
+
+#[test]
+fn quota_over_cap_is_a_horizontal_cap_error() {
+    let (mut plan, privacy, resilience) = planned_world();
+    plan.partition_quota = 101; // cap is 100
+    assert!(codes_of(&plan, &privacy, &resilience).contains(&"E011"));
+}
+
+#[test]
+fn stripped_overcollection_is_a_resiliency_error() {
+    let (mut plan, privacy, resilience) = planned_world();
+    assert!(
+        plan.m > 0,
+        "the planner must have provisioned spare partitions"
+    );
+    plan.m = 0;
+    assert!(codes_of(&plan, &privacy, &resilience).contains(&"E020"));
+}
+
+#[test]
+fn operator_concentration_is_a_liability_error() {
+    let (mut plan, privacy, resilience) = planned_world();
+    let d0 = plan.operators[0].device;
+    for op in plan.operators.iter_mut() {
+        if matches!(op.role, OperatorRole::Combiner { .. }) {
+            op.device = d0;
+        }
+    }
+    assert!(codes_of(&plan, &privacy, &resilience).contains(&"E030"));
+}
+
+#[test]
+fn sub_floor_deadline_is_a_deadline_error() {
+    let (mut plan, privacy, resilience) = planned_world();
+    plan.spec.deadline_secs = 0.5;
+    assert!(codes_of(&plan, &privacy, &resilience).contains(&"E040"));
+}
+
+#[test]
+fn diagnostics_render_as_json_with_stable_codes() {
+    let (mut plan, privacy, resilience) = planned_world();
+    plan.spec.deadline_secs = 0.5;
+    plan.partition_quota = 101;
+    let findings = analyze(&plan, &privacy, &resilience, &AnalyzeOptions::default());
+    let json = render_json(&findings);
+    assert!(json.contains("\"code\":\"E040\""), "{json}");
+    assert!(json.contains("\"code\":\"E011\""), "{json}");
+    assert!(json.contains("\"severity\":\"error\""), "{json}");
+    assert!(json.trim_start().starts_with('['), "{json}");
+    assert!(json.trim_end().ends_with(']'), "{json}");
+}
+
+#[test]
+fn preflight_denies_a_broken_plan_and_passes_a_sound_one() {
+    let (plan, _, _) = planned_world();
+    assert!(edgelet_analyze::preflight(&plan).is_ok());
+    let mut broken = plan;
+    broken.spec.deadline_secs = 0.5;
+    let err = edgelet_analyze::preflight(&broken).unwrap_err();
+    assert!(
+        err.to_string().contains("E040"),
+        "preflight should carry the diagnostic code: {err}"
+    );
+}
+
+#[test]
+fn workspace_sources_are_lint_clean() {
+    // The root package's manifest dir is the workspace root.
+    let findings = edgelet_analyze::lint::lint_workspace(Path::new(env!("CARGO_MANIFEST_DIR")));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn lint_catches_wall_clock_in_sim_sources() {
+    // This fixture never exists on disk: `tests/` is outside the linted
+    // tree, so spelling the needle out here is safe.
+    let fixture = "pub fn stamp() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    let findings = edgelet_analyze::lint::lint_source("crates/sim/src/fixture.rs", "sim", fixture);
+    assert!(findings.iter().any(|d| d.code == "E102"), "{findings:#?}");
+    assert!(
+        findings[0].location.contains("fixture.rs:2"),
+        "line numbers must survive stripping: {findings:#?}"
+    );
+
+    // The same source under an allow directive with a reason is accepted.
+    let allowed = format!(
+        "// lint: allow(E102 fixture demonstrating suppression)\n{}",
+        fixture.replace('\n', " ")
+    );
+    let findings = edgelet_analyze::lint::lint_source("crates/sim/src/fixture.rs", "sim", &allowed);
+    assert!(findings.is_empty(), "{findings:#?}");
+
+    // Bench sources may read wall clocks.
+    let findings = edgelet_analyze::lint::lint_source("crates/bench/src/lib.rs", "bench", fixture);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
