@@ -224,6 +224,9 @@ pub mod codes {
     pub const LINT_AMBIENT_RNG: &str = "E103";
     /// `unwrap`/`expect` in non-test `exec`/`sim` library code.
     pub const LINT_PANIC: &str = "E104";
+    /// `.clone()` of a message payload (`payload`/`bytes`) in `exec`/`sim`
+    /// send paths; share the buffer instead.
+    pub const LINT_PAYLOAD_CLONE: &str = "W105";
 
     /// Every code with its default severity and one-line summary, in code
     /// order. Drives the documentation table and its test.
@@ -319,6 +322,11 @@ pub mod codes {
             LINT_PANIC,
             Severity::Error,
             "unwrap/expect in exec/sim library code",
+        ),
+        (
+            LINT_PAYLOAD_CLONE,
+            Severity::Warning,
+            "payload deep-copied on a send path",
         ),
     ];
 }

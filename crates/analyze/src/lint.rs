@@ -17,12 +17,16 @@
 //!   randomness comes from a seeded [`DetRng`](edgelet_util::rng).
 //! * `E104` — `.unwrap()`/`.expect(` in `exec`/`sim` library code;
 //!   return a typed error or justify with an allow directive.
+//! * `W105` — `.clone()` of a message payload (`payload`/`bytes`
+//!   variables) in `exec`/`sim`: the zero-copy fabric shares one buffer
+//!   per fan-out via [`Payload::share`](edgelet_util::Payload::share);
+//!   deep copies on the send path are a regression.
 //!
 //! A finding on a line is suppressed by a directive on the same or the
 //! preceding line: `// lint: allow(E104 reason why this is infallible)`.
 //! The reason is mandatory — a bare code does not suppress.
 
-use crate::diagnostic::{codes, Diagnostic};
+use crate::diagnostic::{codes, Diagnostic, Severity};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -45,6 +49,7 @@ impl CrateFilter {
 
 struct Rule {
     code: &'static str,
+    severity: Severity,
     needles: Vec<String>,
     filter: CrateFilter,
     what: &'static str,
@@ -58,6 +63,7 @@ fn rules() -> Vec<Rule> {
     vec![
         Rule {
             code: codes::LINT_HASHER,
+            severity: Severity::Error,
             needles: vec![join(&["Hash", "Map"]), join(&["Hash", "Set"])],
             filter: CrateFilter::Only(&["sim", "exec", "query"]),
             what: "default-hasher collection in a deterministic crate",
@@ -65,6 +71,7 @@ fn rules() -> Vec<Rule> {
         },
         Rule {
             code: codes::LINT_WALL_CLOCK,
+            severity: Severity::Error,
             needles: vec![join(&["Ins", "tant::now"]), join(&["System", "Time"])],
             filter: CrateFilter::Except(&["bench"]),
             what: "wall-clock read",
@@ -72,6 +79,7 @@ fn rules() -> Vec<Rule> {
         },
         Rule {
             code: codes::LINT_AMBIENT_RNG,
+            severity: Severity::Error,
             needles: vec![join(&["thread", "_rng"]), join(&["rand::", "random"])],
             filter: CrateFilter::Except(&["bench"]),
             what: "ambient OS randomness",
@@ -79,11 +87,25 @@ fn rules() -> Vec<Rule> {
         },
         Rule {
             code: codes::LINT_PANIC,
+            severity: Severity::Error,
             needles: vec![join(&[".unw", "rap()"]), join(&[".exp", "ect("])],
             filter: CrateFilter::Only(&["exec", "sim"]),
             what: "panic path in library code",
             help: "return a typed edgelet_util::Error, or justify with \
                    an allow directive",
+        },
+        Rule {
+            code: codes::LINT_PAYLOAD_CLONE,
+            severity: Severity::Warning,
+            needles: vec![
+                join(&["payload", ".clo", "ne()"]),
+                join(&["bytes", ".clo", "ne()"]),
+            ],
+            filter: CrateFilter::Only(&["exec", "sim"]),
+            what: "deep copy of a message payload",
+            help: "share the buffer instead: Payload::share is a \
+                   reference-count bump, cloning the bytes re-copies them \
+                   per recipient",
         },
     ]
 }
@@ -273,14 +295,13 @@ pub fn lint_source(display_path: &str, crate_name: &str, source: &str) -> Vec<Di
             if has_allow(raw, rule.code) || has_allow(prev, rule.code) {
                 continue;
             }
-            out.push(
-                Diagnostic::error(
-                    rule.code,
-                    format!("{display_path}:{}", idx + 1),
-                    format!("{}: `{needle}`", rule.what),
-                )
-                .with_help(rule.help),
-            );
+            let location = format!("{display_path}:{}", idx + 1);
+            let message = format!("{}: `{needle}`", rule.what);
+            let diag = match rule.severity {
+                Severity::Error => Diagnostic::error(rule.code, location, message),
+                Severity::Warning => Diagnostic::warning(rule.code, location, message),
+            };
+            out.push(diag.with_help(rule.help));
         }
     }
     out
@@ -428,6 +449,27 @@ mod tests {
         // A directive for a different code does not suppress either.
         let wrong = "let a = b.unwrap(); // lint: allow(E102 not the clock)\n";
         assert_eq!(lint_source("crates/exec/src/x.rs", "exec", wrong).len(), 1);
+    }
+
+    #[test]
+    fn payload_clone_in_exec_is_warned() {
+        let src = "let copy = payload.clone();\nctx.send(to, bytes.clone());\n";
+        let found = lint_source("crates/exec/src/x.rs", "exec", src);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().all(|d| d.code == codes::LINT_PAYLOAD_CLONE
+            && d.severity == crate::diagnostic::Severity::Warning));
+        // The same source outside the zero-copy crates is not checked.
+        assert!(lint_source("crates/store/src/x.rs", "store", src).is_empty());
+        // Sharing is the sanctioned fan-out primitive.
+        let ok = "ctx.send(to, bytes.share());\n";
+        assert!(lint_source("crates/sim/src/x.rs", "sim", ok).is_empty());
+    }
+
+    #[test]
+    fn payload_clone_allow_directive_suppresses() {
+        let src = "// lint: allow(W105 corruption path must own a detached copy)\n\
+                   let copy = payload.clone();\n";
+        assert!(lint_source("crates/sim/src/x.rs", "sim", src).is_empty());
     }
 
     #[test]

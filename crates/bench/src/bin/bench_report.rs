@@ -1,0 +1,86 @@
+//! Emits the committed performance snapshot (`BENCH_baseline.json` /
+//! `BENCH_current.json` at the repository root).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p edgelet-bench --bin bench_report -- --baseline
+//! cargo run --release -p edgelet-bench --bin bench_report
+//! ```
+//!
+//! `--baseline` writes `BENCH_baseline.json`; the default writes
+//! `BENCH_current.json` and, when a baseline file exists next to it,
+//! prints a per-suite comparison. `--out <path>` overrides the output
+//! path. Run from the repository root so the files land beside the
+//! manifest; see docs/PERF.md for methodology.
+
+use edgelet_bench::report;
+use std::path::PathBuf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline = false;
+    let mut out: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = true,
+            "--out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+                out = Some(PathBuf::from(path));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_report [--baseline] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        PathBuf::from(if baseline {
+            "BENCH_baseline.json"
+        } else {
+            "BENCH_current.json"
+        })
+    });
+
+    eprintln!(
+        "bench_report: {} suites, median of {} samples each",
+        5,
+        report::SAMPLES
+    );
+    let results = report::run_all();
+    for r in &results {
+        println!(
+            "{:<44} median {:>14.1} ns  {} {:.1}",
+            r.name, r.median_ns, r.throughput.0, r.throughput.1
+        );
+    }
+    let json = report::to_json(&results);
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    });
+    println!("wrote {}", out.display());
+
+    // When emitting the current snapshot, compare against the committed
+    // baseline if one sits next to the output file.
+    if !baseline {
+        let base_path = out.with_file_name("BENCH_baseline.json");
+        if let Ok(base) = std::fs::read_to_string(&base_path) {
+            println!("\nvs {}:", base_path.display());
+            for r in &results {
+                match report::median_from_json(&base, r.name) {
+                    Some(b) if b > 0.0 => {
+                        let speedup = b / r.median_ns;
+                        let delta = (b - r.median_ns) / b * 100.0;
+                        println!("{:<44} {:>6.2}x ({:+.1}% time)", r.name, speedup, -delta);
+                    }
+                    _ => println!("{:<44} (no baseline entry)", r.name),
+                }
+            }
+        }
+    }
+}

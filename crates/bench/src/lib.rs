@@ -5,6 +5,8 @@
 //! prints the series as a plain table plus CSV; EXPERIMENTS.md records the
 //! outputs. See DESIGN.md §4 for the experiment index.
 
+pub mod report;
+
 use edgelet_core::prelude::*;
 use std::sync::Mutex;
 

@@ -1,0 +1,335 @@
+//! Reproducible performance report: the workloads behind `bench_report`.
+//!
+//! The criterion suites under `benches/` are interactive tools; this
+//! module is the *durable* record. `cargo run -p edgelet-bench --bin
+//! bench_report` times four representative workloads — the k-means
+//! kernel, wire encode/decode, a broadcast-heavy simulator scenario, and
+//! a full end-to-end query — and emits a JSON snapshot (`BENCH_*.json`
+//! at the repo root) so performance PRs carry their own evidence and
+//! future PRs have a trajectory to compare against.
+//!
+//! Suite names intentionally mirror the criterion benchmark IDs.
+
+use edgelet_core::ml::gen::gaussian_mixture;
+use edgelet_core::ml::kmeans::{KMeans, KMeansConfig};
+use edgelet_core::prelude::*;
+use edgelet_core::sim::{
+    Actor, Context, DeviceConfig, Duration, NetworkModel, SimConfig, Simulation,
+};
+use edgelet_core::store::{synth, Row};
+use edgelet_core::util::ids::DeviceId;
+use edgelet_core::util::rng::DetRng;
+use edgelet_core::wire::{from_bytes, to_bytes};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured workload.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Suite identifier (mirrors the criterion benchmark ID).
+    pub name: &'static str,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Throughput annotation: `(unit, value)` derived from `median_ns`.
+    pub throughput: (&'static str, f64),
+}
+
+/// Samples per suite (median taken over these).
+pub const SAMPLES: usize = 7;
+
+/// Times `f` once, returning elapsed nanoseconds.
+fn time_once<R>(f: &mut impl FnMut() -> R) -> f64 {
+    let start = Instant::now();
+    black_box(f());
+    start.elapsed().as_secs_f64() * 1e9
+}
+
+/// Median of `SAMPLES` timings of `f`, with one discarded warm-up call.
+fn median_ns<R>(mut f: impl FnMut() -> R) -> f64 {
+    let _ = time_once(&mut f);
+    let mut samples: Vec<f64> = (0..SAMPLES).map(|_| time_once(&mut f)).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[samples.len() / 2]
+}
+
+/// k-means kernel: one Lloyd step over 10k 2-d points, k=3 (the same
+/// workload as `kernels/kmeans/lloyd_step_10k_points`). Seeding is
+/// excluded from the timing.
+pub fn kmeans_kernel() -> SuiteResult {
+    let mut rng = DetRng::new(2);
+    let (points, _) = gaussian_mixture(
+        &[
+            (vec![0.0, 0.0], 1.0),
+            (vec![10.0, 0.0], 1.0),
+            (vec![0.0, 10.0], 1.0),
+        ],
+        10_000,
+        &mut rng,
+    );
+    let cfg = KMeansConfig {
+        k: 3,
+        max_iterations: 20,
+        tolerance: 1e-6,
+    };
+    let mut seed_rng = DetRng::new(3);
+    let seeded = KMeans::seed(&points, &cfg, &mut seed_rng).expect("seeding 10k points");
+    // 20 steps per iteration so one sample is comfortably above timer
+    // resolution; report per-step time.
+    const STEPS: usize = 20;
+    let ns = median_ns(|| {
+        let mut km = seeded.clone();
+        for _ in 0..STEPS {
+            km.lloyd_step(&points);
+        }
+        km
+    }) / STEPS as f64;
+    SuiteResult {
+        name: "kernels/kmeans/lloyd_step_10k_points",
+        median_ns: ns,
+        throughput: ("elements_per_sec", 10_000.0 / (ns * 1e-9)),
+    }
+}
+
+fn synth_rows(n: usize) -> Vec<Row> {
+    let mut rng = DetRng::new(1);
+    synth::health_store(n, &mut rng).rows().to_vec()
+}
+
+/// Wire encode: 1000 synthetic health rows to bytes (mirrors
+/// `wire/rows/encode_1000_rows`).
+pub fn wire_encode() -> SuiteResult {
+    let batch = synth_rows(1_000);
+    let len = to_bytes(&batch).len() as f64;
+    let ns = median_ns(|| to_bytes(black_box(&batch)));
+    SuiteResult {
+        name: "wire/rows/encode_1000_rows",
+        median_ns: ns,
+        throughput: ("mib_per_sec", len / (ns * 1e-9) / (1024.0 * 1024.0)),
+    }
+}
+
+/// Wire decode: the matching decode workload (mirrors
+/// `wire/rows/decode_1000_rows`).
+pub fn wire_decode() -> SuiteResult {
+    let encoded = to_bytes(&synth_rows(1_000));
+    let len = encoded.len() as f64;
+    let ns = median_ns(|| from_bytes::<Vec<Row>>(black_box(&encoded)).expect("decode"));
+    SuiteResult {
+        name: "wire/rows/decode_1000_rows",
+        median_ns: ns,
+        throughput: ("mib_per_sec", len / (ns * 1e-9) / (1024.0 * 1024.0)),
+    }
+}
+
+/// Broadcast hub: fans a 1 KiB payload out to every peer, waits for all
+/// acks, repeats.
+struct Hub {
+    peers: Vec<DeviceId>,
+    rounds_left: u32,
+    acks_pending: usize,
+}
+
+impl Hub {
+    fn kick(&mut self, ctx: &mut Context<'_>) {
+        self.rounds_left -= 1;
+        self.acks_pending = self.peers.len();
+        ctx.broadcast(self.peers.clone(), vec![0xAB; 1024]);
+    }
+}
+
+impl Actor for Hub {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.kick(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: DeviceId, _payload: &[u8]) {
+        self.acks_pending -= 1;
+        if self.acks_pending == 0 && self.rounds_left > 0 {
+            self.kick(ctx);
+        }
+    }
+}
+
+/// Peer: acknowledges every broadcast.
+struct AckPeer;
+
+impl Actor for AckPeer {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: DeviceId, _payload: &[u8]) {
+        ctx.send(from, vec![1u8]);
+    }
+}
+
+const BROADCAST_PEERS: usize = 200;
+const BROADCAST_ROUNDS: u32 = 50;
+
+fn build_broadcast_sim() -> Simulation {
+    let mut sim = Simulation::new(
+        SimConfig {
+            network: NetworkModel::reliable(Duration::from_millis(1)),
+            ..SimConfig::default()
+        },
+        7,
+    );
+    let hub = sim.add_device(DeviceConfig::default());
+    let peers: Vec<DeviceId> = (0..BROADCAST_PEERS)
+        .map(|_| sim.add_device(DeviceConfig::default()))
+        .collect();
+    for &p in &peers {
+        sim.install_actor(p, Box::new(AckPeer));
+    }
+    sim.install_actor(
+        hub,
+        Box::new(Hub {
+            peers,
+            rounds_left: BROADCAST_ROUNDS,
+            acks_pending: 0,
+        }),
+    );
+    sim
+}
+
+/// Simulator broadcast scenario: a hub fans 1 KiB to 200 peers for 50
+/// rounds (20k deliveries), each peer acking. Setup excluded.
+pub fn sim_broadcast() -> SuiteResult {
+    let deliveries = (BROADCAST_PEERS as u32 * BROADCAST_ROUNDS * 2) as f64;
+    // Setup is hoisted out of the timing: build each simulation first,
+    // time only `run()`. First sample is a discarded warm-up.
+    let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
+    for i in 0..=SAMPLES {
+        let mut sim = build_broadcast_sim();
+        let start = Instant::now();
+        sim.run();
+        let elapsed = start.elapsed().as_secs_f64() * 1e9;
+        assert_eq!(
+            sim.metrics().messages_delivered,
+            deliveries as u64,
+            "broadcast scenario must deliver every message"
+        );
+        if i > 0 {
+            samples.push(elapsed);
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let ns = samples[samples.len() / 2];
+    SuiteResult {
+        name: "sim/broadcast/1kib_fanout_200x50",
+        median_ns: ns,
+        throughput: ("deliveries_per_sec", deliveries / (ns * 1e-9)),
+    }
+}
+
+/// End-to-end: one full grouping query over 1k contributors on a lossy
+/// network (mirrors `e2e/grouping_query_1k_contributors`).
+pub fn e2e_query() -> SuiteResult {
+    let mut seed = 0u64;
+    let ns = median_ns(|| {
+        seed += 1;
+        let mut p = Platform::build(PlatformConfig {
+            seed,
+            contributors: 1_000,
+            processors: 80,
+            network: NetworkProfile::Lossy {
+                drop_probability: 0.05,
+            },
+            ..PlatformConfig::default()
+        });
+        let spec = crate::census_spec(&mut p, 200);
+        let run = p
+            .run_query(
+                &spec,
+                &PrivacyConfig::none().with_max_tuples(50),
+                &ResilienceConfig {
+                    strategy: Strategy::Overcollection,
+                    failure_probability: 0.1,
+                    ..ResilienceConfig::default()
+                },
+            )
+            .expect("e2e query");
+        run.report.completed
+    });
+    SuiteResult {
+        name: "e2e/grouping_query_1k_contributors",
+        median_ns: ns,
+        throughput: ("queries_per_sec", 1.0 / (ns * 1e-9)),
+    }
+}
+
+/// Runs every suite in a fixed order.
+pub fn run_all() -> Vec<SuiteResult> {
+    vec![
+        kmeans_kernel(),
+        wire_encode(),
+        wire_decode(),
+        sim_broadcast(),
+        e2e_query(),
+    ]
+}
+
+/// Renders the report as JSON (one suite per line, stable key order).
+pub fn to_json(results: &[SuiteResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"edgelet-bench-report/v1\",\n");
+    out.push_str(&format!("  \"samples_per_suite\": {SAMPLES},\n"));
+    out.push_str("  \"suites\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{}\": {{\"median_ns\": {:.1}, \"{}\": {:.1}}}{comma}\n",
+            r.name, r.median_ns, r.throughput.0, r.throughput.1
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Extracts `median_ns` for `suite` from a report previously written by
+/// [`to_json`] (line-oriented scan; not a general JSON parser).
+pub fn median_from_json(json: &str, suite: &str) -> Option<f64> {
+    let needle = format!("\"{suite}\"");
+    let line = json.lines().find(|l| l.contains(&needle))?;
+    let rest = line.split("\"median_ns\": ").nth(1)?;
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_medians() {
+        let results = vec![
+            SuiteResult {
+                name: "kernels/kmeans/lloyd_step_10k_points",
+                median_ns: 12345.5,
+                throughput: ("elements_per_sec", 1e9),
+            },
+            SuiteResult {
+                name: "wire/rows/encode_1000_rows",
+                median_ns: 678.0,
+                throughput: ("mib_per_sec", 250.0),
+            },
+        ];
+        let json = to_json(&results);
+        assert_eq!(
+            median_from_json(&json, "kernels/kmeans/lloyd_step_10k_points"),
+            Some(12345.5)
+        );
+        assert_eq!(
+            median_from_json(&json, "wire/rows/encode_1000_rows"),
+            Some(678.0)
+        );
+        assert_eq!(median_from_json(&json, "missing/suite"), None);
+    }
+
+    #[test]
+    fn broadcast_sim_delivers_everything() {
+        let mut sim = build_broadcast_sim();
+        sim.run();
+        assert_eq!(
+            sim.metrics().messages_delivered,
+            (BROADCAST_PEERS as u32 * BROADCAST_ROUNDS * 2) as u64
+        );
+    }
+}

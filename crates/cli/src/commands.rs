@@ -226,7 +226,7 @@ fn render_run(plan: &QueryPlan, run: &edgelet_core::platform::RunResult) -> Stri
             let _ = writeln!(out, "\ncentroids (age, bmi, systolic_bp):");
             for (i, (c, w)) in centroids
                 .centroids
-                .iter()
+                .rows()
                 .zip(&centroids.weights)
                 .enumerate()
             {

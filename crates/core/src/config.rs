@@ -133,6 +133,11 @@ pub struct PlatformConfig {
     pub crash_at_start: bool,
     /// Execution knobs.
     pub exec: ExecConfig,
+    /// Simulator trace ring-buffer capacity for query runs (0 = tracing
+    /// off, the default: untraced runs skip event construction
+    /// entirely). When non-zero, [`crate::platform::RunResult`] carries
+    /// the trace digest of the execution.
+    pub trace_capacity: usize,
 }
 
 impl Default for PlatformConfig {
@@ -150,6 +155,7 @@ impl Default for PlatformConfig {
             contributor_crash_probability: 0.0,
             crash_at_start: false,
             exec: ExecConfig::fast(),
+            trace_capacity: 0,
         }
     }
 }

@@ -27,6 +27,10 @@ pub struct RunResult {
     pub report: ExecutionReport,
     /// Static exposure analysis of the plan.
     pub exposure: PlanExposure,
+    /// Digest of the simulator event trace, when the platform ran with
+    /// `trace_capacity > 0` (see [`crate::PlatformConfig`]). Equal seeds
+    /// and configs produce equal digests — the reproducibility receipt.
+    pub trace_digest: Option<u64>,
 }
 
 /// A simulated crowd of TEE-enabled personal devices.
@@ -220,10 +224,12 @@ impl Platform {
             &self.config.exec,
             root_secret,
         )?;
+        let trace_digest = sim.trace().enabled().then(|| sim.trace().digest());
         Ok(RunResult {
             plan,
             report,
             exposure,
+            trace_digest,
         })
     }
 
@@ -236,6 +242,7 @@ impl Platform {
         let mut sim = Simulation::new(
             SimConfig {
                 network: self.config.network.to_model(),
+                trace_capacity: self.config.trace_capacity,
                 ..SimConfig::default()
             },
             sim_seed,

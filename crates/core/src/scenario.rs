@@ -51,6 +51,7 @@ impl Scenario {
                 contributor_crash_probability: 0.02,
                 crash_at_start: false,
                 exec: ExecConfig::opportunistic(),
+                trace_capacity: 0,
             },
             Scenario::OpportunisticPolling => PlatformConfig {
                 seed,
@@ -79,6 +80,7 @@ impl Scenario {
                 contributor_crash_probability: 0.05,
                 crash_at_start: false,
                 exec: ExecConfig::default(),
+                trace_capacity: 0,
             },
             Scenario::Laboratory => PlatformConfig {
                 seed,

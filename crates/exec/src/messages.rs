@@ -391,6 +391,7 @@ impl Decode for OutcomePayload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use edgelet_ml::Matrix;
     use edgelet_store::{CmpOp, Value};
     use edgelet_wire::{from_bytes, to_bytes};
 
@@ -426,13 +427,14 @@ mod tests {
                 partition: PartitionId::new(0),
                 round: 3,
                 seed_origin: PartitionId::new(0),
-                centroids: CentroidSet::new(vec![vec![1.0, 2.0]], vec![10.0]).unwrap(),
+                centroids: CentroidSet::new(Matrix::from_rows(&[vec![1.0, 2.0]]), vec![10.0])
+                    .unwrap(),
             },
             Msg::KMeansFinal {
                 query: QueryId::new(1),
                 partition: PartitionId::new(1),
                 seed_origin: PartitionId::new(0),
-                centroids: CentroidSet::new(vec![vec![0.5]], vec![3.0]).unwrap(),
+                centroids: CentroidSet::new(Matrix::from_rows(&[vec![0.5]]), vec![3.0]).unwrap(),
                 per_cluster: GroupedPartial::default(),
                 tuples: 100,
                 complete: true,
@@ -490,7 +492,7 @@ mod tests {
         for p in [
             OutcomePayload::Grouping(vec![(0, GroupedPartial::default())]),
             OutcomePayload::KMeans {
-                centroids: CentroidSet::new(vec![vec![1.0]], vec![2.0]).unwrap(),
+                centroids: CentroidSet::new(Matrix::from_rows(&[vec![1.0]]), vec![2.0]).unwrap(),
                 per_cluster: GroupedPartial::default(),
             },
         ] {

@@ -9,6 +9,7 @@ use edgelet_sim::{Actor, Context, Duration, TimerToken};
 use edgelet_store::{Predicate, Row, Schema};
 use edgelet_tee::DeviceProfile;
 use edgelet_util::ids::{DeviceId, PartitionId, QueryId};
+use edgelet_util::Payload;
 use std::collections::BTreeSet;
 
 /// One vertical slice this builder must produce.
@@ -65,7 +66,7 @@ pub struct BuilderActor {
     retry_timer: Option<TimerToken>,
     compute_timer: Option<TimerToken>,
     ping_timer: Option<TimerToken>,
-    pending_output: Vec<(DeviceId, Vec<u8>)>,
+    pending_output: Vec<(DeviceId, Payload)>,
 }
 
 impl BuilderActor {
@@ -158,9 +159,9 @@ impl BuilderActor {
             let bytes = self.sealer.wrap(&msg);
             for &target in &slice.targets {
                 if self.gate.is_active() {
-                    ctx.send(target, bytes.clone());
+                    ctx.send(target, bytes.share());
                 } else {
-                    self.pending_output.push((target, bytes.clone()));
+                    self.pending_output.push((target, bytes.share()));
                 }
             }
         }

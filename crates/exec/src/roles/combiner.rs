@@ -15,6 +15,7 @@ use edgelet_ml::distributed::CentroidSet;
 use edgelet_ml::grouping::GroupedPartial;
 use edgelet_sim::{Actor, Context, TimerToken};
 use edgelet_util::ids::{DeviceId, PartitionId, QueryId};
+use edgelet_util::Payload;
 use edgelet_wire::to_bytes;
 use std::collections::BTreeMap;
 
@@ -70,7 +71,7 @@ pub struct CombinerActor {
     combine_timer: Option<TimerToken>,
     ping_timer: Option<TimerToken>,
     finalized: bool,
-    pending_output: Option<Vec<u8>>,
+    pending_output: Option<Payload>,
 }
 
 impl CombinerActor {

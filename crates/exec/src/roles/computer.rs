@@ -11,6 +11,7 @@ use edgelet_sim::{Actor, Context, Duration, TimerToken};
 use edgelet_store::{Row, Schema};
 use edgelet_tee::DeviceProfile;
 use edgelet_util::ids::{DeviceId, PartitionId, QueryId};
+use edgelet_util::Payload;
 
 /// Static wiring of one grouping-computer replica.
 #[derive(Debug, Clone)]
@@ -41,7 +42,7 @@ pub struct GroupingComputerActor {
     compute_timer: Option<TimerToken>,
     ping_timer: Option<TimerToken>,
     staged: Option<(Vec<String>, Vec<Row>, bool)>,
-    pending_output: Vec<(DeviceId, Vec<u8>)>,
+    pending_output: Vec<(DeviceId, Payload)>,
     done: bool,
 }
 
@@ -99,9 +100,9 @@ impl GroupingComputerActor {
         let combiners = self.wiring.combiners.clone();
         for target in combiners {
             if self.gate.is_active() {
-                ctx.send(target, bytes.clone());
+                ctx.send(target, bytes.share());
             } else {
-                self.pending_output.push((target, bytes.clone()));
+                self.pending_output.push((target, bytes.share()));
             }
         }
     }

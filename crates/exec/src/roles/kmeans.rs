@@ -20,8 +20,8 @@ use crate::roles::Sealer;
 use edgelet_ml::distributed::CentroidSet;
 use edgelet_ml::gen::rows_to_points;
 use edgelet_ml::grouping::{GroupedPartial, GroupingQuery};
-use edgelet_ml::kmeans::{kmeans_pp_seed, nearest, KMeans, Point};
-use edgelet_ml::AggSpec;
+use edgelet_ml::kmeans::{kmeans_pp_seed, nearest, KMeans, LloydScratch};
+use edgelet_ml::{AggSpec, Matrix};
 use edgelet_sim::{Actor, Context, TimerToken};
 use edgelet_store::value::Value;
 use edgelet_store::{ColumnType, Row, Schema};
@@ -60,7 +60,7 @@ pub struct KMeansComputerActor {
     /// Local data: full rows (for per-cluster aggregates) and points.
     rows: Vec<Row>,
     row_columns: Vec<String>,
-    points: Vec<Point>,
+    points: Matrix,
     complete: bool,
     km: Option<KMeans>,
     seed_origin: PartitionId,
@@ -89,7 +89,7 @@ impl KMeansComputerActor {
             round: 0,
             rows: Vec::new(),
             row_columns: Vec::new(),
-            points: Vec::new(),
+            points: Matrix::default(),
             complete: false,
             km: None,
             seed_origin,
@@ -112,9 +112,8 @@ impl KMeansComputerActor {
             kmeans_pp_seed(&self.points, self.wiring.k, ctx.rng()).expect("points non-empty");
         // Keep k consistent across the crowd even on tiny partitions.
         while seeds.len() < self.wiring.k {
-            // lint: allow(E104 seeding always yields at least one centroid)
-            let last = seeds.last().expect("at least one seed").clone();
-            seeds.push(last);
+            let last = seeds.row(seeds.len() - 1).to_vec();
+            seeds.push_row(&last);
         }
         self.km = Some(KMeans::from_centroids(seeds));
     }
@@ -125,27 +124,29 @@ impl KMeansComputerActor {
         if self.points.is_empty() {
             return;
         }
-        let batch: Vec<Point> = match self.config.minibatch_fraction {
-            None => self.points.clone(),
+        // Full batches borrow the stored matrix directly; mini-batches
+        // gather the sampled rows into one contiguous buffer.
+        let sampled;
+        let batch: &Matrix = match self.config.minibatch_fraction {
+            None => &self.points,
             Some(f) => {
                 let size =
                     ((self.points.len() as f64 * f).ceil() as usize).clamp(1, self.points.len());
-                ctx.rng()
-                    .sample_indices(self.points.len(), size)
-                    .into_iter()
-                    .map(|i| self.points[i].clone())
-                    .collect()
+                let indices = ctx.rng().sample_indices(self.points.len(), size);
+                sampled = self.points.gather(&indices);
+                &sampled
             }
         };
+        let mut scratch = LloydScratch::default();
         for _ in 0..self.config.lloyd_steps_per_heartbeat {
-            if !km.lloyd_step(&batch) {
+            if !km.lloyd_step_with(batch, &mut scratch) {
                 break;
             }
         }
         // Refresh weights to the local assignment counts once more (the
         // final lloyd_step already did; this guards the zero-step case).
         if self.config.lloyd_steps_per_heartbeat == 0 {
-            km.lloyd_step(&batch);
+            km.lloyd_step_with(batch, &mut scratch);
         }
     }
 

@@ -11,7 +11,7 @@ use crate::messages::Msg;
 use edgelet_crypto::aead::ChaCha20Poly1305;
 use edgelet_crypto::hmac::hkdf;
 use edgelet_util::ids::{DeviceId, QueryId};
-use edgelet_util::{Error, Result};
+use edgelet_util::{Error, Payload, Result};
 use edgelet_wire::Frame;
 
 /// Wraps/unwraps protocol messages for the network, optionally sealing
@@ -47,10 +47,12 @@ impl Sealer {
         }
     }
 
-    /// Serializes a message for the network.
-    pub fn wrap(&mut self, msg: &Msg) -> Vec<u8> {
+    /// Serializes a message for the network. The result is a shareable
+    /// [`Payload`]: sending it to every replica of an operator reuses one
+    /// buffer instead of copying the bytes per recipient.
+    pub fn wrap(&mut self, msg: &Msg) -> Payload {
         let frame = msg.to_frame().to_wire();
-        match &self.cipher {
+        let out = match &self.cipher {
             None => {
                 let mut out = Vec::with_capacity(frame.len() + 1);
                 out.push(0x00);
@@ -69,7 +71,8 @@ impl Sealer {
                 out.extend_from_slice(&sealed);
                 out
             }
-        }
+        };
+        Payload::new(out)
     }
 
     /// Parses bytes from the network. Fails on corruption, tampering, or
@@ -193,7 +196,7 @@ mod tests {
         assert_eq!(bytes[0], 0x01);
         assert_eq!(b.unwrap(&bytes).unwrap(), msg());
         // Tampering is caught.
-        let mut bad = bytes.clone();
+        let mut bad = bytes.to_vec();
         let last = bad.len() - 1;
         bad[last] ^= 1;
         assert!(b.unwrap(&bad).is_err());

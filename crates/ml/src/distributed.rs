@@ -9,34 +9,30 @@
 //! merging is meaningful because every Computer starts from the same
 //! broadcast seed centroids.
 
-use crate::kmeans::Point;
+use crate::matrix::Matrix;
 use edgelet_util::{Error, Result};
 use edgelet_wire::{Decode, Encode, Reader, Writer};
 
 /// Exchanged K-Means knowledge: centroids plus their supporting weight.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CentroidSet {
-    /// Cluster centers.
-    pub centroids: Vec<Point>,
+    /// Cluster centers, one matrix row per centroid.
+    pub centroids: Matrix,
     /// Weight (number of points) behind each centroid.
     pub weights: Vec<f64>,
 }
 
 impl CentroidSet {
-    /// Builds a set; centroid/weight arity must match.
-    pub fn new(centroids: Vec<Point>, weights: Vec<f64>) -> Result<Self> {
+    /// Builds a set; centroid/weight arity must match. (Dimensional
+    /// consistency across centroids is structural: they share one
+    /// [`Matrix`].)
+    pub fn new(centroids: Matrix, weights: Vec<f64>) -> Result<Self> {
         if centroids.len() != weights.len() {
             return Err(Error::InvalidConfig(format!(
                 "{} centroids but {} weights",
                 centroids.len(),
                 weights.len()
             )));
-        }
-        if let Some(first) = centroids.first() {
-            let dim = first.len();
-            if centroids.iter().any(|c| c.len() != dim) {
-                return Err(Error::InvalidConfig("inconsistent centroid dims".into()));
-            }
         }
         Ok(Self { centroids, weights })
     }
@@ -57,6 +53,9 @@ impl CentroidSet {
                 self.k()
             )));
         }
+        if self.k() > 0 && self.centroids.dim() != other.centroids.dim() {
+            return Err(Error::Protocol("centroid dimension mismatch".into()));
+        }
         for i in 0..self.k() {
             let w1 = self.weights[i];
             let w2 = other.weights[i];
@@ -64,10 +63,12 @@ impl CentroidSet {
             if total <= 0.0 {
                 continue;
             }
-            if self.centroids[i].len() != other.centroids[i].len() {
-                return Err(Error::Protocol("centroid dimension mismatch".into()));
-            }
-            for (a, b) in self.centroids[i].iter_mut().zip(&other.centroids[i]) {
+            for (a, b) in self
+                .centroids
+                .row_mut(i)
+                .iter_mut()
+                .zip(other.centroids.row(i))
+            {
                 *a = (*a * w1 + *b * w2) / total;
             }
             self.weights[i] = total;
@@ -93,16 +94,40 @@ impl CentroidSet {
     }
 }
 
+// The wire layout predates the flat [`Matrix`] storage and is kept
+// byte-identical to the old `Vec<Vec<f64>>` encoding: outer varint count,
+// then per centroid a varint length plus that many little-endian f64s,
+// then the weights vector.
 impl Encode for CentroidSet {
     fn encode(&self, w: &mut Writer) {
-        self.centroids.encode(w);
+        w.put_varint(self.centroids.len() as u64);
+        for row in self.centroids.rows() {
+            w.put_varint(row.len() as u64);
+            for x in row {
+                x.encode(w);
+            }
+        }
         self.weights.encode(w);
     }
 }
 
 impl Decode for CentroidSet {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
-        let centroids = Vec::<Point>::decode(r)?;
+        let k = r.seq_len()?;
+        let mut centroids = Matrix::new(0);
+        for i in 0..k {
+            let dim = r.seq_len()?;
+            if i == 0 {
+                centroids = Matrix::with_capacity(dim, k);
+            } else if dim != centroids.dim() {
+                return Err(Error::Decode("inconsistent centroid dims".into()));
+            }
+            let mut row = Vec::with_capacity(dim.min(4096));
+            for _ in 0..dim {
+                row.push(f64::decode(r)?);
+            }
+            centroids.push_row(&row);
+        }
         let weights = Vec::<f64>::decode(r)?;
         CentroidSet::new(centroids, weights).map_err(|e| Error::Decode(e.to_string()))
     }
@@ -114,69 +139,85 @@ mod tests {
     use edgelet_wire::{from_bytes, to_bytes};
     use proptest::prelude::*;
 
+    fn set(rows: &[Vec<f64>], weights: &[f64]) -> Result<CentroidSet> {
+        CentroidSet::new(Matrix::from_rows(rows), weights.to_vec())
+    }
+
     #[test]
     fn construction_validates() {
-        assert!(CentroidSet::new(vec![vec![1.0]], vec![1.0, 2.0]).is_err());
-        assert!(CentroidSet::new(vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 1.0]).is_err());
-        let s = CentroidSet::new(vec![vec![1.0], vec![2.0]], vec![3.0, 4.0]).unwrap();
+        assert!(set(&[vec![1.0]], &[1.0, 2.0]).is_err());
+        let s = set(&[vec![1.0], vec![2.0]], &[3.0, 4.0]).unwrap();
         assert_eq!(s.k(), 2);
         assert_eq!(s.total_weight(), 7.0);
     }
 
     #[test]
     fn weighted_barycenter() {
-        let mut a = CentroidSet::new(vec![vec![0.0, 0.0]], vec![1.0]).unwrap();
-        let b = CentroidSet::new(vec![vec![3.0, 6.0]], vec![2.0]).unwrap();
+        let mut a = set(&[vec![0.0, 0.0]], &[1.0]).unwrap();
+        let b = set(&[vec![3.0, 6.0]], &[2.0]).unwrap();
         a.merge(&b).unwrap();
-        assert_eq!(a.centroids[0], vec![2.0, 4.0]);
+        assert_eq!(a.centroids.row(0), &[2.0, 4.0]);
         assert_eq!(a.weights[0], 3.0);
     }
 
     #[test]
     fn zero_weight_peer_is_ignored() {
-        let mut a = CentroidSet::new(vec![vec![1.0]], vec![5.0]).unwrap();
-        let b = CentroidSet::new(vec![vec![100.0]], vec![0.0]).unwrap();
+        let mut a = set(&[vec![1.0]], &[5.0]).unwrap();
+        let b = set(&[vec![100.0]], &[0.0]).unwrap();
         a.merge(&b).unwrap();
-        assert_eq!(a.centroids[0], vec![1.0]);
+        assert_eq!(a.centroids.row(0), &[1.0]);
         assert_eq!(a.weights[0], 5.0);
         // And a zero-weight self adopts the peer.
-        let mut c = CentroidSet::new(vec![vec![0.0]], vec![0.0]).unwrap();
-        c.merge(&CentroidSet::new(vec![vec![7.0]], vec![3.0]).unwrap())
-            .unwrap();
-        assert_eq!(c.centroids[0], vec![7.0]);
+        let mut c = set(&[vec![0.0]], &[0.0]).unwrap();
+        c.merge(&set(&[vec![7.0]], &[3.0]).unwrap()).unwrap();
+        assert_eq!(c.centroids.row(0), &[7.0]);
     }
 
     #[test]
-    fn mismatched_k_rejected() {
-        let mut a = CentroidSet::new(vec![vec![1.0]], vec![1.0]).unwrap();
-        let b = CentroidSet::new(vec![vec![1.0], vec![2.0]], vec![1.0, 1.0]).unwrap();
+    fn mismatched_shapes_rejected() {
+        let mut a = set(&[vec![1.0]], &[1.0]).unwrap();
+        let b = set(&[vec![1.0], vec![2.0]], &[1.0, 1.0]).unwrap();
         assert!(a.merge(&b).is_err());
+        let c = set(&[vec![1.0, 2.0]], &[1.0]).unwrap();
+        assert!(a.merge(&c).is_err());
     }
 
     #[test]
     fn merge_all_equals_pairwise() {
-        let base = CentroidSet::new(vec![vec![0.0]], vec![1.0]).unwrap();
+        let base = set(&[vec![0.0]], &[1.0]).unwrap();
         let peers = [
-            CentroidSet::new(vec![vec![10.0]], vec![1.0]).unwrap(),
-            CentroidSet::new(vec![vec![20.0]], vec![2.0]).unwrap(),
+            set(&[vec![10.0]], &[1.0]).unwrap(),
+            set(&[vec![20.0]], &[2.0]).unwrap(),
         ];
         let merged = CentroidSet::merge_all(base, peers.iter()).unwrap();
         // (0*1 + 10*1)/2 = 5; (5*2 + 20*2)/4 = 12.5
-        assert_eq!(merged.centroids[0], vec![12.5]);
+        assert_eq!(merged.centroids.row(0), &[12.5]);
         assert_eq!(merged.weights[0], 4.0);
     }
 
     #[test]
     fn wire_roundtrip() {
-        let s = CentroidSet::new(vec![vec![1.5, -2.0], vec![0.0, 3.25]], vec![10.0, 0.0]).unwrap();
+        let s = set(&[vec![1.5, -2.0], vec![0.0, 3.25]], &[10.0, 0.0]).unwrap();
         let back: CentroidSet = from_bytes(&to_bytes(&s)).unwrap();
         assert_eq!(back, s);
         // Corrupt arity fails decode.
         let bad = CentroidSet {
-            centroids: vec![vec![1.0]],
+            centroids: Matrix::from_rows(&[vec![1.0]]),
             weights: vec![1.0, 2.0],
         };
         assert!(from_bytes::<CentroidSet>(&to_bytes(&bad)).is_err());
+    }
+
+    #[test]
+    fn wire_layout_matches_legacy_nested_vecs() {
+        // The flat Matrix storage must not change what goes on the wire:
+        // peers running the previous Vec<Vec<f64>> layout decode it as
+        // (centroid rows, weights).
+        let s = set(&[vec![1.5, -2.0], vec![0.0, 3.25]], &[10.0, 0.5]).unwrap();
+        let legacy = (s.centroids.to_rows(), s.weights.clone());
+        assert_eq!(to_bytes(&s), to_bytes(&legacy));
+        let back: (Vec<Vec<f64>>, Vec<f64>) = from_bytes(&to_bytes(&s)).unwrap();
+        assert_eq!(back, legacy);
     }
 
     proptest! {
@@ -195,13 +236,13 @@ mod tests {
                 .iter()
                 .map(|c| {
                     let mean = c.iter().sum::<f64>() / c.len() as f64;
-                    CentroidSet::new(vec![vec![mean]], vec![c.len() as f64]).unwrap()
+                    set(&[vec![mean]], &[c.len() as f64]).unwrap()
                 })
                 .collect();
             let merged = CentroidSet::merge_all(sets[0].clone(), sets[1..].iter()).unwrap();
             let all: Vec<f64> = chunks.iter().flatten().copied().collect();
             let global_mean = all.iter().sum::<f64>() / all.len() as f64;
-            prop_assert!((merged.centroids[0][0] - global_mean).abs() < 1e-9);
+            prop_assert!((merged.centroids.row(0)[0] - global_mean).abs() < 1e-9);
             prop_assert!((merged.total_weight() - all.len() as f64).abs() < 1e-9);
         }
     }

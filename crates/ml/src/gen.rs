@@ -1,53 +1,60 @@
 //! Synthetic clusterable data: isotropic Gaussian mixtures.
 
-use crate::kmeans::Point;
+use crate::matrix::Matrix;
 use edgelet_util::rng::DetRng;
 
 /// Samples `n` points from a mixture of isotropic Gaussians given as
 /// `(center, standard deviation)` pairs, components equally weighted.
-/// Returns the points and their true component labels.
+/// Returns the points (one matrix row each) and their true component
+/// labels.
 pub fn gaussian_mixture(
-    components: &[(Point, f64)],
+    components: &[(Vec<f64>, f64)],
     n: usize,
     rng: &mut DetRng,
-) -> (Vec<Point>, Vec<usize>) {
+) -> (Matrix, Vec<usize>) {
     assert!(
         !components.is_empty(),
         "mixture needs at least one component"
     );
-    let mut points = Vec::with_capacity(n);
+    let dim = components[0].0.len();
+    let mut points = Matrix::with_capacity(dim, n);
     let mut labels = Vec::with_capacity(n);
+    let mut row = vec![0.0; dim];
     for _ in 0..n {
         let c = rng.range(0..components.len());
         let (center, sd) = &components[c];
-        let p: Point = center.iter().map(|&m| rng.normal(m, *sd)).collect();
-        points.push(p);
+        for (out, &m) in row.iter_mut().zip(center) {
+            *out = rng.normal(m, *sd);
+        }
+        points.push_row(&row);
         labels.push(c);
     }
     (points, labels)
 }
 
-/// Extracts numeric feature vectors from store rows over named columns,
-/// skipping rows with nulls or non-numeric values in those columns.
+/// Extracts numeric feature vectors from store rows over named columns
+/// into one flat matrix, skipping rows with nulls or non-numeric values
+/// in those columns.
 pub fn rows_to_points(
     schema: &edgelet_store::Schema,
     rows: &[edgelet_store::Row],
     columns: &[&str],
-) -> edgelet_util::Result<Vec<Point>> {
+) -> edgelet_util::Result<Matrix> {
     let idx: Vec<usize> = columns
         .iter()
         .map(|c| schema.index_of(c))
         .collect::<edgelet_util::Result<_>>()?;
-    let mut out = Vec::with_capacity(rows.len());
+    let mut out = Matrix::with_capacity(idx.len(), rows.len());
+    let mut p = Vec::with_capacity(idx.len());
     'rows: for row in rows {
-        let mut p = Vec::with_capacity(idx.len());
+        p.clear();
         for &i in &idx {
             match row.get(i).and_then(|v| v.as_f64()) {
                 Some(x) => p.push(x),
                 None => continue 'rows,
             }
         }
-        out.push(p);
+        out.push_row(&p);
     }
     Ok(out)
 }
@@ -66,9 +73,10 @@ mod tests {
             &mut rng,
         );
         assert_eq!(points.len(), 1000);
+        assert_eq!(points.dim(), 2);
         assert_eq!(labels.len(), 1000);
         // Labels match proximity for well-separated components.
-        for (p, &l) in points.iter().zip(&labels) {
+        for (p, &l) in points.rows().zip(&labels) {
             let near0 = p[0] < 50.0;
             assert_eq!(near0, l == 0, "point {p:?} label {l}");
         }
@@ -83,7 +91,7 @@ mod tests {
         let store = synth::health_store(50, &mut rng);
         let pts = rows_to_points(store.schema(), store.rows(), &["age", "bmi"]).unwrap();
         assert_eq!(pts.len(), 50);
-        assert!(pts.iter().all(|p| p.len() == 2));
+        assert_eq!(pts.dim(), 2);
 
         // Nulls are skipped.
         let schema = store.schema().clone();

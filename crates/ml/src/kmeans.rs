@@ -1,10 +1,15 @@
 //! K-Means: k-means++ seeding, Lloyd iterations, mini-batch refinement.
+//!
+//! All kernels operate on the flat row-major [`Matrix`] layout: points and
+//! centroids live in one contiguous buffer each, and the assignment /
+//! centroid-update passes run over `&[f64]` slices with a reusable
+//! [`LloydScratch`] instead of allocating per step. The arithmetic keeps
+//! the exact accumulation order of the original row-oriented code, so
+//! results are bit-identical.
 
+use crate::matrix::Matrix;
 use edgelet_util::rng::DetRng;
 use edgelet_util::{Error, Result};
-
-/// A data point in feature space.
-pub type Point = Vec<f64>;
 
 /// K-Means configuration.
 #[derive(Debug, Clone)]
@@ -30,10 +35,28 @@ impl Default for KMeansConfig {
 /// K-Means state: centroids plus the weight (point count) behind each.
 #[derive(Debug, Clone)]
 pub struct KMeans {
-    /// Cluster centers.
-    pub centroids: Vec<Point>,
+    /// Cluster centers, one row per centroid.
+    pub centroids: Matrix,
     /// Points assigned to each centroid during the last refinement.
     pub weights: Vec<f64>,
+}
+
+/// Reusable accumulators for [`KMeans::lloyd_step_with`]: flat `k × dim`
+/// per-cluster sums plus assignment counts, allocated once and cleared in
+/// place between steps.
+#[derive(Debug, Default)]
+pub struct LloydScratch {
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+}
+
+impl LloydScratch {
+    fn reset(&mut self, k: usize, dim: usize) {
+        self.sums.clear();
+        self.sums.resize(k * dim, 0.0);
+        self.counts.clear();
+        self.counts.resize(k, 0);
+    }
 }
 
 /// Squared Euclidean distance.
@@ -43,10 +66,10 @@ pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Index of the nearest centroid.
-pub fn nearest(centroids: &[Point], p: &[f64]) -> usize {
+pub fn nearest(centroids: &Matrix, p: &[f64]) -> usize {
     let mut best = 0;
     let mut best_d = f64::INFINITY;
-    for (i, c) in centroids.iter().enumerate() {
+    for (i, c) in centroids.rows().enumerate() {
         let d = dist2(c, p);
         if d < best_d {
             best_d = d;
@@ -57,15 +80,15 @@ pub fn nearest(centroids: &[Point], p: &[f64]) -> usize {
 }
 
 /// Sum of squared distances of points to their nearest centroid.
-pub fn inertia(centroids: &[Point], points: &[Point]) -> f64 {
+pub fn inertia(centroids: &Matrix, points: &Matrix) -> f64 {
     points
-        .iter()
-        .map(|p| dist2(&centroids[nearest(centroids, p)], p))
+        .rows()
+        .map(|p| dist2(centroids.row(nearest(centroids, p)), p))
         .sum()
 }
 
 /// k-means++ seeding (Arthur & Vassilvitskii).
-pub fn kmeans_pp_seed(points: &[Point], k: usize, rng: &mut DetRng) -> Result<Vec<Point>> {
+pub fn kmeans_pp_seed(points: &Matrix, k: usize, rng: &mut DetRng) -> Result<Matrix> {
     if points.is_empty() {
         return Err(Error::InvalidConfig(
             "cannot seed k-means on no points".into(),
@@ -75,14 +98,14 @@ pub fn kmeans_pp_seed(points: &[Point], k: usize, rng: &mut DetRng) -> Result<Ve
         return Err(Error::InvalidConfig("k must be positive".into()));
     }
     let k = k.min(points.len());
-    let mut centroids: Vec<Point> = Vec::with_capacity(k);
-    centroids.push(points[rng.range(0..points.len())].clone());
-    let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centroids[0])).collect();
+    let mut centroids = Matrix::with_capacity(points.dim(), k);
+    centroids.push_row(points.row(rng.range(0..points.len())));
+    let mut d2: Vec<f64> = points.rows().map(|p| dist2(p, centroids.row(0))).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
             // All remaining points coincide with a centroid; pick uniformly.
-            points[rng.range(0..points.len())].clone()
+            rng.range(0..points.len())
         } else {
             let mut target = rng.next_f64() * total;
             let mut chosen = points.len() - 1;
@@ -93,42 +116,44 @@ pub fn kmeans_pp_seed(points: &[Point], k: usize, rng: &mut DetRng) -> Result<Ve
                 }
                 target -= w;
             }
-            points[chosen].clone()
+            chosen
         };
-        for (i, p) in points.iter().enumerate() {
-            let d = dist2(p, &next);
+        centroids.push_row(points.row(next));
+        let next = centroids.row(centroids.len() - 1);
+        for (i, p) in points.rows().enumerate() {
+            let d = dist2(p, next);
             if d < d2[i] {
                 d2[i] = d;
             }
         }
-        centroids.push(next);
     }
     Ok(centroids)
 }
 
 impl KMeans {
     /// Seeds with k-means++ over the given points.
-    pub fn seed(points: &[Point], config: &KMeansConfig, rng: &mut DetRng) -> Result<Self> {
+    pub fn seed(points: &Matrix, config: &KMeansConfig, rng: &mut DetRng) -> Result<Self> {
         let centroids = kmeans_pp_seed(points, config.k, rng)?;
         let weights = vec![0.0; centroids.len()];
         Ok(Self { centroids, weights })
     }
 
     /// Creates a state from explicit centroids (e.g. received knowledge).
-    pub fn from_centroids(centroids: Vec<Point>) -> Self {
+    pub fn from_centroids(centroids: Matrix) -> Self {
         let weights = vec![0.0; centroids.len()];
         Self { centroids, weights }
     }
 
     /// Runs Lloyd iterations until convergence or the iteration cap.
     /// Returns the number of iterations performed.
-    pub fn fit(&mut self, points: &[Point], config: &KMeansConfig) -> Result<usize> {
+    pub fn fit(&mut self, points: &Matrix, config: &KMeansConfig) -> Result<usize> {
         if points.is_empty() {
             return Ok(0);
         }
+        let mut scratch = LloydScratch::default();
         let mut prev_inertia = f64::INFINITY;
         for iter in 0..config.max_iterations {
-            let moved = self.lloyd_step(points);
+            let moved = self.lloyd_step_with(points, &mut scratch);
             let cur = inertia(&self.centroids, points);
             let improved = (prev_inertia - cur) / prev_inertia.max(1e-300);
             prev_inertia = cur;
@@ -139,56 +164,70 @@ impl KMeans {
         Ok(config.max_iterations)
     }
 
-    /// One Lloyd step: assign + recompute. Returns whether any centroid
-    /// moved. Also refreshes `weights` with the assignment counts.
-    pub fn lloyd_step(&mut self, points: &[Point]) -> bool {
+    /// One Lloyd step with internal (one-shot) scratch. Prefer
+    /// [`Self::lloyd_step_with`] in loops.
+    pub fn lloyd_step(&mut self, points: &Matrix) -> bool {
+        let mut scratch = LloydScratch::default();
+        self.lloyd_step_with(points, &mut scratch)
+    }
+
+    /// One Lloyd step: assign + recompute, accumulating into `scratch`
+    /// (cleared on entry, reusable across steps). Returns whether any
+    /// centroid moved. Also refreshes `weights` with assignment counts.
+    pub fn lloyd_step_with(&mut self, points: &Matrix, scratch: &mut LloydScratch) -> bool {
         let k = self.centroids.len();
         if k == 0 || points.is_empty() {
             return false;
         }
-        let dim = self.centroids[0].len();
-        let mut sums = vec![vec![0.0; dim]; k];
-        let mut counts = vec![0usize; k];
-        for p in points {
+        let dim = self.centroids.dim();
+        scratch.reset(k, dim);
+        for p in points.rows() {
             let c = nearest(&self.centroids, p);
-            counts[c] += 1;
-            for (s, x) in sums[c].iter_mut().zip(p) {
+            scratch.counts[c] += 1;
+            let sum = &mut scratch.sums[c * dim..c * dim + dim];
+            for (s, x) in sum.iter_mut().zip(p) {
                 *s += x;
             }
         }
         let mut moved = false;
         for i in 0..k {
-            if counts[i] == 0 {
+            if scratch.counts[i] == 0 {
                 // Empty cluster keeps its previous position.
                 self.weights[i] = 0.0;
                 continue;
             }
-            let new: Point = sums[i].iter().map(|s| s / counts[i] as f64).collect();
-            if dist2(&new, &self.centroids[i]) > 0.0 {
+            // Turn the sum row into the new centroid in place, then compare
+            // with the previous position before overwriting it.
+            let sum = &mut scratch.sums[i * dim..i * dim + dim];
+            for s in sum.iter_mut() {
+                *s /= scratch.counts[i] as f64;
+            }
+            if dist2(sum, self.centroids.row(i)) > 0.0 {
                 moved = true;
             }
-            self.centroids[i] = new;
-            self.weights[i] = counts[i] as f64;
+            self.centroids.row_mut(i).copy_from_slice(sum);
+            self.weights[i] = scratch.counts[i] as f64;
         }
         moved
     }
 
     /// Mini-batch update (Sculley, WWW'10): each batch point pulls its
     /// nearest centroid with a per-centroid learning rate `1/n_c`.
-    pub fn mini_batch_step(&mut self, batch: &[Point]) {
-        for p in batch {
+    pub fn mini_batch_step(&mut self, batch: &Matrix) {
+        for b in 0..batch.len() {
+            let p = batch.row(b);
             let c = nearest(&self.centroids, p);
             self.weights[c] += 1.0;
             let eta = 1.0 / self.weights[c];
-            for (ci, xi) in self.centroids[c].iter_mut().zip(p) {
+            for (ci, xi) in self.centroids.row_mut(c).iter_mut().zip(p) {
                 *ci += eta * (xi - *ci);
             }
         }
     }
 
     /// Cluster assignment for each point.
-    pub fn assign(&self, points: &[Point]) -> Vec<usize> {
-        points.iter().map(|p| nearest(&self.centroids, p)).collect()
+    pub fn assign(&self, points: &Matrix) -> Vec<usize> {
+        points.rows().map(|p| nearest(&self.centroids, p)).collect()
     }
 }
 
@@ -197,7 +236,7 @@ mod tests {
     use super::*;
     use crate::gen::gaussian_mixture;
 
-    fn three_blobs(n: usize, seed: u64) -> (Vec<Point>, Vec<usize>) {
+    fn three_blobs(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
         gaussian_mixture(
             &[
                 (vec![0.0, 0.0], 0.5),
@@ -212,8 +251,11 @@ mod tests {
     #[test]
     fn distances() {
         assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
-        assert_eq!(nearest(&[vec![0.0], vec![10.0]], &[6.0]), 1);
-        assert_eq!(inertia(&[vec![0.0]], &[vec![1.0], vec![-1.0]]), 2.0);
+        let cs = Matrix::from_rows(&[vec![0.0], vec![10.0]]);
+        assert_eq!(nearest(&cs, &[6.0]), 1);
+        let c = Matrix::from_rows(&[vec![0.0]]);
+        let pts = Matrix::from_rows(&[vec![1.0], vec![-1.0]]);
+        assert_eq!(inertia(&c, &pts), 2.0);
     }
 
     #[test]
@@ -221,15 +263,15 @@ mod tests {
         // k-means++ lands one seed per well-separated blob with high (not
         // certain) probability; check the success rate over many seeds.
         let (points, _) = three_blobs(300, 1);
+        let truth = Matrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0]]);
         let mut covered = 0;
         for seed in 0..20 {
             let mut rng = DetRng::new(seed);
             let seeds = kmeans_pp_seed(&points, 3, &mut rng).unwrap();
             assert_eq!(seeds.len(), 3);
             let mut blob_hits = [false; 3];
-            for s in &seeds {
-                let blob = nearest(&[vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0]], s);
-                blob_hits[blob] = true;
+            for s in seeds.rows() {
+                blob_hits[nearest(&truth, s)] = true;
             }
             if blob_hits.iter().all(|&h| h) {
                 covered += 1;
@@ -244,13 +286,15 @@ mod tests {
     #[test]
     fn seeding_edge_cases() {
         let mut rng = DetRng::new(3);
-        assert!(kmeans_pp_seed(&[], 3, &mut rng).is_err());
-        assert!(kmeans_pp_seed(&[vec![1.0]], 0, &mut rng).is_err());
+        assert!(kmeans_pp_seed(&Matrix::new(1), 3, &mut rng).is_err());
+        let one = Matrix::from_rows(&[vec![1.0]]);
+        assert!(kmeans_pp_seed(&one, 0, &mut rng).is_err());
         // k > points clamps.
-        let seeds = kmeans_pp_seed(&[vec![1.0], vec![2.0]], 5, &mut rng).unwrap();
+        let two = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let seeds = kmeans_pp_seed(&two, 5, &mut rng).unwrap();
         assert_eq!(seeds.len(), 2);
         // Identical points don't loop forever.
-        let same = vec![vec![7.0]; 10];
+        let same = Matrix::from_rows(&vec![vec![7.0]; 10]);
         let seeds = kmeans_pp_seed(&same, 3, &mut rng).unwrap();
         assert_eq!(seeds.len(), 3);
     }
@@ -271,7 +315,7 @@ mod tests {
         for truth in [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]] {
             let d = km
                 .centroids
-                .iter()
+                .rows()
                 .map(|c| dist2(c, &truth))
                 .fold(f64::INFINITY, f64::min);
             assert!(d < 0.5, "center {truth:?} missed: {:?}", km.centroids);
@@ -298,6 +342,26 @@ mod tests {
     }
 
     #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        let (points, _) = three_blobs(200, 11);
+        let cfg = KMeansConfig {
+            k: 3,
+            ..KMeansConfig::default()
+        };
+        let mut rng = DetRng::new(12);
+        let seeded = KMeans::seed(&points, &cfg, &mut rng).unwrap();
+        let mut with_reuse = seeded.clone();
+        let mut fresh_each = seeded;
+        let mut scratch = LloydScratch::default();
+        for _ in 0..5 {
+            with_reuse.lloyd_step_with(&points, &mut scratch);
+            fresh_each.lloyd_step(&points);
+        }
+        assert_eq!(with_reuse.centroids, fresh_each.centroids);
+        assert_eq!(with_reuse.weights, fresh_each.weights);
+    }
+
+    #[test]
     fn mini_batch_improves_inertia() {
         let (points, _) = three_blobs(500, 7);
         let mut rng = DetRng::new(8);
@@ -307,8 +371,9 @@ mod tests {
         };
         let mut km = KMeans::seed(&points, &cfg, &mut rng).unwrap();
         let before = inertia(&km.centroids, &points);
-        for chunk in points.chunks(50) {
-            km.mini_batch_step(chunk);
+        let indices: Vec<usize> = (0..points.len()).collect();
+        for chunk in indices.chunks(50) {
+            km.mini_batch_step(&points.gather(chunk));
         }
         let after = inertia(&km.centroids, &points);
         assert!(after <= before, "before {before}, after {after}");
@@ -317,10 +382,11 @@ mod tests {
     #[test]
     fn empty_inputs_are_safe() {
         let cfg = KMeansConfig::default();
-        let mut km = KMeans::from_centroids(vec![vec![0.0], vec![1.0]]);
-        assert_eq!(km.fit(&[], &cfg).unwrap(), 0);
-        assert!(!km.lloyd_step(&[]));
-        km.mini_batch_step(&[]);
-        assert!(km.assign(&[]).is_empty());
+        let mut km = KMeans::from_centroids(Matrix::from_rows(&[vec![0.0], vec![1.0]]));
+        let none = Matrix::new(1);
+        assert_eq!(km.fit(&none, &cfg).unwrap(), 0);
+        assert!(!km.lloyd_step(&none));
+        km.mini_batch_step(&none);
+        assert!(km.assign(&none).is_empty());
     }
 }

@@ -11,6 +11,8 @@
 //!   mini-batch refinement) and the distributed-knowledge form used by the
 //!   paper's iterative execution: each Computer improves centroids locally
 //!   and broadcasts them; peers merge by weighted barycenter;
+//! * [`matrix`] — the contiguous row-major [`Matrix`] storage every ML
+//!   kernel runs on (one allocation per dataset, rows as flat slices);
 //! * [`metrics`] — clustering quality measures (inertia, adjusted Rand
 //!   index) used to quantify accuracy vs. heartbeats in experiment E4;
 //! * [`gen`] — Gaussian-mixture generator for clusterable synthetic data.
@@ -23,9 +25,11 @@ pub mod distributed;
 pub mod gen;
 pub mod grouping;
 pub mod kmeans;
+pub mod matrix;
 pub mod metrics;
 
 pub use aggregate::{AggKind, AggSpec, PartialAgg};
 pub use distributed::CentroidSet;
 pub use grouping::{GroupedPartial, GroupingQuery, ResultTable};
 pub use kmeans::{KMeans, KMeansConfig};
+pub use matrix::Matrix;

@@ -10,6 +10,7 @@
 use crate::time::{Duration, SimTime};
 use edgelet_util::ids::DeviceId;
 use edgelet_util::rng::DetRng;
+use edgelet_util::Payload;
 
 /// Identifies an armed timer so it can be recognized or cancelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -20,11 +21,11 @@ pub struct TimerToken(pub u64);
 pub(crate) enum Command {
     Send {
         to: DeviceId,
-        payload: Vec<u8>,
+        payload: Payload,
     },
     Broadcast {
         to: Vec<DeviceId>,
-        payload: Vec<u8>,
+        payload: Payload,
     },
     SetTimer {
         token: TimerToken,
@@ -83,14 +84,25 @@ impl<'a> Context<'a> {
     }
 
     /// Sends a message to another device (subject to the network model).
-    pub fn send(&mut self, to: DeviceId, payload: Vec<u8>) {
-        self.commands.push(Command::Send { to, payload });
+    ///
+    /// Accepts anything convertible into a [`Payload`]; passing a
+    /// `Vec<u8>` or an existing `Payload` hands the bytes over without
+    /// copying them.
+    pub fn send(&mut self, to: DeviceId, payload: impl Into<Payload>) {
+        self.commands.push(Command::Send {
+            to,
+            payload: payload.into(),
+        });
     }
 
     /// Sends the same payload to many devices (one network message each).
-    pub fn broadcast(&mut self, to: Vec<DeviceId>, payload: Vec<u8>) {
+    /// All recipients share one buffer — fan-out costs no byte copies.
+    pub fn broadcast(&mut self, to: Vec<DeviceId>, payload: impl Into<Payload>) {
         if !to.is_empty() {
-            self.commands.push(Command::Broadcast { to, payload });
+            self.commands.push(Command::Broadcast {
+                to,
+                payload: payload.into(),
+            });
         }
     }
 

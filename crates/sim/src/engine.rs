@@ -8,6 +8,7 @@ use crate::time::{Duration, SimTime};
 use crate::trace::{Trace, TraceEvent};
 use edgelet_util::ids::DeviceId;
 use edgelet_util::rng::DetRng;
+use edgelet_util::Payload;
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 
@@ -60,7 +61,7 @@ enum EventKind {
     Deliver {
         to: DeviceId,
         from: DeviceId,
-        payload: Vec<u8>,
+        payload: Payload,
         sent_at: SimTime,
     },
     Timer {
@@ -106,9 +107,9 @@ struct DeviceState {
     cancelled: BTreeSet<TimerToken>,
     availability: Availability,
     /// Messages waiting for this (down) sender to reconnect.
-    outbox: Vec<(DeviceId, Vec<u8>, SimTime)>,
+    outbox: Vec<(DeviceId, Payload, SimTime)>,
     /// Messages waiting for this (down) receiver to reconnect.
-    inbox: Vec<(DeviceId, Vec<u8>, SimTime)>,
+    inbox: Vec<(DeviceId, Payload, SimTime)>,
 }
 
 /// A deterministic simulated world of devices and actors.
@@ -305,7 +306,7 @@ impl Simulation {
         &mut self,
         to: DeviceId,
         from: DeviceId,
-        payload: Vec<u8>,
+        payload: Payload,
         sent_at: SimTime,
     ) {
         let state = &mut self.devices[to.index()];
@@ -327,7 +328,7 @@ impl Simulation {
         self.metrics.messages_delivered += 1;
         self.metrics.delivery_delay.push(delay);
         self.trace
-            .record(self.now, TraceEvent::Delivered { from, to });
+            .record_with(self.now, || TraceEvent::Delivered { from, to });
         self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, &payload));
     }
 
@@ -340,9 +341,11 @@ impl Simulation {
         let now_up = state.up;
         if !now_up {
             self.metrics.disconnections += 1;
-            self.trace.record(self.now, TraceEvent::WentDown(device));
+            self.trace
+                .record_with(self.now, || TraceEvent::WentDown(device));
         } else {
-            self.trace.record(self.now, TraceEvent::CameUp(device));
+            self.trace
+                .record_with(self.now, || TraceEvent::CameUp(device));
         }
         // Schedule the next transition.
         let mut churn_rng = state.churn_rng.clone();
@@ -402,7 +405,8 @@ impl Simulation {
         state.outbox.clear();
         self.parked -= cleared;
         self.metrics.crashes += 1;
-        self.trace.record(self.now, TraceEvent::Crashed(device));
+        self.trace
+            .record_with(self.now, || TraceEvent::Crashed(device));
     }
 
     /// Runs a callback on a device's actor, then applies its commands.
@@ -431,8 +435,10 @@ impl Simulation {
             match cmd {
                 Command::Send { to, payload } => self.submit_send(device, to, payload),
                 Command::Broadcast { to, payload } => {
+                    // Every recipient shares the same buffer: fan-out is
+                    // a reference-count bump per target, not a copy.
                     for target in to {
-                        self.submit_send(device, target, payload.clone());
+                        self.submit_send(device, target, payload.share());
                     }
                 }
                 Command::SetTimer { token, fire_at } => {
@@ -451,7 +457,7 @@ impl Simulation {
         }
     }
 
-    fn submit_send(&mut self, from: DeviceId, to: DeviceId, payload: Vec<u8>) {
+    fn submit_send(&mut self, from: DeviceId, to: DeviceId, payload: Payload) {
         self.metrics.messages_sent += 1;
         self.metrics.bytes_sent += payload.len() as u64;
         let sender = &mut self.devices[from.index()];
@@ -466,7 +472,7 @@ impl Simulation {
     }
 
     /// Applies the network model and schedules delivery.
-    fn route(&mut self, from: DeviceId, to: DeviceId, mut payload: Vec<u8>, sent_at: SimTime) {
+    fn route(&mut self, from: DeviceId, to: DeviceId, mut payload: Payload, sent_at: SimTime) {
         if to.index() >= self.devices.len() {
             self.metrics.messages_dropped += 1;
             return;
@@ -475,26 +481,26 @@ impl Simulation {
             Fate::Dropped => {
                 self.metrics.messages_dropped += 1;
                 self.trace
-                    .record(self.now, TraceEvent::Dropped { from, to });
+                    .record_with(self.now, || TraceEvent::Dropped { from, to });
                 return;
             }
             Fate::Corrupted(offset) => {
+                // The rare mutating path: detach this recipient's copy
+                // from the shared buffer before flipping a bit, so other
+                // recipients of the same broadcast stay intact.
                 if !payload.is_empty() {
                     let idx = offset % payload.len();
-                    payload[idx] ^= 0x01;
+                    let mut bytes = std::mem::take(&mut payload).into_vec();
+                    bytes[idx] ^= 0x01;
+                    payload = Payload::new(bytes);
                 }
                 self.metrics.messages_corrupted += 1;
             }
             Fate::Delivered => {}
         }
-        self.trace.record(
-            self.now,
-            TraceEvent::Sent {
-                from,
-                to,
-                bytes: payload.len(),
-            },
-        );
+        let bytes = payload.len();
+        self.trace
+            .record_with(self.now, || TraceEvent::Sent { from, to, bytes });
         let latency = self.config.network.sample_latency(&mut self.net_rng);
         self.push(
             self.now + latency,

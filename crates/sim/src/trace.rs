@@ -89,6 +89,17 @@ impl Trace {
         self.total_recorded += 1;
     }
 
+    /// Records the event produced by `make` — but only when tracing is
+    /// enabled. With `trace_capacity: 0` the closure never runs, so hot
+    /// paths pay a single branch and construct nothing.
+    #[inline]
+    pub fn record_with(&mut self, at: SimTime, make: impl FnOnce() -> TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.record(at, make());
+    }
+
     /// Retained records, oldest first.
     pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
         self.records.iter()
@@ -97,6 +108,56 @@ impl Trace {
     /// Total events recorded (including evicted ones).
     pub fn total_recorded(&self) -> u64 {
         self.total_recorded
+    }
+
+    /// Order-sensitive digest (FNV-1a, 64-bit) over every retained
+    /// record. Two runs with identical traces produce identical digests
+    /// on any platform, so tests can pin "same seed → same trace" as a
+    /// single integer instead of diffing record lists.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for r in &self.records {
+            mix(r.at.as_micros());
+            match r.event {
+                TraceEvent::Sent { from, to, bytes } => {
+                    mix(0);
+                    mix(from.raw());
+                    mix(to.raw());
+                    mix(bytes as u64);
+                }
+                TraceEvent::Delivered { from, to } => {
+                    mix(1);
+                    mix(from.raw());
+                    mix(to.raw());
+                }
+                TraceEvent::Dropped { from, to } => {
+                    mix(2);
+                    mix(from.raw());
+                    mix(to.raw());
+                }
+                TraceEvent::WentDown(d) => {
+                    mix(3);
+                    mix(d.raw());
+                }
+                TraceEvent::CameUp(d) => {
+                    mix(4);
+                    mix(d.raw());
+                }
+                TraceEvent::Crashed(d) => {
+                    mix(5);
+                    mix(d.raw());
+                }
+            }
+        }
+        h
     }
 
     /// Records involving one device.
@@ -129,6 +190,19 @@ mod tests {
     }
 
     #[test]
+    fn record_with_skips_construction_when_disabled() {
+        let mut disabled = Trace::new(0);
+        disabled.record_with(SimTime::ZERO, || {
+            panic!("event must not be constructed with tracing off")
+        });
+        assert_eq!(disabled.total_recorded(), 0);
+
+        let mut enabled = Trace::new(2);
+        enabled.record_with(SimTime::ZERO, || TraceEvent::Crashed(DeviceId::new(1)));
+        assert_eq!(enabled.total_recorded(), 1);
+    }
+
+    #[test]
     fn ring_buffer_evicts_oldest() {
         let mut t = Trace::new(3);
         for i in 0..5u64 {
@@ -146,6 +220,48 @@ mod tests {
             })
             .collect();
         assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let sent = |from: u64, to: u64, bytes: usize| TraceEvent::Sent {
+            from: DeviceId::new(from),
+            to: DeviceId::new(to),
+            bytes,
+        };
+        let build = |events: &[(u64, TraceEvent)]| {
+            let mut t = Trace::new(16);
+            for (us, e) in events {
+                t.record(SimTime::from_micros(*us), e.clone());
+            }
+            t.digest()
+        };
+        let a = build(&[(1, sent(1, 2, 64)), (2, sent(2, 1, 64))]);
+        assert_eq!(
+            a,
+            build(&[(1, sent(1, 2, 64)), (2, sent(2, 1, 64))]),
+            "identical traces digest identically"
+        );
+        assert_ne!(a, build(&[(2, sent(2, 1, 64)), (1, sent(1, 2, 64))]));
+        assert_ne!(a, build(&[(1, sent(1, 2, 65)), (2, sent(2, 1, 64))]));
+        assert_ne!(
+            build(&[(
+                1,
+                TraceEvent::Delivered {
+                    from: DeviceId::new(7),
+                    to: DeviceId::new(8),
+                }
+            )]),
+            build(&[(
+                1,
+                TraceEvent::Dropped {
+                    from: DeviceId::new(7),
+                    to: DeviceId::new(8),
+                }
+            )]),
+            "event kind is part of the digest"
+        );
+        assert_eq!(Trace::new(0).digest(), Trace::new(8).digest());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! * [`binom`] — log-space binomial-tail combinatorics backing the
 //!   resiliency planner (choosing the overcollection degree `m`);
 //! * [`ids`] — strongly-typed identifier newtypes shared across crates;
+//! * [`payload`] — reference-counted immutable byte buffers, so fanning a
+//!   message out to N recipients shares one allocation instead of copying;
 //! * [`table`] — plain-text table rendering for the figure-regeneration
 //!   binaries.
 
@@ -19,8 +21,10 @@
 pub mod binom;
 pub mod error;
 pub mod ids;
+pub mod payload;
 pub mod rng;
 pub mod stats;
 pub mod table;
 
 pub use error::{Error, Result};
+pub use payload::Payload;

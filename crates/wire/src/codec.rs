@@ -8,7 +8,7 @@
 use crate::varint;
 use bytes::{BufMut, BytesMut};
 use edgelet_util::ids::{DeviceId, MessageId, OperatorId, PartitionId, QueryId};
-use edgelet_util::{Error, Result};
+use edgelet_util::{Error, Payload, Result};
 use std::collections::BTreeMap;
 
 /// Upper bound on decoded sequence lengths (elements, not bytes).
@@ -37,9 +37,9 @@ impl Writer {
 
     /// Appends a varint.
     pub fn put_varint(&mut self, v: u64) {
-        let mut tmp = Vec::with_capacity(varint::MAX_VARINT_LEN);
-        varint::write_u64(&mut tmp, v);
-        self.buf.put_slice(&tmp);
+        let mut tmp = [0u8; varint::MAX_VARINT_LEN];
+        let n = varint::write_u64_into(&mut tmp, v);
+        self.buf.put_slice(&tmp[..n]);
     }
 
     /// Appends raw bytes without a length prefix.
@@ -63,9 +63,16 @@ impl Writer {
         self.buf.is_empty()
     }
 
-    /// Finishes and returns the encoded bytes.
+    /// Finishes and returns the encoded bytes, handing over the internal
+    /// buffer (no copy).
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf.to_vec()
+        Vec::from(self.buf)
+    }
+
+    /// Finishes into a shareable [`Payload`], still without copying: the
+    /// buffer moves behind the payload's reference count.
+    pub fn into_payload(self) -> Payload {
+        Payload::from(self.into_bytes())
     }
 }
 

@@ -26,13 +26,22 @@ pub mod varint;
 pub use codec::{Decode, Encode, Reader, Writer};
 pub use frame::{Frame, FRAME_MAGIC, FRAME_VERSION};
 
-use edgelet_util::Result;
+use edgelet_util::{Payload, Result};
 
 /// Encodes a value into a fresh byte vector.
 pub fn to_bytes<T: Encode>(value: &T) -> Vec<u8> {
     let mut w = Writer::new();
     value.encode(&mut w);
     w.into_bytes()
+}
+
+/// Encodes a value straight into a shareable [`Payload`] — the encode
+/// buffer is handed over, never re-copied, so the result can fan out to
+/// any number of recipients for free.
+pub fn to_payload<T: Encode>(value: &T) -> Payload {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.into_payload()
 }
 
 /// Decodes a value from bytes, requiring full consumption of the input.
@@ -53,6 +62,15 @@ mod tests {
         let v: Vec<u32> = vec![1, 2, 3, 500_000];
         let bytes = to_bytes(&v);
         let back: Vec<u32> = from_bytes(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn to_payload_matches_to_bytes() {
+        let v: Vec<u32> = vec![1, 2, 3, 500_000];
+        let payload = to_payload(&v);
+        assert_eq!(payload.as_slice(), to_bytes(&v).as_slice());
+        let back: Vec<u32> = from_bytes(&payload).unwrap();
         assert_eq!(v, back);
     }
 

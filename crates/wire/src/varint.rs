@@ -24,6 +24,23 @@ pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
     }
 }
 
+/// Writes the varint encoding of `value` into a stack buffer, returning
+/// the number of bytes used. Allocation-free counterpart of [`write_u64`]
+/// for hot encode paths.
+pub fn write_u64_into(out: &mut [u8; MAX_VARINT_LEN], mut value: u64) -> usize {
+    let mut i = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out[i] = byte;
+            return i + 1;
+        }
+        out[i] = byte | 0x80;
+        i += 1;
+    }
+}
+
 /// Reads a varint from the front of `input`.
 ///
 /// Returns the value and the number of bytes consumed. Rejects truncated
@@ -79,6 +96,10 @@ mod tests {
         assert_eq!(back, v);
         assert_eq!(used, buf.len());
         assert_eq!(encoded_len(v), buf.len());
+        // The allocation-free writer must emit identical bytes.
+        let mut stack = [0u8; MAX_VARINT_LEN];
+        let n = write_u64_into(&mut stack, v);
+        assert_eq!(&stack[..n], buf.as_slice());
         buf.len()
     }
 

@@ -64,7 +64,7 @@ fn main() {
     println!("\ncombined centroids (age, bmi, systolic_bp):");
     for (i, (c, w)) in centroids
         .centroids
-        .iter()
+        .rows()
         .zip(&centroids.weights)
         .enumerate()
     {
@@ -81,11 +81,11 @@ fn main() {
     let central = platform.centralized_kmeans(&spec).unwrap();
     println!("centralized inertia (reference): {:.1}", central.inertia);
     // Map each distributed centroid to its closest centralized one.
-    for (i, c) in centroids.centroids.iter().enumerate() {
+    for (i, c) in centroids.centroids.rows().enumerate() {
         let j = nearest(&central.model.centroids, c);
         let d: f64 = c
             .iter()
-            .zip(&central.model.centroids[j])
+            .zip(central.model.centroids.row(j))
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
             .sqrt();

@@ -21,7 +21,13 @@ fn fingerprint(run: &edgelet_core::platform::RunResult) -> String {
 #[test]
 fn opportunistic_scenario_is_bit_for_bit_reproducible() {
     let run_once = || {
-        let mut p = Platform::build(Scenario::OpportunisticPolling.config(321));
+        let mut config = Scenario::OpportunisticPolling.config(321);
+        // Trace every event: the fingerprint below includes the trace
+        // digest, so reproducibility is asserted down to the exact
+        // sequence of sends, deliveries, drops, and churn transitions —
+        // not just the final report.
+        config.trace_capacity = 1 << 20;
+        let mut p = Platform::build(config);
         let spec = p.grouping_query(
             Predicate::True,
             400,
@@ -39,7 +45,10 @@ fn opportunistic_scenario_is_bit_for_bit_reproducible() {
                 },
             )
             .unwrap();
-        fingerprint(&run)
+        let digest = run
+            .trace_digest
+            .expect("tracing was enabled, the digest must be present");
+        format!("{}|trace:{digest:016x}", fingerprint(&run))
     };
     assert_eq!(run_once(), run_once());
 }

@@ -153,15 +153,15 @@ fn per_cluster_aggregates_cover_the_snapshot() {
     };
     let oldest = (0..centroids.k())
         .max_by(|&a, &b| {
-            centroids.centroids[a][0]
-                .partial_cmp(&centroids.centroids[b][0])
+            centroids.centroids.row(a)[0]
+                .partial_cmp(&centroids.centroids.row(b)[0])
                 .unwrap()
         })
         .unwrap();
     let youngest = (0..centroids.k())
         .min_by(|&a, &b| {
-            centroids.centroids[a][0]
-                .partial_cmp(&centroids.centroids[b][0])
+            centroids.centroids.row(a)[0]
+                .partial_cmp(&centroids.centroids.row(b)[0])
                 .unwrap()
         })
         .unwrap();

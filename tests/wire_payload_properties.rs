@@ -1,0 +1,265 @@
+//! Properties the zero-copy payload fabric must preserve.
+//!
+//! The `Payload` refactor changed how message bytes are owned (one
+//! `Arc`-backed buffer shared across recipients) without changing what
+//! the bytes *are*. These tests pin that invariant from two sides:
+//!
+//! * every protocol message variant survives encode → decode unchanged,
+//!   both as raw wire bytes and through the `Sealer` payload path
+//!   (plaintext and AEAD-sealed), including when the payload is fanned
+//!   out with `share()`;
+//! * the simulator trace of a whole-platform run is stable: same seed,
+//!   same trace digest (see `tests/determinism_and_scenarios.rs` for the
+//!   companion result-fingerprint check).
+
+use edgelet_exec::messages::Msg;
+use edgelet_exec::roles::Sealer;
+use edgelet_ml::aggregate::PartialAgg;
+use edgelet_ml::distributed::CentroidSet;
+use edgelet_ml::grouping::GroupedPartial;
+use edgelet_ml::Matrix;
+use edgelet_store::value::GroupKeyPart;
+use edgelet_store::{CmpOp, Predicate, Row, Value};
+use edgelet_util::ids::{DeviceId, PartitionId, QueryId};
+use edgelet_wire::{from_bytes, to_bytes};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+// ---------------------------------------------------------------------
+// A hand-rolled `Strategy` for protocol messages: the vendored proptest
+// has no combinators, but its `Strategy` trait is one method, so the
+// generator is a recursive-descent builder over the message grammar.
+// ---------------------------------------------------------------------
+
+fn finite_f64(rng: &mut TestRng) -> f64 {
+    loop {
+        // Raw bit patterns exercise the codec's fixed-width float path
+        // (negative zero, subnormals, infinities) — only NaN is excluded,
+        // because message equality is `PartialEq` over floats.
+        let f = match rng.below(4) {
+            0 => f64::from_bits(rng.next_u64()),
+            1 => rng.unit_f64() * 200.0 - 100.0,
+            2 => rng.next_u64() as i64 as f64,
+            _ => 0.0,
+        };
+        if !f.is_nan() {
+            return f;
+        }
+    }
+}
+
+fn value(rng: &mut TestRng) -> Value {
+    match rng.below(5) {
+        0 => Value::Null,
+        1 => Value::Int(rng.next_u64() as i64),
+        2 => Value::Float(finite_f64(rng)),
+        3 => Value::Text(text(rng)),
+        _ => Value::Bool(rng.below(2) == 0),
+    }
+}
+
+fn text(rng: &mut TestRng) -> String {
+    ".*".generate(rng)
+}
+
+fn row(rng: &mut TestRng) -> Row {
+    let n = rng.below(4);
+    Row::new((0..n).map(|_| value(rng)).collect())
+}
+
+fn rows(rng: &mut TestRng) -> Vec<Row> {
+    let n = rng.below(5);
+    (0..n).map(|_| row(rng)).collect()
+}
+
+fn columns(rng: &mut TestRng) -> Vec<String> {
+    let n = rng.below(4);
+    (0..n).map(|_| text(rng)).collect()
+}
+
+fn cmp_op(rng: &mut TestRng) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][rng.below(6)]
+}
+
+fn predicate(rng: &mut TestRng, depth: usize) -> Predicate {
+    let leaf_only = depth == 0;
+    match rng.below(if leaf_only { 3 } else { 6 }) {
+        0 => Predicate::True,
+        1 => Predicate::Cmp {
+            column: text(rng),
+            op: cmp_op(rng),
+            value: value(rng),
+        },
+        2 => Predicate::InList {
+            column: text(rng),
+            values: (0..rng.below(4)).map(|_| value(rng)).collect(),
+        },
+        3 => Predicate::Not(Box::new(predicate(rng, depth - 1))),
+        4 => Predicate::And(
+            Box::new(predicate(rng, depth - 1)),
+            Box::new(predicate(rng, depth - 1)),
+        ),
+        _ => Predicate::Or(
+            Box::new(predicate(rng, depth - 1)),
+            Box::new(predicate(rng, depth - 1)),
+        ),
+    }
+}
+
+fn group_key_part(rng: &mut TestRng) -> GroupKeyPart {
+    match rng.below(4) {
+        0 => GroupKeyPart::Null,
+        1 => GroupKeyPart::Int(rng.next_u64() as i64),
+        2 => GroupKeyPart::Text(text(rng)),
+        _ => GroupKeyPart::Bool(rng.below(2) == 0),
+    }
+}
+
+fn partial_agg(rng: &mut TestRng) -> PartialAgg {
+    match rng.below(6) {
+        0 => PartialAgg::Count(rng.next_u64()),
+        1 => PartialAgg::Sum(finite_f64(rng)),
+        2 => PartialAgg::Min((rng.below(2) == 0).then(|| value(rng))),
+        3 => PartialAgg::Max((rng.below(2) == 0).then(|| value(rng))),
+        4 => PartialAgg::Avg {
+            sum: finite_f64(rng),
+            count: rng.next_u64(),
+        },
+        _ => PartialAgg::Moments {
+            sum: finite_f64(rng),
+            sum_sq: finite_f64(rng),
+            count: rng.next_u64(),
+        },
+    }
+}
+
+fn grouped_partial(rng: &mut TestRng) -> GroupedPartial {
+    let mut partial = GroupedPartial::default();
+    for _ in 0..rng.below(4) {
+        let set_id = rng.below(4) as u32;
+        let key: Vec<GroupKeyPart> = (0..rng.below(3)).map(|_| group_key_part(rng)).collect();
+        let states: Vec<PartialAgg> = (0..rng.below(3)).map(|_| partial_agg(rng)).collect();
+        partial.groups.insert((set_id, key), states);
+    }
+    partial
+}
+
+fn centroid_set(rng: &mut TestRng) -> CentroidSet {
+    let k = 1 + rng.below(4);
+    let dim = 1 + rng.below(3);
+    let mut centroids = Matrix::with_capacity(dim, k);
+    let mut scratch = Vec::with_capacity(dim);
+    for _ in 0..k {
+        scratch.clear();
+        scratch.extend((0..dim).map(|_| finite_f64(rng)));
+        centroids.push_row(&scratch);
+    }
+    let weights = (0..k).map(|_| rng.unit_f64() * 100.0).collect();
+    CentroidSet::new(centroids, weights).expect("arity is consistent by construction")
+}
+
+/// Generates every `Msg` variant with arbitrary field contents.
+struct AnyMsg;
+
+impl Strategy for AnyMsg {
+    type Value = Msg;
+
+    fn generate(&self, rng: &mut TestRng) -> Msg {
+        let query = QueryId::new(rng.next_u64());
+        match rng.below(9) {
+            0 => Msg::ContributeRequest {
+                query,
+                filter: predicate(rng, 2),
+                columns: columns(rng),
+            },
+            1 => Msg::Contribution {
+                query,
+                rows: rows(rng),
+            },
+            2 => Msg::PartitionData {
+                query,
+                partition: PartitionId::new(rng.next_u64()),
+                attr_group: rng.next_u64() as u32,
+                columns: columns(rng),
+                rows: rows(rng),
+                complete: rng.below(2) == 0,
+            },
+            3 => Msg::GroupingPartial {
+                query,
+                partition: PartitionId::new(rng.next_u64()),
+                attr_group: rng.next_u64() as u32,
+                partial: grouped_partial(rng),
+                tuples: rng.next_u64(),
+                complete: rng.below(2) == 0,
+            },
+            4 => Msg::Knowledge {
+                query,
+                partition: PartitionId::new(rng.next_u64()),
+                round: rng.next_u64() as u32,
+                seed_origin: PartitionId::new(rng.next_u64()),
+                centroids: centroid_set(rng),
+            },
+            5 => Msg::KMeansFinal {
+                query,
+                partition: PartitionId::new(rng.next_u64()),
+                seed_origin: PartitionId::new(rng.next_u64()),
+                centroids: centroid_set(rng),
+                per_cluster: grouped_partial(rng),
+                tuples: rng.next_u64(),
+                complete: rng.below(2) == 0,
+            },
+            6 => Msg::FinalResult {
+                query,
+                payload: (0..rng.below(64)).map(|_| rng.next_u64() as u8).collect(),
+                partitions_merged: rng.next_u64(),
+                partitions_complete: rng.next_u64(),
+                replica: rng.next_u64() as u32,
+            },
+            7 => Msg::Ping {
+                query,
+                from_rank: rng.next_u64() as u32,
+            },
+            _ => Msg::Pong {
+                query,
+                from_rank: rng.next_u64() as u32,
+            },
+        }
+    }
+}
+
+proptest! {
+    /// Raw wire bytes: encode → decode is the identity on every variant,
+    /// and re-encoding the decoded message reproduces the same bytes.
+    #[test]
+    fn prop_msg_wire_roundtrip(msg in AnyMsg) {
+        let bytes = to_bytes(&msg);
+        let back: Msg = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &msg);
+        prop_assert_eq!(to_bytes(&back), bytes, "encoding must be canonical");
+    }
+
+    /// The network path: `Sealer::wrap` produces one shareable `Payload`;
+    /// every shared handle (the fan-out case) opens back to the original
+    /// message, in both plaintext and AEAD-sealed modes.
+    #[test]
+    fn prop_sealer_payload_roundtrip(msg in AnyMsg, sealed in 0usize..2) {
+        let root = [0x42u8; 32];
+        let mut sealer = Sealer::new(sealed == 1, &root, QueryId::new(7), DeviceId::new(3));
+        let payload = sealer.wrap(&msg);
+        let shared = payload.share();
+        prop_assert_eq!(
+            payload.as_slice().as_ptr(),
+            shared.as_slice().as_ptr(),
+            "fan-out must not copy the bytes"
+        );
+        prop_assert_eq!(&sealer.unwrap(&payload).unwrap(), &msg);
+        prop_assert_eq!(&sealer.unwrap(&shared).unwrap(), &msg);
+    }
+}

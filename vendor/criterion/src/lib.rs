@@ -1,0 +1,286 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of criterion's API its benches use: `Criterion`,
+//! benchmark groups with throughput annotation, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Differences from upstream, by design: no statistical analysis (a
+//! median over fixed-size samples instead of bootstrap confidence
+//! intervals), no HTML reports, and plain-text output only. The `--test`
+//! CLI flag is honored: each benchmark body runs exactly once, which is
+//! what the CI bench smoke job relies on.
+
+pub use std::hint::black_box;
+
+use std::time::Instant;
+
+/// How throughput is derived from elapsed time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for `iter_batched` (ignored: every batch is one
+/// routine call here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup before every routine call.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self.test_mode, name.as_ref(), None, 10, f);
+        self
+    }
+}
+
+/// A named group sharing a throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to scale reported times.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_benchmark(
+            self.criterion.test_mode,
+            &full,
+            self.throughput,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(
+    test_mode: bool,
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if test_mode {
+        let mut b = Bencher {
+            test_mode: true,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        println!("{name:<56} ok (test mode: one iteration)");
+        return;
+    }
+    let mut b = Bencher {
+        test_mode: false,
+        samples_ns: Vec::new(),
+    };
+    // Warm-up sample, then the measured samples.
+    f(&mut b);
+    b.samples_ns.clear();
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    b.samples_ns
+        .sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let median = b
+        .samples_ns
+        .get(b.samples_ns.len() / 2)
+        .copied()
+        .unwrap_or(0.0);
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!(
+                "  thrpt: {:>12} elem/s",
+                group_digits(n as f64 / (median * 1e-9))
+            )
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!(
+                "  thrpt: {:>9.2} MiB/s",
+                n as f64 / (median * 1e-9) / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<56} time: {:>14} ns/iter{thrpt}",
+        group_digits(median)
+    );
+}
+
+fn group_digits(v: f64) -> String {
+    let raw = format!("{v:.0}");
+    let mut out = String::new();
+    for (i, c) in raw.chars().enumerate() {
+        if i > 0 && (raw.len() - i) % 3 == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, called in a loop.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate the inner iteration count so one sample spans at
+        // least ~5ms, amortizing timer overhead.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((5e-3 / once) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.samples_ns
+            .push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+
+    /// Measures `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            return;
+        }
+        let mut total = 0.0f64;
+        let mut iters = 0u64;
+        // One sample: accumulate routine-only time until ~5ms is spent.
+        while total < 5e-3 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed().as_secs_f64();
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.samples_ns.push(total * 1e9 / iters.max(1) as f64);
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_and_plain_iter_produce_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            samples_ns: Vec::new(),
+        };
+        b.iter(|| 1 + 1);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.samples_ns.len(), 2);
+        assert!(b.samples_ns.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(1234567.0), "1_234_567");
+        assert_eq!(group_digits(12.0), "12");
+    }
+}

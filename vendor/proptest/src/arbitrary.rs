@@ -1,0 +1,111 @@
+//! `any::<T>()` and the `Arbitrary` trait.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Over-represent boundary values; uniform bits otherwise.
+                match rng.below(16) {
+                    0 => 0,
+                    1 => <$ty>::MAX,
+                    2 => <$ty>::MIN,
+                    3 => 1,
+                    _ => rng.next_u64() as $ty,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Arbitrary bit patterns: exercises subnormals, infinities, NaN.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32(rng.next_u64() as u32 % 0xD800).unwrap_or('\u{FFFD}')
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let bytes = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_hit_boundaries() {
+        let mut rng = TestRng::for_case("arbitrary::ints", 0);
+        let vs: Vec<u8> = (0..300).map(|_| u8::arbitrary(&mut rng)).collect();
+        assert!(vs.contains(&0));
+        assert!(vs.contains(&255));
+    }
+
+    #[test]
+    fn arrays_fill_every_byte() {
+        let mut rng = TestRng::for_case("arbitrary::arrays", 0);
+        // With 300 samples each byte position is zero in all of them with
+        // probability ~(1/256)^300: a stuck byte would be a codec bug.
+        let mut union = [0u8; 12];
+        for _ in 0..300 {
+            let a = <[u8; 12]>::arbitrary(&mut rng);
+            for (u, b) in union.iter_mut().zip(a) {
+                *u |= b;
+            }
+        }
+        assert!(union.iter().all(|&b| b != 0), "{union:?}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// Generates vectors whose length falls in `len`.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        // Bias toward the shortest allowed length (usually empty): edge
+        // cases around zero-length inputs are where decoders break.
+        let n = match rng.below(8) {
+            0 => self.len.start,
+            _ => self.len.start + rng.below(self.len.end - self.len.start),
+        };
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn lengths_respect_the_range() {
+        let mut rng = TestRng::for_case("collection::lens", 0);
+        let strat = vec(any::<u8>(), 2..5);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()), "{}", v.len());
+        }
+    }
+
+    #[test]
+    fn nested_strategies_compose() {
+        let mut rng = TestRng::for_case("collection::nested", 0);
+        let strat = vec((0usize..10, 0usize..10), 0..20);
+        let v = strat.generate(&mut rng);
+        assert!(v.len() < 20);
+        assert!(v.iter().all(|&(a, b)| a < 10 && b < 10));
+    }
+}

@@ -1,0 +1,45 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A position-independent index: generated once, projected onto any
+/// collection length via [`Index::index`].
+#[derive(Debug, Clone, Copy)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps this index onto `0..len` (`len` must be non-zero).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        ((u128::from(self.0) * len as u128) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projections_are_bounded_and_monotone_in_len() {
+        let mut rng = TestRng::for_case("sample::index", 0);
+        for _ in 0..200 {
+            let ix = Index::arbitrary(&mut rng);
+            for len in [1usize, 2, 7, 100] {
+                assert!(ix.index(len) < len);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn zero_length_panics() {
+        Index(0).index(0);
+    }
+}

@@ -1,0 +1,145 @@
+//! The `Strategy` trait and the built-in range/tuple/string strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value from the deterministic case stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// Strategies are generated through shared references inside `proptest!`,
+// so a reference to a strategy is itself a strategy.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Bias toward the endpoints now and then: boundary values
+                // find off-by-one bugs that uniform sampling misses.
+                let offset = match rng.below(16) {
+                    0 => 0,
+                    1 => (span - 1) as u128,
+                    _ => (u128::from(rng.next_u64()) * span) >> 64,
+                };
+                (self.start as i128 + offset as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $ty) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_float!(f32, f64);
+
+/// A `&str` strategy generates arbitrary strings (the pattern itself is
+/// ignored; see the crate docs).
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Mix ASCII with multi-byte scalars so UTF-8 boundary handling
+        // gets exercised.
+        const EXOTIC: &[char] = &['é', 'Δ', '—', '中', '🦀', '\u{0}', 'ß', '\n'];
+        let len = rng.below(24);
+        let mut out = String::new();
+        for _ in 0..len {
+            if rng.below(4) == 0 {
+                out.push(EXOTIC[rng.below(EXOTIC.len())]);
+            } else {
+                out.push((b' ' + rng.below(95) as u8) as char);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("strategy::ranges", 0);
+        for _ in 0..500 {
+            let v = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let s = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&s));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn boundary_bias_hits_endpoints() {
+        let mut rng = TestRng::for_case("strategy::bias", 0);
+        let vs: Vec<u64> = (0..200).map(|_| (0u64..100).generate(&mut rng)).collect();
+        assert!(vs.contains(&0));
+        assert!(vs.contains(&99));
+    }
+
+    #[test]
+    fn string_strategy_is_valid_utf8_of_mixed_width() {
+        let mut rng = TestRng::for_case("strategy::string", 0);
+        let mut saw_multibyte = false;
+        for _ in 0..100 {
+            let s = ".*".generate(&mut rng);
+            saw_multibyte |= s.chars().any(|c| c.len_utf8() > 1);
+        }
+        assert!(saw_multibyte);
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::for_case("strategy::tuple", 0);
+        let (a, b) = (0usize..10, 0usize..10).generate(&mut rng);
+        assert!(a < 10 && b < 10);
+    }
+}

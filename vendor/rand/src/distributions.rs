@@ -1,0 +1,121 @@
+//! Uniform range sampling, mirroring `rand::distributions::uniform`.
+
+/// Uniform sampling over ranges.
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Draws a uniform index in `0..n` (used by shuffling; `n > 0`).
+    pub fn sample_index<R: RngCore + ?Sized>(rng: &mut R, n: usize) -> usize {
+        debug_assert!(n > 0);
+        // Multiply-shift: maps 64 random bits onto 0..n with negligible
+        // bias for the range sizes used here.
+        ((u128::from(rng.next_u64()) * n as u128) >> 64) as usize
+    }
+
+    /// Types that can be sampled uniformly from a bounded interval.
+    pub trait SampleUniform: Sized {
+        /// Uniform draw from `[low, high)` (or `[low, high]` when
+        /// `inclusive`). Callers guarantee a non-empty interval.
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// Range forms accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range, panicking if it is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_between(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample empty range");
+            T::sample_between(rng, low, high, true)
+        }
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($ty:ty),*) => {$(
+            impl SampleUniform for $ty {
+                fn sample_between<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (high as i128 - low as i128
+                        + if inclusive { 1 } else { 0 }) as u128;
+                    let offset = (u128::from(rng.next_u64()) * span) >> 64;
+                    (low as i128 + offset as i128) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            _inclusive: bool,
+        ) -> Self {
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            low + u * (high - low)
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            _inclusive: bool,
+        ) -> Self {
+            let u = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+            low + u * (high - low)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::{SampleRange, SampleUniform};
+    use crate::prelude::*;
+
+    #[test]
+    fn full_width_spans_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = u64::sample_between(&mut rng, 0, u64::MAX, true);
+            let _ = v; // any value is in range by construction
+            let s: i64 = (i64::MIN..i64::MAX).sample_single(&mut rng);
+            assert!(s < i64::MAX);
+        }
+    }
+
+    #[test]
+    fn signed_ranges_cover_negatives() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut saw_negative = false;
+        for _ in 0..200 {
+            let v: i64 = (-10i64..10).sample_single(&mut rng);
+            assert!((-10..10).contains(&v));
+            saw_negative |= v < 0;
+        }
+        assert!(saw_negative);
+    }
+}
