@@ -216,6 +216,17 @@ pub mod codes {
     pub const DEADLINE_INFEASIBLE: &str = "E040";
     /// The deadline leaves less than 2x the critical-path floor.
     pub const DEADLINE_TIGHT: &str = "W041";
+    /// A fault rule targets a device id outside the simulated world.
+    pub const FAULT_TARGET_OOB: &str = "E060";
+    /// A fault rule can never match (empty time window or zero firing
+    /// limit).
+    pub const FAULT_WINDOW_EMPTY: &str = "E061";
+    /// An injected delay (or the rule's activation) lands past the query
+    /// deadline, so the fault cannot affect the outcome.
+    pub const FAULT_DELAY_BEYOND_DEADLINE: &str = "W062";
+    /// A fault rule is shadowed by an earlier unbounded rule with a
+    /// wider matcher (first-firing-rule-wins makes it unreachable).
+    pub const FAULT_RULE_UNREACHABLE: &str = "W063";
     /// Default-hasher `HashMap`/`HashSet` in a deterministic crate.
     pub const LINT_HASHER: &str = "E101";
     /// Wall-clock (`Instant`/`SystemTime`) outside the bench crate.
@@ -306,6 +317,26 @@ pub mod codes {
             DEADLINE_TIGHT,
             Severity::Warning,
             "deadline within 2x of the floor",
+        ),
+        (
+            FAULT_TARGET_OOB,
+            Severity::Error,
+            "fault rule targets a device outside the world",
+        ),
+        (
+            FAULT_WINDOW_EMPTY,
+            Severity::Error,
+            "fault rule can never match",
+        ),
+        (
+            FAULT_DELAY_BEYOND_DEADLINE,
+            Severity::Warning,
+            "fault lands past the query deadline",
+        ),
+        (
+            FAULT_RULE_UNREACHABLE,
+            Severity::Warning,
+            "fault rule shadowed by an earlier wider rule",
         ),
         (
             LINT_HASHER,

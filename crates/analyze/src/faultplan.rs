@@ -1,0 +1,229 @@
+//! Static checks for chaos [`FaultPlan`]s.
+//!
+//! A fault plan that targets devices outside the world, or whose rules
+//! can never fire, silently tests nothing — a campaign would sweep it
+//! and report a false "all clean". This lint catches those plans before
+//! any seed is spent:
+//!
+//! * `E060` — a rule's `from`/`to` matcher names a device id the world
+//!   does not contain;
+//! * `E061` — a rule can never match: empty `[after, until)` window or
+//!   a zero firing limit;
+//! * `W062` — the rule only activates (or its injected delay only
+//!   lands) after the query deadline, so it cannot affect the outcome;
+//! * `W063` — first-firing-rule-wins shadowing: an earlier rule with a
+//!   wider matcher, zero skip, and no firing limit consumes every match
+//!   the later rule could see.
+
+use crate::diagnostic::{codes, Diagnostic};
+use edgelet_sim::{FaultAction, FaultPlan, FaultRule};
+
+/// Checks `plan` against a world of `device_count` devices (ids
+/// `0..device_count`) and a query deadline in seconds.
+pub fn check_fault_plan(
+    plan: &FaultPlan,
+    device_count: u64,
+    deadline_secs: f64,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, rule) in plan.rules.iter().enumerate() {
+        let loc = format!("fault_plan.rules[{i}]");
+        for devices in [&rule.matcher.from, &rule.matcher.to].into_iter().flatten() {
+            for d in devices {
+                if d.raw() >= device_count {
+                    out.push(
+                        Diagnostic::error(
+                            codes::FAULT_TARGET_OOB,
+                            loc.clone(),
+                            format!(
+                                "rule targets device {d}, but the world has \
+                                 device ids 0..{device_count}"
+                            ),
+                        )
+                        .with_help(
+                            "fault plans are built against one world's QEP; \
+                             rebuild the plan for this seed"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+        }
+        if let (Some(after), Some(until)) = (rule.matcher.after, rule.matcher.until) {
+            if after >= until {
+                out.push(Diagnostic::error(
+                    codes::FAULT_WINDOW_EMPTY,
+                    loc.clone(),
+                    format!(
+                        "time window [{:.3}s, {:.3}s) is empty; the rule can never match",
+                        after.as_secs_f64(),
+                        until.as_secs_f64()
+                    ),
+                ));
+            }
+        }
+        if rule.limit == Some(0) {
+            out.push(Diagnostic::error(
+                codes::FAULT_WINDOW_EMPTY,
+                loc.clone(),
+                "firing limit is 0; the rule can never fire".to_string(),
+            ));
+        }
+        if let Some(after) = rule.matcher.after {
+            if after.as_secs_f64() >= deadline_secs {
+                out.push(Diagnostic::warning(
+                    codes::FAULT_DELAY_BEYOND_DEADLINE,
+                    loc.clone(),
+                    format!(
+                        "rule activates at {:.3}s, past the {deadline_secs:.3}s deadline",
+                        after.as_secs_f64()
+                    ),
+                ));
+            }
+        }
+        let extra = match rule.action {
+            FaultAction::Delay(d) => Some(d),
+            FaultAction::Duplicate { extra_delay } => Some(extra_delay),
+            _ => None,
+        };
+        if let Some(extra) = extra {
+            if extra.as_secs_f64() >= deadline_secs {
+                out.push(Diagnostic::warning(
+                    codes::FAULT_DELAY_BEYOND_DEADLINE,
+                    loc.clone(),
+                    format!(
+                        "injected delay of {:.3}s pushes delivery past the \
+                         {deadline_secs:.3}s deadline",
+                        extra.as_secs_f64()
+                    ),
+                ));
+            }
+        }
+        for (j, earlier) in plan.rules.iter().enumerate().take(i) {
+            if shadows(earlier, rule) {
+                out.push(
+                    Diagnostic::warning(
+                        codes::FAULT_RULE_UNREACHABLE,
+                        loc.clone(),
+                        format!(
+                            "rule is unreachable: rules[{j}] matches a superset of its \
+                             messages with no skip or firing limit, and evaluation is \
+                             first-firing-rule-wins"
+                        ),
+                    )
+                    .with_help("narrow the earlier rule or reorder the plan".to_string()),
+                );
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Does `earlier` consume every match `later` could see? Conservative:
+/// only flags when `earlier` fires on its first match, never stops, and
+/// each matcher dimension is a (non-strict) superset of `later`'s.
+fn shadows(earlier: &FaultRule, later: &FaultRule) -> bool {
+    if earlier.skip != 0 || earlier.limit.is_some() {
+        return false;
+    }
+    let superset_u16 = |wide: &Option<Vec<u16>>, narrow: &Option<Vec<u16>>| match (wide, narrow) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(w), Some(n)) => n.iter().all(|k| w.contains(k)),
+    };
+    let superset_dev = |wide: &Option<Vec<edgelet_util::ids::DeviceId>>,
+                        narrow: &Option<Vec<edgelet_util::ids::DeviceId>>| {
+        match (wide, narrow) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(w), Some(n)) => n.iter().all(|d| w.contains(d)),
+        }
+    };
+    let window_superset = {
+        let e_after = earlier.matcher.after.map_or(0, |t| t.as_micros());
+        let l_after = later.matcher.after.map_or(0, |t| t.as_micros());
+        let e_until = earlier.matcher.until.map_or(u64::MAX, |t| t.as_micros());
+        let l_until = later.matcher.until.map_or(u64::MAX, |t| t.as_micros());
+        e_after <= l_after && e_until >= l_until
+    };
+    superset_u16(&earlier.matcher.kinds, &later.matcher.kinds)
+        && superset_dev(&earlier.matcher.from, &later.matcher.from)
+        && superset_dev(&earlier.matcher.to, &later.matcher.to)
+        && window_superset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Severity;
+    use edgelet_sim::{Duration, FaultPlan, FaultRule, SimTime};
+    use edgelet_util::ids::DeviceId;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_micros(secs * 1_000_000)
+    }
+
+    #[test]
+    fn clean_plan_has_no_findings() {
+        let plan = FaultPlan::new()
+            .rule(FaultRule::new(FaultAction::Drop).on_kinds(&[4]).limit(1))
+            .rule(
+                FaultRule::new(FaultAction::Delay(Duration::from_secs(2)))
+                    .on_kinds(&[3])
+                    .to(&[DeviceId::new(5)]),
+            );
+        assert!(check_fault_plan(&plan, 10, 60.0).is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_target_is_an_error() {
+        let plan =
+            FaultPlan::new().rule(FaultRule::new(FaultAction::Drop).from(&[DeviceId::new(99)]));
+        let ds = check_fault_plan(&plan, 10, 60.0);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, codes::FAULT_TARGET_OOB);
+        assert_eq!(ds[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn empty_window_and_zero_limit_are_errors() {
+        let plan = FaultPlan::new()
+            .rule(FaultRule::new(FaultAction::Drop).after(t(10)).until(t(10)))
+            .rule(FaultRule::new(FaultAction::Drop).on_kinds(&[2]).limit(0));
+        let ds = check_fault_plan(&plan, 10, 60.0);
+        assert_eq!(ds.len(), 2);
+        assert!(ds.iter().all(|d| d.code == codes::FAULT_WINDOW_EMPTY));
+    }
+
+    #[test]
+    fn late_activation_and_huge_delay_warn() {
+        let plan = FaultPlan::new()
+            .rule(FaultRule::new(FaultAction::Drop).after(t(100)))
+            .rule(FaultRule::new(FaultAction::Delay(Duration::from_secs(120))));
+        let ds = check_fault_plan(&plan, 10, 60.0);
+        assert_eq!(ds.len(), 2);
+        assert!(ds
+            .iter()
+            .all(|d| d.code == codes::FAULT_DELAY_BEYOND_DEADLINE));
+        assert!(ds.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn shadowed_rule_warns() {
+        let plan = FaultPlan::new()
+            .rule(FaultRule::new(FaultAction::Drop).on_kinds(&[4, 6]))
+            .rule(FaultRule::new(FaultAction::Reorder).on_kinds(&[4]).limit(2));
+        let ds = check_fault_plan(&plan, 10, 60.0);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, codes::FAULT_RULE_UNREACHABLE);
+    }
+
+    #[test]
+    fn bounded_earlier_rule_does_not_shadow() {
+        let plan = FaultPlan::new()
+            .rule(FaultRule::new(FaultAction::Drop).on_kinds(&[4]).limit(1))
+            .rule(FaultRule::new(FaultAction::Reorder).on_kinds(&[4]));
+        assert!(check_fault_plan(&plan, 10, 60.0).is_empty());
+    }
+}

@@ -10,6 +10,11 @@
 //!   driver runs the plan-only subset as a deny-by-default
 //!   [`preflight`](semantic::preflight); the CLI exposes the full set as
 //!   `edgelet analyze`.
+//! * [`faultplan`] — checks chaos-harness
+//!   [`FaultPlan`](edgelet_sim::FaultPlan)s for rules that cannot fire
+//!   (out-of-world targets, empty windows, post-deadline activation,
+//!   first-firing-wins shadowing), so a campaign never sweeps a plan
+//!   that silently tests nothing.
 //! * [`lint`] — a token-level source scanner that keeps nondeterminism
 //!   (default-hasher collections, wall clocks, ambient RNG) and panic
 //!   paths out of the deterministic crates. It runs as a tier-1 test and
@@ -23,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod diagnostic;
+pub mod faultplan;
 pub mod lint;
 pub mod semantic;
 
@@ -30,4 +36,5 @@ pub mod semantic;
 pub(crate) mod testutil;
 
 pub use diagnostic::{has_errors, render_human, render_json, Diagnostic, Severity};
+pub use faultplan::check_fault_plan;
 pub use semantic::{analyze, analyze_plan, preflight, AnalyzeOptions};

@@ -1,0 +1,308 @@
+//! The campaign runner: sweep seeds x fault plans, record failing
+//! triples, shrink them to minimal repros.
+//!
+//! A campaign is deterministic end to end: seed `s` always runs the
+//! catalog plan `s % len` on a world built from seed `s`, so two
+//! campaigns over the same seed range produce the same failing
+//! `(scenario, seed, plan, trace_digest)` triples — the property the
+//! chaos smoke test pins in CI.
+
+use crate::corpus::CorpusEntry;
+use crate::oracle::{check_run, signature, Violation};
+use crate::plans::plan_for_seed;
+use crate::scenario::ChaosScenario;
+use edgelet_sim::{Duration, FaultAction, FaultPlan};
+use edgelet_util::Result;
+
+/// What to sweep.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seeds `0..seeds` are each run once per scenario.
+    pub seeds: u64,
+    /// Scenarios to sweep (default: all).
+    pub scenarios: Vec<ChaosScenario>,
+    /// Shrink failing plans to minimal repros (a few dozen extra runs
+    /// per failure; disable for the quickest possible sweep).
+    pub shrink: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seeds: 64,
+            scenarios: ChaosScenario::ALL.to_vec(),
+            shrink: true,
+        }
+    }
+}
+
+/// One failing run, shrunk (when enabled) to a minimal repro.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// World seed.
+    pub seed: u64,
+    /// Catalog name of the plan that failed.
+    pub plan_name: &'static str,
+    /// Trace digest of the *original* failing run (the triple CI
+    /// reports; shrunk plans digest differently by construction).
+    pub trace_digest: u64,
+    /// Sorted, deduplicated oracle names that fired.
+    pub oracles: Vec<String>,
+    /// First violation details, for the report.
+    pub details: Vec<String>,
+    /// The minimal plan that still reproduces the same oracle set
+    /// (equal to the original plan when shrinking is disabled).
+    pub shrunk: FaultPlan,
+    /// Rule count before shrinking.
+    pub rules_before: usize,
+}
+
+impl Failure {
+    /// The failing triple as a stable one-line record.
+    pub fn triple(&self) -> String {
+        format!(
+            "scenario={} seed={} plan={} digest={:#018x} oracles={}",
+            self.scenario,
+            self.seed,
+            self.plan_name,
+            self.trace_digest,
+            self.oracles.join(",")
+        )
+    }
+
+    /// A replayable corpus entry pinning this failure's verdict.
+    pub fn to_corpus_entry(&self) -> CorpusEntry {
+        CorpusEntry {
+            scenario: self.scenario.to_string(),
+            seed: self.seed,
+            plan_name: self.plan_name.to_string(),
+            expect: self.oracles.clone(),
+            plan: self.shrunk.clone(),
+        }
+    }
+}
+
+/// Campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Total runs executed (excluding shrinking reruns).
+    pub runs: u64,
+    /// Failing triples, in sweep order.
+    pub failures: Vec<Failure>,
+}
+
+impl CampaignReport {
+    /// Stable multi-line summary (identical across repeat campaigns —
+    /// the determinism property CI checks).
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "chaos campaign: {} runs, {} failing\n",
+            self.runs,
+            self.failures.len()
+        );
+        for f in &self.failures {
+            out.push_str(&format!(
+                "FAIL {} rules={}->{}\n",
+                f.triple(),
+                f.rules_before,
+                f.shrunk.rules.len()
+            ));
+            for d in &f.details {
+                out.push_str(&format!("     {d}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Executes one (scenario, seed, plan) run and checks every oracle.
+/// Returns the violations and the run's trace digest.
+pub fn run_one(
+    scenario: ChaosScenario,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<(Vec<Violation>, u64)> {
+    let run = scenario.open(seed, plan.clone()).run()?;
+    let digest = run.digest();
+    Ok((check_run(&run), digest))
+}
+
+/// Sweeps the configured seed range over every scenario.
+pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport> {
+    let mut report = CampaignReport::default();
+    for seed in 0..config.seeds {
+        for &scenario in &config.scenarios {
+            let named = plan_for_seed(scenario, seed)?;
+            let (violations, digest) = run_one(scenario, seed, &named.plan)?;
+            report.runs += 1;
+            if violations.is_empty() {
+                continue;
+            }
+            let expect = signature(&violations);
+            let rules_before = named.plan.rules.len();
+            let shrunk = if config.shrink {
+                shrink(scenario, seed, &named.plan, &expect)
+            } else {
+                named.plan.clone()
+            };
+            report.failures.push(Failure {
+                scenario: scenario.name(),
+                seed,
+                plan_name: named.name,
+                trace_digest: digest,
+                oracles: expect,
+                details: violations
+                    .iter()
+                    .take(3)
+                    .map(|v| v.detail.clone())
+                    .collect(),
+                shrunk,
+                rules_before,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Re-run budget per shrink: a failure never costs more than this many
+/// extra executions to minimize.
+const SHRINK_BUDGET: u32 = 48;
+
+struct Shrinker {
+    scenario: ChaosScenario,
+    seed: u64,
+    expect: Vec<String>,
+    budget: u32,
+}
+
+impl Shrinker {
+    /// Does `plan` still reproduce exactly the expected oracle set?
+    fn reproduces(&mut self, plan: &FaultPlan) -> bool {
+        if self.budget == 0 {
+            return false;
+        }
+        self.budget -= 1;
+        match run_one(self.scenario, self.seed, plan) {
+            Ok((violations, _)) => signature(&violations) == self.expect,
+            Err(_) => false,
+        }
+    }
+}
+
+/// Minimizes a failing plan while preserving its oracle signature:
+/// greedily drop whole rules, then bisect each surviving rule's numeric
+/// triggers (skip count, firing limit, injected delay) toward their
+/// smallest reproducing values.
+pub fn shrink(
+    scenario: ChaosScenario,
+    seed: u64,
+    plan: &FaultPlan,
+    expect: &[String],
+) -> FaultPlan {
+    let mut s = Shrinker {
+        scenario,
+        seed,
+        expect: expect.to_vec(),
+        budget: SHRINK_BUDGET,
+    };
+    let mut current = plan.clone();
+
+    // Phase 1: drop rules one at a time until no single removal keeps
+    // the failure alive.
+    'drop: loop {
+        for i in 0..current.rules.len() {
+            if current.rules.len() <= 1 {
+                break 'drop;
+            }
+            let mut candidate = current.clone();
+            candidate.rules.remove(i);
+            if s.reproduces(&candidate) {
+                current = candidate;
+                continue 'drop;
+            }
+        }
+        break;
+    }
+
+    // Phase 2: bisect numeric triggers per surviving rule.
+    for i in 0..current.rules.len() {
+        // skip: smallest value that still reproduces.
+        if current.rules[i].skip > 0 {
+            let mut lo = 0u64;
+            let mut hi = current.rules[i].skip; // known reproducing
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = current.clone();
+                candidate.rules[i].skip = mid;
+                if s.reproduces(&candidate) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            current.rules[i].skip = hi;
+        }
+        // limit: a single firing is the minimal repro if it suffices.
+        if current.rules[i].limit != Some(1) {
+            let mut candidate = current.clone();
+            candidate.rules[i].limit = Some(1);
+            if s.reproduces(&candidate) {
+                current = candidate;
+            }
+        }
+        // delay magnitude: halve toward zero while the failure holds.
+        loop {
+            let us = match current.rules[i].action {
+                FaultAction::Delay(d) => d.as_micros(),
+                FaultAction::Duplicate { extra_delay } => extra_delay.as_micros(),
+                _ => break,
+            };
+            if us == 0 {
+                break;
+            }
+            let halved = Duration::from_micros(us / 2);
+            let mut candidate = current.clone();
+            candidate.rules[i].action = match candidate.rules[i].action {
+                FaultAction::Duplicate { .. } => FaultAction::Duplicate {
+                    extra_delay: halved,
+                },
+                _ => FaultAction::Delay(halved),
+            };
+            if s.reproduces(&candidate) {
+                current = candidate;
+            } else {
+                break;
+            }
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_campaign_is_deterministic() {
+        let config = CampaignConfig {
+            seeds: 4,
+            scenarios: vec![ChaosScenario::Grouping],
+            shrink: false,
+        };
+        let a = run_campaign(&config).unwrap();
+        let b = run_campaign(&config).unwrap();
+        assert_eq!(a.runs, 4);
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn run_one_digest_is_reproducible() {
+        let plan = plan_for_seed(ChaosScenario::KMeans, 2).unwrap();
+        let (v1, d1) = run_one(ChaosScenario::KMeans, 2, &plan.plan).unwrap();
+        let (v2, d2) = run_one(ChaosScenario::KMeans, 2, &plan.plan).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(signature(&v1), signature(&v2));
+    }
+}

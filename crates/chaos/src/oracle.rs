@@ -1,0 +1,467 @@
+//! Post-run trace oracles: machine-checked invariants over one
+//! execution's complete history.
+//!
+//! Each oracle replays the simulator's trace ring buffer (plus the
+//! execution report and liability ledger) and checks one property the
+//! paper's guarantees rest on. Oracles never fire on a clean run; every
+//! violation is a protocol or accounting bug, reported with enough
+//! detail to debug from the failing `(seed, plan, digest)` triple alone.
+//!
+//! The pinned invariants (also tabulated in `docs/FAULTS.md`):
+//!
+//! | oracle | property |
+//! |---|---|
+//! | `zombie-send` | no device sends after it crash-stopped |
+//! | `single-active-replica` | a Backup replica emits operator output only once every lower rank is dead or silent past the suspicion span |
+//! | `liability-cap` | no device is ledger-charged more raw tuples than the partition quota allows for the collector roles it hosts |
+//! | `combiner-aggregates-bound` | a combiner device is charged at most one aggregate per distinct partial-sender seen on the wire |
+//! | `grouping-validity` | a valid grouping run's grand total equals the snapshot cardinality and the per-group counts sum to it |
+//! | `deadline-feasibility` | completion respects the deadline, validity implies completion, and an Overcollection plan's `(n, m)` meets the binomial validity model |
+
+use crate::scenario::{ChaosRun, ChaosScenario};
+use edgelet_exec::messages::kind;
+use edgelet_exec::QueryOutcome;
+use edgelet_query::plan::OperatorRole;
+use edgelet_query::Strategy;
+use edgelet_sim::{FaultKind, SimTime, TraceEvent};
+use edgelet_store::Value;
+use edgelet_util::binom::overcollection_validity;
+use edgelet_util::ids::DeviceId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One invariant violation found by an oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable oracle name (see the module table).
+    pub oracle: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(oracle: &'static str, detail: String) -> Self {
+        Violation { oracle, detail }
+    }
+}
+
+/// The sorted, deduplicated set of oracle names in a violation list —
+/// the *signature* shrinking preserves and corpus entries pin.
+pub fn signature(violations: &[Violation]) -> Vec<String> {
+    let mut names: Vec<String> = violations.iter().map(|v| v.oracle.to_string()).collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Trace events unpacked into the per-oracle indexes.
+struct TraceIndex {
+    /// First crash instant per device.
+    crash_at: BTreeMap<DeviceId, SimTime>,
+    /// Every `Sent` record (post network-fate: the message really left).
+    sends: Vec<(SimTime, DeviceId, DeviceId)>,
+    /// Every classified message kind (recorded at route entry, so this
+    /// includes messages a fault later dropped).
+    kinds: Vec<(SimTime, DeviceId, DeviceId, u16)>,
+    /// Every fault firing.
+    faults: Vec<(FaultKind, DeviceId, DeviceId)>,
+}
+
+impl TraceIndex {
+    fn build(run: &ChaosRun) -> TraceIndex {
+        let mut idx = TraceIndex {
+            crash_at: BTreeMap::new(),
+            sends: Vec::new(),
+            kinds: Vec::new(),
+            faults: Vec::new(),
+        };
+        for rec in &run.result.trace {
+            match rec.event {
+                TraceEvent::Crashed { device, .. } => {
+                    idx.crash_at.entry(device).or_insert(rec.at);
+                }
+                TraceEvent::Sent { from, to, .. } => idx.sends.push((rec.at, from, to)),
+                TraceEvent::MsgKind { from, to, kind } => {
+                    idx.kinds.push((rec.at, from, to, kind));
+                }
+                TraceEvent::FaultInjected { kind, from, to, .. } => {
+                    idx.faults.push((kind, from, to));
+                }
+                _ => {}
+            }
+        }
+        idx
+    }
+}
+
+/// Runs every oracle over one execution.
+pub fn check_run(run: &ChaosRun) -> Vec<Violation> {
+    let idx = TraceIndex::build(run);
+    let mut out = Vec::new();
+    zombie_send(run, &idx, &mut out);
+    single_active_replica(run, &idx, &mut out);
+    liability_cap(run, &mut out);
+    combiner_aggregates_bound(run, &idx, &mut out);
+    grouping_validity(run, &mut out);
+    deadline_feasibility(run, &mut out);
+    out
+}
+
+/// No message leaves a device strictly after its crash instant. Sends
+/// at exactly the crash instant are legal: an injected `CrashSender`
+/// lets the current actor callback finish before the crash lands.
+fn zombie_send(_run: &ChaosRun, idx: &TraceIndex, out: &mut Vec<Violation>) {
+    for &(at, from, to) in &idx.sends {
+        if let Some(&crashed) = idx.crash_at.get(&from) {
+            if at > crashed {
+                out.push(Violation::new(
+                    "zombie-send",
+                    format!(
+                        "device {from} crashed at {:.3}s but sent to {to} at {:.3}s",
+                        crashed.as_secs_f64(),
+                        at.as_secs_f64()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The operator-output message kinds a role forwards downstream. Pings
+/// and pongs are liveness traffic every replica may emit; output is
+/// what the rank gate guards.
+fn output_kinds(role: &OperatorRole) -> &'static [u16] {
+    match role {
+        OperatorRole::SnapshotBuilder { .. } => &[kind::PARTITION_DATA],
+        OperatorRole::Computer { .. } => {
+            &[kind::GROUPING_PARTIAL, kind::KNOWLEDGE, kind::KMEANS_FINAL]
+        }
+        OperatorRole::Combiner { .. } => &[kind::FINAL_RESULT],
+        OperatorRole::Querier => &[],
+    }
+}
+
+/// Margin (seconds) absorbing network latency and timer jitter between
+/// a lower rank's last send and the backup's observation of it.
+const SUSPICION_SLACK_SECS: f64 = 0.5;
+
+/// Backup strategy: a rank-`r` replica forwards operator output only
+/// when every lower rank is crashed or has been silent longer than the
+/// suspicion span. A backup emitting output while a lower rank provably
+/// signed life within the span is a gate violation.
+///
+/// Operators whose replica chain had liveness-relevant faults injected
+/// between chain members (drops, delays, reorders can fake silence) are
+/// skipped: suspicion there may be legitimate even though the trace
+/// shows recent sends. Crash faults never fake silence, so they do not
+/// disable the oracle.
+fn single_active_replica(run: &ChaosRun, idx: &TraceIndex, out: &mut Vec<Violation>) {
+    if run.resilience.strategy != Strategy::Backup {
+        return;
+    }
+    let suspect = run.suspect_timeout_secs;
+    for op in &run.result.plan.operators {
+        if op.backups.is_empty() || !op.role.is_data_processor() {
+            continue;
+        }
+        let chain: Vec<DeviceId> = std::iter::once(op.device)
+            .chain(op.backups.iter().copied())
+            .collect();
+        let chain_faulted = idx.faults.iter().any(|(k, f, t)| {
+            matches!(k, FaultKind::Drop | FaultKind::Delay | FaultKind::Reorder)
+                && chain.contains(f)
+                && chain.contains(t)
+        });
+        if chain_faulted {
+            continue;
+        }
+        let outputs = output_kinds(&op.role);
+        for rank in 1..chain.len() {
+            let backup = chain[rank];
+            for &(at, from, _to, k) in &idx.kinds {
+                if from != backup || !outputs.contains(&k) {
+                    continue;
+                }
+                for &lower in &chain[..rank] {
+                    let fresh_life = idx.sends.iter().any(|&(s, sf, st)| {
+                        sf == lower
+                            && st == backup
+                            && s <= at
+                            && at.as_secs_f64() - s.as_secs_f64() < suspect - SUSPICION_SLACK_SECS
+                    });
+                    if fresh_life {
+                        out.push(Violation::new(
+                            "single-active-replica",
+                            format!(
+                                "{} backup rank {rank} on {backup} sent kind {k} at {:.3}s \
+                                 while lower rank {lower} signed life within the \
+                                 {suspect:.1}s suspicion span",
+                                op.role.label(),
+                                at.as_secs_f64()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Raw-tuple liability: a device may be charged at most `quota` raw
+/// tuples per collector instance (Snapshot Builder or Computer, primary
+/// or replica) it hosts, and nothing if it hosts none. This is the
+/// ledger-side mirror of the paper's horizontal privacy cap.
+fn liability_cap(run: &ChaosRun, out: &mut Vec<Violation>) {
+    let plan = &run.result.plan;
+    let quota = plan.partition_quota as u64;
+    let mut instances: BTreeMap<DeviceId, u64> = BTreeMap::new();
+    for op in &plan.operators {
+        if matches!(
+            op.role,
+            OperatorRole::SnapshotBuilder { .. } | OperatorRole::Computer { .. }
+        ) {
+            for d in std::iter::once(op.device).chain(op.backups.iter().copied()) {
+                *instances.entry(d).or_default() += 1;
+            }
+        }
+    }
+    for (device, entry) in run.result.report.ledger.entries() {
+        let allowed = quota * instances.get(device).copied().unwrap_or(0);
+        if entry.raw_tuples_seen > allowed {
+            out.push(Violation::new(
+                "liability-cap",
+                format!(
+                    "device {device} charged {} raw tuples but hosts {} collector \
+                     instance(s) of quota {quota} (allowed {allowed})",
+                    entry.raw_tuples_seen,
+                    instances.get(device).copied().unwrap_or(0)
+                ),
+            ));
+        }
+    }
+}
+
+/// A combiner device merges — and is ledger-charged — at most one
+/// aggregate record per (partition, attribute group, sender) slot.
+/// The bound is derived from the trace, not the plan: the planner draws
+/// operators on distinct devices, so each partial-sender hosts exactly
+/// one Computer instance and can legitimately charge a given combiner
+/// device at most once. A charge count above the number of distinct
+/// partial-senders seen on the wire means a duplicated or replayed
+/// partial was double-charged (the idempotence guard in `CombinerActor`
+/// prevents this; the oracle pins it — a static `slots x replicas`
+/// bound is too slack to notice a single duplication).
+fn combiner_aggregates_bound(run: &ChaosRun, idx: &TraceIndex, out: &mut Vec<Violation>) {
+    const PARTIAL_KINDS: [u16; 2] = [kind::GROUPING_PARTIAL, kind::KMEANS_FINAL];
+    let plan = &run.result.plan;
+    for op in &plan.operators {
+        if !matches!(op.role, OperatorRole::Combiner { .. }) {
+            continue;
+        }
+        for d in std::iter::once(op.device).chain(op.backups.iter().copied()) {
+            if let Some(entry) = run.result.report.ledger.entries().get(&d) {
+                let senders: BTreeSet<DeviceId> = idx
+                    .kinds
+                    .iter()
+                    .filter(|&&(_, _, to, k)| to == d && PARTIAL_KINDS.contains(&k))
+                    .map(|&(_, from, _, _)| from)
+                    .collect();
+                let allowed = senders.len() as u64;
+                if entry.aggregates_seen > allowed {
+                    out.push(Violation::new(
+                        "combiner-aggregates-bound",
+                        format!(
+                            "combiner device {d} charged {} aggregates but only \
+                             {allowed} distinct partial-sender(s) appear on the \
+                             wire — a partial was charged more than once",
+                            entry.aggregates_seen
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// A *valid* grouping run must be arithmetically consistent with the
+/// centralized reference: the grand-total count equals the snapshot
+/// cardinality `C` (chaos worlds divide `C` evenly into partitions) and
+/// the per-group counts sum to the grand total.
+fn grouping_validity(run: &ChaosRun, out: &mut Vec<Violation>) {
+    let (ChaosScenario::Grouping, Some(grand_set)) = (run.scenario, run.grand_total_set) else {
+        return;
+    };
+    if !run.result.report.valid {
+        return;
+    }
+    let expected = run.snapshot_cardinality as i64;
+    let Some(QueryOutcome::Grouping(table)) = &run.result.report.outcome else {
+        out.push(Violation::new(
+            "grouping-validity",
+            "run is valid but has no grouping outcome".into(),
+        ));
+        return;
+    };
+    let count = |row: &edgelet_ml::grouping::ResultRow| match row.aggregates.first() {
+        Some(Value::Int(n)) => Some(*n),
+        _ => None,
+    };
+    let grand: Vec<i64> = table
+        .rows
+        .iter()
+        .filter(|r| r.set_index == grand_set)
+        .filter_map(&count)
+        .collect();
+    if grand != vec![expected] {
+        out.push(Violation::new(
+            "grouping-validity",
+            format!("valid run's grand-total counts are {grand:?}, expected [{expected}]"),
+        ));
+    }
+    let group_sum: i64 = table
+        .rows
+        .iter()
+        .filter(|r| r.set_index != grand_set)
+        .filter_map(&count)
+        .sum();
+    if group_sum != expected {
+        out.push(Violation::new(
+            "grouping-validity",
+            format!("valid run's per-group counts sum to {group_sum}, expected {expected}"),
+        ));
+    }
+}
+
+/// Completion respects the deadline; validity implies completion; and an
+/// Overcollection plan's `(n, m)` must satisfy the binomial validity
+/// model the planner provisioned it under (`query::resilience`).
+fn deadline_feasibility(run: &ChaosRun, out: &mut Vec<Violation>) {
+    let report = &run.result.report;
+    if let Some(secs) = report.completion_secs {
+        if secs > run.deadline_secs + 1e-6 {
+            out.push(Violation::new(
+                "deadline-feasibility",
+                format!(
+                    "completed at {secs:.3}s, after the {:.3}s deadline",
+                    run.deadline_secs
+                ),
+            ));
+        }
+    }
+    if report.valid && !report.completed {
+        out.push(Violation::new(
+            "deadline-feasibility",
+            "run is valid but not completed".into(),
+        ));
+    }
+    let plan = &run.result.plan;
+    if plan.strategy == Strategy::Overcollection && run.resilience.failure_probability > 0.0 {
+        // Mirror the planner's arithmetic: a partition pipeline spans one
+        // builder and `v` computers; the combiner pool's survival budgets
+        // the rest of the validity target.
+        let p_dev = run.resilience.failure_probability;
+        let v = plan.attr_groups.len() as i32;
+        let p_partition = 1.0 - (1.0 - p_dev).powi(1 + v);
+        let replicas = plan.combiners().len() as i32;
+        let combiner_survival = 1.0 - p_dev.powi(replicas);
+        let adjusted_target = if combiner_survival <= run.resilience.target_validity {
+            0.999_999
+        } else {
+            (run.resilience.target_validity / combiner_survival).min(0.999_999)
+        };
+        let achieved = overcollection_validity(plan.n, plan.m, p_partition);
+        if achieved + 1e-9 < adjusted_target {
+            out.push(Violation::new(
+                "deadline-feasibility",
+                format!(
+                    "overcollection (n={}, m={}) achieves validity {achieved:.6} \
+                     under p_partition={p_partition:.4}, below the provisioned \
+                     target {adjusted_target:.6}",
+                    plan.n, plan.m
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgelet_sim::{FaultPlan, TraceRecord};
+
+    fn clean_run(scenario: ChaosScenario) -> ChaosRun {
+        scenario.open(5, FaultPlan::new()).run().unwrap()
+    }
+
+    #[test]
+    fn baselines_pass_every_oracle() {
+        for s in ChaosScenario::ALL {
+            let run = clean_run(s);
+            let violations = check_run(&run);
+            assert!(violations.is_empty(), "{}: {violations:?}", s.name());
+        }
+    }
+
+    #[test]
+    fn zombie_oracle_fires_on_a_forged_post_crash_send() {
+        let mut run = clean_run(ChaosScenario::Grouping);
+        let d = run.result.plan.combiner().device;
+        let q = run.result.plan.querier().device;
+        run.result.trace.push(TraceRecord {
+            at: SimTime::from_micros(40_000_000),
+            event: TraceEvent::organic_crash(d),
+        });
+        run.result.trace.push(TraceRecord {
+            at: SimTime::from_micros(41_000_000),
+            event: TraceEvent::Sent {
+                from: d,
+                to: q,
+                bytes: 16,
+            },
+        });
+        let violations = check_run(&run);
+        assert!(violations.iter().any(|v| v.oracle == "zombie-send"));
+    }
+
+    #[test]
+    fn validity_oracle_fires_on_a_forged_grand_total() {
+        let mut run = clean_run(ChaosScenario::Grouping);
+        if let Some(QueryOutcome::Grouping(table)) = &mut run.result.report.outcome {
+            for row in &mut table.rows {
+                if let Some(Value::Int(n)) = row.aggregates.first_mut() {
+                    *n += 1;
+                }
+            }
+        } else {
+            panic!("grouping baseline must produce a table");
+        }
+        let violations = check_run(&run);
+        assert!(violations.iter().any(|v| v.oracle == "grouping-validity"));
+    }
+
+    #[test]
+    fn aggregates_oracle_fires_on_a_forged_double_charge() {
+        // A single extra charge against the combiner — exactly what a
+        // regressed idempotence guard would produce on one duplicated
+        // partial — must already trip the trace-derived bound.
+        let mut run = clean_run(ChaosScenario::Grouping);
+        let d = run.result.plan.combiner().device;
+        run.result.report.ledger.aggregates(d, 1);
+        let violations = check_run(&run);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.oracle == "combiner-aggregates-bound"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn signature_sorts_and_dedups() {
+        let vs = vec![
+            Violation::new("b", "x".into()),
+            Violation::new("a", "y".into()),
+            Violation::new("b", "z".into()),
+        ];
+        assert_eq!(signature(&vs), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,238 @@
+//! The catalog of named fault plans the campaign sweeps.
+//!
+//! Plans are built against the *actual* QEP a seed produces: rules that
+//! target "the primary combiner" or "builder 0" resolve those roles to
+//! the concrete devices the planner assigned for that seed. Planning is
+//! deterministic, so the preview plan used here and the plan the run
+//! executes assign identical devices.
+
+use crate::scenario::ChaosScenario;
+use edgelet_exec::messages::kind;
+use edgelet_query::plan::{OperatorRole, QueryPlan};
+use edgelet_sim::{Duration, FaultAction, FaultPlan, FaultRule, SimTime};
+use edgelet_util::ids::DeviceId;
+use edgelet_util::Result;
+
+/// A fault plan with the stable name the campaign and corpus refer to
+/// it by.
+#[derive(Debug, Clone)]
+pub struct NamedPlan {
+    /// Stable catalog name (kebab-case).
+    pub name: &'static str,
+    /// The rules.
+    pub plan: FaultPlan,
+}
+
+/// Both operator-output message kinds a Computer can emit toward the
+/// combination stage.
+const PARTIAL_KINDS: [u16; 2] = [kind::GROUPING_PARTIAL, kind::KMEANS_FINAL];
+
+fn devices_of(plan: &QueryPlan, pred: impl Fn(&OperatorRole) -> bool) -> Vec<DeviceId> {
+    let mut out: Vec<DeviceId> = plan
+        .operators
+        .iter()
+        .filter(|o| pred(&o.role))
+        .flat_map(|o| std::iter::once(o.device).chain(o.backups.iter().copied()))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Builds the catalog for one scenario and seed.
+///
+/// The catalog order is stable: campaigns assign plan `seed % len` to
+/// each seed, so the same seed always replays the same plan.
+pub fn catalog(scenario: ChaosScenario, seed: u64) -> Result<Vec<NamedPlan>> {
+    let session = scenario.open(seed, FaultPlan::new());
+    let qep = session.plan()?;
+
+    let combiner_primary = qep.combiner().device;
+    let combiner_devices = devices_of(&qep, |r| matches!(r, OperatorRole::Combiner { .. }));
+    let computer_devices = devices_of(&qep, |r| matches!(r, OperatorRole::Computer { .. }));
+    let builder0 = qep
+        .operators
+        .iter()
+        .find(|o| matches!(o.role, OperatorRole::SnapshotBuilder { .. }))
+        .expect("plans always have builders")
+        .device;
+    let quota = qep.partition_quota as u64;
+
+    let mut out = vec![
+        // 0: control group — a clean run every oracle must accept.
+        NamedPlan {
+            name: "baseline",
+            plan: FaultPlan::new(),
+        },
+        // 1: lose the very first partial ever shipped.
+        NamedPlan {
+            name: "drop-first-partial",
+            plan: FaultPlan::new().rule(
+                FaultRule::new(FaultAction::Drop)
+                    .on_kinds(&PARTIAL_KINDS)
+                    .limit(1),
+            ),
+        },
+        // 2: the ledger double-charge regression. Replay the first
+        // partial 5 ms late AND hold the remaining partials back 2 s —
+        // the combiner is still collecting when the duplicate lands, so
+        // a regressed idempotence guard would merge and charge it twice.
+        // (Duplicating alone is too gentle: every partial arrives in one
+        // burst, the combiner finalizes on the last original, and the
+        // `finalized` early-return masks the missing guard.)
+        NamedPlan {
+            name: "dup-partials",
+            plan: FaultPlan::new()
+                .rule(
+                    FaultRule::new(FaultAction::Duplicate {
+                        extra_delay: Duration::from_millis(5),
+                    })
+                    .on_kinds(&PARTIAL_KINDS)
+                    .limit(1),
+                )
+                .rule(
+                    FaultRule::new(FaultAction::Delay(Duration::from_secs(2)))
+                        .on_kinds(&PARTIAL_KINDS),
+                ),
+        },
+        // 3: partials arrive 12 s late — inside the combine window, so
+        // the run should still be valid.
+        NamedPlan {
+            name: "delay-partials",
+            plan: FaultPlan::new().rule(
+                FaultRule::new(FaultAction::Delay(Duration::from_secs(12)))
+                    .on_kinds(&PARTIAL_KINDS),
+            ),
+        },
+        // 4: swap the first two partition-data shipments.
+        NamedPlan {
+            name: "reorder-partition-data",
+            plan: FaultPlan::new().rule(
+                FaultRule::new(FaultAction::Reorder)
+                    .on_kinds(&[kind::PARTITION_DATA])
+                    .limit(2),
+            ),
+        },
+        // 5: crash the primary combiner the instant its first partial
+        // is delivered (the trigger message dies with it).
+        NamedPlan {
+            name: "crash-combiner-on-first-partial",
+            plan: FaultPlan::new().rule(
+                FaultRule::new(FaultAction::CrashReceiver)
+                    .on_kinds(&PARTIAL_KINDS)
+                    .to(&[combiner_primary])
+                    .limit(1),
+            ),
+        },
+        // 6: crash builder 0 on the exact contribution that meets its
+        // quota.
+        NamedPlan {
+            name: "crash-builder-at-quota",
+            plan: FaultPlan::new().rule(
+                FaultRule::new(FaultAction::CrashReceiver)
+                    .on_kinds(&[kind::CONTRIBUTION])
+                    .to(&[builder0])
+                    .skip(quota.saturating_sub(1))
+                    .limit(1),
+            ),
+        },
+        // 7: sever the computation stage from the combination stage for
+        // the first 20 virtual seconds (partials sent early are lost).
+        NamedPlan {
+            name: "partition-computers-from-combiners",
+            plan: FaultPlan::new().partition(
+                &computer_devices,
+                &combiner_devices,
+                SimTime::ZERO,
+                SimTime::from_micros(20_000_000),
+            ),
+        },
+        // 8: the winning combiner crash-stops right after reporting —
+        // the zombie oracle checks nothing leaks from the corpse.
+        NamedPlan {
+            name: "crash-sender-on-final",
+            plan: FaultPlan::new().rule(
+                FaultRule::new(FaultAction::CrashSender)
+                    .on_kinds(&[kind::FINAL_RESULT])
+                    .limit(1),
+            ),
+        },
+        // 9: swallow the first round of contribution requests; builder
+        // retry rounds must recover collection.
+        NamedPlan {
+            name: "drop-contribute-requests-early",
+            plan: FaultPlan::new().rule(
+                FaultRule::new(FaultAction::Drop)
+                    .on_kinds(&[kind::CONTRIBUTE_REQUEST])
+                    .until(SimTime::from_micros(1_000_000)),
+            ),
+        },
+    ];
+    // Backup chains only exist under the Backup strategy; give that
+    // scenario one plan that isolates a primary so its replica must
+    // legitimately take over (exercises the single-active oracle's
+    // crash path).
+    if qep.backup_degree > 0 {
+        out.push(NamedPlan {
+            name: "crash-builder0-early",
+            plan: FaultPlan::new().rule(
+                FaultRule::new(FaultAction::CrashReceiver)
+                    .on_kinds(&[kind::CONTRIBUTION])
+                    .to(&[builder0])
+                    .limit(1),
+            ),
+        });
+    }
+    Ok(out)
+}
+
+/// The catalog plan a campaign assigns to `seed`.
+pub fn plan_for_seed(scenario: ChaosScenario, seed: u64) -> Result<NamedPlan> {
+    let cat = catalog(scenario, seed)?;
+    let idx = (seed % cat.len() as u64) as usize;
+    Ok(cat[idx].clone())
+}
+
+/// Looks up a catalog plan by name (corpus replay resolves names this
+/// way when an entry stores no explicit rules).
+pub fn by_name(scenario: ChaosScenario, seed: u64, name: &str) -> Result<Option<NamedPlan>> {
+    Ok(catalog(scenario, seed)?
+        .into_iter()
+        .find(|p| p.name == name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_stable() {
+        for scenario in ChaosScenario::ALL {
+            let cat = catalog(scenario, 7).unwrap();
+            assert!(cat.len() >= 10);
+            let mut names: Vec<&str> = cat.iter().map(|p| p.name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), cat.len(), "{:?} has duplicate names", scenario);
+        }
+    }
+
+    #[test]
+    fn catalog_is_seed_deterministic() {
+        let a = catalog(ChaosScenario::Grouping, 11).unwrap();
+        let b = catalog(ChaosScenario::Grouping, 11).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.plan, y.plan);
+        }
+    }
+
+    #[test]
+    fn plan_for_seed_cycles_the_catalog() {
+        let p0 = plan_for_seed(ChaosScenario::KMeans, 0).unwrap();
+        assert_eq!(p0.name, "baseline");
+        let p2 = plan_for_seed(ChaosScenario::KMeans, 2).unwrap();
+        assert_eq!(p2.name, "dup-partials");
+    }
+}

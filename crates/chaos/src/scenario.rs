@@ -1,0 +1,249 @@
+//! The worlds the chaos campaign perturbs.
+//!
+//! Chaos scenarios are deliberately *clean* worlds: reliable network,
+//! always-up devices, no organic crashes. Every anomaly an oracle then
+//! flags is attributable to the injected fault plan, not to background
+//! noise. Crowds are sized so a single run takes milliseconds and a
+//! thousand-seed campaign stays interactive.
+
+use edgelet_core::{Platform, PlatformConfig, RunResult};
+use edgelet_ml::AggSpec;
+use edgelet_query::{PrivacyConfig, QueryPlan, QuerySpec, ResilienceConfig, Strategy};
+use edgelet_sim::FaultPlan;
+use edgelet_store::Predicate;
+use edgelet_util::Result;
+
+/// Contributors enrolled in every chaos world.
+const CONTRIBUTORS: usize = 240;
+/// Volunteer processors (comfortably above the widest plan's demand, so
+/// the planner's distinct-device draw never doubles up operators).
+const PROCESSORS: usize = 40;
+/// Snapshot cardinality; with [`RAW_TUPLE_CAP`] this yields exactly
+/// `n = 4` partitions of quota 20, so a fully valid grouping count is
+/// exactly `C` (the validity oracle relies on this round division).
+const SNAPSHOT_C: usize = 80;
+/// Horizontal privacy cap (max raw tuples per edgelet).
+const RAW_TUPLE_CAP: usize = 20;
+/// Trace ring capacity: large enough to hold every event of a run, so
+/// oracles replay the *complete* history.
+const TRACE_CAPACITY: usize = 1 << 16;
+
+/// A canonical world + query the campaign runs under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosScenario {
+    /// Grouping-Sets survey under the Backup strategy (replica chains,
+    /// so the single-active-replica oracle has something to check).
+    Grouping,
+    /// K-Means under Overcollection (extra partitions and parallel
+    /// combiners, so the binomial-feasibility oracle applies).
+    KMeans,
+}
+
+impl ChaosScenario {
+    /// Every scenario, in campaign order.
+    pub const ALL: [ChaosScenario; 2] = [ChaosScenario::Grouping, ChaosScenario::KMeans];
+
+    /// Stable name used in corpus entries and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosScenario::Grouping => "grouping",
+            ChaosScenario::KMeans => "kmeans",
+        }
+    }
+
+    /// Parses a scenario name (inverse of [`ChaosScenario::name`]).
+    pub fn from_name(name: &str) -> Option<ChaosScenario> {
+        ChaosScenario::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    fn resilience(self) -> ResilienceConfig {
+        match self {
+            // Backup: every Data Processor gets a replica chain.
+            ChaosScenario::Grouping => ResilienceConfig {
+                failure_probability: 0.1,
+                target_validity: 0.99,
+                strategy: Strategy::Backup,
+                max_overcollection: 64,
+                max_backups: 4,
+            },
+            // Overcollection with a modest target keeps `m` small and
+            // the world (n + m partitions, 2 parallel combiners) cheap.
+            ChaosScenario::KMeans => ResilienceConfig {
+                failure_probability: 0.1,
+                target_validity: 0.9,
+                strategy: Strategy::Overcollection,
+                max_overcollection: 8,
+                max_backups: 4,
+            },
+        }
+    }
+
+    fn platform_config(self, seed: u64, fault_plan: FaultPlan) -> PlatformConfig {
+        PlatformConfig {
+            seed,
+            contributors: CONTRIBUTORS,
+            processors: PROCESSORS,
+            // Classification must be on even for an empty plan: the
+            // oracles read per-message protocol kinds from the trace.
+            fault_plan: Some(fault_plan),
+            trace_capacity: TRACE_CAPACITY,
+            ..PlatformConfig::default()
+        }
+    }
+
+    /// Builds the world and the query, ready to plan or run.
+    pub fn open(self, seed: u64, fault_plan: FaultPlan) -> Session {
+        let mut platform = Platform::build(self.platform_config(seed, fault_plan));
+        let spec = match self {
+            ChaosScenario::Grouping => platform.grouping_query(
+                Predicate::True,
+                SNAPSHOT_C,
+                &[&["sex"], &[]],
+                vec![AggSpec::count_star()],
+            ),
+            ChaosScenario::KMeans => platform.kmeans_query(
+                Predicate::True,
+                SNAPSHOT_C,
+                2,
+                &["age", "bmi"],
+                2,
+                Vec::new(),
+            ),
+        };
+        Session {
+            scenario: self,
+            privacy: PrivacyConfig::none().with_max_tuples(RAW_TUPLE_CAP),
+            resilience: self.resilience(),
+            platform,
+            spec,
+        }
+    }
+}
+
+/// An opened scenario: world built, query specified, not yet run.
+///
+/// [`Session::plan`] previews the QEP (the plan catalog targets rules at
+/// the devices it assigns); [`Session::run`] executes and packages the
+/// result for the oracles. Planning is deterministic in the seed, so the
+/// preview and the executed plan assign identical devices.
+pub struct Session {
+    scenario: ChaosScenario,
+    privacy: PrivacyConfig,
+    resilience: ResilienceConfig,
+    platform: Platform,
+    spec: QuerySpec,
+}
+
+impl Session {
+    /// Number of devices in the world (ids `0..device_count`), for
+    /// fault-plan lints that must know the valid target range.
+    pub fn device_count(&self) -> u64 {
+        self.platform.querier().raw() + 1
+    }
+
+    /// The query deadline in seconds (fault-plan lint context).
+    pub fn deadline_secs(&self) -> f64 {
+        self.spec.deadline_secs
+    }
+
+    /// Plans the query without running it.
+    pub fn plan(&self) -> Result<QueryPlan> {
+        self.platform
+            .plan_query(&self.spec, &self.privacy, &self.resilience)
+    }
+
+    /// Plans and executes, packaging everything the oracles need.
+    pub fn run(mut self) -> Result<ChaosRun> {
+        let suspect_timeout_secs = self.platform.config().exec.suspect_timeout.as_secs_f64();
+        let deadline_secs = self.spec.deadline_secs;
+        let result = self
+            .platform
+            .run_query(&self.spec, &self.privacy, &self.resilience)?;
+        Ok(ChaosRun {
+            scenario: self.scenario,
+            resilience: self.resilience,
+            suspect_timeout_secs,
+            deadline_secs,
+            snapshot_cardinality: SNAPSHOT_C,
+            grand_total_set: match self.scenario {
+                ChaosScenario::Grouping => Some(1),
+                ChaosScenario::KMeans => None,
+            },
+            result,
+        })
+    }
+}
+
+/// One executed chaos run plus the context the oracles check against.
+pub struct ChaosRun {
+    /// Which scenario ran.
+    pub scenario: ChaosScenario,
+    /// The resiliency configuration the plan was built under.
+    pub resilience: ResilienceConfig,
+    /// Backup-strategy suspicion span, seconds.
+    pub suspect_timeout_secs: f64,
+    /// The query deadline, seconds.
+    pub deadline_secs: f64,
+    /// Snapshot cardinality `C` (grouping validity expects exactly this
+    /// grand-total count, since `C` divides evenly into the partitions).
+    pub snapshot_cardinality: usize,
+    /// Index of the grand-total grouping set in the result table
+    /// (`None` for K-Means).
+    pub grand_total_set: Option<u32>,
+    /// Plan, report, exposure, and full trace of the execution.
+    pub result: RunResult,
+}
+
+impl ChaosRun {
+    /// The trace digest of the run (tracing is always on in chaos
+    /// worlds).
+    pub fn digest(&self) -> u64 {
+        self.result.trace_digest.unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for s in ChaosScenario::ALL {
+            assert_eq!(ChaosScenario::from_name(s.name()), Some(s));
+        }
+        assert_eq!(ChaosScenario::from_name("nope"), None);
+    }
+
+    #[test]
+    fn grouping_world_plans_with_replica_chains() {
+        let session = ChaosScenario::Grouping.open(1, FaultPlan::new());
+        let plan = session.plan().unwrap();
+        assert_eq!(plan.n, 4, "C=80 / cap=20 must give 4 partitions");
+        assert!(plan.backup_degree >= 1, "Backup strategy must replicate");
+        assert!(plan
+            .operators
+            .iter()
+            .filter(|o| o.role.is_data_processor())
+            .all(|o| o.backups.len() == plan.backup_degree as usize));
+    }
+
+    #[test]
+    fn kmeans_world_plans_with_overcollection() {
+        let session = ChaosScenario::KMeans.open(1, FaultPlan::new());
+        let plan = session.plan().unwrap();
+        assert_eq!(plan.strategy, Strategy::Overcollection);
+        assert!(plan.m >= 1, "overcollection must add partitions");
+        assert!(plan.combiners().len() >= 2, "parallel combiner replicas");
+    }
+
+    #[test]
+    fn baseline_runs_complete_and_are_traced() {
+        for s in ChaosScenario::ALL {
+            let run = s.open(3, FaultPlan::new()).run().unwrap();
+            assert!(run.result.report.completed, "{} baseline", s.name());
+            assert!(run.result.report.valid, "{} baseline", s.name());
+            assert!(run.result.trace_digest.is_some());
+            assert!(!run.result.trace.is_empty());
+        }
+    }
+}

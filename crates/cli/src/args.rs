@@ -26,8 +26,37 @@ pub enum Command {
     },
     /// `edgelet experiments`
     Experiments,
+    /// `edgelet chaos …`
+    Chaos(ChaosArgs),
     /// `edgelet help` (or `--help`)
     Help,
+}
+
+/// Options for the `chaos` campaign runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosArgs {
+    /// Seeds `0..seeds` to sweep.
+    pub seeds: u64,
+    /// Restrict to one scenario (`grouping` | `kmeans`); `None` = all.
+    pub scenario: Option<String>,
+    /// Write shrunk failing repros as corpus entries into this directory.
+    pub emit_corpus: Option<String>,
+    /// Replay the corpus entries in this directory instead of sweeping.
+    pub replay: Option<String>,
+    /// Skip shrinking failing plans.
+    pub no_shrink: bool,
+}
+
+impl Default for ChaosArgs {
+    fn default() -> Self {
+        Self {
+            seeds: 64,
+            scenario: None,
+            emit_corpus: None,
+            replay: None,
+            no_shrink: false,
+        }
+    }
 }
 
 /// Options shared by `plan` and `run`.
@@ -87,6 +116,7 @@ USAGE:
     edgelet run   [OPTIONS]   execute on a simulated crowd
     edgelet analyze [OPTIONS] statically check the plan; exits nonzero on errors
     edgelet dataset --rows N [--seed S]   print synthetic health data (CSV)
+    edgelet chaos   [OPTIONS] deterministic fault-injection campaign
     edgelet experiments       list the figure-regeneration binaries
     edgelet help              this text
 
@@ -106,6 +136,16 @@ OPTIONS (plan/run/analyze):
     --dot               print Graphviz DOT (plan only)
     --format F          diagnostic output, human|json (analyze only)
                                                          [default: human]
+
+OPTIONS (chaos):
+    --seeds N           sweep seeds 0..N                 [default: 64]
+    --scenario S        grouping|kmeans                  [default: all]
+    --emit-corpus DIR   write shrunk failing repros as corpus entries
+    --replay DIR        replay corpus entries instead of sweeping
+    --no-shrink         keep failing plans unshrunk (fastest sweep)
+
+Exit status is nonzero when the campaign found failing triples or a
+replayed corpus entry's oracle verdict changed. See docs/FAULTS.md.
 ";
 
 /// Parses argv (without the program name).
@@ -121,6 +161,30 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             let rows = flag_parse(&flags, "rows", 100usize)?;
             let seed = flag_parse(&flags, "seed", 7u64)?;
             Ok(Command::Dataset { rows, seed })
+        }
+        "chaos" => {
+            let flags = collect_flags(rest)?;
+            let mut c = ChaosArgs {
+                seeds: flag_parse(&flags, "seeds", 64u64)?,
+                no_shrink: flags.contains_key("no-shrink"),
+                ..ChaosArgs::default()
+            };
+            if let Some(values) = flags.get("scenario") {
+                let s = single(values, "scenario")?;
+                if !["grouping", "kmeans"].contains(&s.as_str()) {
+                    return Err(Error::InvalidConfig(format!(
+                        "--scenario expects grouping|kmeans, got `{s}`"
+                    )));
+                }
+                c.scenario = Some(s.clone());
+            }
+            if let Some(values) = flags.get("emit-corpus") {
+                c.emit_corpus = Some(single(values, "emit-corpus")?.clone());
+            }
+            if let Some(values) = flags.get("replay") {
+                c.replay = Some(single(values, "replay")?.clone());
+            }
+            Ok(Command::Chaos(c))
         }
         "plan" | "run" | "analyze" => {
             let flags = collect_flags(rest)?;
@@ -201,7 +265,7 @@ fn query_args(flags: &BTreeMap<String, Vec<String>>) -> Result<QueryArgs> {
 
 /// Collects `--flag value` and bare `--flag` pairs; flags may repeat.
 fn collect_flags(args: &[String]) -> Result<BTreeMap<String, Vec<String>>> {
-    const BARE: &[&str] = &["dot"];
+    const BARE: &[&str] = &["dot", "no-shrink"];
     let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
@@ -316,6 +380,26 @@ mod tests {
     fn dataset_args() {
         let cmd = parse(&argv("dataset --rows 50 --seed 9")).unwrap();
         assert_eq!(cmd, Command::Dataset { rows: 50, seed: 9 });
+    }
+
+    #[test]
+    fn chaos_args() {
+        let cmd = parse(&argv("chaos")).unwrap();
+        assert_eq!(cmd, Command::Chaos(ChaosArgs::default()));
+        let cmd = parse(&argv(
+            "chaos --seeds 16 --scenario kmeans --no-shrink --emit-corpus out/",
+        ))
+        .unwrap();
+        let Command::Chaos(c) = cmd else { panic!() };
+        assert_eq!(c.seeds, 16);
+        assert_eq!(c.scenario.as_deref(), Some("kmeans"));
+        assert_eq!(c.emit_corpus.as_deref(), Some("out/"));
+        assert!(c.no_shrink);
+        let cmd = parse(&argv("chaos --replay tests/chaos_corpus")).unwrap();
+        let Command::Chaos(c) = cmd else { panic!() };
+        assert_eq!(c.replay.as_deref(), Some("tests/chaos_corpus"));
+        assert!(parse(&argv("chaos --scenario warp")).is_err());
+        assert!(parse(&argv("chaos --seeds abc")).is_err());
     }
 
     #[test]

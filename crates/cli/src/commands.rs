@@ -1,6 +1,6 @@
 //! Command execution for the `edgelet` tool.
 
-use crate::args::{Command, QueryArgs, USAGE};
+use crate::args::{ChaosArgs, Command, QueryArgs, USAGE};
 use edgelet_core::prelude::*;
 use edgelet_core::query::{estimate, QueryPlan};
 use edgelet_core::store::{csv, synth};
@@ -20,8 +20,11 @@ pub fn execute_with_status(cmd: Command) -> Result<(String, i32)> {
     if let Command::Analyze { query, json } = cmd {
         return analyze_command(&query, json);
     }
+    if let Command::Chaos(args) = cmd {
+        return chaos_command(&args);
+    }
     let text = match cmd {
-        Command::Analyze { .. } => unreachable!("handled above"),
+        Command::Analyze { .. } | Command::Chaos(_) => unreachable!("handled above"),
         Command::Help => USAGE.to_string(),
         Command::Experiments => experiments_text(),
         Command::Dataset { rows, seed } => {
@@ -82,6 +85,106 @@ fn analyze_command(q: &QueryArgs, json: bool) -> Result<(String, i32)> {
     };
     let status = i32::from(edgelet_analyze::has_errors(&diagnostics));
     Ok((text, status))
+}
+
+/// `edgelet chaos`: replays a corpus directory, or sweeps seeds × fault
+/// plans through the trace oracles and reports failing triples.
+fn chaos_command(args: &ChaosArgs) -> Result<(String, i32)> {
+    use edgelet_chaos::{
+        catalog, load_dir, run_campaign, CampaignConfig, ChaosScenario, FaultPlan,
+    };
+
+    let scenarios: Vec<ChaosScenario> = match &args.scenario {
+        None => ChaosScenario::ALL.to_vec(),
+        Some(name) => vec![ChaosScenario::from_name(name)
+            .ok_or_else(|| Error::InvalidConfig(format!("unknown chaos scenario `{name}`")))?],
+    };
+    let mut out = String::new();
+
+    // Replay mode: re-run every shipped repro and diff the oracle verdict.
+    if let Some(dir) = &args.replay {
+        let entries = load_dir(std::path::Path::new(dir))?;
+        if entries.is_empty() {
+            return Err(Error::InvalidConfig(format!(
+                "no *.chaos entries under `{dir}`"
+            )));
+        }
+        let mut mismatches = 0usize;
+        for (name, entry) in &entries {
+            let report = entry.replay()?;
+            if report.matches {
+                let _ = writeln!(
+                    out,
+                    "OK       {name} (digest {:#018x})",
+                    report.trace_digest
+                );
+            } else {
+                mismatches += 1;
+                let _ = writeln!(
+                    out,
+                    "MISMATCH {name}: expected [{}], got [{}]",
+                    entry.expect.join(","),
+                    report.oracles.join(",")
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "corpus replay: {} entries, {mismatches} mismatching",
+            entries.len()
+        );
+        return Ok((out, i32::from(mismatches > 0)));
+    }
+
+    // Pre-flight: lint the seed-0 plan catalog. A rule that cannot fire
+    // silently tests nothing, so an infeasible plan fails the sweep
+    // before any seed is spent.
+    let mut lint = Vec::new();
+    for &scenario in &scenarios {
+        let session = scenario.open(0, FaultPlan::new());
+        let (devices, deadline) = (session.device_count(), session.deadline_secs());
+        for named in catalog(scenario, 0)? {
+            for mut d in edgelet_analyze::check_fault_plan(&named.plan, devices, deadline) {
+                d.location = format!("{}::{}: {}", scenario.name(), named.name, d.location);
+                lint.push(d);
+            }
+        }
+    }
+    if !lint.is_empty() {
+        out.push_str(&edgelet_analyze::render_human(&lint));
+        if edgelet_analyze::has_errors(&lint) {
+            return Ok((out, 1));
+        }
+    }
+
+    let report = run_campaign(&CampaignConfig {
+        seeds: args.seeds,
+        scenarios,
+        shrink: !args.no_shrink,
+    })?;
+    out.push_str(&report.summary());
+
+    if let Some(dir) = &args.emit_corpus {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::InvalidConfig(format!("cannot create {}: {e}", dir.display())))?;
+        for f in &report.failures {
+            let path = dir.join(format!(
+                "{}-seed{}-{}.chaos",
+                f.scenario, f.seed, f.plan_name
+            ));
+            std::fs::write(&path, f.to_corpus_entry().to_text()).map_err(|e| {
+                Error::InvalidConfig(format!("cannot write {}: {e}", path.display()))
+            })?;
+        }
+        let _ = writeln!(
+            out,
+            "wrote {} corpus entries to {}",
+            report.failures.len(),
+            dir.display()
+        );
+    }
+    Ok((out, i32::from(!report.failures.is_empty())))
 }
 
 fn build_world(q: &QueryArgs) -> Result<(Platform, QuerySpec, PrivacyConfig, ResilienceConfig)> {

@@ -133,6 +133,12 @@ pub struct PlatformConfig {
     pub crash_at_start: bool,
     /// Execution knobs.
     pub exec: ExecConfig,
+    /// Protocol-aware fault plan injected into every query run (see
+    /// [`edgelet_sim::FaultPlan`]). When set, the platform also installs
+    /// the exec message classifier so kind-targeted rules can fire and
+    /// the trace records per-message protocol kinds. `Some(empty plan)`
+    /// enables classification without injecting anything.
+    pub fault_plan: Option<edgelet_sim::FaultPlan>,
     /// Simulator trace ring-buffer capacity for query runs (0 = tracing
     /// off, the default: untraced runs skip event construction
     /// entirely). When non-zero, [`crate::platform::RunResult`] carries
@@ -155,6 +161,7 @@ impl Default for PlatformConfig {
             contributor_crash_probability: 0.0,
             crash_at_start: false,
             exec: ExecConfig::fast(),
+            fault_plan: None,
             trace_capacity: 0,
         }
     }

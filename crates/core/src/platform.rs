@@ -31,6 +31,11 @@ pub struct RunResult {
     /// `trace_capacity > 0` (see [`crate::PlatformConfig`]). Equal seeds
     /// and configs produce equal digests — the reproducibility receipt.
     pub trace_digest: Option<u64>,
+    /// The retained trace records themselves (empty when tracing is
+    /// off). Post-run oracles replay these to machine-check protocol
+    /// invariants: no post-crash sends, single active replica, and so
+    /// on — see `edgelet-chaos`.
+    pub trace: Vec<edgelet_sim::TraceRecord>,
 }
 
 /// A simulated crowd of TEE-enabled personal devices.
@@ -91,6 +96,11 @@ impl Platform {
             next_query: 1,
             rng: root.fork("platform"),
         }
+    }
+
+    /// The configuration the platform was built from.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
     }
 
     /// The shared database schema.
@@ -225,11 +235,13 @@ impl Platform {
             root_secret,
         )?;
         let trace_digest = sim.trace().enabled().then(|| sim.trace().digest());
+        let trace = sim.trace().records().cloned().collect();
         Ok(RunResult {
             plan,
             report,
             exposure,
             trace_digest,
+            trace,
         })
     }
 
@@ -272,6 +284,13 @@ impl Platform {
         }
         let q = sim.add_device(DeviceConfig::default());
         debug_assert_eq!(q, self.querier);
+        if let Some(plan) = &self.config.fault_plan {
+            // Protocol-position targeting needs the exec classifier;
+            // organic (fault-plan-less) runs skip both, keeping their
+            // traces and digests unchanged.
+            sim.set_classifier(Box::new(edgelet_exec::messages::classify_payload));
+            sim.set_fault_plan(plan.clone());
+        }
         sim
     }
 

@@ -51,6 +51,7 @@ impl Scenario {
                 contributor_crash_probability: 0.02,
                 crash_at_start: false,
                 exec: ExecConfig::opportunistic(),
+                fault_plan: None,
                 trace_capacity: 0,
             },
             Scenario::OpportunisticPolling => PlatformConfig {
@@ -80,6 +81,7 @@ impl Scenario {
                 contributor_crash_probability: 0.05,
                 crash_at_start: false,
                 exec: ExecConfig::default(),
+                fault_plan: None,
                 trace_capacity: 0,
             },
             Scenario::Laboratory => PlatformConfig {

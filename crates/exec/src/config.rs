@@ -1,6 +1,7 @@
 //! Execution configuration.
 
 use edgelet_sim::Duration;
+use edgelet_util::{Error, Result};
 
 /// Knobs controlling how a plan executes.
 #[derive(Debug, Clone)]
@@ -90,6 +91,47 @@ impl ExecConfig {
             query_deadline: Duration::from_secs(24 * 3_600),
         }
     }
+
+    /// Checks the timer orderings the protocol silently assumes.
+    ///
+    /// * `ping_period < suspect_timeout` — a replica must get at least
+    ///   one probe round inside the suspicion span, or every Backup
+    ///   replica immediately suspects its lowers and activates.
+    /// * `collection_timeout ≤ combine_timeout` — builders must be able
+    ///   to ship partitions before combiners give up waiting for them.
+    /// * `combine_timeout ≤ query_deadline` — combiners finalize
+    ///   "right before the query deadline" (§2.2), never after it.
+    ///
+    /// Called at `execute_plan` entry so a mis-timed profile fails fast
+    /// with a clear error instead of producing an empty, invalid run.
+    pub fn validate(&self) -> Result<()> {
+        let err = |msg: String| Err(Error::InvalidConfig(msg));
+        if self.ping_period >= self.suspect_timeout {
+            return err(format!(
+                "ping_period ({:.1}s) must be shorter than suspect_timeout ({:.1}s): \
+                 replicas need at least one probe round before suspicion",
+                self.ping_period.as_secs_f64(),
+                self.suspect_timeout.as_secs_f64()
+            ));
+        }
+        if self.collection_timeout > self.combine_timeout {
+            return err(format!(
+                "collection_timeout ({:.1}s) must not exceed combine_timeout ({:.1}s): \
+                 builders would still be collecting when combiners finalize",
+                self.collection_timeout.as_secs_f64(),
+                self.combine_timeout.as_secs_f64()
+            ));
+        }
+        if self.combine_timeout > self.query_deadline {
+            return err(format!(
+                "combine_timeout ({:.1}s) must not exceed query_deadline ({:.1}s): \
+                 combiners must finalize before the deadline",
+                self.combine_timeout.as_secs_f64(),
+                self.query_deadline.as_secs_f64()
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +148,42 @@ mod tests {
         assert!(fast.heartbeat_period < opp.heartbeat_period);
         assert!(opp.suspect_timeout > opp.ping_period);
         assert!(def.suspect_timeout > def.ping_period);
+    }
+
+    #[test]
+    fn shipped_profiles_validate() {
+        ExecConfig::fast().validate().unwrap();
+        ExecConfig::default().validate().unwrap();
+        ExecConfig::opportunistic().validate().unwrap();
+    }
+
+    fn expect_invalid(config: ExecConfig, needle: &str) {
+        match config.validate() {
+            Err(Error::InvalidConfig(msg)) => {
+                assert!(msg.contains(needle), "message {msg:?} lacks {needle:?}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_period_must_undershoot_suspect_timeout() {
+        let mut config = ExecConfig::fast();
+        config.ping_period = config.suspect_timeout;
+        expect_invalid(config, "ping_period");
+    }
+
+    #[test]
+    fn collection_timeout_must_fit_combine_timeout() {
+        let mut config = ExecConfig::fast();
+        config.collection_timeout = config.combine_timeout + Duration::from_secs(1);
+        expect_invalid(config, "collection_timeout");
+    }
+
+    #[test]
+    fn combine_timeout_must_fit_query_deadline() {
+        let mut config = ExecConfig::fast();
+        config.query_deadline = config.combine_timeout - Duration::from_secs(1);
+        expect_invalid(config, "combine_timeout");
     }
 }

@@ -89,6 +89,9 @@ pub fn execute_plan(
     edgelet_analyze::preflight(plan)?;
     let mut config = config.clone();
     config.query_deadline = Duration::from_secs_f64(plan.spec.deadline_secs);
+    // Timer-ordering sanity (ping vs suspicion, collection vs combine vs
+    // deadline): a mis-timed profile fails here, not as an empty run.
+    config.validate()?;
     if matches!(plan.spec.kind, edgelet_query::QueryKind::KMeans { .. })
         && plan.strategy == Strategy::Backup
     {
@@ -800,5 +803,153 @@ mod tests {
             [0u8; 32],
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn mis_timed_config_is_rejected_at_entry() {
+        let mut world = reliable_world(300, 40, 6);
+        let spec = grouping_spec(100);
+        let plan = build_plan(
+            &spec,
+            &health_schema(),
+            &PrivacyConfig::none().with_max_tuples(50),
+            &ResilienceConfig::default(),
+            &world.directory,
+            world.querier,
+            &mut world.rng,
+        )
+        .unwrap();
+        let mut config = ExecConfig::fast();
+        config.ping_period = config.suspect_timeout + Duration::from_secs(1);
+        let err = execute_plan(
+            &plan,
+            &health_schema(),
+            &world.stores,
+            &BTreeMap::new(),
+            &mut world.sim,
+            &config,
+            [0u8; 32],
+        );
+        match err {
+            Err(Error::InvalidConfig(msg)) => {
+                assert!(msg.contains("ping_period"), "unexpected message: {msg}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicated_partials_are_merged_and_charged_once() {
+        // Regression: before the combiner's idempotence guard, a
+        // duplicated GroupingPartial was ledger-charged once per copy,
+        // inflating aggregates_seen past the per-slot bound.
+        let run_with = |duplicate: bool| {
+            let mut world = reliable_world(3000, 120, 7);
+            if duplicate {
+                world
+                    .sim
+                    .set_classifier(Box::new(crate::messages::classify_payload));
+                world.sim.set_fault_plan(
+                    edgelet_sim::FaultPlan::new().rule(
+                        edgelet_sim::FaultRule::new(edgelet_sim::FaultAction::Duplicate {
+                            extra_delay: edgelet_sim::Duration::from_millis(5),
+                        })
+                        .on_kinds(&[crate::messages::kind::GROUPING_PARTIAL]),
+                    ),
+                );
+            }
+            let spec = grouping_spec(400);
+            let report = run(
+                &mut world,
+                &spec,
+                PrivacyConfig::none().with_max_tuples(100),
+                ResilienceConfig {
+                    strategy: Strategy::Overcollection,
+                    failure_probability: 0.1,
+                    ..ResilienceConfig::default()
+                },
+            );
+            assert!(report.valid, "{report:?}");
+            report
+        };
+        let base = run_with(false);
+        let dup = run_with(true);
+        let table = |r: &ExecutionReport| match &r.outcome {
+            Some(QueryOutcome::Grouping(t)) => format!("{t}"),
+            other => panic!("expected grouping outcome, got {other:?}"),
+        };
+        assert_eq!(
+            table(&base),
+            table(&dup),
+            "duplicated partials must not change the result"
+        );
+        assert_eq!(
+            base.ledger.entries(),
+            dup.ledger.entries(),
+            "duplicated partials must not inflate the liability ledger"
+        );
+    }
+
+    #[test]
+    fn extra_collection_rounds_recover_contributions_lost_early() {
+        // With the fast profile (5s collection window) a builder's
+        // request rounds land at t = 0 and 2.5s for one retry, and at
+        // t = 0, 1.25s, 2.5s, 3.75s for three. An outage that swallows
+        // every contribution sent before t = 2.6s therefore defeats the
+        // single-retry builder completely, while the third extra round
+        // escapes it and refills the snapshot.
+        let run_with_retries = |retries: u32| {
+            let mut world = reliable_world(3000, 120, 8);
+            world
+                .sim
+                .set_classifier(Box::new(crate::messages::classify_payload));
+            world.sim.set_fault_plan(
+                edgelet_sim::FaultPlan::new().rule(
+                    edgelet_sim::FaultRule::new(edgelet_sim::FaultAction::Drop)
+                        .on_kinds(&[crate::messages::kind::CONTRIBUTION])
+                        .until(edgelet_sim::SimTime::from_micros(2_600_000)),
+                ),
+            );
+            let spec = grouping_spec(400);
+            let plan = build_plan(
+                &spec,
+                &health_schema(),
+                &PrivacyConfig::none().with_max_tuples(100),
+                &ResilienceConfig {
+                    strategy: Strategy::Overcollection,
+                    failure_probability: 0.1,
+                    ..ResilienceConfig::default()
+                },
+                &world.directory,
+                world.querier,
+                &mut world.rng,
+            )
+            .unwrap();
+            let mut config = ExecConfig::fast();
+            config.collection_retries = retries;
+            let report = execute_plan(
+                &plan,
+                &health_schema(),
+                &world.stores,
+                &BTreeMap::new(),
+                &mut world.sim,
+                &config,
+                [0u8; 32],
+            )
+            .unwrap();
+            (report, plan.n)
+        };
+        let (one_retry, _) = run_with_retries(1);
+        assert_eq!(
+            one_retry.partitions_complete, 0,
+            "both rounds fell inside the outage: {one_retry:?}"
+        );
+        assert!(!one_retry.valid);
+        let (three_retries, n) = run_with_retries(3);
+        assert!(
+            three_retries.valid,
+            "the late round must recover the crowd: {three_retries:?}"
+        );
+        assert!(three_retries.partitions_complete >= n);
     }
 }

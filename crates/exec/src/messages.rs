@@ -178,6 +178,23 @@ impl Msg {
     }
 }
 
+/// Classifies a sealed on-the-wire payload (as produced by
+/// [`crate::roles::Sealer::wrap`]) into its protocol [`kind`], without
+/// decoding the body.
+///
+/// Plaintext-mode payloads (`0x00 || frame`) expose the kind in the
+/// frame header; encrypted payloads (`0x01 || …`) are opaque and
+/// classify as `None` — which is exactly the visibility an on-path
+/// adversary has, so protocol-position fault rules share it. Intended as
+/// the simulator's pluggable classifier
+/// ([`edgelet_sim::Simulation::set_classifier`]).
+pub fn classify_payload(bytes: &[u8]) -> Option<u16> {
+    match bytes.split_first() {
+        Some((0x00, frame)) => Frame::from_wire(frame).ok().map(|f| f.kind),
+        _ => None,
+    }
+}
+
 impl Encode for Msg {
     fn encode(&self, w: &mut Writer) {
         w.put_varint(u64::from(self.kind()));

@@ -17,7 +17,7 @@ use edgelet_sim::{Actor, Context, TimerToken};
 use edgelet_util::ids::{DeviceId, PartitionId, QueryId};
 use edgelet_util::Payload;
 use edgelet_wire::to_bytes;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which kind of partials this combiner merges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +68,10 @@ pub struct CombinerActor {
     gate: RankGate,
     grouping_buf: BTreeMap<PartitionId, GroupingPartition>,
     kmeans_buf: BTreeMap<PartitionId, KMeansPartition>,
+    /// Partial-result slots already accepted, keyed by
+    /// (partition, attr_group, sender). A duplicated or replayed partial
+    /// must be merged — and ledger-charged — at most once per slot.
+    seen_partials: BTreeSet<(PartitionId, u32, DeviceId)>,
     combine_timer: Option<TimerToken>,
     ping_timer: Option<TimerToken>,
     finalized: bool,
@@ -91,6 +95,7 @@ impl CombinerActor {
             gate,
             grouping_buf: BTreeMap::new(),
             kmeans_buf: BTreeMap::new(),
+            seen_partials: BTreeSet::new(),
             combine_timer: None,
             ping_timer: None,
             finalized: false,
@@ -248,6 +253,10 @@ impl Actor for CombinerActor {
                 if self.finalized {
                     return;
                 }
+                if !self.seen_partials.insert((partition, attr_group, from)) {
+                    ctx.observe("duplicate_partials", 1.0);
+                    return;
+                }
                 self.ledger.borrow_mut().aggregates(ctx.device(), 1);
                 self.grouping_buf
                     .entry(partition)
@@ -267,6 +276,10 @@ impl Actor for CombinerActor {
                 ..
             } if query == self.wiring.query => {
                 if self.finalized {
+                    return;
+                }
+                if !self.seen_partials.insert((partition, 0, from)) {
+                    ctx.observe("duplicate_partials", 1.0);
                     return;
                 }
                 self.ledger.borrow_mut().aggregates(ctx.device(), 1);

@@ -2,6 +2,9 @@
 
 use crate::actor::{Actor, Command, Context, TimerToken};
 use crate::churn::{Availability, CrashPlan};
+use crate::fault::{
+    Classifier, CrashCause, FaultAction, FaultPlan, FaultRuntime, HeldMsg, MatchPoint,
+};
 use crate::metrics::SimMetrics;
 use crate::network::{Fate, NetworkModel};
 use crate::time::{Duration, SimTime};
@@ -69,7 +72,7 @@ enum EventKind {
         token: TimerToken,
     },
     ChurnToggle(DeviceId),
-    Crash(DeviceId),
+    Crash(DeviceId, CrashCause),
 }
 
 struct Event {
@@ -128,6 +131,11 @@ pub struct Simulation {
     root_rng: DetRng,
     metrics: SimMetrics,
     trace: Trace,
+    /// Maps payload bytes to a protocol message kind (installed by the
+    /// harness; the simulator itself is protocol-agnostic).
+    classifier: Option<Classifier>,
+    /// Evaluation state for the installed fault plan, if any.
+    faults: Option<FaultRuntime>,
 }
 
 impl Simulation {
@@ -145,8 +153,28 @@ impl Simulation {
             root_rng: root,
             metrics: SimMetrics::default(),
             trace: Trace::new(config.trace_capacity),
+            classifier: None,
+            faults: None,
             config,
         }
+    }
+
+    /// Installs a payload → protocol-kind classifier. Kind-restricted
+    /// fault rules and `MsgKind` trace records need one; without it
+    /// every payload classifies as `None`.
+    pub fn set_classifier(&mut self, classifier: Classifier) {
+        self.classifier = Some(classifier);
+    }
+
+    /// Installs a fault plan. Replaces any previous plan (and its
+    /// occurrence counters).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultRuntime::new(plan));
+    }
+
+    /// How many fault-rule firings have happened so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |rt| rt.total_fired())
     }
 
     /// Registers a device; returns its id.
@@ -177,7 +205,7 @@ impl Simulation {
         // Resolve the crash plan.
         let mut crash_rng = self.root_rng.fork_indexed("crash", id.raw());
         if let Some(t) = cfg.crash.resolve(&mut crash_rng) {
-            self.push(t.max(self.now), EventKind::Crash(id));
+            self.push(t.max(self.now), EventKind::Crash(id, CrashCause::Organic));
         }
         id
     }
@@ -196,7 +224,10 @@ impl Simulation {
 
     /// Schedules a scripted crash (the demo's "power off a device").
     pub fn crash_at(&mut self, device: DeviceId, at: SimTime) {
-        self.push(at.max(self.now), EventKind::Crash(device));
+        self.push(
+            at.max(self.now),
+            EventKind::Crash(device, CrashCause::Organic),
+        );
     }
 
     /// Current virtual time.
@@ -295,10 +326,14 @@ impl Simulation {
                 if state.cancelled.remove(&token) {
                     return;
                 }
+                self.trace.record_with(self.now, || TraceEvent::TimerFired {
+                    device,
+                    token: token.0,
+                });
                 self.with_actor(device, |actor, ctx| actor.on_timer(ctx, token));
             }
             EventKind::ChurnToggle(device) => self.handle_churn(device),
-            EventKind::Crash(device) => self.handle_crash(device),
+            EventKind::Crash(device, cause) => self.handle_crash(device, cause),
         }
     }
 
@@ -323,6 +358,29 @@ impl Simulation {
         }
         if state.halted || state.actor.is_none() {
             return;
+        }
+        // Fault hook (Deliver point): a CrashReceiver rule consumes the
+        // triggering message — the device dies at the instant of
+        // delivery, before its actor sees the payload.
+        if self.faults.is_some() {
+            let kind = self.classify(&payload);
+            let decision = match self.faults.as_mut() {
+                Some(runtime) => runtime.evaluate(MatchPoint::Deliver, kind, from, to, self.now),
+                None => None,
+            };
+            if let Some((rule, action)) = decision {
+                let fault_kind = action.kind();
+                self.trace
+                    .record_with(self.now, || TraceEvent::FaultInjected {
+                        rule,
+                        kind: fault_kind,
+                        from,
+                        to,
+                    });
+                self.metrics.messages_to_crashed += 1;
+                self.handle_crash(to, CrashCause::Injected { rule });
+                return;
+            }
         }
         let delay = self.now.since(sent_at).as_secs_f64();
         self.metrics.messages_delivered += 1;
@@ -392,7 +450,7 @@ impl Simulation {
         }
     }
 
-    fn handle_crash(&mut self, device: DeviceId) {
+    fn handle_crash(&mut self, device: DeviceId, cause: CrashCause) {
         let state = &mut self.devices[device.index()];
         if state.crashed {
             return;
@@ -406,7 +464,7 @@ impl Simulation {
         self.parked -= cleared;
         self.metrics.crashes += 1;
         self.trace
-            .record_with(self.now, || TraceEvent::Crashed(device));
+            .record_with(self.now, || TraceEvent::Crashed { device, cause });
     }
 
     /// Runs a callback on a device's actor, then applies its commands.
@@ -471,18 +529,127 @@ impl Simulation {
         self.route(from, to, payload, self.now);
     }
 
-    /// Applies the network model and schedules delivery.
-    fn route(&mut self, from: DeviceId, to: DeviceId, mut payload: Payload, sent_at: SimTime) {
+    /// Classifies a payload via the installed classifier, if any.
+    fn classify(&self, payload: &Payload) -> Option<u16> {
+        self.classifier.as_ref().and_then(|c| c(payload.as_slice()))
+    }
+
+    /// Evaluates send-point fault rules, then applies the network model
+    /// and schedules delivery.
+    fn route(&mut self, from: DeviceId, to: DeviceId, payload: Payload, sent_at: SimTime) {
         if to.index() >= self.devices.len() {
             self.metrics.messages_dropped += 1;
             return;
         }
+        // Classification is only needed when a fault plan can consume it
+        // or when the trace wants MsgKind records.
+        let kind = if self.classifier.is_some() && (self.faults.is_some() || self.trace.enabled()) {
+            self.classify(&payload)
+        } else {
+            None
+        };
+        if let Some(k) = kind {
+            self.trace
+                .record_with(self.now, || TraceEvent::MsgKind { from, to, kind: k });
+        }
+        let decision = match self.faults.as_mut() {
+            Some(rt) => rt.evaluate(MatchPoint::Send, kind, from, to, self.now),
+            None => None,
+        };
+        let Some((rule, action)) = decision else {
+            self.transmit(from, to, payload, sent_at, Duration::ZERO, None);
+            return;
+        };
+        let fault_kind = action.kind();
+        self.trace
+            .record_with(self.now, || TraceEvent::FaultInjected {
+                rule,
+                kind: fault_kind,
+                from,
+                to,
+            });
+        match action {
+            FaultAction::Drop => {
+                self.metrics.messages_dropped += 1;
+            }
+            FaultAction::Delay(extra) => {
+                self.transmit(from, to, payload, sent_at, extra, None);
+            }
+            FaultAction::Duplicate { extra_delay } => {
+                self.transmit(from, to, payload.share(), sent_at, Duration::ZERO, None);
+                self.transmit(from, to, payload, sent_at, extra_delay, None);
+            }
+            FaultAction::Reorder => {
+                let held = match self.faults.as_mut() {
+                    Some(runtime) => runtime.holds[rule as usize].take(),
+                    None => None,
+                };
+                match held {
+                    None => {
+                        // Hold until the rule's next match. If none ever
+                        // arrives the message is effectively dropped
+                        // (documented; deterministic either way).
+                        if let Some(runtime) = self.faults.as_mut() {
+                            runtime.holds[rule as usize] = Some(HeldMsg {
+                                from,
+                                to,
+                                payload,
+                                sent_at,
+                            });
+                        }
+                    }
+                    Some(held) => {
+                        // Swap: the later message goes first, the held
+                        // one lands just after it (or normally, if the
+                        // network drops the later one).
+                        let first = self.transmit(from, to, payload, sent_at, Duration::ZERO, None);
+                        let floor = first.map(|t| t + Duration::from_micros(1));
+                        self.transmit(
+                            held.from,
+                            held.to,
+                            held.payload,
+                            held.sent_at,
+                            Duration::ZERO,
+                            floor,
+                        );
+                    }
+                }
+            }
+            FaultAction::CrashSender => {
+                // The send itself succeeds; the sender dies once its
+                // current callback's command batch finishes (the crash
+                // event pops at the same virtual time, after it).
+                self.transmit(from, to, payload, sent_at, Duration::ZERO, None);
+                self.push(
+                    self.now,
+                    EventKind::Crash(from, CrashCause::Injected { rule }),
+                );
+            }
+            FaultAction::CrashReceiver => {
+                unreachable!("CrashReceiver is a Deliver-point action")
+            }
+        }
+    }
+
+    /// Applies the network model and schedules delivery. `extra_delay`
+    /// is added on top of the drawn latency; `floor` (if given) is the
+    /// earliest allowed delivery time. Returns the scheduled delivery
+    /// time unless the network dropped the message.
+    fn transmit(
+        &mut self,
+        from: DeviceId,
+        to: DeviceId,
+        mut payload: Payload,
+        sent_at: SimTime,
+        extra_delay: Duration,
+        floor: Option<SimTime>,
+    ) -> Option<SimTime> {
         match self.config.network.fate(&mut self.net_rng) {
             Fate::Dropped => {
                 self.metrics.messages_dropped += 1;
                 self.trace
                     .record_with(self.now, || TraceEvent::Dropped { from, to });
-                return;
+                return None;
             }
             Fate::Corrupted(offset) => {
                 // The rare mutating path: detach this recipient's copy
@@ -502,8 +669,12 @@ impl Simulation {
         self.trace
             .record_with(self.now, || TraceEvent::Sent { from, to, bytes });
         let latency = self.config.network.sample_latency(&mut self.net_rng);
+        let mut at = self.now + latency + extra_delay;
+        if let Some(floor) = floor {
+            at = at.max(floor);
+        }
         self.push(
-            self.now + latency,
+            at,
             EventKind::Deliver {
                 to,
                 from,
@@ -511,12 +682,14 @@ impl Simulation {
                 sent_at,
             },
         );
+        Some(at)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultRule;
     use crate::network::LatencyModel;
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -932,5 +1105,230 @@ mod tests {
         let more = sim.run_until(SimTime::MAX);
         assert!(more, "backstop must stop the infinite exchange");
         assert_eq!(sim.metrics().events_processed, 1_000);
+    }
+
+    /// ping→1, pong→2 (anything else unclassifiable).
+    fn test_classifier() -> crate::fault::Classifier {
+        Box::new(|bytes: &[u8]| match bytes {
+            b"ping" => Some(1),
+            b"pong" => Some(2),
+            _ => None,
+        })
+    }
+
+    type PingPongProbes = (Rc<RefCell<usize>>, Rc<RefCell<Vec<Vec<u8>>>>);
+
+    fn ping_pong_world(sim: &mut Simulation, count: usize) -> PingPongProbes {
+        let a = sim.add_device(DeviceConfig::default());
+        let b = sim.add_device(DeviceConfig::default());
+        let replies = Rc::new(RefCell::new(0));
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        sim.install_actor(
+            a,
+            Box::new(Ping {
+                target: b,
+                count,
+                replies: replies.clone(),
+            }),
+        );
+        sim.install_actor(b, Box::new(Pong { seen: seen.clone() }));
+        (replies, seen)
+    }
+
+    #[test]
+    fn fault_drop_rule_discards_matched_messages() {
+        let mut sim = reliable_sim(1);
+        sim.set_classifier(test_classifier());
+        sim.set_fault_plan(
+            FaultPlan::new().rule(FaultRule::new(FaultAction::Drop).on_kinds(&[1]).limit(1)),
+        );
+        let (replies, seen) = ping_pong_world(&mut sim, 3);
+        sim.run();
+        assert_eq!(seen.borrow().len(), 2, "first ping dropped");
+        assert_eq!(*replies.borrow(), 2);
+        assert_eq!(sim.metrics().messages_dropped, 1);
+        assert_eq!(sim.faults_injected(), 1);
+    }
+
+    #[test]
+    fn fault_duplicate_rule_delivers_twice() {
+        let mut sim = reliable_sim(1);
+        sim.set_classifier(test_classifier());
+        sim.set_fault_plan(
+            FaultPlan::new().rule(
+                FaultRule::new(FaultAction::Duplicate {
+                    extra_delay: Duration::ZERO,
+                })
+                .on_kinds(&[1])
+                .limit(1),
+            ),
+        );
+        let (replies, seen) = ping_pong_world(&mut sim, 3);
+        sim.run();
+        assert_eq!(seen.borrow().len(), 4, "first ping delivered twice");
+        assert_eq!(*replies.borrow(), 4);
+    }
+
+    #[test]
+    fn fault_delay_rule_postpones_delivery() {
+        let run = |delay_ms: u64| {
+            let mut sim = reliable_sim(1);
+            sim.set_classifier(test_classifier());
+            if delay_ms > 0 {
+                sim.set_fault_plan(
+                    FaultPlan::new().rule(
+                        FaultRule::new(FaultAction::Delay(Duration::from_millis(delay_ms)))
+                            .on_kinds(&[1]),
+                    ),
+                );
+            }
+            let (replies, _) = ping_pong_world(&mut sim, 3);
+            let end = sim.run();
+            assert_eq!(*replies.borrow(), 3, "delayed, not lost");
+            end
+        };
+        let baseline = run(0);
+        let delayed = run(500);
+        assert_eq!(delayed, baseline + Duration::from_millis(500));
+    }
+
+    #[test]
+    fn fault_reorder_rule_swaps_consecutive_matches() {
+        /// Sends two distinct payloads in one batch.
+        struct TwoSends {
+            target: DeviceId,
+        }
+        impl Actor for TwoSends {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send(self.target, b"first".to_vec());
+                ctx.send(self.target, b"second".to_vec());
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_>, _from: DeviceId, _payload: &[u8]) {}
+        }
+        /// Records payloads without replying.
+        struct Sink {
+            seen: Rc<RefCell<Vec<Vec<u8>>>>,
+        }
+        impl Actor for Sink {
+            fn on_message(&mut self, _ctx: &mut Context<'_>, _from: DeviceId, payload: &[u8]) {
+                self.seen.borrow_mut().push(payload.to_vec());
+            }
+        }
+        let mut sim = reliable_sim(1);
+        sim.set_fault_plan(FaultPlan::new().rule(FaultRule::new(FaultAction::Reorder).limit(2)));
+        let a = sim.add_device(DeviceConfig::default());
+        let b = sim.add_device(DeviceConfig::default());
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        sim.install_actor(a, Box::new(TwoSends { target: b }));
+        sim.install_actor(b, Box::new(Sink { seen: seen.clone() }));
+        sim.run();
+        assert_eq!(
+            *seen.borrow(),
+            vec![b"second".to_vec(), b"first".to_vec()],
+            "the held first message lands after the second"
+        );
+    }
+
+    #[test]
+    fn fault_crash_receiver_consumes_the_trigger() {
+        let mut sim = reliable_sim(1);
+        sim.set_classifier(test_classifier());
+        // Crash the pong server the instant its second ping arrives.
+        sim.set_fault_plan(
+            FaultPlan::new().rule(
+                FaultRule::new(FaultAction::CrashReceiver)
+                    .on_kinds(&[1])
+                    .skip(1)
+                    .limit(1),
+            ),
+        );
+        let (replies, seen) = ping_pong_world(&mut sim, 3);
+        sim.run();
+        assert_eq!(seen.borrow().len(), 1, "only the first ping was processed");
+        assert_eq!(*replies.borrow(), 1);
+        assert_eq!(sim.metrics().crashes, 1);
+    }
+
+    #[test]
+    fn fault_crash_sender_fires_after_the_batch() {
+        let mut sim = Simulation::new(
+            SimConfig {
+                network: NetworkModel::reliable(Duration::from_millis(10)),
+                trace_capacity: 64,
+                ..SimConfig::default()
+            },
+            1,
+        );
+        sim.set_classifier(test_classifier());
+        sim.set_fault_plan(
+            FaultPlan::new().rule(
+                FaultRule::new(FaultAction::CrashSender)
+                    .on_kinds(&[1])
+                    .limit(1),
+            ),
+        );
+        let (replies, seen) = ping_pong_world(&mut sim, 3);
+        sim.run();
+        // All three pings left in the same on_start batch before the
+        // crash landed; every pong then hit a crashed device.
+        assert_eq!(seen.borrow().len(), 3);
+        assert_eq!(*replies.borrow(), 0);
+        assert_eq!(sim.metrics().crashes, 1);
+        assert_eq!(sim.metrics().messages_to_crashed, 3);
+        let injected = sim
+            .trace()
+            .records()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    TraceEvent::Crashed {
+                        cause: CrashCause::Injected { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(injected, 1, "the crash is attributed to the rule");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let run = || {
+            let mut sim = Simulation::new(
+                SimConfig {
+                    network: NetworkModel::lossy(
+                        Duration::from_millis(1),
+                        Duration::from_millis(50),
+                        0.1,
+                    ),
+                    trace_capacity: 1 << 12,
+                    ..SimConfig::default()
+                },
+                77,
+            );
+            sim.set_classifier(test_classifier());
+            sim.set_fault_plan(
+                FaultPlan::new()
+                    .rule(
+                        FaultRule::new(FaultAction::Drop)
+                            .on_kinds(&[2])
+                            .skip(3)
+                            .limit(2),
+                    )
+                    .rule(
+                        FaultRule::new(FaultAction::Duplicate {
+                            extra_delay: Duration::from_millis(200),
+                        })
+                        .on_kinds(&[1])
+                        .skip(5)
+                        .limit(1),
+                    ),
+            );
+            let (replies, _) = ping_pong_world(&mut sim, 50);
+            sim.run();
+            let reply_count = *replies.borrow();
+            (reply_count, sim.faults_injected(), sim.trace().digest())
+        };
+        assert_eq!(run(), run());
     }
 }

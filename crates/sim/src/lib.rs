@@ -34,6 +34,7 @@
 pub mod actor;
 pub mod churn;
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod network;
 pub mod time;
@@ -42,6 +43,9 @@ pub mod trace;
 pub use actor::{Actor, Context, TimerToken};
 pub use churn::{Availability, CrashPlan};
 pub use engine::{DeviceConfig, SimConfig, Simulation};
+pub use fault::{
+    Classifier, CrashCause, FaultAction, FaultKind, FaultPlan, FaultRule, MatchPoint, MsgMatch,
+};
 pub use metrics::SimMetrics;
 pub use network::{LatencyModel, NetworkModel};
 pub use time::{Duration, SimTime};

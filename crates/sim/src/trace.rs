@@ -7,6 +7,7 @@
 //! execution ("collection started", "partition 3 shipped", "device 17
 //! crashed") or assert fine-grained protocol properties in tests.
 
+use crate::fault::{CrashCause, FaultKind};
 use crate::time::SimTime;
 use edgelet_util::ids::DeviceId;
 use std::collections::VecDeque;
@@ -42,7 +43,54 @@ pub enum TraceEvent {
     /// A device reconnected.
     CameUp(DeviceId),
     /// A device crash-stopped.
-    Crashed(DeviceId),
+    Crashed {
+        /// The device that crashed.
+        device: DeviceId,
+        /// Why: organic churn or an injected fault rule. Organic
+        /// crashes digest byte-identically to the pre-cause format, so
+        /// existing pinned digests stay stable.
+        cause: CrashCause,
+    },
+    /// A timer callback ran on a device.
+    TimerFired {
+        /// The device whose timer fired.
+        device: DeviceId,
+        /// The raw timer token.
+        token: u64,
+    },
+    /// A fault rule fired on a message.
+    FaultInjected {
+        /// Index of the firing rule in the installed fault plan.
+        rule: u32,
+        /// The action that was taken.
+        kind: FaultKind,
+        /// Sender of the affected message.
+        from: DeviceId,
+        /// Receiver of the affected message.
+        to: DeviceId,
+    },
+    /// Protocol kind of a routed message, as reported by the installed
+    /// classifier. Only recorded when a classifier is present, so
+    /// organic (classifier-less) traces are unchanged.
+    MsgKind {
+        /// Sender.
+        from: DeviceId,
+        /// Receiver.
+        to: DeviceId,
+        /// Decoded protocol message kind.
+        kind: u16,
+    },
+}
+
+impl TraceEvent {
+    /// A crash-stop caused by the organic churn model (scheduled
+    /// [`crate::CrashPlan`] or explicit `crash_at`).
+    pub fn organic_crash(device: DeviceId) -> Self {
+        TraceEvent::Crashed {
+            device,
+            cause: CrashCause::Organic,
+        }
+    }
 }
 
 /// A timestamped trace record.
@@ -127,6 +175,39 @@ impl Trace {
         for r in &self.records {
             mix(r.at.as_micros());
             match r.event {
+                TraceEvent::Crashed { device, cause } => {
+                    mix(5);
+                    mix(device.raw());
+                    // Organic crashes mix nothing further: byte-for-byte
+                    // the pre-cause encoding, keeping old digests valid.
+                    if let CrashCause::Injected { rule } = cause {
+                        mix(0xFA);
+                        mix(u64::from(rule));
+                    }
+                }
+                TraceEvent::TimerFired { device, token } => {
+                    mix(6);
+                    mix(device.raw());
+                    mix(token);
+                }
+                TraceEvent::FaultInjected {
+                    rule,
+                    kind,
+                    from,
+                    to,
+                } => {
+                    mix(7);
+                    mix(u64::from(rule));
+                    mix(u64::from(kind.code()));
+                    mix(from.raw());
+                    mix(to.raw());
+                }
+                TraceEvent::MsgKind { from, to, kind } => {
+                    mix(8);
+                    mix(from.raw());
+                    mix(to.raw());
+                    mix(u64::from(kind));
+                }
                 TraceEvent::Sent { from, to, bytes } => {
                     mix(0);
                     mix(from.raw());
@@ -151,10 +232,6 @@ impl Trace {
                     mix(4);
                     mix(d.raw());
                 }
-                TraceEvent::Crashed(d) => {
-                    mix(5);
-                    mix(d.raw());
-                }
             }
         }
         h
@@ -167,10 +244,12 @@ impl Trace {
             .filter(|r| match r.event {
                 TraceEvent::Sent { from, to, .. }
                 | TraceEvent::Delivered { from, to }
-                | TraceEvent::Dropped { from, to } => from == device || to == device,
-                TraceEvent::WentDown(d) | TraceEvent::CameUp(d) | TraceEvent::Crashed(d) => {
-                    d == device
-                }
+                | TraceEvent::Dropped { from, to }
+                | TraceEvent::FaultInjected { from, to, .. }
+                | TraceEvent::MsgKind { from, to, .. } => from == device || to == device,
+                TraceEvent::WentDown(d) | TraceEvent::CameUp(d) => d == device,
+                TraceEvent::Crashed { device: d, .. }
+                | TraceEvent::TimerFired { device: d, .. } => d == device,
             })
             .collect()
     }
@@ -184,7 +263,7 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new(0);
         assert!(!t.enabled());
-        t.record(SimTime::ZERO, TraceEvent::Crashed(DeviceId::new(1)));
+        t.record(SimTime::ZERO, TraceEvent::organic_crash(DeviceId::new(1)));
         assert_eq!(t.total_recorded(), 0);
         assert_eq!(t.records().count(), 0);
     }
@@ -198,7 +277,9 @@ mod tests {
         assert_eq!(disabled.total_recorded(), 0);
 
         let mut enabled = Trace::new(2);
-        enabled.record_with(SimTime::ZERO, || TraceEvent::Crashed(DeviceId::new(1)));
+        enabled.record_with(SimTime::ZERO, || {
+            TraceEvent::organic_crash(DeviceId::new(1))
+        });
         assert_eq!(enabled.total_recorded(), 1);
     }
 
@@ -264,6 +345,84 @@ mod tests {
         assert_eq!(Trace::new(0).digest(), Trace::new(8).digest());
     }
 
+    /// Reference FNV-1a over little-endian u64 words, mirroring the
+    /// *pre-cause* trace encoding. Pins that the new variants did not
+    /// perturb the digest of existing events.
+    fn fnv_words(words: &[u64]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in words {
+            for b in w.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn organic_crash_digest_matches_legacy_encoding() {
+        let mut t = Trace::new(8);
+        t.record(
+            SimTime::from_micros(42),
+            TraceEvent::organic_crash(DeviceId::new(9)),
+        );
+        // Legacy bytes: at, tag 5, device — nothing else.
+        assert_eq!(t.digest(), fnv_words(&[42, 5, 9]));
+    }
+
+    #[test]
+    fn legacy_event_digests_are_stable() {
+        let mut t = Trace::new(8);
+        t.record(
+            SimTime::from_micros(1),
+            TraceEvent::Sent {
+                from: DeviceId::new(2),
+                to: DeviceId::new(3),
+                bytes: 64,
+            },
+        );
+        t.record(
+            SimTime::from_micros(2),
+            TraceEvent::WentDown(DeviceId::new(4)),
+        );
+        assert_eq!(t.digest(), fnv_words(&[1, 0, 2, 3, 64, 2, 3, 4]));
+    }
+
+    #[test]
+    fn new_events_digest_distinctly() {
+        let one = |e: TraceEvent| {
+            let mut t = Trace::new(4);
+            t.record(SimTime::from_micros(7), e);
+            t.digest()
+        };
+        let injected_crash = one(TraceEvent::Crashed {
+            device: DeviceId::new(9),
+            cause: CrashCause::Injected { rule: 0 },
+        });
+        assert_ne!(
+            injected_crash,
+            one(TraceEvent::organic_crash(DeviceId::new(9)))
+        );
+        let timer = one(TraceEvent::TimerFired {
+            device: DeviceId::new(9),
+            token: 1,
+        });
+        let fault = one(TraceEvent::FaultInjected {
+            rule: 0,
+            kind: FaultKind::Drop,
+            from: DeviceId::new(9),
+            to: DeviceId::new(1),
+        });
+        let kind = one(TraceEvent::MsgKind {
+            from: DeviceId::new(9),
+            to: DeviceId::new(1),
+            kind: 4,
+        });
+        assert_ne!(timer, fault);
+        assert_ne!(timer, kind);
+        assert_ne!(fault, kind);
+    }
+
     #[test]
     fn device_filter() {
         let mut t = Trace::new(10);
@@ -275,7 +434,7 @@ mod tests {
                 bytes: 10,
             },
         );
-        t.record(SimTime::ZERO, TraceEvent::Crashed(DeviceId::new(3)));
+        t.record(SimTime::ZERO, TraceEvent::organic_crash(DeviceId::new(3)));
         t.record(
             SimTime::ZERO,
             TraceEvent::Delivered {

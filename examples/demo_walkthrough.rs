@@ -121,7 +121,7 @@ fn main() {
         match &rec.event {
             TraceEvent::Sent { .. } => collection_msgs += 1,
             TraceEvent::Dropped { .. } => drops += 1,
-            TraceEvent::Crashed(d) => crashes.push(format!("{} at {}", d, rec.at)),
+            TraceEvent::Crashed { device, .. } => crashes.push(format!("{} at {}", device, rec.at)),
             _ => {}
         }
     }

@@ -1,0 +1,68 @@
+//! Tier-1 chaos smoke: a small deterministic campaign, a determinism
+//! double-run, and replay of the shipped repro corpus.
+//!
+//! The full-depth sweep (`edgelet chaos --seeds 1000`) runs in CI's
+//! nightly job; this harness keeps a fast gating slice of the same
+//! machinery in the default test suite. See `docs/FAULTS.md`.
+
+use edgelet_chaos::{load_dir, run_campaign, CampaignConfig, ChaosScenario};
+use std::path::Path;
+
+/// The gating sweep: both scenarios over a deterministic seed window,
+/// every catalog plan exercised at least twice. The codebase must hold
+/// every oracle invariant under every injected fault.
+#[test]
+fn smoke_campaign_is_clean() {
+    let report = run_campaign(&CampaignConfig {
+        seeds: 24,
+        scenarios: ChaosScenario::ALL.to_vec(),
+        shrink: true,
+    })
+    .unwrap();
+    assert_eq!(report.runs, 48);
+    assert!(
+        report.failures.is_empty(),
+        "chaos smoke found invariant violations:\n{}",
+        report.summary()
+    );
+}
+
+/// Identical configuration twice ⇒ bit-identical report: same failing
+/// triples (none today) and same summary text. This is the property
+/// that makes a CI-reported `(seed, plan, digest)` triple replayable on
+/// a developer machine.
+#[test]
+fn campaign_is_deterministic() {
+    let config = CampaignConfig {
+        seeds: 8,
+        scenarios: ChaosScenario::ALL.to_vec(),
+        shrink: true,
+    };
+    let a = run_campaign(&config).unwrap();
+    let b = run_campaign(&config).unwrap();
+    assert_eq!(a.summary(), b.summary());
+    let triples = |r: &edgelet_chaos::CampaignReport| -> Vec<String> {
+        r.failures.iter().map(|f| f.triple()).collect()
+    };
+    assert_eq!(triples(&a), triples(&b));
+}
+
+/// Every shipped corpus entry must replay to the oracle verdict it was
+/// recorded with. The pinned entries are regression tests for fixed
+/// invariant violations — e.g. `grouping-dup-partials` pins the
+/// combiner's partial-idempotence guard (a duplicated partial was once
+/// ledger-charged twice).
+#[test]
+fn shipped_corpus_replays_to_recorded_verdicts() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/chaos_corpus");
+    let entries = load_dir(&dir).unwrap();
+    assert!(entries.len() >= 3, "corpus unexpectedly small");
+    for (name, entry) in entries {
+        let report = entry.replay().unwrap();
+        assert!(
+            report.matches,
+            "{name}: expected {:?}, oracles fired: {:?}",
+            entry.expect, report.oracles
+        );
+    }
+}
