@@ -238,6 +238,10 @@ pub mod codes {
     /// `.clone()` of a message payload (`payload`/`bytes`) in `exec`/`sim`
     /// send paths; share the buffer instead.
     pub const LINT_PAYLOAD_CLONE: &str = "W105";
+    /// The network model's minimum latency is zero, so the sharded
+    /// engine's conservative lookahead window is empty and every run
+    /// falls back to the global sequential executor.
+    pub const SIM_ZERO_LOOKAHEAD: &str = "W110";
 
     /// Every code with its default severity and one-line summary, in code
     /// order. Drives the documentation table and its test.
@@ -358,6 +362,11 @@ pub mod codes {
             LINT_PAYLOAD_CLONE,
             Severity::Warning,
             "payload deep-copied on a send path",
+        ),
+        (
+            SIM_ZERO_LOOKAHEAD,
+            Severity::Warning,
+            "zero minimum latency disables the sharded engine",
         ),
     ];
 }

@@ -31,6 +31,7 @@ pub mod diagnostic;
 pub mod faultplan;
 pub mod lint;
 pub mod semantic;
+pub mod simconfig;
 
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -38,3 +39,4 @@ pub(crate) mod testutil;
 pub use diagnostic::{has_errors, render_human, render_json, Diagnostic, Severity};
 pub use faultplan::check_fault_plan;
 pub use semantic::{analyze, analyze_plan, preflight, AnalyzeOptions};
+pub use simconfig::check_sim_config;

@@ -1,0 +1,66 @@
+//! Simulator-configuration checks.
+//!
+//! The sharded parallel engine derives its conservative lookahead from
+//! the network model's minimum latency: shards execute `[t, t + L)` of
+//! virtual time without coordination because no message can arrive
+//! sooner than `L` after it was sent. A model whose minimum latency is
+//! zero (e.g. a log-normal delay distribution, or a uniform bound
+//! starting at zero) makes that window empty, so every run silently
+//! falls back to the global sequential executor — results stay
+//! bit-identical, but `--shards N` buys nothing. `W110` surfaces that
+//! degenerate configuration before a long run is launched.
+
+use crate::diagnostic::{codes, Diagnostic};
+
+/// Checks the simulator configuration the world will run under.
+/// `min_latency_us` is the network model's guaranteed lower bound on
+/// every message delay (microseconds); `shards` is the configured shard
+/// count.
+pub fn check_sim_config(min_latency_us: u64, shards: usize) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if min_latency_us == 0 {
+        let mut d = Diagnostic::warning(
+            codes::SIM_ZERO_LOOKAHEAD,
+            "network.latency",
+            if shards > 1 {
+                format!(
+                    "minimum network latency is 0, so the conservative lookahead \
+                     window is empty: the requested {shards} shards fall back to \
+                     the sequential executor"
+                )
+            } else {
+                "minimum network latency is 0: the sharded engine's lookahead \
+                 window is empty, so parallel runs would fall back to the \
+                 sequential executor"
+                    .to_string()
+            },
+        );
+        d = d.with_help(
+            "give the latency model a positive lower bound (any uniform or fixed \
+             floor works); the engine windows virtual time by that bound",
+        );
+        out.push(d);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_min_latency_warns() {
+        let found = check_sim_config(0, 4);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].code, codes::SIM_ZERO_LOOKAHEAD);
+        assert!(found[0].message.contains("4 shards"), "{found:?}");
+        // Still warned at shards=1 (the config is latent either way).
+        assert_eq!(check_sim_config(0, 1).len(), 1);
+    }
+
+    #[test]
+    fn positive_min_latency_is_clean() {
+        assert!(check_sim_config(1, 8).is_empty());
+        assert!(check_sim_config(20_000, 1).is_empty());
+    }
+}

@@ -47,15 +47,15 @@ fn main() {
     });
 
     eprintln!(
-        "bench_report: {} suites, median of {} samples each",
-        5,
-        report::SAMPLES
+        "bench_report: median of {} samples per suite, rev {}",
+        report::SAMPLES,
+        report::git_revision()
     );
     let results = report::run_all();
     for r in &results {
         println!(
-            "{:<44} median {:>14.1} ns  {} {:.1}",
-            r.name, r.median_ns, r.throughput.0, r.throughput.1
+            "{:<52} median {:>14.1} ns  shards {}  {} {:.1}",
+            r.name, r.median_ns, r.shards, r.throughput.0, r.throughput.1
         );
     }
     let json = report::to_json(&results);
@@ -76,9 +76,9 @@ fn main() {
                     Some(b) if b > 0.0 => {
                         let speedup = b / r.median_ns;
                         let delta = (b - r.median_ns) / b * 100.0;
-                        println!("{:<44} {:>6.2}x ({:+.1}% time)", r.name, speedup, -delta);
+                        println!("{:<52} {:>6.2}x ({:+.1}% time)", r.name, speedup, -delta);
                     }
-                    _ => println!("{:<44} (no baseline entry)", r.name),
+                    _ => println!("{:<52} (no baseline entry)", r.name),
                 }
             }
         }

@@ -14,7 +14,8 @@ use edgelet_core::ml::gen::gaussian_mixture;
 use edgelet_core::ml::kmeans::{KMeans, KMeansConfig};
 use edgelet_core::prelude::*;
 use edgelet_core::sim::{
-    Actor, Context, DeviceConfig, Duration, NetworkModel, SimConfig, Simulation,
+    Actor, Availability, Context, CrashPlan, DeviceConfig, Duration, LatencyModel, NetworkModel,
+    SimConfig, SimTime, Simulation, TimerToken,
 };
 use edgelet_core::store::{synth, Row};
 use edgelet_core::util::ids::DeviceId;
@@ -30,6 +31,9 @@ pub struct SuiteResult {
     pub name: &'static str,
     /// Median wall-clock nanoseconds per iteration.
     pub median_ns: f64,
+    /// Simulator shard count the suite ran under (1 for non-simulator
+    /// workloads).
+    pub shards: usize,
     /// Throughput annotation: `(unit, value)` derived from `median_ns`.
     pub throughput: (&'static str, f64),
 }
@@ -86,6 +90,7 @@ pub fn kmeans_kernel() -> SuiteResult {
     SuiteResult {
         name: "kernels/kmeans/lloyd_step_10k_points",
         median_ns: ns,
+        shards: 1,
         throughput: ("elements_per_sec", 10_000.0 / (ns * 1e-9)),
     }
 }
@@ -104,6 +109,7 @@ pub fn wire_encode() -> SuiteResult {
     SuiteResult {
         name: "wire/rows/encode_1000_rows",
         median_ns: ns,
+        shards: 1,
         throughput: ("mib_per_sec", len / (ns * 1e-9) / (1024.0 * 1024.0)),
     }
 }
@@ -117,6 +123,7 @@ pub fn wire_decode() -> SuiteResult {
     SuiteResult {
         name: "wire/rows/decode_1000_rows",
         median_ns: ns,
+        shards: 1,
         throughput: ("mib_per_sec", len / (ns * 1e-9) / (1024.0 * 1024.0)),
     }
 }
@@ -162,10 +169,11 @@ impl Actor for AckPeer {
 const BROADCAST_PEERS: usize = 200;
 const BROADCAST_ROUNDS: u32 = 50;
 
-fn build_broadcast_sim() -> Simulation {
+fn build_broadcast_sim(shards: usize) -> Simulation {
     let mut sim = Simulation::new(
         SimConfig {
             network: NetworkModel::reliable(Duration::from_millis(1)),
+            shards,
             ..SimConfig::default()
         },
         7,
@@ -188,33 +196,258 @@ fn build_broadcast_sim() -> Simulation {
     sim
 }
 
-/// Simulator broadcast scenario: a hub fans 1 KiB to 200 peers for 50
-/// rounds (20k deliveries), each peer acking. Setup excluded.
-pub fn sim_broadcast() -> SuiteResult {
-    let deliveries = (BROADCAST_PEERS as u32 * BROADCAST_ROUNDS * 2) as f64;
-    // Setup is hoisted out of the timing: build each simulation first,
-    // time only `run()`. First sample is a discarded warm-up.
+/// Times `build()`'s simulation to quiescence (or `deadline`), setup
+/// hoisted out of the timing, first sample a discarded warm-up.
+fn median_sim_ns(
+    build: impl Fn() -> Simulation,
+    deadline: SimTime,
+    check: impl Fn(&Simulation),
+) -> f64 {
     let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
     for i in 0..=SAMPLES {
-        let mut sim = build_broadcast_sim();
+        let mut sim = build();
         let start = Instant::now();
-        sim.run();
+        sim.run_until(deadline);
         let elapsed = start.elapsed().as_secs_f64() * 1e9;
-        assert_eq!(
-            sim.metrics().messages_delivered,
-            deliveries as u64,
-            "broadcast scenario must deliver every message"
-        );
+        check(&sim);
         if i > 0 {
             samples.push(elapsed);
         }
     }
     samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
-    let ns = samples[samples.len() / 2];
+    samples[samples.len() / 2]
+}
+
+/// Simulator broadcast scenario: a hub fans 1 KiB to 200 peers for 50
+/// rounds (20k deliveries), each peer acking. Setup excluded.
+pub fn sim_broadcast() -> SuiteResult {
+    sim_broadcast_with(1, "sim/broadcast/1kib_fanout_200x50")
+}
+
+/// [`sim_broadcast`] under an explicit shard count.
+pub fn sim_broadcast_with(shards: usize, name: &'static str) -> SuiteResult {
+    let deliveries = (BROADCAST_PEERS as u32 * BROADCAST_ROUNDS * 2) as f64;
+    let ns = median_sim_ns(
+        || build_broadcast_sim(shards),
+        SimTime::MAX,
+        |sim| {
+            assert_eq!(
+                sim.metrics().messages_delivered,
+                deliveries as u64,
+                "broadcast scenario must deliver every message"
+            );
+        },
+    );
     SuiteResult {
-        name: "sim/broadcast/1kib_fanout_200x50",
+        name,
         median_ns: ns,
+        shards,
         throughput: ("deliveries_per_sec", deliveries / (ns * 1e-9)),
+    }
+}
+
+/// Devices in the population-scale suites.
+const SCALE_DEVICES: usize = 100_000;
+/// Virtual seconds the churn suite simulates.
+const SCALE_CHURN_SECS: u64 = 30;
+
+/// Heartbeat actor for the churn suite: a staggered periodic timer that
+/// pings a random peer.
+struct Heartbeat {
+    peers: u64,
+    period: Duration,
+}
+
+impl Actor for Heartbeat {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Stagger the first beat so load spreads over one period.
+        let jitter = Duration::from_micros(ctx.rng().range(0..self.period.as_micros()));
+        ctx.set_timer(jitter);
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_>, _from: DeviceId, _payload: &[u8]) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
+        let peer = ctx.rng().range(0..self.peers);
+        ctx.send(DeviceId::new(peer), vec![0x5A; 64]);
+        ctx.set_timer(self.period);
+    }
+}
+
+fn build_churn_sim(shards: usize) -> Simulation {
+    let mut sim = Simulation::new(
+        SimConfig {
+            network: NetworkModel {
+                latency: LatencyModel::Uniform {
+                    min: Duration::from_millis(100),
+                    max: Duration::from_millis(250),
+                },
+                drop_probability: 0.0,
+                corruption_probability: 0.0,
+            },
+            shards,
+            ..SimConfig::default()
+        },
+        11,
+    );
+    for i in 0..SCALE_DEVICES {
+        let availability = if i % 4 == 0 {
+            Availability::Intermittent {
+                mean_up: Duration::from_secs(300),
+                mean_down: Duration::from_secs(120),
+                start_up: true,
+            }
+        } else {
+            Availability::AlwaysUp
+        };
+        sim.add_device(DeviceConfig {
+            availability,
+            crash: CrashPlan::Never,
+        });
+    }
+    for i in 0..SCALE_DEVICES {
+        sim.install_actor(
+            DeviceId::new(i as u64),
+            Box::new(Heartbeat {
+                peers: SCALE_DEVICES as u64,
+                period: Duration::from_secs(5),
+            }),
+        );
+    }
+    sim
+}
+
+/// Population-scale churn: 100k devices (a quarter intermittently
+/// connected) heartbeating random peers for 30 virtual seconds over a
+/// 100–250 ms WAN. World construction excluded from the timing.
+pub fn scale_churn(shards: usize, name: &'static str) -> SuiteResult {
+    let deadline = SimTime::from_micros(SCALE_CHURN_SECS * 1_000_000);
+    let mut delivered = 0u64;
+    let ns = {
+        let delivered = &mut delivered;
+        let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
+        for i in 0..=SAMPLES {
+            let mut sim = build_churn_sim(shards);
+            let start = Instant::now();
+            sim.run_until(deadline);
+            let elapsed = start.elapsed().as_secs_f64() * 1e9;
+            assert!(
+                sim.metrics().messages_delivered > SCALE_DEVICES as u64,
+                "churn scenario must make progress"
+            );
+            *delivered = sim.metrics().messages_delivered;
+            if i > 0 {
+                samples.push(elapsed);
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        samples[samples.len() / 2]
+    };
+    SuiteResult {
+        name,
+        median_ns: ns,
+        shards,
+        throughput: ("deliveries_per_sec", delivered as f64 / (ns * 1e-9)),
+    }
+}
+
+/// Collectors in the 100k-contributor grouping suite (250 contributors
+/// each, mirroring the paper's partitioned Grouping-Sets fan-out).
+const GROUP_COLLECTORS: usize = 400;
+
+/// Partition collector: requests contributions from its slice of the
+/// crowd, counts replies, reports a partial upstream when complete.
+struct ScaleCollector {
+    querier: DeviceId,
+    contributors: Vec<DeviceId>,
+    pending: usize,
+}
+
+impl Actor for ScaleCollector {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.pending = self.contributors.len();
+        ctx.broadcast(self.contributors.clone(), vec![0x01; 16]);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: DeviceId, _payload: &[u8]) {
+        self.pending -= 1;
+        if self.pending == 0 {
+            ctx.send(self.querier, vec![0x02; 128]);
+        }
+    }
+}
+
+/// Contributor endpoint: answers any request with a 256-byte record.
+struct ScaleContributor;
+
+impl Actor for ScaleContributor {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: DeviceId, _payload: &[u8]) {
+        ctx.send(from, vec![0xC0; 256]);
+    }
+}
+
+/// Querier endpoint: counts partials.
+struct ScaleQuerier;
+
+impl Actor for ScaleQuerier {
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: DeviceId, _payload: &[u8]) {
+        ctx.observe("partials", 1.0);
+    }
+}
+
+fn build_grouping_sim(shards: usize) -> Simulation {
+    let mut sim = Simulation::new(
+        SimConfig {
+            network: NetworkModel::reliable(Duration::from_millis(20)),
+            shards,
+            ..SimConfig::default()
+        },
+        13,
+    );
+    let querier = sim.add_device(DeviceConfig::default());
+    let collectors: Vec<DeviceId> = (0..GROUP_COLLECTORS)
+        .map(|_| sim.add_device(DeviceConfig::default()))
+        .collect();
+    let contributors: Vec<DeviceId> = (0..SCALE_DEVICES)
+        .map(|_| sim.add_device(DeviceConfig::default()))
+        .collect();
+    for &c in &contributors {
+        sim.install_actor(c, Box::new(ScaleContributor));
+    }
+    let per = SCALE_DEVICES / GROUP_COLLECTORS;
+    for (i, &c) in collectors.iter().enumerate() {
+        sim.install_actor(
+            c,
+            Box::new(ScaleCollector {
+                querier,
+                contributors: contributors[i * per..(i + 1) * per].to_vec(),
+                pending: 0,
+            }),
+        );
+    }
+    sim.install_actor(querier, Box::new(ScaleQuerier));
+    sim
+}
+
+/// Population-scale grouping query: 400 collectors fan a request out to
+/// 100k contributors (250 each), gather 256-byte contributions, and
+/// report partials to one querier. World construction excluded.
+pub fn scale_grouping(shards: usize, name: &'static str) -> SuiteResult {
+    // request + reply per contributor, plus one partial per collector.
+    let expected = (2 * SCALE_DEVICES + GROUP_COLLECTORS) as u64;
+    let ns = median_sim_ns(
+        || build_grouping_sim(shards),
+        SimTime::MAX,
+        |sim| {
+            assert_eq!(
+                sim.metrics().messages_delivered,
+                expected,
+                "grouping scenario must complete the full fan-out"
+            );
+        },
+    );
+    SuiteResult {
+        name,
+        median_ns: ns,
+        shards,
+        throughput: ("contributions_per_sec", SCALE_DEVICES as f64 / (ns * 1e-9)),
     }
 }
 
@@ -250,19 +483,48 @@ pub fn e2e_query() -> SuiteResult {
     SuiteResult {
         name: "e2e/grouping_query_1k_contributors",
         median_ns: ns,
+        shards: 1,
         throughput: ("queries_per_sec", 1.0 / (ns * 1e-9)),
     }
 }
 
-/// Runs every suite in a fixed order.
+/// Shard count the `@shardsN` suite variants run under (picked to match
+/// the CI parity matrix and typical 4-core runners).
+pub const PARALLEL_SHARDS: usize = 4;
+
+/// Runs every suite in a fixed order. Simulator suites run at
+/// `shards = 1` and again at [`PARALLEL_SHARDS`] (the `@shards4`
+/// variants), so one report captures the sequential/parallel speedup.
 pub fn run_all() -> Vec<SuiteResult> {
     vec![
         kmeans_kernel(),
         wire_encode(),
         wire_decode(),
-        sim_broadcast(),
+        sim_broadcast_with(1, "sim/broadcast/1kib_fanout_200x50"),
+        sim_broadcast_with(PARALLEL_SHARDS, "sim/broadcast/1kib_fanout_200x50@shards4"),
+        scale_churn(1, "sim/scale/100k_devices_churn"),
+        scale_churn(PARALLEL_SHARDS, "sim/scale/100k_devices_churn@shards4"),
+        scale_grouping(1, "sim/scale/grouping_query_100k_contributors"),
+        scale_grouping(
+            PARALLEL_SHARDS,
+            "sim/scale/grouping_query_100k_contributors@shards4",
+        ),
         e2e_query(),
     ]
+}
+
+/// The short git revision of the working tree, or `"unknown"` outside a
+/// checkout (reports stay comparable either way; the key is advisory).
+pub fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Renders the report as JSON (one suite per line, stable key order).
@@ -271,15 +533,59 @@ pub fn to_json(results: &[SuiteResult]) -> String {
     out.push_str("{\n");
     out.push_str("  \"schema\": \"edgelet-bench-report/v1\",\n");
     out.push_str(&format!("  \"samples_per_suite\": {SAMPLES},\n"));
+    out.push_str(&format!("  \"git_revision\": \"{}\",\n", git_revision()));
     out.push_str("  \"suites\": {\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         out.push_str(&format!(
-            "    \"{}\": {{\"median_ns\": {:.1}, \"{}\": {:.1}}}{comma}\n",
-            r.name, r.median_ns, r.throughput.0, r.throughput.1
+            "    \"{}\": {{\"median_ns\": {:.1}, \"shards\": {}, \"{}\": {:.1}}}{comma}\n",
+            r.name, r.median_ns, r.shards, r.throughput.0, r.throughput.1
         ));
     }
     out.push_str("  }\n}\n");
+    out
+}
+
+/// One suite whose median regressed past the comparison threshold.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Suite identifier.
+    pub suite: &'static str,
+    /// Baseline median, nanoseconds.
+    pub baseline_ns: f64,
+    /// Current median, nanoseconds.
+    pub current_ns: f64,
+    /// Slowdown in percent (positive = current is slower).
+    pub delta_pct: f64,
+}
+
+/// Compares `current` against a baseline report previously written by
+/// [`to_json`], returning every suite that slowed down by more than
+/// `fail_over_pct` percent. Suites absent from the baseline are skipped
+/// (new suites never gate).
+pub fn compare(
+    current: &[SuiteResult],
+    baseline_json: &str,
+    fail_over_pct: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for r in current {
+        let Some(base) = median_from_json(baseline_json, r.name) else {
+            continue;
+        };
+        if base <= 0.0 {
+            continue;
+        }
+        let delta_pct = (r.median_ns - base) / base * 100.0;
+        if delta_pct > fail_over_pct {
+            out.push(Regression {
+                suite: r.name,
+                baseline_ns: base,
+                current_ns: r.median_ns,
+                delta_pct,
+            });
+        }
+    }
     out
 }
 
@@ -303,11 +609,13 @@ mod tests {
             SuiteResult {
                 name: "kernels/kmeans/lloyd_step_10k_points",
                 median_ns: 12345.5,
+                shards: 1,
                 throughput: ("elements_per_sec", 1e9),
             },
             SuiteResult {
                 name: "wire/rows/encode_1000_rows",
                 median_ns: 678.0,
+                shards: 1,
                 throughput: ("mib_per_sec", 250.0),
             },
         ];
@@ -325,11 +633,85 @@ mod tests {
 
     #[test]
     fn broadcast_sim_delivers_everything() {
-        let mut sim = build_broadcast_sim();
+        let mut sim = build_broadcast_sim(1);
         sim.run();
         assert_eq!(
             sim.metrics().messages_delivered,
             (BROADCAST_PEERS as u32 * BROADCAST_ROUNDS * 2) as u64
         );
+    }
+
+    #[test]
+    fn broadcast_sim_is_shard_invariant() {
+        let mut seq = build_broadcast_sim(1);
+        seq.run();
+        let mut par = build_broadcast_sim(PARALLEL_SHARDS);
+        par.run();
+        assert_eq!(
+            seq.metrics().messages_delivered,
+            par.metrics().messages_delivered
+        );
+        assert_eq!(
+            seq.metrics().events_processed,
+            par.metrics().events_processed
+        );
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_past_threshold() {
+        let baseline = to_json(&[
+            SuiteResult {
+                name: "a",
+                median_ns: 100.0,
+                shards: 1,
+                throughput: ("x_per_sec", 1.0),
+            },
+            SuiteResult {
+                name: "b",
+                median_ns: 100.0,
+                shards: 1,
+                throughput: ("x_per_sec", 1.0),
+            },
+        ]);
+        let current = vec![
+            // 5% slower: under the 10% gate.
+            SuiteResult {
+                name: "a",
+                median_ns: 105.0,
+                shards: 1,
+                throughput: ("x_per_sec", 1.0),
+            },
+            // 50% slower: gates.
+            SuiteResult {
+                name: "b",
+                median_ns: 150.0,
+                shards: 1,
+                throughput: ("x_per_sec", 1.0),
+            },
+            // Not in the baseline: skipped.
+            SuiteResult {
+                name: "c",
+                median_ns: 999.0,
+                shards: 1,
+                throughput: ("x_per_sec", 1.0),
+            },
+        ];
+        let regs = compare(&current, &baseline, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].suite, "b");
+        assert!((regs[0].delta_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_records_shard_counts() {
+        let json = to_json(&[SuiteResult {
+            name: "s",
+            median_ns: 1.0,
+            shards: 4,
+            throughput: ("x_per_sec", 1.0),
+        }]);
+        assert!(json.contains("\"shards\": 4"));
+        assert!(json.contains("\"git_revision\""));
+        assert_eq!(median_from_json(&json, "s"), Some(1.0));
     }
 }

@@ -24,6 +24,10 @@ pub struct CampaignConfig {
     /// Shrink failing plans to minimal repros (a few dozen extra runs
     /// per failure; disable for the quickest possible sweep).
     pub shrink: bool,
+    /// Simulator shard count for every run in the sweep. Failing
+    /// triples are identical for every value; CI sweeps {1, 4} to pin
+    /// exactly that.
+    pub shards: usize,
 }
 
 impl Default for CampaignConfig {
@@ -32,6 +36,7 @@ impl Default for CampaignConfig {
             seeds: 64,
             scenarios: ChaosScenario::ALL.to_vec(),
             shrink: true,
+            shards: 1,
         }
     }
 }
@@ -124,7 +129,20 @@ pub fn run_one(
     seed: u64,
     plan: &FaultPlan,
 ) -> Result<(Vec<Violation>, u64)> {
-    let run = scenario.open(seed, plan.clone()).run()?;
+    run_one_sharded(scenario, seed, plan, 1)
+}
+
+/// [`run_one`] with an explicit simulator shard count. The violations
+/// and digest are bit-identical for every value.
+pub fn run_one_sharded(
+    scenario: ChaosScenario,
+    seed: u64,
+    plan: &FaultPlan,
+    shards: usize,
+) -> Result<(Vec<Violation>, u64)> {
+    let run = scenario
+        .open_with_shards(seed, plan.clone(), shards)
+        .run()?;
     let digest = run.digest();
     Ok((check_run(&run), digest))
 }
@@ -135,7 +153,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport> {
     for seed in 0..config.seeds {
         for &scenario in &config.scenarios {
             let named = plan_for_seed(scenario, seed)?;
-            let (violations, digest) = run_one(scenario, seed, &named.plan)?;
+            let (violations, digest) = run_one_sharded(scenario, seed, &named.plan, config.shards)?;
             report.runs += 1;
             if violations.is_empty() {
                 continue;
@@ -143,7 +161,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport> {
             let expect = signature(&violations);
             let rules_before = named.plan.rules.len();
             let shrunk = if config.shrink {
-                shrink(scenario, seed, &named.plan, &expect)
+                shrink_sharded(scenario, seed, &named.plan, &expect, config.shards)
             } else {
                 named.plan.clone()
             };
@@ -175,6 +193,7 @@ struct Shrinker {
     seed: u64,
     expect: Vec<String>,
     budget: u32,
+    shards: usize,
 }
 
 impl Shrinker {
@@ -184,7 +203,7 @@ impl Shrinker {
             return false;
         }
         self.budget -= 1;
-        match run_one(self.scenario, self.seed, plan) {
+        match run_one_sharded(self.scenario, self.seed, plan, self.shards) {
             Ok((violations, _)) => signature(&violations) == self.expect,
             Err(_) => false,
         }
@@ -201,11 +220,23 @@ pub fn shrink(
     plan: &FaultPlan,
     expect: &[String],
 ) -> FaultPlan {
+    shrink_sharded(scenario, seed, plan, expect, 1)
+}
+
+/// [`shrink`] with an explicit simulator shard count for the re-runs.
+pub fn shrink_sharded(
+    scenario: ChaosScenario,
+    seed: u64,
+    plan: &FaultPlan,
+    expect: &[String],
+    shards: usize,
+) -> FaultPlan {
     let mut s = Shrinker {
         scenario,
         seed,
         expect: expect.to_vec(),
         budget: SHRINK_BUDGET,
+        shards,
     };
     let mut current = plan.clone();
 
@@ -290,6 +321,7 @@ mod tests {
             seeds: 4,
             scenarios: vec![ChaosScenario::Grouping],
             shrink: false,
+            shards: 1,
         };
         let a = run_campaign(&config).unwrap();
         let b = run_campaign(&config).unwrap();

@@ -273,9 +273,16 @@ impl CorpusEntry {
 
     /// Replays the entry and compares the oracle verdict.
     pub fn replay(&self) -> Result<ReplayReport> {
+        self.replay_with_shards(1)
+    }
+
+    /// [`CorpusEntry::replay`] under an explicit simulator shard count.
+    /// The report is bit-identical for every value.
+    pub fn replay_with_shards(&self, shards: usize) -> Result<ReplayReport> {
         let scenario = ChaosScenario::from_name(&self.scenario)
             .ok_or_else(|| invalid(format!("corpus: unknown scenario {:?}", self.scenario)))?;
-        let (violations, trace_digest) = crate::campaign::run_one(scenario, self.seed, &self.plan)?;
+        let (violations, trace_digest) =
+            crate::campaign::run_one_sharded(scenario, self.seed, &self.plan, shards)?;
         let oracles = signature(&violations);
         let matches = oracles == self.expect;
         Ok(ReplayReport {

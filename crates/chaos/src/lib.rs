@@ -38,7 +38,10 @@ pub mod oracle;
 pub mod plans;
 pub mod scenario;
 
-pub use campaign::{run_campaign, run_one, shrink, CampaignConfig, CampaignReport, Failure};
+pub use campaign::{
+    run_campaign, run_one, run_one_sharded, shrink, shrink_sharded, CampaignConfig, CampaignReport,
+    Failure,
+};
 pub use corpus::{load_dir, CorpusEntry, ReplayReport};
 pub use edgelet_sim::FaultPlan;
 pub use oracle::{check_run, signature, Violation};

@@ -78,7 +78,7 @@ impl ChaosScenario {
         }
     }
 
-    fn platform_config(self, seed: u64, fault_plan: FaultPlan) -> PlatformConfig {
+    fn platform_config(self, seed: u64, fault_plan: FaultPlan, shards: usize) -> PlatformConfig {
         PlatformConfig {
             seed,
             contributors: CONTRIBUTORS,
@@ -87,13 +87,21 @@ impl ChaosScenario {
             // oracles read per-message protocol kinds from the trace.
             fault_plan: Some(fault_plan),
             trace_capacity: TRACE_CAPACITY,
+            shards,
             ..PlatformConfig::default()
         }
     }
 
     /// Builds the world and the query, ready to plan or run.
     pub fn open(self, seed: u64, fault_plan: FaultPlan) -> Session {
-        let mut platform = Platform::build(self.platform_config(seed, fault_plan));
+        self.open_with_shards(seed, fault_plan, 1)
+    }
+
+    /// [`ChaosScenario::open`] with an explicit simulator shard count.
+    /// Campaign verdicts and trace digests are bit-identical for every
+    /// value (the determinism property the parity suite pins).
+    pub fn open_with_shards(self, seed: u64, fault_plan: FaultPlan, shards: usize) -> Session {
+        let mut platform = Platform::build(self.platform_config(seed, fault_plan, shards));
         let spec = match self {
             ChaosScenario::Grouping => platform.grouping_query(
                 Predicate::True,

@@ -28,8 +28,32 @@ pub enum Command {
     Experiments,
     /// `edgelet chaos …`
     Chaos(ChaosArgs),
+    /// `edgelet bench …`
+    Bench(BenchArgs),
     /// `edgelet help` (or `--help`)
     Help,
+}
+
+/// Options for the `bench` regression gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Baseline report to compare against (`None` = measure only).
+    pub compare: Option<String>,
+    /// Regression threshold in percent: exit nonzero when any suite's
+    /// median slows down by more than this versus the baseline.
+    pub fail_over: f64,
+    /// Write the fresh report to this path.
+    pub out: Option<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            compare: None,
+            fail_over: 10.0,
+            out: None,
+        }
+    }
 }
 
 /// Options for the `chaos` campaign runner.
@@ -45,6 +69,9 @@ pub struct ChaosArgs {
     pub replay: Option<String>,
     /// Skip shrinking failing plans.
     pub no_shrink: bool,
+    /// Simulator shard count for every run (verdicts are identical for
+    /// every value; >1 exercises the parallel engine).
+    pub shards: usize,
 }
 
 impl Default for ChaosArgs {
@@ -55,6 +82,7 @@ impl Default for ChaosArgs {
             emit_corpus: None,
             replay: None,
             no_shrink: false,
+            shards: 1,
         }
     }
 }
@@ -86,6 +114,9 @@ pub struct QueryArgs {
     pub kmeans: Option<(usize, usize)>,
     /// Emit Graphviz DOT instead of ASCII (plan only).
     pub dot: bool,
+    /// Simulator shard count (results are bit-identical for every
+    /// value; >1 runs event windows on worker threads).
+    pub shards: usize,
 }
 
 impl Default for QueryArgs {
@@ -103,6 +134,7 @@ impl Default for QueryArgs {
             crash_p: 0.0,
             kmeans: None,
             dot: false,
+            shards: 1,
         }
     }
 }
@@ -117,6 +149,7 @@ USAGE:
     edgelet analyze [OPTIONS] statically check the plan; exits nonzero on errors
     edgelet dataset --rows N [--seed S]   print synthetic health data (CSV)
     edgelet chaos   [OPTIONS] deterministic fault-injection campaign
+    edgelet bench   [OPTIONS] measure suites; gate on a committed baseline
     edgelet experiments       list the figure-regeneration binaries
     edgelet help              this text
 
@@ -133,6 +166,8 @@ OPTIONS (plan/run/analyze):
                                                          [default: lossy:0.05]
     --crash-p F         injected processor crash rate    [default: 0]
     --kmeans K,H        K-Means with K clusters, H heartbeats
+    --shards N          simulator shards (identical results; >1 = parallel)
+                                                         [default: 1]
     --dot               print Graphviz DOT (plan only)
     --format F          diagnostic output, human|json (analyze only)
                                                          [default: human]
@@ -143,9 +178,16 @@ OPTIONS (chaos):
     --emit-corpus DIR   write shrunk failing repros as corpus entries
     --replay DIR        replay corpus entries instead of sweeping
     --no-shrink         keep failing plans unshrunk (fastest sweep)
+    --shards N          simulator shards for every run   [default: 1]
 
-Exit status is nonzero when the campaign found failing triples or a
-replayed corpus entry's oracle verdict changed. See docs/FAULTS.md.
+OPTIONS (bench):
+    --compare PATH      baseline report (e.g. BENCH_baseline.json)
+    --fail-over PCT     regression threshold, percent    [default: 10]
+    --out PATH          also write the fresh report here
+
+Exit status is nonzero when the campaign found failing triples, a
+replayed corpus entry's oracle verdict changed, or a bench suite
+regressed past --fail-over. See docs/FAULTS.md and docs/PERF.md.
 ";
 
 /// Parses argv (without the program name).
@@ -167,6 +209,7 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             let mut c = ChaosArgs {
                 seeds: flag_parse(&flags, "seeds", 64u64)?,
                 no_shrink: flags.contains_key("no-shrink"),
+                shards: shards_flag(&flags)?,
                 ..ChaosArgs::default()
             };
             if let Some(values) = flags.get("scenario") {
@@ -185,6 +228,20 @@ pub fn parse(argv: &[String]) -> Result<Command> {
                 c.replay = Some(single(values, "replay")?.clone());
             }
             Ok(Command::Chaos(c))
+        }
+        "bench" => {
+            let flags = collect_flags(rest)?;
+            let mut b = BenchArgs {
+                fail_over: flag_parse(&flags, "fail-over", 10.0f64)?,
+                ..BenchArgs::default()
+            };
+            if let Some(values) = flags.get("compare") {
+                b.compare = Some(single(values, "compare")?.clone());
+            }
+            if let Some(values) = flags.get("out") {
+                b.out = Some(single(values, "out")?.clone());
+            }
+            Ok(Command::Bench(b))
         }
         "plan" | "run" | "analyze" => {
             let flags = collect_flags(rest)?;
@@ -224,6 +281,7 @@ fn query_args(flags: &BTreeMap<String, Vec<String>>) -> Result<QueryArgs> {
         cardinality: flag_parse(flags, "cardinality", 300usize)?,
         failure_p: flag_parse(flags, "failure-p", 0.1f64)?,
         crash_p: flag_parse(flags, "crash-p", 0.0f64)?,
+        shards: shards_flag(flags)?,
         ..QueryArgs::default()
     };
     if let Some(values) = flags.get("cap") {
@@ -299,6 +357,19 @@ fn single<'a>(values: &'a [String], name: &str) -> Result<&'a String> {
     }
 }
 
+/// Parses `--shards` (shared by `plan`/`run`/`analyze`/`chaos`),
+/// rejecting 0 — the engine treats 0 as 1, but the CLI insists on an
+/// honest value.
+fn shards_flag(flags: &BTreeMap<String, Vec<String>>) -> Result<usize> {
+    let shards = flag_parse(flags, "shards", 1usize)?;
+    if shards == 0 {
+        return Err(Error::InvalidConfig(
+            "--shards must be at least 1".to_string(),
+        ));
+    }
+    Ok(shards)
+}
+
 fn parse_value<T: std::str::FromStr>(raw: &str, what: &str) -> Result<T> {
     raw.parse()
         .map_err(|_| Error::InvalidConfig(format!("cannot parse `{raw}` for {what}")))
@@ -358,6 +429,36 @@ mod tests {
         assert_eq!(q.network, "oppnet:600,0.05");
         assert_eq!(q.crash_p, 0.2);
         assert_eq!(q.cap, None);
+        assert_eq!(q.shards, 1);
+    }
+
+    #[test]
+    fn shards_flag_parses_and_rejects_zero() {
+        let Command::Run(q) = parse(&argv("run --shards 4")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(q.shards, 4);
+        let Command::Chaos(c) = parse(&argv("chaos --shards 2")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.shards, 2);
+        assert!(parse(&argv("run --shards 0")).is_err());
+        assert!(parse(&argv("chaos --shards 0")).is_err());
+    }
+
+    #[test]
+    fn bench_args() {
+        let cmd = parse(&argv("bench")).unwrap();
+        assert_eq!(cmd, Command::Bench(BenchArgs::default()));
+        let cmd = parse(&argv(
+            "bench --compare BENCH_baseline.json --fail-over 5 --out BENCH_current.json",
+        ))
+        .unwrap();
+        let Command::Bench(b) = cmd else { panic!() };
+        assert_eq!(b.compare.as_deref(), Some("BENCH_baseline.json"));
+        assert_eq!(b.fail_over, 5.0);
+        assert_eq!(b.out.as_deref(), Some("BENCH_current.json"));
+        assert!(parse(&argv("bench --fail-over lots")).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Command execution for the `edgelet` tool.
 
-use crate::args::{ChaosArgs, Command, QueryArgs, USAGE};
+use crate::args::{BenchArgs, ChaosArgs, Command, QueryArgs, USAGE};
 use edgelet_core::prelude::*;
 use edgelet_core::query::{estimate, QueryPlan};
 use edgelet_core::store::{csv, synth};
@@ -23,8 +23,13 @@ pub fn execute_with_status(cmd: Command) -> Result<(String, i32)> {
     if let Command::Chaos(args) = cmd {
         return chaos_command(&args);
     }
+    if let Command::Bench(args) = cmd {
+        return bench_command(&args);
+    }
     let text = match cmd {
-        Command::Analyze { .. } | Command::Chaos(_) => unreachable!("handled above"),
+        Command::Analyze { .. } | Command::Chaos(_) | Command::Bench(_) => {
+            unreachable!("handled above")
+        }
         Command::Help => USAGE.to_string(),
         Command::Experiments => experiments_text(),
         Command::Dataset { rows, seed } => {
@@ -69,7 +74,7 @@ fn analyze_command(q: &QueryArgs, json: bool) -> Result<(String, i32)> {
     use edgelet_analyze::{analyze, AnalyzeOptions, Diagnostic};
 
     let (platform, spec, privacy, resilience) = build_world(q)?;
-    let diagnostics = match platform.plan_query(&spec, &privacy, &resilience) {
+    let mut diagnostics = match platform.plan_query(&spec, &privacy, &resilience) {
         Ok(plan) => analyze(&plan, &privacy, &resilience, &AnalyzeOptions::default()),
         Err(e) => vec![Diagnostic::error(
             edgelet_analyze::diagnostic::codes::PLANNING_FAILED,
@@ -78,6 +83,13 @@ fn analyze_command(q: &QueryArgs, json: bool) -> Result<(String, i32)> {
         )
         .with_help("relax the cap, deadline, or resiliency target, or enroll more processors")],
     };
+    // Simulator-configuration checks (W110): a zero minimum latency
+    // empties the sharded engine's lookahead window.
+    let min_latency_us = parse_network(&q.network)?
+        .to_model()
+        .min_latency()
+        .as_micros();
+    diagnostics.extend(edgelet_analyze::check_sim_config(min_latency_us, q.shards));
     let text = if json {
         edgelet_analyze::render_json(&diagnostics)
     } else {
@@ -111,7 +123,7 @@ fn chaos_command(args: &ChaosArgs) -> Result<(String, i32)> {
         }
         let mut mismatches = 0usize;
         for (name, entry) in &entries {
-            let report = entry.replay()?;
+            let report = entry.replay_with_shards(args.shards)?;
             if report.matches {
                 let _ = writeln!(
                     out,
@@ -161,6 +173,7 @@ fn chaos_command(args: &ChaosArgs) -> Result<(String, i32)> {
         seeds: args.seeds,
         scenarios,
         shrink: !args.no_shrink,
+        shards: args.shards,
     })?;
     out.push_str(&report.summary());
 
@@ -187,6 +200,54 @@ fn chaos_command(args: &ChaosArgs) -> Result<(String, i32)> {
     Ok((out, i32::from(!report.failures.is_empty())))
 }
 
+/// `edgelet bench`: measures every suite and, with `--compare`, gates on
+/// a committed baseline report.
+fn bench_command(args: &BenchArgs) -> Result<(String, i32)> {
+    use edgelet_bench::report;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench: median of {} samples per suite, rev {}",
+        report::SAMPLES,
+        report::git_revision()
+    );
+    let results = report::run_all();
+    for r in &results {
+        let _ = writeln!(
+            out,
+            "{:<52} median {:>14.1} ns  shards {}  {} {:.1}",
+            r.name, r.median_ns, r.shards, r.throughput.0, r.throughput.1
+        );
+    }
+    if let Some(path) = &args.out {
+        std::fs::write(path, report::to_json(&results))
+            .map_err(|e| Error::InvalidConfig(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    let mut status = 0;
+    if let Some(path) = &args.compare {
+        let baseline = std::fs::read_to_string(path)
+            .map_err(|e| Error::InvalidConfig(format!("cannot read {path}: {e}")))?;
+        let regressions = report::compare(&results, &baseline, args.fail_over);
+        for reg in &regressions {
+            let _ = writeln!(
+                out,
+                "REGRESSION {}: {:.1} ns -> {:.1} ns ({:+.1}% > {:.1}% threshold)",
+                reg.suite, reg.baseline_ns, reg.current_ns, reg.delta_pct, args.fail_over
+            );
+        }
+        let _ = writeln!(
+            out,
+            "bench gate vs {path}: {} suites compared, {} regressing",
+            results.len(),
+            regressions.len()
+        );
+        status = i32::from(!regressions.is_empty());
+    }
+    Ok((out, status))
+}
+
 fn build_world(q: &QueryArgs) -> Result<(Platform, QuerySpec, PrivacyConfig, ResilienceConfig)> {
     let network = parse_network(&q.network)?;
     let mut platform = Platform::build(PlatformConfig {
@@ -196,6 +257,7 @@ fn build_world(q: &QueryArgs) -> Result<(Platform, QuerySpec, PrivacyConfig, Res
         network,
         processor_crash_probability: q.crash_p,
         crash_at_start: q.crash_p > 0.0,
+        shards: q.shards,
         ..PlatformConfig::default()
     });
 
@@ -430,6 +492,19 @@ mod tests {
         assert!(text.contains("completed=true"), "{text}");
         assert!(text.contains("valid=true"), "{text}");
         assert!(text.contains("COUNT(*)=200"), "{text}");
+    }
+
+    #[test]
+    fn run_output_is_shard_invariant() {
+        let seq = run_cli_text(
+            "run --contributors 600 --processors 80 --cardinality 120 --cap 40 \
+             --network lossy:0.05 --shards 1",
+        );
+        let par = run_cli_text(
+            "run --contributors 600 --processors 80 --cardinality 120 --cap 40 \
+             --network lossy:0.05 --shards 4",
+        );
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -144,6 +144,10 @@ pub struct PlatformConfig {
     /// entirely). When non-zero, [`crate::platform::RunResult`] carries
     /// the trace digest of the execution.
     pub trace_capacity: usize,
+    /// Simulator shard count (see [`edgelet_sim::SimConfig::shards`]).
+    /// Results are bit-identical for every value; > 1 runs event windows
+    /// on worker threads.
+    pub shards: usize,
 }
 
 impl Default for PlatformConfig {
@@ -163,6 +167,7 @@ impl Default for PlatformConfig {
             exec: ExecConfig::fast(),
             fault_plan: None,
             trace_capacity: 0,
+            shards: 1,
         }
     }
 }

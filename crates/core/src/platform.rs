@@ -255,6 +255,7 @@ impl Platform {
             SimConfig {
                 network: self.config.network.to_model(),
                 trace_capacity: self.config.trace_capacity,
+                shards: self.config.shards.max(1),
                 ..SimConfig::default()
             },
             sim_seed,

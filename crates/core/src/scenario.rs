@@ -53,6 +53,7 @@ impl Scenario {
                 exec: ExecConfig::opportunistic(),
                 fault_plan: None,
                 trace_capacity: 0,
+                shards: 1,
             },
             Scenario::OpportunisticPolling => PlatformConfig {
                 seed,
@@ -83,6 +84,7 @@ impl Scenario {
                 exec: ExecConfig::default(),
                 fault_plan: None,
                 trace_capacity: 0,
+                shards: 1,
             },
             Scenario::Laboratory => PlatformConfig {
                 seed,

@@ -379,14 +379,14 @@ pub fn execute_plan(
     sim.run_until(deadline);
 
     // ---- assemble the report ----
-    let rec = record.borrow().clone();
+    let rec = record.lock().unwrap_or_else(|e| e.into_inner()).clone();
     let metrics = sim.metrics();
     let outcome = match &rec.payload {
         None => None,
         Some(bytes) => Some(decode_outcome(plan, &sliced_queries, bytes)?),
     };
     let valid = rec.payload.is_some() && rec.partitions_complete >= plan.n;
-    let final_ledger = ledger.borrow().clone();
+    let final_ledger = ledger.lock().unwrap_or_else(|e| e.into_inner()).clone();
     Ok(ExecutionReport {
         completed: rec.payload.is_some(),
         completion_secs: rec.completed_at.map(SimTime::as_secs_f64),

@@ -6,9 +6,8 @@
 //! how much raw data it saw, so experiments can verify the spread.
 
 use edgelet_util::ids::DeviceId;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One device's liability record.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -28,11 +27,13 @@ pub struct Ledger {
 }
 
 /// Shared handle actors use to record liability while the simulation runs.
-pub type SharedLedger = Rc<RefCell<Ledger>>;
+/// A `Mutex` (not `RefCell`) because the sharded engine may run actors on
+/// worker threads; contention is nil — devices touch it once per message.
+pub type SharedLedger = Arc<Mutex<Ledger>>;
 
 /// Creates a fresh shared ledger.
 pub fn shared() -> SharedLedger {
-    Rc::new(RefCell::new(Ledger::default()))
+    Arc::new(Mutex::new(Ledger::default()))
 }
 
 impl Ledger {
@@ -171,7 +172,16 @@ mod tests {
     #[test]
     fn shared_handle_mutates() {
         let handle = shared();
-        handle.borrow_mut().host_operator(DeviceId::new(7));
-        assert_eq!(handle.borrow().max_operators(), 1);
+        handle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .host_operator(DeviceId::new(7));
+        assert_eq!(
+            handle
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .max_operators(),
+            1
+        );
     }
 }

@@ -118,7 +118,8 @@ impl BuilderActor {
             ctx.cancel_timer(t);
         }
         self.ledger
-            .borrow_mut()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
             .raw_tuples(ctx.device(), self.collected.len() as u64);
         if self.config.charge_compute_time {
             let secs = self.wiring.profile.compute_seconds(self.collected.len());
@@ -209,7 +210,10 @@ impl BuilderActor {
 
 impl Actor for BuilderActor {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        self.ledger.borrow_mut().host_operator(ctx.device());
+        self.ledger
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .host_operator(ctx.device());
         let contributors = self.wiring.contributors.clone();
         self.request_contributions(ctx, contributors);
         self.collection_timer = Some(ctx.set_timer(self.config.collection_timeout));

@@ -231,7 +231,10 @@ impl CombinerActor {
 
 impl Actor for CombinerActor {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        self.ledger.borrow_mut().host_operator(ctx.device());
+        self.ledger
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .host_operator(ctx.device());
         self.combine_timer = Some(ctx.set_timer(self.config.combine_timeout));
         self.arm_ping(ctx);
     }
@@ -257,7 +260,10 @@ impl Actor for CombinerActor {
                     ctx.observe("duplicate_partials", 1.0);
                     return;
                 }
-                self.ledger.borrow_mut().aggregates(ctx.device(), 1);
+                self.ledger
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .aggregates(ctx.device(), 1);
                 self.grouping_buf
                     .entry(partition)
                     .or_default()
@@ -282,7 +288,10 @@ impl Actor for CombinerActor {
                     ctx.observe("duplicate_partials", 1.0);
                     return;
                 }
-                self.ledger.borrow_mut().aggregates(ctx.device(), 1);
+                self.ledger
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .aggregates(ctx.device(), 1);
                 self.kmeans_buf.entry(partition).or_insert(KMeansPartition {
                     seed_origin,
                     centroids,

@@ -118,7 +118,10 @@ impl GroupingComputerActor {
 
 impl Actor for GroupingComputerActor {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        self.ledger.borrow_mut().host_operator(ctx.device());
+        self.ledger
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .host_operator(ctx.device());
         self.arm_ping(ctx);
     }
 
@@ -143,7 +146,8 @@ impl Actor for GroupingComputerActor {
                     return; // duplicate delivery (replicated builder)
                 }
                 self.ledger
-                    .borrow_mut()
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
                     .raw_tuples(ctx.device(), rows.len() as u64);
                 let tuple_count = rows.len();
                 self.staged = Some((columns, rows, complete));

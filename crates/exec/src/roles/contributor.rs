@@ -71,7 +71,10 @@ impl Actor for ContributorActor {
             rows,
         };
         let bytes = self.sealer.wrap(&reply);
-        self.ledger.borrow_mut().host_operator(ctx.device());
+        self.ledger
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .host_operator(ctx.device());
         ctx.send(from, bytes);
     }
 }
@@ -84,14 +87,13 @@ mod tests {
     use edgelet_store::synth;
     use edgelet_store::{CmpOp, Predicate, Value};
     use edgelet_util::rng::DetRng;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     struct Probe {
         target: DeviceId,
         request: Msg,
         sealer: Sealer,
-        got: Rc<RefCell<Vec<Msg>>>,
+        got: Arc<Mutex<Vec<Msg>>>,
     }
     impl Actor for Probe {
         fn on_start(&mut self, ctx: &mut Context<'_>) {
@@ -100,7 +102,8 @@ mod tests {
         }
         fn on_message(&mut self, _ctx: &mut Context<'_>, _from: DeviceId, payload: &[u8]) {
             self.got
-                .borrow_mut()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
                 .push(self.sealer.unwrap(payload).unwrap());
         }
     }
@@ -128,7 +131,7 @@ mod tests {
                 10,
             )),
         );
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         sim.install_actor(
             probe_dev,
             Box::new(Probe {
@@ -139,7 +142,7 @@ mod tests {
             }),
         );
         sim.run();
-        let out = got.borrow().clone();
+        let out = got.lock().unwrap_or_else(|e| e.into_inner()).clone();
         out
     }
 

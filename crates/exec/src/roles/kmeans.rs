@@ -277,7 +277,10 @@ impl KMeansComputerActor {
 
 impl Actor for KMeansComputerActor {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        self.ledger.borrow_mut().host_operator(ctx.device());
+        self.ledger
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .host_operator(ctx.device());
         // The Heartbeat cadences the COMPUTATION phase: it starts ticking
         // when the partition data arrives (see on_message), not before.
     }
@@ -300,7 +303,8 @@ impl Actor for KMeansComputerActor {
                     return; // duplicate
                 }
                 self.ledger
-                    .borrow_mut()
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
                     .raw_tuples(ctx.device(), rows.len() as u64);
                 self.row_columns = columns;
                 self.rows = rows;
@@ -324,7 +328,10 @@ impl Actor for KMeansComputerActor {
                 centroids,
                 ..
             } if query == self.wiring.query && partition != self.wiring.partition => {
-                self.ledger.borrow_mut().aggregates(ctx.device(), 1);
+                self.ledger
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .aggregates(ctx.device(), 1);
                 self.mailbox.push((seed_origin, centroids));
             }
             _ => {}

@@ -4,8 +4,7 @@ use crate::messages::Msg;
 use crate::roles::Sealer;
 use edgelet_sim::{Actor, Context, SimTime};
 use edgelet_util::ids::{DeviceId, QueryId};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// What the querier observed, extracted by the driver after the run.
 #[derive(Debug, Clone, Default)]
@@ -25,11 +24,11 @@ pub struct QuerierRecord {
 }
 
 /// Shared handle to the querier record.
-pub type SharedRecord = Rc<RefCell<QuerierRecord>>;
+pub type SharedRecord = Arc<Mutex<QuerierRecord>>;
 
 /// Creates a fresh shared record.
 pub fn shared_record() -> SharedRecord {
-    Rc::new(RefCell::new(QuerierRecord::default()))
+    Arc::new(Mutex::new(QuerierRecord::default()))
 }
 
 /// The Querier actor.
@@ -69,7 +68,7 @@ impl Actor for QuerierActor {
         if query != self.query {
             return;
         }
-        let mut rec = self.record.borrow_mut();
+        let mut rec = self.record.lock().unwrap_or_else(|e| e.into_inner());
         rec.results_received += 1;
         if rec.payload.is_none() {
             rec.payload = Some(payload);
@@ -136,7 +135,7 @@ mod tests {
             }),
         );
         sim.run();
-        let rec = record.borrow();
+        let rec = record.lock().unwrap_or_else(|e| e.into_inner());
         assert_eq!(rec.results_received, 2);
         assert_eq!(rec.payload.as_deref(), Some(&[0u8][..]));
         assert_eq!(rec.partitions_merged, 4);

@@ -134,7 +134,10 @@ impl<'a> Context<'a> {
 }
 
 /// A protocol endpoint installed on one device.
-pub trait Actor {
+///
+/// Actors must be [`Send`]: the sharded engine moves device state (actor
+/// included) to worker threads for the duration of a time window.
+pub trait Actor: Send {
     /// Called once when the simulation starts (or the actor is installed).
     fn on_start(&mut self, _ctx: &mut Context<'_>) {}
 

@@ -1,19 +1,43 @@
-//! The discrete-event engine: devices, event heap, command application.
+//! The discrete-event engine: devices, shards, window execution.
+//!
+//! Since the sharded rewrite the engine has two executors, selected per
+//! run (never per shard count):
+//!
+//! * **Windowed** — the normal path. Virtual time is divided into fixed
+//!   cells of one *lookahead* each (the minimum network latency, see
+//!   [`NetworkModel::min_latency`]). All shards execute the same cell
+//!   `[k·L, (k+1)·L)` independently — a classic conservative-PDES bound:
+//!   no message can arrive sooner than `L` after it was sent, so nothing
+//!   a peer shard does in the open cell can affect this shard's cell.
+//!   Cross-shard sends, metrics, fault counters, and trace records are
+//!   buffered and merged at the cell barrier in canonical event-key
+//!   order ([`crate::merge`]), making results bit-identical for every
+//!   shard count. `shards = 1` runs the same executor inline.
+//! * **Sequential fallback** — used when the lookahead is zero (a
+//!   latency model with no lower bound) or the fault plan carries
+//!   cross-message state (`skip`/`limit` occurrence windows, `Reorder`
+//!   holds). Events pop one at a time in global key order across all
+//!   shard queues.
+//!
+//! Both executors run the exact same per-event code
+//! ([`crate::shard::Shard::process_event`]); they differ only in how
+//! much reordering freedom the schedule grants.
 
-use crate::actor::{Actor, Command, Context, TimerToken};
+use crate::actor::Actor;
 use crate::churn::{Availability, CrashPlan};
-use crate::fault::{
-    Classifier, CrashCause, FaultAction, FaultPlan, FaultRuntime, HeldMsg, MatchPoint,
-};
+use crate::fault::{Classifier, CrashCause, FaultCounters, FaultPlan, HeldMsg};
+use crate::merge::{self, Ctl, MergeTargets};
 use crate::metrics::SimMetrics;
-use crate::network::{Fate, NetworkModel};
+use crate::network::NetworkModel;
+use crate::scheduler::{Event, EventKind};
+use crate::shard::{DeviceState, JItem, RunEnv, Shard, WindowOut, WindowReport};
 use crate::time::{Duration, SimTime};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::Trace;
 use edgelet_util::ids::DeviceId;
 use edgelet_util::rng::DetRng;
-use edgelet_util::Payload;
-use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BTreeSet;
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
 
 /// Global simulation parameters.
 #[derive(Debug, Clone)]
@@ -27,6 +51,10 @@ pub struct SimConfig {
     pub store_and_forward_ttl: Option<Duration>,
     /// Ring-buffer capacity of the event trace (0 disables tracing).
     pub trace_capacity: usize,
+    /// Number of shards devices are partitioned into (0 is treated as
+    /// 1). Results are bit-identical for every value; values > 1 run
+    /// windows on worker threads.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -36,6 +64,7 @@ impl Default for SimConfig {
             max_events: 50_000_000,
             store_and_forward_ttl: None,
             trace_capacity: 0,
+            shards: 1,
         }
     }
 }
@@ -58,103 +87,63 @@ impl Default for DeviceConfig {
     }
 }
 
-#[derive(Debug)]
-enum EventKind {
-    Start(DeviceId),
-    Deliver {
-        to: DeviceId,
-        from: DeviceId,
-        payload: Payload,
-        sent_at: SimTime,
-    },
-    Timer {
-        device: DeviceId,
-        token: TimerToken,
-    },
-    ChurnToggle(DeviceId),
-    Crash(DeviceId, CrashCause),
-}
-
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap on (time, seq).
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-struct DeviceState {
-    up: bool,
-    crashed: bool,
-    halted: bool,
-    actor: Option<Box<dyn Actor>>,
-    rng: DetRng,
-    churn_rng: DetRng,
-    next_timer: u64,
-    cancelled: BTreeSet<TimerToken>,
-    availability: Availability,
-    /// Messages waiting for this (down) sender to reconnect.
-    outbox: Vec<(DeviceId, Payload, SimTime)>,
-    /// Messages waiting for this (down) receiver to reconnect.
-    inbox: Vec<(DeviceId, Payload, SimTime)>,
-}
-
 /// A deterministic simulated world of devices and actors.
 pub struct Simulation {
     config: SimConfig,
-    devices: Vec<DeviceState>,
-    heap: BinaryHeap<Event>,
-    next_seq: u64,
+    shards: Vec<Shard>,
+    device_count: usize,
     /// Pending events other than churn toggles. When this and `parked`
     /// reach zero the system is quiescent: churn alone cannot create work.
     real_pending: u64,
     /// Messages parked in inboxes/outboxes of down devices.
     parked: u64,
     now: SimTime,
-    net_rng: DetRng,
     root_rng: DetRng,
     metrics: SimMetrics,
     trace: Trace,
     /// Maps payload bytes to a protocol message kind (installed by the
     /// harness; the simulator itself is protocol-agnostic).
     classifier: Option<Classifier>,
-    /// Evaluation state for the installed fault plan, if any.
-    faults: Option<FaultRuntime>,
+    /// The installed fault plan and its evaluation state. Kept as
+    /// separate fields so the executors can borrow the plan immutably
+    /// while advancing the counters.
+    fault_plan: Option<FaultPlan>,
+    fault_counters: FaultCounters,
+    fault_holds: Vec<Option<HeldMsg>>,
+    /// Conservative lookahead in µs (minimum network latency). Zero
+    /// forces the sequential fallback executor.
+    lookahead_us: u64,
+    /// Exclusive end of the most recently opened window cell. Windows
+    /// interrupted by a deadline resume and *finish* their cell before
+    /// quiescence is re-evaluated, so the set of processed events never
+    /// depends on where `run_until` deadlines happened to fall.
+    cell_open_until: u64,
 }
 
 impl Simulation {
     /// Creates an empty world.
     pub fn new(config: SimConfig, seed: u64) -> Self {
         let root = DetRng::new(seed);
+        let shard_count = config.shards.max(1);
+        let lookahead_us = config.network.min_latency().as_micros();
+        let width = lookahead_us.max(1);
         Self {
-            devices: Vec::new(),
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            shards: (0..shard_count)
+                .map(|i| Shard::new(i, shard_count, width))
+                .collect(),
+            device_count: 0,
             real_pending: 0,
             parked: 0,
             now: SimTime::ZERO,
-            net_rng: root.fork("network"),
             root_rng: root,
             metrics: SimMetrics::default(),
             trace: Trace::new(config.trace_capacity),
             classifier: None,
-            faults: None,
+            fault_plan: None,
+            fault_counters: FaultCounters::default(),
+            fault_holds: Vec::new(),
+            lookahead_us,
+            cell_open_until: 0,
             config,
         }
     }
@@ -169,17 +158,25 @@ impl Simulation {
     /// Installs a fault plan. Replaces any previous plan (and its
     /// occurrence counters).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.faults = Some(FaultRuntime::new(plan));
+        self.fault_counters = FaultCounters::for_plan(&plan);
+        self.fault_holds = (0..plan.rules.len()).map(|_| None).collect();
+        self.fault_plan = Some(plan);
     }
 
     /// How many fault-rule firings have happened so far.
     pub fn faults_injected(&self) -> u64 {
-        self.faults.as_ref().map_or(0, |rt| rt.total_fired())
+        self.fault_counters.total_fired()
+    }
+
+    /// The shard that owns a device.
+    fn shard_of(&self, device: DeviceId) -> usize {
+        device.index() % self.shards.len()
     }
 
     /// Registers a device; returns its id.
     pub fn add_device(&mut self, cfg: DeviceConfig) -> DeviceId {
-        let id = DeviceId::new(self.devices.len() as u64);
+        let id = DeviceId::new(self.device_count as u64);
+        self.device_count += 1;
         let mut churn_rng = self.root_rng.fork_indexed("churn", id.raw());
         let up = cfg.availability.starts_up();
         let state = DeviceState {
@@ -188,24 +185,31 @@ impl Simulation {
             halted: false,
             actor: None,
             rng: self.root_rng.fork_indexed("device", id.raw()),
+            churn_rng: churn_rng.clone(),
+            net_rng: self.root_rng.fork_indexed("netdev", id.raw()),
             next_timer: 0,
+            spawn_seq: 0,
             cancelled: BTreeSet::new(),
             availability: cfg.availability.clone(),
             outbox: Vec::new(),
             inbox: Vec::new(),
-            churn_rng: churn_rng.clone(),
         };
-        self.devices.push(state);
+        let s = self.shard_of(id);
+        self.shards[s].devices.push(state);
 
         // Schedule the first availability transition.
         if let Some(period) = cfg.availability.next_period(up, &mut churn_rng) {
-            self.devices[id.index()].churn_rng = churn_rng;
-            self.push(self.now + period, EventKind::ChurnToggle(id));
+            self.shards[s].device_mut(id).churn_rng = churn_rng;
+            self.push_external(id, self.now + period, EventKind::ChurnToggle(id));
         }
         // Resolve the crash plan.
         let mut crash_rng = self.root_rng.fork_indexed("crash", id.raw());
         if let Some(t) = cfg.crash.resolve(&mut crash_rng) {
-            self.push(t.max(self.now), EventKind::Crash(id, CrashCause::Organic));
+            self.push_external(
+                id,
+                t.max(self.now),
+                EventKind::Crash(id, CrashCause::Organic),
+            );
         }
         id
     }
@@ -213,21 +217,45 @@ impl Simulation {
     /// Installs an actor on a device; its `on_start` runs at the current
     /// virtual time (once the simulation is stepped).
     pub fn install_actor(&mut self, device: DeviceId, actor: Box<dyn Actor>) {
-        let state = &mut self.devices[device.index()];
+        let s = self.shard_of(device);
+        let state = self.shards[s].device_mut(device);
         assert!(
             state.actor.is_none(),
             "device {device} already has an actor"
         );
         state.actor = Some(actor);
-        self.push(self.now, EventKind::Start(device));
+        self.push_external(device, self.now, EventKind::Start(device));
     }
 
     /// Schedules a scripted crash (the demo's "power off a device").
     pub fn crash_at(&mut self, device: DeviceId, at: SimTime) {
-        self.push(
+        self.push_external(
+            device,
             at.max(self.now),
             EventKind::Crash(device, CrashCause::Organic),
         );
+    }
+
+    /// Schedules an event from outside any event handler, drawing the
+    /// key from the origin device's spawn counter.
+    fn push_external(&mut self, origin: DeviceId, at: SimTime, kind: EventKind) {
+        if !kind.is_churn() {
+            self.real_pending += 1;
+        }
+        let s = self.shard_of(origin);
+        let seq = {
+            let d = self.shards[s].device_mut(origin);
+            let seq = d.spawn_seq;
+            d.spawn_seq += 1;
+            seq
+        };
+        let dest = kind.target().index() % self.shards.len();
+        self.shards[dest].queue.push(Event {
+            at,
+            origin: origin.raw(),
+            seq,
+            kind,
+        });
     }
 
     /// Current virtual time.
@@ -237,18 +265,23 @@ impl Simulation {
 
     /// Number of registered devices.
     pub fn device_count(&self) -> usize {
-        self.devices.len()
+        self.device_count
+    }
+
+    /// Number of shards the device population is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Whether a device is currently connected.
     pub fn is_up(&self, device: DeviceId) -> bool {
-        let d = &self.devices[device.index()];
+        let d = self.shards[self.shard_of(device)].device(device);
         d.up && !d.crashed
     }
 
     /// Whether a device has crashed.
     pub fn is_crashed(&self, device: DeviceId) -> bool {
-        self.devices[device.index()].crashed
+        self.shards[self.shard_of(device)].device(device).crashed
     }
 
     /// Collected metrics.
@@ -268,10 +301,50 @@ impl Simulation {
         self.now
     }
 
+    /// Whether payload classification can influence anything this run.
+    fn need_kind(&self) -> bool {
+        self.classifier.is_some()
+            && (self.trace.enabled()
+                || self
+                    .fault_plan
+                    .as_ref()
+                    .is_some_and(|p| p.rules.iter().any(|r| r.matcher.kinds.is_some())))
+    }
+
     /// Runs until the queue empties or virtual time would exceed
     /// `deadline`. Returns `true` if events remain (deadline hit first).
     pub fn run_until(&mut self, deadline: SimTime) -> bool {
-        while let Some(at) = self.heap.peek().map(|ev| ev.at) {
+        let window_safe = self
+            .fault_plan
+            .as_ref()
+            .is_none_or(FaultPlan::is_window_safe);
+        if self.lookahead_us == 0 || !window_safe {
+            self.run_fallback(deadline)
+        } else if self.shards.len() == 1 {
+            self.run_windowed_single(deadline)
+        } else {
+            self.run_windowed_parallel(deadline)
+        }
+    }
+
+    /// Sequential fallback: pops events one at a time in global key
+    /// order across all shard queues. Handles zero-lookahead latency
+    /// models and stateful fault plans (`skip`/`limit`/`Reorder`).
+    fn run_fallback(&mut self, deadline: SimTime) -> bool {
+        let shard_count = self.shards.len();
+        let need_kind = self.need_kind();
+        let mut out = WindowOut::new(shard_count, self.trace.enabled());
+        loop {
+            // Locate the globally minimal key.
+            let mut best: Option<(usize, (SimTime, u64, u64))> = None;
+            for (i, sh) in self.shards.iter_mut().enumerate() {
+                if let Some(key) = sh.queue.peek_min_key() {
+                    if best.is_none_or(|(_, bk)| key < bk) {
+                        best = Some((i, key));
+                    }
+                }
+            }
+            let Some((si, (at, _, _))) = best else { break };
             // Quiescence: churn toggles alone cannot create new work, so
             // stop once no protocol events or parked messages remain.
             if self.real_pending == 0 && self.parked == 0 {
@@ -284,13 +357,49 @@ impl Simulation {
             if self.metrics.events_processed >= self.config.max_events {
                 return true;
             }
-            let Some(ev) = self.heap.pop() else { break };
-            if !matches!(ev.kind, EventKind::ChurnToggle(_)) {
-                self.real_pending -= 1;
-            }
+            let Some(ev) = self.shards[si].queue.pop_min() else {
+                break;
+            };
             self.now = ev.at;
-            self.metrics.events_processed += 1;
-            self.dispatch(ev.kind);
+            out.reset();
+            let env = RunEnv {
+                network: &self.config.network,
+                ttl: self.config.store_and_forward_ttl,
+                classifier: self.classifier.as_deref(),
+                plan: self.fault_plan.as_ref(),
+                trace_enabled: self.trace.enabled(),
+                need_kind,
+                device_count: self.device_count,
+                shard_count,
+            };
+            self.shards[si].process_event(
+                ev,
+                &env,
+                &mut out,
+                0,
+                &mut self.fault_counters,
+                Some(&mut self.fault_holds),
+            );
+            // Apply effects immediately, in execution order.
+            merge::apply_deltas(&mut self.metrics, &out.deltas);
+            self.real_pending =
+                ((self.real_pending as i64) + out.deltas.real_pending).max(0) as u64;
+            self.parked = ((self.parked as i64) + out.deltas.parked).max(0) as u64;
+            for entry in out.journal.drain(..) {
+                match entry.item {
+                    JItem::Trace(ev) => self.trace.record(entry.at, ev),
+                    JItem::Observe(name, value) => self.metrics.observe(name, value),
+                }
+            }
+            for dest in 0..shard_count {
+                if out.outbound[dest].is_empty() {
+                    continue;
+                }
+                let evs: Vec<Event> = out.outbound[dest].drain(..).collect();
+                for ev in evs {
+                    self.shards[dest].queue.push(ev);
+                }
+            }
         }
         if deadline != SimTime::MAX {
             self.now = deadline;
@@ -298,409 +407,197 @@ impl Simulation {
         false
     }
 
-    fn push(&mut self, at: SimTime, kind: EventKind) {
-        if !matches!(kind, EventKind::ChurnToggle(_)) {
-            self.real_pending += 1;
-        }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Event { at, seq, kind });
-    }
-
-    fn dispatch(&mut self, kind: EventKind) {
-        match kind {
-            EventKind::Start(device) => {
-                self.with_actor(device, |actor, ctx| actor.on_start(ctx));
+    /// Windowed executor, inline (`shards = 1`): the same window/barrier
+    /// schedule as the parallel path, without threads.
+    fn run_windowed_single(&mut self, deadline: SimTime) -> bool {
+        let width = self.lookahead_us.max(1);
+        let need_kind = self.need_kind();
+        let deadline_us = deadline.as_micros();
+        while let Some(min_at) = self.shards[0].queue.peek_min_at().map(SimTime::as_micros) {
+            // Quiescence is only evaluated at fresh cell boundaries; a
+            // half-finished cell (deadline interruption) is completed
+            // first so progress never depends on the deadline schedule.
+            if min_at >= self.cell_open_until && self.real_pending == 0 && self.parked == 0 {
+                break;
             }
-            EventKind::Deliver {
-                to,
-                from,
-                payload,
-                sent_at,
-            } => self.handle_delivery(to, from, payload, sent_at),
-            EventKind::Timer { device, token } => {
-                let state = &mut self.devices[device.index()];
-                if state.crashed || state.halted {
-                    return;
-                }
-                if state.cancelled.remove(&token) {
-                    return;
-                }
-                self.trace.record_with(self.now, || TraceEvent::TimerFired {
-                    device,
-                    token: token.0,
-                });
-                self.with_actor(device, |actor, ctx| actor.on_timer(ctx, token));
+            if min_at > deadline_us {
+                self.now = deadline;
+                return true;
             }
-            EventKind::ChurnToggle(device) => self.handle_churn(device),
-            EventKind::Crash(device, cause) => self.handle_crash(device, cause),
-        }
-    }
-
-    fn handle_delivery(
-        &mut self,
-        to: DeviceId,
-        from: DeviceId,
-        payload: Payload,
-        sent_at: SimTime,
-    ) {
-        let state = &mut self.devices[to.index()];
-        if state.crashed {
-            self.metrics.messages_to_crashed += 1;
-            return;
-        }
-        if !state.up {
-            // Store-and-forward: park until reconnection.
-            self.metrics.messages_deferred += 1;
-            self.parked += 1;
-            state.inbox.push((from, payload, sent_at));
-            return;
-        }
-        if state.halted || state.actor.is_none() {
-            return;
-        }
-        // Fault hook (Deliver point): a CrashReceiver rule consumes the
-        // triggering message — the device dies at the instant of
-        // delivery, before its actor sees the payload.
-        if self.faults.is_some() {
-            let kind = self.classify(&payload);
-            let decision = match self.faults.as_mut() {
-                Some(runtime) => runtime.evaluate(MatchPoint::Deliver, kind, from, to, self.now),
-                None => None,
+            if self.metrics.events_processed >= self.config.max_events {
+                return true;
+            }
+            let cell = min_at / width;
+            let cell_end = cell.saturating_add(1).saturating_mul(width);
+            self.cell_open_until = cell_end;
+            let budget = self.config.max_events - self.metrics.events_processed;
+            let env = RunEnv {
+                network: &self.config.network,
+                ttl: self.config.store_and_forward_ttl,
+                classifier: self.classifier.as_deref(),
+                plan: self.fault_plan.as_ref(),
+                trace_enabled: self.trace.enabled(),
+                need_kind,
+                device_count: self.device_count,
+                shard_count: 1,
             };
-            if let Some((rule, action)) = decision {
-                let fault_kind = action.kind();
-                self.trace
-                    .record_with(self.now, || TraceEvent::FaultInjected {
-                        rule,
-                        kind: fault_kind,
-                        from,
-                        to,
-                    });
-                self.metrics.messages_to_crashed += 1;
-                self.handle_crash(to, CrashCause::Injected { rule });
-                return;
-            }
+            let report = self.shards[0].run_window(&env, cell, cell_end, deadline_us, budget);
+            let mut targets = MergeTargets {
+                metrics: &mut self.metrics,
+                trace: &mut self.trace,
+                fault_counters: &mut self.fault_counters,
+                real_pending: &mut self.real_pending,
+                parked: &mut self.parked,
+                now: &mut self.now,
+            };
+            merge::merge_reports(vec![report], &mut targets);
         }
-        let delay = self.now.since(sent_at).as_secs_f64();
-        self.metrics.messages_delivered += 1;
-        self.metrics.delivery_delay.push(delay);
-        self.trace
-            .record_with(self.now, || TraceEvent::Delivered { from, to });
-        self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, &payload));
+        if deadline != SimTime::MAX {
+            self.now = deadline;
+        }
+        false
     }
 
-    fn handle_churn(&mut self, device: DeviceId) {
-        let state = &mut self.devices[device.index()];
-        if state.crashed {
-            return;
-        }
-        state.up = !state.up;
-        let now_up = state.up;
-        if !now_up {
-            self.metrics.disconnections += 1;
-            self.trace
-                .record_with(self.now, || TraceEvent::WentDown(device));
-        } else {
-            self.trace
-                .record_with(self.now, || TraceEvent::CameUp(device));
-        }
-        // Schedule the next transition.
-        let mut churn_rng = state.churn_rng.clone();
-        if let Some(period) = state.availability.next_period(now_up, &mut churn_rng) {
-            self.devices[device.index()].churn_rng = churn_rng;
-            self.push(self.now + period, EventKind::ChurnToggle(device));
+    /// Windowed executor across worker threads (`shards > 1`). One
+    /// barrier per window: workers run the open cell concurrently, the
+    /// coordinator merges reports and routes cross-shard events.
+    fn run_windowed_parallel(&mut self, deadline: SimTime) -> bool {
+        let width = self.lookahead_us.max(1);
+        let shard_count = self.shards.len();
+        let need_kind = self.need_kind();
+        let deadline_us = deadline.as_micros();
+        let max_events = self.config.max_events;
+
+        let env = RunEnv {
+            network: &self.config.network,
+            ttl: self.config.store_and_forward_ttl,
+            classifier: self.classifier.as_deref(),
+            plan: self.fault_plan.as_ref(),
+            trace_enabled: self.trace.enabled(),
+            need_kind,
+            device_count: self.device_count,
+            shard_count,
+        };
+        let shards = &mut self.shards;
+        let cell_open_until = &mut self.cell_open_until;
+        let mut targets = MergeTargets {
+            metrics: &mut self.metrics,
+            trace: &mut self.trace,
+            fault_counters: &mut self.fault_counters,
+            real_pending: &mut self.real_pending,
+            parked: &mut self.parked,
+            now: &mut self.now,
+        };
+
+        let mut min_at: Option<u64> = None;
+        for sh in shards.iter_mut() {
+            min_at = match (min_at, sh.queue.peek_min_at().map(SimTime::as_micros)) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
         }
 
-        if now_up {
-            // Flush parked traffic. Inbox messages re-enter as immediate
-            // deliveries; outbox messages now traverse the network.
-            let state = &mut self.devices[device.index()];
-            let inbox = std::mem::take(&mut state.inbox);
-            let outbox = std::mem::take(&mut state.outbox);
-            self.parked -= (inbox.len() + outbox.len()) as u64;
-            let ttl = self.config.store_and_forward_ttl;
-            for (from, payload, sent_at) in inbox {
-                if let Some(ttl) = ttl {
-                    if self.now.since(sent_at) > ttl {
-                        self.metrics.messages_dropped += 1;
-                        continue;
-                    }
+        let ctl = Ctl::default();
+        let mailboxes: Vec<Mutex<Vec<Event>>> =
+            (0..shard_count).map(|_| Mutex::new(Vec::new())).collect();
+        let slots: Vec<Mutex<Option<WindowReport>>> =
+            (0..shard_count).map(|_| Mutex::new(None)).collect();
+
+        let hit_deadline = std::thread::scope(|scope| {
+            for shard in shards.iter_mut() {
+                let env = &env;
+                let ctl = &ctl;
+                let mailboxes = &mailboxes[..];
+                let slots = &slots[..];
+                scope.spawn(move || merge::worker(shard, env, ctl, mailboxes, slots));
+            }
+            let result = loop {
+                let Some(m) = min_at else { break false };
+                if m >= *cell_open_until && *targets.real_pending == 0 && *targets.parked == 0 {
+                    break false;
                 }
-                self.push(
-                    self.now,
-                    EventKind::Deliver {
-                        to: device,
-                        from,
-                        payload,
-                        sent_at,
-                    },
+                if m > deadline_us {
+                    *targets.now = deadline;
+                    break true;
+                }
+                if targets.metrics.events_processed >= max_events {
+                    break true;
+                }
+                let cell = m / width;
+                let cell_end = cell.saturating_add(1).saturating_mul(width);
+                *cell_open_until = cell_end;
+                ctl.done.store(0, Ordering::Relaxed);
+                ctl.cell_idx.store(cell, Ordering::Relaxed);
+                ctl.cell_end.store(cell_end, Ordering::Relaxed);
+                ctl.clip.store(deadline_us, Ordering::Relaxed);
+                ctl.budget.store(
+                    max_events - targets.metrics.events_processed,
+                    Ordering::Relaxed,
                 );
-            }
-            for (to, payload, sent_at) in outbox {
-                if let Some(ttl) = ttl {
-                    if self.now.since(sent_at) > ttl {
-                        self.metrics.messages_dropped += 1;
-                        continue;
+                ctl.generation.fetch_add(1, Ordering::Release);
+                let mut spins = 0u32;
+                while ctl.done.load(Ordering::Acquire) < shard_count as u64 {
+                    spins += 1;
+                    if spins < 128 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
                     }
                 }
-                self.route(device, to, payload, sent_at);
-            }
-            self.with_actor(device, |actor, ctx| actor.on_reconnect(ctx));
-        }
-    }
-
-    fn handle_crash(&mut self, device: DeviceId, cause: CrashCause) {
-        let state = &mut self.devices[device.index()];
-        if state.crashed {
-            return;
-        }
-        state.crashed = true;
-        state.up = false;
-        state.actor = None;
-        let cleared = (state.inbox.len() + state.outbox.len()) as u64;
-        state.inbox.clear();
-        state.outbox.clear();
-        self.parked -= cleared;
-        self.metrics.crashes += 1;
-        self.trace
-            .record_with(self.now, || TraceEvent::Crashed { device, cause });
-    }
-
-    /// Runs a callback on a device's actor, then applies its commands.
-    fn with_actor<F>(&mut self, device: DeviceId, f: F)
-    where
-        F: FnOnce(&mut Box<dyn Actor>, &mut Context<'_>),
-    {
-        let now = self.now;
-        let state = &mut self.devices[device.index()];
-        if state.crashed || state.halted {
-            return;
-        }
-        let Some(mut actor) = state.actor.take() else {
-            return;
-        };
-        let mut ctx = Context::new(device, now, &mut state.rng, &mut state.next_timer);
-        f(&mut actor, &mut ctx);
-        let commands = std::mem::take(&mut ctx.commands);
-        drop(ctx);
-        state.actor = Some(actor);
-        self.apply_commands(device, commands);
-    }
-
-    fn apply_commands(&mut self, device: DeviceId, commands: Vec<Command>) {
-        for cmd in commands {
-            match cmd {
-                Command::Send { to, payload } => self.submit_send(device, to, payload),
-                Command::Broadcast { to, payload } => {
-                    // Every recipient shares the same buffer: fan-out is
-                    // a reference-count bump per target, not a copy.
-                    for target in to {
-                        self.submit_send(device, target, payload.share());
+                let mut reports = Vec::with_capacity(shard_count);
+                let mut missing = false;
+                for slot in &slots {
+                    match merge::lock(slot).take() {
+                        Some(r) => reports.push(r),
+                        None => missing = true,
                     }
                 }
-                Command::SetTimer { token, fire_at } => {
-                    self.push(fire_at, EventKind::Timer { device, token });
+                if missing {
+                    // A worker died (actor panic); leaving the scope
+                    // joins the workers and propagates the panic.
+                    break false;
                 }
-                Command::CancelTimer { token } => {
-                    self.devices[device.index()].cancelled.insert(token);
-                }
-                Command::Observe { name, value } => {
-                    self.metrics.observe(name, value);
-                }
-                Command::Halt => {
-                    self.devices[device.index()].halted = true;
-                }
+                let summary = merge::merge_reports(reports, &mut targets);
+                min_at = summary.next_min_at;
+            };
+            ctl.stop.store(true, Ordering::Release);
+            result
+        });
+        // Workers are joined; flush cross-shard events still sitting in
+        // mailboxes (a deadline or budget stop can leave some in flight)
+        // back into the owning queues.
+        for (dest, mb) in mailboxes.into_iter().enumerate() {
+            let evs = mb.into_inner().unwrap_or_else(|e| e.into_inner());
+            for ev in evs {
+                self.shards[dest].queue.push(ev);
             }
         }
-    }
-
-    fn submit_send(&mut self, from: DeviceId, to: DeviceId, payload: Payload) {
-        self.metrics.messages_sent += 1;
-        self.metrics.bytes_sent += payload.len() as u64;
-        let sender = &mut self.devices[from.index()];
-        if !sender.up {
-            // Sender is offline: park in the outbox until reconnection.
-            self.metrics.messages_deferred += 1;
-            self.parked += 1;
-            sender.outbox.push((to, payload, self.now));
-            return;
+        if hit_deadline {
+            return true;
         }
-        self.route(from, to, payload, self.now);
-    }
-
-    /// Classifies a payload via the installed classifier, if any.
-    fn classify(&self, payload: &Payload) -> Option<u16> {
-        self.classifier.as_ref().and_then(|c| c(payload.as_slice()))
-    }
-
-    /// Evaluates send-point fault rules, then applies the network model
-    /// and schedules delivery.
-    fn route(&mut self, from: DeviceId, to: DeviceId, payload: Payload, sent_at: SimTime) {
-        if to.index() >= self.devices.len() {
-            self.metrics.messages_dropped += 1;
-            return;
+        if deadline != SimTime::MAX {
+            self.now = deadline;
         }
-        // Classification is only needed when a fault plan can consume it
-        // or when the trace wants MsgKind records.
-        let kind = if self.classifier.is_some() && (self.faults.is_some() || self.trace.enabled()) {
-            self.classify(&payload)
-        } else {
-            None
-        };
-        if let Some(k) = kind {
-            self.trace
-                .record_with(self.now, || TraceEvent::MsgKind { from, to, kind: k });
-        }
-        let decision = match self.faults.as_mut() {
-            Some(rt) => rt.evaluate(MatchPoint::Send, kind, from, to, self.now),
-            None => None,
-        };
-        let Some((rule, action)) = decision else {
-            self.transmit(from, to, payload, sent_at, Duration::ZERO, None);
-            return;
-        };
-        let fault_kind = action.kind();
-        self.trace
-            .record_with(self.now, || TraceEvent::FaultInjected {
-                rule,
-                kind: fault_kind,
-                from,
-                to,
-            });
-        match action {
-            FaultAction::Drop => {
-                self.metrics.messages_dropped += 1;
-            }
-            FaultAction::Delay(extra) => {
-                self.transmit(from, to, payload, sent_at, extra, None);
-            }
-            FaultAction::Duplicate { extra_delay } => {
-                self.transmit(from, to, payload.share(), sent_at, Duration::ZERO, None);
-                self.transmit(from, to, payload, sent_at, extra_delay, None);
-            }
-            FaultAction::Reorder => {
-                let held = match self.faults.as_mut() {
-                    Some(runtime) => runtime.holds[rule as usize].take(),
-                    None => None,
-                };
-                match held {
-                    None => {
-                        // Hold until the rule's next match. If none ever
-                        // arrives the message is effectively dropped
-                        // (documented; deterministic either way).
-                        if let Some(runtime) = self.faults.as_mut() {
-                            runtime.holds[rule as usize] = Some(HeldMsg {
-                                from,
-                                to,
-                                payload,
-                                sent_at,
-                            });
-                        }
-                    }
-                    Some(held) => {
-                        // Swap: the later message goes first, the held
-                        // one lands just after it (or normally, if the
-                        // network drops the later one).
-                        let first = self.transmit(from, to, payload, sent_at, Duration::ZERO, None);
-                        let floor = first.map(|t| t + Duration::from_micros(1));
-                        self.transmit(
-                            held.from,
-                            held.to,
-                            held.payload,
-                            held.sent_at,
-                            Duration::ZERO,
-                            floor,
-                        );
-                    }
-                }
-            }
-            FaultAction::CrashSender => {
-                // The send itself succeeds; the sender dies once its
-                // current callback's command batch finishes (the crash
-                // event pops at the same virtual time, after it).
-                self.transmit(from, to, payload, sent_at, Duration::ZERO, None);
-                self.push(
-                    self.now,
-                    EventKind::Crash(from, CrashCause::Injected { rule }),
-                );
-            }
-            FaultAction::CrashReceiver => {
-                unreachable!("CrashReceiver is a Deliver-point action")
-            }
-        }
-    }
-
-    /// Applies the network model and schedules delivery. `extra_delay`
-    /// is added on top of the drawn latency; `floor` (if given) is the
-    /// earliest allowed delivery time. Returns the scheduled delivery
-    /// time unless the network dropped the message.
-    fn transmit(
-        &mut self,
-        from: DeviceId,
-        to: DeviceId,
-        mut payload: Payload,
-        sent_at: SimTime,
-        extra_delay: Duration,
-        floor: Option<SimTime>,
-    ) -> Option<SimTime> {
-        match self.config.network.fate(&mut self.net_rng) {
-            Fate::Dropped => {
-                self.metrics.messages_dropped += 1;
-                self.trace
-                    .record_with(self.now, || TraceEvent::Dropped { from, to });
-                return None;
-            }
-            Fate::Corrupted(offset) => {
-                // The rare mutating path: detach this recipient's copy
-                // from the shared buffer before flipping a bit, so other
-                // recipients of the same broadcast stay intact.
-                if !payload.is_empty() {
-                    let idx = offset % payload.len();
-                    let mut bytes = std::mem::take(&mut payload).into_vec();
-                    bytes[idx] ^= 0x01;
-                    payload = Payload::new(bytes);
-                }
-                self.metrics.messages_corrupted += 1;
-            }
-            Fate::Delivered => {}
-        }
-        let bytes = payload.len();
-        self.trace
-            .record_with(self.now, || TraceEvent::Sent { from, to, bytes });
-        let latency = self.config.network.sample_latency(&mut self.net_rng);
-        let mut at = self.now + latency + extra_delay;
-        if let Some(floor) = floor {
-            at = at.max(floor);
-        }
-        self.push(
-            at,
-            EventKind::Deliver {
-                to,
-                from,
-                payload,
-                sent_at,
-            },
-        );
-        Some(at)
+        false
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::FaultRule;
+    use crate::actor::{Context, TimerToken};
+    use crate::fault::{FaultAction, FaultRule};
     use crate::network::LatencyModel;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use crate::trace::TraceEvent;
+    use std::sync::{Arc, Mutex};
 
     /// Replies "pong" to any message and counts what it sees.
     struct Pong {
-        seen: Rc<RefCell<Vec<Vec<u8>>>>,
+        seen: Arc<Mutex<Vec<Vec<u8>>>>,
     }
     impl Actor for Pong {
         fn on_message(&mut self, ctx: &mut Context<'_>, from: DeviceId, payload: &[u8]) {
-            self.seen.borrow_mut().push(payload.to_vec());
+            self.seen.lock().unwrap().push(payload.to_vec());
             ctx.send(from, b"pong".to_vec());
         }
     }
@@ -709,7 +606,7 @@ mod tests {
     struct Ping {
         target: DeviceId,
         count: usize,
-        replies: Rc<RefCell<usize>>,
+        replies: Arc<Mutex<usize>>,
     }
     impl Actor for Ping {
         fn on_start(&mut self, ctx: &mut Context<'_>) {
@@ -719,7 +616,7 @@ mod tests {
         }
         fn on_message(&mut self, _ctx: &mut Context<'_>, _from: DeviceId, payload: &[u8]) {
             assert_eq!(payload, b"pong");
-            *self.replies.borrow_mut() += 1;
+            *self.replies.lock().unwrap() += 1;
         }
     }
 
@@ -738,8 +635,8 @@ mod tests {
         let mut sim = reliable_sim(1);
         let a = sim.add_device(DeviceConfig::default());
         let b = sim.add_device(DeviceConfig::default());
-        let replies = Rc::new(RefCell::new(0));
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let replies = Arc::new(Mutex::new(0));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         sim.install_actor(
             a,
             Box::new(Ping {
@@ -750,8 +647,8 @@ mod tests {
         );
         sim.install_actor(b, Box::new(Pong { seen: seen.clone() }));
         let end = sim.run();
-        assert_eq!(*replies.borrow(), 3);
-        assert_eq!(seen.borrow().len(), 3);
+        assert_eq!(*replies.lock().unwrap(), 3);
+        assert_eq!(seen.lock().unwrap().len(), 3);
         assert_eq!(sim.metrics().messages_sent, 6);
         assert_eq!(sim.metrics().messages_delivered, 6);
         // Two 10ms hops.
@@ -775,7 +672,7 @@ mod tests {
             );
             let a = sim.add_device(DeviceConfig::default());
             let b = sim.add_device(DeviceConfig::default());
-            let replies = Rc::new(RefCell::new(0));
+            let replies = Arc::new(Mutex::new(0));
             sim.install_actor(
                 a,
                 Box::new(Ping {
@@ -787,11 +684,11 @@ mod tests {
             sim.install_actor(
                 b,
                 Box::new(Pong {
-                    seen: Rc::new(RefCell::new(Vec::new())),
+                    seen: Arc::new(Mutex::new(Vec::new())),
                 }),
             );
             sim.run();
-            let reply_count = *replies.borrow();
+            let reply_count = *replies.lock().unwrap();
             (
                 reply_count,
                 sim.metrics().messages_dropped,
@@ -813,7 +710,7 @@ mod tests {
         );
         let a = sim.add_device(DeviceConfig::default());
         let b = sim.add_device(DeviceConfig::default());
-        let replies = Rc::new(RefCell::new(0));
+        let replies = Arc::new(Mutex::new(0));
         sim.install_actor(
             a,
             Box::new(Ping {
@@ -825,21 +722,20 @@ mod tests {
         sim.install_actor(
             b,
             Box::new(Pong {
-                seen: Rc::new(RefCell::new(Vec::new())),
+                seen: Arc::new(Mutex::new(Vec::new())),
             }),
         );
         sim.run();
         let m = sim.metrics();
         assert!(m.messages_dropped > 0);
-        assert_eq!(m.messages_sent, 1000 + m.messages_sent - 1000); // sanity
-                                                                    // Roughly 25% of pings should produce replies (0.5 * 0.5).
-        let r = *replies.borrow() as f64 / 1000.0;
+        // Roughly 25% of pings should produce replies (0.5 * 0.5).
+        let r = *replies.lock().unwrap() as f64 / 1000.0;
         assert!((r - 0.25).abs() < 0.05, "reply rate {r}");
     }
 
     /// Timer-driven actor used by timer tests.
     struct TimerActor {
-        fired: Rc<RefCell<Vec<u64>>>,
+        fired: Arc<Mutex<Vec<u64>>>,
         cancel_second: bool,
     }
     impl Actor for TimerActor {
@@ -852,7 +748,7 @@ mod tests {
         }
         fn on_message(&mut self, _ctx: &mut Context<'_>, _from: DeviceId, _payload: &[u8]) {}
         fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
-            self.fired.borrow_mut().push(token.0);
+            self.fired.lock().unwrap().push(token.0);
             ctx.observe("fired", 1.0);
         }
     }
@@ -861,7 +757,7 @@ mod tests {
     fn timers_fire_and_cancel() {
         let mut sim = reliable_sim(5);
         let a = sim.add_device(DeviceConfig::default());
-        let fired = Rc::new(RefCell::new(Vec::new()));
+        let fired = Arc::new(Mutex::new(Vec::new()));
         sim.install_actor(
             a,
             Box::new(TimerActor {
@@ -870,7 +766,7 @@ mod tests {
             }),
         );
         let end = sim.run();
-        assert_eq!(*fired.borrow(), vec![0]);
+        assert_eq!(*fired.lock().unwrap(), vec![0]);
         assert_eq!(end, SimTime::from_micros(20_000)); // cancelled event still pops
         assert_eq!(sim.metrics().observations["fired"].count(), 1);
     }
@@ -883,7 +779,7 @@ mod tests {
             availability: Availability::AlwaysUp,
             crash: CrashPlan::At(SimTime::from_micros(5_000)),
         });
-        let replies = Rc::new(RefCell::new(0));
+        let replies = Arc::new(Mutex::new(0));
         sim.install_actor(
             a,
             Box::new(Ping {
@@ -895,12 +791,12 @@ mod tests {
         sim.install_actor(
             b,
             Box::new(Pong {
-                seen: Rc::new(RefCell::new(Vec::new())),
+                seen: Arc::new(Mutex::new(Vec::new())),
             }),
         );
         sim.run();
         // Pings arrive at t=10ms, after the crash at t=5ms.
-        assert_eq!(*replies.borrow(), 0);
+        assert_eq!(*replies.lock().unwrap(), 0);
         assert_eq!(sim.metrics().crashes, 1);
         assert_eq!(sim.metrics().messages_to_crashed, 4);
         assert!(sim.is_crashed(b));
@@ -921,8 +817,8 @@ mod tests {
             },
             crash: CrashPlan::Never,
         });
-        let replies = Rc::new(RefCell::new(0));
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let replies = Arc::new(Mutex::new(0));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         sim.install_actor(
             a,
             Box::new(Ping {
@@ -934,8 +830,8 @@ mod tests {
         sim.install_actor(b, Box::new(Pong { seen: seen.clone() }));
         assert!(!sim.is_up(b));
         sim.run();
-        assert_eq!(seen.borrow().len(), 1);
-        assert_eq!(*replies.borrow(), 1);
+        assert_eq!(seen.lock().unwrap().len(), 1);
+        assert_eq!(*replies.lock().unwrap(), 1);
         assert!(sim.metrics().messages_deferred >= 1);
         // Delivery delay includes the down period, so it exceeds the link
         // latency alone.
@@ -962,8 +858,8 @@ mod tests {
             },
             crash: CrashPlan::Never,
         });
-        let seen = Rc::new(RefCell::new(Vec::new()));
-        let replies = Rc::new(RefCell::new(0));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let replies = Arc::new(Mutex::new(0));
         sim.install_actor(
             a,
             Box::new(Ping {
@@ -978,7 +874,7 @@ mod tests {
         // 1s); with this seed verify via the TTL bookkeeping.
         let m = sim.metrics();
         assert_eq!(
-            seen.borrow().len() as u64 + m.messages_dropped,
+            seen.lock().unwrap().len() as u64 + m.messages_dropped,
             1,
             "message must be delivered or TTL-dropped"
         );
@@ -988,7 +884,7 @@ mod tests {
     fn run_until_respects_deadline() {
         let mut sim = reliable_sim(13);
         let a = sim.add_device(DeviceConfig::default());
-        let fired = Rc::new(RefCell::new(Vec::new()));
+        let fired = Arc::new(Mutex::new(Vec::new()));
         sim.install_actor(
             a,
             Box::new(TimerActor {
@@ -998,21 +894,21 @@ mod tests {
         );
         let more = sim.run_until(SimTime::from_micros(15_000));
         assert!(more, "the 20ms timer is still pending");
-        assert_eq!(*fired.borrow(), vec![0]);
+        assert_eq!(*fired.lock().unwrap(), vec![0]);
         assert_eq!(sim.now(), SimTime::from_micros(15_000));
         let more = sim.run_until(SimTime::from_micros(100_000));
         assert!(!more);
-        assert_eq!(*fired.borrow(), vec![0, 1]);
+        assert_eq!(*fired.lock().unwrap(), vec![0, 1]);
     }
 
     #[test]
     fn corruption_flips_a_byte() {
         struct Recorder {
-            seen: Rc<RefCell<Vec<Vec<u8>>>>,
+            seen: Arc<Mutex<Vec<Vec<u8>>>>,
         }
         impl Actor for Recorder {
             fn on_message(&mut self, _ctx: &mut Context<'_>, _from: DeviceId, payload: &[u8]) {
-                self.seen.borrow_mut().push(payload.to_vec());
+                self.seen.lock().unwrap().push(payload.to_vec());
             }
         }
         struct Sender {
@@ -1039,11 +935,11 @@ mod tests {
         );
         let a = sim.add_device(DeviceConfig::default());
         let b = sim.add_device(DeviceConfig::default());
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         sim.install_actor(a, Box::new(Sender { target: b }));
         sim.install_actor(b, Box::new(Recorder { seen: seen.clone() }));
         sim.run();
-        let seen = seen.borrow();
+        let seen = seen.lock().unwrap();
         assert_eq!(seen.len(), 200);
         let corrupted = seen.iter().filter(|p| p.iter().any(|&b| b != 0)).count();
         assert_eq!(corrupted as u64, sim.metrics().messages_corrupted);
@@ -1053,29 +949,29 @@ mod tests {
     #[test]
     fn halt_stops_an_actor() {
         struct HaltOnFirst {
-            got: Rc<RefCell<usize>>,
+            got: Arc<Mutex<usize>>,
         }
         impl Actor for HaltOnFirst {
             fn on_message(&mut self, ctx: &mut Context<'_>, _f: DeviceId, _p: &[u8]) {
-                *self.got.borrow_mut() += 1;
+                *self.got.lock().unwrap() += 1;
                 ctx.halt();
             }
         }
         let mut sim = reliable_sim(19);
         let a = sim.add_device(DeviceConfig::default());
         let b = sim.add_device(DeviceConfig::default());
-        let got = Rc::new(RefCell::new(0));
+        let got = Arc::new(Mutex::new(0));
         sim.install_actor(
             a,
             Box::new(Ping {
                 target: b,
                 count: 5,
-                replies: Rc::new(RefCell::new(0)),
+                replies: Arc::new(Mutex::new(0)),
             }),
         );
         sim.install_actor(b, Box::new(HaltOnFirst { got: got.clone() }));
         sim.run();
-        assert_eq!(*got.borrow(), 1, "actor must stop after halting");
+        assert_eq!(*got.lock().unwrap(), 1, "actor must stop after halting");
     }
 
     #[test]
@@ -1116,13 +1012,13 @@ mod tests {
         })
     }
 
-    type PingPongProbes = (Rc<RefCell<usize>>, Rc<RefCell<Vec<Vec<u8>>>>);
+    type PingPongProbes = (Arc<Mutex<usize>>, Arc<Mutex<Vec<Vec<u8>>>>);
 
     fn ping_pong_world(sim: &mut Simulation, count: usize) -> PingPongProbes {
         let a = sim.add_device(DeviceConfig::default());
         let b = sim.add_device(DeviceConfig::default());
-        let replies = Rc::new(RefCell::new(0));
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let replies = Arc::new(Mutex::new(0));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         sim.install_actor(
             a,
             Box::new(Ping {
@@ -1144,8 +1040,8 @@ mod tests {
         );
         let (replies, seen) = ping_pong_world(&mut sim, 3);
         sim.run();
-        assert_eq!(seen.borrow().len(), 2, "first ping dropped");
-        assert_eq!(*replies.borrow(), 2);
+        assert_eq!(seen.lock().unwrap().len(), 2, "first ping dropped");
+        assert_eq!(*replies.lock().unwrap(), 2);
         assert_eq!(sim.metrics().messages_dropped, 1);
         assert_eq!(sim.faults_injected(), 1);
     }
@@ -1165,8 +1061,8 @@ mod tests {
         );
         let (replies, seen) = ping_pong_world(&mut sim, 3);
         sim.run();
-        assert_eq!(seen.borrow().len(), 4, "first ping delivered twice");
-        assert_eq!(*replies.borrow(), 4);
+        assert_eq!(seen.lock().unwrap().len(), 4, "first ping delivered twice");
+        assert_eq!(*replies.lock().unwrap(), 4);
     }
 
     #[test]
@@ -1184,7 +1080,7 @@ mod tests {
             }
             let (replies, _) = ping_pong_world(&mut sim, 3);
             let end = sim.run();
-            assert_eq!(*replies.borrow(), 3, "delayed, not lost");
+            assert_eq!(*replies.lock().unwrap(), 3, "delayed, not lost");
             end
         };
         let baseline = run(0);
@@ -1207,23 +1103,23 @@ mod tests {
         }
         /// Records payloads without replying.
         struct Sink {
-            seen: Rc<RefCell<Vec<Vec<u8>>>>,
+            seen: Arc<Mutex<Vec<Vec<u8>>>>,
         }
         impl Actor for Sink {
             fn on_message(&mut self, _ctx: &mut Context<'_>, _from: DeviceId, payload: &[u8]) {
-                self.seen.borrow_mut().push(payload.to_vec());
+                self.seen.lock().unwrap().push(payload.to_vec());
             }
         }
         let mut sim = reliable_sim(1);
         sim.set_fault_plan(FaultPlan::new().rule(FaultRule::new(FaultAction::Reorder).limit(2)));
         let a = sim.add_device(DeviceConfig::default());
         let b = sim.add_device(DeviceConfig::default());
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         sim.install_actor(a, Box::new(TwoSends { target: b }));
         sim.install_actor(b, Box::new(Sink { seen: seen.clone() }));
         sim.run();
         assert_eq!(
-            *seen.borrow(),
+            *seen.lock().unwrap(),
             vec![b"second".to_vec(), b"first".to_vec()],
             "the held first message lands after the second"
         );
@@ -1244,8 +1140,12 @@ mod tests {
         );
         let (replies, seen) = ping_pong_world(&mut sim, 3);
         sim.run();
-        assert_eq!(seen.borrow().len(), 1, "only the first ping was processed");
-        assert_eq!(*replies.borrow(), 1);
+        assert_eq!(
+            seen.lock().unwrap().len(),
+            1,
+            "only the first ping was processed"
+        );
+        assert_eq!(*replies.lock().unwrap(), 1);
         assert_eq!(sim.metrics().crashes, 1);
     }
 
@@ -1271,8 +1171,8 @@ mod tests {
         sim.run();
         // All three pings left in the same on_start batch before the
         // crash landed; every pong then hit a crashed device.
-        assert_eq!(seen.borrow().len(), 3);
-        assert_eq!(*replies.borrow(), 0);
+        assert_eq!(seen.lock().unwrap().len(), 3);
+        assert_eq!(*replies.lock().unwrap(), 0);
         assert_eq!(sim.metrics().crashes, 1);
         assert_eq!(sim.metrics().messages_to_crashed, 3);
         let injected = sim
@@ -1326,9 +1226,128 @@ mod tests {
             );
             let (replies, _) = ping_pong_world(&mut sim, 50);
             sim.run();
-            let reply_count = *replies.borrow();
+            let reply_count = *replies.lock().unwrap();
             (reply_count, sim.faults_injected(), sim.trace().digest())
         };
         assert_eq!(run(), run());
+    }
+
+    /// A small churny gossip world used by the shard-parity tests.
+    struct Gossiper {
+        peers: u64,
+        budget: usize,
+    }
+    impl Actor for Gossiper {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let peer = ctx.rng().range(0..self.peers);
+            ctx.send(DeviceId::new(peer), b"gossip".to_vec());
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_>, _from: DeviceId, _payload: &[u8]) {
+            if self.budget == 0 {
+                return;
+            }
+            self.budget -= 1;
+            let peer = ctx.rng().range(0..self.peers);
+            ctx.send(DeviceId::new(peer), b"gossip".to_vec());
+            ctx.observe("hops", 1.0);
+        }
+    }
+
+    fn parity_fingerprint(
+        shards: usize,
+        seed: u64,
+        with_faults: bool,
+    ) -> (u64, u64, u64, u64, u64, u64, u64) {
+        let n = 18u64;
+        let mut sim = Simulation::new(
+            SimConfig {
+                network: NetworkModel::lossy(
+                    Duration::from_millis(5),
+                    Duration::from_millis(90),
+                    0.1,
+                ),
+                trace_capacity: 1 << 13,
+                shards,
+                ..SimConfig::default()
+            },
+            seed,
+        );
+        if with_faults {
+            sim.set_classifier(test_classifier());
+            // Window-safe plan: stateless drop + receiver crash rules.
+            sim.set_fault_plan(
+                FaultPlan::new()
+                    .rule(
+                        FaultRule::new(FaultAction::Drop)
+                            .from(&[DeviceId::new(2)])
+                            .after(SimTime::from_micros(50_000)),
+                    )
+                    .rule(FaultRule::new(FaultAction::CrashReceiver).to(&[DeviceId::new(5)])),
+            );
+        }
+        for i in 0..n {
+            let availability = if i % 3 == 0 {
+                Availability::Intermittent {
+                    mean_up: Duration::from_secs(2),
+                    mean_down: Duration::from_secs(1),
+                    start_up: true,
+                }
+            } else {
+                Availability::AlwaysUp
+            };
+            sim.add_device(DeviceConfig {
+                availability,
+                crash: CrashPlan::Never,
+            });
+        }
+        for i in 0..n {
+            sim.install_actor(
+                DeviceId::new(i),
+                Box::new(Gossiper {
+                    peers: n,
+                    budget: 30,
+                }),
+            );
+        }
+        sim.run_until(SimTime::from_micros(30_000_000));
+        let m = sim.metrics();
+        (
+            m.messages_sent,
+            m.messages_delivered,
+            m.messages_dropped,
+            m.crashes,
+            m.events_processed,
+            sim.faults_injected(),
+            sim.trace().digest(),
+        )
+    }
+
+    #[test]
+    fn shard_counts_are_bit_identical() {
+        for seed in [1u64, 42, 9_000] {
+            let base = parity_fingerprint(1, seed, false);
+            for shards in [2usize, 4, 8] {
+                assert_eq!(
+                    parity_fingerprint(shards, seed, false),
+                    base,
+                    "seed {seed} shards {shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_counts_are_bit_identical_under_faults() {
+        for seed in [7u64, 123] {
+            let base = parity_fingerprint(1, seed, true);
+            assert!(base.5 > 0, "fault plan must actually fire (seed {seed})");
+            for shards in [2usize, 4] {
+                assert_eq!(
+                    parity_fingerprint(shards, seed, true),
+                    base,
+                    "seed {seed} shards {shards}"
+                );
+            }
+        }
     }
 }

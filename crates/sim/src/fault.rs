@@ -47,7 +47,7 @@ use edgelet_util::ids::DeviceId;
 /// `None` means "unclassifiable" (e.g. an encrypted payload); such
 /// messages never match a kind-restricted rule but still match rules
 /// with `kinds: None`.
-pub type Classifier = Box<dyn Fn(&[u8]) -> Option<u16>>;
+pub type Classifier = Box<dyn Fn(&[u8]) -> Option<u16> + Send + Sync>;
 
 /// Discriminant of a fault action, kept in trace records so oracles can
 /// tell what was injected without storing the full rule.
@@ -335,39 +335,133 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
     }
+
+    /// True when every rule's firing decision is a pure function of the
+    /// message itself (matcher fields only) — i.e. no rule carries
+    /// cross-message state. `skip`/`limit` depend on global occurrence
+    /// counters and [`FaultAction::Reorder`] holds a message between
+    /// matches, so plans using them must run on the global-order
+    /// (sequential) executor; everything else is safe under windowed
+    /// sharded execution with per-window counters.
+    pub fn is_window_safe(&self) -> bool {
+        self.rules
+            .iter()
+            .all(|r| r.skip == 0 && r.limit.is_none() && !matches!(r.action, FaultAction::Reorder))
+    }
 }
 
 /// A message held back by a [`FaultAction::Reorder`] rule.
+///
+/// The resend's network fate, latency, and event sequence number are
+/// drawn at *stash* time, while the sender's shard is the executing
+/// shard: the eventual swap runs on whichever shard the rule's next
+/// match executes on, which must never touch the original sender's
+/// per-device state.
 #[derive(Debug)]
 pub(crate) struct HeldMsg {
     pub from: DeviceId,
     pub to: DeviceId,
     pub payload: edgelet_util::payload::Payload,
     pub sent_at: SimTime,
+    /// Pre-drawn network fate for the resend.
+    pub fate: crate::network::Fate,
+    /// Pre-drawn network latency for the resend.
+    pub latency: crate::time::Duration,
+    /// Pre-assigned spawn sequence number (from the sender's counter).
+    pub seq: u64,
+}
+
+/// Per-rule occurrence counters: matches seen (including skipped) and
+/// actual firings.
+///
+/// Counters are plain sums, so partial per-window counters from sharded
+/// execution merge commutatively into the run totals. Rules whose firing
+/// decision *reads* the counters (`skip`/`limit`) force the sequential
+/// executor — see [`FaultPlan::is_window_safe`].
+#[derive(Debug, Default, Clone)]
+pub(crate) struct FaultCounters {
+    /// Matches seen per rule at its match point (including skipped).
+    pub matched: Vec<u64>,
+    /// Times each rule actually fired.
+    pub fired: Vec<u64>,
+}
+
+impl FaultCounters {
+    pub fn for_plan(plan: &FaultPlan) -> Self {
+        let n = plan.rules.len();
+        FaultCounters {
+            matched: vec![0; n],
+            fired: vec![0; n],
+        }
+    }
+
+    /// Folds per-window partial counters into the run totals.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        for (a, b) in self.matched.iter_mut().zip(&other.matched) {
+            *a += b;
+        }
+        for (a, b) in self.fired.iter_mut().zip(&other.fired) {
+            *a += b;
+        }
+    }
+
+    /// Total number of rule firings so far.
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().sum()
+    }
+}
+
+/// Evaluate all rules of `plan` bound to `point` against a message,
+/// advancing the occurrence counters in `counters`; returns the first
+/// firing rule's index and action.
+pub(crate) fn evaluate_plan(
+    plan: &FaultPlan,
+    counters: &mut FaultCounters,
+    point: MatchPoint,
+    kind: Option<u16>,
+    from: DeviceId,
+    to: DeviceId,
+    now: SimTime,
+) -> Option<(u32, FaultAction)> {
+    for (i, rule) in plan.rules.iter().enumerate() {
+        if rule.action.match_point() != point {
+            continue;
+        }
+        if !rule.matcher.accepts(kind, from, to, now) {
+            continue;
+        }
+        counters.matched[i] += 1;
+        let occurrence = counters.matched[i];
+        if occurrence <= rule.skip {
+            continue;
+        }
+        if let Some(limit) = rule.limit {
+            if occurrence > rule.skip + limit {
+                continue;
+            }
+        }
+        counters.fired[i] += 1;
+        return Some((i as u32, rule.action.clone()));
+    }
+    None
 }
 
 /// Engine-side evaluation state for a [`FaultPlan`]: per-rule
-/// occurrence counters and reorder stashes.
+/// occurrence counters. Retained as a convenience bundle for
+/// single-threaded callers; the engine itself holds the plan, counters
+/// and reorder stashes as separate fields.
+#[cfg(test)]
 #[derive(Debug, Default)]
 pub(crate) struct FaultRuntime {
     pub plan: FaultPlan,
-    /// Matches seen per rule at its match point (including skipped).
-    matched: Vec<u64>,
-    /// Times each rule actually fired.
-    fired: Vec<u64>,
-    /// Held message per Reorder rule.
-    pub holds: Vec<Option<HeldMsg>>,
+    counters: FaultCounters,
 }
 
+#[cfg(test)]
 impl FaultRuntime {
     pub fn new(plan: FaultPlan) -> Self {
-        let n = plan.rules.len();
-        FaultRuntime {
-            plan,
-            matched: vec![0; n],
-            fired: vec![0; n],
-            holds: (0..n).map(|_| None).collect(),
-        }
+        let counters = FaultCounters::for_plan(&plan);
+        FaultRuntime { plan, counters }
     }
 
     /// Evaluate all rules bound to `point` against a message; returns
@@ -380,32 +474,12 @@ impl FaultRuntime {
         to: DeviceId,
         now: SimTime,
     ) -> Option<(u32, FaultAction)> {
-        for (i, rule) in self.plan.rules.iter().enumerate() {
-            if rule.action.match_point() != point {
-                continue;
-            }
-            if !rule.matcher.accepts(kind, from, to, now) {
-                continue;
-            }
-            self.matched[i] += 1;
-            let occurrence = self.matched[i];
-            if occurrence <= rule.skip {
-                continue;
-            }
-            if let Some(limit) = rule.limit {
-                if occurrence > rule.skip + limit {
-                    continue;
-                }
-            }
-            self.fired[i] += 1;
-            return Some((i as u32, rule.action.clone()));
-        }
-        None
+        evaluate_plan(&self.plan, &mut self.counters, point, kind, from, to, now)
     }
 
     /// Total number of rule firings so far.
     pub fn total_fired(&self) -> u64 {
-        self.fired.iter().sum()
+        self.counters.total_fired()
     }
 }
 
@@ -489,6 +563,22 @@ mod tests {
             .unwrap();
         assert_eq!(idx, 0);
         assert_eq!(action.kind(), FaultKind::Drop);
+    }
+
+    #[test]
+    fn window_safety_flags_stateful_rules() {
+        assert!(FaultPlan::new().is_window_safe(), "empty plan is safe");
+        let stateless = FaultPlan::new()
+            .rule(FaultRule::new(FaultAction::Drop).on_kinds(&[3]))
+            .rule(FaultRule::new(FaultAction::CrashSender).from(&[d(1)]))
+            .partition(&[d(1)], &[d(2)], SimTime::ZERO, t(1_000));
+        assert!(stateless.is_window_safe());
+        let with_skip = FaultPlan::new().rule(FaultRule::new(FaultAction::Drop).skip(1));
+        assert!(!with_skip.is_window_safe());
+        let with_limit = FaultPlan::new().rule(FaultRule::new(FaultAction::Drop).limit(3));
+        assert!(!with_limit.is_window_safe());
+        let with_reorder = FaultPlan::new().rule(FaultRule::new(FaultAction::Reorder));
+        assert!(!with_reorder.is_window_safe());
     }
 
     #[test]

@@ -35,8 +35,11 @@ pub mod actor;
 pub mod churn;
 pub mod engine;
 pub mod fault;
+pub(crate) mod merge;
 pub mod metrics;
 pub mod network;
+pub(crate) mod scheduler;
+pub(crate) mod shard;
 pub mod time;
 pub mod trace;
 
@@ -46,7 +49,7 @@ pub use engine::{DeviceConfig, SimConfig, Simulation};
 pub use fault::{
     Classifier, CrashCause, FaultAction, FaultKind, FaultPlan, FaultRule, MatchPoint, MsgMatch,
 };
-pub use metrics::SimMetrics;
+pub use metrics::{DelayStats, SimMetrics};
 pub use network::{LatencyModel, NetworkModel};
 pub use time::{Duration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceRecord};

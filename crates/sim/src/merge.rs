@@ -1,0 +1,188 @@
+//! Window-barrier merge and the parallel worker protocol.
+//!
+//! The sharded engine's determinism argument lives here. Each window,
+//! every shard independently produces a [`WindowReport`]: commutative
+//! metric [`Deltas`](crate::shard::Deltas), per-window fault counters,
+//! a journal of ordered side effects, and outbound cross-shard events.
+//! At the barrier the coordinator:
+//!
+//! 1. sums the deltas and fault counters (order-independent by
+//!    construction — plain integer sums and min/max);
+//! 2. concatenates the journals and sorts them by the *intrinsic* event
+//!    key `(at, origin, seq, intra)`, then applies trace records and
+//!    metric observations in that canonical order;
+//! 3. routes outbound events to their destination shards.
+//!
+//! Because the per-shard inputs to each window are a pure function of
+//! the previous barrier state, and every cross-shard effect is replayed
+//! in an order that no longer depends on which shard produced it first,
+//! the merged trace, metrics, and fault verdicts are bit-identical for
+//! every shard count — including `shards = 1`, which runs the very same
+//! window executor without threads.
+
+use crate::fault::FaultCounters;
+use crate::metrics::SimMetrics;
+use crate::scheduler::Event;
+use crate::shard::{JItem, RunEnv, Shard, WindowReport};
+use crate::time::SimTime;
+use crate::trace::Trace;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a mutex, ignoring poisoning (a panicked worker propagates its
+/// panic through the thread scope anyway; the data itself is plain
+/// buffers that stay structurally valid).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Shared coordination block between the window coordinator and the
+/// per-shard workers. One generation = one window.
+#[derive(Debug, Default)]
+pub(crate) struct Ctl {
+    /// Window generation; the coordinator bumps it to start a window.
+    pub generation: AtomicU64,
+    /// Workers that finished the current generation.
+    pub done: AtomicU64,
+    /// Set once the run ends; workers exit.
+    pub stop: AtomicBool,
+    /// Calendar cell to open this window.
+    pub cell_idx: AtomicU64,
+    /// Exclusive end of the window (µs).
+    pub cell_end: AtomicU64,
+    /// Deadline clamp (µs, inclusive): events past it stay queued.
+    pub clip: AtomicU64,
+    /// Per-shard event budget for this window.
+    pub budget: AtomicU64,
+}
+
+/// Worker body for one shard. Runs until `stop`: waits for the next
+/// generation, ingests its mailbox, executes the window, publishes
+/// outbound events into destination mailboxes and its report slot, and
+/// signals completion.
+pub(crate) fn worker(
+    shard: &mut Shard,
+    env: &RunEnv<'_>,
+    ctl: &Ctl,
+    mailboxes: &[Mutex<Vec<Event>>],
+    slots: &[Mutex<Option<WindowReport>>],
+) {
+    let me = shard.idx;
+    let mut seen = 0u64;
+    loop {
+        // Wait for the next window (or shutdown). Short spin, then yield.
+        let mut spins = 0u32;
+        loop {
+            if ctl.stop.load(Ordering::Acquire) {
+                return;
+            }
+            if ctl.generation.load(Ordering::Acquire) > seen {
+                break;
+            }
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        seen += 1;
+        // Ingest cross-shard events published at the previous barrier.
+        // Safe: the coordinator only opens generation g+1 after every
+        // worker finished g, so nobody appends while we drain.
+        {
+            let mut mb = lock(&mailboxes[me]);
+            for ev in mb.drain(..) {
+                shard.queue.push(ev);
+            }
+        }
+        let cell_idx = ctl.cell_idx.load(Ordering::Acquire);
+        let cell_end = ctl.cell_end.load(Ordering::Acquire);
+        let clip = ctl.clip.load(Ordering::Acquire);
+        let budget = ctl.budget.load(Ordering::Acquire);
+        let mut report = shard.run_window(env, cell_idx, cell_end, clip, budget);
+        // Publish outbound events. Destination workers won't look at
+        // their mailboxes until the next generation opens.
+        for (dest, evs) in report.out.outbound.iter_mut().enumerate() {
+            if evs.is_empty() {
+                continue;
+            }
+            lock(&mailboxes[dest]).append(evs);
+        }
+        *lock(&slots[me]) = Some(report);
+        ctl.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Global accumulators the barrier merge updates.
+pub(crate) struct MergeTargets<'a> {
+    pub metrics: &'a mut SimMetrics,
+    pub trace: &'a mut Trace,
+    pub fault_counters: &'a mut FaultCounters,
+    pub real_pending: &'a mut u64,
+    pub parked: &'a mut u64,
+    pub now: &'a mut SimTime,
+}
+
+/// Outcome of one barrier merge.
+#[derive(Debug, Default)]
+pub(crate) struct WindowSummary {
+    /// Earliest pending event across all shard queues and outbound
+    /// buffers after the window; `None` means the system drained.
+    pub next_min_at: Option<u64>,
+    /// Some shard exhausted its event budget mid-window.
+    pub hit_budget: bool,
+}
+
+/// Folds a window's commutative counter deltas into the metrics.
+/// Shared by the barrier merge and the sequential fallback (which
+/// applies one event's worth of deltas at a time).
+pub(crate) fn apply_deltas(metrics: &mut SimMetrics, d: &crate::shard::Deltas) {
+    metrics.messages_sent += d.sent;
+    metrics.messages_delivered += d.delivered;
+    metrics.messages_dropped += d.dropped;
+    metrics.messages_corrupted += d.corrupted;
+    metrics.messages_to_crashed += d.to_crashed;
+    metrics.messages_deferred += d.deferred;
+    metrics.bytes_sent += d.bytes_sent;
+    metrics.delivery_delay.merge(&d.delay);
+    metrics.disconnections += d.disconnections;
+    metrics.crashes += d.crashes;
+    metrics.events_processed += d.events;
+}
+
+/// Merges the shards' window reports into the global simulation state
+/// (step 1–2 of the barrier; outbound routing is the caller's step 3,
+/// since ownership of the destination queues differs between the
+/// threaded and inline paths).
+pub(crate) fn merge_reports(reports: Vec<WindowReport>, t: &mut MergeTargets<'_>) -> WindowSummary {
+    let mut summary = WindowSummary::default();
+    let mut journal = Vec::new();
+    for report in reports {
+        let d = &report.out.deltas;
+        apply_deltas(t.metrics, d);
+        *t.real_pending = ((*t.real_pending as i64) + d.real_pending).max(0) as u64;
+        *t.parked = ((*t.parked as i64) + d.parked).max(0) as u64;
+        *t.now = (*t.now).max(d.last_at);
+        t.fault_counters.merge(&report.fc);
+        summary.hit_budget |= report.hit_budget;
+        for cand in [report.queue_min_at, report.outbound_min_at] {
+            summary.next_min_at = match (summary.next_min_at, cand) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        journal.extend(report.out.journal);
+    }
+    // Canonical replay order: the intrinsic event key, then the
+    // intra-event counter. Unique, hence a total order independent of
+    // which shard executed what.
+    journal.sort_unstable_by_key(|e| (e.at, e.origin, e.seq, e.intra));
+    for entry in journal {
+        match entry.item {
+            JItem::Trace(ev) => t.trace.record(entry.at, ev),
+            JItem::Observe(name, value) => t.metrics.observe(name, value),
+        }
+    }
+    summary
+}

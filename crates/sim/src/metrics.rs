@@ -3,6 +3,75 @@
 use edgelet_util::stats::OnlineStats;
 use std::collections::BTreeMap;
 
+/// Delivery-delay statistics kept in integer microseconds.
+///
+/// Unlike [`OnlineStats`], every field is an exact integer sum or extremum,
+/// so partial per-shard statistics merge to **bit-identical** totals no
+/// matter how the samples were partitioned or ordered — the property the
+/// sharded engine's determinism guarantee rests on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DelayStats {
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl DelayStats {
+    /// Records one delay sample, in microseconds.
+    pub fn push_micros(&mut self, us: u64) {
+        if self.count == 0 {
+            self.min_us = us;
+            self.max_us = us;
+        } else {
+            self.min_us = self.min_us.min(us);
+            self.max_us = self.max_us.max(us);
+        }
+        self.count += 1;
+        self.sum_us += us;
+    }
+
+    /// Folds another partial statistic into this one (commutative and
+    /// associative).
+    pub fn merge(&mut self, other: &DelayStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean delay in seconds (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64 / 1e6
+        }
+    }
+
+    /// Smallest sample in seconds (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        self.min_us as f64 / 1e6
+    }
+
+    /// Largest sample in seconds (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max_us as f64 / 1e6
+    }
+}
+
 /// Counters and distributions collected during one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct SimMetrics {
@@ -20,8 +89,9 @@ pub struct SimMetrics {
     pub messages_deferred: u64,
     /// Payload bytes submitted by actors.
     pub bytes_sent: u64,
-    /// End-to-end delivery delay distribution (seconds).
-    pub delivery_delay: OnlineStats,
+    /// End-to-end delivery delay distribution (integer microseconds inside;
+    /// accessors report seconds).
+    pub delivery_delay: DelayStats,
     /// Number of device up→down transitions.
     pub disconnections: u64,
     /// Number of device crashes.
@@ -56,6 +126,31 @@ mod tests {
     fn delivery_ratio_handles_zero() {
         let m = SimMetrics::default();
         assert_eq!(m.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn delay_stats_merge_is_order_independent() {
+        let samples = [5u64, 900, 17, 17, 0, 42_000];
+        let mut whole = DelayStats::default();
+        for &s in &samples {
+            whole.push_micros(s);
+        }
+        let mut left = DelayStats::default();
+        let mut right = DelayStats::default();
+        for (i, &s) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                left.push_micros(s);
+            } else {
+                right.push_micros(s);
+            }
+        }
+        let mut merged = DelayStats::default();
+        merged.merge(&right);
+        merged.merge(&left);
+        assert_eq!(merged, whole);
+        assert_eq!(whole.count(), 6);
+        assert!((whole.min() - 0.0).abs() < 1e-12);
+        assert!((whole.max() - 0.042).abs() < 1e-12);
     }
 
     #[test]

@@ -48,6 +48,21 @@ pub enum LatencyModel {
 }
 
 impl LatencyModel {
+    /// A lower bound on every latency this model can draw. This is the
+    /// conservative-PDES lookahead of the sharded engine: no message can
+    /// arrive sooner than `min_latency` after it was sent, so shards may
+    /// run `[t, t + min_latency)` of virtual time without coordination.
+    /// Heavy-tailed [`LatencyModel::LogNormal`] has no useful lower bound
+    /// and returns [`Duration::ZERO`], which forces sequential execution.
+    pub fn min_latency(&self) -> Duration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { min, .. } => min,
+            LatencyModel::Exponential { base, .. } => base,
+            LatencyModel::LogNormal { .. } => Duration::ZERO,
+        }
+    }
+
     /// Draws one latency.
     pub fn sample(&self, rng: &mut DetRng) -> Duration {
         match *self {
@@ -152,6 +167,11 @@ impl NetworkModel {
     /// Draws a latency.
     pub fn sample_latency(&self, rng: &mut DetRng) -> Duration {
         self.latency.sample(rng)
+    }
+
+    /// Lower bound on every drawn latency (see [`LatencyModel::min_latency`]).
+    pub fn min_latency(&self) -> Duration {
+        self.latency.min_latency()
     }
 }
 

@@ -1,0 +1,846 @@
+//! One shard of the sharded simulation: device state and the event
+//! executor.
+//!
+//! Devices are partitioned across shards deterministically by id
+//! (`device_id % shard_count`), and every event executes on the shard
+//! that owns its target device. Event processing is written so that it
+//! only ever touches state of the *executing* device (the target), plus
+//! pure shared context ([`RunEnv`]): messages to other devices become
+//! [`Event`]s routed through per-destination outbound buffers, metric
+//! updates become commutative [`Deltas`], and trace/observation records
+//! become journal entries ([`JEntry`]) replayed in canonical key order at
+//! the window barrier. Because nothing here reads global mutable state,
+//! the same executor runs single-threaded (shards=1), multi-threaded
+//! (shards=N), and inside the sequential fallback — with bit-identical
+//! results.
+
+use crate::actor::{Actor, Command, Context, TimerToken};
+use crate::churn::Availability;
+use crate::fault::{
+    evaluate_plan, CrashCause, FaultAction, FaultCounters, FaultPlan, HeldMsg, MatchPoint,
+};
+use crate::metrics::DelayStats;
+use crate::network::{Fate, NetworkModel};
+use crate::scheduler::{CalendarQueue, Event, EventKind};
+use crate::time::{Duration, SimTime};
+use crate::trace::TraceEvent;
+use edgelet_util::ids::DeviceId;
+use edgelet_util::rng::DetRng;
+use edgelet_util::Payload;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// Per-device mutable state. Owned by exactly one shard.
+pub(crate) struct DeviceState {
+    pub up: bool,
+    pub crashed: bool,
+    pub halted: bool,
+    pub actor: Option<Box<dyn Actor>>,
+    /// Actor-visible randomness (forked per device).
+    pub rng: DetRng,
+    /// Drives this device's availability renewal process.
+    pub churn_rng: DetRng,
+    /// Drives network fate/latency draws for messages this device sends.
+    /// Keeping the stream per-sender (instead of one global network RNG)
+    /// makes every draw independent of event interleaving, which is what
+    /// lets shard counts vary without changing outcomes.
+    pub net_rng: DetRng,
+    pub next_timer: u64,
+    /// Private spawn counter: the `seq` component of every event this
+    /// device spawns.
+    pub spawn_seq: u64,
+    pub cancelled: BTreeSet<TimerToken>,
+    pub availability: Availability,
+    /// Messages waiting for this (down) sender to reconnect.
+    pub outbox: Vec<(DeviceId, Payload, SimTime)>,
+    /// Messages waiting for this (down) receiver to reconnect.
+    pub inbox: Vec<(DeviceId, Payload, SimTime)>,
+}
+
+/// Borrowed form of [`crate::fault::Classifier`].
+pub(crate) type ClassifierRef<'a> = &'a (dyn Fn(&[u8]) -> Option<u16> + Send + Sync);
+
+/// Immutable per-run context shared by all shards.
+pub(crate) struct RunEnv<'a> {
+    pub network: &'a NetworkModel,
+    pub ttl: Option<Duration>,
+    pub classifier: Option<ClassifierRef<'a>>,
+    pub plan: Option<&'a FaultPlan>,
+    pub trace_enabled: bool,
+    /// Whether the classifier must run at all: only when a kind-restricted
+    /// fault rule or the trace can consume the result.
+    pub need_kind: bool,
+    pub device_count: usize,
+    pub shard_count: usize,
+}
+
+/// A journal item: a side effect whose global ordering matters.
+#[derive(Debug)]
+pub(crate) enum JItem {
+    /// A trace record.
+    Trace(TraceEvent),
+    /// A named metric observation.
+    Observe(&'static str, f64),
+}
+
+/// One journal entry, tagged with the key of the event that produced it
+/// plus an intra-event counter. Sorting by `(at, origin, seq, intra)`
+/// reconstructs one canonical global order from any per-shard
+/// interleaving.
+#[derive(Debug)]
+pub(crate) struct JEntry {
+    pub at: SimTime,
+    pub origin: u64,
+    pub seq: u64,
+    pub intra: u32,
+    pub item: JItem,
+}
+
+/// Commutative metric deltas accumulated by one shard over one window
+/// (or one event, in the fallback executor). Summing deltas from any
+/// partition of the same event set yields identical totals.
+#[derive(Debug, Default)]
+pub(crate) struct Deltas {
+    pub sent: u64,
+    pub delivered: u64,
+    pub dropped: u64,
+    pub corrupted: u64,
+    pub to_crashed: u64,
+    pub deferred: u64,
+    pub bytes_sent: u64,
+    pub delay: DelayStats,
+    pub disconnections: u64,
+    pub crashes: u64,
+    pub events: u64,
+    /// Net change in pending non-churn events (+spawned, -processed).
+    pub real_pending: i64,
+    /// Net change in parked (inbox/outbox) messages.
+    pub parked: i64,
+    /// Latest event time processed.
+    pub last_at: SimTime,
+}
+
+/// Buffered side effects of executing events on one shard.
+#[derive(Debug)]
+pub(crate) struct WindowOut {
+    pub journal: Vec<JEntry>,
+    /// Events destined to other shards, indexed by destination shard.
+    pub outbound: Vec<Vec<Event>>,
+    pub deltas: Deltas,
+    trace_on: bool,
+    /// Key of the event currently being processed.
+    cur: (SimTime, u64, u64),
+    intra: u32,
+}
+
+impl WindowOut {
+    pub fn new(shard_count: usize, trace_on: bool) -> Self {
+        WindowOut {
+            journal: Vec::new(),
+            outbound: (0..shard_count).map(|_| Vec::new()).collect(),
+            deltas: Deltas::default(),
+            trace_on,
+            cur: (SimTime::ZERO, 0, 0),
+            intra: 0,
+        }
+    }
+
+    /// Clears buffered effects while keeping capacity (fallback executor
+    /// reuses one `WindowOut` across events).
+    pub fn reset(&mut self) {
+        self.journal.clear();
+        for v in &mut self.outbound {
+            v.clear();
+        }
+        self.deltas = Deltas::default();
+        self.intra = 0;
+    }
+
+    fn begin_event(&mut self, key: (SimTime, u64, u64)) {
+        self.cur = key;
+        self.intra = 0;
+    }
+
+    fn push_item(&mut self, item: JItem) {
+        self.journal.push(JEntry {
+            at: self.cur.0,
+            origin: self.cur.1,
+            seq: self.cur.2,
+            intra: self.intra,
+            item,
+        });
+        self.intra += 1;
+    }
+
+    fn trace(&mut self, ev: TraceEvent) {
+        if self.trace_on {
+            self.push_item(JItem::Trace(ev));
+        }
+    }
+
+    fn observe(&mut self, name: &'static str, value: f64) {
+        self.push_item(JItem::Observe(name, value));
+    }
+}
+
+/// Result of running one window on one shard.
+#[derive(Debug)]
+pub(crate) struct WindowReport {
+    pub out: WindowOut,
+    /// Per-window fault counters (zero-based; merged at the barrier).
+    pub fc: FaultCounters,
+    /// Earliest event still queued on this shard after the window.
+    pub queue_min_at: Option<u64>,
+    /// Earliest event in this shard's outbound buffers.
+    pub outbound_min_at: Option<u64>,
+    /// The shard stopped early because it exhausted the event budget.
+    pub hit_budget: bool,
+}
+
+/// Mutable references threaded through one event's execution.
+struct Exec<'a, 'b> {
+    env: &'a RunEnv<'b>,
+    out: &'a mut WindowOut,
+    /// Exclusive upper bound of the open window (µs); same-window spawns
+    /// targeting this shard go to the in-window heap. 0 in the fallback
+    /// executor (everything goes to the calendar queues).
+    window_end_us: u64,
+    fc: &'a mut FaultCounters,
+    /// Reorder stashes; only the fallback executor provides them
+    /// (Reorder rules are never window-safe).
+    holds: Option<&'a mut Vec<Option<HeldMsg>>>,
+    now: SimTime,
+}
+
+/// One shard: a slice of the device population plus its event queue.
+pub(crate) struct Shard {
+    pub idx: usize,
+    pub shard_count: usize,
+    /// Devices with `id % shard_count == idx`, indexed by `id / shard_count`.
+    pub devices: Vec<DeviceState>,
+    pub queue: CalendarQueue,
+    /// Working heap for events inside the currently open window.
+    window: BinaryHeap<Event>,
+}
+
+impl Shard {
+    pub fn new(idx: usize, shard_count: usize, width_us: u64) -> Self {
+        Shard {
+            idx,
+            shard_count,
+            devices: Vec::new(),
+            queue: CalendarQueue::new(width_us),
+            window: BinaryHeap::new(),
+        }
+    }
+
+    pub fn device_mut(&mut self, id: DeviceId) -> &mut DeviceState {
+        debug_assert_eq!(id.index() % self.shard_count, self.idx);
+        &mut self.devices[id.index() / self.shard_count]
+    }
+
+    pub fn device(&self, id: DeviceId) -> &DeviceState {
+        debug_assert_eq!(id.index() % self.shard_count, self.idx);
+        &self.devices[id.index() / self.shard_count]
+    }
+
+    /// Spawns an event from `origin` (the executing device), assigning
+    /// its intrinsic key and routing it to the in-window heap, this
+    /// shard's queue, or an outbound buffer.
+    fn spawn(&mut self, origin: DeviceId, at: SimTime, kind: EventKind, cx: &mut Exec<'_, '_>) {
+        let seq = {
+            let d = self.device_mut(origin);
+            let s = d.spawn_seq;
+            d.spawn_seq += 1;
+            s
+        };
+        let ev = Event {
+            at,
+            origin: origin.raw(),
+            seq,
+            kind,
+        };
+        if !ev.kind.is_churn() {
+            cx.out.deltas.real_pending += 1;
+        }
+        let dest = ev.kind.target().index() % self.shard_count;
+        if dest == self.idx {
+            if at.as_micros() < cx.window_end_us {
+                self.window.push(ev);
+            } else {
+                self.queue.push(ev);
+            }
+        } else {
+            cx.out.outbound[dest].push(ev);
+        }
+    }
+
+    /// Executes one event. The only mutable state touched is this shard's
+    /// (in fact: the target device's); everything else flows into `out`.
+    pub fn process_event(
+        &mut self,
+        ev: Event,
+        env: &RunEnv<'_>,
+        out: &mut WindowOut,
+        window_end_us: u64,
+        fc: &mut FaultCounters,
+        holds: Option<&mut Vec<Option<HeldMsg>>>,
+    ) {
+        out.begin_event(ev.key());
+        out.deltas.events += 1;
+        out.deltas.last_at = out.deltas.last_at.max(ev.at);
+        if !ev.kind.is_churn() {
+            out.deltas.real_pending -= 1;
+        }
+        let mut cx = Exec {
+            env,
+            out,
+            window_end_us,
+            fc,
+            holds,
+            now: ev.at,
+        };
+        self.dispatch(ev.kind, &mut cx);
+    }
+
+    fn dispatch(&mut self, kind: EventKind, cx: &mut Exec<'_, '_>) {
+        match kind {
+            EventKind::Start(device) => {
+                self.with_actor(device, cx, |actor, ctx| actor.on_start(ctx));
+            }
+            EventKind::Deliver {
+                to,
+                from,
+                payload,
+                sent_at,
+            } => self.handle_delivery(to, from, payload, sent_at, cx),
+            EventKind::Timer { device, token } => {
+                let state = self.device_mut(device);
+                if state.crashed || state.halted {
+                    return;
+                }
+                if state.cancelled.remove(&token) {
+                    return;
+                }
+                cx.out.trace(TraceEvent::TimerFired {
+                    device,
+                    token: token.0,
+                });
+                self.with_actor(device, cx, |actor, ctx| actor.on_timer(ctx, token));
+            }
+            EventKind::ChurnToggle(device) => self.handle_churn(device, cx),
+            EventKind::Crash(device, cause) => self.handle_crash(device, cause, cx),
+        }
+    }
+
+    fn handle_delivery(
+        &mut self,
+        to: DeviceId,
+        from: DeviceId,
+        payload: Payload,
+        sent_at: SimTime,
+        cx: &mut Exec<'_, '_>,
+    ) {
+        let now = cx.now;
+        let state = self.device_mut(to);
+        if state.crashed {
+            cx.out.deltas.to_crashed += 1;
+            return;
+        }
+        if !state.up {
+            // Store-and-forward: park until reconnection.
+            cx.out.deltas.deferred += 1;
+            cx.out.deltas.parked += 1;
+            state.inbox.push((from, payload, sent_at));
+            return;
+        }
+        if state.halted || state.actor.is_none() {
+            return;
+        }
+        // Fault hook (Deliver point): a CrashReceiver rule consumes the
+        // triggering message — the device dies at the instant of
+        // delivery, before its actor sees the payload.
+        if let Some(plan) = cx.env.plan {
+            let kind = if cx.env.need_kind {
+                cx.env.classifier.and_then(|c| c(payload.as_slice()))
+            } else {
+                None
+            };
+            if let Some((rule, action)) =
+                evaluate_plan(plan, cx.fc, MatchPoint::Deliver, kind, from, to, now)
+            {
+                cx.out.trace(TraceEvent::FaultInjected {
+                    rule,
+                    kind: action.kind(),
+                    from,
+                    to,
+                });
+                cx.out.deltas.to_crashed += 1;
+                self.handle_crash(to, CrashCause::Injected { rule }, cx);
+                return;
+            }
+        }
+        cx.out.deltas.delivered += 1;
+        cx.out
+            .deltas
+            .delay
+            .push_micros(now.since(sent_at).as_micros());
+        cx.out.trace(TraceEvent::Delivered { from, to });
+        self.with_actor(to, cx, |actor, ctx| actor.on_message(ctx, from, &payload));
+    }
+
+    fn handle_churn(&mut self, device: DeviceId, cx: &mut Exec<'_, '_>) {
+        let now = cx.now;
+        let state = self.device_mut(device);
+        if state.crashed {
+            return;
+        }
+        state.up = !state.up;
+        let now_up = state.up;
+        if !now_up {
+            cx.out.deltas.disconnections += 1;
+            cx.out.trace(TraceEvent::WentDown(device));
+        } else {
+            cx.out.trace(TraceEvent::CameUp(device));
+        }
+        // Schedule the next transition.
+        let state = self.device_mut(device);
+        let availability = state.availability.clone();
+        let mut churn_rng = state.churn_rng.clone();
+        if let Some(period) = availability.next_period(now_up, &mut churn_rng) {
+            self.device_mut(device).churn_rng = churn_rng;
+            self.spawn(device, now + period, EventKind::ChurnToggle(device), cx);
+        }
+
+        if now_up {
+            // Flush parked traffic. Inbox messages re-enter as immediate
+            // deliveries; outbox messages now traverse the network.
+            let state = self.device_mut(device);
+            let inbox = std::mem::take(&mut state.inbox);
+            let outbox = std::mem::take(&mut state.outbox);
+            cx.out.deltas.parked -= (inbox.len() + outbox.len()) as i64;
+            let ttl = cx.env.ttl;
+            for (from, payload, sent_at) in inbox {
+                if let Some(ttl) = ttl {
+                    if now.since(sent_at) > ttl {
+                        cx.out.deltas.dropped += 1;
+                        continue;
+                    }
+                }
+                self.spawn(
+                    device,
+                    now,
+                    EventKind::Deliver {
+                        to: device,
+                        from,
+                        payload,
+                        sent_at,
+                    },
+                    cx,
+                );
+            }
+            for (to, payload, sent_at) in outbox {
+                if let Some(ttl) = ttl {
+                    if now.since(sent_at) > ttl {
+                        cx.out.deltas.dropped += 1;
+                        continue;
+                    }
+                }
+                self.route(device, to, payload, sent_at, cx);
+            }
+            self.with_actor(device, cx, |actor, ctx| actor.on_reconnect(ctx));
+        }
+    }
+
+    fn handle_crash(&mut self, device: DeviceId, cause: CrashCause, cx: &mut Exec<'_, '_>) {
+        let state = self.device_mut(device);
+        if state.crashed {
+            return;
+        }
+        state.crashed = true;
+        state.up = false;
+        state.actor = None;
+        let cleared = (state.inbox.len() + state.outbox.len()) as i64;
+        state.inbox.clear();
+        state.outbox.clear();
+        cx.out.deltas.parked -= cleared;
+        cx.out.deltas.crashes += 1;
+        cx.out.trace(TraceEvent::Crashed { device, cause });
+    }
+
+    /// Runs a callback on a device's actor, then applies its commands.
+    fn with_actor<F>(&mut self, device: DeviceId, cx: &mut Exec<'_, '_>, f: F)
+    where
+        F: FnOnce(&mut Box<dyn Actor>, &mut Context<'_>),
+    {
+        let now = cx.now;
+        let state = self.device_mut(device);
+        if state.crashed || state.halted {
+            return;
+        }
+        let Some(mut actor) = state.actor.take() else {
+            return;
+        };
+        let mut ctx = Context::new(device, now, &mut state.rng, &mut state.next_timer);
+        f(&mut actor, &mut ctx);
+        let commands = std::mem::take(&mut ctx.commands);
+        drop(ctx);
+        self.device_mut(device).actor = Some(actor);
+        self.apply_commands(device, commands, cx);
+    }
+
+    fn apply_commands(&mut self, device: DeviceId, commands: Vec<Command>, cx: &mut Exec<'_, '_>) {
+        for cmd in commands {
+            match cmd {
+                Command::Send { to, payload } => self.submit_send(device, to, payload, cx),
+                Command::Broadcast { to, payload } => {
+                    // Every recipient shares the same buffer: fan-out is
+                    // a reference-count bump per target, not a copy.
+                    for target in to {
+                        self.submit_send(device, target, payload.share(), cx);
+                    }
+                }
+                Command::SetTimer { token, fire_at } => {
+                    self.spawn(device, fire_at, EventKind::Timer { device, token }, cx);
+                }
+                Command::CancelTimer { token } => {
+                    self.device_mut(device).cancelled.insert(token);
+                }
+                Command::Observe { name, value } => {
+                    cx.out.observe(name, value);
+                }
+                Command::Halt => {
+                    self.device_mut(device).halted = true;
+                }
+            }
+        }
+    }
+
+    fn submit_send(
+        &mut self,
+        from: DeviceId,
+        to: DeviceId,
+        payload: Payload,
+        cx: &mut Exec<'_, '_>,
+    ) {
+        cx.out.deltas.sent += 1;
+        cx.out.deltas.bytes_sent += payload.len() as u64;
+        let now = cx.now;
+        let sender = self.device_mut(from);
+        if !sender.up {
+            // Sender is offline: park in the outbox until reconnection.
+            cx.out.deltas.deferred += 1;
+            cx.out.deltas.parked += 1;
+            sender.outbox.push((to, payload, now));
+            return;
+        }
+        self.route(from, to, payload, now, cx);
+    }
+
+    /// Evaluates send-point fault rules, then applies the network model
+    /// and schedules delivery.
+    fn route(
+        &mut self,
+        from: DeviceId,
+        to: DeviceId,
+        payload: Payload,
+        sent_at: SimTime,
+        cx: &mut Exec<'_, '_>,
+    ) {
+        if to.index() >= cx.env.device_count {
+            cx.out.deltas.dropped += 1;
+            return;
+        }
+        let now = cx.now;
+        // Classification is only needed when a kind-restricted fault rule
+        // or a MsgKind trace consumer can use the result.
+        let kind = if cx.env.need_kind {
+            cx.env.classifier.and_then(|c| c(payload.as_slice()))
+        } else {
+            None
+        };
+        if let Some(k) = kind {
+            cx.out.trace(TraceEvent::MsgKind { from, to, kind: k });
+        }
+        let decision = match cx.env.plan {
+            Some(plan) => evaluate_plan(plan, cx.fc, MatchPoint::Send, kind, from, to, now),
+            None => None,
+        };
+        let Some((rule, action)) = decision else {
+            self.transmit(from, to, payload, sent_at, Duration::ZERO, None, cx);
+            return;
+        };
+        cx.out.trace(TraceEvent::FaultInjected {
+            rule,
+            kind: action.kind(),
+            from,
+            to,
+        });
+        match action {
+            FaultAction::Drop => {
+                cx.out.deltas.dropped += 1;
+            }
+            FaultAction::Delay(extra) => {
+                self.transmit(from, to, payload, sent_at, extra, None, cx);
+            }
+            FaultAction::Duplicate { extra_delay } => {
+                self.transmit(from, to, payload.share(), sent_at, Duration::ZERO, None, cx);
+                self.transmit(from, to, payload, sent_at, extra_delay, None, cx);
+            }
+            FaultAction::Reorder => {
+                // Reorder rules are never window-safe, so `holds` is
+                // always available here (fallback executor).
+                let held = cx.holds.as_mut().and_then(|h| h[rule as usize].take());
+                match held {
+                    None => {
+                        // Hold until the rule's next match. If none ever
+                        // arrives the message is effectively dropped
+                        // (documented; deterministic either way). The
+                        // resend's fate, latency, and sequence number are
+                        // drawn *now*, while this shard owns `from`: the
+                        // swap executes on whichever shard the rule's
+                        // next match lands on, which must not touch the
+                        // original sender's state.
+                        let (fate, latency, seq) = {
+                            let sender = self.device_mut(from);
+                            let fate = cx.env.network.fate(&mut sender.net_rng);
+                            if fate == Fate::Dropped {
+                                (fate, Duration::ZERO, 0)
+                            } else {
+                                let latency = cx.env.network.sample_latency(&mut sender.net_rng);
+                                let seq = sender.spawn_seq;
+                                sender.spawn_seq += 1;
+                                (fate, latency, seq)
+                            }
+                        };
+                        if let Some(h) = cx.holds.as_mut() {
+                            h[rule as usize] = Some(HeldMsg {
+                                from,
+                                to,
+                                payload,
+                                sent_at,
+                                fate,
+                                latency,
+                                seq,
+                            });
+                        }
+                    }
+                    Some(held) => {
+                        // Swap: the later message goes first, the held
+                        // one lands just after it (or normally, if the
+                        // network drops the later one).
+                        let first =
+                            self.transmit(from, to, payload, sent_at, Duration::ZERO, None, cx);
+                        let floor = first.map(|t| t + Duration::from_micros(1));
+                        self.transmit_held(held, floor, cx);
+                    }
+                }
+            }
+            FaultAction::CrashSender => {
+                // The send itself succeeds; the sender dies once its
+                // current actor callback finishes (the crash event pops
+                // at the same virtual time, after it).
+                self.transmit(from, to, payload, sent_at, Duration::ZERO, None, cx);
+                self.spawn(
+                    from,
+                    now,
+                    EventKind::Crash(from, CrashCause::Injected { rule }),
+                    cx,
+                );
+            }
+            FaultAction::CrashReceiver => {
+                unreachable!("CrashReceiver is a Deliver-point action")
+            }
+        }
+    }
+
+    /// Applies the network model and schedules delivery. `extra_delay`
+    /// is added on top of the drawn latency; `floor` (if given) is the
+    /// earliest allowed delivery time. Returns the scheduled delivery
+    /// time unless the network dropped the message.
+    #[allow(clippy::too_many_arguments)]
+    fn transmit(
+        &mut self,
+        from: DeviceId,
+        to: DeviceId,
+        mut payload: Payload,
+        sent_at: SimTime,
+        extra_delay: Duration,
+        floor: Option<SimTime>,
+        cx: &mut Exec<'_, '_>,
+    ) -> Option<SimTime> {
+        let now = cx.now;
+        let fate = {
+            let sender = self.device_mut(from);
+            cx.env.network.fate(&mut sender.net_rng)
+        };
+        match fate {
+            Fate::Dropped => {
+                cx.out.deltas.dropped += 1;
+                cx.out.trace(TraceEvent::Dropped { from, to });
+                return None;
+            }
+            Fate::Corrupted(offset) => {
+                // The rare mutating path: detach this recipient's copy
+                // from the shared buffer before flipping a bit, so other
+                // recipients of the same broadcast stay intact.
+                if !payload.is_empty() {
+                    let idx = offset % payload.len();
+                    let mut bytes = std::mem::take(&mut payload).into_vec();
+                    bytes[idx] ^= 0x01;
+                    payload = Payload::new(bytes);
+                }
+                cx.out.deltas.corrupted += 1;
+            }
+            Fate::Delivered => {}
+        }
+        let bytes = payload.len();
+        cx.out.trace(TraceEvent::Sent { from, to, bytes });
+        let latency = {
+            let sender = self.device_mut(from);
+            cx.env.network.sample_latency(&mut sender.net_rng)
+        };
+        let mut at = now + latency + extra_delay;
+        if let Some(floor) = floor {
+            at = at.max(floor);
+        }
+        self.spawn(
+            from,
+            at,
+            EventKind::Deliver {
+                to,
+                from,
+                payload,
+                sent_at,
+            },
+            cx,
+        );
+        Some(at)
+    }
+
+    /// Releases a [`HeldMsg`] stashed by a `Reorder` rule. Unlike
+    /// [`Shard::transmit`], this draws nothing: fate, latency, and the
+    /// event sequence number were fixed at stash time, so it never
+    /// touches the original sender's device state — which may live on a
+    /// different shard than the event triggering the release.
+    fn transmit_held(
+        &mut self,
+        held: HeldMsg,
+        floor: Option<SimTime>,
+        cx: &mut Exec<'_, '_>,
+    ) -> Option<SimTime> {
+        let HeldMsg {
+            from,
+            to,
+            mut payload,
+            sent_at,
+            fate,
+            latency,
+            seq,
+        } = held;
+        match fate {
+            Fate::Dropped => {
+                cx.out.deltas.dropped += 1;
+                cx.out.trace(TraceEvent::Dropped { from, to });
+                return None;
+            }
+            Fate::Corrupted(offset) => {
+                if !payload.is_empty() {
+                    let idx = offset % payload.len();
+                    let mut bytes = std::mem::take(&mut payload).into_vec();
+                    bytes[idx] ^= 0x01;
+                    payload = Payload::new(bytes);
+                }
+                cx.out.deltas.corrupted += 1;
+            }
+            Fate::Delivered => {}
+        }
+        let bytes = payload.len();
+        cx.out.trace(TraceEvent::Sent { from, to, bytes });
+        let mut at = cx.now + latency;
+        if let Some(floor) = floor {
+            at = at.max(floor);
+        }
+        let ev = Event {
+            at,
+            origin: from.raw(),
+            seq,
+            kind: EventKind::Deliver {
+                to,
+                from,
+                payload,
+                sent_at,
+            },
+        };
+        cx.out.deltas.real_pending += 1;
+        let dest = to.index() % self.shard_count;
+        if dest == self.idx {
+            if at.as_micros() < cx.window_end_us {
+                self.window.push(ev);
+            } else {
+                self.queue.push(ev);
+            }
+        } else {
+            cx.out.outbound[dest].push(ev);
+        }
+        Some(at)
+    }
+
+    /// Runs one conservative window `[cell_idx * width, cell_end_us)` on
+    /// this shard: pulls the matching calendar cell into the working
+    /// heap, processes events with `at <= clip_us` (the deadline clamp)
+    /// up to `budget` events, then returns unprocessed events to the
+    /// queue. All side effects land in the returned report.
+    pub fn run_window(
+        &mut self,
+        env: &RunEnv<'_>,
+        cell_idx: u64,
+        cell_end_us: u64,
+        clip_us: u64,
+        budget: u64,
+    ) -> WindowReport {
+        let mut out = WindowOut::new(env.shard_count, env.trace_enabled);
+        let mut fc = match env.plan {
+            Some(plan) => FaultCounters::for_plan(plan),
+            None => FaultCounters::default(),
+        };
+        if let Some(mut cell) = self.queue.take_cell(cell_idx) {
+            for ev in cell.drain(..) {
+                self.window.push(ev);
+            }
+            self.queue.recycle(cell);
+        }
+        let mut processed = 0u64;
+        let mut hit_budget = false;
+        while let Some(top_at) = self.window.peek().map(|e| e.at) {
+            if top_at.as_micros() > clip_us {
+                break;
+            }
+            if processed >= budget {
+                hit_budget = true;
+                break;
+            }
+            let Some(ev) = self.window.pop() else { break };
+            processed += 1;
+            // real_pending/events bookkeeping happens inside process_event.
+            self.process_event(ev, env, &mut out, cell_end_us, &mut fc, None);
+        }
+        // Return the remainder (deadline clip or exhausted budget) to the
+        // calendar queue for the next window.
+        while let Some(ev) = self.window.pop() {
+            self.queue.push(ev);
+        }
+        let queue_min_at = self.queue.peek_min_at().map(SimTime::as_micros);
+        let outbound_min_at = out
+            .outbound
+            .iter()
+            .flat_map(|v| v.iter().map(|e| e.at.as_micros()))
+            .min();
+        WindowReport {
+            out,
+            fc,
+            queue_min_at,
+            outbound_min_at,
+            hit_budget,
+        }
+    }
+}

@@ -132,6 +132,25 @@ impl<'a> Reader<'a> {
         Ok(len as usize)
     }
 
+    /// Reads a sequence length and pre-validates it against the input:
+    /// every element of a well-formed sequence occupies at least
+    /// `min_item_bytes`, so a declared length that cannot possibly fit in
+    /// the remaining bytes is rejected here — once, up front — rather
+    /// than failing midway through per-item decoding. Because the result
+    /// is bounded by the input size, callers can `Vec::with_capacity` it
+    /// exactly instead of growing (and re-allocating) per item.
+    pub fn seq_len_for(&mut self, min_item_bytes: usize) -> Result<usize> {
+        let len = self.seq_len()?;
+        let need = len.saturating_mul(min_item_bytes.max(1));
+        if need > self.remaining() {
+            return Err(Error::Decode(format!(
+                "sequence of {len} items needs >= {need} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+
     /// Fails unless the input is fully consumed.
     pub fn expect_end(&self) -> Result<()> {
         if self.remaining() == 0 {
@@ -312,9 +331,12 @@ impl<T: Encode> Encode for Vec<T> {
 
 impl<T: Decode> Decode for Vec<T> {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
-        let len = r.seq_len()?;
-        // Guard capacity: cap the pre-allocation, grow organically past it.
-        let mut out = Vec::with_capacity(len.min(4096));
+        // Fast path: the length is pre-validated against the remaining
+        // bytes (each element costs at least one), so the buffer can be
+        // reserved exactly once — no per-item growth, and a hostile
+        // length prefix fails before any allocation proportional to it.
+        let len = r.seq_len_for(1)?;
+        let mut out = Vec::with_capacity(len);
         for _ in 0..len {
             out.push(T::decode(r)?);
         }
@@ -433,6 +455,21 @@ mod tests {
     use super::*;
     use crate::{from_bytes, to_bytes};
     use proptest::prelude::*;
+
+    #[test]
+    fn hostile_sequence_length_is_rejected_before_decoding() {
+        // A length prefix claiming 1M items over a 3-byte payload must
+        // fail at the length check, not midway through item decoding.
+        let mut w = Writer::new();
+        w.put_varint(1_000_000);
+        w.put_raw(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let err = from_bytes::<Vec<u64>>(&bytes).unwrap_err();
+        assert!(err.to_string().contains("needs >="), "{err}");
+        // Exact pre-reservation still decodes well-formed sequences.
+        let v: Vec<u64> = (0..500).collect();
+        assert_eq!(from_bytes::<Vec<u64>>(&to_bytes(&v)).unwrap(), v);
+    }
 
     #[test]
     fn primitive_roundtrips() {

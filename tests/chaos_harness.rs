@@ -17,6 +17,7 @@ fn smoke_campaign_is_clean() {
         seeds: 24,
         scenarios: ChaosScenario::ALL.to_vec(),
         shrink: true,
+        shards: 1,
     })
     .unwrap();
     assert_eq!(report.runs, 48);
@@ -37,6 +38,7 @@ fn campaign_is_deterministic() {
         seeds: 8,
         scenarios: ChaosScenario::ALL.to_vec(),
         shrink: true,
+        shards: 1,
     };
     let a = run_campaign(&config).unwrap();
     let b = run_campaign(&config).unwrap();

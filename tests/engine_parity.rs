@@ -1,0 +1,112 @@
+//! Tier-1 parity suite for the sharded parallel simulation engine.
+//!
+//! The engine's headline guarantee is that the shard count is purely a
+//! performance knob: for every seed, fault plan, and shard count, a run
+//! produces bit-identical trace digests, execution metrics, and oracle
+//! verdicts. These tests pin that guarantee end to end — through the
+//! full platform stack (planner, executor roles, ledger, tracing), not
+//! just the raw simulator — and replay the entire shipped chaos corpus
+//! under the parallel engine. See `docs/PERF.md` for the lookahead
+//! derivation and the determinism argument.
+
+use edgelet_chaos::{load_dir, plan_for_seed, ChaosScenario, FaultPlan};
+use std::path::Path;
+
+/// Everything a run exposes that could possibly differ between engines:
+/// the trace digest, the oracle signature, and the complete execution
+/// report (message/byte/crash counts, completion, validity, liability).
+fn fingerprint(
+    scenario: ChaosScenario,
+    seed: u64,
+    plan: &FaultPlan,
+    shards: usize,
+) -> (u64, Vec<String>, String) {
+    let run = scenario
+        .open_with_shards(seed, plan.clone(), shards)
+        .run()
+        .unwrap();
+    let oracles = edgelet_chaos::signature(&edgelet_chaos::check_run(&run));
+    let digest = run.digest();
+    let report = format!("{:?}", run.result.report);
+    (digest, oracles, report)
+}
+
+fn scenario_for(seed: u64) -> ChaosScenario {
+    if seed.is_multiple_of(2) {
+        ChaosScenario::Grouping
+    } else {
+        ChaosScenario::KMeans
+    }
+}
+
+/// The core sweep: 32 seeds, each run at shards 1, 2, 4, and 8, over
+/// clean (fault-free, fully traced) worlds alternating between the two
+/// canonical scenarios.
+#[test]
+fn seed_sweep_is_bit_identical_across_shard_counts() {
+    for seed in 0..32u64 {
+        let scenario = scenario_for(seed);
+        let baseline = fingerprint(scenario, seed, &FaultPlan::new(), 1);
+        for shards in [2usize, 4, 8] {
+            let parallel = fingerprint(scenario, seed, &FaultPlan::new(), shards);
+            assert_eq!(
+                baseline,
+                parallel,
+                "{} seed {seed}: shards={shards} diverged from sequential",
+                scenario.name()
+            );
+        }
+    }
+}
+
+/// Parity must survive fault injection: the catalog plans include
+/// position-dependent rules (skip counts, firing limits, reorders) that
+/// force the global sequential fallback, and window-safe rules that run
+/// under the parallel engine — both paths must agree with shards=1.
+#[test]
+fn fault_plans_are_bit_identical_across_shard_counts() {
+    for seed in 0..8u64 {
+        for scenario in ChaosScenario::ALL {
+            let named = plan_for_seed(scenario, seed).unwrap();
+            let baseline = fingerprint(scenario, seed, &named.plan, 1);
+            for shards in [2usize, 4] {
+                let parallel = fingerprint(scenario, seed, &named.plan, shards);
+                assert_eq!(
+                    baseline,
+                    parallel,
+                    "{} seed {seed} plan {}: shards={shards} diverged",
+                    scenario.name(),
+                    named.name
+                );
+            }
+        }
+    }
+}
+
+/// Every shipped repro replays to the same digest and the same oracle
+/// verdict under the parallel engine as under the sequential one.
+#[test]
+fn chaos_corpus_replays_identically_under_parallel_engine() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/chaos_corpus");
+    let entries = load_dir(&dir).unwrap();
+    assert!(!entries.is_empty(), "corpus must not be empty");
+    for (name, entry) in &entries {
+        let sequential = entry.replay_with_shards(1).unwrap();
+        let parallel = entry.replay_with_shards(4).unwrap();
+        assert_eq!(
+            sequential.trace_digest, parallel.trace_digest,
+            "{name}: digest diverged between engines"
+        );
+        assert_eq!(
+            sequential.oracles, parallel.oracles,
+            "{name}: oracle verdict diverged between engines"
+        );
+        assert!(
+            parallel.matches,
+            "{name}: parallel replay no longer matches the pinned verdict \
+             (expected [{}], got [{}])",
+            entry.expect.join(","),
+            parallel.oracles.join(",")
+        );
+    }
+}
