@@ -242,6 +242,13 @@ pub mod codes {
     /// engine's conservative lookahead window is empty and every run
     /// falls back to the global sequential executor.
     pub const SIM_ZERO_LOOKAHEAD: &str = "W110";
+    /// A live-runtime configuration that cannot make progress: zero
+    /// worker threads, or a wall-clock deadline below the transport
+    /// floor (the watchdog aborts before the first window barrier).
+    pub const LIVE_CONFIG_INFEASIBLE: &str = "E120";
+    /// Live transport mailbox capacity so large it never exerts
+    /// backpressure, leaving queue growth unbounded in practice.
+    pub const LIVE_UNBOUNDED_MAILBOX: &str = "W121";
 
     /// Every code with its default severity and one-line summary, in code
     /// order. Drives the documentation table and its test.
@@ -367,6 +374,16 @@ pub mod codes {
             SIM_ZERO_LOOKAHEAD,
             Severity::Warning,
             "zero minimum latency disables the sharded engine",
+        ),
+        (
+            LIVE_CONFIG_INFEASIBLE,
+            Severity::Error,
+            "live runtime cannot make progress",
+        ),
+        (
+            LIVE_UNBOUNDED_MAILBOX,
+            Severity::Warning,
+            "live mailbox capacity never exerts backpressure",
         ),
     ];
 }

@@ -15,6 +15,9 @@
 //!   (out-of-world targets, empty windows, post-deadline activation,
 //!   first-firing-wins shadowing), so a campaign never sweeps a plan
 //!   that silently tests nothing.
+//! * [`liveconfig`] — preflights `edgelet serve`/`submit` runtime knobs
+//!   (worker count, wall-clock deadline vs. the transport floor,
+//!   mailbox capacity) before the live runtime spins up threads.
 //! * [`lint`] — a token-level source scanner that keeps nondeterminism
 //!   (default-hasher collections, wall clocks, ambient RNG) and panic
 //!   paths out of the deterministic crates. It runs as a tier-1 test and
@@ -30,6 +33,7 @@
 pub mod diagnostic;
 pub mod faultplan;
 pub mod lint;
+pub mod liveconfig;
 pub mod semantic;
 pub mod simconfig;
 
@@ -38,5 +42,6 @@ pub(crate) mod testutil;
 
 pub use diagnostic::{has_errors, render_human, render_json, Diagnostic, Severity};
 pub use faultplan::check_fault_plan;
+pub use liveconfig::check_live_config;
 pub use semantic::{analyze, analyze_plan, preflight, AnalyzeOptions};
 pub use simconfig::check_sim_config;

@@ -1,0 +1,124 @@
+//! Live-runtime configuration checks.
+//!
+//! The live runtime (`edgelet-live`) hosts a query's actors on worker
+//! threads behind a bounded, lock-striped transport, with an optional
+//! wall-clock deadline watchdog. Two configurations deserve a
+//! diagnostic before any thread is spawned:
+//!
+//! * `E120` — a runtime that cannot make progress: zero workers (no
+//!   thread ever drains a lane), or a wall-clock deadline below the
+//!   transport floor (the watchdog fires before even one window
+//!   barrier can complete, so every run exits `Aborted`);
+//! * `W121` — an effectively unbounded mailbox capacity. Backpressure
+//!   is the live fabric's only defense against a producer outrunning a
+//!   stalled worker; a capacity past [`UNBOUNDED_MAILBOX`] envelopes
+//!   never engages it, so memory grows with whatever the fastest
+//!   sender can enqueue.
+
+use crate::diagnostic::{codes, Diagnostic};
+
+/// The transport floor in wall-clock milliseconds: the minimum real
+/// time one submit→barrier→drain round needs. A wall deadline below
+/// this aborts every run before the first window closes.
+pub const LIVE_TRANSPORT_FLOOR_MS: u64 = 1;
+
+/// Mailbox capacities at or above this many envelopes per lane never
+/// exert backpressure in practice (a full run's traffic fits below it),
+/// making the bound decorative.
+pub const UNBOUNDED_MAILBOX: usize = 1 << 20;
+
+/// Checks a live-runtime configuration: `workers` threads, an optional
+/// wall-clock deadline in milliseconds, and the per-lane mailbox
+/// capacity in envelopes.
+pub fn check_live_config(
+    workers: usize,
+    wall_deadline_ms: Option<u64>,
+    mailbox_capacity: usize,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if workers == 0 {
+        out.push(
+            Diagnostic::error(
+                codes::LIVE_CONFIG_INFEASIBLE,
+                "live.workers",
+                "0 worker threads: no thread ever drains a transport lane, \
+                 so the runtime cannot make progress",
+            )
+            .with_help("run with at least 1 worker (--workers)"),
+        );
+    }
+    if let Some(ms) = wall_deadline_ms {
+        if ms < LIVE_TRANSPORT_FLOOR_MS {
+            out.push(
+                Diagnostic::error(
+                    codes::LIVE_CONFIG_INFEASIBLE,
+                    "live.wall_deadline",
+                    format!(
+                        "wall-clock deadline of {ms} ms is below the transport \
+                         floor ({LIVE_TRANSPORT_FLOOR_MS} ms): the watchdog fires \
+                         before the first window barrier, so every run aborts"
+                    ),
+                )
+                .with_help(
+                    "raise --wall-deadline-ms past the transport floor, or drop \
+                     it to bound the query by virtual deadline only",
+                ),
+            );
+        }
+    }
+    if mailbox_capacity >= UNBOUNDED_MAILBOX {
+        out.push(
+            Diagnostic::warning(
+                codes::LIVE_UNBOUNDED_MAILBOX,
+                "live.mailbox_capacity",
+                format!(
+                    "mailbox capacity {mailbox_capacity} is effectively unbounded \
+                     (>= {UNBOUNDED_MAILBOX}): lanes will never exert backpressure, \
+                     so a stalled worker's queue grows without limit"
+                ),
+            )
+            .with_help("pick a capacity the host can absorb; 4096 is the default"),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Severity;
+
+    #[test]
+    fn zero_workers_is_an_error() {
+        let found = check_live_config(0, None, 4096);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].code, codes::LIVE_CONFIG_INFEASIBLE);
+        assert_eq!(found[0].severity, Severity::Error);
+        assert!(found[0].message.contains("0 worker"), "{found:?}");
+    }
+
+    #[test]
+    fn sub_floor_wall_deadline_is_an_error() {
+        let found = check_live_config(4, Some(0), 4096);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].code, codes::LIVE_CONFIG_INFEASIBLE);
+        assert!(found[0].message.contains("transport floor"), "{found:?}");
+        assert!(check_live_config(4, Some(LIVE_TRANSPORT_FLOOR_MS), 4096).is_empty());
+        assert!(check_live_config(4, None, 4096).is_empty());
+    }
+
+    #[test]
+    fn unbounded_mailbox_warns() {
+        let found = check_live_config(4, None, UNBOUNDED_MAILBOX);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].code, codes::LIVE_UNBOUNDED_MAILBOX);
+        assert_eq!(found[0].severity, Severity::Warning);
+        assert!(check_live_config(4, None, UNBOUNDED_MAILBOX - 1).is_empty());
+    }
+
+    #[test]
+    fn problems_compose() {
+        let found = check_live_config(0, Some(0), usize::MAX);
+        assert_eq!(found.len(), 3);
+    }
+}

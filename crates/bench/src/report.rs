@@ -488,6 +488,70 @@ pub fn e2e_query() -> SuiteResult {
     }
 }
 
+/// Live runtime: three concurrent grouping queries through one
+/// [`QueryService`](edgelet_live::QueryService) over a shared 1k-device
+/// pool (the `live/throughput` suites, at worker counts 1 and 4).
+/// Throughput is end-to-end queries per second including admission,
+/// epoch registration, worker-thread spin-up, and graceful retirement.
+pub fn live_throughput(workers: usize, name: &'static str) -> SuiteResult {
+    use edgelet_live::{QueryService, ServiceConfig};
+
+    const QUERIES: usize = 3;
+    let mut seed = 100u64;
+    let ns = median_ns(|| {
+        seed += 1;
+        let mut p = Platform::build(PlatformConfig {
+            seed,
+            contributors: 1_000,
+            processors: 80,
+            network: NetworkProfile::Lossy {
+                drop_probability: 0.05,
+            },
+            ..PlatformConfig::default()
+        });
+        let spec = crate::census_spec(&mut p, 200);
+        let privacy = PrivacyConfig::none().with_max_tuples(50);
+        let resilience = ResilienceConfig {
+            strategy: Strategy::Overcollection,
+            failure_probability: 0.1,
+            ..ResilienceConfig::default()
+        };
+        let service = QueryService::new(
+            p,
+            ServiceConfig {
+                workers,
+                max_concurrent: QUERIES,
+                mailbox_capacity: 4096,
+            },
+        );
+        let all_completed = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..QUERIES)
+                .map(|_| {
+                    let (service, spec, privacy, resilience) =
+                        (&service, &spec, &privacy, &resilience);
+                    scope.spawn(move || {
+                        service
+                            .submit(spec, privacy, resilience, None)
+                            .expect("live query")
+                            .run
+                            .report
+                            .completed
+                    })
+                })
+                .collect();
+            handles.into_iter().all(|h| h.join().expect("submitter"))
+        });
+        service.shutdown();
+        all_completed
+    });
+    SuiteResult {
+        name,
+        median_ns: ns,
+        shards: workers,
+        throughput: ("queries_per_sec", QUERIES as f64 / (ns * 1e-9)),
+    }
+}
+
 /// Shard count the `@shardsN` suite variants run under (picked to match
 /// the CI parity matrix and typical 4-core runners).
 pub const PARALLEL_SHARDS: usize = 4;
@@ -510,15 +574,34 @@ pub fn run_all() -> Vec<SuiteResult> {
             "sim/scale/grouping_query_100k_contributors@shards4",
         ),
         e2e_query(),
+        live_throughput(
+            1,
+            "live/throughput/grouping_3_queries_1k_contributors@workers1",
+        ),
+        live_throughput(
+            PARALLEL_SHARDS,
+            "live/throughput/grouping_3_queries_1k_contributors@workers4",
+        ),
     ]
 }
 
 /// The short git revision of the working tree, or `"unknown"` outside a
 /// checkout (reports stay comparable either way; the key is advisory).
 pub fn git_revision() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
+    git_revision_in(None)
+}
+
+/// [`git_revision`] resolved from an explicit directory — `None` means
+/// the process working directory. Every failure mode (no `git` binary,
+/// not a checkout, empty output) degrades to `"unknown"` rather than an
+/// error, so reports can be produced from exported tarballs.
+fn git_revision_in(dir: Option<&std::path::Path>) -> String {
+    let mut cmd = std::process::Command::new("git");
+    cmd.args(["rev-parse", "--short", "HEAD"]);
+    if let Some(dir) = dir {
+        cmd.current_dir(dir);
+    }
+    cmd.output()
         .ok()
         .filter(|o| o.status.success())
         .and_then(|o| String::from_utf8(o.stdout).ok())
@@ -629,6 +712,27 @@ mod tests {
             Some(678.0)
         );
         assert_eq!(median_from_json(&json, "missing/suite"), None);
+    }
+
+    #[test]
+    fn git_revision_degrades_to_unknown_outside_a_checkout() {
+        // The filesystem root is never a git checkout, so resolution
+        // must fall back to the sentinel instead of erroring.
+        assert_eq!(git_revision_in(Some(std::path::Path::new("/"))), "unknown");
+        // Inside this checkout it resolves to a short hex revision.
+        let here = git_revision();
+        assert!(
+            here == "unknown" || here.chars().all(|c| c.is_ascii_hexdigit()),
+            "{here}"
+        );
+    }
+
+    #[test]
+    fn live_throughput_suite_completes_queries() {
+        let r = live_throughput(2, "live/throughput/test@workers2");
+        assert_eq!(r.shards, 2);
+        assert_eq!(r.throughput.0, "queries_per_sec");
+        assert!(r.throughput.1 > 0.0);
     }
 
     #[test]

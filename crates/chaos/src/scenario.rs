@@ -160,25 +160,52 @@ impl Session {
             .plan_query(&self.spec, &self.privacy, &self.resilience)
     }
 
-    /// Plans and executes, packaging everything the oracles need.
-    pub fn run(mut self) -> Result<ChaosRun> {
-        let suspect_timeout_secs = self.platform.config().exec.suspect_timeout.as_secs_f64();
-        let deadline_secs = self.spec.deadline_secs;
-        let result = self
-            .platform
-            .run_query(&self.spec, &self.privacy, &self.resilience)?;
-        Ok(ChaosRun {
+    /// The platform hosting this session's world — exposed so other
+    /// engines (the live runtime) can execute the very same session.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The query this session runs.
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// The privacy configuration the plan is built under.
+    pub fn privacy(&self) -> &PrivacyConfig {
+        &self.privacy
+    }
+
+    /// The resiliency configuration the plan is built under.
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
+    }
+
+    /// Packages an externally produced execution of *this* session —
+    /// e.g. a live-runtime run of the same spec on the same platform —
+    /// so the trace oracles ([`crate::oracle::check_run`]) can audit it
+    /// exactly like a simulator run.
+    pub fn package(&self, result: RunResult) -> ChaosRun {
+        ChaosRun {
             scenario: self.scenario,
-            resilience: self.resilience,
-            suspect_timeout_secs,
-            deadline_secs,
+            resilience: self.resilience.clone(),
+            suspect_timeout_secs: self.platform.config().exec.suspect_timeout.as_secs_f64(),
+            deadline_secs: self.spec.deadline_secs,
             snapshot_cardinality: SNAPSHOT_C,
             grand_total_set: match self.scenario {
                 ChaosScenario::Grouping => Some(1),
                 ChaosScenario::KMeans => None,
             },
             result,
-        })
+        }
+    }
+
+    /// Plans and executes, packaging everything the oracles need.
+    pub fn run(mut self) -> Result<ChaosRun> {
+        let result = self
+            .platform
+            .run_query(&self.spec, &self.privacy, &self.resilience)?;
+        Ok(self.package(result))
     }
 }
 

@@ -30,8 +30,45 @@ pub enum Command {
     Chaos(ChaosArgs),
     /// `edgelet bench …`
     Bench(BenchArgs),
+    /// `edgelet serve …` — live runtime, concurrent self-driving demo.
+    Serve(ServeArgs),
+    /// `edgelet submit …` — live runtime, one query with a verdict.
+    Submit(ServeArgs),
     /// `edgelet help` (or `--help`)
     Help,
+}
+
+/// Options for the live runtime (`serve` and `submit`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// World and query shape (same flags as `run`).
+    pub query: QueryArgs,
+    /// Worker threads hosting the device population per query.
+    pub workers: usize,
+    /// Queries to drive through the service (`serve` only).
+    pub queries: usize,
+    /// Admission-control concurrency limit.
+    pub max_concurrent: usize,
+    /// Per-lane transport mailbox capacity (envelopes).
+    pub mailbox_cap: usize,
+    /// Wall-clock deadline per query, milliseconds (`None` = unbounded).
+    pub wall_deadline_ms: Option<u64>,
+    /// Emit a JSON verdict instead of human text (`submit` only).
+    pub json: bool,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        Self {
+            query: QueryArgs::default(),
+            workers: 4,
+            queries: 3,
+            max_concurrent: 4,
+            mailbox_cap: 4096,
+            wall_deadline_ms: None,
+            json: false,
+        }
+    }
 }
 
 /// Options for the `bench` regression gate.
@@ -150,6 +187,8 @@ USAGE:
     edgelet dataset --rows N [--seed S]   print synthetic health data (CSV)
     edgelet chaos   [OPTIONS] deterministic fault-injection campaign
     edgelet bench   [OPTIONS] measure suites; gate on a committed baseline
+    edgelet serve   [OPTIONS] live runtime: N concurrent queries, one device pool
+    edgelet submit  [OPTIONS] live runtime: one query; exit nonzero on a miss
     edgelet experiments       list the figure-regeneration binaries
     edgelet help              this text
 
@@ -185,9 +224,20 @@ OPTIONS (bench):
     --fail-over PCT     regression threshold, percent    [default: 10]
     --out PATH          also write the fresh report here
 
+OPTIONS (serve/submit — plus all plan/run world options):
+    --workers N         worker threads per query         [default: 4]
+    --queries N         concurrent queries to drive (serve only)
+                                                         [default: 3]
+    --max-concurrent N  admission-control limit          [default: 4]
+    --mailbox-cap N     transport lane capacity          [default: 4096]
+    --wall-deadline-ms N  per-query wall-clock budget    [default: none]
+    --format F          verdict output, human|json (submit only)
+                                                         [default: human]
+
 Exit status is nonzero when the campaign found failing triples, a
-replayed corpus entry's oracle verdict changed, or a bench suite
-regressed past --fail-over. See docs/FAULTS.md and docs/PERF.md.
+replayed corpus entry's oracle verdict changed, a bench suite
+regressed past --fail-over, or a live query missed its deadline or was
+refused admission. See docs/FAULTS.md, docs/PERF.md, docs/RUNTIME.md.
 ";
 
 /// Parses argv (without the program name).
@@ -242,6 +292,39 @@ pub fn parse(argv: &[String]) -> Result<Command> {
                 b.out = Some(single(values, "out")?.clone());
             }
             Ok(Command::Bench(b))
+        }
+        "serve" | "submit" => {
+            let flags = collect_flags(rest)?;
+            let mut s = ServeArgs {
+                query: query_args(&flags)?,
+                workers: flag_parse(&flags, "workers", 4usize)?,
+                queries: flag_parse(&flags, "queries", 3usize)?,
+                max_concurrent: flag_parse(&flags, "max-concurrent", 4usize)?,
+                mailbox_cap: flag_parse(&flags, "mailbox-cap", 4096usize)?,
+                ..ServeArgs::default()
+            };
+            if let Some(values) = flags.get("wall-deadline-ms") {
+                s.wall_deadline_ms = Some(parse_value(
+                    single(values, "wall-deadline-ms")?,
+                    "wall-deadline-ms",
+                )?);
+            }
+            if let Some(values) = flags.get("format") {
+                s.json = match single(values, "format")?.as_str() {
+                    "json" => true,
+                    "human" => false,
+                    other => {
+                        return Err(Error::InvalidConfig(format!(
+                            "--format expects json|human, got `{other}`"
+                        )))
+                    }
+                };
+            }
+            if sub == "serve" {
+                Ok(Command::Serve(s))
+            } else {
+                Ok(Command::Submit(s))
+            }
         }
         "plan" | "run" | "analyze" => {
             let flags = collect_flags(rest)?;
@@ -501,6 +584,33 @@ mod tests {
         assert_eq!(c.replay.as_deref(), Some("tests/chaos_corpus"));
         assert!(parse(&argv("chaos --scenario warp")).is_err());
         assert!(parse(&argv("chaos --seeds abc")).is_err());
+    }
+
+    #[test]
+    fn serve_and_submit_args() {
+        let cmd = parse(&argv("serve")).unwrap();
+        assert_eq!(cmd, Command::Serve(ServeArgs::default()));
+        let cmd = parse(&argv(
+            "serve --queries 5 --workers 2 --max-concurrent 3 --mailbox-cap 128 \
+             --contributors 600 --network reliable",
+        ))
+        .unwrap();
+        let Command::Serve(s) = cmd else { panic!() };
+        assert_eq!(s.queries, 5);
+        assert_eq!(s.workers, 2);
+        assert_eq!(s.max_concurrent, 3);
+        assert_eq!(s.mailbox_cap, 128);
+        assert_eq!(s.query.contributors, 600);
+        let cmd = parse(&argv("submit --wall-deadline-ms 5000 --format json")).unwrap();
+        let Command::Submit(s) = cmd else { panic!() };
+        assert_eq!(s.wall_deadline_ms, Some(5000));
+        assert!(s.json);
+        assert!(parse(&argv("submit --format yaml")).is_err());
+        // workers=0 parses; the E120 preflight rejects it at execution.
+        let Command::Serve(s) = parse(&argv("serve --workers 0")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.workers, 0);
     }
 
     #[test]

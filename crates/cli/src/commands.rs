@@ -1,6 +1,6 @@
 //! Command execution for the `edgelet` tool.
 
-use crate::args::{BenchArgs, ChaosArgs, Command, QueryArgs, USAGE};
+use crate::args::{BenchArgs, ChaosArgs, Command, QueryArgs, ServeArgs, USAGE};
 use edgelet_core::prelude::*;
 use edgelet_core::query::{estimate, QueryPlan};
 use edgelet_core::store::{csv, synth};
@@ -26,8 +26,18 @@ pub fn execute_with_status(cmd: Command) -> Result<(String, i32)> {
     if let Command::Bench(args) = cmd {
         return bench_command(&args);
     }
+    if let Command::Serve(args) = cmd {
+        return serve_command(&args);
+    }
+    if let Command::Submit(args) = cmd {
+        return submit_command(&args);
+    }
     let text = match cmd {
-        Command::Analyze { .. } | Command::Chaos(_) | Command::Bench(_) => {
+        Command::Analyze { .. }
+        | Command::Chaos(_)
+        | Command::Bench(_)
+        | Command::Serve(_)
+        | Command::Submit(_) => {
             unreachable!("handled above")
         }
         Command::Help => USAGE.to_string(),
@@ -61,7 +71,7 @@ pub fn execute_with_status(cmd: Command) -> Result<(String, i32)> {
         Command::Run(q) => {
             let (mut platform, spec, privacy, resilience) = build_world(&q)?;
             let run = platform.run_query(&spec, &privacy, &resilience)?;
-            render_run(&run.plan, &run)
+            render_run(&run.plan, &run.report)
         }
     };
     Ok((text, 0))
@@ -248,6 +258,185 @@ fn bench_command(args: &BenchArgs) -> Result<(String, i32)> {
     Ok((out, status))
 }
 
+/// `edgelet serve`: self-driving live-runtime demo. Builds one world,
+/// starts an admission-controlled [`edgelet_live::QueryService`] over
+/// it, drives `--queries` concurrent submissions from as many threads,
+/// then drains gracefully. Exits nonzero if any query misses.
+fn serve_command(args: &ServeArgs) -> Result<(String, i32)> {
+    use edgelet_live::SubmitError;
+
+    let mut preamble = String::new();
+    if let Some(verdict) = live_preflight(args, false, &mut preamble) {
+        return Ok(verdict);
+    }
+    let (service, spec, privacy, resilience) = live_service(args)?;
+    let wall = args.wall_deadline_ms.map(std::time::Duration::from_millis);
+    let mut results: Vec<(
+        usize,
+        std::result::Result<edgelet_live::SubmitOutcome, SubmitError>,
+    )> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.queries)
+            .map(|i| {
+                let (service, spec, privacy, resilience) = (&service, &spec, &privacy, &resilience);
+                scope.spawn(move || loop {
+                    match service.submit(spec, privacy, resilience, wall) {
+                        // The gate is full: this demo re-queues
+                        // instead of failing, so every query runs.
+                        Err(SubmitError::AtCapacity { .. }) => std::thread::yield_now(),
+                        other => return (i, other),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    results.sort_by_key(|(i, _)| *i);
+
+    let mut out = preamble;
+    let mut failed = 0usize;
+    for (i, result) in &results {
+        match result {
+            Ok(o) => {
+                let ok = o.succeeded();
+                failed += usize::from(!ok);
+                let _ = writeln!(
+                    out,
+                    "query {i}: epoch={} {} completed={} valid={} t={}s",
+                    o.epoch,
+                    if ok { "ok" } else { "MISS" },
+                    o.run.report.completed,
+                    o.run.report.valid,
+                    o.run
+                        .report
+                        .completion_secs
+                        .map(|t| format!("{t:.2}"))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                let _ = writeln!(out, "query {i}: FAILED {e}");
+            }
+        }
+    }
+    let rejected = service.transport().rejected_unknown_epoch();
+    service.shutdown();
+    let _ = writeln!(
+        out,
+        "serve: {} queries over {} workers (max {} concurrent), {failed} failed, \
+         {rejected} cross-epoch envelopes rejected; shut down cleanly",
+        args.queries, args.workers, args.max_concurrent
+    );
+    Ok((out, i32::from(failed > 0)))
+}
+
+/// `edgelet submit`: one query through the live runtime, with a
+/// human or JSON verdict. Exits nonzero when the query misses its
+/// deadline, is cut off by `--wall-deadline-ms`, or is refused
+/// admission.
+fn submit_command(args: &ServeArgs) -> Result<(String, i32)> {
+    use edgelet_live::SubmitError;
+
+    let mut preamble = String::new();
+    if let Some(verdict) = live_preflight(args, args.json, &mut preamble) {
+        return Ok(verdict);
+    }
+    let (service, spec, privacy, resilience) = live_service(args)?;
+    let wall = args.wall_deadline_ms.map(std::time::Duration::from_millis);
+    let outcome = service.submit(&spec, &privacy, &resilience, wall);
+    let (out, status) = match &outcome {
+        Ok(o) => {
+            let r = &o.run.report;
+            let text = if args.json {
+                format!(
+                    "{{\"verdict\":\"{}\",\"epoch\":{},\"completed\":{},\"valid\":{},\
+                     \"wall_aborted\":{},\"completion_secs\":{},\"messages_sent\":{},\
+                     \"bytes_sent\":{},\"workers\":{}}}\n",
+                    if o.succeeded() { "ok" } else { "miss" },
+                    o.epoch,
+                    r.completed,
+                    r.valid,
+                    o.wall_aborted,
+                    r.completion_secs
+                        .map(|t| format!("{t}"))
+                        .unwrap_or_else(|| "null".into()),
+                    r.messages_sent,
+                    r.bytes_sent,
+                    args.workers,
+                )
+            } else {
+                let mut text = render_run(&o.run.plan, &o.run.report);
+                let _ = writeln!(
+                    text,
+                    "live: epoch {} over {} workers, verdict {}",
+                    o.epoch,
+                    args.workers,
+                    if o.succeeded() { "ok" } else { "miss" },
+                );
+                text
+            };
+            (text, i32::from(!o.succeeded()))
+        }
+        Err(SubmitError::Failed(e)) => {
+            return Err(Error::InvalidConfig(format!("live query failed: {e}")))
+        }
+        Err(e) => {
+            let text = if args.json {
+                format!("{{\"verdict\":\"rejected\",\"reason\":\"{e}\"}}\n")
+            } else {
+                format!("rejected: {e}\n")
+            };
+            (text, 1)
+        }
+    };
+    service.shutdown();
+    Ok((format!("{preamble}{out}"), status))
+}
+
+/// `E120`/`W121` preflight shared by `serve` and `submit`: lints the
+/// live-runtime knobs before any thread spawns. Error-severity
+/// diagnostics terminate with a nonzero status; warnings render into
+/// `preamble` and the run proceeds.
+fn live_preflight(args: &ServeArgs, json: bool, preamble: &mut String) -> Option<(String, i32)> {
+    let lint =
+        edgelet_analyze::check_live_config(args.workers, args.wall_deadline_ms, args.mailbox_cap);
+    if lint.is_empty() {
+        return None;
+    }
+    let text = if json {
+        edgelet_analyze::render_json(&lint)
+    } else {
+        edgelet_analyze::render_human(&lint)
+    };
+    if edgelet_analyze::has_errors(&lint) {
+        return Some((text, 1));
+    }
+    preamble.push_str(&text);
+    None
+}
+
+/// Builds the live service `serve`/`submit` share: the same world
+/// construction as `run`, handed to a [`edgelet_live::QueryService`].
+fn live_service(
+    args: &ServeArgs,
+) -> Result<(
+    edgelet_live::QueryService,
+    QuerySpec,
+    PrivacyConfig,
+    ResilienceConfig,
+)> {
+    let (platform, spec, privacy, resilience) = build_world(&args.query)?;
+    let service = edgelet_live::QueryService::new(
+        platform,
+        edgelet_live::ServiceConfig {
+            workers: args.workers,
+            max_concurrent: args.max_concurrent,
+            mailbox_capacity: args.mailbox_cap,
+        },
+    );
+    Ok((service, spec, privacy, resilience))
+}
+
 fn build_world(q: &QueryArgs) -> Result<(Platform, QuerySpec, PrivacyConfig, ResilienceConfig)> {
     let network = parse_network(&q.network)?;
     let mut platform = Platform::build(PlatformConfig {
@@ -337,8 +526,7 @@ fn parse_network(raw: &str) -> Result<NetworkProfile> {
     }
 }
 
-fn render_run(plan: &QueryPlan, run: &edgelet_core::platform::RunResult) -> String {
-    let r = &run.report;
+fn render_run(plan: &QueryPlan, r: &edgelet_core::exec::ExecutionReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -555,6 +743,72 @@ mod tests {
         assert_eq!(status, 1, "{json}");
         assert!(json.contains("\"code\":\"E000\""), "{json}");
         assert!(json.trim_start().starts_with('['), "{json}");
+    }
+
+    #[test]
+    fn submit_runs_live_and_matches_run() {
+        let world = "--contributors 1500 --processors 120 --cardinality 200 --cap 50 \
+                     --network reliable";
+        let (text, status) = run_cli_status(&format!("submit {world} --workers 2"));
+        assert_eq!(status, 0, "{text}");
+        assert!(text.contains("completed=true"), "{text}");
+        assert!(text.contains("verdict ok"), "{text}");
+        // The live verdict describes the exact run the simulator produces.
+        let sim = run_cli_text(&format!("run {world}"));
+        let sim_result = sim.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert!(
+            text.contains(&sim_result),
+            "live output must embed the simulator-identical report\n\
+             live:\n{text}\nsim:\n{sim}"
+        );
+    }
+
+    #[test]
+    fn submit_emits_json_verdict() {
+        let (text, status) = run_cli_status(
+            "submit --contributors 1500 --processors 120 --cardinality 200 --cap 50 \
+             --network reliable --workers 2 --format json",
+        );
+        assert_eq!(status, 0, "{text}");
+        assert!(text.trim_start().starts_with('{'), "{text}");
+        assert!(text.contains("\"verdict\":\"ok\""), "{text}");
+        assert!(text.contains("\"completed\":true"), "{text}");
+    }
+
+    #[test]
+    fn serve_drives_concurrent_queries() {
+        let (text, status) = run_cli_status(
+            "serve --contributors 1500 --processors 120 --cardinality 200 --cap 50 \
+             --network reliable --workers 2 --queries 3 --max-concurrent 2",
+        );
+        assert_eq!(status, 0, "{text}");
+        assert!(text.contains("query 0: epoch="), "{text}");
+        assert!(text.contains("3 queries"), "{text}");
+        assert!(text.contains("0 failed"), "{text}");
+        assert!(text.contains("0 cross-epoch envelopes rejected"), "{text}");
+        assert!(text.contains("shut down cleanly"), "{text}");
+    }
+
+    #[test]
+    fn live_preflight_reports_e120_and_w121() {
+        // workers=0 and a sub-floor wall deadline are E120: no run starts.
+        let (text, status) = run_cli_status("submit --workers 0");
+        assert_eq!(status, 1, "{text}");
+        assert!(text.contains("error[E120]"), "{text}");
+        let (text, status) = run_cli_status("serve --wall-deadline-ms 0");
+        assert_eq!(status, 1, "{text}");
+        assert!(text.contains("error[E120]"), "{text}");
+        let (json, status) = run_cli_status("submit --workers 0 --format json");
+        assert_eq!(status, 1, "{json}");
+        assert!(json.contains("\"code\":\"E120\""), "{json}");
+        // An unbounded mailbox is W121: warn, then run anyway.
+        let (text, status) = run_cli_status(
+            "serve --contributors 1500 --processors 120 --cardinality 200 --cap 50 \
+             --network reliable --workers 2 --queries 1 --mailbox-cap 1048576",
+        );
+        assert_eq!(status, 0, "{text}");
+        assert!(text.contains("warning[W121]"), "{text}");
+        assert!(text.contains("0 failed"), "{text}");
     }
 
     #[test]

@@ -123,6 +123,38 @@ impl Platform {
         self.stores.get(&device)
     }
 
+    /// All contributor data stores, keyed by device.
+    pub fn stores(&self) -> &BTreeMap<DeviceId, DataStore> {
+        &self.stores
+    }
+
+    /// Hardware class of every enrolled device (querier included).
+    pub fn device_classes(&self) -> &BTreeMap<DeviceId, DeviceClass> {
+        &self.device_classes
+    }
+
+    /// The engine seed [`Platform::run_query`] seeds the simulated world
+    /// with for `spec`. Exposed so alternative hosts (the live runtime)
+    /// can derive the identical per-device randomness and stay
+    /// bit-equivalent with the simulator.
+    pub fn sim_seed(&self, spec: &QuerySpec) -> u64 {
+        DetRng::new(self.config.seed)
+            .fork_indexed("sim", spec.id.raw())
+            .next_u64()
+    }
+
+    /// The per-query root sealing secret — the same derivation
+    /// [`Platform::run_query`] uses, so an alternative host produces
+    /// byte-identical sealed frames.
+    pub fn root_secret(&self, spec: &QuerySpec) -> [u8; 32] {
+        let mut root_secret = [0u8; 32];
+        let mut secret_rng = self.rng.fork_indexed("root-secret", spec.id.raw());
+        for chunk in root_secret.chunks_mut(8) {
+            chunk.copy_from_slice(&secret_rng.next_u64().to_le_bytes());
+        }
+        root_secret
+    }
+
     /// Convenience: builds a Grouping-Sets query spec with a fresh id and
     /// a deadline derived from the exec profile.
     pub fn grouping_query(
@@ -220,11 +252,7 @@ impl Platform {
         let plan = self.plan_query(spec, privacy, resilience)?;
         let exposure = analyze_plan(&plan);
         let mut sim = self.build_simulation(spec);
-        let mut root_secret = [0u8; 32];
-        let mut secret_rng = self.rng.fork_indexed("root-secret", spec.id.raw());
-        for chunk in root_secret.chunks_mut(8) {
-            chunk.copy_from_slice(&secret_rng.next_u64().to_le_bytes());
-        }
+        let root_secret = self.root_secret(spec);
         let report = execute_plan(
             &plan,
             &self.schema,
@@ -248,9 +276,7 @@ impl Platform {
     /// Builds the simulated world for one query: every enrolled device
     /// plus the querier, with the configured churn and crash draws.
     fn build_simulation(&self, spec: &QuerySpec) -> Simulation {
-        let sim_seed = DetRng::new(self.config.seed)
-            .fork_indexed("sim", spec.id.raw())
-            .next_u64();
+        let sim_seed = self.sim_seed(spec);
         let mut sim = Simulation::new(
             SimConfig {
                 network: self.config.network.to_model(),

@@ -8,12 +8,12 @@ use crate::roles::combiner::{CombinerActor, CombinerMode, CombinerWiring};
 use crate::roles::computer::{ComputerWiring, GroupingComputerActor};
 use crate::roles::contributor::ContributorActor;
 use crate::roles::kmeans::{KMeansComputerActor, KMeansWiring};
-use crate::roles::querier::{self, QuerierActor};
+use crate::roles::querier::{self, QuerierActor, SharedRecord};
 use crate::roles::{RankGate, Sealer};
 use edgelet_ml::distributed::CentroidSet;
 use edgelet_ml::grouping::{GroupingQuery, ResultRow, ResultTable};
 use edgelet_query::{OperatorRole, QueryPlan, Strategy};
-use edgelet_sim::{Duration, SimTime, Simulation};
+use edgelet_sim::{Actor, Duration, SimMetrics, SimTime, Simulation};
 use edgelet_store::value::Value;
 use edgelet_store::{DataStore, Schema};
 use edgelet_tee::{DeviceClass, Directory};
@@ -69,6 +69,30 @@ pub struct ExecutionReport {
     pub disconnections: u64,
     /// Crowd-liability ledger.
     pub ledger: Ledger,
+    /// The raw combiner result payload the Querier received, byte for
+    /// byte. The cross-engine parity harness compares this between the
+    /// simulator and the live runtime.
+    pub result_payload: Option<Vec<u8>>,
+}
+
+/// The fully wired actor set for one plan, ready to install on any host
+/// engine (the simulator or the live runtime).
+///
+/// Produced by [`assemble_plan`]; the install order is part of the
+/// deterministic contract — hosts must install the actors in the order
+/// given, because installation consumes per-device event sequence
+/// numbers.
+pub struct PlanAssembly {
+    /// `(device, actor)` pairs in canonical install order.
+    pub installs: Vec<(DeviceId, Box<dyn Actor>)>,
+    /// The shared crowd-liability ledger all actors charge into.
+    pub ledger: ledger::SharedLedger,
+    /// The Querier's shared outcome record.
+    pub record: SharedRecord,
+    /// Per-vertical-group sliced queries (empty for K-Means).
+    pub sliced_queries: Vec<GroupingQuery>,
+    /// The validated exec config, with `query_deadline` set from the plan.
+    pub config: ExecConfig,
 }
 
 /// Installs all actors for `plan` on `sim` and runs until the query
@@ -84,6 +108,45 @@ pub fn execute_plan(
     config: &ExecConfig,
     root_secret: [u8; 32],
 ) -> Result<ExecutionReport> {
+    let PlanAssembly {
+        installs,
+        ledger,
+        record,
+        sliced_queries,
+        ..
+    } = assemble_plan(
+        plan,
+        schema,
+        stores,
+        device_classes,
+        config,
+        root_secret,
+        sim.now().as_secs_f64(),
+    )?;
+    for (dev, actor) in installs {
+        sim.install_actor(dev, actor);
+    }
+
+    // ---- run to the deadline ----
+    let deadline = sim.now() + Duration::from_secs_f64(plan.spec.deadline_secs);
+    sim.run_until(deadline);
+    finish_report(plan, &sliced_queries, &record, &ledger, sim.metrics())
+}
+
+/// Performs the static preflight and wires every role actor for `plan`,
+/// without touching any engine: the returned [`PlanAssembly`] can be
+/// installed on a [`Simulation`] (as [`execute_plan`] does) or handed to
+/// the live runtime. `now_secs` is the host's current virtual time,
+/// seeding the replica [`RankGate`]s.
+pub fn assemble_plan(
+    plan: &QueryPlan,
+    schema: &Schema,
+    stores: &BTreeMap<DeviceId, DataStore>,
+    device_classes: &BTreeMap<DeviceId, DeviceClass>,
+    config: &ExecConfig,
+    root_secret: [u8; 32],
+    now_secs: f64,
+) -> Result<PlanAssembly> {
     // Deny-by-default static preflight: structure, liability, and
     // deadline feasibility. Subsumes the older `check_plan` invariants.
     edgelet_analyze::preflight(plan)?;
@@ -113,6 +176,7 @@ pub fn execute_plan(
             .profile()
     };
     let sealer_for = |d: DeviceId| Sealer::new(config.encrypt_channels, &root_secret, query, d);
+    let mut installs: Vec<(DeviceId, Box<dyn Actor>)> = Vec::new();
 
     // Guard against double-installation: each device hosts one actor.
     let mut occupied: BTreeSet<DeviceId> = BTreeSet::new();
@@ -134,7 +198,7 @@ pub fn execute_plan(
             .get(&dev)
             .ok_or_else(|| Error::InvalidConfig(format!("no data store for contributor {dev}")))?;
         claim(dev, "contributor")?;
-        sim.install_actor(
+        installs.push((
             dev,
             Box::new(ContributorActor::new(
                 query,
@@ -143,7 +207,7 @@ pub fn execute_plan(
                 ledger.clone(),
                 plan.partition_quota,
             )),
-        );
+        ));
     }
 
     // ---- index operators ----
@@ -227,14 +291,10 @@ pub fn execute_plan(
                     .collect();
                 for (rank, &dev) in replica_chain.iter().enumerate() {
                     claim(dev, "snapshot-builder")?;
-                    let gate = RankGate::new(
-                        rank as u32,
-                        replica_chain[..rank].to_vec(),
-                        sim.now().as_secs_f64(),
-                    );
+                    let gate = RankGate::new(rank as u32, replica_chain[..rank].to_vec(), now_secs);
                     let mut wiring = wiring.clone();
                     wiring.profile = class_of(dev);
-                    sim.install_actor(
+                    installs.push((
                         dev,
                         Box::new(BuilderActor::new(
                             wiring,
@@ -244,7 +304,7 @@ pub fn execute_plan(
                             schema.clone(),
                             gate,
                         )),
-                    );
+                    ));
                 }
             }
             OperatorRole::Computer {
@@ -265,14 +325,11 @@ pub fn execute_plan(
                         .collect();
                     for (rank, &dev) in replica_chain.iter().enumerate() {
                         claim(dev, "computer")?;
-                        let gate = RankGate::new(
-                            rank as u32,
-                            replica_chain[..rank].to_vec(),
-                            sim.now().as_secs_f64(),
-                        );
+                        let gate =
+                            RankGate::new(rank as u32, replica_chain[..rank].to_vec(), now_secs);
                         let mut wiring = wiring.clone();
                         wiring.profile = class_of(dev);
-                        sim.install_actor(
+                        installs.push((
                             dev,
                             Box::new(GroupingComputerActor::new(
                                 wiring,
@@ -282,7 +339,7 @@ pub fn execute_plan(
                                 schema.clone(),
                                 gate,
                             )),
-                        );
+                        ));
                     }
                 }
                 edgelet_query::QueryKind::KMeans {
@@ -307,7 +364,7 @@ pub fn execute_plan(
                         peers,
                         combiners: combiner_devices.clone(),
                     };
-                    sim.install_actor(
+                    installs.push((
                         op.device,
                         Box::new(KMeansComputerActor::new(
                             wiring,
@@ -316,7 +373,7 @@ pub fn execute_plan(
                             ledger.clone(),
                             schema.clone(),
                         )),
-                    );
+                    ));
                 }
             },
             OperatorRole::Combiner { replica } => {
@@ -338,17 +395,14 @@ pub fn execute_plan(
                     .collect();
                 for (rank, &dev) in replica_chain.iter().enumerate() {
                     claim(dev, "combiner")?;
-                    let mut gate = RankGate::new(
-                        rank as u32,
-                        replica_chain[..rank].to_vec(),
-                        sim.now().as_secs_f64(),
-                    );
+                    let mut gate =
+                        RankGate::new(rank as u32, replica_chain[..rank].to_vec(), now_secs);
                     // Overcollection's Active Backup replicas run in
                     // parallel by design.
                     if plan.strategy != Strategy::Backup {
                         gate.force_active();
                     }
-                    sim.install_actor(
+                    installs.push((
                         dev,
                         Box::new(CombinerActor::new(
                             wiring.clone(),
@@ -357,33 +411,45 @@ pub fn execute_plan(
                             ledger.clone(),
                             gate,
                         )),
-                    );
+                    ));
                 }
             }
             OperatorRole::Querier => {
                 claim(op.device, "querier")?;
-                sim.install_actor(
+                installs.push((
                     op.device,
                     Box::new(QuerierActor::new(
                         query,
                         sealer_for(op.device),
                         record.clone(),
                     )),
-                );
+                ));
             }
         }
     }
 
-    // ---- run to the deadline ----
-    let deadline = sim.now() + Duration::from_secs_f64(plan.spec.deadline_secs);
-    sim.run_until(deadline);
+    Ok(PlanAssembly {
+        installs,
+        ledger,
+        record,
+        sliced_queries,
+        config,
+    })
+}
 
-    // ---- assemble the report ----
+/// Assembles the [`ExecutionReport`] for a finished run from the shared
+/// state an assembly's actors wrote into, plus the host's metrics.
+pub fn finish_report(
+    plan: &QueryPlan,
+    sliced_queries: &[GroupingQuery],
+    record: &SharedRecord,
+    ledger: &ledger::SharedLedger,
+    metrics: &SimMetrics,
+) -> Result<ExecutionReport> {
     let rec = record.lock().unwrap_or_else(|e| e.into_inner()).clone();
-    let metrics = sim.metrics();
     let outcome = match &rec.payload {
         None => None,
-        Some(bytes) => Some(decode_outcome(plan, &sliced_queries, bytes)?),
+        Some(bytes) => Some(decode_outcome(plan, sliced_queries, bytes)?),
     };
     let valid = rec.payload.is_some() && rec.partitions_complete >= plan.n;
     let final_ledger = ledger.lock().unwrap_or_else(|e| e.into_inner()).clone();
@@ -403,6 +469,7 @@ pub fn execute_plan(
         crashes: metrics.crashes,
         disconnections: metrics.disconnections,
         ledger: final_ledger,
+        result_payload: rec.payload,
     })
 }
 

@@ -27,5 +27,7 @@ pub mod messages;
 pub mod roles;
 
 pub use config::ExecConfig;
-pub use driver::{execute_plan, ExecutionReport, QueryOutcome};
+pub use driver::{
+    assemble_plan, execute_plan, finish_report, ExecutionReport, PlanAssembly, QueryOutcome,
+};
 pub use ledger::Ledger;

@@ -1,0 +1,987 @@
+//! The live engine: a conservative-window parallel event executor that
+//! hosts [`edgelet_sim::Actor`]s on std threads, with every message
+//! crossing a [`Transport`] as real wire bytes.
+//!
+//! # Bit-equivalence to the simulator
+//!
+//! The engine re-implements the simulator's windowed executor
+//! (`edgelet_sim::engine::run_windowed_*`) over live worker threads and
+//! an external message fabric, preserving the invariants that make the
+//! simulator deterministic:
+//!
+//! * **Intrinsic event keys.** Every event carries `(at, origin, seq)`
+//!   where `seq` comes from the *spawning* device's private counter.
+//!   Workers process events in key order inside each window, and ordered
+//!   side effects (trace records, metric observations) are journaled and
+//!   replayed at the barrier in the canonical `(at, origin, seq, intra)`
+//!   order — exactly the simulator's merge.
+//! * **Per-sender RNG streams.** Network fate and latency draw from the
+//!   sender's own RNG fork, so draws are independent of thread
+//!   interleaving.
+//! * **Conservative lookahead.** Window width equals the network's
+//!   minimum latency `L`. A message sent at `now ∈ [kL, (k+1)L)` is
+//!   delivered at `now + latency ≥ (k+1)L` — never inside the window
+//!   that sent it. Routing **all** deliveries through the transport and
+//!   draining them at the next window start therefore cannot reorder
+//!   processing relative to the simulator, which short-circuits
+//!   same-shard deliveries. Only timers can fire inside their spawning
+//!   window, and timers never leave their worker-local heap.
+//! * **Barrier-mediated backpressure.** A full transport lane parks the
+//!   envelope in the window report; the coordinator re-submits parked
+//!   envelopes at the barrier (spilling to worker mailboxes if the lane
+//!   is still full), *before* choosing the next window from the global
+//!   minimum pending time. Every envelope is thus visible to its
+//!   destination before the window that must process it opens, so
+//!   backpressure changes pacing, never outcomes.
+//!
+//! The restrictions relative to the simulator: always-up devices (no
+//! churn), non-zero lookahead, and no fault-injection plans. Everything
+//! the query protocols use — timers, broadcasts, crashes, tracing,
+//! observations — behaves identically.
+
+use edgelet_sim::network::Fate;
+use edgelet_sim::{
+    Actor, Availability, Command, Context, CrashCause, DeviceConfig, NetworkModel, SimMetrics,
+    SimTime, TimerToken, Trace, TraceEvent,
+};
+use edgelet_util::ids::DeviceId;
+use edgelet_util::rng::DetRng;
+use edgelet_util::{Payload, Result};
+use edgelet_wire::{Envelope, Transport, TransportError};
+use std::collections::{BTreeSet, BinaryHeap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Maps payload bytes to a protocol message kind for `MsgKind` trace
+/// records (the live mirror of `edgelet_sim::Classifier`).
+pub type PayloadClassifier = fn(&[u8]) -> Option<u16>;
+
+/// Global live-engine parameters (the live mirror of
+/// [`edgelet_sim::SimConfig`]).
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// The link model applied to every message.
+    pub network: NetworkModel,
+    /// Hard cap on processed events (runaway-protocol backstop).
+    pub max_events: u64,
+    /// Ring-buffer capacity of the event trace (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Worker threads hosting the device population (0 is treated as 1).
+    pub workers: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            network: NetworkModel::default(),
+            max_events: 50_000_000,
+            trace_capacity: 0,
+            workers: 1,
+        }
+    }
+}
+
+/// Why a [`LiveEngine::run_until`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// No runnable work remains (the simulator's `run_until == false`).
+    Quiescent,
+    /// The virtual deadline passed with events still pending (the
+    /// simulator's `run_until == true`).
+    Deadline,
+    /// The event budget (`max_events`) was exhausted.
+    Budget,
+    /// The external abort flag was raised (wall-clock deadline or
+    /// service shutdown); virtual state stops at the last barrier.
+    Aborted,
+}
+
+/// One device hosted by the live runtime. Mirrors the simulator's
+/// per-device state minus churn (live devices are always up).
+struct LiveDevice {
+    crashed: bool,
+    halted: bool,
+    actor: Option<Box<dyn Actor>>,
+    /// Actor-visible randomness (forked per device).
+    rng: DetRng,
+    /// Network fate/latency draws for messages this device sends.
+    net_rng: DetRng,
+    next_timer: u64,
+    /// Private spawn counter: the `seq` of every event this device spawns.
+    spawn_seq: u64,
+    cancelled: BTreeSet<TimerToken>,
+}
+
+/// Event kinds the live runtime processes (the simulator's set minus
+/// churn toggles).
+enum LiveKind {
+    Start(DeviceId),
+    Deliver {
+        to: DeviceId,
+        from: DeviceId,
+        payload: Payload,
+        sent_at: SimTime,
+    },
+    Timer {
+        device: DeviceId,
+        token: TimerToken,
+    },
+    Crash(DeviceId, CrashCause),
+}
+
+impl LiveKind {
+    fn target(&self) -> DeviceId {
+        match *self {
+            LiveKind::Start(d) => d,
+            LiveKind::Deliver { to, .. } => to,
+            LiveKind::Timer { device, .. } => device,
+            LiveKind::Crash(d, _) => d,
+        }
+    }
+}
+
+/// One scheduled event with its intrinsic key.
+struct LiveEvent {
+    at: SimTime,
+    origin: u64,
+    seq: u64,
+    kind: LiveKind,
+}
+
+impl LiveEvent {
+    fn key(&self) -> (SimTime, u64, u64) {
+        (self.at, self.origin, self.seq)
+    }
+}
+
+impl PartialEq for LiveEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for LiveEvent {}
+impl PartialOrd for LiveEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LiveEvent {
+    /// Reversed: `BinaryHeap` is a max-heap, we need the minimal key.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+/// A journal item: a side effect whose global ordering matters.
+enum JItem {
+    Trace(TraceEvent),
+    Observe(&'static str, f64),
+}
+
+/// One journal entry tagged with the producing event's key plus an
+/// intra-event counter; sorting by `(at, origin, seq, intra)` rebuilds
+/// one canonical order from any per-worker interleaving.
+struct JEntry {
+    at: SimTime,
+    origin: u64,
+    seq: u64,
+    intra: u32,
+    item: JItem,
+}
+
+/// Commutative metric deltas accumulated by one worker over one window.
+#[derive(Default)]
+struct Deltas {
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    corrupted: u64,
+    to_crashed: u64,
+    bytes_sent: u64,
+    delay: edgelet_sim::DelayStats,
+    crashes: u64,
+    events: u64,
+    /// Net change in pending events (+spawned, -processed).
+    real_pending: i64,
+    /// Latest event time processed.
+    last_at: SimTime,
+}
+
+/// Buffered side effects of one worker's window.
+struct RoundOut {
+    journal: Vec<JEntry>,
+    deltas: Deltas,
+    /// Envelopes refused with backpressure, for barrier re-submission.
+    parked: Vec<Envelope>,
+    trace_on: bool,
+    cur: (SimTime, u64, u64),
+    intra: u32,
+}
+
+impl RoundOut {
+    fn new(trace_on: bool) -> Self {
+        RoundOut {
+            journal: Vec::new(),
+            deltas: Deltas::default(),
+            parked: Vec::new(),
+            trace_on,
+            cur: (SimTime::ZERO, 0, 0),
+            intra: 0,
+        }
+    }
+
+    fn begin_event(&mut self, key: (SimTime, u64, u64)) {
+        self.cur = key;
+        self.intra = 0;
+    }
+
+    fn push_item(&mut self, item: JItem) {
+        self.journal.push(JEntry {
+            at: self.cur.0,
+            origin: self.cur.1,
+            seq: self.cur.2,
+            intra: self.intra,
+            item,
+        });
+        self.intra += 1;
+    }
+
+    fn trace(&mut self, ev: TraceEvent) {
+        if self.trace_on {
+            self.push_item(JItem::Trace(ev));
+        }
+    }
+
+    fn observe(&mut self, name: &'static str, value: f64) {
+        self.push_item(JItem::Observe(name, value));
+    }
+}
+
+/// Result of one worker's window.
+struct RoundReport {
+    out: RoundOut,
+    /// Earliest event still in this worker's heap after the window.
+    heap_min: Option<u64>,
+    hit_budget: bool,
+}
+
+/// Immutable per-run context shared by all workers.
+struct LiveEnv<'a> {
+    network: &'a NetworkModel,
+    classifier: Option<PayloadClassifier>,
+    need_kind: bool,
+    trace_enabled: bool,
+    device_count: usize,
+    epoch: u64,
+    transport: &'a dyn Transport,
+}
+
+/// Shared coordination block; one generation = one window.
+#[derive(Default)]
+struct Ctl {
+    generation: AtomicU64,
+    done: AtomicU64,
+    stop: AtomicBool,
+    cell_end: AtomicU64,
+    clip: AtomicU64,
+    budget: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One worker: a slice of the device population (ids with
+/// `index % worker_count == idx`, stored at `index / worker_count`)
+/// plus its event heap.
+struct LiveWorker {
+    idx: usize,
+    worker_count: usize,
+    devices: Vec<LiveDevice>,
+    heap: BinaryHeap<LiveEvent>,
+}
+
+impl LiveWorker {
+    fn device_mut(&mut self, id: DeviceId) -> &mut LiveDevice {
+        debug_assert_eq!(id.index() % self.worker_count, self.idx);
+        &mut self.devices[id.index() / self.worker_count]
+    }
+
+    /// Runs one window: ingest mailbox spills and transport deliveries,
+    /// then execute every event with `at < cell_end && at <= clip`.
+    fn run_round(
+        &mut self,
+        env: &LiveEnv<'_>,
+        mailbox: &Mutex<Vec<Envelope>>,
+        cell_end_us: u64,
+        clip_us: u64,
+        budget: u64,
+    ) -> RoundReport {
+        for e in lock(mailbox).drain(..) {
+            self.ingest(e);
+        }
+        for e in env.transport.drain(env.epoch, self.idx) {
+            self.ingest(e);
+        }
+        let mut out = RoundOut::new(env.trace_enabled);
+        let mut processed = 0u64;
+        let mut hit_budget = false;
+        while let Some(top) = self.heap.peek() {
+            let at_us = top.at.as_micros();
+            if at_us >= cell_end_us || at_us > clip_us {
+                break;
+            }
+            if processed >= budget {
+                hit_budget = true;
+                break;
+            }
+            let Some(ev) = self.heap.pop() else { break };
+            processed += 1;
+            self.process_event(ev, env, &mut out);
+        }
+        let heap_min = self.heap.peek().map(|e| e.at.as_micros());
+        RoundReport {
+            out,
+            heap_min,
+            hit_budget,
+        }
+    }
+
+    fn ingest(&mut self, e: Envelope) {
+        debug_assert_eq!(e.to.index() % self.worker_count, self.idx);
+        self.heap.push(LiveEvent {
+            at: SimTime::from_micros(e.deliver_at_us),
+            origin: e.from.raw(),
+            seq: e.seq,
+            kind: LiveKind::Deliver {
+                to: e.to,
+                from: e.from,
+                payload: e.payload,
+                sent_at: SimTime::from_micros(e.sent_at_us),
+            },
+        });
+    }
+
+    /// Executes one event — the live mirror of the simulator shard's
+    /// `process_event`/`dispatch`.
+    fn process_event(&mut self, ev: LiveEvent, env: &LiveEnv<'_>, out: &mut RoundOut) {
+        out.begin_event(ev.key());
+        out.deltas.events += 1;
+        out.deltas.last_at = out.deltas.last_at.max(ev.at);
+        out.deltas.real_pending -= 1;
+        let now = ev.at;
+        match ev.kind {
+            LiveKind::Start(device) => {
+                self.with_actor(device, now, env, out, |actor, ctx| actor.on_start(ctx));
+            }
+            LiveKind::Deliver {
+                to,
+                from,
+                payload,
+                sent_at,
+            } => {
+                let state = self.device_mut(to);
+                if state.crashed {
+                    out.deltas.to_crashed += 1;
+                    return;
+                }
+                if state.halted || state.actor.is_none() {
+                    return;
+                }
+                out.deltas.delivered += 1;
+                out.deltas.delay.push_micros(now.since(sent_at).as_micros());
+                out.trace(TraceEvent::Delivered { from, to });
+                self.with_actor(to, now, env, out, |actor, ctx| {
+                    actor.on_message(ctx, from, &payload)
+                });
+            }
+            LiveKind::Timer { device, token } => {
+                let state = self.device_mut(device);
+                if state.crashed || state.halted {
+                    return;
+                }
+                if state.cancelled.remove(&token) {
+                    return;
+                }
+                out.trace(TraceEvent::TimerFired {
+                    device,
+                    token: token.0,
+                });
+                self.with_actor(device, now, env, out, |actor, ctx| {
+                    actor.on_timer(ctx, token)
+                });
+            }
+            LiveKind::Crash(device, cause) => {
+                let state = self.device_mut(device);
+                if state.crashed {
+                    return;
+                }
+                state.crashed = true;
+                state.actor = None;
+                out.deltas.crashes += 1;
+                out.trace(TraceEvent::Crashed { device, cause });
+            }
+        }
+    }
+
+    /// Runs a callback on a device's actor, then applies its commands.
+    fn with_actor<F>(
+        &mut self,
+        device: DeviceId,
+        now: SimTime,
+        env: &LiveEnv<'_>,
+        out: &mut RoundOut,
+        f: F,
+    ) where
+        F: FnOnce(&mut Box<dyn Actor>, &mut Context<'_>),
+    {
+        let state = self.device_mut(device);
+        if state.crashed || state.halted {
+            return;
+        }
+        let Some(mut actor) = state.actor.take() else {
+            return;
+        };
+        let mut ctx = Context::new(device, now, &mut state.rng, &mut state.next_timer);
+        f(&mut actor, &mut ctx);
+        let commands = ctx.take_commands();
+        drop(ctx);
+        self.device_mut(device).actor = Some(actor);
+        self.apply_commands(device, now, commands, env, out);
+    }
+
+    fn apply_commands(
+        &mut self,
+        device: DeviceId,
+        now: SimTime,
+        commands: Vec<Command>,
+        env: &LiveEnv<'_>,
+        out: &mut RoundOut,
+    ) {
+        for cmd in commands {
+            match cmd {
+                Command::Send { to, payload } => {
+                    self.submit_send(device, to, payload, now, env, out)
+                }
+                Command::Broadcast { to, payload } => {
+                    // Fan-out shares one buffer, a refcount bump per target.
+                    for target in to {
+                        self.submit_send(device, target, payload.share(), now, env, out);
+                    }
+                }
+                Command::SetTimer { token, fire_at } => {
+                    let seq = self.next_seq(device);
+                    out.deltas.real_pending += 1;
+                    self.heap.push(LiveEvent {
+                        at: fire_at,
+                        origin: device.raw(),
+                        seq,
+                        kind: LiveKind::Timer { device, token },
+                    });
+                }
+                Command::CancelTimer { token } => {
+                    self.device_mut(device).cancelled.insert(token);
+                }
+                Command::Observe { name, value } => out.observe(name, value),
+                Command::Halt => self.device_mut(device).halted = true,
+            }
+        }
+    }
+
+    fn next_seq(&mut self, device: DeviceId) -> u64 {
+        let d = self.device_mut(device);
+        let s = d.spawn_seq;
+        d.spawn_seq += 1;
+        s
+    }
+
+    fn submit_send(
+        &mut self,
+        from: DeviceId,
+        to: DeviceId,
+        payload: Payload,
+        now: SimTime,
+        env: &LiveEnv<'_>,
+        out: &mut RoundOut,
+    ) {
+        out.deltas.sent += 1;
+        out.deltas.bytes_sent += payload.len() as u64;
+        if to.index() >= env.device_count {
+            out.deltas.dropped += 1;
+            return;
+        }
+        let kind = if env.need_kind {
+            env.classifier.and_then(|c| c(payload.as_slice()))
+        } else {
+            None
+        };
+        if let Some(k) = kind {
+            out.trace(TraceEvent::MsgKind { from, to, kind: k });
+        }
+        self.transmit(from, to, payload, now, env, out);
+    }
+
+    /// Applies the network model and hands the message to the transport —
+    /// the live mirror of the simulator shard's `transmit`. Order of RNG
+    /// draws (fate, then latency; nothing on drop) is load-bearing.
+    fn transmit(
+        &mut self,
+        from: DeviceId,
+        to: DeviceId,
+        mut payload: Payload,
+        now: SimTime,
+        env: &LiveEnv<'_>,
+        out: &mut RoundOut,
+    ) {
+        let fate = {
+            let sender = self.device_mut(from);
+            env.network.fate(&mut sender.net_rng)
+        };
+        match fate {
+            Fate::Dropped => {
+                out.deltas.dropped += 1;
+                out.trace(TraceEvent::Dropped { from, to });
+                return;
+            }
+            Fate::Corrupted(offset) => {
+                // Detach this recipient's copy before flipping a bit so
+                // other recipients of a shared broadcast stay intact.
+                if !payload.is_empty() {
+                    let idx = offset % payload.len();
+                    let mut bytes = std::mem::take(&mut payload).into_vec();
+                    bytes[idx] ^= 0x01;
+                    payload = Payload::new(bytes);
+                }
+                out.deltas.corrupted += 1;
+            }
+            Fate::Delivered => {}
+        }
+        let bytes = payload.len();
+        out.trace(TraceEvent::Sent { from, to, bytes });
+        let latency = {
+            let sender = self.device_mut(from);
+            env.network.sample_latency(&mut sender.net_rng)
+        };
+        let at = now + latency;
+        let seq = self.next_seq(from);
+        out.deltas.real_pending += 1;
+        let env_msg = Envelope {
+            epoch: env.epoch,
+            from,
+            to,
+            seq,
+            sent_at_us: now.as_micros(),
+            deliver_at_us: at.as_micros(),
+            payload,
+        };
+        match env.transport.submit(env_msg.clone()) {
+            Ok(()) => {}
+            Err(TransportError::Backpressure) => out.parked.push(env_msg),
+            Err(_) => {
+                // Closed/unknown-epoch mid-run only happens if the hosting
+                // service tore the epoch down; account the message as lost.
+                out.deltas.real_pending -= 1;
+                out.deltas.dropped += 1;
+            }
+        }
+    }
+}
+
+/// Worker thread body: waits for each window generation, runs it, and
+/// publishes its report.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    worker: &mut LiveWorker,
+    env: &LiveEnv<'_>,
+    ctl: &Ctl,
+    mailboxes: &[Mutex<Vec<Envelope>>],
+    slots: &[Mutex<Option<RoundReport>>],
+) {
+    let me = worker.idx;
+    let mut seen = 0u64;
+    loop {
+        let mut spins = 0u32;
+        loop {
+            if ctl.stop.load(Ordering::Acquire) {
+                return;
+            }
+            if ctl.generation.load(Ordering::Acquire) > seen {
+                break;
+            }
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        seen += 1;
+        let cell_end = ctl.cell_end.load(Ordering::Acquire);
+        let clip = ctl.clip.load(Ordering::Acquire);
+        let budget = ctl.budget.load(Ordering::Acquire);
+        let report = worker.run_round(env, &mailboxes[me], cell_end, clip, budget);
+        *lock(&slots[me]) = Some(report);
+        ctl.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// A deterministic live world of devices and actors, executing over a
+/// [`Transport`] on `workers` std threads.
+pub struct LiveEngine {
+    config: LiveConfig,
+    workers: Vec<LiveWorker>,
+    device_count: usize,
+    real_pending: u64,
+    now: SimTime,
+    root_rng: DetRng,
+    metrics: SimMetrics,
+    trace: Trace,
+    classifier: Option<PayloadClassifier>,
+    /// Conservative lookahead in µs (minimum network latency; > 0).
+    lookahead_us: u64,
+    cell_open_until: u64,
+    epoch: u64,
+    transport: Arc<dyn Transport>,
+}
+
+impl LiveEngine {
+    /// Creates a live world seeded with `seed`, exchanging messages for
+    /// `epoch` over `transport`.
+    ///
+    /// Fails if the network model has zero minimum latency: the live
+    /// executor is conservative-window only (lookahead = min latency),
+    /// there is no sequential fallback outside the simulator.
+    pub fn new(
+        config: LiveConfig,
+        seed: u64,
+        transport: Arc<dyn Transport>,
+        epoch: u64,
+    ) -> Result<Self> {
+        let lookahead_us = config.network.min_latency().as_micros();
+        if lookahead_us == 0 {
+            return Err(edgelet_util::Error::InvalidConfig(
+                "live runtime requires a network model with non-zero minimum latency \
+                 (the conservative lookahead); zero-lookahead models only run on the simulator"
+                    .into(),
+            ));
+        }
+        let worker_count = config.workers.max(1);
+        let workers = (0..worker_count)
+            .map(|idx| LiveWorker {
+                idx,
+                worker_count,
+                devices: Vec::new(),
+                heap: BinaryHeap::new(),
+            })
+            .collect();
+        let trace_capacity = config.trace_capacity;
+        Ok(LiveEngine {
+            config,
+            workers,
+            device_count: 0,
+            real_pending: 0,
+            now: SimTime::ZERO,
+            root_rng: DetRng::new(seed),
+            metrics: SimMetrics::default(),
+            trace: Trace::new(trace_capacity),
+            classifier: None,
+            lookahead_us,
+            cell_open_until: 0,
+            epoch,
+            transport,
+        })
+    }
+
+    /// Installs the payload classifier feeding `MsgKind` trace records.
+    pub fn set_classifier(&mut self, classifier: PayloadClassifier) {
+        self.classifier = Some(classifier);
+    }
+
+    /// Registers a device; returns its id. The RNG fork order ("churn",
+    /// "device", "netdev", then "crash", indexed by the device id)
+    /// mirrors [`edgelet_sim::Simulation::add_device`] exactly, so a
+    /// live world and a simulated world built from the same seed draw
+    /// identical streams.
+    ///
+    /// Fails for non-[`Availability::AlwaysUp`] devices: the live
+    /// runtime has no store-and-forward layer (a real deployment's
+    /// devices are reachable while enrolled; churn experiments belong to
+    /// the simulator).
+    pub fn add_device(&mut self, cfg: DeviceConfig) -> Result<DeviceId> {
+        if cfg.availability != Availability::AlwaysUp {
+            return Err(edgelet_util::Error::InvalidConfig(
+                "live runtime requires always-up devices; churn models only run on the simulator"
+                    .into(),
+            ));
+        }
+        let id = DeviceId::new(self.device_count as u64);
+        self.device_count += 1;
+        let mut churn_rng = self.root_rng.fork_indexed("churn", id.raw());
+        let up = cfg.availability.starts_up();
+        let device = LiveDevice {
+            crashed: false,
+            halted: false,
+            actor: None,
+            rng: self.root_rng.fork_indexed("device", id.raw()),
+            net_rng: self.root_rng.fork_indexed("netdev", id.raw()),
+            next_timer: 0,
+            spawn_seq: 0,
+            cancelled: BTreeSet::new(),
+        };
+        let w = id.index() % self.workers.len();
+        self.workers[w].devices.push(device);
+        debug_assert!(cfg.availability.next_period(up, &mut churn_rng).is_none());
+        let mut crash_rng = self.root_rng.fork_indexed("crash", id.raw());
+        if let Some(t) = cfg.crash.resolve(&mut crash_rng) {
+            self.push_external(
+                id,
+                t.max(self.now),
+                LiveKind::Crash(id, CrashCause::Organic),
+            );
+        }
+        Ok(id)
+    }
+
+    /// Installs an actor on a device; its `on_start` runs at the current
+    /// virtual time once the engine is stepped. Install order is part of
+    /// the deterministic contract (it consumes per-device sequence
+    /// numbers), matching [`edgelet_sim::Simulation::install_actor`].
+    pub fn install_actor(&mut self, device: DeviceId, actor: Box<dyn Actor>) {
+        let w = device.index() % self.workers.len();
+        let state = self.workers[w].device_mut(device);
+        assert!(
+            state.actor.is_none(),
+            "device {device} already has an actor"
+        );
+        state.actor = Some(actor);
+        self.push_external(device, self.now, LiveKind::Start(device));
+    }
+
+    /// Schedules a scripted crash ("power off a device at will").
+    pub fn crash_at(&mut self, device: DeviceId, at: SimTime) {
+        self.push_external(
+            device,
+            at.max(self.now),
+            LiveKind::Crash(device, CrashCause::Organic),
+        );
+    }
+
+    fn push_external(&mut self, origin: DeviceId, at: SimTime, kind: LiveKind) {
+        let w_origin = origin.index() % self.workers.len();
+        let seq = self.workers[w_origin].next_seq(origin);
+        self.real_pending += 1;
+        let target = kind.target();
+        let w = target.index() % self.workers.len();
+        self.workers[w].heap.push(LiveEvent {
+            at,
+            origin: origin.raw(),
+            seq,
+            kind,
+        });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of registered devices.
+    pub fn device_count(&self) -> usize {
+        self.device_count
+    }
+
+    /// Metric counters accumulated so far.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// The event trace (empty unless `trace_capacity > 0`).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The epoch this engine stamps on every envelope.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Runs until quiescent or `max_events` is hit. Returns the final
+    /// virtual time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX, None);
+        self.now
+    }
+
+    /// Runs until the world drains, virtual time would pass `deadline`,
+    /// the event budget is exhausted, or `abort` is raised (checked at
+    /// window barriers — the wall-clock hook for live deadlines).
+    ///
+    /// Window-by-window this follows the simulator's
+    /// `run_windowed_parallel` decision loop; see the module docs for
+    /// why the outcomes are bit-identical.
+    pub fn run_until(&mut self, deadline: SimTime, abort: Option<&AtomicBool>) -> ExitReason {
+        let width = self.lookahead_us.max(1);
+        let deadline_us = deadline.as_micros();
+        let worker_count = self.workers.len();
+        let max_events = self.config.max_events;
+        let need_kind = self.classifier.is_some() && self.trace.enabled();
+        let env = LiveEnv {
+            network: &self.config.network,
+            classifier: self.classifier,
+            need_kind,
+            trace_enabled: self.trace.enabled(),
+            device_count: self.device_count,
+            epoch: self.epoch,
+            transport: self.transport.as_ref(),
+        };
+        let transport = self.transport.as_ref();
+        let epoch = self.epoch;
+        let metrics = &mut self.metrics;
+        let trace = &mut self.trace;
+        let real_pending = &mut self.real_pending;
+        let now = &mut self.now;
+        let cell_open_until = &mut self.cell_open_until;
+
+        let mut min_at: Option<u64> = None;
+        for w in self.workers.iter() {
+            min_at = fold_min(min_at, w.heap.peek().map(|e| e.at.as_micros()));
+        }
+        for lane in 0..worker_count {
+            min_at = fold_min(min_at, transport.pending(epoch, lane).map(|(_, m)| m));
+        }
+
+        let ctl = Ctl::default();
+        let mailboxes: Vec<Mutex<Vec<Envelope>>> =
+            (0..worker_count).map(|_| Mutex::new(Vec::new())).collect();
+        let slots: Vec<Mutex<Option<RoundReport>>> =
+            (0..worker_count).map(|_| Mutex::new(None)).collect();
+
+        let exit = std::thread::scope(|scope| {
+            for worker in self.workers.iter_mut() {
+                let env = &env;
+                let ctl = &ctl;
+                let mailboxes = &mailboxes[..];
+                let slots = &slots[..];
+                scope.spawn(move || worker_loop(worker, env, ctl, mailboxes, slots));
+            }
+            let result = loop {
+                if abort.is_some_and(|a| a.load(Ordering::Acquire)) {
+                    break ExitReason::Aborted;
+                }
+                let Some(m) = min_at else {
+                    break ExitReason::Quiescent;
+                };
+                if m >= *cell_open_until && *real_pending == 0 {
+                    break ExitReason::Quiescent;
+                }
+                if m > deadline_us {
+                    *now = deadline;
+                    break ExitReason::Deadline;
+                }
+                if metrics.events_processed >= max_events {
+                    break ExitReason::Budget;
+                }
+                let cell = m / width;
+                let cell_end = cell.saturating_add(1).saturating_mul(width);
+                *cell_open_until = cell_end;
+                ctl.done.store(0, Ordering::Relaxed);
+                ctl.cell_end.store(cell_end, Ordering::Relaxed);
+                ctl.clip.store(deadline_us, Ordering::Relaxed);
+                ctl.budget
+                    .store(max_events - metrics.events_processed, Ordering::Relaxed);
+                ctl.generation.fetch_add(1, Ordering::Release);
+                let mut spins = 0u32;
+                while ctl.done.load(Ordering::Acquire) < worker_count as u64 {
+                    spins += 1;
+                    if spins < 128 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                let mut reports = Vec::with_capacity(worker_count);
+                let mut missing = false;
+                for slot in &slots {
+                    match lock(slot).take() {
+                        Some(r) => reports.push(r),
+                        None => missing = true,
+                    }
+                }
+                if missing {
+                    // A worker died (actor panic); leaving the scope
+                    // joins the workers and propagates the panic.
+                    break ExitReason::Aborted;
+                }
+                // ---- barrier merge (the simulator's merge_reports) ----
+                let mut journal = Vec::new();
+                let mut parked = Vec::new();
+                let mut next_min: Option<u64> = None;
+                for report in reports {
+                    let d = &report.out.deltas;
+                    metrics.messages_sent += d.sent;
+                    metrics.messages_delivered += d.delivered;
+                    metrics.messages_dropped += d.dropped;
+                    metrics.messages_corrupted += d.corrupted;
+                    metrics.messages_to_crashed += d.to_crashed;
+                    metrics.bytes_sent += d.bytes_sent;
+                    metrics.delivery_delay.merge(&d.delay);
+                    metrics.crashes += d.crashes;
+                    metrics.events_processed += d.events;
+                    *real_pending = ((*real_pending as i64) + d.real_pending).max(0) as u64;
+                    *now = (*now).max(d.last_at);
+                    next_min = fold_min(next_min, report.heap_min);
+                    let _ = report.hit_budget;
+                    journal.extend(report.out.journal);
+                    parked.extend(report.out.parked);
+                }
+                journal.sort_unstable_by_key(|e| (e.at, e.origin, e.seq, e.intra));
+                for entry in journal {
+                    match entry.item {
+                        JItem::Trace(ev) => trace.record(entry.at, ev),
+                        JItem::Observe(name, value) => metrics.observe(name, value),
+                    }
+                }
+                // Re-submit backpressured envelopes while every worker is
+                // idle; a still-full lane spills into the destination's
+                // mailbox so no envelope is ever invisible to the next
+                // window decision.
+                for e in parked {
+                    match transport.submit(e.clone()) {
+                        Ok(()) => {}
+                        Err(_) => {
+                            let dest = e.to.index() % worker_count;
+                            lock(&mailboxes[dest]).push(e);
+                        }
+                    }
+                }
+                for (lane, mailbox) in mailboxes.iter().enumerate().take(worker_count) {
+                    next_min = fold_min(next_min, transport.pending(epoch, lane).map(|(_, m)| m));
+                    let mb_min = lock(mailbox).iter().map(|e| e.deliver_at_us).min();
+                    next_min = fold_min(next_min, mb_min);
+                }
+                min_at = next_min;
+            };
+            ctl.stop.store(true, Ordering::Release);
+            result
+        });
+        // Workers are joined; flush mailbox spills left by an early exit
+        // back into the owning heaps so state stays consistent.
+        for (dest, mb) in mailboxes.into_iter().enumerate() {
+            let envelopes = mb.into_inner().unwrap_or_else(|e| e.into_inner());
+            for e in envelopes {
+                self.workers[dest].ingest(e);
+            }
+        }
+        if exit == ExitReason::Quiescent && deadline != SimTime::MAX {
+            self.now = deadline;
+        }
+        exit
+    }
+}
+
+fn fold_min(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}

@@ -1,0 +1,180 @@
+//! Building a live world from an enrolled [`Platform`] and running one
+//! query on it — the cross-engine parity entry point.
+//!
+//! [`run_live_query`] mirrors [`Platform::run_query`] step for step:
+//! same plan (`plan_query`), same world seed (`Platform::sim_seed`),
+//! same device registration order and RNG fork schedule as
+//! `Platform::build_simulation`, same actor wiring
+//! ([`edgelet_exec::assemble_plan`]) installed in the same order, same
+//! deadline, same report construction
+//! ([`edgelet_exec::finish_report`]). The only difference is the host:
+//! a [`LiveEngine`] over worker threads and a [`Transport`] instead of
+//! the inline simulator — which is exactly the difference the parity
+//! harness (`tests/live_parity.rs`) proves invisible.
+
+use crate::engine::{ExitReason, LiveConfig, LiveEngine};
+use edgelet_core::{Platform, PlatformConfig};
+use edgelet_exec::{assemble_plan, finish_report, ExecutionReport};
+use edgelet_query::{PrivacyConfig, QueryPlan, QuerySpec, ResilienceConfig};
+use edgelet_sim::{CrashPlan, DeviceConfig, Duration, SimTime, TraceRecord};
+use edgelet_util::ids::DeviceId;
+use edgelet_util::Result;
+use edgelet_wire::Transport;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Per-run options for the live harness.
+#[derive(Debug, Clone)]
+pub struct LiveRunOptions {
+    /// Worker threads hosting the device population.
+    pub workers: usize,
+    /// The epoch stamped on every envelope; the caller must have
+    /// registered it on the transport (lanes = `workers`).
+    pub epoch: u64,
+    /// Scripted crashes `(device, at)`, applied after actor install —
+    /// the live counterpart of [`edgelet_sim::Simulation::crash_at`].
+    pub crash_script: Vec<(DeviceId, SimTime)>,
+}
+
+impl LiveRunOptions {
+    /// Options for a single-worker run under `epoch`.
+    pub fn new(workers: usize, epoch: u64) -> Self {
+        LiveRunOptions {
+            workers,
+            epoch,
+            crash_script: Vec::new(),
+        }
+    }
+}
+
+/// Everything one live query execution produced — the live counterpart
+/// of [`edgelet_core::RunResult`].
+#[derive(Debug)]
+pub struct LiveRun {
+    /// The executed plan.
+    pub plan: QueryPlan,
+    /// The execution report (including `result_payload`, the bytes the
+    /// parity harness compares).
+    pub report: ExecutionReport,
+    /// Trace digest, when tracing was enabled.
+    pub trace_digest: Option<u64>,
+    /// The recorded trace events.
+    pub trace: Vec<TraceRecord>,
+    /// Why the engine stopped.
+    pub exit: ExitReason,
+}
+
+/// Builds a [`LiveEngine`] world equivalent to the simulated world
+/// `Platform::build_simulation` would create for `spec`: same seed,
+/// same device order, same RNG fork schedule, same crash draws.
+///
+/// Fails if the platform configuration needs simulator-only features
+/// (churn models, zero-lookahead networks, or a non-empty fault plan).
+pub fn build_live_world(
+    platform: &Platform,
+    spec: &QuerySpec,
+    transport: Arc<dyn Transport>,
+    opts: &LiveRunOptions,
+) -> Result<LiveEngine> {
+    let cfg: &PlatformConfig = platform.config();
+    if let Some(fault_plan) = &cfg.fault_plan {
+        if !fault_plan.rules.is_empty() {
+            return Err(edgelet_util::Error::InvalidConfig(
+                "live runtime does not support fault-injection plans; \
+                 run fault campaigns on the simulator"
+                    .into(),
+            ));
+        }
+    }
+    let mut engine = LiveEngine::new(
+        LiveConfig {
+            network: cfg.network.to_model(),
+            trace_capacity: cfg.trace_capacity,
+            workers: opts.workers,
+            ..LiveConfig::default()
+        },
+        platform.sim_seed(spec),
+        transport,
+        opts.epoch,
+    )?;
+    let window = if cfg.crash_at_start {
+        Duration::ZERO
+    } else {
+        Duration::from_secs_f64(spec.deadline_secs)
+    };
+    for entry in platform.directory().entries() {
+        let (availability, crash_p) = if entry.contributes_data {
+            (
+                cfg.contributor_availability.clone(),
+                cfg.contributor_crash_probability,
+            )
+        } else {
+            (
+                cfg.processor_availability.clone(),
+                cfg.processor_crash_probability,
+            )
+        };
+        let dev = engine.add_device(DeviceConfig {
+            availability,
+            crash: CrashPlan::Bernoulli { p: crash_p, window },
+        })?;
+        debug_assert_eq!(dev, entry.device, "device ids must match enrollment");
+    }
+    let q = engine.add_device(DeviceConfig::default())?;
+    debug_assert_eq!(q, platform.querier());
+    if cfg.fault_plan.is_some() {
+        // An installed (empty) fault plan means the platform wants
+        // protocol-kind classification in traces, same as the simulator.
+        engine.set_classifier(edgelet_exec::messages::classify_payload);
+    }
+    Ok(engine)
+}
+
+/// Plans and executes one query on a live world, mirroring
+/// [`Platform::run_query`]. `abort` (when given) is polled at window
+/// barriers; raising it stops the run with [`ExitReason::Aborted`].
+pub fn run_live_query(
+    platform: &Platform,
+    spec: &QuerySpec,
+    privacy: &PrivacyConfig,
+    resilience: &ResilienceConfig,
+    transport: Arc<dyn Transport>,
+    opts: &LiveRunOptions,
+    abort: Option<&AtomicBool>,
+) -> Result<LiveRun> {
+    let plan = platform.plan_query(spec, privacy, resilience)?;
+    let mut engine = build_live_world(platform, spec, transport, opts)?;
+    let assembly = assemble_plan(
+        &plan,
+        platform.schema(),
+        platform.stores(),
+        platform.device_classes(),
+        &platform.config().exec,
+        platform.root_secret(spec),
+        engine.now().as_secs_f64(),
+    )?;
+    for (dev, actor) in assembly.installs {
+        engine.install_actor(dev, actor);
+    }
+    for (dev, at) in &opts.crash_script {
+        engine.crash_at(*dev, *at);
+    }
+    let deadline = engine.now() + Duration::from_secs_f64(plan.spec.deadline_secs);
+    let exit = engine.run_until(deadline, abort);
+    let report = finish_report(
+        &plan,
+        &assembly.sliced_queries,
+        &assembly.record,
+        &assembly.ledger,
+        engine.metrics(),
+    )?;
+    let trace_digest = engine.trace().enabled().then(|| engine.trace().digest());
+    let trace = engine.trace().records().cloned().collect();
+    Ok(LiveRun {
+        plan,
+        report,
+        trace_digest,
+        trace,
+        exit,
+    })
+}

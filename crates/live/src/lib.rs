@@ -1,0 +1,37 @@
+//! `edgelet-live` — the multithreaded live runtime.
+//!
+//! The simulator (`edgelet-sim`) answers "what would the protocol do";
+//! this crate actually *does* it: the same role actors
+//! (`edgelet-exec`'s Contributor, Snapshot Builder, Computer, Combiner,
+//! Active Backup, Querier) run on std worker threads, exchanging the
+//! same `edgelet-wire` bytes over a pluggable, lock-striped, bounded
+//! [`Transport`](edgelet_wire::Transport) — no async runtime, no
+//! scheduler shims.
+//!
+//! * [`engine`] — the conservative-window parallel executor, built to
+//!   be **bit-equivalent** to the simulator: identical event keys,
+//!   per-sender RNG streams, journaled side effects replayed in
+//!   canonical order (the parity argument is in the module docs and
+//!   `docs/RUNTIME.md`; the proof-by-test is `tests/live_parity.rs`);
+//! * [`transport`] — [`transport::StripedTransport`], the in-process
+//!   sharded fabric: per-epoch bounded mailbox lanes of serialized
+//!   envelopes;
+//! * [`harness`] — building a live world from an enrolled
+//!   [`Platform`](edgelet_core::Platform) and running one query,
+//!   mirroring `Platform::run_query` step for step;
+//! * [`service`] — [`service::QueryService`]: admission control,
+//!   concurrent multi-query serving with per-query epochs, wall-clock
+//!   deadline watchdogs, graceful shutdown.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod harness;
+pub mod service;
+pub mod transport;
+
+pub use engine::{ExitReason, LiveConfig, LiveEngine, PayloadClassifier};
+pub use harness::{build_live_world, run_live_query, LiveRun, LiveRunOptions};
+pub use service::{QueryService, ServiceConfig, SubmitError, SubmitOutcome};
+pub use transport::StripedTransport;

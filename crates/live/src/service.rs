@@ -1,0 +1,330 @@
+//! The live query service: admission-controlled concurrent serving of
+//! many QEPs over one shared device pool and transport.
+//!
+//! Each admitted query gets a fresh **epoch**: the service registers it
+//! on the shared [`StripedTransport`], runs the query on a
+//! [`crate::engine::LiveEngine`] whose envelopes all carry that epoch,
+//! and retires the epoch when the query ends. Since the transport
+//! refuses envelopes for unregistered epochs and lanes are per-epoch,
+//! concurrent queries cannot observe each other's traffic — per-query
+//! isolation is structural, not cooperative.
+//!
+//! Admission control is a simple counted gate (`max_concurrent`);
+//! rejected submissions fail fast with [`SubmitError::AtCapacity`] so
+//! callers can re-queue. A per-query **wall-clock deadline** arms a
+//! watchdog thread that raises the engine's abort flag when real time
+//! runs out — virtual time is still fully deterministic; only the
+//! decision to stop consults the host clock. [`QueryService::shutdown`]
+//! drains gracefully: new submissions are refused while in-flight
+//! queries run to completion.
+
+use crate::engine::ExitReason;
+use crate::harness::{run_live_query, LiveRun, LiveRunOptions};
+use crate::transport::StripedTransport;
+use edgelet_core::Platform;
+use edgelet_query::{PrivacyConfig, QuerySpec, ResilienceConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Service-level knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads per query run.
+    pub workers: usize,
+    /// Queries admitted concurrently; further submissions are rejected.
+    pub max_concurrent: usize,
+    /// Per-lane transport mailbox capacity (envelopes).
+    pub mailbox_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            max_concurrent: 4,
+            mailbox_capacity: 4096,
+        }
+    }
+}
+
+/// Why a submission was not executed.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The admission gate is full.
+    AtCapacity {
+        /// The configured concurrency limit.
+        limit: usize,
+    },
+    /// The service is shutting down and refuses new work.
+    ShuttingDown,
+    /// Planning or execution failed.
+    Failed(edgelet_util::Error),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::AtCapacity { limit } => {
+                write!(f, "admission rejected: {limit} queries already in flight")
+            }
+            SubmitError::ShuttingDown => write!(f, "admission rejected: service shutting down"),
+            SubmitError::Failed(e) => write!(f, "query failed: {e}"),
+        }
+    }
+}
+
+impl From<edgelet_util::Error> for SubmitError {
+    fn from(e: edgelet_util::Error) -> Self {
+        SubmitError::Failed(e)
+    }
+}
+
+/// The service-level outcome of one query.
+#[derive(Debug)]
+pub struct SubmitOutcome {
+    /// The epoch the query ran under.
+    pub epoch: u64,
+    /// Everything the execution produced.
+    pub run: LiveRun,
+    /// The wall-clock watchdog fired before the query finished.
+    pub wall_aborted: bool,
+}
+
+impl SubmitOutcome {
+    /// A query "succeeded" when it completed within its virtual
+    /// deadline, produced a structurally valid result, and was not cut
+    /// short by the wall clock — the CLI's exit-code criterion.
+    pub fn succeeded(&self) -> bool {
+        self.run.report.completed && self.run.report.valid && !self.wall_aborted
+    }
+}
+
+/// An admission-controlled, multi-query live serving runtime.
+pub struct QueryService {
+    platform: Platform,
+    transport: Arc<StripedTransport>,
+    config: ServiceConfig,
+    in_flight: Mutex<usize>,
+    idle: Condvar,
+    next_epoch: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+/// RAII admission slot: releases the gate (and wakes `shutdown`) even
+/// if the query run panics.
+struct Slot<'a>(&'a QueryService);
+
+impl Drop for Slot<'_> {
+    fn drop(&mut self) {
+        let mut n = lock(&self.0.in_flight);
+        *n = n.saturating_sub(1);
+        self.0.idle.notify_all();
+    }
+}
+
+impl QueryService {
+    /// Creates a service over an enrolled platform.
+    pub fn new(platform: Platform, config: ServiceConfig) -> Self {
+        let transport = Arc::new(StripedTransport::new(config.mailbox_capacity.max(1)));
+        QueryService {
+            platform,
+            transport,
+            config,
+            in_flight: Mutex::new(0),
+            idle: Condvar::new(),
+            next_epoch: AtomicU64::new(1),
+            shutting_down: AtomicBool::new(false),
+        }
+    }
+
+    /// The shared transport (inspection: pending lanes, rejected
+    /// cross-epoch submissions).
+    pub fn transport(&self) -> &Arc<StripedTransport> {
+        &self.transport
+    }
+
+    /// The platform this service executes against.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Queries currently executing.
+    pub fn in_flight(&self) -> usize {
+        *lock(&self.in_flight)
+    }
+
+    fn acquire(&self) -> Result<Slot<'_>, SubmitError> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let limit = self.config.max_concurrent.max(1);
+        let mut n = lock(&self.in_flight);
+        if *n >= limit {
+            return Err(SubmitError::AtCapacity { limit });
+        }
+        *n += 1;
+        Ok(Slot(self))
+    }
+
+    /// Runs one query to completion on the calling thread (callers
+    /// submit from their own threads to serve concurrently). Fails fast
+    /// with an admission error when the gate is full or the service is
+    /// draining; `wall_deadline` (host time) arms the watchdog.
+    pub fn submit(
+        &self,
+        spec: &QuerySpec,
+        privacy: &PrivacyConfig,
+        resilience: &ResilienceConfig,
+        wall_deadline: Option<std::time::Duration>,
+    ) -> Result<SubmitOutcome, SubmitError> {
+        let slot = self.acquire()?;
+        let epoch = self.next_epoch.fetch_add(1, Ordering::AcqRel);
+        self.transport
+            .register_epoch(epoch, self.config.workers.max(1));
+        let abort = Arc::new(AtomicBool::new(false));
+        let watchdog = wall_deadline.map(|timeout| Watchdog::arm(timeout, abort.clone()));
+        let opts = LiveRunOptions::new(self.config.workers.max(1), epoch);
+        let transport: Arc<dyn edgelet_wire::Transport> = self.transport.clone();
+        let result = run_live_query(
+            &self.platform,
+            spec,
+            privacy,
+            resilience,
+            transport,
+            &opts,
+            Some(&abort),
+        );
+        if let Some(watchdog) = watchdog {
+            watchdog.disarm();
+        }
+        self.transport.retire_epoch(epoch);
+        drop(slot);
+        let run = result?;
+        let wall_aborted = run.exit == ExitReason::Aborted;
+        Ok(SubmitOutcome {
+            epoch,
+            run,
+            wall_aborted,
+        })
+    }
+
+    /// Graceful shutdown: refuse new submissions, wait for in-flight
+    /// queries to finish, and close the transport.
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        let mut n = lock(&self.in_flight);
+        while *n > 0 {
+            n = self.idle.wait(n).unwrap_or_else(|e| e.into_inner());
+        }
+        self.transport.close();
+    }
+}
+
+/// A wall-clock deadline watchdog: raises `abort` once `timeout` of
+/// host time elapses, unless disarmed first.
+struct Watchdog {
+    handle: std::thread::JoinHandle<()>,
+    done: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Watchdog {
+    fn arm(timeout: std::time::Duration, abort: Arc<AtomicBool>) -> Self {
+        let done = Arc::new((Mutex::new(false), Condvar::new()));
+        let done_in = done.clone();
+        let handle = std::thread::spawn(move || {
+            // Wall-clock deadlines are real time by definition.
+            let start = std::time::Instant::now(); // lint: allow(E102 wall-clock query deadline watchdog)
+            let (flag, cv) = &*done_in;
+            let mut finished = lock(flag);
+            loop {
+                if *finished {
+                    return;
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= timeout {
+                    abort.store(true, Ordering::Release);
+                    return;
+                }
+                let (guard, _) = cv
+                    .wait_timeout(finished, timeout - elapsed)
+                    .unwrap_or_else(|e| e.into_inner());
+                finished = guard;
+            }
+        });
+        Watchdog { handle, done }
+    }
+
+    fn disarm(self) {
+        {
+            let (flag, cv) = &*self.done;
+            *lock(flag) = true;
+            cv.notify_all();
+        }
+        let _ = self.handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgelet_core::PlatformConfig;
+    use std::sync::atomic::AtomicBool;
+
+    fn tiny_platform() -> Platform {
+        Platform::build(PlatformConfig {
+            contributors: 6,
+            processors: 4,
+            ..PlatformConfig::default()
+        })
+    }
+
+    #[test]
+    fn admission_gate_counts_and_rejects() {
+        let service = QueryService::new(
+            tiny_platform(),
+            ServiceConfig {
+                max_concurrent: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let slot = service.acquire().expect("first slot");
+        assert_eq!(service.in_flight(), 1);
+        match service.acquire() {
+            Err(SubmitError::AtCapacity { limit: 1 }) => {}
+            Err(other) => panic!("expected AtCapacity, got {other:?}"),
+            Ok(_) => panic!("expected AtCapacity, got an admission"),
+        }
+        drop(slot);
+        assert_eq!(service.in_flight(), 0);
+        assert!(service.acquire().is_ok());
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work() {
+        let service = QueryService::new(tiny_platform(), ServiceConfig::default());
+        service.shutdown();
+        match service.acquire() {
+            Err(SubmitError::ShuttingDown) => {}
+            Err(other) => panic!("expected ShuttingDown, got {other:?}"),
+            Ok(_) => panic!("expected ShuttingDown, got an admission"),
+        };
+    }
+
+    #[test]
+    fn watchdog_fires_after_timeout_and_disarms_cleanly() {
+        let abort = Arc::new(AtomicBool::new(false));
+        let w = Watchdog::arm(std::time::Duration::from_millis(5), abort.clone());
+        while !abort.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        w.disarm();
+        let abort2 = Arc::new(AtomicBool::new(false));
+        let w2 = Watchdog::arm(std::time::Duration::from_secs(3600), abort2.clone());
+        w2.disarm();
+        assert!(!abort2.load(Ordering::Acquire));
+    }
+}

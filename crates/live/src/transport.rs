@@ -1,0 +1,207 @@
+//! The in-process sharded transport: lock-striped, bounded, epoch-keyed
+//! mailbox lanes carrying serialized [`Envelope`] bytes.
+//!
+//! One [`StripedTransport`] is shared by every query a
+//! [`crate::service::QueryService`] runs concurrently. Isolation between
+//! queries is structural: lanes are registered *per epoch*, an envelope
+//! is only accepted if its epoch is currently registered, and a drain
+//! only ever sees its own epoch's lanes. Cross-epoch submissions are
+//! counted ([`StripedTransport::rejected_unknown_epoch`]) so tests can
+//! assert that no stray message was ever admitted.
+//!
+//! Envelopes are stored as their wire bytes ([`Envelope::to_wire`]), not
+//! as in-memory structs: what crosses the transport is exactly what
+//! would cross a socket, which keeps the live runtime honest about the
+//! serialized protocol and exercises the codec on every hop.
+
+use edgelet_wire::{Envelope, Transport, TransportError};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One mailbox lane: wire bytes plus the pre-parsed delivery time, so
+/// `pending` never re-decodes queued envelopes.
+#[derive(Debug, Default)]
+struct Lane {
+    queued: Vec<(u64, Vec<u8>)>,
+}
+
+/// Locks a mutex, ignoring poisoning: lanes hold plain byte buffers
+/// that stay structurally valid, and a panicked worker propagates its
+/// panic through the owning thread scope regardless.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A lock-striped, bounded, multi-epoch in-process transport.
+///
+/// * **Striped** — each epoch owns `lanes` independent mutex-protected
+///   mailboxes; destination device `d` hashes to lane
+///   `d.index() % lanes`, so workers draining different lanes never
+///   contend on one lock.
+/// * **Bounded** — each lane holds at most `capacity` envelopes; a full
+///   lane yields [`TransportError::Backpressure`], which the runtime
+///   absorbs at its window barrier (see `docs/RUNTIME.md`).
+/// * **Epoch-keyed** — envelopes for unregistered epochs are refused
+///   with [`TransportError::UnknownEpoch`] and counted.
+pub struct StripedTransport {
+    capacity: usize,
+    closed: AtomicBool,
+    rejected: AtomicU64,
+    epochs: Mutex<BTreeMap<u64, Arc<Vec<Mutex<Lane>>>>>,
+}
+
+impl StripedTransport {
+    /// Creates a transport whose lanes hold at most `capacity` envelopes
+    /// each (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        StripedTransport {
+            capacity: capacity.max(1),
+            closed: AtomicBool::new(false),
+            rejected: AtomicU64::new(0),
+            epochs: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers `epoch` with `lanes` mailbox lanes (one per runtime
+    /// worker; clamped to at least 1). Re-registering an epoch resets
+    /// its lanes.
+    pub fn register_epoch(&self, epoch: u64, lanes: usize) {
+        let lanes = (0..lanes.max(1))
+            .map(|_| Mutex::new(Lane::default()))
+            .collect();
+        lock(&self.epochs).insert(epoch, Arc::new(lanes));
+    }
+
+    /// Removes `epoch`; queued envelopes are discarded and later
+    /// submissions for it are refused as unknown.
+    pub fn retire_epoch(&self, epoch: u64) {
+        lock(&self.epochs).remove(&epoch);
+    }
+
+    /// Stops accepting envelopes on every epoch (graceful shutdown:
+    /// drains still succeed).
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// How many submissions were refused because their epoch was not
+    /// registered — the query-isolation evidence the tests assert on.
+    pub fn rejected_unknown_epoch(&self) -> u64 {
+        self.rejected.load(Ordering::Acquire)
+    }
+
+    /// Epochs currently registered.
+    pub fn active_epochs(&self) -> usize {
+        lock(&self.epochs).len()
+    }
+
+    fn lanes_of(&self, epoch: u64) -> Option<Arc<Vec<Mutex<Lane>>>> {
+        lock(&self.epochs).get(&epoch).cloned()
+    }
+}
+
+impl Transport for StripedTransport {
+    fn submit(&self, env: Envelope) -> Result<(), TransportError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        let Some(lanes) = self.lanes_of(env.epoch) else {
+            self.rejected.fetch_add(1, Ordering::AcqRel);
+            return Err(TransportError::UnknownEpoch(env.epoch));
+        };
+        let lane = env.to.index() % lanes.len();
+        let mut guard = lock(&lanes[lane]);
+        if guard.queued.len() >= self.capacity {
+            return Err(TransportError::Backpressure);
+        }
+        guard.queued.push((env.deliver_at_us, env.to_wire()));
+        Ok(())
+    }
+
+    fn drain(&self, epoch: u64, lane: usize) -> Vec<Envelope> {
+        let Some(lanes) = self.lanes_of(epoch) else {
+            return Vec::new();
+        };
+        if lane >= lanes.len() {
+            return Vec::new();
+        }
+        let drained = std::mem::take(&mut lock(&lanes[lane]).queued);
+        drained
+            .into_iter()
+            .filter_map(|(_, bytes)| Envelope::from_wire(&bytes).ok())
+            .collect()
+    }
+
+    fn pending(&self, epoch: u64, lane: usize) -> Option<(usize, u64)> {
+        let lanes = self.lanes_of(epoch)?;
+        if lane >= lanes.len() {
+            return None;
+        }
+        let guard = lock(&lanes[lane]);
+        let count = guard.queued.len();
+        let min_at = guard.queued.iter().map(|(at, _)| *at).min()?;
+        Some((count, min_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgelet_util::ids::DeviceId;
+    use edgelet_util::Payload;
+
+    fn env(epoch: u64, to: u64, at: u64) -> Envelope {
+        Envelope {
+            epoch,
+            from: DeviceId::new(0),
+            to: DeviceId::new(to),
+            seq: 1,
+            sent_at_us: 0,
+            deliver_at_us: at,
+            payload: Payload::from(b"m".as_ref()),
+        }
+    }
+
+    #[test]
+    fn epochs_are_isolated_and_rejections_counted() {
+        let t = StripedTransport::new(8);
+        t.register_epoch(1, 2);
+        t.register_epoch(2, 2);
+        t.submit(env(1, 0, 10)).unwrap();
+        t.submit(env(2, 0, 20)).unwrap();
+        assert_eq!(
+            t.submit(env(3, 0, 30)),
+            Err(TransportError::UnknownEpoch(3))
+        );
+        assert_eq!(t.rejected_unknown_epoch(), 1);
+        // Each epoch only sees its own traffic.
+        assert_eq!(t.pending(1, 0), Some((1, 10)));
+        assert_eq!(t.pending(2, 0), Some((1, 20)));
+        let drained = t.drain(1, 0);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].deliver_at_us, 10);
+        assert_eq!(t.pending(2, 0), Some((1, 20)));
+        // Retiring an epoch refuses later submissions.
+        t.retire_epoch(2);
+        assert_eq!(
+            t.submit(env(2, 0, 40)),
+            Err(TransportError::UnknownEpoch(2))
+        );
+        assert_eq!(t.rejected_unknown_epoch(), 2);
+    }
+
+    #[test]
+    fn lanes_apply_backpressure_and_close_is_global() {
+        let t = StripedTransport::new(2);
+        t.register_epoch(5, 1);
+        t.submit(env(5, 0, 1)).unwrap();
+        t.submit(env(5, 1, 2)).unwrap();
+        assert_eq!(t.submit(env(5, 2, 3)), Err(TransportError::Backpressure));
+        assert_eq!(t.pending(5, 0), Some((2, 1)));
+        t.close();
+        assert_eq!(t.submit(env(5, 0, 4)), Err(TransportError::Closed));
+        // Draining still works after close (graceful shutdown).
+        assert_eq!(t.drain(5, 0).len(), 2);
+    }
+}

@@ -17,26 +17,44 @@ use edgelet_util::Payload;
 pub struct TimerToken(pub u64);
 
 /// Commands an actor issues during a callback.
+///
+/// Public so alternative hosts (the live runtime in `edgelet-live`) can
+/// drive the same actors: they construct a [`Context`], run a callback,
+/// then interpret the recorded commands with their own scheduler and
+/// transport. The simulator engine remains the reference interpreter.
 #[derive(Debug)]
-pub(crate) enum Command {
+pub enum Command {
+    /// Send `payload` to device `to` (subject to the network model).
     Send {
+        /// Destination device.
         to: DeviceId,
+        /// Message bytes.
         payload: Payload,
     },
+    /// Send one shared `payload` to each device in `to`.
     Broadcast {
+        /// Destination devices (one network message each).
         to: Vec<DeviceId>,
+        /// Message bytes, shared across recipients.
         payload: Payload,
     },
+    /// Arm timer `token` to fire at virtual time `fire_at`.
     SetTimer {
+        /// The token identifying the timer.
         token: TimerToken,
+        /// Absolute virtual fire time.
         fire_at: SimTime,
     },
+    /// Cancel a previously armed timer (no-op if already fired).
     CancelTimer {
+        /// The token returned by [`Context::set_timer`].
         token: TimerToken,
     },
     /// Record a named scalar observation into the metrics sink.
     Observe {
+        /// Metric name.
         name: &'static str,
+        /// Observed value.
         value: f64,
     },
     /// Voluntarily stop this actor (it stops receiving events).
@@ -53,7 +71,12 @@ pub struct Context<'a> {
 }
 
 impl<'a> Context<'a> {
-    pub(crate) fn new(
+    /// Creates a context for one actor callback.
+    ///
+    /// `next_timer` is the device's monotonically increasing timer counter;
+    /// hosts must persist it across callbacks so [`TimerToken`]s stay
+    /// unique per device.
+    pub fn new(
         device: DeviceId,
         now: SimTime,
         rng: &'a mut DetRng,
@@ -66,6 +89,14 @@ impl<'a> Context<'a> {
             next_timer,
             commands: Vec::new(),
         }
+    }
+
+    /// Removes and returns the commands recorded so far, in issue order.
+    ///
+    /// Used by hosts (the simulator shard executor, the live runtime) to
+    /// interpret a callback's effects after it returns.
+    pub fn take_commands(&mut self) -> Vec<Command> {
+        std::mem::take(&mut self.commands)
     }
 
     /// The device this actor runs on.

@@ -1,0 +1,216 @@
+//! The simulator's implementation of the live [`Transport`] trait.
+//!
+//! `edgelet-live` runs protocol actors over a pluggable message fabric
+//! ([`edgelet_wire::Transport`]). [`SimEndpoint`] is the simulator-side
+//! implementation of that same trait: envelopes submitted to it are
+//! buffered — in serialized wire form, exactly like a real transport —
+//! and later flushed into a [`Simulation`] as ordinary `Deliver` events
+//! carrying the envelope's intrinsic `(deliver_at, from, seq)` key.
+//! Because the key is preserved end to end, a message that crossed a
+//! `SimEndpoint` schedules identically to one the simulator transmitted
+//! natively, which is what lets the cross-engine parity harness treat
+//! the two paths as interchangeable.
+
+use crate::engine::Simulation;
+use crate::time::SimTime;
+use edgelet_wire::{Envelope, Transport, TransportError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A bounded, epoch-checked transport endpoint backed by the simulator.
+pub struct SimEndpoint {
+    epoch: u64,
+    lanes: usize,
+    capacity: usize,
+    closed: AtomicBool,
+    queued: Mutex<Vec<Vec<u8>>>,
+}
+
+impl SimEndpoint {
+    /// Creates an endpoint accepting envelopes for `epoch`, hashing
+    /// destinations into `lanes` mailing lanes, holding at most
+    /// `capacity` envelopes before applying backpressure.
+    pub fn new(epoch: u64, lanes: usize, capacity: usize) -> Self {
+        Self {
+            epoch,
+            lanes: lanes.max(1),
+            capacity: capacity.max(1),
+            closed: AtomicBool::new(false),
+            queued: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Stops accepting new envelopes (already queued ones still flush).
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Number of envelopes currently buffered.
+    pub fn queued_len(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Vec<u8>>> {
+        self.queued.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Drains every buffered envelope into the simulation as `Deliver`
+    /// events keyed by the envelope header. Returns how many were
+    /// injected. Corrupt buffers (impossible unless memory was scribbled
+    /// on) are dropped silently, mirroring a transport-level checksum
+    /// discard.
+    pub fn flush_into(&self, sim: &mut Simulation) -> usize {
+        let drained: Vec<Vec<u8>> = std::mem::take(&mut *self.lock());
+        let mut injected = 0;
+        for bytes in drained {
+            let Ok(env) = Envelope::from_wire(&bytes) else {
+                continue;
+            };
+            sim.deliver_external(
+                env.from,
+                env.to,
+                env.seq,
+                SimTime::from_micros(env.sent_at_us),
+                SimTime::from_micros(env.deliver_at_us),
+                env.payload,
+            );
+            injected += 1;
+        }
+        injected
+    }
+}
+
+impl Transport for SimEndpoint {
+    fn submit(&self, env: Envelope) -> Result<(), TransportError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        if env.epoch != self.epoch {
+            return Err(TransportError::UnknownEpoch(env.epoch));
+        }
+        let mut q = self.lock();
+        if q.len() >= self.capacity {
+            return Err(TransportError::Backpressure);
+        }
+        q.push(env.to_wire());
+        Ok(())
+    }
+
+    fn drain(&self, epoch: u64, lane: usize) -> Vec<Envelope> {
+        if epoch != self.epoch {
+            return Vec::new();
+        }
+        let mut q = self.lock();
+        let mut out = Vec::new();
+        let mut keep = Vec::with_capacity(q.len());
+        for bytes in q.drain(..) {
+            match Envelope::from_wire(&bytes) {
+                Ok(env) if env.to.index() % self.lanes == lane => out.push(env),
+                _ => keep.push(bytes),
+            }
+        }
+        *q = keep;
+        out
+    }
+
+    fn pending(&self, epoch: u64, lane: usize) -> Option<(usize, u64)> {
+        if epoch != self.epoch {
+            return None;
+        }
+        let q = self.lock();
+        let mut count = 0usize;
+        let mut min_at = u64::MAX;
+        for bytes in q.iter() {
+            if let Ok(env) = Envelope::from_wire(bytes) {
+                if env.to.index() % self.lanes == lane {
+                    count += 1;
+                    min_at = min_at.min(env.deliver_at_us);
+                }
+            }
+        }
+        (count > 0).then_some((count, min_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DeviceConfig, SimConfig, Simulation};
+    use crate::network::NetworkModel;
+    use crate::time::Duration;
+    use crate::{Actor, Context};
+    use edgelet_util::ids::DeviceId;
+    use edgelet_util::Payload;
+    use std::sync::Arc;
+
+    fn env(epoch: u64, to: u64, deliver_at_us: u64) -> Envelope {
+        Envelope {
+            epoch,
+            from: DeviceId::new(0),
+            to: DeviceId::new(to),
+            seq: 100,
+            sent_at_us: 0,
+            deliver_at_us,
+            payload: Payload::from(b"hello".as_ref()),
+        }
+    }
+
+    #[test]
+    fn endpoint_enforces_epoch_capacity_and_close() {
+        let ep = SimEndpoint::new(7, 2, 2);
+        assert_eq!(
+            ep.submit(env(8, 1, 10)),
+            Err(TransportError::UnknownEpoch(8))
+        );
+        ep.submit(env(7, 1, 10)).unwrap();
+        ep.submit(env(7, 0, 20)).unwrap();
+        assert_eq!(ep.submit(env(7, 1, 30)), Err(TransportError::Backpressure));
+        assert_eq!(ep.pending(7, 1), Some((1, 10)));
+        assert_eq!(ep.pending(7, 0), Some((1, 20)));
+        assert_eq!(ep.pending(9, 0), None);
+        let drained = ep.drain(7, 1);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].to, DeviceId::new(1));
+        assert_eq!(ep.queued_len(), 1);
+        ep.close();
+        assert_eq!(ep.submit(env(7, 1, 40)), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn flushed_envelopes_deliver_in_the_simulation() {
+        struct Sink {
+            seen: Arc<std::sync::Mutex<Vec<Vec<u8>>>>,
+        }
+        impl Actor for Sink {
+            fn on_message(&mut self, _ctx: &mut Context<'_>, _from: DeviceId, payload: &[u8]) {
+                self.seen.lock().unwrap().push(payload.to_vec());
+            }
+        }
+        let mut sim = Simulation::new(
+            SimConfig {
+                network: NetworkModel::reliable(Duration::from_millis(1)),
+                ..SimConfig::default()
+            },
+            1,
+        );
+        let a = sim.add_device(DeviceConfig::default());
+        let b = sim.add_device(DeviceConfig::default());
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        sim.install_actor(b, Box::new(Sink { seen: seen.clone() }));
+        let ep = SimEndpoint::new(1, 1, 16);
+        ep.submit(Envelope {
+            epoch: 1,
+            from: a,
+            to: b,
+            seq: 5,
+            sent_at_us: 0,
+            deliver_at_us: 1_000,
+            payload: Payload::from(b"over-the-wire".as_ref()),
+        })
+        .unwrap();
+        assert_eq!(ep.flush_into(&mut sim), 1);
+        sim.run();
+        assert_eq!(*seen.lock().unwrap(), vec![b"over-the-wire".to_vec()]);
+        assert_eq!(sim.metrics().messages_delivered, 1);
+    }
+}

@@ -236,6 +236,50 @@ impl Simulation {
         );
     }
 
+    /// Injects a message delivery from outside the engine — the entry
+    /// point used by [`crate::endpoint::SimEndpoint`] to feed transport
+    /// envelopes into the simulated world.
+    ///
+    /// The caller supplies the envelope's intrinsic key material
+    /// (`from`, `seq`): the event is scheduled exactly as if device
+    /// `from` had spawned it with sequence number `seq`, so its position
+    /// in the canonical `(at, origin, seq)` order is identical to a
+    /// natively transmitted message. The origin device's spawn counter
+    /// is advanced past `seq` to keep future native keys unique. Both
+    /// `from` and `to` must be registered devices.
+    pub fn deliver_external(
+        &mut self,
+        from: DeviceId,
+        to: DeviceId,
+        seq: u64,
+        sent_at: SimTime,
+        deliver_at: SimTime,
+        payload: edgelet_util::Payload,
+    ) {
+        assert!(
+            from.index() < self.device_count && to.index() < self.device_count,
+            "deliver_external endpoints must be registered devices"
+        );
+        self.real_pending += 1;
+        let s = self.shard_of(from);
+        {
+            let d = self.shards[s].device_mut(from);
+            d.spawn_seq = d.spawn_seq.max(seq.saturating_add(1));
+        }
+        let dest = self.shard_of(to);
+        self.shards[dest].queue.push(Event {
+            at: deliver_at.max(self.now),
+            origin: from.raw(),
+            seq,
+            kind: EventKind::Deliver {
+                to,
+                from,
+                payload,
+                sent_at,
+            },
+        });
+    }
+
     /// Schedules an event from outside any event handler, drawing the
     /// key from the origin device's spawn counter.
     fn push_external(&mut self, origin: DeviceId, at: SimTime, kind: EventKind) {

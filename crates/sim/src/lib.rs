@@ -33,6 +33,7 @@
 
 pub mod actor;
 pub mod churn;
+pub mod endpoint;
 pub mod engine;
 pub mod fault;
 pub(crate) mod merge;
@@ -43,8 +44,9 @@ pub(crate) mod shard;
 pub mod time;
 pub mod trace;
 
-pub use actor::{Actor, Context, TimerToken};
+pub use actor::{Actor, Command, Context, TimerToken};
 pub use churn::{Availability, CrashPlan};
+pub use endpoint::SimEndpoint;
 pub use engine::{DeviceConfig, SimConfig, Simulation};
 pub use fault::{
     Classifier, CrashCause, FaultAction, FaultKind, FaultPlan, FaultRule, MatchPoint, MsgMatch,

@@ -21,10 +21,12 @@
 pub mod codec;
 pub mod crc;
 pub mod frame;
+pub mod transport;
 pub mod varint;
 
 pub use codec::{Decode, Encode, Reader, Writer};
 pub use frame::{Frame, FRAME_MAGIC, FRAME_VERSION};
+pub use transport::{Envelope, Transport, TransportError, ENVELOPE_VERSION};
 
 use edgelet_util::{Payload, Result};
 

@@ -1,0 +1,191 @@
+//! The live-runtime message fabric: epoch-tagged envelopes behind a
+//! [`Transport`] trait.
+//!
+//! The live runtime (`edgelet-live`) hosts the very same protocol actors
+//! as the simulator, but messages travel through a pluggable transport
+//! instead of the simulator's internal scheduler. On that path every
+//! message is wrapped in an [`Envelope`]: a small header carrying the
+//! **epoch** (the per-query isolation id the query service assigns), the
+//! endpoint addresses, the sender's deterministic sequence number, and
+//! the virtual send/delivery timestamps — followed by the unchanged
+//! protocol payload bytes (the sealed frames produced by
+//! `edgelet-exec`).
+//!
+//! The envelope is a *versioned extension* of the wire format: it does
+//! not alter [`crate::frame::FRAME_VERSION`] (payloads inside an
+//! envelope are ordinary frames), but carries its own
+//! [`ENVELOPE_VERSION`] so transports can reject headers they do not
+//! understand. See `docs/RUNTIME.md` and `docs/PROTOCOL.md`.
+
+use crate::codec::{Decode, Encode, Reader, Writer};
+use edgelet_util::ids::DeviceId;
+use edgelet_util::{Error, Payload, Result};
+
+/// Version byte of the envelope header. Bump on layout changes.
+pub const ENVELOPE_VERSION: u8 = 1;
+
+/// One message in flight on a live transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Per-query isolation id; transports deliver an envelope only to
+    /// mailboxes registered under the same epoch.
+    pub epoch: u64,
+    /// Sending device.
+    pub from: DeviceId,
+    /// Receiving device.
+    pub to: DeviceId,
+    /// The sender's deterministic spawn sequence number — together with
+    /// `(deliver_at_us, from)` it forms the intrinsic event key the
+    /// runtime orders deliveries by.
+    pub seq: u64,
+    /// Virtual send time, microseconds.
+    pub sent_at_us: u64,
+    /// Virtual delivery time, microseconds (send time + drawn latency).
+    pub deliver_at_us: u64,
+    /// The protocol bytes — a sealed `edgelet-exec` frame, untouched.
+    pub payload: Payload,
+}
+
+impl Envelope {
+    /// Serializes the envelope (header + payload) into wire bytes.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(self.payload.len() + 32);
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Parses an envelope from wire bytes, requiring full consumption.
+    pub fn from_wire(bytes: &[u8]) -> Result<Envelope> {
+        let mut r = Reader::new(bytes);
+        let env = Envelope::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(env)
+    }
+}
+
+impl Encode for Envelope {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(ENVELOPE_VERSION as u64);
+        w.put_varint(self.epoch);
+        w.put_varint(self.from.raw());
+        w.put_varint(self.to.raw());
+        w.put_varint(self.seq);
+        w.put_varint(self.sent_at_us);
+        w.put_varint(self.deliver_at_us);
+        w.put_bytes(self.payload.as_slice());
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let version = r.varint()?;
+        if version != ENVELOPE_VERSION as u64 {
+            return Err(Error::Decode(format!(
+                "unsupported envelope version {version} (expected {ENVELOPE_VERSION})"
+            )));
+        }
+        let epoch = r.varint()?;
+        let from = DeviceId::new(r.varint()?);
+        let to = DeviceId::new(r.varint()?);
+        let seq = r.varint()?;
+        let sent_at_us = r.varint()?;
+        let deliver_at_us = r.varint()?;
+        let payload = Payload::from(r.bytes()?);
+        Ok(Envelope {
+            epoch,
+            from,
+            to,
+            seq,
+            sent_at_us,
+            deliver_at_us,
+            payload,
+        })
+    }
+}
+
+/// Why a transport refused an envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The envelope's epoch is not registered — a cross-epoch send. The
+    /// query service treats this as per-query isolation working as
+    /// intended; a protocol bug, not a transient condition.
+    UnknownEpoch(u64),
+    /// The destination mailbox is full; the sender must hold the
+    /// envelope and retry after the receiver drains.
+    Backpressure,
+    /// The transport is shutting down; no further sends are accepted.
+    Closed,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::UnknownEpoch(e) => write!(f, "unknown transport epoch {e}"),
+            TransportError::Backpressure => write!(f, "mailbox full (backpressure)"),
+            TransportError::Closed => write!(f, "transport closed"),
+        }
+    }
+}
+
+/// A message fabric the live runtime sends envelopes through.
+///
+/// Implementations must be safe to call from many worker threads at
+/// once. The contract the runtime's determinism rests on:
+///
+/// * `submit` either accepts the envelope (it will appear in exactly one
+///   subsequent `drain` of the destination lane) or rejects it with a
+///   [`TransportError`] — envelopes are never reordered *within* a lane
+///   relative to their `(deliver_at_us, from, seq)` key consumers sort
+///   by, and never duplicated;
+/// * `drain` returns everything submitted to `(epoch, lane)` before the
+///   call (concurrent submits may or may not be included);
+/// * `pending` reports what `drain` would currently return, as
+///   `(count, min deliver_at_us)`.
+pub trait Transport: Send + Sync {
+    /// Submits an envelope for delivery.
+    fn submit(&self, env: Envelope) -> std::result::Result<(), TransportError>;
+    /// Drains every envelope queued for one `(epoch, lane)` mailbox.
+    fn drain(&self, epoch: u64, lane: usize) -> Vec<Envelope>;
+    /// Count and earliest virtual delivery time of queued envelopes.
+    fn pending(&self, epoch: u64, lane: usize) -> Option<(usize, u64)>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envelope(epoch: u64) -> Envelope {
+        Envelope {
+            epoch,
+            from: DeviceId::new(3),
+            to: DeviceId::new(9),
+            seq: 41,
+            sent_at_us: 1_000,
+            deliver_at_us: 11_000,
+            payload: Payload::from(vec![1u8, 2, 3, 4]),
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let env = envelope(7);
+        let bytes = env.to_wire();
+        let back = Envelope::from_wire(&bytes).unwrap();
+        assert_eq!(env, back);
+    }
+
+    #[test]
+    fn envelope_rejects_unknown_version() {
+        let mut bytes = envelope(7).to_wire();
+        bytes[0] = ENVELOPE_VERSION + 1;
+        let err = Envelope::from_wire(&bytes).unwrap_err();
+        assert!(matches!(err, Error::Decode(_)));
+    }
+
+    #[test]
+    fn envelope_rejects_trailing_garbage() {
+        let mut bytes = envelope(7).to_wire();
+        bytes.push(0xAB);
+        assert!(Envelope::from_wire(&bytes).is_err());
+    }
+}
