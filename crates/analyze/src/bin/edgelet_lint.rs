@@ -1,18 +1,21 @@
 //! `edgelet-lint` — walks `crates/**/src/**/*.rs` of a workspace and
-//! reports determinism/panic-hygiene findings (`E101`–`E104`).
+//! reports determinism/panic-hygiene findings (`E101`–`E104`), Layer-3
+//! concurrency findings (`E130`-series), and stale suppression
+//! directives (`W131`).
 //!
-//! Usage: `edgelet-lint [--format json|human] [workspace_root]`
-//! (the root defaults to the current directory). Exits nonzero when any
-//! finding is reported, so CI can gate on it.
+//! Usage: `edgelet-lint [--format json|human] [--no-concurrency]
+//! [workspace_root]` (the root defaults to the current directory). Exits
+//! nonzero when any finding is reported, so CI can gate on it.
 
 use edgelet_analyze::diagnostic::{render_human, render_json};
-use edgelet_analyze::lint::lint_workspace;
+use edgelet_analyze::sourcepass::{analyze_sources_with, SourcePassOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json = false;
+    let mut opts = SourcePassOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,8 +27,12 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--no-concurrency" => opts.concurrency = false,
+            "--concurrency" => opts.concurrency = true,
             "--help" | "-h" => {
-                eprintln!("usage: edgelet-lint [--format json|human] [workspace_root]");
+                eprintln!(
+                    "usage: edgelet-lint [--format json|human] [--no-concurrency] [workspace_root]"
+                );
                 return ExitCode::SUCCESS;
             }
             path => root = PathBuf::from(path),
@@ -35,7 +42,7 @@ fn main() -> ExitCode {
         eprintln!("edgelet-lint: {} has no crates/ directory", root.display());
         return ExitCode::from(2);
     }
-    let findings = lint_workspace(&root);
+    let findings = analyze_sources_with(&root, opts);
     if json {
         print!("{}", render_json(&findings));
     } else {

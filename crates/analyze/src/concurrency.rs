@@ -1,0 +1,1140 @@
+//! Layer 3: cross-crate concurrency static analysis.
+//!
+//! The live runtime (`crates/live`) and the sharded simulator
+//! (`crates/sim`) put protocol actors on real threads behind
+//! lock-striped mailboxes. The refactors the roadmap calls for on those
+//! hot paths — finer-grained mailboxes, work stealing, wider lookahead —
+//! are exactly the kind that silently introduce deadlocks and
+//! schedule-dependent divergence. This pass models every lock site in
+//! the workspace from source (the shared [`crate::scanner`], no parser
+//! dependency) and reports:
+//!
+//! * `E130` — **lock-order cycles**: two lock classes acquired in
+//!   opposite orders on different code paths (including through calls:
+//!   holding `a` while calling a function that acquires `b` orders
+//!   `a -> b`). Two threads taking the two paths can deadlock holding
+//!   one lock each.
+//! * `E132` — a **lock held across a blocking or transport call**
+//!   (`submit`, `send`, `recv`, `join`, sleep): the holder can stall
+//!   every thread contending for that lock behind the slow call.
+//!   `Condvar::wait`/`wait_timeout` are deliberately *not* blocking
+//!   needles — they release the guard while waiting.
+//! * `W133` — a **channel constructed without a capacity bound**
+//!   (`mpsc::channel`, `unbounded`): the code-level generalization of
+//!   the config-level `W121` mailbox check.
+//! * `E134` — **unsynchronized shared mutable state** (`static mut`
+//!   anywhere; `Rc`/`RefCell`/`Cell` in a crate that spawns threads).
+//!   `thread_local!` blocks are exempt — they are per-thread by
+//!   construction.
+//!
+//! ## The model
+//!
+//! Functions are parsed by brace depth. A **lock class** is the last
+//! identifier path segment of the lock expression: `lock(&self.epochs)`
+//! and `lock(&lanes[lane])` acquire classes `epochs` and `lanes` — the
+//! stripe index is erased, which is deliberately conservative for
+//! ordering (two stripes of one class count as one lock). Guard scopes
+//! follow the binding shape: a `let`-bound guard lives to the end of its
+//! enclosing block (or an explicit `drop(var)`); a guard inside a
+//! `for`/`while`/`if`/`match` head lives through that construct
+//! (scrutinee and iterator temporaries survive the whole block); a bare
+//! temporary lives only through its own statement line. Acquisition
+//! order is propagated interprocedurally: per-function acquisition sets
+//! reach a fixpoint over same-crate calls resolved by name (conservative
+//! union for same-named functions), and class graphs never cross crate
+//! boundaries.
+//!
+//! Findings are suppressed exactly like lint findings: a justified
+//! `lint: allow(E130 reason)` on the same or preceding line.
+
+use crate::diagnostic::{codes, Diagnostic};
+use crate::scanner::{load_workspace, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Extracts the lock class from a lock expression: strip borrows and
+/// derefs, erase stripe indices (`[..]`), and take the last non-numeric
+/// path segment. `&self.0.in_flight` -> `in_flight`; `&lanes[lane]` ->
+/// `lanes`.
+fn class_of_expr(expr: &str) -> Option<String> {
+    let e = expr.trim().trim_start_matches(&['&', '*'][..]).trim_start();
+    let e = e.strip_prefix("mut ").unwrap_or(e).trim_start();
+    let base = &e[..e.find('[').unwrap_or(e.len())];
+    let seg = base
+        .split('.')
+        .rev()
+        .map(str::trim)
+        .find(|s| !s.is_empty() && !s.bytes().all(|b| b.is_ascii_digit()) && *s != "self")?;
+    let class: String = seg
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!class.is_empty()).then_some(class)
+}
+
+/// Finds the `fn name` declared on this line, if any.
+fn fn_decl_name(line: &str) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = line[i..].find("fn ") {
+        let p = i + pos;
+        i = p + 3;
+        if p > 0 && is_ident(bytes[p - 1]) {
+            continue;
+        }
+        let mut j = p + 3;
+        while j < bytes.len() && bytes[j] == b' ' {
+            j += 1;
+        }
+        let start = j;
+        while j < bytes.len() && is_ident(bytes[j]) {
+            j += 1;
+        }
+        if j > start && !bytes[start].is_ascii_digit() {
+            return Some(line[start..j].to_string());
+        }
+    }
+    None
+}
+
+/// Lock acquisitions on a line: `(column, class)` for both the
+/// workspace's `lock(expr)` helper idiom and method-style `x.lock()`.
+fn find_locks(line: &str) -> Vec<(usize, String)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = line[i..].find("lock(") {
+        let p = i + pos;
+        i = p + 5;
+        if p > 0 && (is_ident(bytes[p - 1]) || bytes[p - 1] == b'.') {
+            continue; // `.lock(`, `try_lock(`, `unlock(` are not the helper
+        }
+        if line[..p].trim_end().ends_with("fn") {
+            continue; // the helper's own definition
+        }
+        let mut depth = 1u32;
+        let mut j = p + 5;
+        while j < bytes.len() && depth > 0 {
+            match bytes[j] {
+                b'(' => depth += 1,
+                b')' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = if depth == 0 { j - 1 } else { j };
+        if let Some(class) = class_of_expr(&line[p + 5..end]) {
+            out.push((p, class));
+        }
+    }
+    let mut i = 0;
+    while let Some(pos) = line[i..].find(".lock()") {
+        let p = i + pos;
+        i = p + 7;
+        let mut s = p;
+        while s > 0 && (is_ident(bytes[s - 1]) || bytes[s - 1] == b'.') {
+            s -= 1;
+        }
+        if s < p {
+            if let Some(class) = class_of_expr(&line[s..p]) {
+                out.push((p, class));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Calls on a line to functions defined in the same crate, resolved by
+/// bare name. The `lock` helper is modeled as a direct acquisition, not
+/// a call.
+fn find_calls(line: &str, known: &BTreeSet<String>) -> Vec<(usize, String)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !is_ident(bytes[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident(bytes[i]) {
+            i += 1;
+        }
+        if start > 0 && is_ident(bytes[start - 1]) {
+            continue;
+        }
+        let ident = &line[start..i];
+        if i < bytes.len()
+            && bytes[i] == b'('
+            && ident != "lock"
+            && known.contains(ident)
+            && !line[..start].trim_end().ends_with("fn")
+        {
+            out.push((start, ident.to_string()));
+        }
+    }
+    out
+}
+
+/// `drop(var)` sites: `(column, variable)`.
+fn find_drops(line: &str) -> Vec<(usize, String)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = line[i..].find("drop(") {
+        let p = i + pos;
+        i = p + 5;
+        if p > 0 && (is_ident(bytes[p - 1]) || bytes[p - 1] == b'.') {
+            continue;
+        }
+        let var: String = line[p + 5..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !var.is_empty() {
+            out.push((p, var));
+        }
+    }
+    out
+}
+
+/// Blocking/transport needles: the call shapes a lock must not be held
+/// across. `Condvar` waits release the guard, so `.wait(`/`.wait_timeout(`
+/// are deliberately absent.
+const BLOCKING: &[(&str, &str)] = &[
+    (".submit(", "transport submit"),
+    ("transport.drain(", "transport drain"),
+    (".send(", "blocking send"),
+    (".recv(", "blocking receive"),
+    (".join(", "thread join"),
+    ("thread::sleep", "sleep"),
+];
+
+/// First blocking needle on the line, skipping the simulator's virtual
+/// `ctx.send` hop and string `join(", ")`-style calls.
+fn find_blocking(line: &str) -> Option<(usize, &'static str)> {
+    let mut best: Option<(usize, &'static str)> = None;
+    for (needle, what) in BLOCKING {
+        let mut i = 0;
+        while let Some(pos) = line[i..].find(needle) {
+            let p = i + pos;
+            i = p + needle.len();
+            if *needle == ".send(" {
+                // `ctx.send` is the simulator's virtual hop — it
+                // enqueues an event, it cannot block.
+                let bytes = line.as_bytes();
+                let mut s = p;
+                while s > 0 && is_ident(bytes[s - 1]) {
+                    s -= 1;
+                }
+                if &line[s..p] == "ctx" {
+                    continue;
+                }
+            }
+            if *needle == ".join(" {
+                // `parts.join(", ")` is string/slice concatenation.
+                let rest = line[p + needle.len()..].trim_start();
+                if rest.starts_with('"') {
+                    continue;
+                }
+            }
+            if best.is_none_or(|(bp, _)| p < bp) {
+                best = Some((p, what));
+            }
+            break;
+        }
+    }
+    best
+}
+
+#[derive(Debug, PartialEq)]
+enum GuardKind {
+    /// `let g = lock(..)`: lives until the enclosing block closes or an
+    /// explicit `drop(g)`.
+    Let,
+    /// `for`/`while`/`if`/`match` head: the guard temporary lives
+    /// through the whole construct.
+    Block,
+}
+
+#[derive(Debug)]
+struct Guard {
+    class: String,
+    kind: GuardKind,
+    block_depth: i32,
+    var: Option<String>,
+}
+
+#[derive(Debug)]
+struct Edge {
+    from: String,
+    to: String,
+    line: usize,
+}
+
+#[derive(Debug)]
+struct CallSite {
+    callee: String,
+    line: usize,
+    held: Vec<String>,
+}
+
+#[derive(Debug)]
+struct BlockSite {
+    what: &'static str,
+    line: usize,
+    held: Vec<String>,
+}
+
+#[derive(Debug)]
+struct FnInfo {
+    name: String,
+    file: usize,
+    locks: Vec<(String, usize)>,
+    edges: Vec<Edge>,
+    calls: Vec<CallSite>,
+    blocking: Vec<BlockSite>,
+}
+
+/// The binding shape at a lock site decides the guard's lifetime.
+fn guard_kind(prefix: &str) -> Option<(GuardKind, Option<String>)> {
+    if ["for ", "while ", "if ", "match "]
+        .iter()
+        .any(|k| prefix.contains(k))
+    {
+        return Some((GuardKind::Block, None));
+    }
+    let let_pos = prefix.rfind("let ")?;
+    let after = prefix[let_pos + 4..].trim_start();
+    let after = after.strip_prefix("mut ").unwrap_or(after);
+    let var: String = after
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    Some((GuardKind::Let, (!var.is_empty()).then_some(var)))
+}
+
+/// Parses every function body in `file` into lock/call/blocking
+/// summaries, tracking guard scopes by brace depth.
+fn parse_functions(file: &SourceFile, file_idx: usize, known: &BTreeSet<String>) -> Vec<FnInfo> {
+    let mut out = Vec::new();
+    let mut depth: i32 = 0;
+    let mut pending: Option<String> = None;
+    let mut current: Option<(FnInfo, i32, Vec<Guard>)> = None;
+
+    enum Ev {
+        Lock(String),
+        Drop(String),
+        Call(String),
+        Blocking(&'static str),
+    }
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let ln = idx + 1;
+        let masked = file.test_mask.get(idx).copied().unwrap_or(false);
+        if !masked && current.is_none() && pending.is_none() {
+            pending = fn_decl_name(line);
+        }
+
+        // Semantic events at their columns, interleaved with the brace
+        // scan below so guard scopes and same-line releases are
+        // positionally exact.
+        let mut events: Vec<(usize, Ev)> = Vec::new();
+        if !masked {
+            for (col, class) in find_locks(line) {
+                events.push((col, Ev::Lock(class)));
+            }
+            for (col, var) in find_drops(line) {
+                events.push((col, Ev::Drop(var)));
+            }
+            for (col, callee) in find_calls(line, known) {
+                events.push((col, Ev::Call(callee)));
+            }
+            if let Some((col, what)) = find_blocking(line) {
+                events.push((col, Ev::Blocking(what)));
+            }
+            events.sort_by_key(|(col, _)| *col);
+        }
+
+        let mut line_temps: Vec<String> = Vec::new();
+        let mut ei = 0;
+        for (ci, b) in line.bytes().enumerate() {
+            // Events fire at their column, before any brace that follows
+            // them on the line.
+            while ei < events.len() && events[ei].0 == ci {
+                if let Some((info, _, guards)) = current.as_mut() {
+                    match &events[ei].1 {
+                        Ev::Lock(class) => {
+                            for g in guards.iter() {
+                                info.edges.push(Edge {
+                                    from: g.class.clone(),
+                                    to: class.clone(),
+                                    line: ln,
+                                });
+                            }
+                            for t in &line_temps {
+                                info.edges.push(Edge {
+                                    from: t.clone(),
+                                    to: class.clone(),
+                                    line: ln,
+                                });
+                            }
+                            info.locks.push((class.clone(), ln));
+                            match guard_kind(&line[..ci]) {
+                                Some((kind, var)) => guards.push(Guard {
+                                    class: class.clone(),
+                                    kind,
+                                    // The scope the binding belongs to is
+                                    // the one open at its column.
+                                    block_depth: depth,
+                                    var,
+                                }),
+                                None => line_temps.push(class.clone()),
+                            }
+                        }
+                        Ev::Drop(var) => {
+                            guards.retain(|g| g.var.as_deref() != Some(var.as_str()));
+                        }
+                        Ev::Call(callee) => info.calls.push(CallSite {
+                            callee: callee.clone(),
+                            line: ln,
+                            held: guards.iter().map(|g| g.class.clone()).collect(),
+                        }),
+                        Ev::Blocking(what) => info.blocking.push(BlockSite {
+                            what,
+                            line: ln,
+                            held: guards.iter().map(|g| g.class.clone()).collect(),
+                        }),
+                    }
+                }
+                ei += 1;
+            }
+            match b {
+                b'{' => {
+                    depth += 1;
+                    if current.is_none() {
+                        if let Some(name) = pending.take() {
+                            current = Some((
+                                FnInfo {
+                                    name,
+                                    file: file_idx,
+                                    locks: Vec::new(),
+                                    edges: Vec::new(),
+                                    calls: Vec::new(),
+                                    blocking: Vec::new(),
+                                },
+                                depth,
+                                Vec::new(),
+                            ));
+                        }
+                    }
+                }
+                b'}' => {
+                    depth -= 1;
+                    if let Some((_, body_depth, guards)) = current.as_mut() {
+                        // A closing brace ends every scope opened at or
+                        // below it: `let` guards die with their block,
+                        // construct-head guards with their construct.
+                        guards.retain(|g| match g.kind {
+                            GuardKind::Let => depth >= g.block_depth,
+                            GuardKind::Block => depth > g.block_depth,
+                        });
+                        if depth < *body_depth {
+                            let (info, _, _) = current.take().expect("current checked above");
+                            out.push(info);
+                        }
+                    }
+                }
+                b';' if current.is_none() => pending = None, // trait method decl
+                _ => {}
+            }
+        }
+        // A construct-head guard whose construct opened and closed on
+        // this line dies with it; bare temporaries never outlive a line.
+        if let Some((_, _, guards)) = current.as_mut() {
+            guards.retain(|g| match g.kind {
+                GuardKind::Let => depth >= g.block_depth,
+                GuardKind::Block => depth > g.block_depth,
+            });
+        }
+    }
+    if let Some((info, _, _)) = current.take() {
+        out.push(info);
+    }
+    out
+}
+
+/// Every `fn` name declared outside test regions, per file set.
+fn known_fns(files: &[&SourceFile]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for file in files {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if file.test_mask.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            if let Some(name) = fn_decl_name(line) {
+                out.insert(name);
+            }
+        }
+    }
+    out
+}
+
+/// An ordered-acquisition edge in the per-crate class graph.
+#[derive(Debug, Clone)]
+struct EdgeInfo {
+    file: String,
+    line: usize,
+    via: Option<String>,
+}
+
+fn needle_has_boundary(line: &str, pos: usize) -> bool {
+    pos == 0 || !is_ident(line.as_bytes()[pos - 1])
+}
+
+/// Enumerates simple cycles whose lexicographically smallest class is
+/// `start` (each cycle reported once), capped for sanity.
+fn cycles_from(
+    start: &str,
+    cur: &str,
+    adj: &BTreeMap<String, BTreeMap<String, EdgeInfo>>,
+    path: &mut Vec<String>,
+    on_path: &mut BTreeSet<String>,
+    out: &mut Vec<Vec<String>>,
+) {
+    if out.len() >= 16 {
+        return;
+    }
+    let Some(nexts) = adj.get(cur) else {
+        return;
+    };
+    for next in nexts.keys() {
+        if next.as_str() < start {
+            continue;
+        }
+        if next == start {
+            out.push(path.clone());
+            continue;
+        }
+        if on_path.contains(next) {
+            continue;
+        }
+        path.push(next.clone());
+        on_path.insert(next.clone());
+        cycles_from(start, next, adj, path, on_path, out);
+        path.pop();
+        on_path.remove(next);
+    }
+}
+
+/// Runs the concurrency pass over one crate's files.
+fn check_crate(files: &[&SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // A crate is "threaded" when its library code spawns or scopes
+    // threads; the shared-state rules only apply there.
+    let threaded = files.iter().any(|f| {
+        f.lines.iter().enumerate().any(|(idx, line)| {
+            !f.test_mask.get(idx).copied().unwrap_or(false)
+                && (line.contains("thread::spawn") || line.contains("thread::scope"))
+        })
+    });
+
+    // Per-line scans: unbounded channels (W133) and unsynchronized
+    // shared state (E134).
+    for file in files {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if file.test_mask.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let ln = idx + 1;
+            for needle in ["mpsc::channel", "unbounded("] {
+                let Some(pos) = line.find(needle) else {
+                    continue;
+                };
+                // `mpsc::channel` may continue with a turbofish; it must
+                // not be a longer identifier (e.g. `sync_channel`).
+                let end = pos + needle.len();
+                if line.as_bytes().get(end).copied().is_some_and(is_ident)
+                    || !needle_has_boundary(line, pos)
+                    || file.allows(codes::CONC_UNBOUNDED_CHANNEL, ln)
+                {
+                    continue;
+                }
+                out.push(
+                    Diagnostic::warning(
+                        codes::CONC_UNBOUNDED_CHANNEL,
+                        format!("{}:{ln}", file.display_path),
+                        format!("channel constructed without a capacity bound: `{needle}..`"),
+                    )
+                    .with_help(
+                        "a producer can outrun its consumer without ever seeing \
+                         backpressure; use a bounded channel (sync_channel) sized \
+                         like the transport mailboxes",
+                    ),
+                );
+                break;
+            }
+            let shared_state: &[&str] = if threaded {
+                &["static mut ", "Rc<", "RefCell<", "Cell<"]
+            } else {
+                &["static mut "]
+            };
+            let in_thread_local = file.thread_local_mask.get(idx).copied().unwrap_or(false);
+            for needle in shared_state {
+                if in_thread_local && *needle != "static mut " {
+                    continue; // thread-locals are per-thread by construction
+                }
+                let Some(pos) = line.find(needle) else {
+                    continue;
+                };
+                if !needle_has_boundary(line, pos)
+                    || file.allows(codes::CONC_UNSYNC_SHARED_STATE, ln)
+                {
+                    continue;
+                }
+                out.push(
+                    Diagnostic::error(
+                        codes::CONC_UNSYNC_SHARED_STATE,
+                        format!("{}:{ln}", file.display_path),
+                        format!(
+                            "unsynchronized shared mutable state in a thread-spawning \
+                             crate: `{}`",
+                            needle.trim_end()
+                        ),
+                    )
+                    .with_help(
+                        "worker threads can reach this without a lock: use \
+                         Arc<Mutex<..>>/atomics, or keep it inside thread_local!",
+                    ),
+                );
+                break;
+            }
+        }
+    }
+
+    // Function-level lock model.
+    let known = known_fns(files);
+    let mut fns: Vec<FnInfo> = Vec::new();
+    for (file_idx, file) in files.iter().enumerate() {
+        fns.extend(parse_functions(file, file_idx, &known));
+    }
+
+    // Fixpoint: per-name acquisition sets and blocking reachability,
+    // propagated through same-crate calls (same-named fns are unioned —
+    // conservative, never misses an order).
+    let mut acquires: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut blocks: BTreeMap<String, &'static str> = BTreeMap::new();
+    for f in &fns {
+        let entry = acquires.entry(f.name.clone()).or_default();
+        entry.extend(f.locks.iter().map(|(c, _)| c.clone()));
+        if let Some(b) = f.blocking.first() {
+            blocks.entry(f.name.clone()).or_insert(b.what);
+        }
+    }
+    for _ in 0..32 {
+        let mut changed = false;
+        for f in &fns {
+            for call in &f.calls {
+                let from_callee: Option<BTreeSet<String>> = acquires.get(&call.callee).cloned();
+                if let Some(set) = from_callee {
+                    let entry = acquires.entry(f.name.clone()).or_default();
+                    for c in set {
+                        changed |= entry.insert(c);
+                    }
+                }
+                if let Some(&what) = blocks.get(&call.callee) {
+                    if !blocks.contains_key(&f.name) {
+                        blocks.insert(f.name.clone(), what);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // The class order graph: direct edges plus call-mediated ones.
+    let mut adj: BTreeMap<String, BTreeMap<String, EdgeInfo>> = BTreeMap::new();
+    let mut add_edge = |from: &str, to: &str, info: EdgeInfo| {
+        adj.entry(from.to_string())
+            .or_default()
+            .entry(to.to_string())
+            .or_insert(info);
+    };
+    for f in &fns {
+        let path = &files[f.file].display_path;
+        for e in &f.edges {
+            add_edge(
+                &e.from,
+                &e.to,
+                EdgeInfo {
+                    file: path.clone(),
+                    line: e.line,
+                    via: None,
+                },
+            );
+        }
+        for call in &f.calls {
+            if call.held.is_empty() {
+                continue;
+            }
+            let Some(acq) = acquires.get(&call.callee) else {
+                continue;
+            };
+            for h in &call.held {
+                for c in acq {
+                    add_edge(
+                        h,
+                        c,
+                        EdgeInfo {
+                            file: path.clone(),
+                            line: call.line,
+                            via: Some(call.callee.clone()),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // E130: cycles in the class order graph.
+    let by_path: BTreeMap<&str, &SourceFile> = files
+        .iter()
+        .map(|f| (f.display_path.as_str(), *f))
+        .collect();
+    let mut found_cycles = Vec::new();
+    for start in adj.keys() {
+        let mut path = vec![start.clone()];
+        let mut on_path: BTreeSet<String> = [start.clone()].into_iter().collect();
+        cycles_from(
+            start,
+            start,
+            &adj,
+            &mut path,
+            &mut on_path,
+            &mut found_cycles,
+        );
+    }
+    for cycle in found_cycles {
+        let mut sites = Vec::new();
+        let mut best: Option<(&str, usize)> = None;
+        for i in 0..cycle.len() {
+            let from = &cycle[i];
+            let to = &cycle[(i + 1) % cycle.len()];
+            let info = &adj[from][to];
+            let via = info
+                .via
+                .as_ref()
+                .map(|v| format!(" via `{v}`"))
+                .unwrap_or_default();
+            sites.push(format!(
+                "`{from}` -> `{to}` at {}:{}{via}",
+                info.file, info.line
+            ));
+            let key = (info.file.as_str(), info.line);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        let (file, line) = best.expect("cycle has at least one edge");
+        let suppressed = cycle.iter().enumerate().any(|(i, from)| {
+            let to = &cycle[(i + 1) % cycle.len()];
+            let info = &adj[from][to];
+            by_path
+                .get(info.file.as_str())
+                .is_some_and(|f| f.allows(codes::CONC_LOCK_ORDER_CYCLE, info.line))
+        });
+        if suppressed {
+            continue;
+        }
+        let ring = cycle
+            .iter()
+            .chain(cycle.first())
+            .map(|c| format!("`{c}`"))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        out.push(
+            Diagnostic::error(
+                codes::CONC_LOCK_ORDER_CYCLE,
+                format!("{file}:{line}"),
+                format!("lock-order cycle {ring}: {}", sites.join("; ")),
+            )
+            .with_help(
+                "two threads taking these paths deadlock holding one lock \
+                 each; pick one global acquisition order (or drop the first \
+                 guard before taking the second)",
+            ),
+        );
+    }
+
+    // E132: a guard held across a blocking call, directly or through a
+    // same-crate call that (transitively) blocks.
+    let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for f in &fns {
+        let file = files[f.file];
+        for b in &f.blocking {
+            if b.held.is_empty() || !reported.insert((f.file, b.line)) {
+                continue;
+            }
+            if file.allows(codes::CONC_LOCK_ACROSS_BLOCKING, b.line) {
+                continue;
+            }
+            out.push(
+                Diagnostic::error(
+                    codes::CONC_LOCK_ACROSS_BLOCKING,
+                    format!("{}:{}", file.display_path, b.line),
+                    format!("{} while holding lock `{}`", b.what, b.held.join("`, `")),
+                )
+                .with_help(
+                    "every thread contending for this lock stalls behind the \
+                     call; release the guard first (drop it or narrow its block)",
+                ),
+            );
+        }
+        for call in &f.calls {
+            if call.held.is_empty() || !reported.insert((f.file, call.line)) {
+                continue;
+            }
+            let Some(&what) = blocks.get(&call.callee) else {
+                continue;
+            };
+            if file.allows(codes::CONC_LOCK_ACROSS_BLOCKING, call.line) {
+                continue;
+            }
+            out.push(
+                Diagnostic::error(
+                    codes::CONC_LOCK_ACROSS_BLOCKING,
+                    format!("{}:{}", file.display_path, call.line),
+                    format!(
+                        "call to `{}` (which performs a {}) while holding lock `{}`",
+                        call.callee,
+                        what,
+                        call.held.join("`, `")
+                    ),
+                )
+                .with_help(
+                    "every thread contending for this lock stalls behind the \
+                     call; release the guard first (drop it or narrow its block)",
+                ),
+            );
+        }
+    }
+
+    out
+}
+
+/// Runs the Layer-3 concurrency pass over a set of parsed files,
+/// grouping them per crate (lock classes and call resolution never
+/// cross crate boundaries).
+pub fn check_files(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut by_crate: BTreeMap<&str, Vec<&SourceFile>> = BTreeMap::new();
+    for f in files {
+        by_crate.entry(f.crate_name.as_str()).or_default().push(f);
+    }
+    let mut out = Vec::new();
+    for group in by_crate.values() {
+        out.extend(check_crate(group));
+    }
+    out
+}
+
+/// Parses and checks every `crates/**/src/**/*.rs` under
+/// `workspace_root`.
+pub fn check_workspace(workspace_root: &Path) -> Vec<Diagnostic> {
+    check_files(&load_workspace(workspace_root))
+}
+
+/// Checks one file's source — the fixture-test entry point.
+pub fn check_source(display_path: &str, crate_name: &str, source: &str) -> Vec<Diagnostic> {
+    check_files(&[SourceFile::parse(display_path, crate_name, source)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes_in(found: &[Diagnostic]) -> Vec<&'static str> {
+        found.iter().map(|d| d.code).collect()
+    }
+
+    const HELPER: &str =
+        "use std::sync::{Mutex, MutexGuard};\n\
+         fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> { m.lock().unwrap_or_else(|e| e.into_inner()) }\n";
+
+    #[test]
+    fn opposite_acquisition_orders_are_a_cycle() {
+        let src = format!(
+            "{HELPER}\
+             struct S {{ a: Mutex<u32>, b: Mutex<u32> }}\n\
+             impl S {{\n\
+                 fn forward(&self) {{\n\
+                     let ga = lock(&self.a);\n\
+                     let gb = lock(&self.b);\n\
+                     drop(gb);\n\
+                     drop(ga);\n\
+                 }}\n\
+                 fn backward(&self) {{\n\
+                     let gb = lock(&self.b);\n\
+                     let ga = lock(&self.a);\n\
+                     drop(ga);\n\
+                     drop(gb);\n\
+                 }}\n\
+             }}\n"
+        );
+        let found = check_source("crates/live/src/x.rs", "live", &src);
+        assert_eq!(
+            codes_in(&found),
+            vec![codes::CONC_LOCK_ORDER_CYCLE],
+            "{found:#?}"
+        );
+        assert!(found[0].message.contains("`a` -> `b`"), "{found:#?}");
+        assert!(found[0].message.contains("`b` -> `a`"), "{found:#?}");
+    }
+
+    #[test]
+    fn call_mediated_cycle_is_found() {
+        let src = format!(
+            "{HELPER}\
+             struct S {{ a: Mutex<u32>, b: Mutex<u32> }}\n\
+             impl S {{\n\
+                 fn forward(&self) {{\n\
+                     let ga = lock(&self.a);\n\
+                     self.takes_b();\n\
+                     drop(ga);\n\
+                 }}\n\
+                 fn takes_b(&self) {{\n\
+                     let _gb = lock(&self.b);\n\
+                 }}\n\
+                 fn backward(&self) {{\n\
+                     let gb = lock(&self.b);\n\
+                     let ga = lock(&self.a);\n\
+                     drop(ga);\n\
+                     drop(gb);\n\
+                 }}\n\
+             }}\n"
+        );
+        let found = check_source("crates/live/src/x.rs", "live", &src);
+        assert_eq!(
+            codes_in(&found),
+            vec![codes::CONC_LOCK_ORDER_CYCLE],
+            "{found:#?}"
+        );
+        assert!(found[0].message.contains("via `takes_b`"), "{found:#?}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = format!(
+            "{HELPER}\
+             struct S {{ a: Mutex<u32>, b: Mutex<u32> }}\n\
+             impl S {{\n\
+                 fn one(&self) {{ let ga = lock(&self.a); let _gb = lock(&self.b); drop(ga); }}\n\
+                 fn two(&self) {{ let ga = lock(&self.a); let _gb = lock(&self.b); drop(ga); }}\n\
+             }}\n"
+        );
+        assert!(check_source("crates/live/src/x.rs", "live", &src).is_empty());
+    }
+
+    #[test]
+    fn drop_releases_the_guard_before_the_second_lock() {
+        let src = format!(
+            "{HELPER}\
+             struct S {{ a: Mutex<u32>, b: Mutex<u32> }}\n\
+             impl S {{\n\
+                 fn fwd(&self) {{ let ga = lock(&self.a); drop(ga); let _gb = lock(&self.b); }}\n\
+                 fn bwd(&self) {{ let gb = lock(&self.b); drop(gb); let _ga = lock(&self.a); }}\n\
+             }}\n"
+        );
+        assert!(check_source("crates/live/src/x.rs", "live", &src).is_empty());
+    }
+
+    #[test]
+    fn block_scope_releases_the_guard() {
+        let src = format!(
+            "{HELPER}\
+             struct S {{ a: Mutex<Vec<u8>>, b: Mutex<u32> }}\n\
+             impl S {{\n\
+                 fn fwd(&self) {{\n\
+                     {{ let _ga = lock(&self.a); }}\n\
+                     let _gb = lock(&self.b);\n\
+                 }}\n\
+                 fn bwd(&self) {{\n\
+                     {{ let _gb = lock(&self.b); }}\n\
+                     let _ga = lock(&self.a);\n\
+                 }}\n\
+             }}\n"
+        );
+        assert!(check_source("crates/live/src/x.rs", "live", &src).is_empty());
+    }
+
+    #[test]
+    fn lock_held_across_submit_is_reported() {
+        let src = format!(
+            "{HELPER}\
+             struct S {{ a: Mutex<u32> }}\n\
+             impl S {{\n\
+                 fn bad(&self, t: &dyn Transport, env: Envelope) {{\n\
+                     let g = lock(&self.a);\n\
+                     let _ = t.submit(env);\n\
+                     drop(g);\n\
+                 }}\n\
+             }}\n"
+        );
+        let found = check_source("crates/live/src/x.rs", "live", &src);
+        assert_eq!(
+            codes_in(&found),
+            vec![codes::CONC_LOCK_ACROSS_BLOCKING],
+            "{found:#?}"
+        );
+        assert!(found[0].message.contains("`a`"), "{found:#?}");
+    }
+
+    #[test]
+    fn submit_after_guard_release_is_clean() {
+        let src = format!(
+            "{HELPER}\
+             struct S {{ a: Mutex<u32> }}\n\
+             impl S {{\n\
+                 fn good(&self, t: &dyn Transport, env: Envelope) {{\n\
+                     {{ let _g = lock(&self.a); }}\n\
+                     let _ = t.submit(env);\n\
+                 }}\n\
+             }}\n"
+        );
+        assert!(check_source("crates/live/src/x.rs", "live", &src).is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_is_not_blocking() {
+        // Condvar::wait releases the guard — the QueryService shutdown
+        // idiom must stay clean.
+        let src = format!(
+            "{HELPER}\
+             struct S {{ in_flight: Mutex<usize>, idle: Condvar }}\n\
+             impl S {{\n\
+                 fn shutdown(&self) {{\n\
+                     let mut n = lock(&self.in_flight);\n\
+                     while *n > 0 {{\n\
+                         n = self.idle.wait(n).unwrap_or_else(|e| e.into_inner());\n\
+                     }}\n\
+                 }}\n\
+             }}\n"
+        );
+        assert!(check_source("crates/live/src/x.rs", "live", &src).is_empty());
+    }
+
+    #[test]
+    fn transitively_blocking_call_under_lock_is_reported() {
+        let src = format!(
+            "{HELPER}\
+             struct S {{ a: Mutex<u32> }}\n\
+             impl S {{\n\
+                 fn flush(&self, t: &dyn Transport, env: Envelope) {{\n\
+                     let _ = t.submit(env);\n\
+                 }}\n\
+                 fn bad(&self, t: &dyn Transport, env: Envelope) {{\n\
+                     let g = lock(&self.a);\n\
+                     self.flush(t, env);\n\
+                     drop(g);\n\
+                 }}\n\
+             }}\n"
+        );
+        let found = check_source("crates/live/src/x.rs", "live", &src);
+        assert_eq!(
+            codes_in(&found),
+            vec![codes::CONC_LOCK_ACROSS_BLOCKING],
+            "{found:#?}"
+        );
+        assert!(found[0].message.contains("`flush`"), "{found:#?}");
+    }
+
+    #[test]
+    fn unbounded_channel_is_warned_and_suppressible() {
+        let src = "fn wire() { let (tx, rx) = std::sync::mpsc::channel::<u8>(); }\n";
+        let found = check_source("crates/util/src/x.rs", "util", src);
+        assert_eq!(
+            codes_in(&found),
+            vec![codes::CONC_UNBOUNDED_CHANNEL],
+            "{found:#?}"
+        );
+        let allowed = format!("// lint: allow(W133 test-only control channel)\n{src}");
+        assert!(check_source("crates/util/src/x.rs", "util", &allowed).is_empty());
+    }
+
+    #[test]
+    fn shared_state_rules_apply_only_to_threaded_crates() {
+        let src = "fn run() { std::thread::spawn(|| {}); }\n\
+                   struct C { cache: RefCell<u32> }\n";
+        let found = check_source("crates/live/src/x.rs", "live", src);
+        assert_eq!(
+            codes_in(&found),
+            vec![codes::CONC_UNSYNC_SHARED_STATE],
+            "{found:#?}"
+        );
+        // The same cell in a single-threaded crate is fine.
+        let solo = "struct C { cache: RefCell<u32> }\n";
+        assert!(check_source("crates/store/src/x.rs", "store", solo).is_empty());
+        // thread_local! is per-thread by construction.
+        let tls = "fn run() { std::thread::spawn(|| {}); }\n\
+                   thread_local! {\n    static S: RefCell<u32> = RefCell::new(0);\n}\n";
+        assert!(check_source("crates/live/src/x.rs", "live", tls).is_empty());
+    }
+
+    #[test]
+    fn static_mut_is_always_an_error() {
+        let src = "static mut COUNTER: u64 = 0;\n";
+        let found = check_source("crates/store/src/x.rs", "store", src);
+        assert_eq!(
+            codes_in(&found),
+            vec![codes::CONC_UNSYNC_SHARED_STATE],
+            "{found:#?}"
+        );
+    }
+
+    #[test]
+    fn cycle_suppression_via_directive() {
+        let src = format!(
+            "{HELPER}\
+             struct S {{ a: Mutex<u32>, b: Mutex<u32> }}\n\
+             impl S {{\n\
+                 fn forward(&self) {{\n\
+                     let ga = lock(&self.a);\n\
+                     // lint: allow(E130 startup-only path, never concurrent with backward)\n\
+                     let gb = lock(&self.b);\n\
+                     drop(gb);\n\
+                     drop(ga);\n\
+                 }}\n\
+                 fn backward(&self) {{\n\
+                     let gb = lock(&self.b);\n\
+                     let ga = lock(&self.a);\n\
+                     drop(ga);\n\
+                     drop(gb);\n\
+                 }}\n\
+             }}\n"
+        );
+        assert!(check_source("crates/live/src/x.rs", "live", &src).is_empty());
+    }
+
+    #[test]
+    fn workspace_is_concurrency_clean() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        let findings = check_workspace(&root);
+        assert!(
+            findings.is_empty(),
+            "workspace must be concurrency-clean:\n{}",
+            crate::diagnostic::render_human(&findings)
+        );
+    }
+}

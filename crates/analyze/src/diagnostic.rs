@@ -131,6 +131,23 @@ pub fn render_human(diagnostics: &[Diagnostic]) -> String {
     out
 }
 
+/// Sorts diagnostics into the pinned output order: by file (the
+/// location's path part), then line number, then code. Locations
+/// without a `path:line` shape (semantic plan paths like
+/// `operators[3]`) sort by the whole location string with line 0; the
+/// sort is stable, so same-key findings keep their pass order.
+pub fn sort_diagnostics(diagnostics: &mut [Diagnostic]) {
+    fn key(d: &Diagnostic) -> (String, u64, &'static str) {
+        match d.location.rsplit_once(':') {
+            Some((path, line)) if !line.is_empty() && line.bytes().all(|b| b.is_ascii_digit()) => {
+                (path.to_string(), line.parse().unwrap_or(0), d.code)
+            }
+            _ => (d.location.clone(), 0, d.code),
+        }
+    }
+    diagnostics.sort_by(|a, b| key(a).cmp(&key(b)));
+}
+
 /// JSON rendering: an array of objects with `code`, `severity`,
 /// `location`, `message`, and (when present) `help` fields. Hand-rolled —
 /// the workspace registry is offline, so no serde.
@@ -249,6 +266,22 @@ pub mod codes {
     /// Live transport mailbox capacity so large it never exerts
     /// backpressure, leaving queue growth unbounded in practice.
     pub const LIVE_UNBOUNDED_MAILBOX: &str = "W121";
+    /// The lock-order graph has a cycle: two lock classes are acquired
+    /// in opposite orders on different code paths, so two threads can
+    /// deadlock holding one each.
+    pub const CONC_LOCK_ORDER_CYCLE: &str = "E130";
+    /// A `lint: allow(...)` directive no longer suppresses any finding.
+    pub const CONC_STALE_ALLOW: &str = "W131";
+    /// A lock guard is held across a blocking or transport call
+    /// (`submit`, `send`, `recv`, `join`, sleep): the holder can stall
+    /// every other thread contending for that lock.
+    pub const CONC_LOCK_ACROSS_BLOCKING: &str = "E132";
+    /// A channel or mailbox is constructed without a capacity bound —
+    /// the code-level generalization of `W121`.
+    pub const CONC_UNBOUNDED_CHANNEL: &str = "W133";
+    /// Shared mutable state (`static mut`, `Rc`, `RefCell`, `Cell`) in a
+    /// thread-spawning crate, reachable without a lock or `Arc`.
+    pub const CONC_UNSYNC_SHARED_STATE: &str = "E134";
 
     /// Every code with its default severity and one-line summary, in code
     /// order. Drives the documentation table and its test.
@@ -385,6 +418,31 @@ pub mod codes {
             Severity::Warning,
             "live mailbox capacity never exerts backpressure",
         ),
+        (
+            CONC_LOCK_ORDER_CYCLE,
+            Severity::Error,
+            "lock-order cycle across code paths",
+        ),
+        (
+            CONC_STALE_ALLOW,
+            Severity::Warning,
+            "allow directive suppresses nothing",
+        ),
+        (
+            CONC_LOCK_ACROSS_BLOCKING,
+            Severity::Error,
+            "lock held across a blocking/transport call",
+        ),
+        (
+            CONC_UNBOUNDED_CHANNEL,
+            Severity::Warning,
+            "channel constructed without a capacity bound",
+        ),
+        (
+            CONC_UNSYNC_SHARED_STATE,
+            Severity::Error,
+            "unsynchronized shared mutable state in a threaded crate",
+        ),
     ];
 }
 
@@ -421,6 +479,50 @@ mod tests {
         assert!(json.contains("\\\"bad\\\"\\nedge"));
         assert!(json.trim_start().starts_with('['));
         assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn diagnostics_sort_by_file_line_code() {
+        let mut diags = vec![
+            Diagnostic::error("E132", "crates/b/src/x.rs:10", "b"),
+            Diagnostic::error("E130", "crates/b/src/x.rs:10", "a"),
+            Diagnostic::error("E101", "crates/b/src/x.rs:2", "c"),
+            Diagnostic::error("E011", "operators[3]", "d"),
+            Diagnostic::error("E102", "crates/a/src/y.rs:99", "e"),
+        ];
+        sort_diagnostics(&mut diags);
+        let order: Vec<(&str, &str)> = diags
+            .iter()
+            .map(|d| (d.location.as_str(), d.code))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("crates/a/src/y.rs:99", "E102"),
+                ("crates/b/src/x.rs:2", "E101"),
+                ("crates/b/src/x.rs:10", "E130"),
+                ("crates/b/src/x.rs:10", "E132"),
+                ("operators[3]", "E011"),
+            ]
+        );
+    }
+
+    #[test]
+    fn every_code_is_documented_in_the_analyzer_guide() {
+        // CARGO_MANIFEST_DIR is crates/analyze; docs/ sits at the root.
+        let doc_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .join("docs/ANALYZER.md");
+        let doc = std::fs::read_to_string(&doc_path)
+            .unwrap_or_else(|e| panic!("cannot read {doc_path:?}: {e}"));
+        for (code, _, summary) in codes::ALL {
+            assert!(
+                doc.contains(&format!("| {code} |")),
+                "diagnostic {code} ({summary}) is missing from docs/ANALYZER.md"
+            );
+        }
     }
 
     #[test]

@@ -22,26 +22,39 @@
 //!   (default-hasher collections, wall clocks, ambient RNG) and panic
 //!   paths out of the deterministic crates. It runs as a tier-1 test and
 //!   as the standalone `edgelet-lint` binary for CI.
+//! * [`concurrency`] — Layer 3: a cross-crate lock model built on the
+//!   same [`scanner`] parse. It reports lock-order cycles (`E130`),
+//!   locks held across blocking/transport calls (`E132`), unbounded
+//!   channels (`W133`), and unsynchronized shared state in threaded
+//!   crates (`E134`).
+//! * [`sourcepass`] — runs both source layers in one workspace walk and
+//!   audits `lint: allow(..)` directives for staleness (`W131`).
 //!
-//! Diagnostics carry stable codes (`E0xx`/`W0xx` semantic, `E1xx` lint)
-//! documented in `docs/ANALYZER.md`, and render as compiler-style text or
-//! JSON.
+//! Diagnostics carry stable codes (`E0xx`/`W0xx` semantic, `E1xx` lint,
+//! `E13x` concurrency) documented in `docs/ANALYZER.md`, and render as
+//! compiler-style text or JSON in a deterministic file/line/code order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrency;
 pub mod diagnostic;
 pub mod faultplan;
 pub mod lint;
 pub mod liveconfig;
+pub mod scanner;
 pub mod semantic;
 pub mod simconfig;
+pub mod sourcepass;
 
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use diagnostic::{has_errors, render_human, render_json, Diagnostic, Severity};
+pub use diagnostic::{
+    has_errors, render_human, render_json, sort_diagnostics, Diagnostic, Severity,
+};
 pub use faultplan::check_fault_plan;
 pub use liveconfig::check_live_config;
 pub use semantic::{analyze, analyze_plan, preflight, AnalyzeOptions};
 pub use simconfig::check_sim_config;
+pub use sourcepass::{analyze_sources, analyze_sources_with, SourcePassOptions};

@@ -5,9 +5,10 @@
 //! default-hasher map in a scheduling path, reads the wall clock, or
 //! draws from the OS RNG — so those constructs are denied *textually*,
 //! with no parser dependency (the registry is offline). The scanner
-//! strips comments and string/char literals, skips `#[cfg(test)]` code
-//! (test modules sit at the end of files in this workspace), and matches
-//! per-line needles:
+//! ([`crate::scanner`], shared with the Layer-3 concurrency pass) strips
+//! comments and string/char literals and masks `#[cfg(test)]` items by
+//! brace depth — code after a test module is still scanned — then this
+//! pass matches per-line needles:
 //!
 //! * `E101` — default-hasher `HashMap`/`HashSet` in the deterministic
 //!   crates (`sim`, `exec`, `query`); use `BTreeMap`/`BTreeSet`.
@@ -24,11 +25,13 @@
 //!
 //! A finding on a line is suppressed by a directive on the same or the
 //! preceding line: `// lint: allow(E104 reason why this is infallible)`.
-//! The reason is mandatory — a bare code does not suppress.
+//! The reason is mandatory — a bare code does not suppress. Directives
+//! that no longer suppress anything are themselves reported (`W131`) by
+//! the combined driver in [`crate::sourcepass`].
 
 use crate::diagnostic::{codes, Diagnostic, Severity};
-use std::fs;
-use std::path::{Path, PathBuf};
+use crate::scanner::{load_workspace, SourceFile};
+use std::path::Path;
 
 /// Which crates a rule applies to (by directory name under `crates/`).
 enum CrateFilter {
@@ -110,192 +113,28 @@ fn rules() -> Vec<Rule> {
     ]
 }
 
-/// Replaces comment bodies and string/char-literal contents with spaces,
-/// preserving line structure, so needle matching never fires inside
-/// prose. Handles nested block comments and raw strings.
-fn strip_source(source: &str) -> String {
-    #[derive(PartialEq)]
-    enum State {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(usize),
-    }
-    let mut out = String::with_capacity(source.len());
-    let chars: Vec<char> = source.chars().collect();
-    let mut state = State::Code;
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        match state {
-            State::Code => match c {
-                '/' if next == Some('/') => {
-                    state = State::LineComment;
-                    out.push_str("  ");
-                    i += 2;
-                }
-                '/' if next == Some('*') => {
-                    state = State::BlockComment(1);
-                    out.push_str("  ");
-                    i += 2;
-                }
-                '"' => {
-                    state = State::Str;
-                    out.push('"');
-                    i += 1;
-                }
-                'r' if matches!(next, Some('"') | Some('#')) => {
-                    // Raw string: r"..." or r#"..."# etc.
-                    let mut hashes = 0;
-                    let mut j = i + 1;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        state = State::RawStr(hashes);
-                        for _ in i..=j {
-                            out.push(' ');
-                        }
-                        i = j + 1;
-                    } else {
-                        out.push(c);
-                        i += 1;
-                    }
-                }
-                '\'' => {
-                    // Char literal vs. lifetime: a literal closes with a
-                    // quote one (escaped) char later.
-                    if next == Some('\\') {
-                        out.push_str("' '");
-                        i += 2; // skip the backslash
-                        while i < chars.len() && chars[i] != '\'' {
-                            i += 1;
-                        }
-                        i += 1;
-                    } else if chars.get(i + 2) == Some(&'\'') {
-                        out.push_str("' '");
-                        i += 3;
-                    } else {
-                        out.push(c);
-                        i += 1;
-                    }
-                }
-                c => {
-                    out.push(c);
-                    i += 1;
-                }
-            },
-            State::LineComment => {
-                if c == '\n' {
-                    state = State::Code;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                if c == '*' && next == Some('/') {
-                    state = if depth == 1 {
-                        State::Code
-                    } else {
-                        State::BlockComment(depth - 1)
-                    };
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment(depth + 1);
-                    out.push_str("  ");
-                    i += 2;
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            State::Str => match c {
-                '\\' => {
-                    out.push_str("  ");
-                    i += 2;
-                }
-                '"' => {
-                    state = State::Code;
-                    out.push('"');
-                    i += 1;
-                }
-                c => {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            },
-            State::RawStr(hashes) => {
-                if c == '"' && chars[i + 1..].iter().take(hashes).all(|&h| h == '#') {
-                    state = State::Code;
-                    for _ in 0..=hashes {
-                        out.push(' ');
-                    }
-                    i += 1 + hashes;
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-        }
-    }
-    out
-}
-
-/// True when `raw_line` carries a valid allow directive for `code` — the
-/// code followed by a non-empty reason.
-fn has_allow(raw_line: &str, code: &str) -> bool {
-    let Some(pos) = raw_line.find("lint: allow(") else {
-        return false;
-    };
-    let rest = &raw_line[pos + "lint: allow(".len()..];
-    let Some(rest) = rest.strip_prefix(code) else {
-        return false;
-    };
-    let Some(close) = rest.find(')') else {
-        return false;
-    };
-    rest[..close].chars().any(|c| c.is_alphanumeric())
-}
-
-/// Lints one file's source. `display_path` is used in locations;
-/// `crate_name` selects which rules apply.
-pub fn lint_source(display_path: &str, crate_name: &str, source: &str) -> Vec<Diagnostic> {
+/// Lints one parsed file, marking used suppression directives.
+pub fn lint_file(file: &SourceFile) -> Vec<Diagnostic> {
     let rules: Vec<Rule> = rules()
         .into_iter()
-        .filter(|r| r.filter.applies(crate_name))
+        .filter(|r| r.filter.applies(&file.crate_name))
         .collect();
     if rules.is_empty() {
         return Vec::new();
     }
-    let stripped = strip_source(source);
-    let raw_lines: Vec<&str> = source.lines().collect();
     let mut out = Vec::new();
-    for (idx, line) in stripped.lines().enumerate() {
-        if line.contains("#[cfg(test)]") {
-            // Convention in this workspace: the test module closes the
-            // file, so everything after is test-only.
-            break;
+    for (idx, line) in file.lines.iter().enumerate() {
+        if file.test_mask.get(idx).copied().unwrap_or(false) {
+            continue;
         }
         for rule in &rules {
             let Some(needle) = rule.needles.iter().find(|n| line.contains(n.as_str())) else {
                 continue;
             };
-            let raw = raw_lines.get(idx).copied().unwrap_or("");
-            let prev = if idx > 0 {
-                raw_lines.get(idx - 1).copied().unwrap_or("")
-            } else {
-                ""
-            };
-            if has_allow(raw, rule.code) || has_allow(prev, rule.code) {
+            if file.allows(rule.code, idx + 1) {
                 continue;
             }
-            let location = format!("{display_path}:{}", idx + 1);
+            let location = format!("{}:{}", file.display_path, idx + 1);
             let message = format!("{}: `{needle}`", rule.what);
             let diag = match rule.severity {
                 Severity::Error => Diagnostic::error(rule.code, location, message),
@@ -307,56 +146,17 @@ pub fn lint_source(display_path: &str, crate_name: &str, source: &str) -> Vec<Di
     out
 }
 
-/// Recursively collects `.rs` files under `dir`, sorted for determinism.
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
-    paths.sort();
-    for path in paths {
-        if path.is_dir() {
-            rust_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
+/// Lints one file's source. `display_path` is used in locations;
+/// `crate_name` selects which rules apply.
+pub fn lint_source(display_path: &str, crate_name: &str, source: &str) -> Vec<Diagnostic> {
+    lint_file(&SourceFile::parse(display_path, crate_name, source))
 }
 
 /// Lints every `crates/<name>/src/**/*.rs` under `workspace_root`.
 pub fn lint_workspace(workspace_root: &Path) -> Vec<Diagnostic> {
-    let crates_dir = workspace_root.join("crates");
-    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
-        .map(|entries| {
-            entries
-                .flatten()
-                .map(|e| e.path())
-                .filter(|p| p.is_dir())
-                .collect()
-        })
-        .unwrap_or_default();
-    crate_dirs.sort();
-
     let mut out = Vec::new();
-    for crate_dir in crate_dirs {
-        let crate_name = crate_dir
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or_default()
-            .to_string();
-        let mut files = Vec::new();
-        rust_files(&crate_dir.join("src"), &mut files);
-        for file in files {
-            let Ok(source) = fs::read_to_string(&file) else {
-                continue;
-            };
-            let display = file
-                .strip_prefix(workspace_root)
-                .unwrap_or(&file)
-                .display()
-                .to_string();
-            out.extend(lint_source(&display, &crate_name, &source));
-        }
+    for file in load_workspace(workspace_root) {
+        out.extend(lint_file(&file));
     }
     out
 }
@@ -435,6 +235,21 @@ mod tests {
     }
 
     #[test]
+    fn code_after_a_test_module_is_scanned_again() {
+        // Regression: the old scanner assumed test modules close the
+        // file and stopped at the first `#[cfg(test)]`.
+        let src = "fn ok() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { fixture(); }\n\
+                   }\n\
+                   fn late() { b.unwrap(); }\n";
+        let found = lint_source("crates/exec/src/x.rs", "exec", src);
+        assert_eq!(codes_in(&found), vec![codes::LINT_PANIC], "{found:?}");
+        assert!(found[0].location.ends_with("x.rs:6"), "{found:?}");
+    }
+
+    #[test]
     fn allow_directive_with_reason_suppresses() {
         let same = "let a = b.unwrap(); // lint: allow(E104 checked two lines up)\n";
         assert!(lint_source("crates/exec/src/x.rs", "exec", same).is_empty());
@@ -482,7 +297,7 @@ mod tests {
     fn workspace_is_lint_clean() {
         // CARGO_MANIFEST_DIR is crates/analyze; the workspace root is two
         // levels up.
-        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .ancestors()
             .nth(2)
             .expect("workspace root")

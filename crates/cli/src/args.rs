@@ -16,6 +16,11 @@ pub enum Command {
         query: QueryArgs,
         /// Emit a JSON array instead of compiler-style text.
         json: bool,
+        /// Run the Layer-3 concurrency pass over the workspace sources.
+        concurrency: bool,
+        /// Workspace to scan for the source layers (needs a `crates/`
+        /// directory; silently skipped otherwise).
+        workspace_root: String,
     },
     /// `edgelet dataset --rows N [--seed S]`
     Dataset {
@@ -210,6 +215,9 @@ OPTIONS (plan/run/analyze):
     --dot               print Graphviz DOT (plan only)
     --format F          diagnostic output, human|json (analyze only)
                                                          [default: human]
+    --workspace-root P  workspace to source-scan (analyze only; skipped
+                        when P has no crates/ directory)  [default: .]
+    --no-concurrency    skip the Layer-3 concurrency pass (analyze only)
 
 OPTIONS (chaos):
     --seeds N           sweep seeds 0..N                 [default: 64]
@@ -345,7 +353,18 @@ pub fn parse(argv: &[String]) -> Result<Command> {
                             }
                         },
                     };
-                    Ok(Command::Analyze { query: q, json })
+                    let concurrency = !flags.contains_key("no-concurrency");
+                    let workspace_root = flags
+                        .get("workspace-root")
+                        .map(|v| single(v, "workspace-root").cloned())
+                        .transpose()?
+                        .unwrap_or_else(|| ".".to_string());
+                    Ok(Command::Analyze {
+                        query: q,
+                        json,
+                        concurrency,
+                        workspace_root,
+                    })
                 }
             }
         }
@@ -406,7 +425,7 @@ fn query_args(flags: &BTreeMap<String, Vec<String>>) -> Result<QueryArgs> {
 
 /// Collects `--flag value` and bare `--flag` pairs; flags may repeat.
 fn collect_flags(args: &[String]) -> Result<BTreeMap<String, Vec<String>>> {
-    const BARE: &[&str] = &["dot", "no-shrink"];
+    const BARE: &[&str] = &["dot", "no-shrink", "concurrency", "no-concurrency"];
     let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
@@ -547,17 +566,40 @@ mod tests {
     #[test]
     fn analyze_with_format() {
         let cmd = parse(&argv("analyze --cardinality 500 --format json")).unwrap();
-        let Command::Analyze { query, json } = cmd else {
+        let Command::Analyze {
+            query,
+            json,
+            concurrency,
+            workspace_root,
+        } = cmd
+        else {
             panic!()
         };
         assert_eq!(query.cardinality, 500);
         assert!(json);
+        assert!(concurrency);
+        assert_eq!(workspace_root, ".");
         let cmd = parse(&argv("analyze")).unwrap();
         let Command::Analyze { json, .. } = cmd else {
             panic!()
         };
         assert!(!json);
         assert!(parse(&argv("analyze --format yaml")).is_err());
+    }
+
+    #[test]
+    fn analyze_source_pass_flags() {
+        let cmd = parse(&argv("analyze --no-concurrency --workspace-root /tmp/ws")).unwrap();
+        let Command::Analyze {
+            concurrency,
+            workspace_root,
+            ..
+        } = cmd
+        else {
+            panic!()
+        };
+        assert!(!concurrency);
+        assert_eq!(workspace_root, "/tmp/ws");
     }
 
     #[test]

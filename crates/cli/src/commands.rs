@@ -17,8 +17,14 @@ pub fn execute(cmd: Command) -> Result<String> {
 /// exit status the tool should use: nonzero when `analyze` found
 /// `Error`-severity diagnostics, zero otherwise.
 pub fn execute_with_status(cmd: Command) -> Result<(String, i32)> {
-    if let Command::Analyze { query, json } = cmd {
-        return analyze_command(&query, json);
+    if let Command::Analyze {
+        query,
+        json,
+        concurrency,
+        workspace_root,
+    } = cmd
+    {
+        return analyze_command(&query, json, concurrency, &workspace_root);
     }
     if let Command::Chaos(args) = cmd {
         return chaos_command(&args);
@@ -78,9 +84,16 @@ pub fn execute_with_status(cmd: Command) -> Result<(String, i32)> {
 }
 
 /// `edgelet analyze`: plans the configured query and runs every semantic
-/// pass over the result. Planner failures surface as an `E000` diagnostic
-/// rather than a hard error, so the output shape is uniform.
-fn analyze_command(q: &QueryArgs, json: bool) -> Result<(String, i32)> {
+/// pass over the result, then the source layers (lint + concurrency +
+/// suppression audit) over the workspace named by `--workspace-root`.
+/// Planner failures surface as an `E000` diagnostic rather than a hard
+/// error, so the output shape is uniform.
+fn analyze_command(
+    q: &QueryArgs,
+    json: bool,
+    concurrency: bool,
+    workspace_root: &str,
+) -> Result<(String, i32)> {
     use edgelet_analyze::{analyze, AnalyzeOptions, Diagnostic};
 
     let (platform, spec, privacy, resilience) = build_world(q)?;
@@ -100,6 +113,16 @@ fn analyze_command(q: &QueryArgs, json: bool) -> Result<(String, i32)> {
         .min_latency()
         .as_micros();
     diagnostics.extend(edgelet_analyze::check_sim_config(min_latency_us, q.shards));
+    // Source layers: only meaningful when the root actually holds a
+    // workspace to scan (running from an arbitrary cwd skips them).
+    let root = std::path::Path::new(workspace_root);
+    if root.join("crates").is_dir() {
+        diagnostics.extend(edgelet_analyze::analyze_sources_with(
+            root,
+            edgelet_analyze::SourcePassOptions { concurrency },
+        ));
+    }
+    edgelet_analyze::sort_diagnostics(&mut diagnostics);
     let text = if json {
         edgelet_analyze::render_json(&diagnostics)
     } else {

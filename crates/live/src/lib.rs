@@ -21,13 +21,21 @@
 //!   mirroring `Platform::run_query` step for step;
 //! * [`service`] — [`service::QueryService`]: admission control,
 //!   concurrent multi-query serving with per-query epochs, wall-clock
-//!   deadline watchdogs, graceful shutdown.
+//!   deadline watchdogs, graceful shutdown;
+//! * [`model`] — the deterministic schedule-exploration harness:
+//!   [`model::yield_point`] seams in the transport and service compile
+//!   to nothing in release builds, and under test `model::explore`
+//!   enumerates every bounded interleaving of a scripted scenario,
+//!   asserting deadlock freedom and byte-identical outcomes (the
+//!   dynamic counterpart of the Layer-3 static concurrency analysis in
+//!   `docs/ANALYZER.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod harness;
+pub mod model;
 pub mod service;
 pub mod transport;
 

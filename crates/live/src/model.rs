@@ -1,0 +1,485 @@
+//! Deterministic schedule exploration for the live runtime — the
+//! dynamic counterpart of the Layer-3 concurrency static analysis
+//! (`edgelet_analyze::concurrency`, `docs/ANALYZER.md`).
+//!
+//! The live runtime's correctness claim is *schedule independence*: the
+//! verdict and ledger a query produces must not depend on how the OS
+//! interleaves the worker threads. This module makes that claim
+//! checkable. Hot-path entry points carry [`yield_point`] markers; in
+//! release builds (no `model` feature, not a test build) they compile to
+//! an empty inline function. Under test, a registered thread that hits a
+//! yield point whose tag the active exploration selected *parks* until a
+//! scheduler grants it the next turn — which turns thread interleaving
+//! into an enumerable decision tree:
+//!
+//! * [`explore`] re-runs a scripted scenario under every schedule a
+//!   depth-first sweep of that tree produces (bounded by
+//!   [`ExploreOptions::max_schedules`]),
+//! * every run's outcome is folded into a byte-exact fingerprint, so
+//!   divergence across schedules is a one-line assertion
+//!   (`fingerprints.len() == 1`),
+//! * a run in which unfinished threads stop making progress while no
+//!   thread is parked is reported as a [`Deadlock`] together with the
+//!   schedule that produced it.
+//!
+//! Threads the scenario did not spawn — engine workers inside
+//! `run_live_query`, watchdogs — carry no registration and pass through
+//! yield points untouched, so scenarios choose exactly which seams to
+//! interleave via the tag list (e.g. `transport.submit`,
+//! `service.acquire`). A thread blocked on a real mutex (not parked) is
+//! handled by a stall heuristic: after `stall_quanta` quiet quanta the
+//! scheduler treats it as blocked and grants one of the parked threads
+//! instead; only when *nothing* is parked and unfinished threads remain
+//! is the run declared deadlocked.
+//!
+//! The integration suite (`tests/interleaving_model.rs`) drives the
+//! striped transport and the query service through every bounded
+//! interleaving of two workers and asserts deadlock freedom plus
+//! byte-identical verdicts and ledgers on every schedule.
+
+/// Marks a scheduling seam. Inert unless the calling thread was
+/// registered by [`explore`] and `tag` is in the active tag list.
+#[cfg(any(test, feature = "model"))]
+pub fn yield_point(tag: &'static str) {
+    active::yield_point(tag);
+}
+
+/// Marks a scheduling seam. Compiled to nothing in release builds.
+#[cfg(not(any(test, feature = "model")))]
+#[inline(always)]
+pub fn yield_point(tag: &'static str) {
+    let _ = tag;
+}
+
+#[cfg(any(test, feature = "model"))]
+pub use active::{explore, Deadlock, ExploreOptions, ExploreReport, RunSpec};
+
+#[cfg(any(test, feature = "model"))]
+mod active {
+    use std::cell::RefCell;
+    use std::collections::BTreeSet;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+    use std::time::Duration;
+
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    enum Status {
+        Running,
+        Parked,
+        Done,
+    }
+
+    struct CtlState {
+        status: Vec<Status>,
+        /// Transition counters; any park/wake/finish bumps one, which is
+        /// how the driver distinguishes progress from a stall.
+        beats: Vec<u64>,
+        turn: Option<usize>,
+    }
+
+    /// Shared scheduler state between the driver and the scenario
+    /// threads of one run.
+    struct Ctl {
+        tags: &'static [&'static str],
+        state: Mutex<CtlState>,
+        cv: Condvar,
+    }
+
+    enum Quiesce {
+        AllDone,
+        Ready(Vec<usize>),
+        Stalled(Vec<usize>),
+    }
+
+    impl Ctl {
+        fn new(n: usize, tags: &'static [&'static str]) -> Self {
+            Ctl {
+                tags,
+                state: Mutex::new(CtlState {
+                    status: vec![Status::Running; n],
+                    beats: vec![0; n],
+                    turn: None,
+                }),
+                cv: Condvar::new(),
+            }
+        }
+
+        /// Parks thread `id` until the driver grants it the turn.
+        fn pause(&self, id: usize) {
+            let mut st = lock(&self.state);
+            st.status[id] = Status::Parked;
+            st.beats[id] += 1;
+            self.cv.notify_all();
+            while st.turn != Some(id) {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            st.turn = None;
+            st.status[id] = Status::Running;
+            st.beats[id] += 1;
+            self.cv.notify_all();
+        }
+
+        fn finish(&self, id: usize) {
+            let mut st = lock(&self.state);
+            st.status[id] = Status::Done;
+            st.beats[id] += 1;
+            self.cv.notify_all();
+        }
+
+        fn grant(&self, id: usize) {
+            let mut st = lock(&self.state);
+            st.turn = Some(id);
+            self.cv.notify_all();
+        }
+
+        /// Waits until the run is quiescent: every unfinished thread is
+        /// parked (→ `Ready`), all are done (→ `AllDone`), or nothing has
+        /// moved for `stall_quanta` quanta. A stall with parked threads
+        /// treats the silent runners as mutex-blocked and schedules the
+        /// parked ones; a stall with nothing parked is a deadlock.
+        fn wait_quiescent(&self, quantum: Duration, stall_quanta: u32) -> Quiesce {
+            let mut st = lock(&self.state);
+            let mut stall = 0u32;
+            let mut last_beats = st.beats.clone();
+            loop {
+                if st.status.iter().all(|s| *s == Status::Done) {
+                    return Quiesce::AllDone;
+                }
+                if st.turn.is_none() {
+                    let parked: Vec<usize> = ids_with(&st.status, Status::Parked);
+                    let running: Vec<usize> = ids_with(&st.status, Status::Running);
+                    if running.is_empty() {
+                        return Quiesce::Ready(parked);
+                    }
+                    if stall >= stall_quanta {
+                        if parked.is_empty() {
+                            return Quiesce::Stalled(running);
+                        }
+                        return Quiesce::Ready(parked);
+                    }
+                }
+                let (guard, timeout) = self
+                    .cv
+                    .wait_timeout(st, quantum)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+                if st.beats != last_beats {
+                    last_beats.clone_from(&st.beats);
+                    stall = 0;
+                } else if timeout.timed_out() {
+                    stall += 1;
+                }
+            }
+        }
+    }
+
+    fn ids_with(status: &[Status], want: Status) -> Vec<usize> {
+        status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == want)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    struct Registration {
+        ctl: Arc<Ctl>,
+        id: usize,
+    }
+
+    thread_local! {
+        static SLOT: RefCell<Option<Registration>> = const { RefCell::new(None) };
+    }
+
+    pub(super) fn yield_point(tag: &'static str) {
+        let reg = SLOT.with(|s| {
+            s.borrow()
+                .as_ref()
+                .filter(|r| r.ctl.tags.contains(&tag))
+                .map(|r| (r.ctl.clone(), r.id))
+        });
+        if let Some((ctl, id)) = reg {
+            ctl.pause(id);
+        }
+    }
+
+    /// One run of a scenario: the scripted threads (each returning its
+    /// contribution to the fingerprint) plus a finale that runs after
+    /// every thread joined and sees the shared state's final shape.
+    pub struct RunSpec {
+        /// Scripted threads, registered with the scheduler in order.
+        pub threads: Vec<Box<dyn FnOnce() -> String + Send + 'static>>,
+        /// Post-join inspection of the shared state.
+        pub finale: Box<dyn FnOnce() -> String + 'static>,
+    }
+
+    /// Exploration bounds and pacing.
+    #[derive(Debug, Clone)]
+    pub struct ExploreOptions {
+        /// Yield-point tags that park; everything else passes through.
+        pub tags: &'static [&'static str],
+        /// Driver poll interval while waiting for quiescence.
+        pub quantum: Duration,
+        /// Quiet quanta before silent runners count as blocked.
+        pub stall_quanta: u32,
+        /// Schedule budget; `complete` is false when it ran out.
+        pub max_schedules: usize,
+        /// Per-run scheduling-step budget (runaway guard).
+        pub max_steps: usize,
+    }
+
+    impl ExploreOptions {
+        /// Defaults for `tags`, honoring the `EDGELET_MODEL_SCHEDULES`
+        /// environment variable as the schedule budget (CI raises it).
+        pub fn for_tags(tags: &'static [&'static str]) -> Self {
+            let max_schedules = std::env::var("EDGELET_MODEL_SCHEDULES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(4096);
+            ExploreOptions {
+                tags,
+                quantum: Duration::from_millis(20),
+                stall_quanta: 10,
+                max_schedules,
+                max_steps: 10_000,
+            }
+        }
+    }
+
+    /// A deadlocked run: the schedule that produced it and the threads
+    /// that were neither parked nor done when progress stopped.
+    #[derive(Debug, Clone)]
+    pub struct Deadlock {
+        /// Grant sequence (thread ids) leading to the deadlock.
+        pub schedule: Vec<usize>,
+        /// Stuck thread ids.
+        pub stuck: Vec<usize>,
+    }
+
+    /// The outcome of [`explore`].
+    #[derive(Debug, Default)]
+    pub struct ExploreReport {
+        /// Schedules executed.
+        pub schedules: usize,
+        /// True when the whole decision tree fit in the budget.
+        pub complete: bool,
+        /// First deadlocked run, if any (exploration stops on it).
+        pub deadlock: Option<Deadlock>,
+        /// Distinct outcome fingerprints across all schedules.
+        pub fingerprints: BTreeSet<String>,
+        /// A run exceeded `max_steps` (runaway scenario).
+        pub max_steps_hit: bool,
+        /// Replays where the recorded choice was not ready — a scenario
+        /// whose park structure itself is nondeterministic.
+        pub replay_divergences: usize,
+    }
+
+    /// Runs `make`'s scenario under depth-first–enumerated schedules
+    /// until the decision tree is exhausted or a bound trips.
+    pub fn explore(opts: &ExploreOptions, make: impl Fn() -> RunSpec) -> ExploreReport {
+        let mut report = ExploreReport::default();
+        let mut prefix: Vec<usize> = Vec::new();
+        loop {
+            let spec = make();
+            let n = spec.threads.len();
+            let ctl = Arc::new(Ctl::new(n, opts.tags));
+            let mut handles = Vec::new();
+            for (id, thunk) in spec.threads.into_iter().enumerate() {
+                let ctl_thread = ctl.clone();
+                handles.push(std::thread::spawn(move || {
+                    SLOT.with(|s| {
+                        *s.borrow_mut() = Some(Registration {
+                            ctl: ctl_thread.clone(),
+                            id,
+                        })
+                    });
+                    let out = thunk();
+                    SLOT.with(|s| *s.borrow_mut() = None);
+                    ctl_thread.finish(id);
+                    out
+                }));
+            }
+
+            let mut trace: Vec<(usize, Vec<usize>)> = Vec::new();
+            let mut deadlock = None;
+            let mut aborted = false;
+            loop {
+                match ctl.wait_quiescent(opts.quantum, opts.stall_quanta) {
+                    Quiesce::AllDone => break,
+                    Quiesce::Ready(ready) => {
+                        if trace.len() >= opts.max_steps {
+                            report.max_steps_hit = true;
+                            aborted = true;
+                            break;
+                        }
+                        let chosen = match prefix.get(trace.len()) {
+                            Some(want) if ready.contains(want) => *want,
+                            Some(_) => {
+                                report.replay_divergences += 1;
+                                ready[0]
+                            }
+                            None => ready[0],
+                        };
+                        trace.push((chosen, ready));
+                        ctl.grant(chosen);
+                    }
+                    Quiesce::Stalled(stuck) => {
+                        deadlock = Some(Deadlock {
+                            schedule: trace.iter().map(|(c, _)| *c).collect(),
+                            stuck,
+                        });
+                        break;
+                    }
+                }
+            }
+            report.schedules += 1;
+            if deadlock.is_some() || aborted {
+                // Stuck threads cannot be joined; detach them.
+                report.deadlock = deadlock;
+                drop(handles);
+                break;
+            }
+            let mut parts = Vec::with_capacity(n + 1);
+            for h in handles {
+                parts.push(h.join().unwrap_or_else(|_| "<panicked>".to_string()));
+            }
+            parts.push((spec.finale)());
+            report.fingerprints.insert(parts.join("|"));
+
+            // Depth-first: bump the rightmost step with an untried
+            // alternative; exhausted means the whole tree was covered.
+            let next =
+                trace.iter().enumerate().rev().find_map(|(i, (c, ready))| {
+                    ready.iter().find(|&&r| r > *c).map(|&alt| (i, alt))
+                });
+            match next {
+                None => {
+                    report.complete = true;
+                    break;
+                }
+                Some((i, alt)) => {
+                    prefix = trace[..i].iter().map(|(c, _)| *c).collect();
+                    prefix.push(alt);
+                }
+            }
+            if report.schedules >= opts.max_schedules {
+                break;
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    fn fast(tags: &'static [&'static str]) -> ExploreOptions {
+        let mut o = ExploreOptions::for_tags(tags);
+        o.quantum = Duration::from_millis(5);
+        o.stall_quanta = 6;
+        o
+    }
+
+    #[test]
+    fn yield_point_is_inert_off_schedule() {
+        // No registration, no exploration: passes straight through.
+        yield_point("anything");
+    }
+
+    #[test]
+    fn two_threads_one_yield_is_exhaustive() {
+        let report = explore(&fast(&["t.step"]), || RunSpec {
+            threads: (0..2)
+                .map(|i| {
+                    Box::new(move || {
+                        yield_point("t.step");
+                        format!("t{i}")
+                    }) as Box<dyn FnOnce() -> String + Send>
+                })
+                .collect(),
+            finale: Box::new(String::new),
+        });
+        assert!(report.complete, "{report:?}");
+        assert_eq!(report.schedules, 2, "{report:?}");
+        assert!(report.deadlock.is_none(), "{report:?}");
+        assert_eq!(report.fingerprints.len(), 1, "{report:?}");
+        assert_eq!(report.replay_divergences, 0, "{report:?}");
+    }
+
+    #[test]
+    fn unselected_tags_do_not_park() {
+        let report = explore(&fast(&["t.only"]), || RunSpec {
+            threads: vec![Box::new(|| {
+                yield_point("t.other");
+                "done".to_string()
+            })],
+            finale: Box::new(String::new),
+        });
+        assert!(report.complete);
+        assert_eq!(report.schedules, 1, "{report:?}");
+    }
+
+    #[test]
+    fn lost_update_diverges_across_schedules() {
+        // The checker must *see* a real race: a read-modify-write split
+        // across a yield loses updates under some interleavings.
+        let report = explore(&fast(&["t.rmw"]), || {
+            let counter = Arc::new(AtomicU64::new(0));
+            let threads = (0..2)
+                .map(|_| {
+                    let c = counter.clone();
+                    Box::new(move || {
+                        yield_point("t.rmw");
+                        let v = c.load(Ordering::SeqCst);
+                        yield_point("t.rmw");
+                        c.store(v + 1, Ordering::SeqCst);
+                        String::new()
+                    }) as Box<dyn FnOnce() -> String + Send>
+                })
+                .collect();
+            let c = counter.clone();
+            RunSpec {
+                threads,
+                finale: Box::new(move || c.load(Ordering::SeqCst).to_string()),
+            }
+        });
+        assert!(report.complete, "{report:?}");
+        assert!(report.deadlock.is_none(), "{report:?}");
+        // Both threads park twice: C(4,2) = 6 interleavings.
+        assert_eq!(report.schedules, 6, "{report:?}");
+        // Final counter is 2 (serialized) or 1 (lost update).
+        assert_eq!(report.fingerprints.len(), 2, "{report:?}");
+    }
+
+    #[test]
+    fn opposite_lock_orders_deadlock_under_some_schedule() {
+        let report = explore(&fast(&["t.locks"]), || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let script = |first: Arc<Mutex<()>>, second: Arc<Mutex<()>>| {
+                Box::new(move || {
+                    yield_point("t.locks");
+                    let _g1 = first.lock().unwrap_or_else(|e| e.into_inner());
+                    yield_point("t.locks");
+                    let _g2 = second.lock().unwrap_or_else(|e| e.into_inner());
+                    String::new()
+                }) as Box<dyn FnOnce() -> String + Send>
+            };
+            RunSpec {
+                threads: vec![script(a.clone(), b.clone()), script(b, a)],
+                finale: Box::new(String::new),
+            }
+        });
+        let deadlock = report
+            .deadlock
+            .expect("AB/BA must deadlock under some schedule");
+        assert_eq!(deadlock.stuck.len(), 2, "{deadlock:?}");
+    }
+}

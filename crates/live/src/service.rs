@@ -158,6 +158,7 @@ impl QueryService {
     }
 
     fn acquire(&self) -> Result<Slot<'_>, SubmitError> {
+        crate::model::yield_point("service.acquire");
         if self.shutting_down.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }

@@ -67,6 +67,7 @@ impl StripedTransport {
     /// worker; clamped to at least 1). Re-registering an epoch resets
     /// its lanes.
     pub fn register_epoch(&self, epoch: u64, lanes: usize) {
+        crate::model::yield_point("transport.register_epoch");
         let lanes = (0..lanes.max(1))
             .map(|_| Mutex::new(Lane::default()))
             .collect();
@@ -76,6 +77,7 @@ impl StripedTransport {
     /// Removes `epoch`; queued envelopes are discarded and later
     /// submissions for it are refused as unknown.
     pub fn retire_epoch(&self, epoch: u64) {
+        crate::model::yield_point("transport.retire_epoch");
         lock(&self.epochs).remove(&epoch);
     }
 
@@ -103,6 +105,7 @@ impl StripedTransport {
 
 impl Transport for StripedTransport {
     fn submit(&self, env: Envelope) -> Result<(), TransportError> {
+        crate::model::yield_point("transport.submit");
         if self.closed.load(Ordering::Acquire) {
             return Err(TransportError::Closed);
         }
@@ -120,6 +123,7 @@ impl Transport for StripedTransport {
     }
 
     fn drain(&self, epoch: u64, lane: usize) -> Vec<Envelope> {
+        crate::model::yield_point("transport.drain");
         let Some(lanes) = self.lanes_of(epoch) else {
             return Vec::new();
         };

@@ -1,0 +1,149 @@
+//! Golden-file contract for `edgelet analyze --format json`.
+//!
+//! Downstream tooling parses this output, so the JSON surface is pinned
+//! byte for byte: field names (`code`, `severity`, `location`,
+//! `message`, `help`), the deterministic (file, line, code) ordering,
+//! and the exit-code convention (1 on any error-severity diagnostic,
+//! 0 otherwise). The analysis target is a fixture workspace written to
+//! a temp directory, seeded with one finding from each source layer —
+//! a lock-order cycle (E130), a guard held across a send (E132), an
+//! unbounded channel (W133), a wall-clock read (E102), and a stale
+//! suppression (W131) — across two crates, so the ordering rules are
+//! actually exercised. The expected bytes live in
+//! `tests/golden/analyze_json.golden`; regenerate by running with
+//! `EDGELET_BLESS=1` and committing the printed output.
+
+use std::fs;
+use std::path::PathBuf;
+
+const DEMO_LIB: &str = "\
+use std::sync::Mutex;
+
+pub struct Demo {
+    accounts: Mutex<u64>,
+    ledger: Mutex<u64>,
+}
+
+impl Demo {
+    pub fn forward(&self) {
+        let _a = self.accounts.lock().unwrap();
+        let _b = self.ledger.lock().unwrap();
+    }
+
+    pub fn backward(&self) {
+        let _b = self.ledger.lock().unwrap();
+        let _a = self.accounts.lock().unwrap();
+    }
+
+    pub fn flush(&self, tx: &std::sync::mpsc::Sender<u64>) {
+        let guard = self.accounts.lock().unwrap();
+        tx.send(*guard).unwrap();
+    }
+}
+
+pub fn fanout() {
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    std::thread::spawn(move || drop(rx));
+    drop(tx);
+}
+";
+
+const OTHER_LIB: &str = "\
+pub fn stamp_micros() -> u64 {
+    // lint: allow(E103 fixture directive that matches nothing)
+    let t = std::time::Instant::now();
+    t.elapsed().as_micros() as u64
+}
+";
+
+/// Writes the fixture workspace and returns its root.
+fn fixture_workspace() -> PathBuf {
+    let root = std::env::temp_dir().join(format!("edgelet-analyze-golden-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    for (crate_name, source) in [("demo", DEMO_LIB), ("other", OTHER_LIB)] {
+        let src = root.join("crates").join(crate_name).join("src");
+        fs::create_dir_all(&src).expect("fixture dirs");
+        fs::write(src.join("lib.rs"), source).expect("fixture source");
+    }
+    root
+}
+
+#[test]
+fn analyze_json_output_matches_the_golden_file() {
+    let root = fixture_workspace();
+    let argv: Vec<String> = [
+        "analyze",
+        "--contributors",
+        "1500",
+        "--processors",
+        "120",
+        "--cardinality",
+        "200",
+        "--cap",
+        "50",
+        "--format",
+        "json",
+        "--workspace-root",
+        root.to_str().expect("utf-8 temp path"),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let (json, status) = edgelet_cli::run_cli_with_status(&argv).expect("analyze runs");
+    let _ = fs::remove_dir_all(&root);
+
+    if std::env::var_os("EDGELET_BLESS").is_some() {
+        println!("{json}");
+        panic!("EDGELET_BLESS set: copy the output above into tests/golden/analyze_json.golden");
+    }
+
+    // The fixture seeds error-severity findings, so the exit-code
+    // convention is part of the contract.
+    assert_eq!(status, 1, "errors must exit nonzero:\n{json}");
+    let golden = include_str!("golden/analyze_json.golden");
+    assert_eq!(
+        json, golden,
+        "JSON surface drifted from tests/golden/analyze_json.golden — \
+         field names, ordering, and escaping are a published contract; \
+         regenerate with EDGELET_BLESS=1 only for an intentional change"
+    );
+}
+
+#[test]
+fn analyze_json_on_a_clean_configuration_exits_zero() {
+    // Without a crates/ dir under the workspace root, only the semantic
+    // layer runs; at a 1% fault presumption this configuration is fully
+    // clean, so the contract's other half is an empty array and exit
+    // code 0.
+    let empty = std::env::temp_dir().join(format!("edgelet-analyze-empty-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&empty);
+    fs::create_dir_all(&empty).expect("empty fixture dir");
+    let argv: Vec<String> = [
+        "analyze",
+        "--contributors",
+        "1500",
+        "--processors",
+        "120",
+        "--cardinality",
+        "200",
+        "--cap",
+        "50",
+        "--failure-p",
+        "0.01",
+        "--format",
+        "json",
+        "--workspace-root",
+        empty.to_str().expect("utf-8 temp path"),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let (json, status) = edgelet_cli::run_cli_with_status(&argv).expect("analyze runs");
+    let _ = fs::remove_dir_all(&empty);
+    assert_eq!(status, 0, "{json}");
+    assert_eq!(
+        json.trim(),
+        "[\n]",
+        "a clean run is an empty JSON array: {json}"
+    );
+}

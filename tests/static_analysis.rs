@@ -145,9 +145,88 @@ fn preflight_denies_a_broken_plan_and_passes_a_sound_one() {
 
 #[test]
 fn workspace_sources_are_lint_clean() {
-    // The root package's manifest dir is the workspace root.
-    let findings = edgelet_analyze::lint::lint_workspace(Path::new(env!("CARGO_MANIFEST_DIR")));
+    // The root package's manifest dir is the workspace root. This runs
+    // every source layer: lint, the Layer-3 concurrency pass, and the
+    // stale-suppression audit.
+    let findings = edgelet_analyze::analyze_sources(Path::new(env!("CARGO_MANIFEST_DIR")));
     assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn concurrency_pass_catches_a_seeded_lock_order_cycle() {
+    // Two paths acquire the same two lock classes in opposite orders —
+    // the deadlock shape E130 exists to refuse. The fixture never
+    // exists on disk; `tests/` is outside the analyzed tree.
+    let fixture = "\
+pub struct Pair { accounts: std::sync::Mutex<u64>, ledger: std::sync::Mutex<u64> }
+impl Pair {
+    pub fn forward(&self) {
+        let _a = self.accounts.lock().unwrap();
+        let _b = self.ledger.lock().unwrap();
+    }
+    pub fn backward(&self) {
+        let _b = self.ledger.lock().unwrap();
+        let _a = self.accounts.lock().unwrap();
+    }
+}
+";
+    let findings =
+        edgelet_analyze::concurrency::check_source("crates/live/src/fixture.rs", "live", fixture);
+    let cycle = findings
+        .iter()
+        .find(|d| d.code == "E130")
+        .unwrap_or_else(|| panic!("expected E130 in {findings:#?}"));
+    assert!(
+        cycle.message.contains("accounts") && cycle.message.contains("ledger"),
+        "the cycle report must name both lock classes: {cycle:?}"
+    );
+
+    // A consistent global order is clean.
+    let consistent = fixture.replace(
+        "let _b = self.ledger.lock().unwrap();\n        let _a = self.accounts.lock().unwrap();",
+        "let _a = self.accounts.lock().unwrap();\n        let _b = self.ledger.lock().unwrap();",
+    );
+    let findings = edgelet_analyze::concurrency::check_source(
+        "crates/live/src/fixture.rs",
+        "live",
+        &consistent,
+    );
+    assert!(!findings.iter().any(|d| d.code == "E130"), "{findings:#?}");
+}
+
+#[test]
+fn concurrency_pass_catches_a_seeded_lock_held_across_send() {
+    let fixture = "\
+pub fn flush(state: &std::sync::Mutex<Vec<u8>>, tx: &std::sync::mpsc::Sender<u8>) {
+    let guard = state.lock().unwrap();
+    for b in guard.iter() {
+        tx.send(*b).unwrap();
+    }
+}
+";
+    let findings =
+        edgelet_analyze::concurrency::check_source("crates/live/src/fixture.rs", "live", fixture);
+    let held = findings
+        .iter()
+        .find(|d| d.code == "E132")
+        .unwrap_or_else(|| panic!("expected E132 in {findings:#?}"));
+    assert!(
+        held.location.contains("fixture.rs:4"),
+        "the finding must point at the send under the guard: {held:?}"
+    );
+
+    // Dropping the guard before sending is clean.
+    let released = "\
+pub fn flush(state: &std::sync::Mutex<Vec<u8>>, tx: &std::sync::mpsc::Sender<u8>) {
+    let copied = { state.lock().unwrap().clone() };
+    for b in copied.iter() {
+        tx.send(*b).unwrap();
+    }
+}
+";
+    let findings =
+        edgelet_analyze::concurrency::check_source("crates/live/src/fixture.rs", "live", released);
+    assert!(!findings.iter().any(|d| d.code == "E132"), "{findings:#?}");
 }
 
 #[test]
