@@ -1,14 +1,16 @@
 //! Simulator-configuration checks.
 //!
 //! The sharded parallel engine derives its conservative lookahead from
-//! the network model's minimum latency: shards execute `[t, t + L)` of
-//! virtual time without coordination because no message can arrive
-//! sooner than `L` after it was sent. A model whose minimum latency is
-//! zero (e.g. a log-normal delay distribution, or a uniform bound
-//! starting at zero) makes that window empty, so every run silently
-//! falls back to the global sequential executor — results stay
-//! bit-identical, but `--shards N` buys nothing. `W110` surfaces that
-//! degenerate configuration before a long run is launched.
+//! the network model's minimum latency: each window, shards execute
+//! `[m, m + L)` of virtual time without coordination — `m` the global
+//! minimum pending event time, `L` the latency floor — because no
+//! cross-shard message sent inside the window can arrive before
+//! `m + L`. A model whose minimum latency is zero (e.g. a log-normal
+//! delay distribution, or a uniform bound starting at zero) makes
+//! every window empty, so every run silently falls back to the global
+//! sequential executor — results stay bit-identical, but `--shards N`
+//! buys nothing. `W110` surfaces that degenerate configuration before
+//! a long run is launched.
 
 use crate::diagnostic::{codes, Diagnostic};
 
@@ -37,7 +39,8 @@ pub fn check_sim_config(min_latency_us: u64, shards: usize) -> Vec<Diagnostic> {
         );
         d = d.with_help(
             "give the latency model a positive lower bound (any uniform or fixed \
-             floor works); the engine windows virtual time by that bound",
+             floor works); the engine executes dynamic windows [m, m + L) of \
+             virtual time, so the window length is exactly that bound",
         );
         out.push(d);
     }

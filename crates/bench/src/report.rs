@@ -34,6 +34,10 @@ pub struct SuiteResult {
     /// Simulator shard count the suite ran under (1 for non-simulator
     /// workloads).
     pub shards: usize,
+    /// Worker threads the suite ran under: the live runtime's worker
+    /// count, or the shard count for the sharded simulator (one thread
+    /// per shard); 1 for sequential workloads.
+    pub workers: usize,
     /// Throughput annotation: `(unit, value)` derived from `median_ns`.
     pub throughput: (&'static str, f64),
 }
@@ -91,6 +95,7 @@ pub fn kmeans_kernel() -> SuiteResult {
         name: "kernels/kmeans/lloyd_step_10k_points",
         median_ns: ns,
         shards: 1,
+        workers: 1,
         throughput: ("elements_per_sec", 10_000.0 / (ns * 1e-9)),
     }
 }
@@ -110,6 +115,7 @@ pub fn wire_encode() -> SuiteResult {
         name: "wire/rows/encode_1000_rows",
         median_ns: ns,
         shards: 1,
+        workers: 1,
         throughput: ("mib_per_sec", len / (ns * 1e-9) / (1024.0 * 1024.0)),
     }
 }
@@ -124,6 +130,7 @@ pub fn wire_decode() -> SuiteResult {
         name: "wire/rows/decode_1000_rows",
         median_ns: ns,
         shards: 1,
+        workers: 1,
         throughput: ("mib_per_sec", len / (ns * 1e-9) / (1024.0 * 1024.0)),
     }
 }
@@ -242,6 +249,7 @@ pub fn sim_broadcast_with(shards: usize, name: &'static str) -> SuiteResult {
         name,
         median_ns: ns,
         shards,
+        workers: shards,
         throughput: ("deliveries_per_sec", deliveries / (ns * 1e-9)),
     }
 }
@@ -345,6 +353,7 @@ pub fn scale_churn(shards: usize, name: &'static str) -> SuiteResult {
         name,
         median_ns: ns,
         shards,
+        workers: shards,
         throughput: ("deliveries_per_sec", delivered as f64 / (ns * 1e-9)),
     }
 }
@@ -447,6 +456,7 @@ pub fn scale_grouping(shards: usize, name: &'static str) -> SuiteResult {
         name,
         median_ns: ns,
         shards,
+        workers: shards,
         throughput: ("contributions_per_sec", SCALE_DEVICES as f64 / (ns * 1e-9)),
     }
 }
@@ -484,6 +494,7 @@ pub fn e2e_query() -> SuiteResult {
         name: "e2e/grouping_query_1k_contributors",
         median_ns: ns,
         shards: 1,
+        workers: 1,
         throughput: ("queries_per_sec", 1.0 / (ns * 1e-9)),
     }
 }
@@ -547,7 +558,8 @@ pub fn live_throughput(workers: usize, name: &'static str) -> SuiteResult {
     SuiteResult {
         name,
         median_ns: ns,
-        shards: workers,
+        shards: 1,
+        workers,
         throughput: ("queries_per_sec", QUERIES as f64 / (ns * 1e-9)),
     }
 }
@@ -556,33 +568,117 @@ pub fn live_throughput(workers: usize, name: &'static str) -> SuiteResult {
 /// the CI parity matrix and typical 4-core runners).
 pub const PARALLEL_SHARDS: usize = 4;
 
-/// Runs every suite in a fixed order. Simulator suites run at
+/// One entry in the suite registry: a stable name and the measurement
+/// behind it.
+pub struct Suite {
+    /// Suite identifier (mirrors the criterion benchmark ID).
+    pub name: &'static str,
+    runner: fn() -> SuiteResult,
+}
+
+impl Suite {
+    /// Measures this suite.
+    pub fn run(&self) -> SuiteResult {
+        (self.runner)()
+    }
+}
+
+fn broadcast_seq() -> SuiteResult {
+    sim_broadcast_with(1, "sim/broadcast/1kib_fanout_200x50")
+}
+fn broadcast_par() -> SuiteResult {
+    sim_broadcast_with(PARALLEL_SHARDS, "sim/broadcast/1kib_fanout_200x50@shards4")
+}
+fn churn_seq() -> SuiteResult {
+    scale_churn(1, "sim/scale/100k_devices_churn")
+}
+fn churn_par() -> SuiteResult {
+    scale_churn(PARALLEL_SHARDS, "sim/scale/100k_devices_churn@shards4")
+}
+fn grouping_seq() -> SuiteResult {
+    scale_grouping(1, "sim/scale/grouping_query_100k_contributors")
+}
+fn grouping_par() -> SuiteResult {
+    scale_grouping(
+        PARALLEL_SHARDS,
+        "sim/scale/grouping_query_100k_contributors@shards4",
+    )
+}
+fn live_seq() -> SuiteResult {
+    live_throughput(
+        1,
+        "live/throughput/grouping_3_queries_1k_contributors@workers1",
+    )
+}
+fn live_par() -> SuiteResult {
+    live_throughput(
+        PARALLEL_SHARDS,
+        "live/throughput/grouping_3_queries_1k_contributors@workers4",
+    )
+}
+
+/// Every suite, in the fixed report order. Simulator suites appear at
 /// `shards = 1` and again at [`PARALLEL_SHARDS`] (the `@shards4`
 /// variants), so one report captures the sequential/parallel speedup.
-pub fn run_all() -> Vec<SuiteResult> {
+pub fn suites() -> Vec<Suite> {
+    macro_rules! suite {
+        ($name:expr, $runner:path) => {
+            Suite {
+                name: $name,
+                runner: $runner,
+            }
+        };
+    }
     vec![
-        kmeans_kernel(),
-        wire_encode(),
-        wire_decode(),
-        sim_broadcast_with(1, "sim/broadcast/1kib_fanout_200x50"),
-        sim_broadcast_with(PARALLEL_SHARDS, "sim/broadcast/1kib_fanout_200x50@shards4"),
-        scale_churn(1, "sim/scale/100k_devices_churn"),
-        scale_churn(PARALLEL_SHARDS, "sim/scale/100k_devices_churn@shards4"),
-        scale_grouping(1, "sim/scale/grouping_query_100k_contributors"),
-        scale_grouping(
-            PARALLEL_SHARDS,
+        suite!("kernels/kmeans/lloyd_step_10k_points", kmeans_kernel),
+        suite!("wire/rows/encode_1000_rows", wire_encode),
+        suite!("wire/rows/decode_1000_rows", wire_decode),
+        suite!("sim/broadcast/1kib_fanout_200x50", broadcast_seq),
+        suite!("sim/broadcast/1kib_fanout_200x50@shards4", broadcast_par),
+        suite!("sim/scale/100k_devices_churn", churn_seq),
+        suite!("sim/scale/100k_devices_churn@shards4", churn_par),
+        suite!("sim/scale/grouping_query_100k_contributors", grouping_seq),
+        suite!(
             "sim/scale/grouping_query_100k_contributors@shards4",
+            grouping_par
         ),
-        e2e_query(),
-        live_throughput(
-            1,
+        suite!("e2e/grouping_query_1k_contributors", e2e_query),
+        suite!(
             "live/throughput/grouping_3_queries_1k_contributors@workers1",
+            live_seq
         ),
-        live_throughput(
-            PARALLEL_SHARDS,
+        suite!(
             "live/throughput/grouping_3_queries_1k_contributors@workers4",
+            live_par
         ),
     ]
+}
+
+/// Runs every suite in the registry order.
+pub fn run_all() -> Vec<SuiteResult> {
+    suites().iter().map(Suite::run).collect()
+}
+
+/// Runs only the suites whose name starts with `prefix` (e.g.
+/// `sim/broadcast` or `live/`). An empty prefix matches everything; an
+/// unmatched prefix returns an empty vector — callers decide whether
+/// that is an error.
+pub fn run_matching(prefix: &str) -> Vec<SuiteResult> {
+    suites()
+        .iter()
+        .filter(|s| s.name.starts_with(prefix))
+        .map(Suite::run)
+        .collect()
+}
+
+/// Logical CPUs available to this process, degrading to 1 when the
+/// platform cannot say. Recorded in every report so speedup numbers
+/// (`@shards4` / `@workers4` vs their sequential twins) carry the
+/// hardware context needed to interpret them.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// The short git revision of the working tree, or `"unknown"` outside a
@@ -617,12 +713,16 @@ pub fn to_json(results: &[SuiteResult]) -> String {
     out.push_str("  \"schema\": \"edgelet-bench-report/v1\",\n");
     out.push_str(&format!("  \"samples_per_suite\": {SAMPLES},\n"));
     out.push_str(&format!("  \"git_revision\": \"{}\",\n", git_revision()));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        available_parallelism()
+    ));
     out.push_str("  \"suites\": {\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         out.push_str(&format!(
-            "    \"{}\": {{\"median_ns\": {:.1}, \"shards\": {}, \"{}\": {:.1}}}{comma}\n",
-            r.name, r.median_ns, r.shards, r.throughput.0, r.throughput.1
+            "    \"{}\": {{\"median_ns\": {:.1}, \"shards\": {}, \"workers\": {}, \"{}\": {:.1}}}{comma}\n",
+            r.name, r.median_ns, r.shards, r.workers, r.throughput.0, r.throughput.1
         ));
     }
     out.push_str("  }\n}\n");
@@ -693,12 +793,14 @@ mod tests {
                 name: "kernels/kmeans/lloyd_step_10k_points",
                 median_ns: 12345.5,
                 shards: 1,
+                workers: 1,
                 throughput: ("elements_per_sec", 1e9),
             },
             SuiteResult {
                 name: "wire/rows/encode_1000_rows",
                 median_ns: 678.0,
                 shards: 1,
+                workers: 1,
                 throughput: ("mib_per_sec", 250.0),
             },
         ];
@@ -730,7 +832,8 @@ mod tests {
     #[test]
     fn live_throughput_suite_completes_queries() {
         let r = live_throughput(2, "live/throughput/test@workers2");
-        assert_eq!(r.shards, 2);
+        assert_eq!(r.shards, 1, "live suites do not shard the simulator");
+        assert_eq!(r.workers, 2);
         assert_eq!(r.throughput.0, "queries_per_sec");
         assert!(r.throughput.1 > 0.0);
     }
@@ -768,12 +871,14 @@ mod tests {
                 name: "a",
                 median_ns: 100.0,
                 shards: 1,
+                workers: 1,
                 throughput: ("x_per_sec", 1.0),
             },
             SuiteResult {
                 name: "b",
                 median_ns: 100.0,
                 shards: 1,
+                workers: 1,
                 throughput: ("x_per_sec", 1.0),
             },
         ]);
@@ -783,6 +888,7 @@ mod tests {
                 name: "a",
                 median_ns: 105.0,
                 shards: 1,
+                workers: 1,
                 throughput: ("x_per_sec", 1.0),
             },
             // 50% slower: gates.
@@ -790,6 +896,7 @@ mod tests {
                 name: "b",
                 median_ns: 150.0,
                 shards: 1,
+                workers: 1,
                 throughput: ("x_per_sec", 1.0),
             },
             // Not in the baseline: skipped.
@@ -797,6 +904,7 @@ mod tests {
                 name: "c",
                 median_ns: 999.0,
                 shards: 1,
+                workers: 1,
                 throughput: ("x_per_sec", 1.0),
             },
         ];
@@ -807,15 +915,34 @@ mod tests {
     }
 
     #[test]
-    fn json_records_shard_counts() {
+    fn json_records_shard_and_worker_counts() {
         let json = to_json(&[SuiteResult {
             name: "s",
             median_ns: 1.0,
             shards: 4,
+            workers: 2,
             throughput: ("x_per_sec", 1.0),
         }]);
         assert!(json.contains("\"shards\": 4"));
+        assert!(json.contains("\"workers\": 2"));
         assert!(json.contains("\"git_revision\""));
+        assert!(json.contains("\"available_parallelism\""));
         assert_eq!(median_from_json(&json, "s"), Some(1.0));
+    }
+
+    #[test]
+    fn registry_filters_by_prefix() {
+        let names: Vec<&str> = suites().iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 12, "{names:?}");
+        // Prefix selection is what `edgelet bench --suite` exposes; pure
+        // name filtering here so the test does not run the heavy suites.
+        let broadcast: Vec<&&str> = names
+            .iter()
+            .filter(|n| n.starts_with("sim/broadcast"))
+            .collect();
+        assert_eq!(broadcast.len(), 2, "{broadcast:?}");
+        // An unmatched prefix runs nothing (and returns immediately).
+        assert!(run_matching("no/such/suite").is_empty());
+        assert!(available_parallelism() >= 1);
     }
 }

@@ -86,6 +86,8 @@ pub struct BenchArgs {
     pub fail_over: f64,
     /// Write the fresh report to this path.
     pub out: Option<String>,
+    /// Only run suites whose name starts with this prefix (`None` = all).
+    pub suite: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -94,6 +96,7 @@ impl Default for BenchArgs {
             compare: None,
             fail_over: 10.0,
             out: None,
+            suite: None,
         }
     }
 }
@@ -231,6 +234,8 @@ OPTIONS (bench):
     --compare PATH      baseline report (e.g. BENCH_baseline.json)
     --fail-over PCT     regression threshold, percent    [default: 10]
     --out PATH          also write the fresh report here
+    --suite PREFIX      only run suites whose name starts with PREFIX
+                        (e.g. sim/broadcast, live/)      [default: all]
 
 OPTIONS (serve/submit — plus all plan/run world options):
     --workers N         worker threads per query         [default: 4]
@@ -298,6 +303,9 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             }
             if let Some(values) = flags.get("out") {
                 b.out = Some(single(values, "out")?.clone());
+            }
+            if let Some(values) = flags.get("suite") {
+                b.suite = Some(single(values, "suite")?.clone());
             }
             Ok(Command::Bench(b))
         }
@@ -560,6 +568,11 @@ mod tests {
         assert_eq!(b.compare.as_deref(), Some("BENCH_baseline.json"));
         assert_eq!(b.fail_over, 5.0);
         assert_eq!(b.out.as_deref(), Some("BENCH_current.json"));
+        assert_eq!(b.suite, None);
+        let Command::Bench(b) = parse(&argv("bench --suite sim/broadcast")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(b.suite.as_deref(), Some("sim/broadcast"));
         assert!(parse(&argv("bench --fail-over lots")).is_err());
     }
 

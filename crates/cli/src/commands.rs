@@ -233,24 +233,39 @@ fn chaos_command(args: &ChaosArgs) -> Result<(String, i32)> {
     Ok((out, i32::from(!report.failures.is_empty())))
 }
 
-/// `edgelet bench`: measures every suite and, with `--compare`, gates on
-/// a committed baseline report.
+/// `edgelet bench`: measures every suite (or the `--suite` prefix
+/// selection) and, with `--compare`, gates on a committed baseline
+/// report.
 fn bench_command(args: &BenchArgs) -> Result<(String, i32)> {
     use edgelet_bench::report;
 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "bench: median of {} samples per suite, rev {}",
+        "bench: median of {} samples per suite, rev {}, {} logical cpus",
         report::SAMPLES,
-        report::git_revision()
+        report::git_revision(),
+        report::available_parallelism()
     );
-    let results = report::run_all();
+    let results = match &args.suite {
+        Some(prefix) => {
+            let selected = report::run_matching(prefix);
+            if selected.is_empty() {
+                let known: Vec<&str> = report::suites().iter().map(|s| s.name).collect();
+                return Err(Error::InvalidConfig(format!(
+                    "--suite {prefix} matches no suite; known suites: {}",
+                    known.join(", ")
+                )));
+            }
+            selected
+        }
+        None => report::run_all(),
+    };
     for r in &results {
         let _ = writeln!(
             out,
-            "{:<52} median {:>14.1} ns  shards {}  {} {:.1}",
-            r.name, r.median_ns, r.shards, r.throughput.0, r.throughput.1
+            "{:<52} median {:>14.1} ns  shards {}  workers {}  {} {:.1}",
+            r.name, r.median_ns, r.shards, r.workers, r.throughput.0, r.throughput.1
         );
     }
     if let Some(path) = &args.out {

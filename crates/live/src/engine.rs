@@ -18,14 +18,16 @@
 //! * **Per-sender RNG streams.** Network fate and latency draw from the
 //!   sender's own RNG fork, so draws are independent of thread
 //!   interleaving.
-//! * **Conservative lookahead.** Window width equals the network's
-//!   minimum latency `L`. A message sent at `now ∈ [kL, (k+1)L)` is
-//!   delivered at `now + latency ≥ (k+1)L` — never inside the window
-//!   that sent it. Routing **all** deliveries through the transport and
-//!   draining them at the next window start therefore cannot reorder
-//!   processing relative to the simulator, which short-circuits
-//!   same-shard deliveries. Only timers can fire inside their spawning
-//!   window, and timers never leave their worker-local heap.
+//! * **Conservative lookahead.** Each window spans `[m, m + L)` where
+//!   `m` is the global minimum pending time and `L` the network's
+//!   minimum latency — the same dynamic geometry as the simulator. A
+//!   message sent at `now ≥ m` is delivered at `now + latency ≥ m + L`,
+//!   never inside the window that sent it. Routing **all** deliveries
+//!   through the transport and draining them at the next window start
+//!   therefore cannot reorder processing relative to the simulator,
+//!   which short-circuits same-shard deliveries. Only timers can fire
+//!   inside their spawning window, and timers never leave their
+//!   worker-local heap.
 //! * **Barrier-mediated backpressure.** A full transport lane parks the
 //!   envelope in the window report; the coordinator re-submits parked
 //!   envelopes at the barrier (spilling to worker mailboxes if the lane
@@ -46,6 +48,7 @@ use edgelet_sim::{
 };
 use edgelet_util::ids::DeviceId;
 use edgelet_util::rng::DetRng;
+use edgelet_util::sync::EpochGate;
 use edgelet_util::{Payload, Result};
 use edgelet_wire::{Envelope, Transport, TransportError};
 use std::collections::{BTreeSet, BinaryHeap};
@@ -213,21 +216,38 @@ struct RoundOut {
     deltas: Deltas,
     /// Envelopes refused with backpressure, for barrier re-submission.
     parked: Vec<Envelope>,
+    /// Sends buffered per destination lane, flushed in one batched
+    /// transport submission per lane at the end of the window (the
+    /// lookahead guarantees none of them can be due inside it).
+    outgoing: Vec<Vec<Envelope>>,
     trace_on: bool,
     cur: (SimTime, u64, u64),
     intra: u32,
 }
 
 impl RoundOut {
-    fn new(trace_on: bool) -> Self {
+    fn new(trace_on: bool, lane_count: usize) -> Self {
         RoundOut {
             journal: Vec::new(),
             deltas: Deltas::default(),
             parked: Vec::new(),
+            outgoing: (0..lane_count).map(|_| Vec::new()).collect(),
             trace_on,
             cur: (SimTime::ZERO, 0, 0),
             intra: 0,
         }
+    }
+
+    /// Clears buffered effects while keeping capacity, so a recycled
+    /// report's window allocates nothing.
+    fn reset(&mut self) {
+        self.journal.clear();
+        self.deltas = Deltas::default();
+        self.parked.clear();
+        for lane in &mut self.outgoing {
+            lane.clear();
+        }
+        self.intra = 0;
     }
 
     fn begin_event(&mut self, key: (SimTime, u64, u64)) {
@@ -276,15 +296,38 @@ struct LiveEnv<'a> {
     transport: &'a dyn Transport,
 }
 
-/// Shared coordination block; one generation = one window.
+/// Shared coordination block; one generation = one window. Both
+/// barrier directions park instead of spinning ([`EpochGate`]), so an
+/// oversubscribed host degrades to blocking rather than a scheduler
+/// fight.
 #[derive(Default)]
 struct Ctl {
-    generation: AtomicU64,
-    done: AtomicU64,
+    /// Window generation; bumped by the coordinator to open a window.
+    generation: EpochGate,
+    /// Cumulative count of worker window completions.
+    done: EpochGate,
     stop: AtomicBool,
-    cell_end: AtomicU64,
+    window_end: AtomicU64,
     clip: AtomicU64,
     budget: AtomicU64,
+}
+
+/// Cooperative lane-decode staging shared by one run's workers. At the
+/// start of each window every transport lane must be drained and its
+/// wire bytes decoded; instead of each worker decoding only its own
+/// lane (serializing the window on the busiest lane), workers claim
+/// lanes round-robin and decode whichever is next, publishing the
+/// envelopes to the owning worker's staging buffer.
+struct StealCtx {
+    /// Monotone lane-claim ticket; window `g` owns tickets
+    /// `[(g-1)·W, g·W)` for `W` lanes, claimed by bounded CAS so a
+    /// window can never consume the next window's tickets.
+    claim: AtomicU64,
+    /// Cumulative count of decoded lanes; window `g` is fully staged
+    /// once this reaches `g·W`.
+    decoded: EpochGate,
+    /// Decoded envelopes awaiting ingestion by the owning worker.
+    staging: Vec<Mutex<Vec<Envelope>>>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -299,6 +342,9 @@ struct LiveWorker {
     worker_count: usize,
     devices: Vec<LiveDevice>,
     heap: BinaryHeap<LiveEvent>,
+    /// Scratch buffer mailbox/staging contents are swapped into, so
+    /// ingestion holds neither lock while pushing onto the heap.
+    ingest_buf: Vec<Envelope>,
 }
 
 impl LiveWorker {
@@ -307,28 +353,45 @@ impl LiveWorker {
         &mut self.devices[id.index() / self.worker_count]
     }
 
-    /// Runs one window: ingest mailbox spills and transport deliveries,
-    /// then execute every event with `at < cell_end && at <= clip`.
+    /// Runs one window: ingest mailbox spills and the pre-decoded
+    /// transport deliveries staged for this worker, execute every event
+    /// with `at < window_end && at <= clip`, then flush buffered sends
+    /// lane-by-lane. `reuse` recycles the previous window's report
+    /// (emptied by the barrier) so steady-state windows allocate
+    /// nothing.
+    #[allow(clippy::too_many_arguments)]
     fn run_round(
         &mut self,
         env: &LiveEnv<'_>,
         mailbox: &Mutex<Vec<Envelope>>,
-        cell_end_us: u64,
+        staging: &Mutex<Vec<Envelope>>,
+        window_end_us: u64,
         clip_us: u64,
         budget: u64,
+        reuse: Option<RoundReport>,
     ) -> RoundReport {
-        for e in lock(mailbox).drain(..) {
+        let mut buf = std::mem::take(&mut self.ingest_buf);
+        std::mem::swap(&mut *lock(mailbox), &mut buf);
+        for e in buf.drain(..) {
             self.ingest(e);
         }
-        for e in env.transport.drain(env.epoch, self.idx) {
+        std::mem::swap(&mut *lock(staging), &mut buf);
+        for e in buf.drain(..) {
             self.ingest(e);
         }
-        let mut out = RoundOut::new(env.trace_enabled);
+        self.ingest_buf = buf;
+        let mut out = match reuse {
+            Some(r) => {
+                debug_assert!(r.out.journal.is_empty());
+                r.out
+            }
+            None => RoundOut::new(env.trace_enabled, self.worker_count),
+        };
         let mut processed = 0u64;
         let mut hit_budget = false;
         while let Some(top) = self.heap.peek() {
             let at_us = top.at.as_micros();
-            if at_us >= cell_end_us || at_us > clip_us {
+            if at_us >= window_end_us || at_us > clip_us {
                 break;
             }
             if processed >= budget {
@@ -339,6 +402,32 @@ impl LiveWorker {
             processed += 1;
             self.process_event(ev, env, &mut out);
         }
+        // Flush the window's sends: one batched submission per
+        // destination lane, each taking the lane lock once. The
+        // lookahead guarantees nothing flushed here was due inside the
+        // window just executed.
+        for lane in 0..out.outgoing.len() {
+            let mut batch = std::mem::take(&mut out.outgoing[lane]);
+            if !batch.is_empty() {
+                match env.transport.submit_batch(&mut batch) {
+                    Ok(()) => {}
+                    Err(TransportError::Backpressure) => out.parked.append(&mut batch),
+                    Err(_) => {
+                        // Closed/unknown-epoch mid-run only happens if the
+                        // hosting service tore the epoch down; account the
+                        // remaining messages as lost.
+                        out.deltas.real_pending -= batch.len() as i64;
+                        out.deltas.dropped += batch.len() as u64;
+                        batch.clear();
+                    }
+                }
+            }
+            out.outgoing[lane] = batch;
+        }
+        // Pre-sort so the barrier can k-way-merge worker journals
+        // instead of concatenating and re-sorting under the barrier.
+        out.journal
+            .sort_unstable_by_key(|e| (e.at, e.origin, e.seq, e.intra));
         let heap_min = self.heap.peek().map(|e| e.at.as_micros());
         RoundReport {
             out,
@@ -574,54 +663,78 @@ impl LiveWorker {
             deliver_at_us: at.as_micros(),
             payload,
         };
-        match env.transport.submit(env_msg.clone()) {
-            Ok(()) => {}
-            Err(TransportError::Backpressure) => out.parked.push(env_msg),
-            Err(_) => {
-                // Closed/unknown-epoch mid-run only happens if the hosting
-                // service tore the epoch down; account the message as lost.
-                out.deltas.real_pending -= 1;
-                out.deltas.dropped += 1;
-            }
-        }
+        // Buffered, not submitted: the whole window's sends for one lane
+        // flush in a single batched submission at the end of the round.
+        let lane = to.index() % self.worker_count;
+        out.outgoing[lane].push(env_msg);
     }
 }
 
-/// Worker thread body: waits for each window generation, runs it, and
-/// publishes its report.
+/// Worker thread body: parks for each window generation, joins the
+/// cooperative lane-decode phase, runs its round with a recycled
+/// report, and publishes the result.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     worker: &mut LiveWorker,
     env: &LiveEnv<'_>,
     ctl: &Ctl,
+    steal: &StealCtx,
     mailboxes: &[Mutex<Vec<Envelope>>],
     slots: &[Mutex<Option<RoundReport>>],
 ) {
     let me = worker.idx;
+    let lanes = steal.staging.len() as u64;
     let mut seen = 0u64;
     loop {
-        let mut spins = 0u32;
-        loop {
-            if ctl.stop.load(Ordering::Acquire) {
-                return;
-            }
-            if ctl.generation.load(Ordering::Acquire) > seen {
-                break;
-            }
-            spins += 1;
-            if spins < 128 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
+        ctl.generation.wait_min(seen + 1);
+        if ctl.stop.load(Ordering::Acquire) {
+            return;
         }
         seen += 1;
-        let cell_end = ctl.cell_end.load(Ordering::Acquire);
+        // Phase 1 — work-stealing lane decode: claim any lane not yet
+        // drained this window, decode its wire bytes, and stage the
+        // envelopes for the owning worker. A lane carrying most of the
+        // window's traffic is no longer a serialization point.
+        loop {
+            let ticket = steal.claim.load(Ordering::Acquire);
+            if ticket >= seen * lanes {
+                break;
+            }
+            if steal
+                .claim
+                .compare_exchange(ticket, ticket + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            let lane = (ticket % lanes) as usize;
+            let mut decoded = env.transport.drain(env.epoch, lane);
+            if !decoded.is_empty() {
+                lock(&steal.staging[lane]).append(&mut decoded);
+            }
+            steal.decoded.add(1);
+        }
+        steal.decoded.wait_min(seen * lanes);
+        // Phase 2 — execute the window against this worker's staged
+        // deliveries, reusing the report the barrier handed back.
+        let reuse = {
+            let mut slot = lock(&slots[me]);
+            slot.take()
+        };
+        let window_end = ctl.window_end.load(Ordering::Acquire);
         let clip = ctl.clip.load(Ordering::Acquire);
         let budget = ctl.budget.load(Ordering::Acquire);
-        let report = worker.run_round(env, &mailboxes[me], cell_end, clip, budget);
+        let report = worker.run_round(
+            env,
+            &mailboxes[me],
+            &steal.staging[me],
+            window_end,
+            clip,
+            budget,
+            reuse,
+        );
         *lock(&slots[me]) = Some(report);
-        ctl.done.fetch_add(1, Ordering::Release);
+        ctl.done.add(1);
     }
 }
 
@@ -672,6 +785,7 @@ impl LiveEngine {
                 worker_count,
                 devices: Vec::new(),
                 heap: BinaryHeap::new(),
+                ingest_buf: Vec::new(),
             })
             .collect();
         let trace_capacity = config.trace_capacity;
@@ -851,6 +965,11 @@ impl LiveEngine {
         }
 
         let ctl = Ctl::default();
+        let steal = StealCtx {
+            claim: AtomicU64::new(0),
+            decoded: EpochGate::new(),
+            staging: (0..worker_count).map(|_| Mutex::new(Vec::new())).collect(),
+        };
         let mailboxes: Vec<Mutex<Vec<Envelope>>> =
             (0..worker_count).map(|_| Mutex::new(Vec::new())).collect();
         let slots: Vec<Mutex<Option<RoundReport>>> =
@@ -860,10 +979,14 @@ impl LiveEngine {
             for worker in self.workers.iter_mut() {
                 let env = &env;
                 let ctl = &ctl;
+                let steal = &steal;
                 let mailboxes = &mailboxes[..];
                 let slots = &slots[..];
-                scope.spawn(move || worker_loop(worker, env, ctl, mailboxes, slots));
+                scope.spawn(move || worker_loop(worker, env, ctl, steal, mailboxes, slots));
             }
+            let mut expected_done = 0u64;
+            let mut reports: Vec<RoundReport> = Vec::with_capacity(worker_count);
+            let mut parked: Vec<Envelope> = Vec::new();
             let result = loop {
                 if abort.is_some_and(|a| a.load(Ordering::Acquire)) {
                     break ExitReason::Aborted;
@@ -881,25 +1004,20 @@ impl LiveEngine {
                 if metrics.events_processed >= max_events {
                     break ExitReason::Budget;
                 }
-                let cell = m / width;
-                let cell_end = cell.saturating_add(1).saturating_mul(width);
-                *cell_open_until = cell_end;
-                ctl.done.store(0, Ordering::Relaxed);
-                ctl.cell_end.store(cell_end, Ordering::Relaxed);
+                // Same window geometry as the simulator: one lookahead
+                // starting at the global minimum pending time.
+                let window_end = m.saturating_add(width);
+                *cell_open_until = window_end;
+                ctl.window_end.store(window_end, Ordering::Relaxed);
                 ctl.clip.store(deadline_us, Ordering::Relaxed);
                 ctl.budget
                     .store(max_events - metrics.events_processed, Ordering::Relaxed);
-                ctl.generation.fetch_add(1, Ordering::Release);
-                let mut spins = 0u32;
-                while ctl.done.load(Ordering::Acquire) < worker_count as u64 {
-                    spins += 1;
-                    if spins < 128 {
-                        std::hint::spin_loop();
-                    } else {
-                        std::thread::yield_now();
-                    }
-                }
-                let mut reports = Vec::with_capacity(worker_count);
+                // The gate's internal lock publishes the Relaxed stores
+                // above to workers woken by this bump.
+                ctl.generation.add(1);
+                expected_done += worker_count as u64;
+                ctl.done.wait_min(expected_done);
+                reports.clear();
                 let mut missing = false;
                 for slot in &slots {
                     match lock(slot).take() {
@@ -913,10 +1031,8 @@ impl LiveEngine {
                     break ExitReason::Aborted;
                 }
                 // ---- barrier merge (the simulator's merge_reports) ----
-                let mut journal = Vec::new();
-                let mut parked = Vec::new();
                 let mut next_min: Option<u64> = None;
-                for report in reports {
+                for report in reports.iter_mut() {
                     let d = &report.out.deltas;
                     metrics.messages_sent += d.sent;
                     metrics.messages_delivered += d.delivered;
@@ -931,21 +1047,43 @@ impl LiveEngine {
                     *now = (*now).max(d.last_at);
                     next_min = fold_min(next_min, report.heap_min);
                     let _ = report.hit_budget;
-                    journal.extend(report.out.journal);
-                    parked.extend(report.out.parked);
+                    parked.append(&mut report.out.parked);
                 }
-                journal.sort_unstable_by_key(|e| (e.at, e.origin, e.seq, e.intra));
-                for entry in journal {
-                    match entry.item {
-                        JItem::Trace(ev) => trace.record(entry.at, ev),
-                        JItem::Observe(name, value) => metrics.observe(name, value),
+                // Streaming k-way merge of the workers' pre-sorted
+                // journals: repeatedly take the smallest head by the
+                // canonical `(at, origin, seq, intra)` key. No
+                // concatenation, no re-sort; journal buffers keep their
+                // capacity for recycling.
+                {
+                    let mut heads: Vec<_> = reports
+                        .iter_mut()
+                        .map(|r| r.out.journal.drain(..).peekable())
+                        .collect();
+                    loop {
+                        let mut best: Option<usize> = None;
+                        let mut best_key = (SimTime::ZERO, 0u64, 0u64, 0u32);
+                        for (i, head) in heads.iter_mut().enumerate() {
+                            if let Some(e) = head.peek() {
+                                let key = (e.at, e.origin, e.seq, e.intra);
+                                if best.is_none() || key < best_key {
+                                    best = Some(i);
+                                    best_key = key;
+                                }
+                            }
+                        }
+                        let Some(i) = best else { break };
+                        let Some(entry) = heads[i].next() else { break };
+                        match entry.item {
+                            JItem::Trace(ev) => trace.record(entry.at, ev),
+                            JItem::Observe(name, value) => metrics.observe(name, value),
+                        }
                     }
                 }
                 // Re-submit backpressured envelopes while every worker is
                 // idle; a still-full lane spills into the destination's
                 // mailbox so no envelope is ever invisible to the next
                 // window decision.
-                for e in parked {
+                for e in parked.drain(..) {
                     match transport.submit(e.clone()) {
                         Ok(()) => {}
                         Err(_) => {
@@ -960,14 +1098,29 @@ impl LiveEngine {
                     next_min = fold_min(next_min, mb_min);
                 }
                 min_at = next_min;
+                // Hand the emptied reports back through the slots so the
+                // next window reuses their buffers.
+                for (slot, mut report) in slots.iter().zip(reports.drain(..)) {
+                    report.out.reset();
+                    *lock(slot) = Some(report);
+                }
             };
             ctl.stop.store(true, Ordering::Release);
+            // Wake parked workers so they observe `stop` and exit.
+            ctl.generation.add(1);
             result
         });
-        // Workers are joined; flush mailbox spills left by an early exit
-        // back into the owning heaps so state stays consistent.
+        // Workers are joined; flush mailbox spills and staged deliveries
+        // left by an early exit back into the owning heaps so state
+        // stays consistent.
         for (dest, mb) in mailboxes.into_iter().enumerate() {
             let envelopes = mb.into_inner().unwrap_or_else(|e| e.into_inner());
+            for e in envelopes {
+                self.workers[dest].ingest(e);
+            }
+        }
+        for (dest, st) in steal.staging.into_iter().enumerate() {
+            let envelopes = st.into_inner().unwrap_or_else(|e| e.into_inner());
             for e in envelopes {
                 self.workers[dest].ingest(e);
             }

@@ -112,6 +112,7 @@ pub struct QueryService {
     idle: Condvar,
     next_epoch: AtomicU64,
     shutting_down: AtomicBool,
+    watchdog: Watchdog,
 }
 
 /// RAII admission slot: releases the gate (and wakes `shutdown`) even
@@ -138,6 +139,7 @@ impl QueryService {
             idle: Condvar::new(),
             next_epoch: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
+            watchdog: Watchdog::new(),
         }
     }
 
@@ -187,7 +189,7 @@ impl QueryService {
         self.transport
             .register_epoch(epoch, self.config.workers.max(1));
         let abort = Arc::new(AtomicBool::new(false));
-        let watchdog = wall_deadline.map(|timeout| Watchdog::arm(timeout, abort.clone()));
+        let armed = wall_deadline.map(|timeout| self.watchdog.arm(timeout, abort.clone()));
         let opts = LiveRunOptions::new(self.config.workers.max(1), epoch);
         let transport: Arc<dyn edgelet_wire::Transport> = self.transport.clone();
         let result = run_live_query(
@@ -199,8 +201,8 @@ impl QueryService {
             &opts,
             Some(&abort),
         );
-        if let Some(watchdog) = watchdog {
-            watchdog.disarm();
+        if let Some(id) = armed {
+            self.watchdog.disarm(id);
         }
         self.transport.retire_epoch(epoch);
         drop(slot);
@@ -225,47 +227,105 @@ impl QueryService {
     }
 }
 
-/// A wall-clock deadline watchdog: raises `abort` once `timeout` of
-/// host time elapses, unless disarmed first.
+/// One armed wall-clock deadline.
+struct Deadline {
+    id: u64,
+    fire_at: std::time::Instant,
+    abort: Arc<AtomicBool>,
+}
+
+/// Book-keeping behind the shared watchdog thread.
+#[derive(Default)]
+struct WatchState {
+    deadlines: Vec<Deadline>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+/// A wall-clock deadline watchdog shared by every query the service
+/// runs: raises each armed `abort` flag once its host-time deadline
+/// elapses, unless disarmed first.
+///
+/// Arming used to spawn a dedicated thread per query; the shared
+/// thread (spawned at service construction, parked on a condvar while
+/// idle) hoists that per-query cost out of the submit path. Deadlines
+/// are a handful at most (`max_concurrent`), so a linear scan per
+/// wakeup is fine.
 struct Watchdog {
-    handle: std::thread::JoinHandle<()>,
-    done: Arc<(Mutex<bool>, Condvar)>,
+    state: Arc<(Mutex<WatchState>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Watchdog {
-    fn arm(timeout: std::time::Duration, abort: Arc<AtomicBool>) -> Self {
-        let done = Arc::new((Mutex::new(false), Condvar::new()));
-        let done_in = done.clone();
-        let handle = std::thread::spawn(move || {
-            // Wall-clock deadlines are real time by definition.
-            let start = std::time::Instant::now(); // lint: allow(E102 wall-clock query deadline watchdog)
-            let (flag, cv) = &*done_in;
-            let mut finished = lock(flag);
-            loop {
-                if *finished {
-                    return;
-                }
-                let elapsed = start.elapsed();
-                if elapsed >= timeout {
-                    abort.store(true, Ordering::Release);
-                    return;
-                }
-                let (guard, _) = cv
-                    .wait_timeout(finished, timeout - elapsed)
-                    .unwrap_or_else(|e| e.into_inner());
-                finished = guard;
-            }
-        });
-        Watchdog { handle, done }
+    fn new() -> Self {
+        let state = Arc::new((Mutex::new(WatchState::default()), Condvar::new()));
+        let thread_state = Arc::clone(&state);
+        Watchdog {
+            state,
+            handle: Some(std::thread::spawn(move || Watchdog::run(&thread_state))),
+        }
     }
 
-    fn disarm(self) {
+    /// Arms a deadline `timeout` of host time from now; returns the id
+    /// to disarm it with.
+    fn arm(&self, timeout: std::time::Duration, abort: Arc<AtomicBool>) -> u64 {
+        // Wall-clock deadlines are real time by definition.
+        let fire_at = std::time::Instant::now() + timeout; // lint: allow(E102 wall-clock query deadline watchdog)
+        let (st, cv) = &*self.state;
+        let mut state = lock(st);
+        state.next_id += 1;
+        let id = state.next_id;
+        state.deadlines.push(Deadline { id, fire_at, abort });
+        cv.notify_all();
+        id
+    }
+
+    /// Disarms a deadline; a no-op if it already fired.
+    fn disarm(&self, id: u64) {
+        let (st, _) = &*self.state;
+        lock(st).deadlines.retain(|d| d.id != id);
+    }
+
+    fn run(state: &(Mutex<WatchState>, Condvar)) {
+        let (st, cv) = state;
+        let mut guard = lock(st);
+        loop {
+            if guard.shutdown {
+                return;
+            }
+            let now = std::time::Instant::now(); // lint: allow(E102 wall-clock query deadline watchdog)
+            let mut earliest: Option<std::time::Instant> = None;
+            guard.deadlines.retain(|d| {
+                if d.fire_at <= now {
+                    d.abort.store(true, Ordering::Release);
+                    false
+                } else {
+                    earliest = Some(earliest.map_or(d.fire_at, |e| e.min(d.fire_at)));
+                    true
+                }
+            });
+            guard = match earliest {
+                Some(at) => {
+                    cv.wait_timeout(guard, at - now)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+                None => cv.wait(guard).unwrap_or_else(|e| e.into_inner()),
+            };
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
         {
-            let (flag, cv) = &*self.done;
-            *lock(flag) = true;
+            let (st, cv) = &*self.state;
+            lock(st).shutdown = true;
             cv.notify_all();
         }
-        let _ = self.handle.join();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -317,15 +377,25 @@ mod tests {
 
     #[test]
     fn watchdog_fires_after_timeout_and_disarms_cleanly() {
+        let w = Watchdog::new();
         let abort = Arc::new(AtomicBool::new(false));
-        let w = Watchdog::arm(std::time::Duration::from_millis(5), abort.clone());
+        let id = w.arm(std::time::Duration::from_millis(5), abort.clone());
         while !abort.load(Ordering::Acquire) {
             std::thread::yield_now();
         }
-        w.disarm();
+        w.disarm(id);
+        // A disarmed deadline never fires, and many deadlines share the
+        // one thread.
         let abort2 = Arc::new(AtomicBool::new(false));
-        let w2 = Watchdog::arm(std::time::Duration::from_secs(3600), abort2.clone());
-        w2.disarm();
+        let abort3 = Arc::new(AtomicBool::new(false));
+        let id2 = w.arm(std::time::Duration::from_secs(3600), abort2.clone());
+        let id3 = w.arm(std::time::Duration::from_millis(5), abort3.clone());
+        w.disarm(id2);
+        while !abort3.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        w.disarm(id3);
         assert!(!abort2.load(Ordering::Acquire));
+        drop(w);
     }
 }

@@ -3,16 +3,23 @@
 //! Since the sharded rewrite the engine has two executors, selected per
 //! run (never per shard count):
 //!
-//! * **Windowed** — the normal path. Virtual time is divided into fixed
-//!   cells of one *lookahead* each (the minimum network latency, see
-//!   [`NetworkModel::min_latency`]). All shards execute the same cell
-//!   `[k·L, (k+1)·L)` independently — a classic conservative-PDES bound:
-//!   no message can arrive sooner than `L` after it was sent, so nothing
-//!   a peer shard does in the open cell can affect this shard's cell.
+//! * **Windowed** — the normal path. Each window spans `[m, m + L)`
+//!   where `m` is the global minimum pending event time and `L` the
+//!   *lookahead* (the minimum network latency, see
+//!   [`NetworkModel::min_latency`]). All shards execute the same window
+//!   independently — a classic conservative-PDES bound: no message can
+//!   arrive sooner than `L` after it was sent, so nothing a peer shard
+//!   does in the open window can affect this shard's slice of it.
+//!   Anchoring windows at `m` instead of the aligned grid `[k·L,
+//!   (k+1)·L)` means sparse stretches of virtual time cost one barrier
+//!   per window *with work in it*, never one per empty grid cell.
 //!   Cross-shard sends, metrics, fault counters, and trace records are
-//!   buffered and merged at the cell barrier in canonical event-key
+//!   buffered and merged at the window barrier in canonical event-key
 //!   order ([`crate::merge`]), making results bit-identical for every
-//!   shard count. `shards = 1` runs the same executor inline.
+//!   shard count: window boundaries derive only from the global minimum
+//!   pending time, which is itself identical for every shard count, and
+//!   every cross-shard effect lands at `>= m + L`, i.e. in a later
+//!   window. `shards = 1` runs the same executor inline.
 //! * **Sequential fallback** — used when the lookahead is zero (a
 //!   latency model with no lower bound) or the fault plan carries
 //!   cross-message state (`skip`/`limit` occurrence windows, `Reorder`
@@ -113,11 +120,17 @@ pub struct Simulation {
     /// Conservative lookahead in µs (minimum network latency). Zero
     /// forces the sequential fallback executor.
     lookahead_us: u64,
-    /// Exclusive end of the most recently opened window cell. Windows
-    /// interrupted by a deadline resume and *finish* their cell before
+    /// Exclusive end of the most recently opened window. Windows
+    /// interrupted by a deadline resume and *finish* their span before
     /// quiescence is re-evaluated, so the set of processed events never
     /// depends on where `run_until` deadlines happened to fall.
     cell_open_until: u64,
+    /// Recycled window report for the inline (`shards = 1`) windowed
+    /// executor: journal/outbound/delta buffers keep their capacity
+    /// across windows, so steady-state windows allocate nothing. The
+    /// parallel executor recycles reports through its per-shard slots
+    /// instead.
+    window_scratch: Option<WindowReport>,
 }
 
 impl Simulation {
@@ -144,6 +157,7 @@ impl Simulation {
             fault_holds: Vec::new(),
             lookahead_us,
             cell_open_until: 0,
+            window_scratch: None,
             config,
         }
     }
@@ -439,10 +453,7 @@ impl Simulation {
                 if out.outbound[dest].is_empty() {
                     continue;
                 }
-                let evs: Vec<Event> = out.outbound[dest].drain(..).collect();
-                for ev in evs {
-                    self.shards[dest].queue.push(ev);
-                }
+                self.shards[dest].queue.push_batch(&mut out.outbound[dest]);
             }
         }
         if deadline != SimTime::MAX {
@@ -458,8 +469,8 @@ impl Simulation {
         let need_kind = self.need_kind();
         let deadline_us = deadline.as_micros();
         while let Some(min_at) = self.shards[0].queue.peek_min_at().map(SimTime::as_micros) {
-            // Quiescence is only evaluated at fresh cell boundaries; a
-            // half-finished cell (deadline interruption) is completed
+            // Quiescence is only evaluated at fresh window boundaries; a
+            // half-finished window (deadline interruption) is completed
             // first so progress never depends on the deadline schedule.
             if min_at >= self.cell_open_until && self.real_pending == 0 && self.parked == 0 {
                 break;
@@ -471,9 +482,12 @@ impl Simulation {
             if self.metrics.events_processed >= self.config.max_events {
                 return true;
             }
-            let cell = min_at / width;
-            let cell_end = cell.saturating_add(1).saturating_mul(width);
-            self.cell_open_until = cell_end;
+            // The window starts at the minimum pending time and spans one
+            // lookahead, touching at most two calendar cells.
+            let window_end = min_at.saturating_add(width);
+            let first_cell = min_at / width;
+            let last_cell = (window_end - 1) / width;
+            self.cell_open_until = window_end;
             let budget = self.config.max_events - self.metrics.events_processed;
             let env = RunEnv {
                 network: &self.config.network,
@@ -485,7 +499,15 @@ impl Simulation {
                 device_count: self.device_count,
                 shard_count: 1,
             };
-            let report = self.shards[0].run_window(&env, cell, cell_end, deadline_us, budget);
+            let report = self.shards[0].run_window(
+                &env,
+                first_cell,
+                last_cell,
+                window_end,
+                deadline_us,
+                budget,
+                self.window_scratch.take(),
+            );
             let mut targets = MergeTargets {
                 metrics: &mut self.metrics,
                 trace: &mut self.trace,
@@ -494,7 +516,12 @@ impl Simulation {
                 parked: &mut self.parked,
                 now: &mut self.now,
             };
-            merge::merge_reports(vec![report], &mut targets);
+            let mut reports = [report];
+            merge::merge_reports(&mut reports, &mut targets);
+            let [mut report] = reports;
+            report.out.reset();
+            report.fc.reset();
+            self.window_scratch = Some(report);
         }
         if deadline != SimTime::MAX {
             self.now = deadline;
@@ -555,6 +582,8 @@ impl Simulation {
                 let slots = &slots[..];
                 scope.spawn(move || merge::worker(shard, env, ctl, mailboxes, slots));
             }
+            let mut expected_done = 0u64;
+            let mut reports: Vec<WindowReport> = Vec::with_capacity(shard_count);
             let result = loop {
                 let Some(m) = min_at else { break false };
                 if m >= *cell_open_until && *targets.real_pending == 0 && *targets.parked == 0 {
@@ -567,28 +596,26 @@ impl Simulation {
                 if targets.metrics.events_processed >= max_events {
                     break true;
                 }
-                let cell = m / width;
-                let cell_end = cell.saturating_add(1).saturating_mul(width);
-                *cell_open_until = cell_end;
-                ctl.done.store(0, Ordering::Relaxed);
-                ctl.cell_idx.store(cell, Ordering::Relaxed);
-                ctl.cell_end.store(cell_end, Ordering::Relaxed);
+                // Same window geometry as the inline executor: one
+                // lookahead starting at the global minimum pending time.
+                let window_end = m.saturating_add(width);
+                let first_cell = m / width;
+                let last_cell = (window_end - 1) / width;
+                *cell_open_until = window_end;
+                ctl.first_cell.store(first_cell, Ordering::Relaxed);
+                ctl.last_cell.store(last_cell, Ordering::Relaxed);
+                ctl.window_end.store(window_end, Ordering::Relaxed);
                 ctl.clip.store(deadline_us, Ordering::Relaxed);
                 ctl.budget.store(
                     max_events - targets.metrics.events_processed,
                     Ordering::Relaxed,
                 );
-                ctl.generation.fetch_add(1, Ordering::Release);
-                let mut spins = 0u32;
-                while ctl.done.load(Ordering::Acquire) < shard_count as u64 {
-                    spins += 1;
-                    if spins < 128 {
-                        std::hint::spin_loop();
-                    } else {
-                        std::thread::yield_now();
-                    }
-                }
-                let mut reports = Vec::with_capacity(shard_count);
+                // The gate's internal lock publishes the Relaxed stores
+                // above to workers woken by this bump.
+                ctl.generation.add(1);
+                expected_done += shard_count as u64;
+                ctl.done.wait_min(expected_done);
+                reports.clear();
                 let mut missing = false;
                 for slot in &slots {
                     match merge::lock(slot).take() {
@@ -601,20 +628,27 @@ impl Simulation {
                     // joins the workers and propagates the panic.
                     break false;
                 }
-                let summary = merge::merge_reports(reports, &mut targets);
+                let summary = merge::merge_reports(&mut reports, &mut targets);
                 min_at = summary.next_min_at;
+                // Hand the emptied reports back through the slots so the
+                // next window reuses their buffers.
+                for (slot, mut report) in slots.iter().zip(reports.drain(..)) {
+                    report.out.reset();
+                    report.fc.reset();
+                    *merge::lock(slot) = Some(report);
+                }
             };
             ctl.stop.store(true, Ordering::Release);
+            // Wake parked workers so they observe `stop` and exit.
+            ctl.generation.add(1);
             result
         });
         // Workers are joined; flush cross-shard events still sitting in
         // mailboxes (a deadline or budget stop can leave some in flight)
         // back into the owning queues.
         for (dest, mb) in mailboxes.into_iter().enumerate() {
-            let evs = mb.into_inner().unwrap_or_else(|e| e.into_inner());
-            for ev in evs {
-                self.shards[dest].queue.push(ev);
-            }
+            let mut evs = mb.into_inner().unwrap_or_else(|e| e.into_inner());
+            self.shards[dest].queue.push_batch(&mut evs);
         }
         if hit_deadline {
             return true;

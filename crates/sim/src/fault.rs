@@ -395,6 +395,12 @@ impl FaultCounters {
         }
     }
 
+    /// Zeroes the counters in place (scratch reuse across windows).
+    pub fn reset(&mut self) {
+        self.matched.fill(0);
+        self.fired.fill(0);
+    }
+
     /// Folds per-window partial counters into the run totals.
     pub fn merge(&mut self, other: &FaultCounters) {
         for (a, b) in self.matched.iter_mut().zip(&other.matched) {

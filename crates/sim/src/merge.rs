@@ -3,15 +3,21 @@
 //! The sharded engine's determinism argument lives here. Each window,
 //! every shard independently produces a [`WindowReport`]: commutative
 //! metric [`Deltas`](crate::shard::Deltas), per-window fault counters,
-//! a journal of ordered side effects, and outbound cross-shard events.
-//! At the barrier the coordinator:
+//! a journal of ordered side effects (pre-sorted by the shard in its
+//! own thread), and outbound cross-shard events. At the barrier the
+//! coordinator:
 //!
 //! 1. sums the deltas and fault counters (order-independent by
 //!    construction — plain integer sums and min/max);
-//! 2. concatenates the journals and sorts them by the *intrinsic* event
-//!    key `(at, origin, seq, intra)`, then applies trace records and
-//!    metric observations in that canonical order;
-//! 3. routes outbound events to their destination shards.
+//! 2. k-way-merges the pre-sorted journals by the *intrinsic* event key
+//!    `(at, origin, seq, intra)` — a streaming scan of the shard heads,
+//!    no concatenation, no re-sort — applying trace records and metric
+//!    observations in that canonical order;
+//! 3. routes outbound events to their destination shards in
+//!    per-destination batches;
+//! 4. hands each emptied report (journal/outbound/delta buffers, with
+//!    their capacity) back through the shard's slot, so steady-state
+//!    windows perform no allocation on either side of the barrier.
 //!
 //! Because the per-shard inputs to each window are a pure function of
 //! the previous barrier state, and every cross-shard effect is replayed
@@ -19,6 +25,11 @@
 //! the merged trace, metrics, and fault verdicts are bit-identical for
 //! every shard count — including `shards = 1`, which runs the very same
 //! window executor without threads.
+//!
+//! Both barrier directions park instead of spinning ([`EpochGate`]):
+//! with more worker threads than free cores, a spinning barrier turns
+//! every window into a scheduler fight, which is exactly the regime the
+//! committed single-core bench numbers measured.
 
 use crate::fault::FaultCounters;
 use crate::metrics::SimMetrics;
@@ -26,6 +37,7 @@ use crate::scheduler::Event;
 use crate::shard::{JItem, RunEnv, Shard, WindowReport};
 use crate::time::SimTime;
 use crate::trace::Trace;
+use edgelet_util::sync::EpochGate;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
@@ -41,25 +53,29 @@ pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 #[derive(Debug, Default)]
 pub(crate) struct Ctl {
     /// Window generation; the coordinator bumps it to start a window.
-    pub generation: AtomicU64,
-    /// Workers that finished the current generation.
-    pub done: AtomicU64,
+    pub generation: EpochGate,
+    /// Cumulative count of worker window completions.
+    pub done: EpochGate,
     /// Set once the run ends; workers exit.
     pub stop: AtomicBool,
-    /// Calendar cell to open this window.
-    pub cell_idx: AtomicU64,
-    /// Exclusive end of the window (µs).
-    pub cell_end: AtomicU64,
+    /// First calendar cell covered by this window.
+    pub first_cell: AtomicU64,
+    /// Last calendar cell covered by this window (== `first_cell` when
+    /// the window start is cell-aligned, `first_cell + 1` otherwise).
+    pub last_cell: AtomicU64,
+    /// Exclusive end of the window (µs): global min pending time plus
+    /// one lookahead.
+    pub window_end: AtomicU64,
     /// Deadline clamp (µs, inclusive): events past it stay queued.
     pub clip: AtomicU64,
     /// Per-shard event budget for this window.
     pub budget: AtomicU64,
 }
 
-/// Worker body for one shard. Runs until `stop`: waits for the next
-/// generation, ingests its mailbox, executes the window, publishes
-/// outbound events into destination mailboxes and its report slot, and
-/// signals completion.
+/// Worker body for one shard. Runs until `stop`: parks for the next
+/// generation, picks up its recycled report, ingests its mailbox in one
+/// batch, executes the window, publishes outbound events into
+/// destination mailboxes and its report slot, and signals completion.
 pub(crate) fn worker(
     shard: &mut Shard,
     env: &RunEnv<'_>,
@@ -69,38 +85,36 @@ pub(crate) fn worker(
 ) {
     let me = shard.idx;
     let mut seen = 0u64;
+    let mut ingest: Vec<Event> = Vec::new();
     loop {
-        // Wait for the next window (or shutdown). Short spin, then yield.
-        let mut spins = 0u32;
-        loop {
-            if ctl.stop.load(Ordering::Acquire) {
-                return;
-            }
-            if ctl.generation.load(Ordering::Acquire) > seen {
-                break;
-            }
-            spins += 1;
-            if spins < 128 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
+        // Park until the next window (or shutdown) opens.
+        ctl.generation.wait_min(seen + 1);
+        if ctl.stop.load(Ordering::Acquire) {
+            return;
         }
         seen += 1;
-        // Ingest cross-shard events published at the previous barrier.
-        // Safe: the coordinator only opens generation g+1 after every
-        // worker finished g, so nobody appends while we drain.
+        // The coordinator returned last window's emptied report through
+        // our slot (None on the first window).
+        let reuse = {
+            let mut slot = lock(&slots[me]);
+            slot.take()
+        };
+        // Ingest cross-shard events published at the previous barrier:
+        // swap the buffer out under the lock, push outside it. Safe: the
+        // coordinator only opens generation g+1 after every worker
+        // finished g, so nobody appends while we swap.
         {
             let mut mb = lock(&mailboxes[me]);
-            for ev in mb.drain(..) {
-                shard.queue.push(ev);
-            }
+            std::mem::swap(&mut *mb, &mut ingest);
         }
-        let cell_idx = ctl.cell_idx.load(Ordering::Acquire);
-        let cell_end = ctl.cell_end.load(Ordering::Acquire);
+        shard.queue.push_batch(&mut ingest);
+        let first_cell = ctl.first_cell.load(Ordering::Acquire);
+        let last_cell = ctl.last_cell.load(Ordering::Acquire);
+        let window_end = ctl.window_end.load(Ordering::Acquire);
         let clip = ctl.clip.load(Ordering::Acquire);
         let budget = ctl.budget.load(Ordering::Acquire);
-        let mut report = shard.run_window(env, cell_idx, cell_end, clip, budget);
+        let mut report =
+            shard.run_window(env, first_cell, last_cell, window_end, clip, budget, reuse);
         // Publish outbound events. Destination workers won't look at
         // their mailboxes until the next generation opens.
         for (dest, evs) in report.out.outbound.iter_mut().enumerate() {
@@ -110,7 +124,7 @@ pub(crate) fn worker(
             lock(&mailboxes[dest]).append(evs);
         }
         *lock(&slots[me]) = Some(report);
-        ctl.done.fetch_add(1, Ordering::Release);
+        ctl.done.add(1);
     }
 }
 
@@ -152,13 +166,22 @@ pub(crate) fn apply_deltas(metrics: &mut SimMetrics, d: &crate::shard::Deltas) {
 }
 
 /// Merges the shards' window reports into the global simulation state
-/// (step 1–2 of the barrier; outbound routing is the caller's step 3,
-/// since ownership of the destination queues differs between the
-/// threaded and inline paths).
-pub(crate) fn merge_reports(reports: Vec<WindowReport>, t: &mut MergeTargets<'_>) -> WindowSummary {
+/// (step 1–2 of the barrier; outbound routing and report recycling are
+/// the caller's steps 3–4, since ownership of the destination queues
+/// and slots differs between the threaded and inline paths).
+///
+/// Each report's journal must be pre-sorted by `(at, origin, seq,
+/// intra)` — [`Shard::run_window`] guarantees it — so the canonical
+/// replay order falls out of a streaming k-way merge: repeatedly take
+/// the smallest head among the k journals. Journals are drained in
+/// place (capacity kept for recycling); nothing is concatenated or
+/// re-sorted.
+pub(crate) fn merge_reports(
+    reports: &mut [WindowReport],
+    t: &mut MergeTargets<'_>,
+) -> WindowSummary {
     let mut summary = WindowSummary::default();
-    let mut journal = Vec::new();
-    for report in reports {
+    for report in reports.iter() {
         let d = &report.out.deltas;
         apply_deltas(t.metrics, d);
         *t.real_pending = ((*t.real_pending as i64) + d.real_pending).max(0) as u64;
@@ -172,13 +195,28 @@ pub(crate) fn merge_reports(reports: Vec<WindowReport>, t: &mut MergeTargets<'_>
                 (a, b) => a.or(b),
             };
         }
-        journal.extend(report.out.journal);
     }
-    // Canonical replay order: the intrinsic event key, then the
-    // intra-event counter. Unique, hence a total order independent of
-    // which shard executed what.
-    journal.sort_unstable_by_key(|e| (e.at, e.origin, e.seq, e.intra));
-    for entry in journal {
+    let mut heads: Vec<_> = reports
+        .iter_mut()
+        .map(|r| r.out.journal.drain(..).peekable())
+        .collect();
+    loop {
+        // Pick the journal whose head carries the smallest key. A linear
+        // scan of k heads per entry beats heap bookkeeping for the small
+        // shard counts in play.
+        let mut best: Option<usize> = None;
+        let mut best_key = (SimTime::ZERO, 0u64, 0u64, 0u32);
+        for (i, head) in heads.iter_mut().enumerate() {
+            if let Some(e) = head.peek() {
+                let key = (e.at, e.origin, e.seq, e.intra);
+                if best.is_none() || key < best_key {
+                    best = Some(i);
+                    best_key = key;
+                }
+            }
+        }
+        let Some(i) = best else { break };
+        let Some(entry) = heads[i].next() else { break };
         match entry.item {
             JItem::Trace(ev) => t.trace.record(entry.at, ev),
             JItem::Observe(name, value) => t.metrics.observe(name, value),

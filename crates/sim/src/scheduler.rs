@@ -185,6 +185,45 @@ impl CalendarQueue {
             .push(ev);
     }
 
+    /// Drains `buf` into the queue, amortising the per-event cell lookup
+    /// by batching consecutive same-cell runs: the destination cell's
+    /// buffer is taken out of the map once per run instead of once per
+    /// event. Barrier mailboxes and window remainders arrive in key
+    /// order, so their runs are long. Leaves `buf` empty (capacity
+    /// kept) for reuse.
+    pub fn push_batch(&mut self, buf: &mut Vec<Event>) {
+        if self.cur.is_some() {
+            // The sorted cursor is live (fallback executor): route
+            // through `push` so in-cursor inserts stay ordered.
+            for ev in buf.drain(..) {
+                self.push(ev);
+            }
+            return;
+        }
+        self.len += buf.len();
+        let mut run: Option<(u64, Vec<Event>)> = None;
+        for ev in buf.drain(..) {
+            let cell = ev.at.as_micros() / self.width_us;
+            match run.as_mut() {
+                Some((ci, vec)) if *ci == cell => vec.push(ev),
+                _ => {
+                    if let Some((ci, vec)) = run.take() {
+                        self.cells.insert(ci, vec);
+                    }
+                    let mut vec = self
+                        .cells
+                        .remove(&cell)
+                        .unwrap_or_else(|| self.pool.pop().unwrap_or_default());
+                    vec.push(ev);
+                    run = Some((cell, vec));
+                }
+            }
+        }
+        if let Some((ci, vec)) = run.take() {
+            self.cells.insert(ci, vec);
+        }
+    }
+
     /// Promotes the minimum map cell to `cur` (sorted) if `cur` is empty.
     fn refill(&mut self) {
         if let Some((_, vec)) = self.cur.as_ref() {
@@ -341,6 +380,44 @@ mod tests {
         assert_eq!(cell, Some(2));
         assert_eq!(q.len(), 0);
         assert!(q.pop_min().is_none());
+    }
+
+    #[test]
+    fn push_batch_is_equivalent_to_push() {
+        let keys = [
+            (100, 0, 0),
+            (150, 0, 1),
+            (1_200, 1, 0),
+            (1_300, 1, 1),
+            (100, 2, 0),
+            (7_000, 3, 0),
+            (1_250, 4, 0),
+        ];
+        let mut a = CalendarQueue::new(1_000);
+        let mut b = CalendarQueue::new(1_000);
+        for (at, o, s) in keys {
+            a.push(ev(at, o, s));
+        }
+        let mut buf: Vec<Event> = keys.iter().map(|&(at, o, s)| ev(at, o, s)).collect();
+        b.push_batch(&mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(a.len(), b.len());
+        loop {
+            let (x, y) = (a.pop_min().map(|e| e.key()), b.pop_min().map(|e| e.key()));
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+        // Batching into a queue with a live sorted cursor keeps order.
+        let mut c = CalendarQueue::new(1_000);
+        c.push(ev(500, 9, 0));
+        let _ = c.peek_min_key();
+        let mut buf: Vec<Event> = vec![ev(400, 8, 0), ev(600, 8, 1), ev(2_000, 8, 2)];
+        c.push_batch(&mut buf);
+        let popped: Vec<u64> =
+            std::iter::from_fn(|| c.pop_min().map(|e| e.at.as_micros())).collect();
+        assert_eq!(popped, vec![400, 500, 600, 2_000]);
     }
 
     #[test]

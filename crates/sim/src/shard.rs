@@ -220,6 +220,9 @@ pub(crate) struct Shard {
     pub queue: CalendarQueue,
     /// Working heap for events inside the currently open window.
     window: BinaryHeap<Event>,
+    /// Scratch buffer for returning window remainders to the calendar
+    /// queue in one batch (kept across windows to avoid reallocation).
+    spill: Vec<Event>,
 }
 
 impl Shard {
@@ -230,6 +233,7 @@ impl Shard {
             devices: Vec::new(),
             queue: CalendarQueue::new(width_us),
             window: BinaryHeap::new(),
+            spill: Vec::new(),
         }
     }
 
@@ -785,34 +789,81 @@ impl Shard {
         Some(at)
     }
 
-    /// Runs one conservative window `[cell_idx * width, cell_end_us)` on
-    /// this shard: pulls the matching calendar cell into the working
-    /// heap, processes events with `at <= clip_us` (the deadline clamp)
-    /// up to `budget` events, then returns unprocessed events to the
-    /// queue. All side effects land in the returned report.
+    /// Runs one conservative window `[window_start, window_end_us)` on
+    /// this shard: pulls the covered calendar cells
+    /// (`first_cell..=last_cell`, at most two — the window spans one
+    /// lookahead starting at the global minimum pending time) into the
+    /// working heap, processes events with `at < window_end_us` and
+    /// `at <= clip_us` (the deadline clamp) up to `budget` events, then
+    /// returns unprocessed events to the queue in one batch. All side
+    /// effects land in the returned report, with the journal pre-sorted
+    /// by the intrinsic event key so the barrier can k-way-merge the
+    /// shards' journals without re-sorting.
+    ///
+    /// `reuse` recycles the previous window's report (buffers cleared by
+    /// the barrier), so steady-state windows allocate nothing.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_window(
         &mut self,
         env: &RunEnv<'_>,
-        cell_idx: u64,
-        cell_end_us: u64,
+        first_cell: u64,
+        last_cell: u64,
+        window_end_us: u64,
         clip_us: u64,
         budget: u64,
+        reuse: Option<WindowReport>,
     ) -> WindowReport {
-        let mut out = WindowOut::new(env.shard_count, env.trace_enabled);
-        let mut fc = match env.plan {
-            Some(plan) => FaultCounters::for_plan(plan),
-            None => FaultCounters::default(),
+        let (mut out, mut fc) = match reuse {
+            Some(r) => {
+                debug_assert!(r.out.journal.is_empty());
+                let rule_count = env.plan.map_or(0, |p| p.rules.len());
+                let fc = if r.fc.matched.len() == rule_count {
+                    r.fc
+                } else {
+                    // The fault plan changed between runs; rebuild.
+                    match env.plan {
+                        Some(plan) => FaultCounters::for_plan(plan),
+                        None => FaultCounters::default(),
+                    }
+                };
+                (r.out, fc)
+            }
+            None => (
+                WindowOut::new(env.shard_count, env.trace_enabled),
+                match env.plan {
+                    Some(plan) => FaultCounters::for_plan(plan),
+                    None => FaultCounters::default(),
+                },
+            ),
         };
-        if let Some(mut cell) = self.queue.take_cell(cell_idx) {
+        if let Some(mut cell) = self.queue.take_cell(first_cell) {
+            // The first cell is entirely inside the window: every event
+            // is >= the global minimum and < first_cell_end <= window_end.
             for ev in cell.drain(..) {
                 self.window.push(ev);
             }
             self.queue.recycle(cell);
         }
+        if last_cell != first_cell {
+            if let Some(mut cell) = self.queue.take_cell(last_cell) {
+                // The last cell straddles the window end; its tail goes
+                // straight back to the queue.
+                for ev in cell.drain(..) {
+                    if ev.at.as_micros() < window_end_us {
+                        self.window.push(ev);
+                    } else {
+                        self.spill.push(ev);
+                    }
+                }
+                self.queue.recycle(cell);
+                self.queue.push_batch(&mut self.spill);
+            }
+        }
         let mut processed = 0u64;
         let mut hit_budget = false;
         while let Some(top_at) = self.window.peek().map(|e| e.at) {
-            if top_at.as_micros() > clip_us {
+            let at_us = top_at.as_micros();
+            if at_us >= window_end_us || at_us > clip_us {
                 break;
             }
             if processed >= budget {
@@ -822,13 +873,18 @@ impl Shard {
             let Some(ev) = self.window.pop() else { break };
             processed += 1;
             // real_pending/events bookkeeping happens inside process_event.
-            self.process_event(ev, env, &mut out, cell_end_us, &mut fc, None);
+            self.process_event(ev, env, &mut out, window_end_us, &mut fc, None);
         }
         // Return the remainder (deadline clip or exhausted budget) to the
-        // calendar queue for the next window.
+        // calendar queue for the next window. The heap pops in key order,
+        // so the batch arrives cell-grouped.
         while let Some(ev) = self.window.pop() {
-            self.queue.push(ev);
+            self.spill.push(ev);
         }
+        self.queue.push_batch(&mut self.spill);
+        // Pre-sort so the barrier merge is a streaming k-way merge.
+        out.journal
+            .sort_unstable_by_key(|e| (e.at, e.origin, e.seq, e.intra));
         let queue_min_at = self.queue.peek_min_at().map(SimTime::as_micros);
         let outbound_min_at = out
             .outbound

@@ -12,6 +12,8 @@
 //! * [`ids`] — strongly-typed identifier newtypes shared across crates;
 //! * [`payload`] — reference-counted immutable byte buffers, so fanning a
 //!   message out to N recipients shares one allocation instead of copying;
+//! * [`sync`] — spin-then-park synchronisation primitives for the
+//!   parallel window executors;
 //! * [`table`] — plain-text table rendering for the figure-regeneration
 //!   binaries.
 
@@ -24,6 +26,7 @@ pub mod ids;
 pub mod payload;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod table;
 
 pub use error::{Error, Result};

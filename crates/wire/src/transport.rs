@@ -148,6 +148,30 @@ pub trait Transport: Send + Sync {
     fn drain(&self, epoch: u64, lane: usize) -> Vec<Envelope>;
     /// Count and earliest virtual delivery time of queued envelopes.
     fn pending(&self, epoch: u64, lane: usize) -> Option<(usize, u64)>;
+    /// Submits envelopes front-to-back, removing each accepted envelope
+    /// from `batch`. Stops at the first rejection and returns its error;
+    /// the rejected envelope and everything after it stay in `batch`, in
+    /// order. `Ok(())` means the batch was fully accepted (now empty).
+    ///
+    /// The default forwards to [`Transport::submit`] one envelope at a
+    /// time; implementations should override it to amortize per-call
+    /// overhead (lock acquisition, registry lookups) when the caller has
+    /// already grouped envelopes by destination lane.
+    fn submit_batch(&self, batch: &mut Vec<Envelope>) -> std::result::Result<(), TransportError> {
+        let mut accepted = 0;
+        let mut result = Ok(());
+        while accepted < batch.len() {
+            match self.submit(batch[accepted].clone()) {
+                Ok(()) => accepted += 1,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        batch.drain(..accepted);
+        result
+    }
 }
 
 #[cfg(test)]
