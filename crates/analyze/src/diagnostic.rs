@@ -266,6 +266,15 @@ pub mod codes {
     /// Live transport mailbox capacity so large it never exerts
     /// backpressure, leaving queue growth unbounded in practice.
     pub const LIVE_UNBOUNDED_MAILBOX: &str = "W121";
+    /// Durability is enabled but the WAL directory is unset or
+    /// unwritable: the first append would drain the service read-only.
+    pub const STORAGE_WAL_DIR: &str = "E140";
+    /// The checkpoint interval is zero: the WAL is never compacted and
+    /// every restart replays the service's entire history.
+    pub const STORAGE_NO_CHECKPOINT: &str = "W141";
+    /// The configuration plans for crashes but durability is disabled:
+    /// every crash loses ledgers, epochs, and in-flight queries.
+    pub const STORAGE_VOLATILE_UNDER_CRASHES: &str = "W142";
     /// The lock-order graph has a cycle: two lock classes are acquired
     /// in opposite orders on different code paths, so two threads can
     /// deadlock holding one each.
@@ -417,6 +426,21 @@ pub mod codes {
             LIVE_UNBOUNDED_MAILBOX,
             Severity::Warning,
             "live mailbox capacity never exerts backpressure",
+        ),
+        (
+            STORAGE_WAL_DIR,
+            Severity::Error,
+            "WAL directory unset or unwritable under durability",
+        ),
+        (
+            STORAGE_NO_CHECKPOINT,
+            Severity::Warning,
+            "zero checkpoint interval leaves replay unbounded",
+        ),
+        (
+            STORAGE_VOLATILE_UNDER_CRASHES,
+            Severity::Warning,
+            "crash-planning configuration without durability",
         ),
         (
             CONC_LOCK_ORDER_CYCLE,

@@ -18,6 +18,10 @@
 //! * [`liveconfig`] — preflights `edgelet serve`/`submit` runtime knobs
 //!   (worker count, wall-clock deadline vs. the transport floor,
 //!   mailbox capacity) before the live runtime spins up threads.
+//! * [`storageconfig`] — preflights durable-storage knobs (WAL
+//!   directory presence/writability, checkpoint cadence, durability
+//!   disabled under crash-planning configurations) before the service's
+//!   first append (`E140`/`W141`/`W142`; model in `docs/STORAGE.md`).
 //! * [`lint`] — a token-level source scanner that keeps nondeterminism
 //!   (default-hasher collections, wall clocks, ambient RNG) and panic
 //!   paths out of the deterministic crates. It runs as a tier-1 test and
@@ -46,6 +50,7 @@ pub mod scanner;
 pub mod semantic;
 pub mod simconfig;
 pub mod sourcepass;
+pub mod storageconfig;
 
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -58,3 +63,4 @@ pub use liveconfig::check_live_config;
 pub use semantic::{analyze, analyze_plan, preflight, AnalyzeOptions};
 pub use simconfig::check_sim_config;
 pub use sourcepass::{analyze_sources, analyze_sources_with, SourcePassOptions};
+pub use storageconfig::{check_storage_config, fault_plan_has_crashes};

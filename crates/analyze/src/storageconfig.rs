@@ -1,0 +1,201 @@
+//! Durable-storage configuration checks.
+//!
+//! The live service can anchor its state (liability ledgers, epochs,
+//! in-flight query intents) in a WAL + checkpoint on disk
+//! (`edgelet-store::wal`, `docs/STORAGE.md`). Three configurations
+//! deserve a diagnostic before the first append:
+//!
+//! * `E140` — durability is enabled but the WAL directory is unset or
+//!   unwritable: the first append would drain the service to read-only
+//!   before it served anything;
+//! * `W141` — a checkpoint interval of zero: the WAL is never
+//!   compacted, so it grows without bound and every restart replays the
+//!   service's entire history;
+//! * `W142` — durability is *disabled* while the configuration plans
+//!   for crashes (a crash-probability presumption, a crash-injecting
+//!   fault plan, or a scripted `--crash-at`): every crash the plan
+//!   provokes loses state the operator apparently cares about.
+
+use crate::diagnostic::{codes, Diagnostic};
+use edgelet_sim::{FaultAction, FaultPlan};
+use std::path::Path;
+
+/// True when a fault plan contains crash-injecting rules
+/// (`CrashSender`/`CrashReceiver`) — the condition under which running
+/// without durability forfeits state by design (`W142`).
+pub fn fault_plan_has_crashes(plan: &FaultPlan) -> bool {
+    plan.rules.iter().any(|r| {
+        matches!(
+            r.action,
+            FaultAction::CrashSender | FaultAction::CrashReceiver
+        )
+    })
+}
+
+/// Probes that `dir` exists (creating it if needed) and accepts writes,
+/// the way [`edgelet_store::FileBackend`] will. Returns the failure as
+/// a human-readable string.
+fn probe_writable(dir: &Path) -> Result<(), String> {
+    if dir.as_os_str().is_empty() {
+        return Err("path is empty".into());
+    }
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        return Err(format!("cannot create directory: {e}"));
+    }
+    let probe = dir.join(".edgelet-wal-probe");
+    match std::fs::write(&probe, b"probe") {
+        Ok(()) => {
+            let _ = std::fs::remove_file(&probe);
+            Ok(())
+        }
+        Err(e) => Err(format!("cannot write in directory: {e}")),
+    }
+}
+
+/// Checks a durable-storage configuration: whether durability is
+/// enabled, the WAL directory, the checkpoint cadence (completions per
+/// checkpoint; 0 = never), and whether the wider configuration plans
+/// for crashes.
+pub fn check_storage_config(
+    durable: bool,
+    wal_dir: Option<&Path>,
+    checkpoint_every: u64,
+    crash_risk: bool,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if durable {
+        match wal_dir {
+            None => out.push(
+                Diagnostic::error(
+                    codes::STORAGE_WAL_DIR,
+                    "storage.wal_dir",
+                    "durability is enabled but no WAL directory is set: the \
+                     service has nowhere to anchor its log",
+                )
+                .with_help("pass --wal-dir <dir>, or drop --durable"),
+            ),
+            Some(dir) => {
+                if let Err(why) = probe_writable(dir) {
+                    out.push(
+                        Diagnostic::error(
+                            codes::STORAGE_WAL_DIR,
+                            "storage.wal_dir",
+                            format!(
+                                "WAL directory `{}` is unusable ({why}): the first \
+                                 append would drain the service to read-only",
+                                dir.display()
+                            ),
+                        )
+                        .with_help("point --wal-dir at a writable directory"),
+                    );
+                }
+            }
+        }
+        if checkpoint_every == 0 {
+            out.push(
+                Diagnostic::warning(
+                    codes::STORAGE_NO_CHECKPOINT,
+                    "storage.checkpoint_every",
+                    "checkpoint interval is 0 (never): the WAL is never compacted, \
+                     so it grows without bound and every restart replays the \
+                     service's entire history",
+                )
+                .with_help("set --checkpoint-every to a small positive count (default 8)"),
+            );
+        }
+    } else if crash_risk {
+        out.push(
+            Diagnostic::warning(
+                codes::STORAGE_VOLATILE_UNDER_CRASHES,
+                "storage.durable",
+                "the configuration plans for crashes (crash probability, \
+                 crash-injecting fault rules, or a scripted crash point) but \
+                 durability is disabled: every crash loses ledgers, epochs, \
+                 and in-flight queries",
+            )
+            .with_help("enable --durable with a --wal-dir to make crashes recoverable"),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Severity;
+    use edgelet_sim::{FaultPlan, FaultRule};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "edgelet-storageconfig-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn missing_wal_dir_is_an_error() {
+        let found = check_storage_config(true, None, 8, false);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].code, codes::STORAGE_WAL_DIR);
+        assert_eq!(found[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn writable_dir_is_created_and_accepted() {
+        let dir = tmp_dir("ok");
+        let found = check_storage_config(true, Some(&dir), 8, false);
+        assert!(found.is_empty(), "{found:?}");
+        assert!(dir.is_dir(), "the probe must have created the directory");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_wal_dir_is_an_error() {
+        // A regular file where the directory should be.
+        let dir = tmp_dir("file");
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let found = check_storage_config(true, Some(&dir), 8, false);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].code, codes::STORAGE_WAL_DIR);
+        assert!(found[0].message.contains("unusable"), "{found:?}");
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn zero_checkpoint_interval_warns() {
+        let dir = tmp_dir("ckpt");
+        let found = check_storage_config(true, Some(&dir), 0, false);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].code, codes::STORAGE_NO_CHECKPOINT);
+        assert_eq!(found[0].severity, Severity::Warning);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn volatile_under_crash_risk_warns() {
+        let found = check_storage_config(false, None, 8, true);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].code, codes::STORAGE_VOLATILE_UNDER_CRASHES);
+        assert_eq!(found[0].severity, Severity::Warning);
+        assert!(check_storage_config(false, None, 8, false).is_empty());
+    }
+
+    #[test]
+    fn crash_detection_in_fault_plans() {
+        assert!(!fault_plan_has_crashes(&FaultPlan::new()));
+        let plan = FaultPlan::new().rule(FaultRule::new(FaultAction::Drop));
+        assert!(!fault_plan_has_crashes(&plan));
+        let plan = plan.rule(FaultRule::new(FaultAction::CrashSender));
+        assert!(fault_plan_has_crashes(&plan));
+        let plan = FaultPlan::new().rule(FaultRule::new(FaultAction::CrashReceiver));
+        assert!(fault_plan_has_crashes(&plan));
+    }
+
+    #[test]
+    fn problems_compose() {
+        let found = check_storage_config(true, None, 0, false);
+        assert_eq!(found.len(), 2);
+    }
+}

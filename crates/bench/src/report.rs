@@ -135,6 +135,72 @@ pub fn wire_decode() -> SuiteResult {
     }
 }
 
+/// Records per durable-store suite iteration.
+const WAL_RECORDS: usize = 1_000;
+/// Payload bytes per WAL record (1 KiB before framing).
+const WAL_RECORD_BYTES: usize = 1024;
+
+fn wal_payload(i: usize) -> Vec<u8> {
+    // Distinct first bytes so the CRC path sees varied data.
+    let mut p = vec![(i % 251) as u8; WAL_RECORD_BYTES];
+    p[0] = (i >> 8) as u8;
+    p
+}
+
+/// Durable-store append path: frame + checksum + append + sync of 1000
+/// 1 KiB records through [`DurableLog`](edgelet_core::store::DurableLog)
+/// onto an in-memory backend (mirrors `store/wal_append`). Measures the
+/// logging overhead the durable service pays per completion, isolated
+/// from disk hardware.
+pub fn store_wal_append() -> SuiteResult {
+    use edgelet_core::store::{DurableLog, MemBackend, RetryPolicy};
+    use std::sync::Arc;
+
+    let bytes = (WAL_RECORDS * WAL_RECORD_BYTES) as f64;
+    let payloads: Vec<Vec<u8>> = (0..WAL_RECORDS).map(wal_payload).collect();
+    let ns = median_ns(|| {
+        let log = DurableLog::new(Arc::new(MemBackend::new()), RetryPolicy::default());
+        for p in &payloads {
+            log.append(p).expect("in-memory append");
+        }
+        log
+    });
+    SuiteResult {
+        name: "store/wal_append/1000_records_1kib",
+        median_ns: ns,
+        shards: 1,
+        workers: 1,
+        throughput: ("mib_per_sec", bytes / (ns * 1e-9) / (1024.0 * 1024.0)),
+    }
+}
+
+/// Durable-store recovery path: scanning and CRC-verifying a 1000-record
+/// WAL back into memory (mirrors `store/recovery_replay`). This bounds
+/// the restart cost of a service whose WAL has grown to one checkpoint
+/// interval. Log construction is hoisted out of the timing.
+pub fn store_recovery_replay() -> SuiteResult {
+    use edgelet_core::store::{DurableLog, MemBackend, RetryPolicy};
+    use std::sync::Arc;
+
+    let backend = Arc::new(MemBackend::new());
+    let log = DurableLog::new(backend, RetryPolicy::default());
+    for i in 0..WAL_RECORDS {
+        log.append(&wal_payload(i)).expect("in-memory append");
+    }
+    let ns = median_ns(|| {
+        let recovered = log.recover().expect("clean log recovers");
+        assert_eq!(recovered.records.len(), WAL_RECORDS);
+        recovered
+    });
+    SuiteResult {
+        name: "store/recovery_replay/1000_records_1kib",
+        median_ns: ns,
+        shards: 1,
+        workers: 1,
+        throughput: ("records_per_sec", WAL_RECORDS as f64 / (ns * 1e-9)),
+    }
+}
+
 /// Broadcast hub: fans a 1 KiB payload out to every peer, waits for all
 /// acks, repeats.
 struct Hub {
@@ -633,6 +699,11 @@ pub fn suites() -> Vec<Suite> {
         suite!("kernels/kmeans/lloyd_step_10k_points", kmeans_kernel),
         suite!("wire/rows/encode_1000_rows", wire_encode),
         suite!("wire/rows/decode_1000_rows", wire_decode),
+        suite!("store/wal_append/1000_records_1kib", store_wal_append),
+        suite!(
+            "store/recovery_replay/1000_records_1kib",
+            store_recovery_replay
+        ),
         suite!("sim/broadcast/1kib_fanout_200x50", broadcast_seq),
         suite!("sim/broadcast/1kib_fanout_200x50@shards4", broadcast_par),
         suite!("sim/scale/100k_devices_churn", churn_seq),
@@ -839,6 +910,18 @@ mod tests {
     }
 
     #[test]
+    fn store_suites_measure_the_durable_log() {
+        let append = store_wal_append();
+        assert_eq!(append.name, "store/wal_append/1000_records_1kib");
+        assert_eq!(append.throughput.0, "mib_per_sec");
+        assert!(append.throughput.1 > 0.0);
+        let replay = store_recovery_replay();
+        assert_eq!(replay.name, "store/recovery_replay/1000_records_1kib");
+        assert_eq!(replay.throughput.0, "records_per_sec");
+        assert!(replay.throughput.1 > 0.0);
+    }
+
+    #[test]
     fn broadcast_sim_delivers_everything() {
         let mut sim = build_broadcast_sim(1);
         sim.run();
@@ -933,7 +1016,7 @@ mod tests {
     #[test]
     fn registry_filters_by_prefix() {
         let names: Vec<&str> = suites().iter().map(|s| s.name).collect();
-        assert_eq!(names.len(), 12, "{names:?}");
+        assert_eq!(names.len(), 14, "{names:?}");
         // Prefix selection is what `edgelet bench --suite` exposes; pure
         // name filtering here so the test does not run the heavy suites.
         let broadcast: Vec<&&str> = names

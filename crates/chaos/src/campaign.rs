@@ -85,6 +85,7 @@ impl Failure {
             plan_name: self.plan_name.to_string(),
             expect: self.oracles.clone(),
             plan: self.shrunk.clone(),
+            storage: edgelet_store::StorageFaultPlan::new(),
         }
     }
 }

@@ -18,10 +18,27 @@
 //! plan catalog evolves. Replaying runs the scenario under the stored
 //! plan and compares the oracle signature against `expect` — a corpus
 //! entry is a regression test for one invariant verdict.
+//!
+//! A *storage* entry carries `storage` lines instead of `rule` lines
+//! (the two kinds are mutually exclusive — storage drills run the live
+//! durable service over a clean network):
+//!
+//! ```text
+//! storage = torn-tail at_append=2 keep=6
+//! storage = failed-sync at_append=1 times=2
+//! ```
+//!
+//! Replaying a storage entry runs the three-incarnation drill of
+//! [`crate::storage`] (baseline, faulted, recovered) and compares the
+//! recovered run's oracle signature — with the synthetic name
+//! `storage-drained` for a deterministic drain — against `expect`.
+//! Byte parity with the baseline is part of the verdict: a recovered
+//! run that diverges never matches.
 
 use crate::oracle::signature;
 use crate::scenario::ChaosScenario;
 use edgelet_sim::{Duration, FaultAction, FaultPlan, FaultRule, MsgMatch, SimTime};
+use edgelet_store::{StorageFaultAction, StorageFaultPlan, StorageFaultRule};
 use edgelet_util::ids::DeviceId;
 use edgelet_util::{Error, Result};
 use std::path::Path;
@@ -41,6 +58,9 @@ pub struct CorpusEntry {
     pub expect: Vec<String>,
     /// The exact fault plan to replay.
     pub plan: FaultPlan,
+    /// Storage faults to inject instead (empty for network entries;
+    /// mutually exclusive with `plan` rules at replay time).
+    pub storage: StorageFaultPlan,
 }
 
 /// Outcome of replaying one corpus entry.
@@ -204,6 +224,65 @@ fn parse_rule(line: &str) -> Result<FaultRule> {
     })
 }
 
+fn fmt_storage_rule(rule: &StorageFaultRule) -> String {
+    let param = match &rule.action {
+        StorageFaultAction::TornTail { keep } | StorageFaultAction::TruncatedRecord { keep } => {
+            format!("keep={keep}")
+        }
+        StorageFaultAction::FailedSync { times } => format!("times={times}"),
+        StorageFaultAction::CorruptChecksum { byte } => format!("byte={byte}"),
+    };
+    format!(
+        "{} at_append={} {param}",
+        rule.action.name(),
+        rule.at_append
+    )
+}
+
+fn parse_storage_rule(line: &str) -> Result<StorageFaultRule> {
+    let mut parts = line.split_whitespace();
+    let action_name = parts
+        .next()
+        .ok_or_else(|| invalid("corpus: empty storage line"))?;
+    let mut at_append = None;
+    let mut keep = None;
+    let mut times = None;
+    let mut byte = None;
+    for field in parts {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| invalid(format!("corpus: bad storage field {field:?}")))?;
+        match key {
+            "at_append" => at_append = Some(parse_u64(value, "at_append")?),
+            "keep" => keep = Some(parse_u64(value, "keep")?),
+            "times" => times = Some(parse_u64(value, "times")?),
+            "byte" => byte = Some(parse_u64(value, "byte")?),
+            other => return Err(invalid(format!("corpus: unknown storage field {other:?}"))),
+        }
+    }
+    let missing = |what: &str| invalid(format!("corpus: storage {action_name} missing {what}"));
+    let action = match action_name {
+        "torn-tail" => StorageFaultAction::TornTail {
+            keep: keep.ok_or_else(|| missing("keep"))?,
+        },
+        "truncated-record" => StorageFaultAction::TruncatedRecord {
+            keep: keep.ok_or_else(|| missing("keep"))?,
+        },
+        "failed-sync" => StorageFaultAction::FailedSync {
+            times: u32::try_from(times.ok_or_else(|| missing("times"))?)
+                .map_err(|_| invalid("corpus: storage times out of range"))?,
+        },
+        "corrupt-checksum" => StorageFaultAction::CorruptChecksum {
+            byte: byte.ok_or_else(|| missing("byte"))?,
+        },
+        other => return Err(invalid(format!("corpus: unknown storage action {other:?}"))),
+    };
+    Ok(StorageFaultRule {
+        at_append: at_append.ok_or_else(|| missing("at_append"))?,
+        action,
+    })
+}
+
 impl CorpusEntry {
     /// Serializes the entry (inverse of [`CorpusEntry::parse`]).
     pub fn to_text(&self) -> String {
@@ -223,6 +302,9 @@ impl CorpusEntry {
         for rule in &self.plan.rules {
             out.push_str(&format!("rule = {}\n", fmt_rule(rule)));
         }
+        for rule in &self.storage.rules {
+            out.push_str(&format!("storage = {}\n", fmt_storage_rule(rule)));
+        }
         out
     }
 
@@ -233,6 +315,7 @@ impl CorpusEntry {
         let mut plan_name = None;
         let mut expect = None;
         let mut rules = Vec::new();
+        let mut storage_rules = Vec::new();
         for raw in text.lines() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -259,6 +342,7 @@ impl CorpusEntry {
                     })
                 }
                 "rule" => rules.push(parse_rule(value)?),
+                "storage" => storage_rules.push(parse_storage_rule(value)?),
                 other => return Err(invalid(format!("corpus: unknown key {other:?}"))),
             }
         }
@@ -268,6 +352,9 @@ impl CorpusEntry {
             plan_name: plan_name.ok_or_else(|| invalid("corpus: missing plan"))?,
             expect: expect.ok_or_else(|| invalid("corpus: missing expect"))?,
             plan: FaultPlan { rules },
+            storage: StorageFaultPlan {
+                rules: storage_rules,
+            },
         })
     }
 
@@ -277,10 +364,27 @@ impl CorpusEntry {
     }
 
     /// [`CorpusEntry::replay`] under an explicit simulator shard count.
-    /// The report is bit-identical for every value.
+    /// The report is bit-identical for every value. Storage entries
+    /// run the durability drill instead of the sharded simulator (the
+    /// drill has no shard knob; the count is ignored).
     pub fn replay_with_shards(&self, shards: usize) -> Result<ReplayReport> {
         let scenario = ChaosScenario::from_name(&self.scenario)
             .ok_or_else(|| invalid(format!("corpus: unknown scenario {:?}", self.scenario)))?;
+        if !self.storage.rules.is_empty() {
+            if !self.plan.rules.is_empty() {
+                return Err(invalid(
+                    "corpus: an entry cannot mix rule and storage lines (storage \
+                     drills run the durable live service over a clean network)",
+                ));
+            }
+            let drill = crate::storage::run_storage_drill(scenario, self.seed, &self.storage)?;
+            let matches = drill.acceptable() && drill.oracles == self.expect;
+            return Ok(ReplayReport {
+                oracles: drill.oracles,
+                trace_digest: drill.trace_digest,
+                matches,
+            });
+        }
         let (violations, trace_digest) =
             crate::campaign::run_one_sharded(scenario, self.seed, &self.plan, shards)?;
         let oracles = signature(&violations);
@@ -333,6 +437,7 @@ mod tests {
                     plan_name: named.name.to_string(),
                     expect: Vec::new(),
                     plan: named.plan,
+                    storage: StorageFaultPlan::new(),
                 };
                 let parsed = CorpusEntry::parse(&entry.to_text()).unwrap();
                 assert_eq!(parsed, entry);
@@ -361,6 +466,43 @@ rule = drop kinds=4 from=1,2 to=* skip=2 limit=1 after_us=1000 until_us=* delay_
     }
 
     #[test]
+    fn storage_entries_round_trip_through_text() {
+        let entry = CorpusEntry {
+            scenario: "grouping".into(),
+            seed: 5,
+            plan_name: "storage-torn-tail".into(),
+            expect: Vec::new(),
+            plan: FaultPlan::new(),
+            storage: StorageFaultPlan::new()
+                .with(2, StorageFaultAction::TornTail { keep: 6 })
+                .with(3, StorageFaultAction::TruncatedRecord { keep: 4 })
+                .with(1, StorageFaultAction::FailedSync { times: 2 })
+                .with(4, StorageFaultAction::CorruptChecksum { byte: 8 }),
+        };
+        let text = entry.to_text();
+        assert!(
+            text.contains("storage = torn-tail at_append=2 keep=6"),
+            "{text}"
+        );
+        assert_eq!(CorpusEntry::parse(&text).unwrap(), entry);
+    }
+
+    #[test]
+    fn mixed_rule_and_storage_entries_refuse_to_replay() {
+        let text = "\
+version = 1
+scenario = grouping
+seed = 1
+plan = mixed
+expect = clean
+rule = drop kinds=* from=* to=* skip=0 limit=* after_us=* until_us=* delay_us=0
+storage = torn-tail at_append=2 keep=6
+";
+        let entry = CorpusEntry::parse(text).unwrap();
+        assert!(entry.replay().is_err());
+    }
+
+    #[test]
     fn malformed_entries_are_rejected() {
         assert!(CorpusEntry::parse("scenario = grouping").is_err());
         assert!(CorpusEntry::parse(
@@ -371,6 +513,17 @@ rule = drop kinds=4 from=1,2 to=* skip=2 limit=1 after_us=1000 until_us=* delay_
             "version = 1\nscenario = g\nseed = 1\nplan = p\nexpect = clean\nrule = explode"
         )
         .is_err());
+        // Storage lines with unknown actions or missing parameters.
+        for bad in [
+            "storage = melt at_append=1",
+            "storage = torn-tail keep=6",
+            "storage = torn-tail at_append=2",
+            "storage = failed-sync at_append=1 times=5000000000",
+        ] {
+            let text =
+                format!("version = 1\nscenario = g\nseed = 1\nplan = p\nexpect = clean\n{bad}");
+            assert!(CorpusEntry::parse(&text).is_err(), "{bad}");
+        }
     }
 
     /// Regenerates the shipped corpus under `tests/chaos_corpus/` at the
@@ -435,10 +588,36 @@ rule = drop kinds=4 from=1,2 to=* skip=2 limit=1 after_us=1000 until_us=* delay_
                 plan_name: plan_name.to_string(),
                 expect,
                 plan: named.plan,
+                storage: StorageFaultPlan::new(),
             };
             let file = dir.join(format!("{}-{plan_name}-seed{seed}.chaos", scenario.name()));
             std::fs::write(&file, format!("# {comment}\n{}", entry.to_text())).unwrap();
         }
+
+        // Storage pin: a torn tail on the completion append (the media
+        // dies mid-write) must be repaired on restart, and the recovered
+        // run must be byte-identical to the uninterrupted baseline and
+        // oracle-clean.
+        let storage = StorageFaultPlan::new().with(2, StorageFaultAction::TornTail { keep: 6 });
+        let drill =
+            crate::storage::run_storage_drill(ChaosScenario::Grouping, 5, &storage).unwrap();
+        assert!(
+            drill.parity && drill.oracles.is_empty() && drill.repaired_tail,
+            "storage pin must be clean, got {drill:?}"
+        );
+        let entry = CorpusEntry {
+            scenario: ChaosScenario::Grouping.name().to_string(),
+            seed: 5,
+            plan_name: "storage-torn-tail".to_string(),
+            expect: Vec::new(),
+            plan: FaultPlan::new(),
+            storage,
+        };
+        let comment = "Pins crash-restart durability: a WAL append torn mid-write\n\
+                       # (power cut) is repaired on recovery and the interrupted query\n\
+                       # finishes byte-identical to an uninterrupted run.";
+        let file = dir.join("grouping-storage-torn-tail-seed5.chaos");
+        std::fs::write(&file, format!("# {comment}\n{}", entry.to_text())).unwrap();
     }
 
     #[test]
@@ -449,6 +628,7 @@ rule = drop kinds=4 from=1,2 to=* skip=2 limit=1 after_us=1000 until_us=* delay_
             plan_name: "baseline".into(),
             expect: Vec::new(),
             plan: FaultPlan::new(),
+            storage: StorageFaultPlan::new(),
         };
         let report = entry.replay().unwrap();
         assert!(report.matches, "oracles fired: {:?}", report.oracles);

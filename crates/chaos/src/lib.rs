@@ -21,7 +21,12 @@
 //!   (dropping rules, bisecting skip counts and delays) to a minimal
 //!   repro;
 //! * [`corpus`] — a line-oriented serialization of repro entries under
-//!   `tests/chaos_corpus/`, replayable by tests and CI.
+//!   `tests/chaos_corpus/`, replayable by tests and CI;
+//! * [`storage`] — the durability counterpart: drills that inject
+//!   [`edgelet_store::StorageFaultPlan`] faults (torn tails, truncated
+//!   records, failed syncs, checksum flips) into the durable live
+//!   service's WAL and require byte-identical recovery or a
+//!   deterministic read-only drain (see `docs/STORAGE.md`).
 //!
 //! Everything is virtual-time deterministic: the same seed and plan
 //! produce the same trace digest and the same oracle verdict, so a
@@ -37,6 +42,7 @@ pub mod corpus;
 pub mod oracle;
 pub mod plans;
 pub mod scenario;
+pub mod storage;
 
 pub use campaign::{
     run_campaign, run_one, run_one_sharded, shrink, shrink_sharded, CampaignConfig, CampaignReport,
@@ -47,3 +53,4 @@ pub use edgelet_sim::FaultPlan;
 pub use oracle::{check_run, signature, Violation};
 pub use plans::{catalog, plan_for_seed, NamedPlan};
 pub use scenario::{ChaosRun, ChaosScenario, Session};
+pub use storage::{run_storage_drill, StorageDrillReport, STORAGE_DRAINED};

@@ -181,6 +181,14 @@ impl Session {
         &self.resilience
     }
 
+    /// Decomposes the session into its parts, handing the platform to
+    /// an engine that needs ownership — the durable live service in the
+    /// storage drill ([`crate::storage`]). Opening the same scenario
+    /// and seed again rebuilds an identical session for packaging.
+    pub fn into_parts(self) -> (Platform, QuerySpec, PrivacyConfig, ResilienceConfig) {
+        (self.platform, self.spec, self.privacy, self.resilience)
+    }
+
     /// Packages an externally produced execution of *this* session —
     /// e.g. a live-runtime run of the same spec on the same platform —
     /// so the trace oracles ([`crate::oracle::check_run`]) can audit it

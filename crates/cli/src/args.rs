@@ -60,6 +60,16 @@ pub struct ServeArgs {
     pub wall_deadline_ms: Option<u64>,
     /// Emit a JSON verdict instead of human text (`submit` only).
     pub json: bool,
+    /// Anchor service state in a WAL + checkpoint on disk.
+    pub durable: bool,
+    /// Directory holding the WAL and checkpoint (with `--durable`).
+    pub wal_dir: Option<String>,
+    /// Completions per checkpoint; 0 = never checkpoint.
+    pub checkpoint_every: u64,
+    /// Scripted crash point (`after-admit` | `mid-query` |
+    /// `before-checkpoint`): abort the process there, for restart
+    /// drills. Requires `--durable`.
+    pub crash_at: Option<String>,
 }
 
 impl Default for ServeArgs {
@@ -72,6 +82,10 @@ impl Default for ServeArgs {
             mailbox_cap: 4096,
             wall_deadline_ms: None,
             json: false,
+            durable: false,
+            wal_dir: None,
+            checkpoint_every: 8,
+            crash_at: None,
         }
     }
 }
@@ -246,6 +260,13 @@ OPTIONS (serve/submit — plus all plan/run world options):
     --wall-deadline-ms N  per-query wall-clock budget    [default: none]
     --format F          verdict output, human|json (submit only)
                                                          [default: human]
+    --durable           anchor ledgers/epochs in a WAL + checkpoint
+    --wal-dir DIR       directory for the WAL (required with --durable)
+    --checkpoint-every N  completions per checkpoint; 0 = never
+                                                         [default: 8]
+    --crash-at POINT    abort at a scripted point for restart drills:
+                        after-admit|mid-query|before-checkpoint
+                        (requires --durable)
 
 Exit status is nonzero when the campaign found failing triples, a
 replayed corpus entry's oracle verdict changed, a bench suite
@@ -317,8 +338,22 @@ pub fn parse(argv: &[String]) -> Result<Command> {
                 queries: flag_parse(&flags, "queries", 3usize)?,
                 max_concurrent: flag_parse(&flags, "max-concurrent", 4usize)?,
                 mailbox_cap: flag_parse(&flags, "mailbox-cap", 4096usize)?,
+                durable: flags.contains_key("durable"),
+                checkpoint_every: flag_parse(&flags, "checkpoint-every", 8u64)?,
                 ..ServeArgs::default()
             };
+            if let Some(values) = flags.get("wal-dir") {
+                s.wal_dir = Some(single(values, "wal-dir")?.clone());
+            }
+            if let Some(values) = flags.get("crash-at") {
+                let p = single(values, "crash-at")?;
+                if !["after-admit", "mid-query", "before-checkpoint"].contains(&p.as_str()) {
+                    return Err(Error::InvalidConfig(format!(
+                        "--crash-at expects after-admit|mid-query|before-checkpoint, got `{p}`"
+                    )));
+                }
+                s.crash_at = Some(p.clone());
+            }
             if let Some(values) = flags.get("wall-deadline-ms") {
                 s.wall_deadline_ms = Some(parse_value(
                     single(values, "wall-deadline-ms")?,
@@ -433,7 +468,13 @@ fn query_args(flags: &BTreeMap<String, Vec<String>>) -> Result<QueryArgs> {
 
 /// Collects `--flag value` and bare `--flag` pairs; flags may repeat.
 fn collect_flags(args: &[String]) -> Result<BTreeMap<String, Vec<String>>> {
-    const BARE: &[&str] = &["dot", "no-shrink", "concurrency", "no-concurrency"];
+    const BARE: &[&str] = &[
+        "dot",
+        "no-shrink",
+        "concurrency",
+        "no-concurrency",
+        "durable",
+    ];
     let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
@@ -666,6 +707,31 @@ mod tests {
             panic!()
         };
         assert_eq!(s.workers, 0);
+    }
+
+    #[test]
+    fn durability_args() {
+        let Command::Submit(s) = parse(&argv("submit")).unwrap() else {
+            panic!()
+        };
+        assert!(!s.durable && s.wal_dir.is_none() && s.crash_at.is_none());
+        assert_eq!(s.checkpoint_every, 8);
+        let Command::Submit(s) = parse(&argv(
+            "submit --durable --wal-dir /tmp/wal --checkpoint-every 2 --crash-at mid-query",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert!(s.durable);
+        assert_eq!(s.wal_dir.as_deref(), Some("/tmp/wal"));
+        assert_eq!(s.checkpoint_every, 2);
+        assert_eq!(s.crash_at.as_deref(), Some("mid-query"));
+        assert!(parse(&argv("submit --crash-at later")).is_err());
+        // --crash-at without --durable parses; execution rejects it.
+        let Command::Serve(s) = parse(&argv("serve --crash-at after-admit")).unwrap() else {
+            panic!()
+        };
+        assert!(!s.durable && s.crash_at.is_some());
     }
 
     #[test]

@@ -307,7 +307,10 @@ fn serve_command(args: &ServeArgs) -> Result<(String, i32)> {
     if let Some(verdict) = live_preflight(args, false, &mut preamble) {
         return Ok(verdict);
     }
-    let (service, spec, privacy, resilience) = live_service(args)?;
+    let (service, spec, privacy, resilience, recovery) = live_service(args)?;
+    if let Some(line) = recovery.as_ref().and_then(recovery_line) {
+        preamble.push_str(&line);
+    }
     let wall = args.wall_deadline_ms.map(std::time::Duration::from_millis);
     let mut results: Vec<(
         usize,
@@ -379,17 +382,33 @@ fn submit_command(args: &ServeArgs) -> Result<(String, i32)> {
     if let Some(verdict) = live_preflight(args, args.json, &mut preamble) {
         return Ok(verdict);
     }
-    let (service, spec, privacy, resilience) = live_service(args)?;
+    let (service, spec, privacy, resilience, recovery) = live_service(args)?;
+    if !args.json {
+        if let Some(line) = recovery.as_ref().and_then(recovery_line) {
+            preamble.push_str(&line);
+        }
+    }
     let wall = args.wall_deadline_ms.map(std::time::Duration::from_millis);
     let outcome = service.submit(&spec, &privacy, &resilience, wall);
     let (out, status) = match &outcome {
         Ok(o) => {
             let r = &o.run.report;
             let text = if args.json {
+                // Durable runs carry their recovery provenance and a
+                // state CRC so restart drills can diff verdicts.
+                let durable_fields = if args.durable {
+                    format!(
+                        ",\"recovered\":{},\"state_crc\":{}",
+                        o.recovered,
+                        edgelet_live::state_crc(&o.run)
+                    )
+                } else {
+                    String::new()
+                };
                 format!(
                     "{{\"verdict\":\"{}\",\"epoch\":{},\"completed\":{},\"valid\":{},\
                      \"wall_aborted\":{},\"completion_secs\":{},\"messages_sent\":{},\
-                     \"bytes_sent\":{},\"workers\":{}}}\n",
+                     \"bytes_sent\":{},\"workers\":{}{durable_fields}}}\n",
                     if o.succeeded() { "ok" } else { "miss" },
                     o.epoch,
                     r.completed,
@@ -406,10 +425,15 @@ fn submit_command(args: &ServeArgs) -> Result<(String, i32)> {
                 let mut text = render_run(&o.run.plan, &o.run.report);
                 let _ = writeln!(
                     text,
-                    "live: epoch {} over {} workers, verdict {}",
+                    "live: epoch {} over {} workers, verdict {}{}",
                     o.epoch,
                     args.workers,
                     if o.succeeded() { "ok" } else { "miss" },
+                    if o.recovered {
+                        " (recovered intent, original epoch)"
+                    } else {
+                        ""
+                    },
                 );
                 text
             };
@@ -417,6 +441,17 @@ fn submit_command(args: &ServeArgs) -> Result<(String, i32)> {
         }
         Err(SubmitError::Failed(e)) => {
             return Err(Error::InvalidConfig(format!("live query failed: {e}")))
+        }
+        Err(SubmitError::ReadOnly { reason }) => {
+            // Drained mode: a distinct verdict so operators (and the
+            // restart-smoke CI job) can tell "media is read-only" from
+            // a capacity rejection. See docs/RUNTIME.md.
+            let text = if args.json {
+                format!("{{\"verdict\":\"rejected_readonly\",\"reason\":\"{reason}\"}}\n")
+            } else {
+                format!("rejected (read-only): {reason}\n")
+            };
+            (text, 1)
         }
         Err(e) => {
             let text = if args.json {
@@ -431,13 +466,21 @@ fn submit_command(args: &ServeArgs) -> Result<(String, i32)> {
     Ok((format!("{preamble}{out}"), status))
 }
 
-/// `E120`/`W121` preflight shared by `serve` and `submit`: lints the
-/// live-runtime knobs before any thread spawns. Error-severity
-/// diagnostics terminate with a nonzero status; warnings render into
-/// `preamble` and the run proceeds.
+/// `E120`/`W121` plus `E140`/`W141`/`W142` preflight shared by `serve`
+/// and `submit`: lints the live-runtime and durable-storage knobs
+/// before any thread spawns. Error-severity diagnostics terminate with
+/// a nonzero status; warnings render into `preamble` and the run
+/// proceeds.
 fn live_preflight(args: &ServeArgs, json: bool, preamble: &mut String) -> Option<(String, i32)> {
-    let lint =
+    let mut lint =
         edgelet_analyze::check_live_config(args.workers, args.wall_deadline_ms, args.mailbox_cap);
+    let crash_risk = args.query.crash_p > 0.0 || args.crash_at.is_some();
+    lint.extend(edgelet_analyze::check_storage_config(
+        args.durable,
+        args.wal_dir.as_deref().map(std::path::Path::new),
+        args.checkpoint_every,
+        crash_risk,
+    ));
     if lint.is_empty() {
         return None;
     }
@@ -454,7 +497,9 @@ fn live_preflight(args: &ServeArgs, json: bool, preamble: &mut String) -> Option
 }
 
 /// Builds the live service `serve`/`submit` share: the same world
-/// construction as `run`, handed to a [`edgelet_live::QueryService`].
+/// construction as `run`, handed to a [`edgelet_live::QueryService`] —
+/// volatile by default, WAL-anchored with `--durable` (in which case
+/// the recovery report of the startup replay is returned too).
 fn live_service(
     args: &ServeArgs,
 ) -> Result<(
@@ -462,17 +507,67 @@ fn live_service(
     QuerySpec,
     PrivacyConfig,
     ResilienceConfig,
+    Option<edgelet_live::RecoveryReport>,
 )> {
     let (platform, spec, privacy, resilience) = build_world(&args.query)?;
-    let service = edgelet_live::QueryService::new(
+    let config = edgelet_live::ServiceConfig {
+        workers: args.workers,
+        max_concurrent: args.max_concurrent,
+        mailbox_capacity: args.mailbox_cap,
+    };
+    if !args.durable {
+        if args.crash_at.is_some() {
+            return Err(Error::InvalidConfig(
+                "--crash-at requires --durable: a volatile service cannot \
+                 recover what the scripted crash destroys"
+                    .into(),
+            ));
+        }
+        let service = edgelet_live::QueryService::new(platform, config);
+        return Ok((service, spec, privacy, resilience, None));
+    }
+    let dir = args.wal_dir.as_ref().ok_or_else(|| {
+        Error::InvalidConfig("--durable requires --wal-dir <dir> (see docs/STORAGE.md)".into())
+    })?;
+    let backend = edgelet_core::store::FileBackend::open(dir)
+        .map_err(|e| Error::InvalidConfig(format!("cannot open WAL directory: {}", e.message())))?;
+    let crash_at = match &args.crash_at {
+        None => None,
+        Some(name) => Some(
+            edgelet_live::CrashPoint::parse(name)
+                .ok_or_else(|| Error::InvalidConfig(format!("unknown crash point `{name}`")))?,
+        ),
+    };
+    // The scripted crash is a *process* death, not a Rust panic: abort
+    // so restart drills observe the same thing a power cut produces.
+    let crash_handler: Option<edgelet_live::CrashHandler> = crash_at
+        .map(|_| std::sync::Arc::new(|_point| std::process::abort()) as edgelet_live::CrashHandler);
+    let (service, report) = edgelet_live::QueryService::with_durability(
         platform,
-        edgelet_live::ServiceConfig {
-            workers: args.workers,
-            max_concurrent: args.max_concurrent,
-            mailbox_capacity: args.mailbox_cap,
+        config,
+        std::sync::Arc::new(backend),
+        edgelet_live::DurabilityConfig {
+            checkpoint_every: args.checkpoint_every,
+            crash_at,
+            crash_handler,
         },
     );
-    Ok((service, spec, privacy, resilience))
+    Ok((service, spec, privacy, resilience, Some(report)))
+}
+
+/// Renders a one-line summary of what startup recovery found, for the
+/// human-facing preamble of a durable `serve`/`submit`.
+fn recovery_line(report: &edgelet_live::RecoveryReport) -> Option<String> {
+    if report.drained.is_some() || !report.recovered_anything() {
+        return None;
+    }
+    Some(format!(
+        "durable: recovered checkpoint={} wal_records={} repaired_tail={} pending_intents={}\n",
+        report.checkpoint_loaded,
+        report.records_replayed,
+        report.repaired_tail.is_some(),
+        report.pending.len(),
+    ))
 }
 
 fn build_world(q: &QueryArgs) -> Result<(Platform, QuerySpec, PrivacyConfig, ResilienceConfig)> {
@@ -847,6 +942,93 @@ mod tests {
         assert_eq!(status, 0, "{text}");
         assert!(text.contains("warning[W121]"), "{text}");
         assert!(text.contains("0 failed"), "{text}");
+    }
+
+    fn temp_wal(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("edgelet-cli-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_submit_persists_and_restarts_byte_identically() {
+        let dir = temp_wal("roundtrip");
+        let world = format!(
+            "submit --contributors 1500 --processors 120 --cardinality 200 --cap 50 \
+             --network reliable --workers 2 --format json --durable --checkpoint-every 2 \
+             --wal-dir {}",
+            dir.display()
+        );
+        let (first, status) = run_cli_status(&world);
+        assert_eq!(status, 0, "{first}");
+        assert!(first.contains("\"verdict\":\"ok\""), "{first}");
+        assert!(first.contains("\"recovered\":false"), "{first}");
+        assert!(first.contains("\"state_crc\":"), "{first}");
+        assert!(dir.join("wal.log").is_file(), "the WAL must be on disk");
+        // A second process over the same media replays the WAL and runs
+        // a fresh epoch; the world is seed-deterministic, so the state
+        // CRC (payload + ledger + trace digest) must be identical.
+        let (second, status) = run_cli_status(&world);
+        assert_eq!(status, 0, "{second}");
+        let crc = |s: &str| {
+            let tail = &s[s.find("\"state_crc\":").expect("crc field") + 12..];
+            tail[..tail.find([',', '}']).expect("delimiter")].to_string()
+        };
+        assert_eq!(crc(&first), crc(&second), "{first}\n{second}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_flags_are_validated() {
+        // --durable without --wal-dir is the E140 preflight.
+        let (text, status) = run_cli_status("submit --workers 2 --durable");
+        assert_eq!(status, 1, "{text}");
+        assert!(text.contains("error[E140]"), "{text}");
+        // --crash-at without --durable warns (W142), then hard-errors.
+        let cmd = parse(&argv("submit --workers 2 --crash-at mid-query")).unwrap();
+        let err = execute(cmd).expect_err("crash-at needs durability");
+        assert!(err.to_string().contains("--durable"), "{err}");
+        // A zero checkpoint interval warns but runs.
+        let dir = temp_wal("nockpt");
+        let (text, status) = run_cli_status(&format!(
+            "submit --contributors 1500 --processors 120 --cardinality 200 --cap 50 \
+             --network reliable --workers 2 --durable --checkpoint-every 0 --wal-dir {}",
+            dir.display()
+        ));
+        assert_eq!(status, 0, "{text}");
+        assert!(text.contains("warning[W141]"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_wal_drains_submit_to_the_readonly_verdict() {
+        use edgelet_core::store::{DurableBackend, FaultyBackend, FileBackend};
+        use edgelet_core::store::{DurableLog, RetryPolicy, StorageFaultAction, StorageFaultPlan};
+        use std::sync::Arc;
+
+        let dir = temp_wal("corrupt");
+        {
+            // Silently truncate the first record while a second lands
+            // intact: unrepairable mid-log damage on disk.
+            let file = FileBackend::open(&dir).expect("open WAL dir");
+            let faulty: Arc<dyn DurableBackend> = Arc::new(FaultyBackend::new(
+                file,
+                StorageFaultPlan::new().with(1, StorageFaultAction::TruncatedRecord { keep: 4 }),
+            ));
+            let log = DurableLog::new(faulty, RetryPolicy::immediate(2));
+            log.append(b"cut-short").expect("silent fault");
+            log.append(b"acknowledged-after").expect("lands intact");
+        }
+        let (text, status) = run_cli_status(&format!(
+            "submit --contributors 1500 --processors 120 --cardinality 200 --cap 50 \
+             --network reliable --workers 2 --format json --durable --wal-dir {}",
+            dir.display()
+        ));
+        assert_eq!(status, 1, "{text}");
+        assert!(text.contains("\"verdict\":\"rejected_readonly\""), "{text}");
+        assert!(text.contains("refusing to replay"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

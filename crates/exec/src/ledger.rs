@@ -6,6 +6,7 @@
 //! how much raw data it saw, so experiments can verify the spread.
 
 use edgelet_util::ids::DeviceId;
+use edgelet_wire::{Decode, Encode, Reader, Writer};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -21,7 +22,7 @@ pub struct LiabilityEntry {
 }
 
 /// The crowd-liability ledger for one query execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Ledger {
     entries: BTreeMap<DeviceId, LiabilityEntry>,
 }
@@ -55,6 +56,18 @@ impl Ledger {
     /// All entries.
     pub fn entries(&self) -> &BTreeMap<DeviceId, LiabilityEntry> {
         &self.entries
+    }
+
+    /// Folds another ledger's balances into this one (the durable
+    /// service accumulates per-query ledgers into a crowd-lifetime
+    /// ledger this way; see `docs/STORAGE.md`).
+    pub fn merge(&mut self, other: &Ledger) {
+        for (device, e) in &other.entries {
+            let mine = self.entries.entry(*device).or_default();
+            mine.operators_hosted += e.operators_hosted;
+            mine.raw_tuples_seen += e.raw_tuples_seen;
+            mine.aggregates_seen += e.aggregates_seen;
+        }
     }
 
     /// Largest number of raw tuples any single device saw.
@@ -119,6 +132,38 @@ impl Ledger {
     }
 }
 
+impl Encode for LiabilityEntry {
+    fn encode(&self, w: &mut Writer) {
+        self.operators_hosted.encode(w);
+        self.raw_tuples_seen.encode(w);
+        self.aggregates_seen.encode(w);
+    }
+}
+
+impl Decode for LiabilityEntry {
+    fn decode(r: &mut Reader<'_>) -> edgelet_util::Result<Self> {
+        Ok(Self {
+            operators_hosted: u32::decode(r)?,
+            raw_tuples_seen: u64::decode(r)?,
+            aggregates_seen: u64::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Ledger {
+    fn encode(&self, w: &mut Writer) {
+        self.entries.encode(w);
+    }
+}
+
+impl Decode for Ledger {
+    fn decode(r: &mut Reader<'_>) -> edgelet_util::Result<Self> {
+        Ok(Self {
+            entries: BTreeMap::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +212,41 @@ mod tests {
         }
         assert!(l.processor_gini().abs() < 1e-9, "{}", l.processor_gini());
         assert!(l.raw_tuple_gini() > 0.5);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut l = Ledger::default();
+        l.host_operator(DeviceId::new(3));
+        l.raw_tuples(DeviceId::new(3), 42);
+        l.aggregates(DeviceId::new(9), 7);
+        let bytes = edgelet_wire::to_bytes(&l);
+        let back: Ledger = edgelet_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back.entries(), l.entries());
+        // Re-encoding is byte-stable (BTreeMap order is canonical).
+        assert_eq!(edgelet_wire::to_bytes(&back), bytes);
+    }
+
+    #[test]
+    fn merge_adds_entrywise() {
+        let mut a = Ledger::default();
+        a.host_operator(DeviceId::new(1));
+        a.raw_tuples(DeviceId::new(1), 10);
+
+        let mut b = Ledger::default();
+        b.host_operator(DeviceId::new(1));
+        b.raw_tuples(DeviceId::new(1), 5);
+        b.aggregates(DeviceId::new(2), 4);
+
+        a.merge(&b);
+        assert_eq!(a.entries()[&DeviceId::new(1)].operators_hosted, 2);
+        assert_eq!(a.entries()[&DeviceId::new(1)].raw_tuples_seen, 15);
+        assert_eq!(a.entries()[&DeviceId::new(2)].aggregates_seen, 4);
+
+        // Merging an empty ledger is a no-op.
+        let before = a.clone();
+        a.merge(&Ledger::default());
+        assert_eq!(a.entries(), before.entries());
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! Durable service state: WAL records, idempotent replay, crash points.
+//!
+//! The [`crate::service::QueryService`] can run over a
+//! [`edgelet_store::DurableBackend`]: before a query executes, a
+//! [`WalRecord::Intent`] is appended (and synced) to the log; after it
+//! finishes, a [`WalRecord::Completion`] carrying the result payload,
+//! the per-query liability ledger, and the trace digest follows. A
+//! crash between the two leaves a *pending intent*: on restart the
+//! recovered service re-executes it under its original epoch when the
+//! same spec is resubmitted — the worlds are seeded from the spec, so
+//! the re-run is byte-identical to the run the crash interrupted
+//! (proved by `tests/durability_restart.rs`).
+//!
+//! Replay is **idempotent**: [`DurableState::apply`] keys applications
+//! by epoch in an `applied` set, so replaying a WAL segment twice —
+//! which happens when a crash lands between a completion append and the
+//! checkpoint that would subsume it — never double-charges the
+//! cumulative ledger. This generalizes the combiner's `seen_partials`
+//! dedup guard (PR 3) from message delivery to storage replay.
+//!
+//! See `docs/STORAGE.md` for the full recovery model.
+
+use crate::harness::LiveRun;
+use edgelet_exec::Ledger;
+use edgelet_query::QuerySpec;
+use edgelet_util::{Error, Result};
+use edgelet_wire::crc::crc32;
+use edgelet_wire::{from_bytes, to_bytes, Decode, Encode, Reader, Writer};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Identity of a query spec as persisted in intent records: the CRC-32
+/// of its canonical wire encoding. Recovery matches a resubmitted spec
+/// against pending intents by this digest instead of persisting the
+/// whole privacy/resilience configuration — the caller rebuilds the
+/// world; the digest proves it is asking for the same computation.
+pub fn spec_digest(spec: &QuerySpec) -> u32 {
+    crc32(&to_bytes(spec))
+}
+
+/// CRC-32 over the externally visible outcome of one run — result
+/// payload, liability ledger, trace digest — in their wire encodings.
+/// Two runs with equal `state_crc` delivered byte-identical results;
+/// the CLI surfaces it so restart-parity checks need no file diffing.
+pub fn state_crc(run: &LiveRun) -> u32 {
+    let mut w = Writer::new();
+    run.report.result_payload.encode(&mut w);
+    run.report.ledger.encode(&mut w);
+    run.trace_digest.encode(&mut w);
+    crc32(&w.into_bytes())
+}
+
+const TAG_INTENT: u8 = 0;
+const TAG_COMPLETION: u8 = 1;
+
+/// One record in the service WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Logged (and synced) before a query executes: the admitted epoch
+    /// and the digest of the spec it will run.
+    Intent {
+        /// The epoch the query was admitted under.
+        epoch: u64,
+        /// [`spec_digest`] of the admitted spec.
+        spec_digest: u32,
+    },
+    /// Logged after a query finishes, before its effects are treated as
+    /// durable.
+    Completion {
+        /// The epoch the query ran under.
+        epoch: u64,
+        /// The raw combiner result payload the Querier received.
+        result_payload: Option<Vec<u8>>,
+        /// The per-query liability ledger.
+        ledger: Ledger,
+        /// Trace digest, when tracing was enabled.
+        trace_digest: Option<u64>,
+    },
+}
+
+impl WalRecord {
+    /// The epoch this record belongs to.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            WalRecord::Intent { epoch, .. } | WalRecord::Completion { epoch, .. } => *epoch,
+        }
+    }
+}
+
+impl Encode for WalRecord {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            WalRecord::Intent { epoch, spec_digest } => {
+                TAG_INTENT.encode(w);
+                epoch.encode(w);
+                spec_digest.encode(w);
+            }
+            WalRecord::Completion {
+                epoch,
+                result_payload,
+                ledger,
+                trace_digest,
+            } => {
+                TAG_COMPLETION.encode(w);
+                epoch.encode(w);
+                result_payload.encode(w);
+                ledger.encode(w);
+                trace_digest.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for WalRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match u8::decode(r)? {
+            TAG_INTENT => Ok(WalRecord::Intent {
+                epoch: u64::decode(r)?,
+                spec_digest: u32::decode(r)?,
+            }),
+            TAG_COMPLETION => Ok(WalRecord::Completion {
+                epoch: u64::decode(r)?,
+                result_payload: Option::<Vec<u8>>::decode(r)?,
+                ledger: Ledger::decode(r)?,
+                trace_digest: Option::<u64>::decode(r)?,
+            }),
+            tag => Err(Error::Protocol(format!("unknown WAL record tag {tag}"))),
+        }
+    }
+}
+
+/// The durable core of the service, reconstructed on restart from the
+/// checkpoint plus the WAL records after it.
+#[derive(Debug, Clone, Default)]
+pub struct DurableState {
+    /// The next epoch to allocate (one past the highest seen).
+    pub next_epoch: u64,
+    /// Cumulative crowd-liability ledger over every applied completion.
+    pub ledger: Ledger,
+    /// Epochs whose completions have been applied — the idempotence
+    /// guard: an epoch in this set is never applied again.
+    pub applied: BTreeSet<u64>,
+    /// Intents without a completion: `epoch -> spec digest`. These are
+    /// the queries a crash interrupted; a resubmission of a spec with a
+    /// matching digest re-runs under the recorded epoch.
+    pub pending: BTreeMap<u64, u32>,
+}
+
+impl DurableState {
+    /// Applies one record, idempotently: re-applying a record for an
+    /// epoch already in `applied` is a no-op, so a WAL segment can be
+    /// replayed any number of times without double-charging the ledger.
+    pub fn apply(&mut self, record: &WalRecord) {
+        self.next_epoch = self.next_epoch.max(record.epoch() + 1);
+        match record {
+            WalRecord::Intent { epoch, spec_digest } => {
+                if !self.applied.contains(epoch) {
+                    self.pending.insert(*epoch, *spec_digest);
+                }
+            }
+            WalRecord::Completion { epoch, ledger, .. } => {
+                if self.applied.insert(*epoch) {
+                    self.ledger.merge(ledger);
+                    self.pending.remove(epoch);
+                }
+            }
+        }
+    }
+
+    /// Decodes and applies a slice of raw WAL payloads in order.
+    /// Returns the number of records applied.
+    pub fn replay(&mut self, payloads: &[Vec<u8>]) -> Result<usize> {
+        for payload in payloads {
+            let record: WalRecord = from_bytes(payload)?;
+            self.apply(&record);
+        }
+        Ok(payloads.len())
+    }
+
+    /// The smallest pending epoch whose intent digest matches, if any.
+    pub fn pending_for(&self, digest: u32) -> Option<u64> {
+        self.pending
+            .iter()
+            .find(|(_, d)| **d == digest)
+            .map(|(e, _)| *e)
+    }
+}
+
+impl Encode for DurableState {
+    fn encode(&self, w: &mut Writer) {
+        self.next_epoch.encode(w);
+        self.ledger.encode(w);
+        // BTreeSet iterates sorted; encode as a canonical Vec.
+        let applied: Vec<u64> = self.applied.iter().copied().collect();
+        applied.encode(w);
+        self.pending.encode(w);
+    }
+}
+
+impl Decode for DurableState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Self {
+            next_epoch: u64::decode(r)?,
+            ledger: Ledger::decode(r)?,
+            applied: Vec::<u64>::decode(r)?.into_iter().collect(),
+            pending: BTreeMap::decode(r)?,
+        })
+    }
+}
+
+/// Scripted crash points in the durable submit path, named after what
+/// is durable when the crash hits:
+///
+/// * `after-admit` — the intent is logged; the query never ran;
+/// * `mid-query` — the query executed, but its completion is not
+///   logged: durably indistinguishable from `after-admit`;
+/// * `before-checkpoint` — the completion is logged but not yet folded
+///   into a checkpoint: recovery must replay it (idempotently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash right after the intent record is durable.
+    AfterAdmit,
+    /// Crash after execution, before the completion record.
+    MidQuery,
+    /// Crash after the completion record, before the checkpoint.
+    BeforeCheckpoint,
+}
+
+impl CrashPoint {
+    /// All points, in submit-path order.
+    pub const ALL: [CrashPoint; 3] = [
+        CrashPoint::AfterAdmit,
+        CrashPoint::MidQuery,
+        CrashPoint::BeforeCheckpoint,
+    ];
+
+    /// The CLI-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::AfterAdmit => "after-admit",
+            CrashPoint::MidQuery => "mid-query",
+            CrashPoint::BeforeCheckpoint => "before-checkpoint",
+        }
+    }
+
+    /// Parses a CLI-facing name.
+    pub fn parse(s: &str) -> Option<Self> {
+        CrashPoint::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Invoked when a scripted [`CrashPoint`] trips. The in-process tests
+/// install a handler that panics (and `catch_unwind` at the call site);
+/// the CLI installs `std::process::abort` so the whole process dies
+/// exactly as a power cut would.
+pub type CrashHandler = Arc<dyn Fn(CrashPoint) + Send + Sync>;
+
+/// Durability knobs for a [`crate::service::QueryService`].
+#[derive(Clone)]
+pub struct DurabilityConfig {
+    /// Checkpoint after this many applied completions; `0` disables
+    /// checkpointing (the WAL then grows without bound and recovery
+    /// replays everything — the analyzer warns with `W141`).
+    pub checkpoint_every: u64,
+    /// Scripted crash point, if any.
+    pub crash_at: Option<CrashPoint>,
+    /// What a tripped crash point does. `None` panics with the point's
+    /// name (unwind-safe for tests).
+    pub crash_handler: Option<CrashHandler>,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            checkpoint_every: 8,
+            crash_at: None,
+            crash_handler: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for DurabilityConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurabilityConfig")
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("crash_at", &self.crash_at)
+            .field("crash_handler", &self.crash_handler.as_ref().map(|_| "…"))
+            .finish()
+    }
+}
+
+impl DurabilityConfig {
+    /// Trips `point` if it is the scripted crash point. The handler is
+    /// expected not to return; if it does (or none is installed), this
+    /// panics, which the in-process restart tests catch.
+    pub(crate) fn trip(&self, point: CrashPoint) {
+        if self.crash_at == Some(point) {
+            if let Some(handler) = &self.crash_handler {
+                handler(point);
+            }
+            panic!("scripted crash point tripped: {point}");
+        }
+    }
+}
+
+/// What recovery found when a durable service was (re)constructed.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// A checkpoint blob was present and loaded.
+    pub checkpoint_loaded: bool,
+    /// WAL records replayed on top of the checkpoint.
+    pub records_replayed: usize,
+    /// Bytes dropped repairing a torn tail, if the log needed it.
+    pub repaired_tail: Option<u64>,
+    /// Epochs with an intent but no completion, awaiting re-execution.
+    pub pending: Vec<u64>,
+    /// The service came up drained (read-only): why.
+    pub drained: Option<String>,
+}
+
+impl RecoveryReport {
+    /// True when recovery had anything to do: a checkpoint, replayed
+    /// records, or a tail repair. Fresh logs recover trivially.
+    pub fn recovered_anything(&self) -> bool {
+        self.checkpoint_loaded || self.records_replayed > 0 || self.repaired_tail.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgelet_util::ids::DeviceId;
+
+    fn completion(epoch: u64, tuples: u64) -> WalRecord {
+        let mut ledger = Ledger::default();
+        ledger.raw_tuples(DeviceId::new(1), tuples);
+        WalRecord::Completion {
+            epoch,
+            result_payload: Some(vec![1, 2, 3]),
+            ledger,
+            trace_digest: Some(0xfeed),
+        }
+    }
+
+    #[test]
+    fn wal_records_round_trip() {
+        let records = [
+            WalRecord::Intent {
+                epoch: 7,
+                spec_digest: 0xdead_beef,
+            },
+            completion(7, 42),
+            WalRecord::Completion {
+                epoch: 8,
+                result_payload: None,
+                ledger: Ledger::default(),
+                trace_digest: None,
+            },
+        ];
+        for rec in &records {
+            let back: WalRecord = from_bytes(&to_bytes(rec)).unwrap();
+            assert_eq!(&back, rec);
+        }
+        assert!(from_bytes::<WalRecord>(&[9u8]).is_err(), "unknown tag");
+    }
+
+    #[test]
+    fn replaying_a_segment_twice_is_idempotent() {
+        // The ledger-idempotence pin: the same WAL segment applied twice
+        // yields identical balances — no double charge.
+        let segment: Vec<Vec<u8>> = vec![
+            to_bytes(&WalRecord::Intent {
+                epoch: 1,
+                spec_digest: 0xaa,
+            }),
+            to_bytes(&completion(1, 100)),
+            to_bytes(&WalRecord::Intent {
+                epoch: 2,
+                spec_digest: 0xbb,
+            }),
+        ];
+        let mut once = DurableState::default();
+        once.replay(&segment).unwrap();
+        let mut twice = DurableState::default();
+        twice.replay(&segment).unwrap();
+        twice.replay(&segment).unwrap();
+        assert_eq!(once.ledger.entries(), twice.ledger.entries());
+        assert_eq!(
+            once.ledger.entries()[&DeviceId::new(1)].raw_tuples_seen,
+            100
+        );
+        assert_eq!(once.applied, twice.applied);
+        assert_eq!(once.pending, twice.pending);
+        assert_eq!(twice.pending_for(0xbb), Some(2));
+        assert_eq!(twice.pending_for(0xcc), None);
+        assert_eq!(twice.next_epoch, 3);
+    }
+
+    #[test]
+    fn completion_clears_pending_and_late_intent_is_ignored() {
+        let mut st = DurableState::default();
+        st.apply(&WalRecord::Intent {
+            epoch: 4,
+            spec_digest: 0x11,
+        });
+        assert_eq!(st.pending_for(0x11), Some(4));
+        st.apply(&completion(4, 10));
+        assert!(st.pending.is_empty());
+        // An intent replayed after its completion (double replay of an
+        // unordered mix) must not resurrect the pending entry.
+        st.apply(&WalRecord::Intent {
+            epoch: 4,
+            spec_digest: 0x11,
+        });
+        assert!(st.pending.is_empty());
+    }
+
+    #[test]
+    fn state_round_trips_through_checkpoint_encoding() {
+        let mut st = DurableState::default();
+        st.apply(&WalRecord::Intent {
+            epoch: 1,
+            spec_digest: 0x1,
+        });
+        st.apply(&completion(1, 5));
+        st.apply(&WalRecord::Intent {
+            epoch: 2,
+            spec_digest: 0x2,
+        });
+        let back: DurableState = from_bytes(&to_bytes(&st)).unwrap();
+        assert_eq!(back.next_epoch, st.next_epoch);
+        assert_eq!(back.applied, st.applied);
+        assert_eq!(back.pending, st.pending);
+        assert_eq!(back.ledger.entries(), st.ledger.entries());
+    }
+
+    #[test]
+    fn crash_point_names_round_trip() {
+        for p in CrashPoint::ALL {
+            assert_eq!(CrashPoint::parse(p.name()), Some(p));
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!(CrashPoint::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn trip_panics_on_the_scripted_point_only() {
+        let cfg = DurabilityConfig {
+            crash_at: Some(CrashPoint::MidQuery),
+            ..DurabilityConfig::default()
+        };
+        cfg.trip(CrashPoint::AfterAdmit); // not scripted: returns
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cfg.trip(CrashPoint::MidQuery)
+        }));
+        assert!(result.is_err());
+        DurabilityConfig::default().trip(CrashPoint::MidQuery); // no script
+    }
+}

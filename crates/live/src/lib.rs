@@ -22,6 +22,12 @@
 //! * [`service`] — [`service::QueryService`]: admission control,
 //!   concurrent multi-query serving with per-query epochs, wall-clock
 //!   deadline watchdogs, graceful shutdown;
+//! * [`durable`] — durable service state: WAL records (intent /
+//!   completion), the idempotent [`durable::DurableState`] replay, spec
+//!   digests, scripted [`durable::CrashPoint`]s, and the recovery
+//!   report — the service side of the storage layer in
+//!   `edgelet-store::wal` (model in `docs/STORAGE.md`, proof-by-test in
+//!   `tests/durability_restart.rs`);
 //! * [`model`] — the deterministic schedule-exploration harness:
 //!   [`model::yield_point`] seams in the transport and service compile
 //!   to nothing in release builds, and under test `model::explore`
@@ -33,12 +39,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod engine;
 pub mod harness;
 pub mod model;
 pub mod service;
 pub mod transport;
 
+pub use durable::{
+    spec_digest, state_crc, CrashHandler, CrashPoint, DurabilityConfig, DurableState,
+    RecoveryReport, WalRecord,
+};
 pub use engine::{ExitReason, LiveConfig, LiveEngine, PayloadClassifier};
 pub use harness::{build_live_world, run_live_query, LiveRun, LiveRunOptions};
 pub use service::{QueryService, ServiceConfig, SubmitError, SubmitOutcome};

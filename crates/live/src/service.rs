@@ -18,11 +18,16 @@
 //! drains gracefully: new submissions are refused while in-flight
 //! queries run to completion.
 
+use crate::durable::{
+    spec_digest, CrashPoint, DurabilityConfig, DurableState, RecoveryReport, WalRecord,
+};
 use crate::engine::ExitReason;
 use crate::harness::{run_live_query, LiveRun, LiveRunOptions};
 use crate::transport::StripedTransport;
 use edgelet_core::Platform;
+use edgelet_exec::Ledger;
 use edgelet_query::{PrivacyConfig, QuerySpec, ResilienceConfig};
+use edgelet_store::{DurableBackend, DurableLog, RetryPolicy};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
@@ -61,6 +66,12 @@ pub enum SubmitError {
     },
     /// The service is shutting down and refuses new work.
     ShuttingDown,
+    /// The durable backend is unavailable: the service has drained to
+    /// read-only mode and refuses work it could not make durable.
+    ReadOnly {
+        /// Why the service drained.
+        reason: String,
+    },
     /// Planning or execution failed.
     Failed(edgelet_util::Error),
 }
@@ -72,6 +83,12 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "admission rejected: {limit} queries already in flight")
             }
             SubmitError::ShuttingDown => write!(f, "admission rejected: service shutting down"),
+            SubmitError::ReadOnly { reason } => {
+                write!(
+                    f,
+                    "admission rejected: service drained to read-only ({reason})"
+                )
+            }
             SubmitError::Failed(e) => write!(f, "query failed: {e}"),
         }
     }
@@ -92,6 +109,9 @@ pub struct SubmitOutcome {
     pub run: LiveRun,
     /// The wall-clock watchdog fired before the query finished.
     pub wall_aborted: bool,
+    /// The query re-ran a pending intent recovered from the WAL (a
+    /// crash interrupted it before its completion was durable).
+    pub recovered: bool,
 }
 
 impl SubmitOutcome {
@@ -113,6 +133,24 @@ pub struct QueryService {
     next_epoch: AtomicU64,
     shutting_down: AtomicBool,
     watchdog: Watchdog,
+    durable: Option<DurableCtl>,
+}
+
+/// Durable-mode control block: the WAL front end plus the in-memory
+/// image of the durable state.
+struct DurableCtl {
+    log: DurableLog,
+    config: DurabilityConfig,
+    inner: Mutex<DurableInner>,
+    /// Raised when the backend failed permanently: the service keeps
+    /// serving reads (inspection) but refuses new submissions.
+    drained: AtomicBool,
+    drain_reason: Mutex<Option<String>>,
+}
+
+struct DurableInner {
+    state: DurableState,
+    since_checkpoint: u64,
 }
 
 /// RAII admission slot: releases the gate (and wakes `shutdown`) even
@@ -128,8 +166,69 @@ impl Drop for Slot<'_> {
 }
 
 impl QueryService {
-    /// Creates a service over an enrolled platform.
+    /// Creates a volatile (memory-only) service over an enrolled
+    /// platform.
     pub fn new(platform: Platform, config: ServiceConfig) -> Self {
+        Self::build(platform, config, None)
+    }
+
+    /// Creates a durable service over `backend`, running recovery
+    /// first: the checkpoint is loaded, WAL records after it are
+    /// replayed idempotently, a torn tail is repaired, and pending
+    /// intents are queued for re-execution. A corrupt WAL or an
+    /// unavailable backend does not fail construction — the service
+    /// comes up **drained** (read-only) with the reason in the report,
+    /// so operators can still inspect state.
+    pub fn with_durability(
+        platform: Platform,
+        config: ServiceConfig,
+        backend: Arc<dyn DurableBackend>,
+        durability: DurabilityConfig,
+    ) -> (Self, RecoveryReport) {
+        let log = DurableLog::new(backend, RetryPolicy::default());
+        let mut report = RecoveryReport::default();
+        let mut state = DurableState::default();
+        let mut drain_reason: Option<String> = None;
+        match log.recover() {
+            Ok(rec) => {
+                report.repaired_tail = rec.repaired;
+                if let Some(blob) = &rec.checkpoint {
+                    match edgelet_wire::from_bytes::<DurableState>(blob) {
+                        Ok(s) => {
+                            state = s;
+                            report.checkpoint_loaded = true;
+                        }
+                        Err(e) => drain_reason = Some(format!("checkpoint undecodable: {e}")),
+                    }
+                }
+                if drain_reason.is_none() {
+                    match state.replay(&rec.records) {
+                        Ok(n) => report.records_replayed = n,
+                        Err(e) => drain_reason = Some(format!("WAL record undecodable: {e}")),
+                    }
+                }
+            }
+            Err(e) => drain_reason = Some(e.message().to_string()),
+        }
+        report.pending = state.pending.keys().copied().collect();
+        report.drained = drain_reason.clone();
+        let next_epoch = state.next_epoch.max(1);
+        let ctl = DurableCtl {
+            log,
+            config: durability,
+            inner: Mutex::new(DurableInner {
+                state,
+                since_checkpoint: 0,
+            }),
+            drained: AtomicBool::new(drain_reason.is_some()),
+            drain_reason: Mutex::new(drain_reason),
+        };
+        let service = Self::build(platform, config, Some(ctl));
+        service.next_epoch.store(next_epoch, Ordering::Release);
+        (service, report)
+    }
+
+    fn build(platform: Platform, config: ServiceConfig, durable: Option<DurableCtl>) -> Self {
         let transport = Arc::new(StripedTransport::new(config.mailbox_capacity.max(1)));
         QueryService {
             platform,
@@ -140,6 +239,7 @@ impl QueryService {
             next_epoch: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
             watchdog: Watchdog::new(),
+            durable,
         }
     }
 
@@ -177,6 +277,12 @@ impl QueryService {
     /// submit from their own threads to serve concurrently). Fails fast
     /// with an admission error when the gate is full or the service is
     /// draining; `wall_deadline` (host time) arms the watchdog.
+    ///
+    /// In durable mode this logs an intent record before execution and
+    /// a completion record after, so a crash anywhere in between is
+    /// recoverable; a resubmission of a spec whose intent is pending
+    /// from a previous incarnation re-runs under the recorded epoch and
+    /// reports `recovered = true`.
     pub fn submit(
         &self,
         spec: &QuerySpec,
@@ -184,8 +290,126 @@ impl QueryService {
         resilience: &ResilienceConfig,
         wall_deadline: Option<std::time::Duration>,
     ) -> Result<SubmitOutcome, SubmitError> {
+        match &self.durable {
+            None => {
+                let slot = self.acquire()?;
+                let epoch = self.next_epoch.fetch_add(1, Ordering::AcqRel);
+                let result = self.run_epoch(epoch, spec, privacy, resilience, wall_deadline);
+                drop(slot);
+                let (run, wall_aborted) = result?;
+                Ok(SubmitOutcome {
+                    epoch,
+                    run,
+                    wall_aborted,
+                    recovered: false,
+                })
+            }
+            Some(d) => self.submit_durable(d, spec, privacy, resilience, wall_deadline),
+        }
+    }
+
+    fn submit_durable(
+        &self,
+        d: &DurableCtl,
+        spec: &QuerySpec,
+        privacy: &PrivacyConfig,
+        resilience: &ResilienceConfig,
+        wall_deadline: Option<std::time::Duration>,
+    ) -> Result<SubmitOutcome, SubmitError> {
+        if d.drained.load(Ordering::Acquire) {
+            return Err(self.read_only_error(d));
+        }
         let slot = self.acquire()?;
-        let epoch = self.next_epoch.fetch_add(1, Ordering::AcqRel);
+        let digest = spec_digest(spec);
+        // A pending intent with this digest is a query a crash
+        // interrupted: re-run it under its original epoch instead of
+        // admitting a new one (its intent is already durable).
+        let (epoch, recovered) = {
+            let mut inner = lock(&d.inner);
+            match inner.state.pending_for(digest) {
+                Some(e) => (e, true),
+                None => {
+                    let e = self.next_epoch.fetch_add(1, Ordering::AcqRel);
+                    inner.state.pending.insert(e, digest);
+                    (e, false)
+                }
+            }
+        };
+        if !recovered {
+            let intent = WalRecord::Intent {
+                epoch,
+                spec_digest: digest,
+            };
+            if let Err(err) = d.log.append(&edgelet_wire::to_bytes(&intent)) {
+                lock(&d.inner).state.pending.remove(&epoch);
+                self.drain(d, format!("intent append failed: {}", err.message()));
+                drop(slot);
+                return Err(self.read_only_error(d));
+            }
+        }
+        d.config.trip(CrashPoint::AfterAdmit);
+        let result = self.run_epoch(epoch, spec, privacy, resilience, wall_deadline);
+        let (run, wall_aborted) = match result {
+            Ok(v) => v,
+            Err(e) => {
+                // The intent stays in the WAL: a deterministic failure
+                // will fail identically on re-execution after restart.
+                drop(slot);
+                return Err(e);
+            }
+        };
+        d.config.trip(CrashPoint::MidQuery);
+        let completion = WalRecord::Completion {
+            epoch,
+            result_payload: run.report.result_payload.clone(),
+            ledger: run.report.ledger.clone(),
+            trace_digest: run.trace_digest,
+        };
+        if let Err(err) = d.log.append(&edgelet_wire::to_bytes(&completion)) {
+            // The result exists but is not durable; refusing the submit
+            // keeps "Ok means persisted" true.
+            self.drain(d, format!("completion append failed: {}", err.message()));
+            drop(slot);
+            return Err(self.read_only_error(d));
+        }
+        d.config.trip(CrashPoint::BeforeCheckpoint);
+        {
+            let mut inner = lock(&d.inner);
+            inner.state.apply(&completion);
+            inner.since_checkpoint += 1;
+            if d.config.checkpoint_every > 0 && inner.since_checkpoint >= d.config.checkpoint_every
+            {
+                let blob = edgelet_wire::to_bytes(&inner.state);
+                match d.log.checkpoint(&blob) {
+                    Ok(()) => inner.since_checkpoint = 0,
+                    Err(err) => {
+                        // The completion is durable in the WAL; only
+                        // compaction failed. Keep the outcome, stop
+                        // accepting new work.
+                        drop(inner);
+                        self.drain(d, format!("checkpoint failed: {}", err.message()));
+                    }
+                }
+            }
+        }
+        drop(slot);
+        Ok(SubmitOutcome {
+            epoch,
+            run,
+            wall_aborted,
+            recovered,
+        })
+    }
+
+    /// Registers `epoch`, executes one query under it, retires it.
+    fn run_epoch(
+        &self,
+        epoch: u64,
+        spec: &QuerySpec,
+        privacy: &PrivacyConfig,
+        resilience: &ResilienceConfig,
+        wall_deadline: Option<std::time::Duration>,
+    ) -> Result<(LiveRun, bool), SubmitError> {
         self.transport
             .register_epoch(epoch, self.config.workers.max(1));
         let abort = Arc::new(AtomicBool::new(false));
@@ -205,14 +429,56 @@ impl QueryService {
             self.watchdog.disarm(id);
         }
         self.transport.retire_epoch(epoch);
-        drop(slot);
         let run = result?;
         let wall_aborted = run.exit == ExitReason::Aborted;
-        Ok(SubmitOutcome {
-            epoch,
-            run,
-            wall_aborted,
-        })
+        Ok((run, wall_aborted))
+    }
+
+    fn drain(&self, d: &DurableCtl, reason: String) {
+        d.drained.store(true, Ordering::Release);
+        let mut r = lock(&d.drain_reason);
+        if r.is_none() {
+            *r = Some(reason);
+        }
+    }
+
+    fn read_only_error(&self, d: &DurableCtl) -> SubmitError {
+        SubmitError::ReadOnly {
+            reason: lock(&d.drain_reason)
+                .clone()
+                .unwrap_or_else(|| "backend unavailable".into()),
+        }
+    }
+
+    /// True when the durable backend failed and the service refuses new
+    /// submissions (always `false` for a volatile service).
+    pub fn is_drained(&self) -> bool {
+        self.durable
+            .as_ref()
+            .is_some_and(|d| d.drained.load(Ordering::Acquire))
+    }
+
+    /// Why the service drained, if it did.
+    pub fn drain_reason(&self) -> Option<String> {
+        self.durable
+            .as_ref()
+            .and_then(|d| lock(&d.drain_reason).clone())
+    }
+
+    /// The cumulative crowd-liability ledger over every durably applied
+    /// completion (`None` for a volatile service).
+    pub fn cumulative_ledger(&self) -> Option<Ledger> {
+        self.durable
+            .as_ref()
+            .map(|d| lock(&d.inner).state.ledger.clone())
+    }
+
+    /// Epochs recovered as pending and not yet re-executed (`None` for
+    /// a volatile service).
+    pub fn pending_recovery(&self) -> Option<Vec<u64>> {
+        self.durable
+            .as_ref()
+            .map(|d| lock(&d.inner).state.pending.keys().copied().collect())
     }
 
     /// Graceful shutdown: refuse new submissions, wait for in-flight

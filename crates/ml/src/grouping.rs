@@ -164,6 +164,22 @@ impl GroupingQuery {
     }
 }
 
+impl Encode for GroupingQuery {
+    fn encode(&self, w: &mut Writer) {
+        self.sets.encode(w);
+        self.aggregates.encode(w);
+    }
+}
+
+impl Decode for GroupingQuery {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Self {
+            sets: Vec::<Vec<String>>::decode(r)?,
+            aggregates: Vec::<AggSpec>::decode(r)?,
+        })
+    }
+}
+
 impl fmt::Display for GroupingQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let aggs: Vec<String> = self.aggregates.iter().map(|a| a.to_string()).collect();
@@ -488,6 +504,16 @@ mod tests {
         let partial = q.compute(store.schema(), store.rows()).unwrap();
         let back: GroupedPartial = from_bytes(&to_bytes(&partial)).unwrap();
         assert_eq!(back, partial);
+    }
+
+    #[test]
+    fn query_wire_roundtrip() {
+        let q = demo_query();
+        let back: GroupingQuery = from_bytes(&to_bytes(&q)).unwrap();
+        assert_eq!(back, q);
+        // Encoding is byte-stable, which the durable layer relies on for
+        // spec digests.
+        assert_eq!(to_bytes(&back), to_bytes(&q));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use edgelet_ml::grouping::GroupingQuery;
 use edgelet_store::{Predicate, Schema};
 use edgelet_util::ids::QueryId;
 use edgelet_util::{Error, Result};
+use edgelet_wire::{Decode, Encode, Reader, Writer};
 
 /// The computation payload of a query.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,6 +142,69 @@ impl QuerySpec {
     }
 }
 
+const KIND_GROUPING_SETS: u8 = 0;
+const KIND_KMEANS: u8 = 1;
+
+impl Encode for QueryKind {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            QueryKind::GroupingSets(q) => {
+                KIND_GROUPING_SETS.encode(w);
+                q.encode(w);
+            }
+            QueryKind::KMeans {
+                k,
+                features,
+                heartbeats,
+                per_cluster_aggregates,
+            } => {
+                KIND_KMEANS.encode(w);
+                k.encode(w);
+                features.encode(w);
+                heartbeats.encode(w);
+                per_cluster_aggregates.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for QueryKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match u8::decode(r)? {
+            KIND_GROUPING_SETS => Ok(QueryKind::GroupingSets(GroupingQuery::decode(r)?)),
+            KIND_KMEANS => Ok(QueryKind::KMeans {
+                k: usize::decode(r)?,
+                features: Vec::<String>::decode(r)?,
+                heartbeats: usize::decode(r)?,
+                per_cluster_aggregates: Vec::<edgelet_ml::AggSpec>::decode(r)?,
+            }),
+            tag => Err(Error::Protocol(format!("unknown QueryKind tag {tag}"))),
+        }
+    }
+}
+
+impl Encode for QuerySpec {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        self.filter.encode(w);
+        self.snapshot_cardinality.encode(w);
+        self.kind.encode(w);
+        self.deadline_secs.encode(w);
+    }
+}
+
+impl Decode for QuerySpec {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Self {
+            id: QueryId::decode(r)?,
+            filter: Predicate::decode(r)?,
+            snapshot_cardinality: usize::decode(r)?,
+            kind: QueryKind::decode(r)?,
+            deadline_secs: f64::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +255,26 @@ mod tests {
         assert_eq!(cols, vec!["age", "bmi", "gir", "sex"]);
         let cols = kmeans_spec().referenced_columns();
         assert_eq!(cols, vec!["age", "bmi", "gir", "systolic_bp"]);
+    }
+
+    #[test]
+    fn spec_wire_roundtrip_both_kinds() {
+        for spec in [grouping_spec(), kmeans_spec()] {
+            let bytes = edgelet_wire::to_bytes(&spec);
+            let back: QuerySpec = edgelet_wire::from_bytes(&bytes).unwrap();
+            assert_eq!(back, spec);
+            // Byte-stable re-encode: the durable layer digests these bytes
+            // to match a recovered intent against the resubmitted spec.
+            assert_eq!(edgelet_wire::to_bytes(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_tag_rejected() {
+        let mut w = edgelet_wire::Writer::new();
+        7u8.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(edgelet_wire::from_bytes::<QueryKind>(&bytes).is_err());
     }
 
     #[test]

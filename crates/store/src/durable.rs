@@ -1,0 +1,650 @@
+//! Durable storage backends: the byte-level substrate under the WAL.
+//!
+//! The persistence layer is split in two. This module owns *where bytes
+//! live*: the [`DurableBackend`] trait abstracts an append-only log plus
+//! an atomically-replaceable checkpoint blob, with an in-memory
+//! implementation ([`MemBackend`]) for tests and a file-backed one
+//! ([`FileBackend`]) for production. The sibling [`crate::wal`] module
+//! owns *what the bytes mean* (record framing, checksums, recovery
+//! scans).
+//!
+//! Storage is a fault surface, not a trusted oracle: integrity attacks
+//! and torn writes against edge persistence must be detected rather than
+//! believed (see `docs/STORAGE.md`). [`FaultyBackend`] therefore injects
+//! the canonical failure modes — torn tails, truncated records, failed
+//! fsyncs, corrupted checksums — *deterministically* through the same
+//! trait, so the chaos harness and the recovery tests exercise exactly
+//! the code paths production uses.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Result alias for backend operations.
+pub type StorageResult<T> = std::result::Result<T, StorageError>;
+
+/// Why a backend operation failed.
+///
+/// The split drives the recovery policy: [`StorageError::Transient`]
+/// failures are retried with backoff (a busy disk, an interrupted
+/// syscall); [`StorageError::Unavailable`] means the backend cannot be
+/// trusted at all (missing directory, detected corruption) and the
+/// service degrades to read-only "drained" mode instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A failure that may succeed on retry.
+    Transient(String),
+    /// The backend is gone or its contents cannot be trusted.
+    Unavailable(String),
+}
+
+impl StorageError {
+    /// The message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            StorageError::Transient(m) | StorageError::Unavailable(m) => m,
+        }
+    }
+
+    /// Whether a retry may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Transient(_))
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Transient(m) => write!(f, "transient storage error: {m}"),
+            StorageError::Unavailable(m) => write!(f, "storage unavailable: {m}"),
+        }
+    }
+}
+
+impl From<StorageError> for edgelet_util::Error {
+    fn from(e: StorageError) -> Self {
+        edgelet_util::Error::Protocol(e.to_string())
+    }
+}
+
+/// An append-only log plus an atomically-replaceable checkpoint blob.
+///
+/// The contract every implementation upholds:
+///
+/// * `append` adds bytes at the end of the WAL; bytes are only *durable*
+///   once a subsequent `sync` returns `Ok`.
+/// * `read_wal` returns the entire log, including any torn tail a crash
+///   left behind — the recovery scan decides what to keep.
+/// * `truncate_wal(len)` discards everything past `len` (torn-tail
+///   repair).
+/// * `write_checkpoint` replaces the checkpoint blob atomically: a crash
+///   during the write leaves either the old or the new blob, never a
+///   mix.
+/// * `reset_wal` clears the log (called after a successful checkpoint,
+///   which subsumes it).
+pub trait DurableBackend: Send + Sync {
+    /// Appends bytes to the write-ahead log.
+    fn append(&self, bytes: &[u8]) -> StorageResult<()>;
+    /// Flushes appended bytes to durable media.
+    fn sync(&self) -> StorageResult<()>;
+    /// Reads the whole write-ahead log.
+    fn read_wal(&self) -> StorageResult<Vec<u8>>;
+    /// Discards every byte past `len` (torn-tail repair).
+    fn truncate_wal(&self, len: u64) -> StorageResult<()>;
+    /// Atomically replaces the checkpoint blob.
+    fn write_checkpoint(&self, bytes: &[u8]) -> StorageResult<()>;
+    /// Reads the checkpoint blob, `None` when no checkpoint exists.
+    fn read_checkpoint(&self) -> StorageResult<Option<Vec<u8>>>;
+    /// Clears the write-ahead log (after a checkpoint subsumed it).
+    fn reset_wal(&self) -> StorageResult<()>;
+}
+
+impl<B: DurableBackend + ?Sized> DurableBackend for std::sync::Arc<B> {
+    fn append(&self, bytes: &[u8]) -> StorageResult<()> {
+        (**self).append(bytes)
+    }
+    fn sync(&self) -> StorageResult<()> {
+        (**self).sync()
+    }
+    fn read_wal(&self) -> StorageResult<Vec<u8>> {
+        (**self).read_wal()
+    }
+    fn truncate_wal(&self, len: u64) -> StorageResult<()> {
+        (**self).truncate_wal(len)
+    }
+    fn write_checkpoint(&self, bytes: &[u8]) -> StorageResult<()> {
+        (**self).write_checkpoint(bytes)
+    }
+    fn read_checkpoint(&self) -> StorageResult<Option<Vec<u8>>> {
+        (**self).read_checkpoint()
+    }
+    fn reset_wal(&self) -> StorageResult<()> {
+        (**self).reset_wal()
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct MemState {
+    wal: Vec<u8>,
+    checkpoint: Option<Vec<u8>>,
+}
+
+/// The in-memory backend: a `Vec<u8>` WAL and an optional checkpoint
+/// blob behind one mutex. Used by unit tests, the crash-restart parity
+/// keystone (a "restart" re-opens the same `Arc`), and the chaos
+/// storage drills.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    state: Mutex<MemState>,
+}
+
+impl MemBackend {
+    /// Creates an empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current WAL length in bytes (test inspection).
+    pub fn wal_len(&self) -> usize {
+        lock(&self.state).wal.len()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl DurableBackend for MemBackend {
+    fn append(&self, bytes: &[u8]) -> StorageResult<()> {
+        lock(&self.state).wal.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        Ok(())
+    }
+
+    fn read_wal(&self) -> StorageResult<Vec<u8>> {
+        Ok(lock(&self.state).wal.clone())
+    }
+
+    fn truncate_wal(&self, len: u64) -> StorageResult<()> {
+        let mut st = lock(&self.state);
+        let len = usize::try_from(len).unwrap_or(usize::MAX);
+        if len < st.wal.len() {
+            st.wal.truncate(len);
+        }
+        Ok(())
+    }
+
+    fn write_checkpoint(&self, bytes: &[u8]) -> StorageResult<()> {
+        lock(&self.state).checkpoint = Some(bytes.to_vec());
+        Ok(())
+    }
+
+    fn read_checkpoint(&self) -> StorageResult<Option<Vec<u8>>> {
+        Ok(lock(&self.state).checkpoint.clone())
+    }
+
+    fn reset_wal(&self) -> StorageResult<()> {
+        lock(&self.state).wal.clear();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// File backend
+// ---------------------------------------------------------------------
+
+/// The file-backed backend: `wal.log` (append-only) and
+/// `checkpoint.bin` (replaced via write-to-temp + rename, the standard
+/// atomic-replace idiom) inside one directory.
+pub struct FileBackend {
+    dir: PathBuf,
+    // The append handle is kept open for the backend's lifetime; the
+    // mutex serializes appends from concurrent queries.
+    wal: Mutex<std::fs::File>,
+}
+
+impl fmt::Debug for FileBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileBackend")
+            .field("dir", &self.dir)
+            .finish()
+    }
+}
+
+fn io_err(what: &str, path: &Path, e: &std::io::Error) -> StorageError {
+    // Interrupted/timed-out syscalls are worth retrying; everything
+    // else (missing directory, permissions, full disk) is a state the
+    // caller must handle, not wait out.
+    let msg = format!("{what} {}: {e}", path.display());
+    match e.kind() {
+        std::io::ErrorKind::Interrupted | std::io::ErrorKind::TimedOut => {
+            StorageError::Transient(msg)
+        }
+        _ => StorageError::Unavailable(msg),
+    }
+}
+
+impl FileBackend {
+    /// Opens (creating if needed) a file backend rooted at `dir`.
+    ///
+    /// Fails with [`StorageError::Unavailable`] when `dir` exists but is
+    /// not a directory, or cannot be created/written — the caller is
+    /// expected to degrade to drained mode rather than abort.
+    pub fn open(dir: impl Into<PathBuf>) -> StorageResult<Self> {
+        let dir = dir.into();
+        if dir.exists() && !dir.is_dir() {
+            return Err(StorageError::Unavailable(format!(
+                "WAL path {} exists but is not a directory",
+                dir.display()
+            )));
+        }
+        std::fs::create_dir_all(&dir).map_err(|e| io_err("create WAL dir", &dir, &e))?;
+        let wal_path = dir.join("wal.log");
+        let wal = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)
+            .map_err(|e| io_err("open WAL", &wal_path, &e))?;
+        Ok(FileBackend {
+            dir,
+            wal: Mutex::new(wal),
+        })
+    }
+
+    /// The directory this backend lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join("wal.log")
+    }
+
+    fn checkpoint_path(&self) -> PathBuf {
+        self.dir.join("checkpoint.bin")
+    }
+}
+
+impl DurableBackend for FileBackend {
+    fn append(&self, bytes: &[u8]) -> StorageResult<()> {
+        let mut wal = lock(&self.wal);
+        wal.write_all(bytes)
+            .map_err(|e| io_err("append WAL", &self.wal_path(), &e))
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        let wal = lock(&self.wal);
+        wal.sync_data()
+            .map_err(|e| io_err("sync WAL", &self.wal_path(), &e))
+    }
+
+    fn read_wal(&self) -> StorageResult<Vec<u8>> {
+        let path = self.wal_path();
+        std::fs::read(&path).map_err(|e| io_err("read WAL", &path, &e))
+    }
+
+    fn truncate_wal(&self, len: u64) -> StorageResult<()> {
+        let wal = lock(&self.wal);
+        wal.set_len(len)
+            .map_err(|e| io_err("truncate WAL", &self.wal_path(), &e))
+    }
+
+    fn write_checkpoint(&self, bytes: &[u8]) -> StorageResult<()> {
+        let tmp = self.dir.join("checkpoint.tmp");
+        let path = self.checkpoint_path();
+        let write = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_data()?;
+            std::fs::rename(&tmp, &path)
+        };
+        write().map_err(|e| io_err("write checkpoint", &path, &e))
+    }
+
+    fn read_checkpoint(&self) -> StorageResult<Option<Vec<u8>>> {
+        let path = self.checkpoint_path();
+        match std::fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("read checkpoint", &path, &e)),
+        }
+    }
+
+    fn reset_wal(&self) -> StorageResult<()> {
+        self.truncate_wal(0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic storage-fault injection
+// ---------------------------------------------------------------------
+
+/// One injected storage failure mode (the chaos `FaultPlan` DSL's
+/// storage-side counterpart; see `docs/FAULTS.md` and `docs/STORAGE.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageFaultAction {
+    /// A crash mid-write: only the first `keep` bytes of the record land
+    /// on media, and every later backend operation fails (the process
+    /// holding the file died). Recovery must detect and drop the tail.
+    TornTail {
+        /// Bytes of the faulted append that reach the media.
+        keep: u64,
+    },
+    /// A silently truncated record *mid-log*: only `keep` bytes land,
+    /// but the backend keeps accepting later appends. Recovery must
+    /// detect the framing damage and refuse the log (drained mode) —
+    /// the records after the cut cannot be re-synchronized.
+    TruncatedRecord {
+        /// Bytes of the faulted append that reach the media.
+        keep: u64,
+    },
+    /// The next `times` `sync` calls fail transiently (busy media);
+    /// retry-with-backoff must ride them out.
+    FailedSync {
+        /// Consecutive syncs that fail before the media recovers.
+        times: u32,
+    },
+    /// One byte of the appended record is flipped, so its CRC-32 check
+    /// fails on replay.
+    CorruptChecksum {
+        /// Offset of the flipped byte within the record.
+        byte: u64,
+    },
+}
+
+impl StorageFaultAction {
+    /// Stable name used in corpus entries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageFaultAction::TornTail { .. } => "torn-tail",
+            StorageFaultAction::TruncatedRecord { .. } => "truncated-record",
+            StorageFaultAction::FailedSync { .. } => "failed-sync",
+            StorageFaultAction::CorruptChecksum { .. } => "corrupt-checksum",
+        }
+    }
+}
+
+/// One storage-fault rule: fire `action` on the `at_append`-th append
+/// (1-based), deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageFaultRule {
+    /// 1-based index of the append the fault strikes.
+    pub at_append: u64,
+    /// What happens to that append.
+    pub action: StorageFaultAction,
+}
+
+/// An ordered set of storage-fault rules.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StorageFaultPlan {
+    /// The rules, checked against every append in order; the first rule
+    /// matching the append index fires.
+    pub rules: Vec<StorageFaultRule>,
+}
+
+impl StorageFaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule, builder style.
+    pub fn with(mut self, at_append: u64, action: StorageFaultAction) -> Self {
+        self.rules.push(StorageFaultRule { at_append, action });
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    appends: u64,
+    failing_syncs: u32,
+    dead: bool,
+}
+
+/// A [`DurableBackend`] decorator that injects the faults of a
+/// [`StorageFaultPlan`] into an inner backend, deterministically by
+/// append index — no clock, no randomness, so a chaos corpus entry
+/// replays bit-for-bit.
+#[derive(Debug)]
+pub struct FaultyBackend<B> {
+    inner: B,
+    plan: StorageFaultPlan,
+    state: Mutex<FaultState>,
+}
+
+impl<B: DurableBackend> FaultyBackend<B> {
+    /// Wraps `inner`, injecting `plan`.
+    pub fn new(inner: B, plan: StorageFaultPlan) -> Self {
+        FaultyBackend {
+            inner,
+            plan,
+            state: Mutex::new(FaultState::default()),
+        }
+    }
+
+    /// The wrapped backend (e.g. to "restart" against the surviving
+    /// bytes after a torn-tail crash).
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    fn dead_check(&self) -> StorageResult<()> {
+        if lock(&self.state).dead {
+            return Err(StorageError::Unavailable(
+                "injected fault: backend crashed (torn tail)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<B: DurableBackend> DurableBackend for FaultyBackend<B> {
+    fn append(&self, bytes: &[u8]) -> StorageResult<()> {
+        let mut st = lock(&self.state);
+        if st.dead {
+            return Err(StorageError::Unavailable(
+                "injected fault: backend crashed (torn tail)".into(),
+            ));
+        }
+        st.appends += 1;
+        let fired = self
+            .plan
+            .rules
+            .iter()
+            .find(|r| r.at_append == st.appends)
+            .map(|r| r.action.clone());
+        match fired {
+            None => {
+                drop(st);
+                self.inner.append(bytes)
+            }
+            Some(StorageFaultAction::TornTail { keep }) => {
+                st.dead = true;
+                drop(st);
+                let keep = usize::try_from(keep).unwrap_or(usize::MAX).min(bytes.len());
+                self.inner.append(&bytes[..keep])?;
+                Err(StorageError::Unavailable(
+                    "injected fault: torn tail (partial append, backend crashed)".into(),
+                ))
+            }
+            Some(StorageFaultAction::TruncatedRecord { keep }) => {
+                drop(st);
+                let keep = usize::try_from(keep).unwrap_or(usize::MAX).min(bytes.len());
+                // The cut is silent: the append reports success.
+                self.inner.append(&bytes[..keep])
+            }
+            Some(StorageFaultAction::FailedSync { times }) => {
+                st.failing_syncs = st.failing_syncs.max(times);
+                drop(st);
+                self.inner.append(bytes)
+            }
+            Some(StorageFaultAction::CorruptChecksum { byte }) => {
+                drop(st);
+                let mut corrupt = bytes.to_vec();
+                if let Some(b) = usize::try_from(byte).ok().and_then(|i| corrupt.get_mut(i)) {
+                    *b ^= 0xFF;
+                }
+                self.inner.append(&corrupt)
+            }
+        }
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        let mut st = lock(&self.state);
+        if st.dead {
+            return Err(StorageError::Unavailable(
+                "injected fault: backend crashed (torn tail)".into(),
+            ));
+        }
+        if st.failing_syncs > 0 {
+            st.failing_syncs -= 1;
+            return Err(StorageError::Transient(
+                "injected fault: fsync failed".into(),
+            ));
+        }
+        drop(st);
+        self.inner.sync()
+    }
+
+    fn read_wal(&self) -> StorageResult<Vec<u8>> {
+        self.dead_check()?;
+        self.inner.read_wal()
+    }
+
+    fn truncate_wal(&self, len: u64) -> StorageResult<()> {
+        self.dead_check()?;
+        self.inner.truncate_wal(len)
+    }
+
+    fn write_checkpoint(&self, bytes: &[u8]) -> StorageResult<()> {
+        self.dead_check()?;
+        self.inner.write_checkpoint(bytes)
+    }
+
+    fn read_checkpoint(&self) -> StorageResult<Option<Vec<u8>>> {
+        self.dead_check()?;
+        self.inner.read_checkpoint()
+    }
+
+    fn reset_wal(&self) -> StorageResult<()> {
+        self.dead_check()?;
+        self.inner.reset_wal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_round_trips() {
+        let b = MemBackend::new();
+        b.append(b"hello ").unwrap();
+        b.append(b"world").unwrap();
+        b.sync().unwrap();
+        assert_eq!(b.read_wal().unwrap(), b"hello world");
+        b.truncate_wal(5).unwrap();
+        assert_eq!(b.read_wal().unwrap(), b"hello");
+        assert_eq!(b.read_checkpoint().unwrap(), None);
+        b.write_checkpoint(b"state").unwrap();
+        assert_eq!(b.read_checkpoint().unwrap().as_deref(), Some(&b"state"[..]));
+        b.reset_wal().unwrap();
+        assert!(b.read_wal().unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_backend_round_trips_and_survives_reopen() {
+        let dir =
+            std::env::temp_dir().join(format!("edgelet-store-test-{}-file-rt", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let b = FileBackend::open(&dir).unwrap();
+            b.append(b"abc").unwrap();
+            b.append(b"def").unwrap();
+            b.sync().unwrap();
+            b.write_checkpoint(b"ckpt").unwrap();
+        }
+        {
+            // A "restarted process" sees the synced bytes.
+            let b = FileBackend::open(&dir).unwrap();
+            assert_eq!(b.read_wal().unwrap(), b"abcdef");
+            assert_eq!(b.read_checkpoint().unwrap().as_deref(), Some(&b"ckpt"[..]));
+            b.truncate_wal(3).unwrap();
+            assert_eq!(b.read_wal().unwrap(), b"abc");
+            b.reset_wal().unwrap();
+            assert!(b.read_wal().unwrap().is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_refuses_non_directory_path() {
+        let path = std::env::temp_dir().join(format!(
+            "edgelet-store-test-{}-not-a-dir",
+            std::process::id()
+        ));
+        std::fs::write(&path, b"file in the way").unwrap();
+        let err = FileBackend::open(&path).unwrap_err();
+        assert!(!err.is_transient());
+        assert!(err.message().contains("not a directory"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_writes_prefix_then_kills_backend() {
+        let b = FaultyBackend::new(
+            MemBackend::new(),
+            StorageFaultPlan::new().with(2, StorageFaultAction::TornTail { keep: 3 }),
+        );
+        b.append(b"first").unwrap();
+        let err = b.append(b"second").unwrap_err();
+        assert!(!err.is_transient());
+        // Later operations fail too: the writing process is "dead".
+        assert!(b.append(b"third").is_err());
+        assert!(b.sync().is_err());
+        // The surviving bytes (on the inner backend) hold the torn tail.
+        assert_eq!(b.inner().read_wal().unwrap(), b"firstsec");
+    }
+
+    #[test]
+    fn truncated_record_is_silent() {
+        let b = FaultyBackend::new(
+            MemBackend::new(),
+            StorageFaultPlan::new().with(1, StorageFaultAction::TruncatedRecord { keep: 2 }),
+        );
+        b.append(b"first").unwrap(); // silently cut to "fi"
+        b.append(b"second").unwrap();
+        assert_eq!(b.inner().read_wal().unwrap(), b"fisecond");
+    }
+
+    #[test]
+    fn failed_sync_is_transient_and_bounded() {
+        let b = FaultyBackend::new(
+            MemBackend::new(),
+            StorageFaultPlan::new().with(1, StorageFaultAction::FailedSync { times: 2 }),
+        );
+        b.append(b"record").unwrap();
+        assert!(b.sync().unwrap_err().is_transient());
+        assert!(b.sync().unwrap_err().is_transient());
+        b.sync().unwrap();
+    }
+
+    #[test]
+    fn corrupt_checksum_flips_one_byte() {
+        let b = FaultyBackend::new(
+            MemBackend::new(),
+            StorageFaultPlan::new().with(1, StorageFaultAction::CorruptChecksum { byte: 1 }),
+        );
+        b.append(&[0x10, 0x20, 0x30]).unwrap();
+        assert_eq!(b.inner().read_wal().unwrap(), vec![0x10, 0xDF, 0x30]);
+    }
+}

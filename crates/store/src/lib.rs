@@ -11,6 +11,13 @@
 //! * [`expr`] — the predicate language (`age > 65 AND gir <= 3`);
 //! * [`store`] — the store itself: insert, filtered scans, projection,
 //!   reservoir sampling;
+//! * [`durable`] — durability substrate: the [`DurableBackend`] trait
+//!   over an append-only log + checkpoint blob, with in-memory and
+//!   file-backed implementations and deterministic storage-fault
+//!   injection ([`FaultyBackend`]);
+//! * [`wal`] — checksummed, length-prefixed WAL record framing, the
+//!   torn-tail/corruption recovery scan, and the retrying
+//!   [`DurableLog`] front end (see `docs/STORAGE.md`);
 //! * [`index`] — sorted secondary indexes for range lookups;
 //! * [`synth`] — the synthetic health-survey dataset generator standing in
 //!   for the private DomYcile data (see DESIGN.md §2);
@@ -20,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod durable;
 pub mod expr;
 pub mod index;
 pub mod row;
@@ -27,10 +35,16 @@ pub mod schema;
 pub mod store;
 pub mod synth;
 pub mod value;
+pub mod wal;
 
+pub use durable::{
+    DurableBackend, FaultyBackend, FileBackend, MemBackend, StorageError, StorageFaultAction,
+    StorageFaultPlan, StorageFaultRule, StorageResult,
+};
 pub use expr::{CmpOp, Predicate};
 pub use index::SortedIndex;
 pub use row::Row;
 pub use schema::{Column, Schema};
 pub use store::DataStore;
 pub use value::{ColumnType, Value};
+pub use wal::{frame_record, scan_wal, DurableLog, Recovered, RetryPolicy, TailState, WalScan};

@@ -9,9 +9,14 @@ use edgelet_wire::{Decode, Encode, Reader, Writer};
 
 /// An in-memory row store conforming to a schema.
 ///
-/// One instance lives on each edgelet (on the home box it would sit on the
-/// micro-SD card; persistence is orthogonal to the protocols we reproduce,
-/// so the store is memory-resident).
+/// One instance lives on each edgelet (on the home box it would sit on
+/// the micro-SD card). The working set is memory-resident for speed;
+/// durability is layered underneath, not bolted on here: service-level
+/// state (liability ledgers, epochs, in-flight query intents) is
+/// persisted through the [`crate::durable::DurableBackend`] trait as a
+/// checksummed write-ahead log plus periodic checkpoints, and replayed
+/// idempotently on restart — see [`crate::wal`] and `docs/STORAGE.md`
+/// for the recovery model.
 #[derive(Debug, Clone)]
 pub struct DataStore {
     schema: Schema,

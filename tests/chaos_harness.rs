@@ -53,12 +53,18 @@ fn campaign_is_deterministic() {
 /// recorded with. The pinned entries are regression tests for fixed
 /// invariant violations — e.g. `grouping-dup-partials` pins the
 /// combiner's partial-idempotence guard (a duplicated partial was once
-/// ledger-charged twice).
+/// ledger-charged twice), and `grouping-storage-torn-tail` pins
+/// crash-restart durability (a WAL append torn mid-write must repair
+/// to a byte-identical recovered run).
 #[test]
 fn shipped_corpus_replays_to_recorded_verdicts() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/chaos_corpus");
     let entries = load_dir(&dir).unwrap();
-    assert!(entries.len() >= 3, "corpus unexpectedly small");
+    assert!(entries.len() >= 4, "corpus unexpectedly small");
+    assert!(
+        entries.iter().any(|(_, e)| !e.storage.rules.is_empty()),
+        "the corpus must carry at least one storage-fault pin"
+    );
     for (name, entry) in entries {
         let report = entry.replay().unwrap();
         assert!(

@@ -1,0 +1,296 @@
+//! Crash-restart parity: the durability keystone.
+//!
+//! For a corpus of seeded worlds, a query service is killed at each of
+//! the three scripted crash points in the durable submit path
+//! (`after-admit`, `mid-query`, `before-checkpoint`), a fresh service
+//! is recovered over the same backend, and the query is finished. The
+//! recovered outcome must be **byte-identical** to an uninterrupted
+//! run: same result payload, same per-device liability ledger, same
+//! trace digest. The second half pins the storage-fault policies: a
+//! torn tail is repaired, mid-log damage drains the service to
+//! read-only (never silently mis-charging a ledger), and replaying the
+//! same WAL twice is idempotent.
+
+use edgelet_chaos::FaultPlan;
+use edgelet_core::{Platform, PlatformConfig};
+use edgelet_live::{
+    CrashPoint, DurabilityConfig, QueryService, ServiceConfig, SubmitError, SubmitOutcome,
+};
+use edgelet_ml::AggSpec;
+use edgelet_query::{PrivacyConfig, QuerySpec, ResilienceConfig, Strategy};
+use edgelet_store::{
+    DurableBackend, FaultyBackend, MemBackend, StorageFaultAction, StorageFaultPlan,
+};
+use edgelet_store::{DurableLog, RetryPolicy};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+const SEEDS: u64 = 8;
+
+/// One seeded world: a platform plus the query to run on it.
+fn world(seed: u64) -> (Platform, QuerySpec, PrivacyConfig, ResilienceConfig) {
+    let mut platform = Platform::build(PlatformConfig {
+        seed,
+        contributors: 90,
+        processors: 24,
+        fault_plan: Some(FaultPlan::new()),
+        trace_capacity: 1 << 16,
+        ..PlatformConfig::default()
+    });
+    let spec = platform.grouping_query(
+        edgelet_store::Predicate::True,
+        40,
+        &[&["sex"], &[]],
+        vec![AggSpec::count_star()],
+    );
+    let privacy = PrivacyConfig::none().with_max_tuples(20);
+    let resilience = ResilienceConfig {
+        failure_probability: 0.1,
+        target_validity: 0.99,
+        strategy: Strategy::Backup,
+        max_overcollection: 64,
+        max_backups: 4,
+    };
+    (platform, spec, privacy, resilience)
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        max_concurrent: 2,
+        mailbox_capacity: 4096,
+    }
+}
+
+fn durable_service(
+    seed: u64,
+    backend: Arc<dyn DurableBackend>,
+    crash_at: Option<CrashPoint>,
+) -> (
+    QueryService,
+    QuerySpec,
+    PrivacyConfig,
+    ResilienceConfig,
+    edgelet_live::RecoveryReport,
+) {
+    let (platform, spec, privacy, resilience) = world(seed);
+    let (service, report) = QueryService::with_durability(
+        platform,
+        service_config(),
+        backend,
+        DurabilityConfig {
+            // > 1 so completions live in the WAL (not a checkpoint)
+            // across at least one restart, exercising replay.
+            checkpoint_every: 2,
+            crash_at,
+            crash_handler: None,
+        },
+    );
+    (service, spec, privacy, resilience, report)
+}
+
+fn submit(
+    service: &QueryService,
+    spec: &QuerySpec,
+    privacy: &PrivacyConfig,
+    resilience: &ResilienceConfig,
+) -> Result<SubmitOutcome, SubmitError> {
+    service.submit(spec, privacy, resilience, None)
+}
+
+/// The keystone: kill at every scripted point, recover, finish, and
+/// require byte identity with the uninterrupted run.
+#[test]
+fn killed_service_recovers_to_byte_identical_outcomes() {
+    for seed in 0..SEEDS {
+        // Uninterrupted reference run on a fresh backend.
+        let (service, spec, privacy, resilience, report) =
+            durable_service(seed, Arc::new(MemBackend::new()), None);
+        assert!(!report.recovered_anything(), "fresh log recovers trivially");
+        let reference = submit(&service, &spec, &privacy, &resilience).expect("reference run");
+        assert!(reference.succeeded() && !reference.recovered);
+        service.shutdown();
+
+        for point in CrashPoint::ALL {
+            let backend = Arc::new(MemBackend::new());
+            let ctx = format!("seed={seed} crash-at={point}");
+
+            // Run into the scripted crash. The panic is the simulated
+            // power cut; the service incarnation dies with it.
+            let (service, spec, privacy, resilience, _) =
+                durable_service(seed, backend.clone(), Some(point));
+            let crash = catch_unwind(AssertUnwindSafe(|| {
+                submit(&service, &spec, &privacy, &resilience)
+            }));
+            assert!(crash.is_err(), "the crash point must trip ({ctx})");
+            drop(service);
+
+            // Restart over the same backend and finish the query.
+            let (service, spec, privacy, resilience, report) =
+                durable_service(seed, backend.clone(), None);
+            assert!(report.drained.is_none(), "recovery must succeed ({ctx})");
+            let interrupted_pending = point != CrashPoint::BeforeCheckpoint;
+            assert_eq!(
+                report.pending.len(),
+                usize::from(interrupted_pending),
+                "pending intents after recovery ({ctx})"
+            );
+            let recovered = submit(&service, &spec, &privacy, &resilience)
+                .unwrap_or_else(|e| panic!("recovered run failed ({ctx}): {e}"));
+            assert!(recovered.succeeded(), "{ctx}");
+            assert_eq!(
+                recovered.recovered, interrupted_pending,
+                "epoch reuse only for interrupted intents ({ctx})"
+            );
+            if interrupted_pending {
+                assert_eq!(
+                    recovered.epoch, reference.epoch,
+                    "a pending intent re-runs under its original epoch ({ctx})"
+                );
+            }
+
+            // Byte identity with the uninterrupted run.
+            assert_eq!(
+                recovered.run.report.result_payload, reference.run.report.result_payload,
+                "result payload bytes diverged ({ctx})"
+            );
+            assert_eq!(
+                recovered.run.report.ledger.entries(),
+                reference.run.report.ledger.entries(),
+                "liability ledgers diverged ({ctx})"
+            );
+            assert_eq!(
+                recovered.run.trace_digest, reference.run.trace_digest,
+                "trace digests diverged ({ctx})"
+            );
+            assert_eq!(
+                edgelet_live::state_crc(&recovered.run),
+                edgelet_live::state_crc(&reference.run),
+                "state CRCs diverged ({ctx})"
+            );
+            service.shutdown();
+        }
+    }
+}
+
+/// Restarting twice without new work must not change durable balances:
+/// the WAL-after-checkpoint segment is replayed on both restarts, and
+/// the `applied`-set guard keeps the second replay a no-op.
+#[test]
+fn ledger_balances_survive_repeated_replay_across_restarts() {
+    let backend = Arc::new(MemBackend::new());
+    let (service, spec, privacy, resilience, _) = durable_service(3, backend.clone(), None);
+    // Three submissions with checkpoint_every = 2: one completion stays
+    // in the WAL past the last checkpoint.
+    for _ in 0..3 {
+        submit(&service, &spec, &privacy, &resilience).expect("submission");
+    }
+    let once = service
+        .cumulative_ledger()
+        .expect("durable services track a cumulative ledger");
+    service.shutdown();
+
+    let (restarted, _, _, _, report) = durable_service(3, backend.clone(), None);
+    assert!(report.records_replayed > 0, "the WAL tail must replay");
+    let after_one_restart = restarted.cumulative_ledger().expect("cumulative ledger");
+    restarted.shutdown();
+
+    let (restarted_again, _, _, _, _) = durable_service(3, backend, None);
+    let after_two_restarts = restarted_again
+        .cumulative_ledger()
+        .expect("cumulative ledger");
+    restarted_again.shutdown();
+
+    assert_eq!(
+        once.entries(),
+        after_one_restart.entries(),
+        "replay must not change balances"
+    );
+    assert_eq!(
+        after_one_restart.entries(),
+        after_two_restarts.entries(),
+        "a second replay of the same segment must be a no-op"
+    );
+}
+
+/// A torn tail (crash mid-append) is repaired on recovery: the service
+/// comes back writable and finishes the interrupted query.
+#[test]
+fn torn_tail_is_repaired_and_the_query_finished() {
+    let backend = Arc::new(MemBackend::new());
+    // Fault: the 2nd append (the completion record) tears after 6 bytes
+    // and the backend dies, as a power cut mid-write would.
+    let faulty: Arc<dyn DurableBackend> = Arc::new(FaultyBackend::new(
+        backend.clone(),
+        StorageFaultPlan::new().with(2, StorageFaultAction::TornTail { keep: 6 }),
+    ));
+    let (service, spec, privacy, resilience, _) = durable_service(1, faulty, None);
+    let err = submit(&service, &spec, &privacy, &resilience)
+        .expect_err("the torn completion append must fail the submit");
+    assert!(matches!(err, SubmitError::ReadOnly { .. }), "{err}");
+    assert!(service.is_drained(), "a dead backend drains the service");
+    // Drained mode refuses further work with the same verdict.
+    let again = submit(&service, &spec, &privacy, &resilience).expect_err("drained");
+    assert!(matches!(again, SubmitError::ReadOnly { .. }));
+    service.shutdown();
+
+    // Restart on the repaired media: the tail is truncated, the intent
+    // is pending, and the query finishes.
+    let (service, spec, privacy, resilience, report) = durable_service(1, backend, None);
+    assert!(report.repaired_tail.is_some(), "the torn tail must repair");
+    assert_eq!(report.pending.len(), 1);
+    let outcome = submit(&service, &spec, &privacy, &resilience).expect("recovered run");
+    assert!(outcome.recovered && outcome.succeeded());
+    service.shutdown();
+}
+
+/// Mid-log damage (a truncated or checksum-corrupt non-final record)
+/// must never be replayed: the service comes up drained, read-only,
+/// with the corruption named — not with a silently wrong ledger.
+#[test]
+fn mid_log_corruption_drains_the_service_read_only() {
+    let backend = Arc::new(MemBackend::new());
+    {
+        // Silently cut the first record short while later appends land
+        // intact — the signature of undetected media damage.
+        let faulty: Arc<dyn DurableBackend> = Arc::new(FaultyBackend::new(
+            backend.clone(),
+            StorageFaultPlan::new().with(1, StorageFaultAction::TruncatedRecord { keep: 4 }),
+        ));
+        let log = DurableLog::new(faulty, RetryPolicy::immediate(2));
+        log.append(b"cut-short").expect("silent fault");
+        log.append(b"acknowledged-after").expect("lands intact");
+    }
+    let (service, spec, privacy, resilience, report) = durable_service(2, backend, None);
+    let reason = report.drained.expect("corrupt WAL must drain the service");
+    assert!(reason.contains("refusing to replay"), "{reason}");
+    assert!(service.is_drained());
+    let err = submit(&service, &spec, &privacy, &resilience).expect_err("read-only");
+    match err {
+        SubmitError::ReadOnly { reason } => {
+            assert!(reason.contains("refusing to replay"), "{reason}")
+        }
+        other => panic!("expected ReadOnly, got {other}"),
+    }
+    service.shutdown();
+}
+
+/// A checksum flip on the *final* record is indistinguishable from a
+/// torn write and is dropped on recovery rather than trusted.
+#[test]
+fn corrupt_checksum_on_the_tail_is_dropped_not_replayed() {
+    let backend = Arc::new(MemBackend::new());
+    {
+        let faulty: Arc<dyn DurableBackend> = Arc::new(FaultyBackend::new(
+            backend.clone(),
+            StorageFaultPlan::new().with(2, StorageFaultAction::CorruptChecksum { byte: 8 }),
+        ));
+        let log = DurableLog::new(faulty, RetryPolicy::immediate(2));
+        log.append(b"kept").expect("clean append");
+        log.append(b"flipped").expect("silently corrupted");
+    }
+    let log = DurableLog::new(backend, RetryPolicy::immediate(2));
+    let recovered = log.recover().expect("tail damage is repairable");
+    assert_eq!(recovered.records, vec![b"kept".to_vec()]);
+    assert!(recovered.repaired.is_some());
+}
