@@ -169,6 +169,15 @@ fn find_calls(line: &str, known: &BTreeSet<String>) -> Vec<(usize, String)> {
             continue;
         }
         let ident = &line[start..i];
+        if ident == "append" && i < bytes.len() && bytes[i] == b'(' {
+            // `OpenOptions::append(true)` is the file-open builder
+            // flag, not a log append: a bool argument is never a
+            // record.
+            let rest = line[i + 1..].trim_start();
+            if rest.starts_with("true") || rest.starts_with("false") {
+                continue;
+            }
+        }
         if i < bytes.len()
             && bytes[i] == b'('
             && ident != "lock"
@@ -1054,6 +1063,29 @@ mod tests {
             "{found:#?}"
         );
         assert!(found[0].message.contains("`flush`"), "{found:#?}");
+    }
+
+    #[test]
+    fn openoptions_append_builder_is_not_a_log_append() {
+        // `OpenOptions::append(true)` must not resolve to a same-crate
+        // `fn append` that blocks: the bool flag is a builder, not a
+        // record write.
+        let src = format!(
+            "{HELPER}\
+             struct S {{ a: Mutex<u32> }}\n\
+             impl S {{\n\
+                 fn append(&self, t: &dyn Transport, env: Envelope) {{\n\
+                     let _ = t.submit(env);\n\
+                 }}\n\
+                 fn reopen(&self) {{\n\
+                     let g = lock(&self.a);\n\
+                     let f = std::fs::OpenOptions::new().append(true).open(\"w\");\n\
+                     drop(g);\n\
+                 }}\n\
+             }}\n"
+        );
+        let found = check_source("crates/store/src/x.rs", "store", &src);
+        assert!(found.is_empty(), "{found:#?}");
     }
 
     #[test]

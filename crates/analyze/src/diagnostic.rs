@@ -275,6 +275,13 @@ pub mod codes {
     /// The configuration plans for crashes but durability is disabled:
     /// every crash loses ledgers, epochs, and in-flight queries.
     pub const STORAGE_VOLATILE_UNDER_CRASHES: &str = "W142";
+    /// The group-commit window eats a large share of the query's wall
+    /// deadline slack: durable submits stall in the commit window.
+    pub const STORAGE_WINDOW_OVER_DEADLINE: &str = "W143";
+    /// The WAL segment size is below one checkpoint interval's churn:
+    /// the log rotates several times per checkpoint for no compaction
+    /// gain.
+    pub const STORAGE_SEGMENT_THRASH: &str = "W144";
     /// The lock-order graph has a cycle: two lock classes are acquired
     /// in opposite orders on different code paths, so two threads can
     /// deadlock holding one each.
@@ -441,6 +448,16 @@ pub mod codes {
             STORAGE_VOLATILE_UNDER_CRASHES,
             Severity::Warning,
             "crash-planning configuration without durability",
+        ),
+        (
+            STORAGE_WINDOW_OVER_DEADLINE,
+            Severity::Warning,
+            "group-commit window eats the wall-deadline slack",
+        ),
+        (
+            STORAGE_SEGMENT_THRASH,
+            Severity::Warning,
+            "WAL segment size below checkpoint churn causes rotation thrash",
         ),
         (
             CONC_LOCK_ORDER_CYCLE,

@@ -147,22 +147,26 @@ fn wal_payload(i: usize) -> Vec<u8> {
     p
 }
 
-/// Durable-store append path: frame + checksum + append + sync of 1000
-/// 1 KiB records through [`DurableLog`](edgelet_core::store::DurableLog)
-/// onto an in-memory backend (mirrors `store/wal_append`). Measures the
-/// logging overhead the durable service pays per completion, isolated
-/// from disk hardware.
+/// Durable-store append path: frame + checksum + group-commit of 1000
+/// 1 KiB records through
+/// [`GroupCommitLog`](edgelet_core::store::GroupCommitLog) onto an
+/// in-memory backend (mirrors `store/wal_append`). The batch rides the
+/// group-commit fast path — one contiguous media write and one sync for
+/// the whole batch — so this measures the logging overhead the durable
+/// service pays per completion, isolated from disk hardware.
 pub fn store_wal_append() -> SuiteResult {
-    use edgelet_core::store::{DurableLog, MemBackend, RetryPolicy};
+    use edgelet_core::store::{GroupCommitConfig, GroupCommitLog, MemBackend, RetryPolicy};
     use std::sync::Arc;
 
     let bytes = (WAL_RECORDS * WAL_RECORD_BYTES) as f64;
     let payloads: Vec<Vec<u8>> = (0..WAL_RECORDS).map(wal_payload).collect();
     let ns = median_ns(|| {
-        let log = DurableLog::new(Arc::new(MemBackend::new()), RetryPolicy::default());
-        for p in &payloads {
-            log.append(p).expect("in-memory append");
-        }
+        let log = GroupCommitLog::new(
+            Arc::new(MemBackend::new()),
+            RetryPolicy::default(),
+            GroupCommitConfig::default(),
+        );
+        log.commit_all(&payloads).expect("in-memory commit");
         log
     });
     SuiteResult {
@@ -175,7 +179,9 @@ pub fn store_wal_append() -> SuiteResult {
 }
 
 /// Durable-store recovery path: scanning and CRC-verifying a 1000-record
-/// WAL back into memory (mirrors `store/recovery_replay`). This bounds
+/// WAL back into memory (mirrors `store/recovery_replay`). Recovery
+/// returns zero-copy `Payload` slices into the
+/// segment buffers rather than one owned `Vec` per record. This bounds
 /// the restart cost of a service whose WAL has grown to one checkpoint
 /// interval. Log construction is hoisted out of the timing.
 pub fn store_recovery_replay() -> SuiteResult {
@@ -752,6 +758,18 @@ pub fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// Below this many logical CPUs a report is flagged `low_parallelism`:
+/// the `@shards4` / `@workers4` suites cannot actually run 4-wide, so
+/// their speedups (and any comparison against a wider machine) under-
+/// report.
+pub const LOW_PARALLELISM_CPUS: usize = 4;
+
+/// Whether this machine is too narrow for the parallel suites to mean
+/// what they say (see [`LOW_PARALLELISM_CPUS`]).
+pub fn low_parallelism() -> bool {
+    available_parallelism() < LOW_PARALLELISM_CPUS
+}
+
 /// The short git revision of the working tree, or `"unknown"` outside a
 /// checkout (reports stay comparable either way; the key is advisory).
 pub fn git_revision() -> String {
@@ -788,6 +806,11 @@ pub fn to_json(results: &[SuiteResult]) -> String {
         "  \"available_parallelism\": {},\n",
         available_parallelism()
     ));
+    if low_parallelism() {
+        // Self-describing reports: a narrow machine flags itself so a
+        // committed baseline is never mistaken for a 4-wide run.
+        out.push_str("  \"low_parallelism\": true,\n");
+    }
     out.push_str("  \"suites\": {\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
@@ -885,6 +908,16 @@ mod tests {
             Some(678.0)
         );
         assert_eq!(median_from_json(&json, "missing/suite"), None);
+    }
+
+    #[test]
+    fn low_parallelism_flag_matches_the_machine() {
+        let json = to_json(&[]);
+        assert_eq!(
+            json.contains("\"low_parallelism\": true"),
+            available_parallelism() < LOW_PARALLELISM_CPUS,
+            "{json}"
+        );
     }
 
     #[test]

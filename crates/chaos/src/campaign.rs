@@ -86,6 +86,7 @@ impl Failure {
             expect: self.oracles.clone(),
             plan: self.shrunk.clone(),
             storage: edgelet_store::StorageFaultPlan::new(),
+            segment_bytes: None,
         }
     }
 }

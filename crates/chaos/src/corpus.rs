@@ -61,6 +61,9 @@ pub struct CorpusEntry {
     /// Storage faults to inject instead (empty for network entries;
     /// mutually exclusive with `plan` rules at replay time).
     pub storage: StorageFaultPlan,
+    /// WAL segment-size override for storage drills (`None` = service
+    /// default), so entries can pin faults at rotation boundaries.
+    pub segment_bytes: Option<u64>,
 }
 
 /// Outcome of replaying one corpus entry.
@@ -305,6 +308,9 @@ impl CorpusEntry {
         for rule in &self.storage.rules {
             out.push_str(&format!("storage = {}\n", fmt_storage_rule(rule)));
         }
+        if let Some(bytes) = self.segment_bytes {
+            out.push_str(&format!("segment_bytes = {bytes}\n"));
+        }
         out
     }
 
@@ -316,6 +322,7 @@ impl CorpusEntry {
         let mut expect = None;
         let mut rules = Vec::new();
         let mut storage_rules = Vec::new();
+        let mut segment_bytes = None;
         for raw in text.lines() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -343,6 +350,9 @@ impl CorpusEntry {
                 }
                 "rule" => rules.push(parse_rule(value)?),
                 "storage" => storage_rules.push(parse_storage_rule(value)?),
+                "segment_bytes" => {
+                    segment_bytes = Some(parse_u64(value, "segment_bytes")?);
+                }
                 other => return Err(invalid(format!("corpus: unknown key {other:?}"))),
             }
         }
@@ -355,6 +365,7 @@ impl CorpusEntry {
             storage: StorageFaultPlan {
                 rules: storage_rules,
             },
+            segment_bytes,
         })
     }
 
@@ -377,7 +388,12 @@ impl CorpusEntry {
                      drills run the durable live service over a clean network)",
                 ));
             }
-            let drill = crate::storage::run_storage_drill(scenario, self.seed, &self.storage)?;
+            let drill = crate::storage::run_storage_drill_with(
+                scenario,
+                self.seed,
+                &self.storage,
+                self.segment_bytes,
+            )?;
             let matches = drill.acceptable() && drill.oracles == self.expect;
             return Ok(ReplayReport {
                 oracles: drill.oracles,
@@ -438,6 +454,7 @@ mod tests {
                     expect: Vec::new(),
                     plan: named.plan,
                     storage: StorageFaultPlan::new(),
+                    segment_bytes: None,
                 };
                 let parsed = CorpusEntry::parse(&entry.to_text()).unwrap();
                 assert_eq!(parsed, entry);
@@ -478,12 +495,14 @@ rule = drop kinds=4 from=1,2 to=* skip=2 limit=1 after_us=1000 until_us=* delay_
                 .with(3, StorageFaultAction::TruncatedRecord { keep: 4 })
                 .with(1, StorageFaultAction::FailedSync { times: 2 })
                 .with(4, StorageFaultAction::CorruptChecksum { byte: 8 }),
+            segment_bytes: Some(256),
         };
         let text = entry.to_text();
         assert!(
             text.contains("storage = torn-tail at_append=2 keep=6"),
             "{text}"
         );
+        assert!(text.contains("segment_bytes = 256"), "{text}");
         assert_eq!(CorpusEntry::parse(&text).unwrap(), entry);
     }
 
@@ -589,6 +608,7 @@ storage = torn-tail at_append=2 keep=6
                 expect,
                 plan: named.plan,
                 storage: StorageFaultPlan::new(),
+                segment_bytes: None,
             };
             let file = dir.join(format!("{}-{plan_name}-seed{seed}.chaos", scenario.name()));
             std::fs::write(&file, format!("# {comment}\n{}", entry.to_text())).unwrap();
@@ -612,11 +632,40 @@ storage = torn-tail at_append=2 keep=6
             expect: Vec::new(),
             plan: FaultPlan::new(),
             storage,
+            segment_bytes: None,
         };
         let comment = "Pins crash-restart durability: a WAL append torn mid-write\n\
                        # (power cut) is repaired on recovery and the interrupted query\n\
                        # finishes byte-identical to an uninterrupted run.";
         let file = dir.join("grouping-storage-torn-tail-seed5.chaos");
+        std::fs::write(&file, format!("# {comment}\n{}", entry.to_text())).unwrap();
+
+        // Segment-boundary pin: the same torn tail, but with 256-byte WAL
+        // segments so the completion append lands in a freshly rotated
+        // active segment. Recovery must leave the sealed segment intact,
+        // repair only the active tail, and still reach byte parity.
+        let storage = StorageFaultPlan::new().with(2, StorageFaultAction::TornTail { keep: 6 });
+        let drill =
+            crate::storage::run_storage_drill_with(ChaosScenario::Grouping, 5, &storage, Some(256))
+                .unwrap();
+        assert!(
+            drill.parity && drill.oracles.is_empty() && drill.repaired_tail,
+            "segment-boundary pin must be clean, got {drill:?}"
+        );
+        let entry = CorpusEntry {
+            scenario: ChaosScenario::Grouping.name().to_string(),
+            seed: 5,
+            plan_name: "storage-segment-boundary".to_string(),
+            expect: Vec::new(),
+            plan: FaultPlan::new(),
+            storage,
+            segment_bytes: Some(256),
+        };
+        let comment = "Pins segment-boundary recovery: with 256-byte WAL segments the\n\
+                       # torn completion append lands just after a rotation, so restart\n\
+                       # must keep the sealed segment untouched, repair only the active\n\
+                       # tail, and finish byte-identical to an uninterrupted run.";
+        let file = dir.join("grouping-storage-segment-boundary-seed5.chaos");
         std::fs::write(&file, format!("# {comment}\n{}", entry.to_text())).unwrap();
     }
 
@@ -629,6 +678,7 @@ storage = torn-tail at_append=2 keep=6
             expect: Vec::new(),
             plan: FaultPlan::new(),
             storage: StorageFaultPlan::new(),
+            segment_bytes: None,
         };
         let report = entry.replay().unwrap();
         assert!(report.matches, "oracles fired: {:?}", report.oracles);

@@ -83,6 +83,7 @@ fn durable_service(
     scenario: ChaosScenario,
     seed: u64,
     backend: Arc<dyn DurableBackend>,
+    segment_bytes: Option<u64>,
 ) -> (
     QueryService,
     QuerySpec,
@@ -101,8 +102,9 @@ fn durable_service(
         backend,
         DurabilityConfig {
             checkpoint_every: CHECKPOINT_EVERY,
-            crash_at: None,
-            crash_handler: None,
+            segment_bytes: segment_bytes
+                .unwrap_or_else(|| DurabilityConfig::default().segment_bytes),
+            ..DurabilityConfig::default()
         },
     );
     (service, spec, privacy, resilience, report)
@@ -126,9 +128,21 @@ pub fn run_storage_drill(
     seed: u64,
     plan: &StorageFaultPlan,
 ) -> Result<StorageDrillReport> {
+    run_storage_drill_with(scenario, seed, plan, None)
+}
+
+/// [`run_storage_drill`] with an explicit WAL segment-size override
+/// (`None` = the service default), so corpus entries can pin faults
+/// that land at segment rotation boundaries.
+pub fn run_storage_drill_with(
+    scenario: ChaosScenario,
+    seed: u64,
+    plan: &StorageFaultPlan,
+    segment_bytes: Option<u64>,
+) -> Result<StorageDrillReport> {
     // 1. Clean durable baseline on throwaway media.
     let (service, spec, privacy, resilience, _) =
-        durable_service(scenario, seed, Arc::new(MemBackend::new()));
+        durable_service(scenario, seed, Arc::new(MemBackend::new()), segment_bytes);
     let baseline = submit(&service, &spec, &privacy, &resilience)
         .map_err(|e| drill_error(format!("storage drill: baseline run failed: {e}")))?;
     service.shutdown();
@@ -141,7 +155,8 @@ pub fn run_storage_drill(
     // 2. Faulted incarnation over persistent media.
     let media = Arc::new(MemBackend::new());
     let faulty: Arc<dyn DurableBackend> = Arc::new(FaultyBackend::new(media.clone(), plan.clone()));
-    let (service, spec, privacy, resilience, _) = durable_service(scenario, seed, faulty);
+    let (service, spec, privacy, resilience, _) =
+        durable_service(scenario, seed, faulty, segment_bytes);
     let faulted = submit(&service, &spec, &privacy, &resilience);
     let faulted_drained = matches!(faulted, Err(SubmitError::ReadOnly { .. }));
     match faulted {
@@ -152,7 +167,8 @@ pub fn run_storage_drill(
     service.shutdown();
 
     // 3. Recovery over the same media, faults lifted.
-    let (service, spec, privacy, resilience, report) = durable_service(scenario, seed, media);
+    let (service, spec, privacy, resilience, report) =
+        durable_service(scenario, seed, media, segment_bytes);
     let repaired_tail = report.repaired_tail.is_some();
     if let Some(reason) = report.drained {
         service.shutdown();
@@ -225,6 +241,18 @@ mod tests {
         let plan = StorageFaultPlan::new().with(1, StorageFaultAction::FailedSync { times: 2 });
         let report = run_storage_drill(ChaosScenario::KMeans, 3, &plan).unwrap();
         assert!(!report.faulted_drained, "retry must absorb transient syncs");
+        assert!(report.parity, "{report:?}");
+    }
+
+    #[test]
+    fn tiny_segments_rotate_through_the_drill_and_stay_byte_identical() {
+        // 256-byte segments force a rotation on nearly every append, so
+        // the torn completion lands at a fresh segment's start and the
+        // sealed segments must replay in order.
+        let plan = StorageFaultPlan::new().with(2, StorageFaultAction::TornTail { keep: 6 });
+        let report = run_storage_drill_with(ChaosScenario::Grouping, 5, &plan, Some(256)).unwrap();
+        assert!(report.faulted_drained, "a torn tail kills the media");
+        assert!(report.repaired_tail, "recovery must repair the tail");
         assert!(report.parity, "{report:?}");
     }
 

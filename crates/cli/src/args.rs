@@ -66,6 +66,10 @@ pub struct ServeArgs {
     pub wal_dir: Option<String>,
     /// Completions per checkpoint; 0 = never checkpoint.
     pub checkpoint_every: u64,
+    /// Group-commit window in milliseconds; 0 = sync immediately.
+    pub commit_window_ms: u64,
+    /// WAL segment rotation threshold in bytes; 0 = never rotate.
+    pub segment_bytes: u64,
     /// Scripted crash point (`after-admit` | `mid-query` |
     /// `before-checkpoint`): abort the process there, for restart
     /// drills. Requires `--durable`.
@@ -85,6 +89,8 @@ impl Default for ServeArgs {
             durable: false,
             wal_dir: None,
             checkpoint_every: 8,
+            commit_window_ms: 0,
+            segment_bytes: 4 << 20,
             crash_at: None,
         }
     }
@@ -264,6 +270,10 @@ OPTIONS (serve/submit — plus all plan/run world options):
     --wal-dir DIR       directory for the WAL (required with --durable)
     --checkpoint-every N  completions per checkpoint; 0 = never
                                                          [default: 8]
+    --commit-window-ms N  group-commit coalescing window, ms; 0 = sync
+                        each batch immediately           [default: 0]
+    --segment-bytes N   WAL segment rotation threshold; 0 = one
+                        unbounded segment          [default: 4194304]
     --crash-at POINT    abort at a scripted point for restart drills:
                         after-admit|mid-query|before-checkpoint
                         (requires --durable)
@@ -340,6 +350,8 @@ pub fn parse(argv: &[String]) -> Result<Command> {
                 mailbox_cap: flag_parse(&flags, "mailbox-cap", 4096usize)?,
                 durable: flags.contains_key("durable"),
                 checkpoint_every: flag_parse(&flags, "checkpoint-every", 8u64)?,
+                commit_window_ms: flag_parse(&flags, "commit-window-ms", 0u64)?,
+                segment_bytes: flag_parse(&flags, "segment-bytes", 4u64 << 20)?,
                 ..ServeArgs::default()
             };
             if let Some(values) = flags.get("wal-dir") {

@@ -247,6 +247,14 @@ fn bench_command(args: &BenchArgs) -> Result<(String, i32)> {
         report::git_revision(),
         report::available_parallelism()
     );
+    if report::low_parallelism() {
+        eprintln!(
+            "bench: note: only {} logical cpu(s) < {}; parallel suites cannot run at \
+             their nominal width and the report is flagged low_parallelism",
+            report::available_parallelism(),
+            report::LOW_PARALLELISM_CPUS
+        );
+    }
     let results = match &args.suite {
         Some(prefix) => {
             let selected = report::run_matching(prefix);
@@ -278,6 +286,15 @@ fn bench_command(args: &BenchArgs) -> Result<(String, i32)> {
         let baseline = std::fs::read_to_string(path)
             .map_err(|e| Error::InvalidConfig(format!("cannot read {path}: {e}")))?;
         let regressions = report::compare(&results, &baseline, args.fail_over);
+        if baseline.contains("\"low_parallelism\": true") || report::low_parallelism() {
+            let _ = writeln!(
+                out,
+                "bench gate note: low-parallelism run (baseline flagged: {}, this machine: {}) \
+                 -- parallel-suite deltas under-report",
+                baseline.contains("\"low_parallelism\": true"),
+                report::low_parallelism()
+            );
+        }
         for reg in &regressions {
             let _ = writeln!(
                 out,
@@ -480,6 +497,9 @@ fn live_preflight(args: &ServeArgs, json: bool, preamble: &mut String) -> Option
         args.wal_dir.as_deref().map(std::path::Path::new),
         args.checkpoint_every,
         crash_risk,
+        args.commit_window_ms,
+        args.wall_deadline_ms,
+        args.segment_bytes,
     ));
     if lint.is_empty() {
         return None;
@@ -548,6 +568,8 @@ fn live_service(
         std::sync::Arc::new(backend),
         edgelet_live::DurabilityConfig {
             checkpoint_every: args.checkpoint_every,
+            commit_window: std::time::Duration::from_millis(args.commit_window_ms),
+            segment_bytes: args.segment_bytes,
             crash_at,
             crash_handler,
         },
@@ -965,7 +987,10 @@ mod tests {
         assert!(first.contains("\"verdict\":\"ok\""), "{first}");
         assert!(first.contains("\"recovered\":false"), "{first}");
         assert!(first.contains("\"state_crc\":"), "{first}");
-        assert!(dir.join("wal.log").is_file(), "the WAL must be on disk");
+        assert!(
+            dir.join("wal.0000.log").is_file(),
+            "the first WAL segment must be on disk"
+        );
         // A second process over the same media replays the WAL and runs
         // a fresh epoch; the world is seed-deterministic, so the state
         // CRC (payload + ledger + trace digest) must be identical.

@@ -168,10 +168,13 @@ impl DurableState {
     }
 
     /// Decodes and applies a slice of raw WAL payloads in order.
-    /// Returns the number of records applied.
-    pub fn replay(&mut self, payloads: &[Vec<u8>]) -> Result<usize> {
+    /// Accepts anything byte-slice-like — recovery hands zero-copy
+    /// [`edgelet_util::Payload`] slices over the segment buffers
+    /// straight in, with no per-record materialization. Returns the
+    /// number of records applied.
+    pub fn replay<B: AsRef<[u8]>>(&mut self, payloads: &[B]) -> Result<usize> {
         for payload in payloads {
-            let record: WalRecord = from_bytes(payload)?;
+            let record: WalRecord = from_bytes(payload.as_ref())?;
             self.apply(&record);
         }
         Ok(payloads.len())
@@ -268,6 +271,19 @@ pub struct DurabilityConfig {
     /// checkpointing (the WAL then grows without bound and recovery
     /// replays everything — the analyzer warns with `W141`).
     pub checkpoint_every: u64,
+    /// Group-commit window: how long a commit leader waits for
+    /// companion records before issuing the batch's single sync.
+    /// `Duration::ZERO` (the default) syncs immediately — coalescing
+    /// still happens naturally under contention. Large windows trade
+    /// submit latency for sync amortization; the analyzer warns with
+    /// `W143` when the window eats into the query wall deadline.
+    pub commit_window: std::time::Duration,
+    /// Rotate the active WAL segment once it would grow past this many
+    /// bytes; `0` disables rotation (one unbounded segment). Segments
+    /// sealed behind a checkpoint are deleted, bounding disk. The
+    /// analyzer warns with `W144` when the segment size is so small
+    /// that every checkpoint interval churns through multiple segments.
+    pub segment_bytes: u64,
     /// Scripted crash point, if any.
     pub crash_at: Option<CrashPoint>,
     /// What a tripped crash point does. `None` panics with the point's
@@ -279,6 +295,8 @@ impl Default for DurabilityConfig {
     fn default() -> Self {
         DurabilityConfig {
             checkpoint_every: 8,
+            commit_window: std::time::Duration::ZERO,
+            segment_bytes: edgelet_store::groupcommit::DEFAULT_SEGMENT_BYTES,
             crash_at: None,
             crash_handler: None,
         }
@@ -289,6 +307,8 @@ impl std::fmt::Debug for DurabilityConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DurabilityConfig")
             .field("checkpoint_every", &self.checkpoint_every)
+            .field("commit_window", &self.commit_window)
+            .field("segment_bytes", &self.segment_bytes)
             .field("crash_at", &self.crash_at)
             .field("crash_handler", &self.crash_handler.as_ref().map(|_| "…"))
             .finish()

@@ -27,7 +27,7 @@ use crate::transport::StripedTransport;
 use edgelet_core::Platform;
 use edgelet_exec::Ledger;
 use edgelet_query::{PrivacyConfig, QuerySpec, ResilienceConfig};
-use edgelet_store::{DurableBackend, DurableLog, RetryPolicy};
+use edgelet_store::{DurableBackend, GroupCommitConfig, GroupCommitLog, RetryPolicy};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
@@ -139,7 +139,7 @@ pub struct QueryService {
 /// Durable-mode control block: the WAL front end plus the in-memory
 /// image of the durable state.
 struct DurableCtl {
-    log: DurableLog,
+    log: GroupCommitLog,
     config: DurabilityConfig,
     inner: Mutex<DurableInner>,
     /// Raised when the backend failed permanently: the service keeps
@@ -151,6 +151,12 @@ struct DurableCtl {
 struct DurableInner {
     state: DurableState,
     since_checkpoint: u64,
+    /// Completions durably appended to the WAL but not yet folded into
+    /// `state` by `apply`. A checkpoint taken while this is non-zero
+    /// writes a blob that does not cover those records, so it must not
+    /// delete the sealed segments that still hold them — compaction is
+    /// deferred to the next checkpoint that observes zero.
+    unapplied_completions: u64,
 }
 
 /// RAII admission slot: releases the gate (and wakes `shutdown`) even
@@ -185,7 +191,15 @@ impl QueryService {
         backend: Arc<dyn DurableBackend>,
         durability: DurabilityConfig,
     ) -> (Self, RecoveryReport) {
-        let log = DurableLog::new(backend, RetryPolicy::default());
+        let log = GroupCommitLog::new(
+            backend,
+            RetryPolicy::default(),
+            GroupCommitConfig {
+                window: durability.commit_window,
+                segment_bytes: durability.segment_bytes,
+                ..GroupCommitConfig::default()
+            },
+        );
         let mut report = RecoveryReport::default();
         let mut state = DurableState::default();
         let mut drain_reason: Option<String> = None;
@@ -219,6 +233,7 @@ impl QueryService {
             inner: Mutex::new(DurableInner {
                 state,
                 since_checkpoint: 0,
+                unapplied_completions: 0,
             }),
             drained: AtomicBool::new(drain_reason.is_some()),
             drain_reason: Mutex::new(drain_reason),
@@ -340,7 +355,7 @@ impl QueryService {
                 epoch,
                 spec_digest: digest,
             };
-            if let Err(err) = d.log.append(&edgelet_wire::to_bytes(&intent)) {
+            if let Err(err) = d.log.commit(&edgelet_wire::to_bytes(&intent)) {
                 lock(&d.inner).state.pending.remove(&epoch);
                 self.drain(d, format!("intent append failed: {}", err.message()));
                 drop(slot);
@@ -365,9 +380,15 @@ impl QueryService {
             ledger: run.report.ledger.clone(),
             trace_digest: run.trace_digest,
         };
-        if let Err(err) = d.log.append(&edgelet_wire::to_bytes(&completion)) {
+        // Raise the unapplied-completion fence *before* the append: a
+        // checkpoint racing with this submit must see that a completion
+        // may be durable in the WAL without being in its blob, and keep
+        // the sealed segments that could hold it.
+        lock(&d.inner).unapplied_completions += 1;
+        if let Err(err) = d.log.commit(&edgelet_wire::to_bytes(&completion)) {
             // The result exists but is not durable; refusing the submit
             // keeps "Ok means persisted" true.
+            lock(&d.inner).unapplied_completions -= 1;
             self.drain(d, format!("completion append failed: {}", err.message()));
             drop(slot);
             return Err(self.read_only_error(d));
@@ -376,11 +397,15 @@ impl QueryService {
         {
             let mut inner = lock(&d.inner);
             inner.state.apply(&completion);
+            inner.unapplied_completions -= 1;
             inner.since_checkpoint += 1;
             if d.config.checkpoint_every > 0 && inner.since_checkpoint >= d.config.checkpoint_every
             {
                 let blob = edgelet_wire::to_bytes(&inner.state);
-                match d.log.checkpoint(&blob) {
+                // Sealed segments may only be deleted when every durable
+                // completion is covered by the blob we just encoded.
+                let drop_sealed = inner.unapplied_completions == 0;
+                match d.log.checkpoint(&blob, drop_sealed) {
                     Ok(()) => inner.since_checkpoint = 0,
                     Err(err) => {
                         // The completion is durable in the WAL; only

@@ -68,30 +68,124 @@ impl From<StorageError> for edgelet_util::Error {
     }
 }
 
-/// An append-only log plus an atomically-replaceable checkpoint blob.
+/// One WAL record in a batch append, split as two byte slices —
+/// framing header and payload — so a batch committer can hand the
+/// backend its caller's payload buffers directly instead of first
+/// gathering every record into one contiguous allocation.
+/// Implementations must treat the concatenation `head ++ tail` as ONE
+/// record: it is a single frame on the media and a single append for
+/// fault-injection counting.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameRef<'a> {
+    /// Leading frame bytes (or the whole frame, see [`FrameRef::whole`]).
+    pub head: &'a [u8],
+    /// Trailing frame bytes (empty when `head` is the whole frame).
+    pub tail: &'a [u8],
+}
+
+impl<'a> FrameRef<'a> {
+    /// A record already contiguous in memory.
+    pub fn whole(frame: &'a [u8]) -> Self {
+        FrameRef {
+            head: frame,
+            tail: &[],
+        }
+    }
+
+    /// Total frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.tail.len()
+    }
+
+    /// Whether the frame is zero bytes long.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty() && self.tail.is_empty()
+    }
+
+    /// The frame gathered into one owned buffer (fallback paths only).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend_from_slice(self.head);
+        out.extend_from_slice(self.tail);
+        out
+    }
+}
+
+/// A segmented append-only log plus an atomically-replaceable
+/// checkpoint blob.
+///
+/// The WAL is an ordered list of **segments**. Appends always land in
+/// the last (*active*) segment; [`DurableBackend::rotate_wal`] seals the
+/// active segment and opens a fresh empty one, and checkpoint-aware
+/// compaction deletes sealed segments once a checkpoint subsumes them
+/// ([`DurableBackend::drop_sealed_segments`]), so long-lived daemons run
+/// in bounded disk. A backend that never rotates behaves exactly like
+/// the old single-file WAL: one active segment.
 ///
 /// The contract every implementation upholds:
 ///
-/// * `append` adds bytes at the end of the WAL; bytes are only *durable*
-///   once a subsequent `sync` returns `Ok`.
-/// * `read_wal` returns the entire log, including any torn tail a crash
-///   left behind — the recovery scan decides what to keep.
-/// * `truncate_wal(len)` discards everything past `len` (torn-tail
-///   repair).
+/// * `append` adds bytes at the end of the active segment; bytes are
+///   only *durable* once a subsequent `sync` returns `Ok`.
+/// * `append_batch` appends several records back to back in one call
+///   (the group-commit fast path); equivalent to appending each in
+///   order, but implementations may coalesce the writes.
+/// * `read_wal_segments` returns every segment's bytes in append order,
+///   including any torn tail a crash left behind — the recovery scan
+///   decides what to keep.
+/// * `truncate_wal(len)` discards every byte of the **active** segment
+///   past `len` (torn-tail repair; sealed segments are immutable).
+/// * `rotate_wal` seals the active segment and starts a new empty one.
+/// * `drop_sealed_segments` deletes every sealed segment (their records
+///   are subsumed by a checkpoint); the active segment is untouched.
 /// * `write_checkpoint` replaces the checkpoint blob atomically: a crash
 ///   during the write leaves either the old or the new blob, never a
 ///   mix.
-/// * `reset_wal` clears the log (called after a successful checkpoint,
-///   which subsumes it).
+/// * `reset_wal` clears the whole log back to one empty active segment
+///   (after a checkpoint subsumed everything).
 pub trait DurableBackend: Send + Sync {
-    /// Appends bytes to the write-ahead log.
+    /// Appends bytes to the active WAL segment.
     fn append(&self, bytes: &[u8]) -> StorageResult<()>;
+    /// Appends several records back to back to the active segment.
+    ///
+    /// The default loops over [`DurableBackend::append`], which keeps
+    /// fault-injection decorators counting *per record* — a fault plan
+    /// indexed by append number fires at the same record whether it
+    /// arrives alone or mid-batch.
+    fn append_batch(&self, frames: &[FrameRef<'_>]) -> StorageResult<()> {
+        for frame in frames {
+            if frame.tail.is_empty() {
+                self.append(frame.head)?;
+            } else {
+                self.append(&frame.to_vec())?;
+            }
+        }
+        Ok(())
+    }
     /// Flushes appended bytes to durable media.
     fn sync(&self) -> StorageResult<()>;
-    /// Reads the whole write-ahead log.
-    fn read_wal(&self) -> StorageResult<Vec<u8>>;
-    /// Discards every byte past `len` (torn-tail repair).
+    /// Reads every WAL segment's bytes, oldest first. Never empty: a
+    /// fresh log is one empty active segment.
+    fn read_wal_segments(&self) -> StorageResult<Vec<Vec<u8>>>;
+    /// Reads the whole write-ahead log as one byte string (all segments
+    /// concatenated in order).
+    fn read_wal(&self) -> StorageResult<Vec<u8>> {
+        Ok(self.read_wal_segments()?.concat())
+    }
+    /// Byte length of each segment, oldest first (disk accounting).
+    fn segment_sizes(&self) -> StorageResult<Vec<u64>> {
+        Ok(self
+            .read_wal_segments()?
+            .iter()
+            .map(|s| s.len() as u64)
+            .collect())
+    }
+    /// Discards every byte of the *active* segment past `len`
+    /// (torn-tail repair).
     fn truncate_wal(&self, len: u64) -> StorageResult<()>;
+    /// Seals the active segment and opens a fresh empty one.
+    fn rotate_wal(&self) -> StorageResult<()>;
+    /// Deletes every sealed segment (subsumed by a checkpoint).
+    fn drop_sealed_segments(&self) -> StorageResult<()>;
     /// Atomically replaces the checkpoint blob.
     fn write_checkpoint(&self, bytes: &[u8]) -> StorageResult<()>;
     /// Reads the checkpoint blob, `None` when no checkpoint exists.
@@ -104,14 +198,29 @@ impl<B: DurableBackend + ?Sized> DurableBackend for std::sync::Arc<B> {
     fn append(&self, bytes: &[u8]) -> StorageResult<()> {
         (**self).append(bytes)
     }
+    fn append_batch(&self, frames: &[FrameRef<'_>]) -> StorageResult<()> {
+        (**self).append_batch(frames)
+    }
     fn sync(&self) -> StorageResult<()> {
         (**self).sync()
+    }
+    fn read_wal_segments(&self) -> StorageResult<Vec<Vec<u8>>> {
+        (**self).read_wal_segments()
     }
     fn read_wal(&self) -> StorageResult<Vec<u8>> {
         (**self).read_wal()
     }
+    fn segment_sizes(&self) -> StorageResult<Vec<u64>> {
+        (**self).segment_sizes()
+    }
     fn truncate_wal(&self, len: u64) -> StorageResult<()> {
         (**self).truncate_wal(len)
+    }
+    fn rotate_wal(&self) -> StorageResult<()> {
+        (**self).rotate_wal()
+    }
+    fn drop_sealed_segments(&self) -> StorageResult<()> {
+        (**self).drop_sealed_segments()
     }
     fn write_checkpoint(&self, bytes: &[u8]) -> StorageResult<()> {
         (**self).write_checkpoint(bytes)
@@ -128,16 +237,26 @@ impl<B: DurableBackend + ?Sized> DurableBackend for std::sync::Arc<B> {
 // In-memory backend
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct MemState {
-    wal: Vec<u8>,
+    // Never empty: the last entry is the active segment.
+    segments: Vec<Vec<u8>>,
     checkpoint: Option<Vec<u8>>,
 }
 
-/// The in-memory backend: a `Vec<u8>` WAL and an optional checkpoint
-/// blob behind one mutex. Used by unit tests, the crash-restart parity
-/// keystone (a "restart" re-opens the same `Arc`), and the chaos
-/// storage drills.
+impl Default for MemState {
+    fn default() -> Self {
+        MemState {
+            segments: vec![Vec::new()],
+            checkpoint: None,
+        }
+    }
+}
+
+/// The in-memory backend: segmented `Vec<u8>` WAL and an optional
+/// checkpoint blob behind one mutex. Used by unit tests, the
+/// crash-restart parity keystone (a "restart" re-opens the same `Arc`),
+/// and the chaos storage drills.
 #[derive(Debug, Default)]
 pub struct MemBackend {
     state: Mutex<MemState>,
@@ -149,9 +268,16 @@ impl MemBackend {
         Self::default()
     }
 
-    /// Current WAL length in bytes (test inspection).
+    /// Current total WAL length in bytes, across segments (test
+    /// inspection).
     pub fn wal_len(&self) -> usize {
-        lock(&self.state).wal.len()
+        lock(&self.state).segments.iter().map(Vec::len).sum()
+    }
+
+    /// Number of live segments, including the active one (test
+    /// inspection).
+    pub fn segment_count(&self) -> usize {
+        lock(&self.state).segments.len()
     }
 }
 
@@ -161,7 +287,20 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 impl DurableBackend for MemBackend {
     fn append(&self, bytes: &[u8]) -> StorageResult<()> {
-        lock(&self.state).wal.extend_from_slice(bytes);
+        let mut st = lock(&self.state);
+        let active = st.segments.last_mut().expect("segments never empty");
+        active.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn append_batch(&self, frames: &[FrameRef<'_>]) -> StorageResult<()> {
+        let mut st = lock(&self.state);
+        let active = st.segments.last_mut().expect("segments never empty");
+        active.reserve(frames.iter().map(FrameRef::len).sum());
+        for frame in frames {
+            active.extend_from_slice(frame.head);
+            active.extend_from_slice(frame.tail);
+        }
         Ok(())
     }
 
@@ -169,16 +308,29 @@ impl DurableBackend for MemBackend {
         Ok(())
     }
 
-    fn read_wal(&self) -> StorageResult<Vec<u8>> {
-        Ok(lock(&self.state).wal.clone())
+    fn read_wal_segments(&self) -> StorageResult<Vec<Vec<u8>>> {
+        Ok(lock(&self.state).segments.clone())
     }
 
     fn truncate_wal(&self, len: u64) -> StorageResult<()> {
         let mut st = lock(&self.state);
+        let active = st.segments.last_mut().expect("segments never empty");
         let len = usize::try_from(len).unwrap_or(usize::MAX);
-        if len < st.wal.len() {
-            st.wal.truncate(len);
+        if len < active.len() {
+            active.truncate(len);
         }
+        Ok(())
+    }
+
+    fn rotate_wal(&self) -> StorageResult<()> {
+        lock(&self.state).segments.push(Vec::new());
+        Ok(())
+    }
+
+    fn drop_sealed_segments(&self) -> StorageResult<()> {
+        let mut st = lock(&self.state);
+        let active = st.segments.pop().expect("segments never empty");
+        st.segments = vec![active];
         Ok(())
     }
 
@@ -192,7 +344,7 @@ impl DurableBackend for MemBackend {
     }
 
     fn reset_wal(&self) -> StorageResult<()> {
-        lock(&self.state).wal.clear();
+        lock(&self.state).segments = vec![Vec::new()];
         Ok(())
     }
 }
@@ -201,14 +353,20 @@ impl DurableBackend for MemBackend {
 // File backend
 // ---------------------------------------------------------------------
 
-/// The file-backed backend: `wal.log` (append-only) and
+/// The file-backed backend: numbered WAL segments (`wal.0000.log`,
+/// `wal.0001.log`, ...; append-only, highest index active) and
 /// `checkpoint.bin` (replaced via write-to-temp + rename, the standard
 /// atomic-replace idiom) inside one directory.
 pub struct FileBackend {
     dir: PathBuf,
-    // The append handle is kept open for the backend's lifetime; the
-    // mutex serializes appends from concurrent queries.
-    wal: Mutex<std::fs::File>,
+    // The active-segment append handle is kept open for the backend's
+    // lifetime; the mutex serializes appends from concurrent queries.
+    wal: Mutex<FileWal>,
+}
+
+struct FileWal {
+    file: std::fs::File,
+    index: u64,
 }
 
 impl fmt::Debug for FileBackend {
@@ -247,15 +405,16 @@ impl FileBackend {
             )));
         }
         std::fs::create_dir_all(&dir).map_err(|e| io_err("create WAL dir", &dir, &e))?;
-        let wal_path = dir.join("wal.log");
-        let wal = std::fs::OpenOptions::new()
+        let index = list_segments(&dir)?.last().map_or(0, |&(i, _)| i);
+        let wal_path = segment_path(&dir, index);
+        let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&wal_path)
-            .map_err(|e| io_err("open WAL", &wal_path, &e))?;
+            .map_err(|e| io_err("open WAL segment", &wal_path, &e))?;
         Ok(FileBackend {
             dir,
-            wal: Mutex::new(wal),
+            wal: Mutex::new(FileWal { file, index }),
         })
     }
 
@@ -264,37 +423,136 @@ impl FileBackend {
         &self.dir
     }
 
-    fn wal_path(&self) -> PathBuf {
-        self.dir.join("wal.log")
-    }
-
     fn checkpoint_path(&self) -> PathBuf {
         self.dir.join("checkpoint.bin")
     }
 }
 
+/// Path of segment `index` under `dir`: `wal.0000.log` style, padded so
+/// lexical and numeric order agree for the first 10k segments.
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    let mut path = dir.to_path_buf();
+    path.push(format!("wal.{index:04}.log"));
+    path
+}
+
+/// Existing WAL segments under `dir`, sorted by index.
+fn list_segments(dir: &Path) -> StorageResult<Vec<(u64, PathBuf)>> {
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err("list WAL dir", dir, &e))?;
+    let mut segments = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("list WAL dir", dir, &e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(index) = name
+            .strip_prefix("wal.")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        segments.push((index, entry.path()));
+    }
+    segments.sort_unstable_by_key(|&(i, _)| i);
+    Ok(segments)
+}
+
 impl DurableBackend for FileBackend {
     fn append(&self, bytes: &[u8]) -> StorageResult<()> {
         let mut wal = lock(&self.wal);
-        wal.write_all(bytes)
-            .map_err(|e| io_err("append WAL", &self.wal_path(), &e))
+        let path = segment_path(&self.dir, wal.index);
+        wal.file
+            .write_all(bytes)
+            .map_err(|e| io_err("append WAL", &path, &e))
+    }
+
+    fn append_batch(&self, frames: &[FrameRef<'_>]) -> StorageResult<()> {
+        // One contiguous buffer, one write syscall for the whole batch.
+        let mut buf = Vec::with_capacity(frames.iter().map(FrameRef::len).sum());
+        for frame in frames {
+            buf.extend_from_slice(frame.head);
+            buf.extend_from_slice(frame.tail);
+        }
+        let mut wal = lock(&self.wal);
+        let path = segment_path(&self.dir, wal.index);
+        wal.file
+            .write_all(&buf)
+            .map_err(|e| io_err("append WAL batch", &path, &e))
     }
 
     fn sync(&self) -> StorageResult<()> {
         let wal = lock(&self.wal);
-        wal.sync_data()
-            .map_err(|e| io_err("sync WAL", &self.wal_path(), &e))
+        let path = segment_path(&self.dir, wal.index);
+        wal.file
+            .sync_data()
+            .map_err(|e| io_err("sync WAL", &path, &e))
     }
 
-    fn read_wal(&self) -> StorageResult<Vec<u8>> {
-        let path = self.wal_path();
-        std::fs::read(&path).map_err(|e| io_err("read WAL", &path, &e))
+    fn read_wal_segments(&self) -> StorageResult<Vec<Vec<u8>>> {
+        // Hold the append lock so a rotation cannot interleave with the
+        // directory listing.
+        let _wal = lock(&self.wal);
+        let segments = list_segments(&self.dir)?;
+        let mut out = Vec::with_capacity(segments.len().max(1));
+        for (_, path) in &segments {
+            out.push(std::fs::read(path).map_err(|e| io_err("read WAL segment", path, &e))?);
+        }
+        if out.is_empty() {
+            out.push(Vec::new());
+        }
+        Ok(out)
+    }
+
+    fn segment_sizes(&self) -> StorageResult<Vec<u64>> {
+        let _wal = lock(&self.wal);
+        let segments = list_segments(&self.dir)?;
+        let mut out = Vec::with_capacity(segments.len().max(1));
+        for (_, path) in &segments {
+            let meta = std::fs::metadata(path).map_err(|e| io_err("stat WAL segment", path, &e))?;
+            out.push(meta.len());
+        }
+        if out.is_empty() {
+            out.push(0);
+        }
+        Ok(out)
     }
 
     fn truncate_wal(&self, len: u64) -> StorageResult<()> {
         let wal = lock(&self.wal);
-        wal.set_len(len)
-            .map_err(|e| io_err("truncate WAL", &self.wal_path(), &e))
+        let path = segment_path(&self.dir, wal.index);
+        wal.file
+            .set_len(len)
+            .map_err(|e| io_err("truncate WAL", &path, &e))
+    }
+
+    fn rotate_wal(&self) -> StorageResult<()> {
+        let mut wal = lock(&self.wal);
+        let old_path = segment_path(&self.dir, wal.index);
+        // Seal the old segment durably before the new one exists.
+        wal.file
+            .sync_data()
+            .map_err(|e| io_err("sync WAL before rotation", &old_path, &e))?;
+        let next = wal.index + 1;
+        let path = segment_path(&self.dir, next);
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("open WAL segment", &path, &e))?;
+        wal.file = file;
+        wal.index = next;
+        Ok(())
+    }
+
+    fn drop_sealed_segments(&self) -> StorageResult<()> {
+        let wal = lock(&self.wal);
+        for (index, path) in list_segments(&self.dir)? {
+            if index != wal.index {
+                std::fs::remove_file(&path)
+                    .map_err(|e| io_err("delete sealed WAL segment", &path, &e))?;
+            }
+        }
+        Ok(())
     }
 
     fn write_checkpoint(&self, bytes: &[u8]) -> StorageResult<()> {
@@ -319,7 +577,20 @@ impl DurableBackend for FileBackend {
     }
 
     fn reset_wal(&self) -> StorageResult<()> {
-        self.truncate_wal(0)
+        let wal = lock(&self.wal);
+        // Truncate the active segment in place (keeps the handle valid),
+        // then delete every sealed segment.
+        let active = segment_path(&self.dir, wal.index);
+        wal.file
+            .set_len(0)
+            .map_err(|e| io_err("truncate WAL", &active, &e))?;
+        for (index, path) in list_segments(&self.dir)? {
+            if index != wal.index {
+                std::fs::remove_file(&path)
+                    .map_err(|e| io_err("delete sealed WAL segment", &path, &e))?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -515,14 +786,33 @@ impl<B: DurableBackend> DurableBackend for FaultyBackend<B> {
         self.inner.sync()
     }
 
-    fn read_wal(&self) -> StorageResult<Vec<u8>> {
+    // append_batch deliberately uses the trait default: it loops over
+    // `append`, so the per-record fault counter keeps firing at the
+    // same record index whether records arrive alone or mid-batch.
+
+    fn read_wal_segments(&self) -> StorageResult<Vec<Vec<u8>>> {
         self.dead_check()?;
-        self.inner.read_wal()
+        self.inner.read_wal_segments()
+    }
+
+    fn segment_sizes(&self) -> StorageResult<Vec<u64>> {
+        self.dead_check()?;
+        self.inner.segment_sizes()
     }
 
     fn truncate_wal(&self, len: u64) -> StorageResult<()> {
         self.dead_check()?;
         self.inner.truncate_wal(len)
+    }
+
+    fn rotate_wal(&self) -> StorageResult<()> {
+        self.dead_check()?;
+        self.inner.rotate_wal()
+    }
+
+    fn drop_sealed_segments(&self) -> StorageResult<()> {
+        self.dead_check()?;
+        self.inner.drop_sealed_segments()
     }
 
     fn write_checkpoint(&self, bytes: &[u8]) -> StorageResult<()> {
@@ -636,6 +926,112 @@ mod tests {
         assert!(b.sync().unwrap_err().is_transient());
         assert!(b.sync().unwrap_err().is_transient());
         b.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_backend_rotates_and_compacts_segments() {
+        let b = MemBackend::new();
+        b.append(b"old").unwrap();
+        b.rotate_wal().unwrap();
+        b.append_batch(&[FrameRef::whole(b"new"), FrameRef::whole(b"er")])
+            .unwrap();
+        assert_eq!(b.segment_count(), 2);
+        assert_eq!(
+            b.read_wal_segments().unwrap(),
+            vec![b"old".to_vec(), b"newer".to_vec()]
+        );
+        assert_eq!(b.read_wal().unwrap(), b"oldnewer");
+        assert_eq!(b.segment_sizes().unwrap(), vec![3, 5]);
+        // Truncation repairs only the active segment.
+        b.truncate_wal(3).unwrap();
+        assert_eq!(b.read_wal().unwrap(), b"oldnew");
+        b.drop_sealed_segments().unwrap();
+        assert_eq!(b.segment_count(), 1);
+        assert_eq!(b.read_wal().unwrap(), b"new");
+        b.reset_wal().unwrap();
+        assert_eq!(b.segment_count(), 1);
+        assert!(b.read_wal().unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_backend_rotates_compacts_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "edgelet-store-test-{}-file-seg",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let b = FileBackend::open(&dir).unwrap();
+            b.append(b"seg0").unwrap();
+            b.rotate_wal().unwrap();
+            b.append_batch(&[FrameRef::whole(b"seg"), FrameRef::whole(b"1")])
+                .unwrap();
+            b.sync().unwrap();
+        }
+        assert!(dir.join("wal.0000.log").is_file());
+        assert!(dir.join("wal.0001.log").is_file());
+        {
+            // A restart re-opens the highest segment as active.
+            let b = FileBackend::open(&dir).unwrap();
+            assert_eq!(
+                b.read_wal_segments().unwrap(),
+                vec![b"seg0".to_vec(), b"seg1".to_vec()]
+            );
+            assert_eq!(b.segment_sizes().unwrap(), vec![4, 4]);
+            b.append(b"-more").unwrap();
+            assert_eq!(b.read_wal().unwrap(), b"seg0seg1-more");
+            b.drop_sealed_segments().unwrap();
+            assert!(!dir.join("wal.0000.log").is_file());
+            assert_eq!(b.read_wal().unwrap(), b"seg1-more");
+            b.rotate_wal().unwrap();
+            b.append(b"tail").unwrap();
+            b.reset_wal().unwrap();
+            assert_eq!(b.read_wal_segments().unwrap(), vec![Vec::<u8>::new()]);
+        }
+        {
+            // reset_wal left one empty active segment; appends continue.
+            let b = FileBackend::open(&dir).unwrap();
+            b.append(b"fresh").unwrap();
+            assert_eq!(b.read_wal().unwrap(), b"fresh");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulty_backend_counts_batched_records_individually() {
+        let b = FaultyBackend::new(
+            MemBackend::new(),
+            StorageFaultPlan::new().with(3, StorageFaultAction::TornTail { keep: 1 }),
+        );
+        // Records 1..=4 arrive as one batch: the fault fires at the
+        // third record exactly as it would for single-record appends.
+        let err = b
+            .append_batch(&[
+                FrameRef::whole(b"first"),
+                FrameRef::whole(b"second"),
+                FrameRef::whole(b"third"),
+                FrameRef::whole(b"fourth"),
+            ])
+            .unwrap_err();
+        assert!(!err.is_transient());
+        assert_eq!(b.inner().read_wal().unwrap(), b"firstsecondt");
+        assert!(b.sync().is_err());
+    }
+
+    #[test]
+    fn faulty_backend_faults_across_a_segment_boundary() {
+        let b = FaultyBackend::new(
+            MemBackend::new(),
+            StorageFaultPlan::new().with(2, StorageFaultAction::TruncatedRecord { keep: 2 }),
+        );
+        b.append(b"sealed").unwrap();
+        b.rotate_wal().unwrap();
+        // The first append of the fresh segment is append #2 overall.
+        b.append(b"cut-me").unwrap();
+        assert_eq!(
+            b.inner().read_wal_segments().unwrap(),
+            vec![b"sealed".to_vec(), b"cu".to_vec()]
+        );
     }
 
     #[test]

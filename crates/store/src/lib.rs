@@ -12,12 +12,15 @@
 //! * [`store`] — the store itself: insert, filtered scans, projection,
 //!   reservoir sampling;
 //! * [`durable`] — durability substrate: the [`DurableBackend`] trait
-//!   over an append-only log + checkpoint blob, with in-memory and
-//!   file-backed implementations and deterministic storage-fault
+//!   over a segmented append-only log + checkpoint blob, with in-memory
+//!   and file-backed implementations and deterministic storage-fault
 //!   injection ([`FaultyBackend`]);
 //! * [`wal`] — checksummed, length-prefixed WAL record framing, the
-//!   torn-tail/corruption recovery scan, and the retrying
+//!   per-segment torn-tail/corruption recovery scan, and the retrying
 //!   [`DurableLog`] front end (see `docs/STORAGE.md`);
+//! * [`groupcommit`] — the [`GroupCommitLog`] fast path: leader/follower
+//!   sync coalescing, size-triggered segment rotation, and
+//!   checkpoint-aware compaction;
 //! * [`index`] — sorted secondary indexes for range lookups;
 //! * [`synth`] — the synthetic health-survey dataset generator standing in
 //!   for the private DomYcile data (see DESIGN.md §2);
@@ -29,6 +32,7 @@
 pub mod csv;
 pub mod durable;
 pub mod expr;
+pub mod groupcommit;
 pub mod index;
 pub mod row;
 pub mod schema;
@@ -38,13 +42,17 @@ pub mod value;
 pub mod wal;
 
 pub use durable::{
-    DurableBackend, FaultyBackend, FileBackend, MemBackend, StorageError, StorageFaultAction,
-    StorageFaultPlan, StorageFaultRule, StorageResult,
+    DurableBackend, FaultyBackend, FileBackend, FrameRef, MemBackend, StorageError,
+    StorageFaultAction, StorageFaultPlan, StorageFaultRule, StorageResult,
 };
 pub use expr::{CmpOp, Predicate};
+pub use groupcommit::{GroupCommitConfig, GroupCommitLog};
 pub use index::SortedIndex;
 pub use row::Row;
 pub use schema::{Column, Schema};
 pub use store::DataStore;
 pub use value::{ColumnType, Value};
-pub use wal::{frame_record, scan_wal, DurableLog, Recovered, RetryPolicy, TailState, WalScan};
+pub use wal::{
+    frame_header, frame_record, scan_frames, scan_wal, DurableLog, FrameScan, Recovered,
+    RetryPolicy, TailState, WalScan,
+};

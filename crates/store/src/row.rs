@@ -65,6 +65,7 @@ impl Encode for Row {
 }
 
 impl Decode for Row {
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         Ok(Row {
             values: Vec::<Value>::decode(r)?,

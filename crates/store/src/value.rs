@@ -182,6 +182,7 @@ impl Encode for Value {
 }
 
 impl Decode for Value {
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         match r.varint()? {
             TAG_NULL => Ok(Value::Null),

@@ -24,8 +24,10 @@
 //!   ([`TailState::Corrupt`]) and the service degrades to read-only
 //!   drained mode rather than silently mis-charging a ledger.
 
-use crate::durable::{DurableBackend, StorageError, StorageResult};
+use crate::durable::{DurableBackend, FrameRef, StorageError, StorageResult};
+use edgelet_util::Payload;
 use edgelet_wire::crc::crc32;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Upper bound on a single record's payload (16 MiB): a corrupted
@@ -34,20 +36,36 @@ pub const MAX_RECORD_BYTES: u64 = 16 << 20;
 
 /// Frames one payload as a WAL record.
 pub fn frame_record(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(payload.len() + 9);
+    let (head, n) = frame_header(payload);
+    let mut out = Vec::with_capacity(n + payload.len());
+    out.extend_from_slice(&head[..n]);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Frame header bytes for one payload: the length varint followed by
+/// the CRC-32, in a fixed stack buffer (second element is the used
+/// length). Batch committers pair this with the caller's payload slice
+/// (see [`crate::FrameRef`]) so a batch append never gathers records
+/// into a second contiguous allocation.
+pub fn frame_header(payload: &[u8]) -> ([u8; 13], usize) {
+    let mut buf = [0u8; 13];
+    let mut n = 0;
     let mut v = payload.len() as u64;
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
         if v == 0 {
-            out.push(byte);
+            buf[n] = byte;
+            n += 1;
             break;
         }
-        out.push(byte | 0x80);
+        buf[n] = byte | 0x80;
+        n += 1;
     }
-    out.extend_from_slice(&crc32(payload).to_le_bytes());
-    out.extend_from_slice(payload);
-    out
+    buf[n..n + 4].copy_from_slice(&crc32(payload).to_le_bytes());
+    n += 4;
+    (buf, n)
 }
 
 /// What the scan found at the end of the log.
@@ -78,6 +96,18 @@ pub enum TailState {
 pub struct WalScan {
     /// Payloads of every clean frame, in append order.
     pub records: Vec<Vec<u8>>,
+    /// What the end of the log looked like.
+    pub tail: TailState,
+}
+
+/// The allocation-free form of a scan: byte ranges of every clean
+/// frame's payload instead of materialized copies. Recovery slices the
+/// ranges out of an [`Payload`]-backed segment buffer zero-copy; tests
+/// and tooling that want owned bytes go through [`scan_wal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameScan {
+    /// Payload byte range of every clean frame, in append order.
+    pub frames: Vec<Range<usize>>,
     /// What the end of the log looked like.
     pub tail: TailState,
 }
@@ -127,16 +157,17 @@ fn parse_frame(bytes: &[u8], offset: usize) -> FrameParse {
     }
 }
 
-/// Scans a WAL byte string into records plus a tail verdict.
-pub fn scan_wal(bytes: &[u8]) -> WalScan {
-    let mut records = Vec::new();
+/// Scans a WAL byte string into payload ranges plus a tail verdict,
+/// without copying any record bytes.
+pub fn scan_frames(bytes: &[u8]) -> FrameScan {
+    let mut frames = Vec::new();
     let mut offset = 0usize;
     while offset < bytes.len() {
         match parse_frame(bytes, offset) {
             FrameParse::Incomplete => {
                 // The frame runs past the end of the log: a torn tail.
-                return WalScan {
-                    records,
+                return FrameScan {
+                    frames,
                     tail: TailState::TornTail {
                         clean_len: offset as u64,
                         dropped: (bytes.len() - offset) as u64,
@@ -148,16 +179,16 @@ pub fn scan_wal(bytes: &[u8]) -> WalScan {
                     if end == bytes.len() {
                         // Checksum failure on the final frame: the media
                         // tore the write mid-frame. Drop it.
-                        return WalScan {
-                            records,
+                        return FrameScan {
+                            frames,
                             tail: TailState::TornTail {
                                 clean_len: offset as u64,
                                 dropped: (bytes.len() - offset) as u64,
                             },
                         };
                     }
-                    return WalScan {
-                        records,
+                    return FrameScan {
+                        frames,
                         tail: TailState::Corrupt {
                             offset: offset as u64,
                             reason: "CRC-32 mismatch on a non-final record".into(),
@@ -165,14 +196,24 @@ pub fn scan_wal(bytes: &[u8]) -> WalScan {
                     };
                 }
                 let start = offset + frame_header_len(bytes, offset);
-                records.push(bytes[start..end].to_vec());
+                frames.push(start..end);
                 offset = end;
             }
         }
     }
-    WalScan {
-        records,
+    FrameScan {
+        frames,
         tail: TailState::Clean,
+    }
+}
+
+/// Scans a WAL byte string into materialized records plus a tail
+/// verdict. Thin copying wrapper over [`scan_frames`].
+pub fn scan_wal(bytes: &[u8]) -> WalScan {
+    let scan = scan_frames(bytes);
+    WalScan {
+        records: scan.frames.into_iter().map(|r| bytes[r].to_vec()).collect(),
+        tail: scan.tail,
     }
 }
 
@@ -239,11 +280,15 @@ impl RetryPolicy {
 pub struct Recovered {
     /// The checkpoint blob, if one was written.
     pub checkpoint: Option<Vec<u8>>,
-    /// Clean WAL record payloads after the checkpoint, in append order.
-    pub records: Vec<Vec<u8>>,
+    /// Clean WAL record payloads after the checkpoint, in append order,
+    /// as zero-copy [`Payload`] slices of the segment buffers they were
+    /// read into — replay borrows them without a per-record copy.
+    pub records: Vec<Payload>,
     /// Bytes dropped by a torn-tail repair (`None` when the log was
     /// clean).
     pub repaired: Option<u64>,
+    /// Number of live WAL segments scanned.
+    pub segments: usize,
 }
 
 /// The record-level front end over a [`DurableBackend`]: checksummed
@@ -281,6 +326,14 @@ impl DurableLog {
         self.retry.run(|| self.backend.sync())
     }
 
+    /// Appends a batch of pre-framed records and syncs them durable
+    /// with a **single** sync — the group-commit fast path. Only after
+    /// `Ok` may the caller treat any record of the batch as persisted.
+    pub fn append_batch(&self, frames: &[FrameRef<'_>]) -> StorageResult<()> {
+        self.retry.run(|| self.backend.append_batch(frames))?;
+        self.retry.run(|| self.backend.sync())
+    }
+
     /// Atomically replaces the checkpoint and clears the WAL it
     /// subsumes.
     pub fn checkpoint(&self, state: &[u8]) -> StorageResult<()> {
@@ -288,30 +341,84 @@ impl DurableLog {
         self.retry.run(|| self.backend.reset_wal())
     }
 
-    /// Reads checkpoint + WAL, repairing a torn tail (truncating the
-    /// log back to its last clean frame) and refusing a mid-log-corrupt
-    /// one with [`StorageError::Unavailable`].
+    /// Replaces the checkpoint blob without touching the WAL (callers
+    /// that rotate/compact segments themselves).
+    pub fn write_checkpoint(&self, state: &[u8]) -> StorageResult<()> {
+        self.retry.run(|| self.backend.write_checkpoint(state))
+    }
+
+    /// Seals the active segment behind a fresh empty one.
+    pub fn rotate(&self) -> StorageResult<()> {
+        self.retry.run(|| self.backend.rotate_wal())
+    }
+
+    /// Deletes every sealed segment (checkpoint-subsumed compaction).
+    pub fn drop_sealed(&self) -> StorageResult<()> {
+        self.retry.run(|| self.backend.drop_sealed_segments())
+    }
+
+    /// Byte length of each live segment, oldest first.
+    pub fn segment_sizes(&self) -> StorageResult<Vec<u64>> {
+        self.retry.run(|| self.backend.segment_sizes())
+    }
+
+    /// Reads checkpoint + WAL segments (oldest first), repairing a torn
+    /// tail in the **active** segment (truncating it back to its last
+    /// clean frame) and refusing damage anywhere else with
+    /// [`StorageError::Unavailable`].
+    ///
+    /// The per-segment rules: a sealed segment must scan fully clean —
+    /// a torn or corrupt frame there sits *before* acknowledged records
+    /// in later segments, so the log cannot be trusted. Only the final
+    /// (active) segment may end in a torn tail, which is what a crash
+    /// mid-append leaves behind.
+    ///
+    /// Record payloads are returned as zero-copy [`Payload`] slices over
+    /// the per-segment read buffers.
     pub fn recover(&self) -> StorageResult<Recovered> {
         let checkpoint = self.retry.run(|| self.backend.read_checkpoint())?;
-        let wal = self.retry.run(|| self.backend.read_wal())?;
-        let scan = scan_wal(&wal);
-        let repaired = match scan.tail {
-            TailState::Clean => None,
-            TailState::TornTail { clean_len, dropped } => {
-                self.retry.run(|| self.backend.truncate_wal(clean_len))?;
-                Some(dropped)
+        let segments = self.retry.run(|| self.backend.read_wal_segments())?;
+        let count = segments.len();
+        let mut records = Vec::new();
+        let mut repaired = None;
+        // Absolute offset of the current segment's first byte, for
+        // error messages that span the whole log.
+        let mut base: u64 = 0;
+        for (i, seg) in segments.into_iter().enumerate() {
+            let is_active = i + 1 == count;
+            let seg_len = seg.len() as u64;
+            let buf = Payload::new(seg);
+            let scan = scan_frames(buf.as_slice());
+            match scan.tail {
+                TailState::Clean => {}
+                TailState::TornTail { clean_len, dropped } if is_active => {
+                    self.retry.run(|| self.backend.truncate_wal(clean_len))?;
+                    repaired = Some(dropped);
+                }
+                TailState::TornTail { clean_len, .. } => {
+                    return Err(StorageError::Unavailable(format!(
+                        "WAL corrupt at byte {offset}: torn frame in sealed segment {i}; \
+                         refusing to replay (acknowledged records after the damage \
+                         are unrecoverable)",
+                        offset = base + clean_len
+                    )));
+                }
+                TailState::Corrupt { offset, reason } => {
+                    return Err(StorageError::Unavailable(format!(
+                        "WAL corrupt at byte {offset}: {reason}; refusing to replay \
+                         (acknowledged records after the damage are unrecoverable)",
+                        offset = base + offset
+                    )));
+                }
             }
-            TailState::Corrupt { offset, reason } => {
-                return Err(StorageError::Unavailable(format!(
-                    "WAL corrupt at byte {offset}: {reason}; refusing to replay \
-                     (acknowledged records after the damage are unrecoverable)"
-                )));
-            }
-        };
+            records.extend(scan.frames.into_iter().map(|r| buf.slice(r)));
+            base += seg_len;
+        }
         Ok(Recovered {
             checkpoint,
-            records: scan.records,
+            records,
             repaired,
+            segments: count,
         })
     }
 }
@@ -323,6 +430,10 @@ mod tests {
 
     fn mem_log(backend: Arc<MemBackend>) -> DurableLog {
         DurableLog::new(backend, RetryPolicy::immediate(3))
+    }
+
+    fn owned(records: &[Payload]) -> Vec<Vec<u8>> {
+        records.iter().map(|p| p.to_vec()).collect()
     }
 
     #[test]
@@ -417,14 +528,14 @@ mod tests {
         log.append(b"two").unwrap();
         let rec = log.recover().unwrap();
         assert_eq!(rec.checkpoint, None);
-        assert_eq!(rec.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(owned(&rec.records), vec![b"one".to_vec(), b"two".to_vec()]);
         assert_eq!(rec.repaired, None);
 
         log.checkpoint(b"state-after-two").unwrap();
         log.append(b"three").unwrap();
         let rec = log.recover().unwrap();
         assert_eq!(rec.checkpoint.as_deref(), Some(&b"state-after-two"[..]));
-        assert_eq!(rec.records, vec![b"three".to_vec()]);
+        assert_eq!(owned(&rec.records), vec![b"three".to_vec()]);
     }
 
     #[test]
@@ -442,12 +553,12 @@ mod tests {
         // "Restart": recover straight from the inner backend.
         let log = mem_log(backend.clone());
         let rec = log.recover().unwrap();
-        assert_eq!(rec.records, vec![b"survives".to_vec()]);
+        assert_eq!(owned(&rec.records), vec![b"survives".to_vec()]);
         assert!(rec.repaired.is_some());
         // The repair truncated the media itself: a second recovery is clean.
         let rec = log.recover().unwrap();
         assert_eq!(rec.repaired, None);
-        assert_eq!(rec.records, vec![b"survives".to_vec()]);
+        assert_eq!(owned(&rec.records), vec![b"survives".to_vec()]);
     }
 
     #[test]
@@ -475,7 +586,10 @@ mod tests {
         let log = DurableLog::new(faulty, RetryPolicy::immediate(3));
         log.append(b"rides-out-the-fsync-blip").unwrap();
         let rec = mem_log(backend).recover().unwrap();
-        assert_eq!(rec.records, vec![b"rides-out-the-fsync-blip".to_vec()]);
+        assert_eq!(
+            owned(&rec.records),
+            vec![b"rides-out-the-fsync-blip".to_vec()]
+        );
     }
 
     #[test]
@@ -502,7 +616,7 @@ mod tests {
         log.append(b"kept").unwrap();
         log.append(b"flipped").unwrap();
         let rec = mem_log(backend).recover().unwrap();
-        assert_eq!(rec.records, vec![b"kept".to_vec()]);
+        assert_eq!(owned(&rec.records), vec![b"kept".to_vec()]);
         assert!(rec.repaired.is_some());
     }
 }

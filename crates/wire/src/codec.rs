@@ -95,6 +95,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads a varint.
+    #[inline]
     pub fn varint(&mut self) -> Result<u64> {
         let (v, used) = varint::read_u64(&self.input[self.pos..])?;
         self.pos += used;
@@ -102,6 +103,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads exactly `n` raw bytes.
+    #[inline]
     pub fn raw(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
             return Err(Error::Decode(format!(
@@ -115,6 +117,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads a length-prefixed byte string.
+    #[inline]
     pub fn bytes(&mut self) -> Result<&'a [u8]> {
         let len = self.varint()?;
         if len > MAX_SEQUENCE_LEN {
@@ -124,6 +127,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads a sequence length, enforcing the cap.
+    #[inline]
     pub fn seq_len(&mut self) -> Result<usize> {
         let len = self.varint()?;
         if len > MAX_SEQUENCE_LEN {
@@ -139,6 +143,7 @@ impl<'a> Reader<'a> {
     /// than failing midway through per-item decoding. Because the result
     /// is bounded by the input size, callers can `Vec::with_capacity` it
     /// exactly instead of growing (and re-allocating) per item.
+    #[inline]
     pub fn seq_len_for(&mut self, min_item_bytes: usize) -> Result<usize> {
         let len = self.seq_len()?;
         let need = len.saturating_mul(min_item_bytes.max(1));
@@ -186,6 +191,7 @@ macro_rules! impl_uint {
             }
         }
         impl Decode for $ty {
+            #[inline]
             fn decode(r: &mut Reader<'_>) -> Result<Self> {
                 let v = r.varint()?;
                 <$ty>::try_from(v)
@@ -204,6 +210,7 @@ impl Encode for u64 {
 }
 
 impl Decode for u64 {
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         r.varint()
     }
@@ -216,6 +223,7 @@ impl Encode for usize {
 }
 
 impl Decode for usize {
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let v = r.varint()?;
         usize::try_from(v).map_err(|_| Error::Decode(format!("{v} out of range for usize")))
@@ -230,6 +238,7 @@ macro_rules! impl_sint {
             }
         }
         impl Decode for $ty {
+            #[inline]
             fn decode(r: &mut Reader<'_>) -> Result<Self> {
                 let v = varint::unzigzag(r.varint()?);
                 <$ty>::try_from(v)
@@ -248,6 +257,7 @@ impl Encode for i64 {
 }
 
 impl Decode for i64 {
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         Ok(varint::unzigzag(r.varint()?))
     }
@@ -260,6 +270,7 @@ impl Encode for bool {
 }
 
 impl Decode for bool {
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         match r.varint()? {
             0 => Ok(false),
@@ -276,6 +287,7 @@ impl Encode for f64 {
 }
 
 impl Decode for f64 {
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let raw = r.raw(8)?;
         let mut arr = [0u8; 8];
@@ -291,6 +303,7 @@ impl Encode for f32 {
 }
 
 impl Decode for f32 {
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let raw = r.raw(4)?;
         let mut arr = [0u8; 4];
@@ -309,8 +322,12 @@ impl Encode for String {
 
 impl Decode for String {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
-        let bytes = r.bytes()?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| Error::Decode("invalid utf-8".into()))
+        // Validate in place, then copy once: rejecting bad UTF-8 before
+        // the allocation keeps the error path allocation-free and the
+        // happy path a plain memcpy.
+        let text =
+            std::str::from_utf8(r.bytes()?).map_err(|_| Error::Decode("invalid utf-8".into()))?;
+        Ok(text.to_owned())
     }
 }
 

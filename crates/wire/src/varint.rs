@@ -12,6 +12,7 @@ use edgelet_util::{Error, Result};
 pub const MAX_VARINT_LEN: usize = 10;
 
 /// Appends the varint encoding of `value` to `out`.
+#[inline]
 pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
     loop {
         let byte = (value & 0x7f) as u8;
@@ -45,7 +46,21 @@ pub fn write_u64_into(out: &mut [u8; MAX_VARINT_LEN], mut value: u64) -> usize {
 ///
 /// Returns the value and the number of bytes consumed. Rejects truncated
 /// input and non-canonical encodings longer than [`MAX_VARINT_LEN`].
+#[inline]
 pub fn read_u64(input: &[u8]) -> Result<(u64, usize)> {
+    // Single-byte fast path: tags, sequence lengths, and small ints —
+    // the overwhelming majority of varints on a row-decode path.
+    if let Some(&first) = input.first() {
+        if first < 0x80 {
+            return Ok((u64::from(first), 1));
+        }
+    }
+    read_u64_slow(input)
+}
+
+/// Multi-byte / error tail of [`read_u64`], kept out of the inlined
+/// fast path.
+fn read_u64_slow(input: &[u8]) -> Result<(u64, usize)> {
     let mut value: u64 = 0;
     let mut shift = 0u32;
     for (i, &byte) in input.iter().enumerate() {
@@ -67,11 +82,13 @@ pub fn read_u64(input: &[u8]) -> Result<(u64, usize)> {
 }
 
 /// Zigzag-maps a signed integer to unsigned.
+#[inline]
 pub fn zigzag(value: i64) -> u64 {
     ((value << 1) ^ (value >> 63)) as u64
 }
 
 /// Inverse of [`zigzag`].
+#[inline]
 pub fn unzigzag(value: u64) -> i64 {
     ((value >> 1) as i64) ^ -((value & 1) as i64)
 }

@@ -83,7 +83,34 @@ fn durable_service(
             // across at least one restart, exercising replay.
             checkpoint_every: 2,
             crash_at,
-            crash_handler: None,
+            ..DurabilityConfig::default()
+        },
+    );
+    (service, spec, privacy, resilience, report)
+}
+
+/// Like [`durable_service`], but with tiny WAL segments so every
+/// couple of appends crosses a rotation boundary.
+fn durable_service_with_segments(
+    seed: u64,
+    backend: Arc<dyn DurableBackend>,
+    segment_bytes: u64,
+) -> (
+    QueryService,
+    QuerySpec,
+    PrivacyConfig,
+    ResilienceConfig,
+    edgelet_live::RecoveryReport,
+) {
+    let (platform, spec, privacy, resilience) = world(seed);
+    let (service, report) = QueryService::with_durability(
+        platform,
+        service_config(),
+        backend,
+        DurabilityConfig {
+            checkpoint_every: 2,
+            segment_bytes,
+            ..DurabilityConfig::default()
         },
     );
     (service, spec, privacy, resilience, report)
@@ -242,6 +269,146 @@ fn torn_tail_is_repaired_and_the_query_finished() {
     let outcome = submit(&service, &spec, &privacy, &resilience).expect("recovered run");
     assert!(outcome.recovered && outcome.succeeded());
     service.shutdown();
+}
+
+/// A power cut that tears the append *just after a segment rotation*:
+/// with 256-byte segments the completion append rotates first, so the
+/// tear lands in a freshly sealed boundary's active segment. Recovery
+/// must leave the sealed segment untouched, repair only the active
+/// tail, and finish the query byte-identical to an uninterrupted run.
+#[test]
+fn torn_tail_after_rotation_repairs_only_the_active_segment() {
+    // Uninterrupted reference with the same segment size.
+    let (service, spec, privacy, resilience, _) =
+        durable_service_with_segments(4, Arc::new(MemBackend::new()), 256);
+    let reference = submit(&service, &spec, &privacy, &resilience).expect("reference run");
+    service.shutdown();
+
+    let backend = Arc::new(MemBackend::new());
+    let faulty: Arc<dyn DurableBackend> = Arc::new(FaultyBackend::new(
+        backend.clone(),
+        StorageFaultPlan::new().with(2, StorageFaultAction::TornTail { keep: 6 }),
+    ));
+    let (service, spec, privacy, resilience, _) = durable_service_with_segments(4, faulty, 256);
+    submit(&service, &spec, &privacy, &resilience)
+        .expect_err("the torn completion append must fail the submit");
+    assert!(service.is_drained());
+    service.shutdown();
+    assert!(
+        backend.segment_count() >= 2,
+        "256-byte segments must force a rotation before the tear, got {}",
+        backend.segment_count()
+    );
+
+    let (service, spec, privacy, resilience, report) =
+        durable_service_with_segments(4, backend, 256);
+    assert!(
+        report.drained.is_none(),
+        "sealed segments scan clean; only the active tail is damaged: {:?}",
+        report.drained
+    );
+    assert!(report.repaired_tail.is_some(), "the torn tail must repair");
+    assert_eq!(report.pending.len(), 1);
+    let recovered = submit(&service, &spec, &privacy, &resilience).expect("recovered run");
+    assert!(recovered.recovered && recovered.succeeded());
+    assert_eq!(
+        recovered.run.report.result_payload, reference.run.report.result_payload,
+        "result payload bytes diverged across the rotation boundary"
+    );
+    assert_eq!(
+        edgelet_live::state_crc(&recovered.run),
+        edgelet_live::state_crc(&reference.run),
+        "state CRCs diverged across the rotation boundary"
+    );
+    service.shutdown();
+}
+
+/// A torn frame frozen inside a *sealed* (non-final) segment is not a
+/// crash tail — acknowledged records sit after the damage — so recovery
+/// must refuse to replay and drain the service read-only.
+#[test]
+fn torn_frame_in_a_sealed_segment_refuses_to_replay() {
+    let backend = Arc::new(MemBackend::new());
+    {
+        // Tear the first append, then rotate *instead of* truncating —
+        // freezing the torn frame inside a sealed segment — and land an
+        // acknowledged record after it.
+        let faulty: Arc<dyn DurableBackend> = Arc::new(FaultyBackend::new(
+            backend.clone(),
+            StorageFaultPlan::new().with(1, StorageFaultAction::TornTail { keep: 4 }),
+        ));
+        let log = DurableLog::new(faulty, RetryPolicy::immediate(2));
+        log.append(b"torn-then-sealed")
+            .expect_err("the tear kills the backend");
+        backend.rotate_wal().expect("seal the damaged segment");
+        let intact: Arc<dyn DurableBackend> = backend.clone();
+        let log = DurableLog::new(intact, RetryPolicy::immediate(2));
+        log.append(b"acknowledged-after")
+            .expect("lands in the fresh active segment");
+    }
+    let (service, spec, privacy, resilience, report) = durable_service(2, backend, None);
+    let reason = report
+        .drained
+        .expect("sealed-segment damage must drain the service");
+    assert!(reason.contains("sealed segment"), "{reason}");
+    assert!(reason.contains("refusing to replay"), "{reason}");
+    assert!(service.is_drained());
+    let err = submit(&service, &spec, &privacy, &resilience).expect_err("read-only");
+    assert!(matches!(err, SubmitError::ReadOnly { .. }), "{err}");
+    service.shutdown();
+}
+
+/// Checkpoint-subsumed segment deletion is idempotent across restarts:
+/// tiny segments churn through many rotations, but compaction keeps the
+/// live set bounded, and neither of two recovery replays changes the
+/// durable balances or regrows deleted segments.
+#[test]
+fn checkpoint_compaction_bounds_segments_across_repeated_restarts() {
+    let backend = Arc::new(MemBackend::new());
+    let (service, spec, privacy, resilience, _) =
+        durable_service_with_segments(6, backend.clone(), 512);
+    // 5 submissions = 10 appends over 512-byte segments, with a
+    // checkpoint every 2 applied completions.
+    for _ in 0..5 {
+        submit(&service, &spec, &privacy, &resilience).expect("submission");
+    }
+    let once = service
+        .cumulative_ledger()
+        .expect("durable services track a cumulative ledger");
+    service.shutdown();
+    let live_segments = backend.segment_count();
+    assert!(
+        live_segments <= 4,
+        "checkpoints must delete subsumed sealed segments, got {live_segments}"
+    );
+
+    let (restarted, _, _, _, report) = durable_service_with_segments(6, backend.clone(), 512);
+    assert!(report.drained.is_none(), "{:?}", report.drained);
+    let after_one_restart = restarted.cumulative_ledger().expect("cumulative ledger");
+    restarted.shutdown();
+
+    let (restarted_again, _, _, _, report) = durable_service_with_segments(6, backend.clone(), 512);
+    assert!(report.drained.is_none(), "{:?}", report.drained);
+    let after_two_restarts = restarted_again
+        .cumulative_ledger()
+        .expect("cumulative ledger");
+    restarted_again.shutdown();
+
+    assert_eq!(
+        once.entries(),
+        after_one_restart.entries(),
+        "replay must not change balances"
+    );
+    assert_eq!(
+        after_one_restart.entries(),
+        after_two_restarts.entries(),
+        "a second replay must be a no-op"
+    );
+    assert!(
+        backend.segment_count() <= live_segments,
+        "restart-time recovery must not regrow sealed segments, got {}",
+        backend.segment_count()
+    );
 }
 
 /// Mid-log damage (a truncated or checksum-corrupt non-final record)

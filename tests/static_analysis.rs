@@ -144,6 +144,26 @@ fn preflight_denies_a_broken_plan_and_passes_a_sound_one() {
 }
 
 #[test]
+fn group_commit_knobs_are_checked_against_deadline_and_cadence() {
+    use edgelet_analyze::check_storage_config;
+
+    let dir = std::env::temp_dir().join(format!(
+        "edgelet-static-analysis-storage-{}",
+        std::process::id()
+    ));
+    // A commit window the wall deadline cannot absorb is W143; segments
+    // smaller than one checkpoint interval's churn are W144.
+    let found = check_storage_config(true, Some(&dir), 8, false, 50, Some(120), 1024);
+    let codes: Vec<&str> = found.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec!["W143", "W144"], "{found:?}");
+    assert!(!has_errors(&found), "both are warnings, not errors");
+    // Defaults (window off, 4 MiB segments) stay quiet.
+    let found = check_storage_config(true, Some(&dir), 8, false, 0, Some(120), 4 << 20);
+    assert!(found.is_empty(), "{found:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn workspace_sources_are_lint_clean() {
     // The root package's manifest dir is the workspace root. This runs
     // every source layer: lint, the Layer-3 concurrency pass, and the
