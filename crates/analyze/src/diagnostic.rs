@@ -282,6 +282,15 @@ pub mod codes {
     /// the log rotates several times per checkpoint for no compaction
     /// gain.
     pub const STORAGE_SEGMENT_THRASH: &str = "W144";
+    /// A multi-process deployment that cannot form: unresolvable listen
+    /// or connect address, a daemon dialing its own endpoint, a
+    /// declared transport contradicting the address scheme, or a zero
+    /// remote worker count.
+    pub const NET_ENDPOINT_INVALID: &str = "E150";
+    /// TCP reconnects left on the default backoff bounds.
+    pub const NET_TCP_DEFAULT_BACKOFF: &str = "W151";
+    /// A handshake timeout at or beyond the query deadline.
+    pub const NET_HANDSHAKE_OVER_DEADLINE: &str = "W152";
     /// The lock-order graph has a cycle: two lock classes are acquired
     /// in opposite orders on different code paths, so two threads can
     /// deadlock holding one each.
@@ -483,6 +492,21 @@ pub mod codes {
             CONC_UNSYNC_SHARED_STATE,
             Severity::Error,
             "unsynchronized shared mutable state in a threaded crate",
+        ),
+        (
+            NET_ENDPOINT_INVALID,
+            Severity::Error,
+            "multi-process deployment endpoint cannot form",
+        ),
+        (
+            NET_TCP_DEFAULT_BACKOFF,
+            Severity::Warning,
+            "TCP reconnect on default backoff bounds",
+        ),
+        (
+            NET_HANDSHAKE_OVER_DEADLINE,
+            Severity::Warning,
+            "handshake timeout at or beyond the query deadline",
         ),
     ];
 }

@@ -46,6 +46,7 @@ pub mod diagnostic;
 pub mod faultplan;
 pub mod lint;
 pub mod liveconfig;
+pub mod netconfig;
 pub mod scanner;
 pub mod semantic;
 pub mod simconfig;
@@ -60,6 +61,7 @@ pub use diagnostic::{
 };
 pub use faultplan::check_fault_plan;
 pub use liveconfig::check_live_config;
+pub use netconfig::{check_net_config, NetSurface};
 pub use semantic::{analyze, analyze_plan, preflight, AnalyzeOptions};
 pub use simconfig::check_sim_config;
 pub use sourcepass::{analyze_sources, analyze_sources_with, SourcePassOptions};

@@ -12,8 +12,9 @@
 //!
 //! * `E101` — default-hasher `HashMap`/`HashSet` in the deterministic
 //!   crates (`sim`, `exec`, `query`); use `BTreeMap`/`BTreeSet`.
-//! * `E102` — `Instant::now`/`SystemTime` anywhere outside `bench`;
-//!   simulated time comes from the engine.
+//! * `E102` — `Instant::now`/`SystemTime` anywhere outside `bench`
+//!   (which measures wall time) and `net` (a wall-clock socket
+//!   runtime); simulated time comes from the engine.
 //! * `E103` — `thread_rng`/`rand::random` anywhere outside `bench`;
 //!   randomness comes from a seeded [`DetRng`](edgelet_util::rng).
 //! * `E104` — `.unwrap()`/`.expect(` in `exec`/`sim` library code;
@@ -76,7 +77,11 @@ fn rules() -> Vec<Rule> {
             code: codes::LINT_WALL_CLOCK,
             severity: Severity::Error,
             needles: vec![join(&["Ins", "tant::now"]), join(&["System", "Time"])],
-            filter: CrateFilter::Except(&["bench"]),
+            // `bench` measures wall time; `net` *is* a wall-clock
+            // runtime (IO deadlines, reconnect backoff, handshake
+            // sweeping) — its virtual-time discipline is enforced by
+            // the cross-engine parity tests, not by this lint.
+            filter: CrateFilter::Except(&["bench", "net"]),
             what: "wall-clock read",
             help: "simulated time comes from the engine; wall clocks break replay",
         },

@@ -54,8 +54,8 @@ fn main() {
     let results = report::run_all();
     for r in &results {
         println!(
-            "{:<52} median {:>14.1} ns  shards {}  workers {}  {} {:.1}",
-            r.name, r.median_ns, r.shards, r.workers, r.throughput.0, r.throughput.1
+            "{:<52} median {:>14.1} ns  shards {}  workers {}  {}  {} {:.1}",
+            r.name, r.median_ns, r.shards, r.workers, r.transport, r.throughput.0, r.throughput.1
         );
     }
     let json = report::to_json(&results);

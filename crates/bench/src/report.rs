@@ -38,6 +38,10 @@ pub struct SuiteResult {
     /// count, or the shard count for the sharded simulator (one thread
     /// per shard); 1 for sequential workloads.
     pub workers: usize,
+    /// Transport the suite exercised: `"in-process"` for everything
+    /// that never crosses a socket, `"uds"`/`"tcp"` for the
+    /// `edgelet-net` suites.
+    pub transport: &'static str,
     /// Throughput annotation: `(unit, value)` derived from `median_ns`.
     pub throughput: (&'static str, f64),
 }
@@ -96,6 +100,7 @@ pub fn kmeans_kernel() -> SuiteResult {
         median_ns: ns,
         shards: 1,
         workers: 1,
+        transport: "in-process",
         throughput: ("elements_per_sec", 10_000.0 / (ns * 1e-9)),
     }
 }
@@ -116,6 +121,7 @@ pub fn wire_encode() -> SuiteResult {
         median_ns: ns,
         shards: 1,
         workers: 1,
+        transport: "in-process",
         throughput: ("mib_per_sec", len / (ns * 1e-9) / (1024.0 * 1024.0)),
     }
 }
@@ -131,6 +137,7 @@ pub fn wire_decode() -> SuiteResult {
         median_ns: ns,
         shards: 1,
         workers: 1,
+        transport: "in-process",
         throughput: ("mib_per_sec", len / (ns * 1e-9) / (1024.0 * 1024.0)),
     }
 }
@@ -174,6 +181,7 @@ pub fn store_wal_append() -> SuiteResult {
         median_ns: ns,
         shards: 1,
         workers: 1,
+        transport: "in-process",
         throughput: ("mib_per_sec", bytes / (ns * 1e-9) / (1024.0 * 1024.0)),
     }
 }
@@ -203,6 +211,7 @@ pub fn store_recovery_replay() -> SuiteResult {
         median_ns: ns,
         shards: 1,
         workers: 1,
+        transport: "in-process",
         throughput: ("records_per_sec", WAL_RECORDS as f64 / (ns * 1e-9)),
     }
 }
@@ -322,6 +331,7 @@ pub fn sim_broadcast_with(shards: usize, name: &'static str) -> SuiteResult {
         median_ns: ns,
         shards,
         workers: shards,
+        transport: "in-process",
         throughput: ("deliveries_per_sec", deliveries / (ns * 1e-9)),
     }
 }
@@ -426,6 +436,7 @@ pub fn scale_churn(shards: usize, name: &'static str) -> SuiteResult {
         median_ns: ns,
         shards,
         workers: shards,
+        transport: "in-process",
         throughput: ("deliveries_per_sec", delivered as f64 / (ns * 1e-9)),
     }
 }
@@ -529,6 +540,7 @@ pub fn scale_grouping(shards: usize, name: &'static str) -> SuiteResult {
         median_ns: ns,
         shards,
         workers: shards,
+        transport: "in-process",
         throughput: ("contributions_per_sec", SCALE_DEVICES as f64 / (ns * 1e-9)),
     }
 }
@@ -567,6 +579,7 @@ pub fn e2e_query() -> SuiteResult {
         median_ns: ns,
         shards: 1,
         workers: 1,
+        transport: "in-process",
         throughput: ("queries_per_sec", 1.0 / (ns * 1e-9)),
     }
 }
@@ -632,7 +645,117 @@ pub fn live_throughput(workers: usize, name: &'static str) -> SuiteResult {
         median_ns: ns,
         shards: 1,
         workers,
+        transport: "in-process",
         throughput: ("queries_per_sec", QUERIES as f64 / (ns * 1e-9)),
+    }
+}
+
+/// Messages per socket-suite iteration.
+const NET_MSGS: usize = 200;
+/// World-spec payload bytes per submitted message (1 KiB).
+const NET_SPEC_BYTES: usize = 1024;
+
+/// Binds a UDS listener on a fresh temp path and returns both ends of
+/// one accepted connection as message streams.
+fn uds_pair(
+    tag: &str,
+) -> (
+    edgelet_net::MsgStream,
+    edgelet_net::MsgStream,
+    std::path::PathBuf,
+) {
+    use edgelet_net::{Addr, Listener, MsgStream, Stream};
+    let path =
+        std::env::temp_dir().join(format!("edgelet-bench-{tag}-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let addr = Addr::Uds(path.clone());
+    let listener = Listener::bind(&addr).expect("bind bench socket");
+    let accept = std::thread::spawn(move || listener.accept().expect("accept bench peer"));
+    let client = Stream::connect(&addr).expect("connect bench socket");
+    let server = accept.join().expect("accept thread");
+    (MsgStream::new(client), MsgStream::new(server), path)
+}
+
+/// Socket round-trip: 200 Ping/Pong exchanges over one Unix-domain
+/// connection, an echo peer on its own thread (the `net/roundtrip`
+/// suite). Reports per-round-trip latency — the floor every control
+/// message of the multi-process runtime pays.
+pub fn net_roundtrip() -> SuiteResult {
+    use edgelet_net::NetMsg;
+
+    let (mut client, mut server, path) = uds_pair("rt");
+    let echo = std::thread::spawn(move || {
+        while let Ok(NetMsg::Ping { nonce }) = server.recv(Some(std::time::Duration::from_secs(10)))
+        {
+            if server.send(&NetMsg::Pong { nonce }).is_err() {
+                break;
+            }
+        }
+    });
+    let ns = median_ns(|| {
+        for i in 0..NET_MSGS as u64 {
+            client.send(&NetMsg::Ping { nonce: i }).expect("ping");
+            match client.recv(Some(std::time::Duration::from_secs(10))) {
+                Ok(NetMsg::Pong { nonce }) => assert_eq!(nonce, i),
+                other => panic!("expected pong, got {other:?}"),
+            }
+        }
+    }) / NET_MSGS as f64;
+    client.shutdown();
+    echo.join().expect("echo peer");
+    let _ = std::fs::remove_file(&path);
+    SuiteResult {
+        name: "net/roundtrip/msgstream_ping_uds",
+        median_ns: ns,
+        shards: 1,
+        workers: 1,
+        transport: "uds",
+        throughput: ("roundtrips_per_sec", 1.0 / (ns * 1e-9)),
+    }
+}
+
+/// Socket submission throughput: 200 framed 1 KiB `SubmitReq` messages
+/// streamed over one Unix-domain connection, acknowledged once per
+/// batch (the `net/submit_throughput` suite). Measures frame encode,
+/// CRC, socket write, reassembly, and decode end to end.
+pub fn net_submit_throughput() -> SuiteResult {
+    use edgelet_net::NetMsg;
+
+    let (mut client, mut server, path) = uds_pair("st");
+    let sink = std::thread::spawn(move || loop {
+        for _ in 0..NET_MSGS {
+            match server.recv(Some(std::time::Duration::from_secs(10))) {
+                Ok(NetMsg::SubmitReq { spec }) => assert_eq!(spec.len(), NET_SPEC_BYTES),
+                _ => return,
+            }
+        }
+        if server.send(&NetMsg::Pong { nonce: 0 }).is_err() {
+            return;
+        }
+    });
+    let bytes = (NET_MSGS * NET_SPEC_BYTES) as f64;
+    let spec = vec![0xE1u8; NET_SPEC_BYTES];
+    let ns = median_ns(|| {
+        for _ in 0..NET_MSGS {
+            client
+                .send(&NetMsg::SubmitReq { spec: spec.clone() })
+                .expect("submit");
+        }
+        match client.recv(Some(std::time::Duration::from_secs(10))) {
+            Ok(NetMsg::Pong { .. }) => {}
+            other => panic!("expected batch ack, got {other:?}"),
+        }
+    });
+    client.shutdown();
+    sink.join().expect("sink peer");
+    let _ = std::fs::remove_file(&path);
+    SuiteResult {
+        name: "net/submit_throughput/200x1kib_uds",
+        median_ns: ns,
+        shards: 1,
+        workers: 1,
+        transport: "uds",
+        throughput: ("mib_per_sec", bytes / (ns * 1e-9) / (1024.0 * 1024.0)),
     }
 }
 
@@ -728,6 +851,8 @@ pub fn suites() -> Vec<Suite> {
             "live/throughput/grouping_3_queries_1k_contributors@workers4",
             live_par
         ),
+        suite!("net/roundtrip/msgstream_ping_uds", net_roundtrip),
+        suite!("net/submit_throughput/200x1kib_uds", net_submit_throughput),
     ]
 }
 
@@ -815,8 +940,8 @@ pub fn to_json(results: &[SuiteResult]) -> String {
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         out.push_str(&format!(
-            "    \"{}\": {{\"median_ns\": {:.1}, \"shards\": {}, \"workers\": {}, \"{}\": {:.1}}}{comma}\n",
-            r.name, r.median_ns, r.shards, r.workers, r.throughput.0, r.throughput.1
+            "    \"{}\": {{\"median_ns\": {:.1}, \"shards\": {}, \"workers\": {}, \"transport\": \"{}\", \"{}\": {:.1}}}{comma}\n",
+            r.name, r.median_ns, r.shards, r.workers, r.transport, r.throughput.0, r.throughput.1
         ));
     }
     out.push_str("  }\n}\n");
@@ -888,6 +1013,7 @@ mod tests {
                 median_ns: 12345.5,
                 shards: 1,
                 workers: 1,
+                transport: "in-process",
                 throughput: ("elements_per_sec", 1e9),
             },
             SuiteResult {
@@ -895,6 +1021,7 @@ mod tests {
                 median_ns: 678.0,
                 shards: 1,
                 workers: 1,
+                transport: "in-process",
                 throughput: ("mib_per_sec", 250.0),
             },
         ];
@@ -955,6 +1082,20 @@ mod tests {
     }
 
     #[test]
+    fn net_suites_cross_a_real_socket() {
+        let rt = net_roundtrip();
+        assert_eq!(rt.name, "net/roundtrip/msgstream_ping_uds");
+        assert_eq!(rt.transport, "uds");
+        assert_eq!(rt.throughput.0, "roundtrips_per_sec");
+        assert!(rt.throughput.1 > 0.0);
+        let st = net_submit_throughput();
+        assert_eq!(st.name, "net/submit_throughput/200x1kib_uds");
+        assert_eq!(st.transport, "uds");
+        assert_eq!(st.throughput.0, "mib_per_sec");
+        assert!(st.throughput.1 > 0.0);
+    }
+
+    #[test]
     fn broadcast_sim_delivers_everything() {
         let mut sim = build_broadcast_sim(1);
         sim.run();
@@ -988,6 +1129,7 @@ mod tests {
                 median_ns: 100.0,
                 shards: 1,
                 workers: 1,
+                transport: "in-process",
                 throughput: ("x_per_sec", 1.0),
             },
             SuiteResult {
@@ -995,6 +1137,7 @@ mod tests {
                 median_ns: 100.0,
                 shards: 1,
                 workers: 1,
+                transport: "in-process",
                 throughput: ("x_per_sec", 1.0),
             },
         ]);
@@ -1005,6 +1148,7 @@ mod tests {
                 median_ns: 105.0,
                 shards: 1,
                 workers: 1,
+                transport: "in-process",
                 throughput: ("x_per_sec", 1.0),
             },
             // 50% slower: gates.
@@ -1013,6 +1157,7 @@ mod tests {
                 median_ns: 150.0,
                 shards: 1,
                 workers: 1,
+                transport: "in-process",
                 throughput: ("x_per_sec", 1.0),
             },
             // Not in the baseline: skipped.
@@ -1021,6 +1166,7 @@ mod tests {
                 median_ns: 999.0,
                 shards: 1,
                 workers: 1,
+                transport: "in-process",
                 throughput: ("x_per_sec", 1.0),
             },
         ];
@@ -1037,10 +1183,12 @@ mod tests {
             median_ns: 1.0,
             shards: 4,
             workers: 2,
+            transport: "in-process",
             throughput: ("x_per_sec", 1.0),
         }]);
         assert!(json.contains("\"shards\": 4"));
         assert!(json.contains("\"workers\": 2"));
+        assert!(json.contains("\"transport\": \"in-process\""));
         assert!(json.contains("\"git_revision\""));
         assert!(json.contains("\"available_parallelism\""));
         assert_eq!(median_from_json(&json, "s"), Some(1.0));
@@ -1049,7 +1197,7 @@ mod tests {
     #[test]
     fn registry_filters_by_prefix() {
         let names: Vec<&str> = suites().iter().map(|s| s.name).collect();
-        assert_eq!(names.len(), 14, "{names:?}");
+        assert_eq!(names.len(), 16, "{names:?}");
         // Prefix selection is what `edgelet bench --suite` exposes; pure
         // name filtering here so the test does not run the heavy suites.
         let broadcast: Vec<&&str> = names

@@ -35,10 +35,16 @@ pub enum Command {
     Chaos(ChaosArgs),
     /// `edgelet bench …`
     Bench(BenchArgs),
-    /// `edgelet serve …` — live runtime, concurrent self-driving demo.
+    /// `edgelet serve …` — live runtime, concurrent self-driving demo
+    /// (or, with `--listen`, a socket daemon serving remote workers and
+    /// client submissions).
     Serve(ServeArgs),
-    /// `edgelet submit …` — live runtime, one query with a verdict.
+    /// `edgelet submit …` — live runtime, one query with a verdict
+    /// (or, with `--connect`, a client submission to a daemon).
     Submit(ServeArgs),
+    /// `edgelet worker --connect <addr>` — a worker process serving a
+    /// daemon's epochs over a socket.
+    Worker(WorkerArgs),
     /// `edgelet help` (or `--help`)
     Help,
 }
@@ -74,6 +80,23 @@ pub struct ServeArgs {
     /// `before-checkpoint`): abort the process there, for restart
     /// drills. Requires `--durable`.
     pub crash_at: Option<String>,
+    /// Daemon mode (`serve` only): bind this address (`uds:<path>` |
+    /// `tcp:<host>:<port>`) and serve remote workers + submissions.
+    pub listen: Option<String>,
+    /// Client mode (`submit` only): send the query to a daemon at this
+    /// address instead of running in-process.
+    pub connect: Option<String>,
+    /// Declared transport (`uds` | `tcp`); must match the address
+    /// scheme (E150) — purely a guard against config drift.
+    pub transport: Option<String>,
+    /// Worker *processes* the daemon coordinates per epoch (`--listen`
+    /// only; distinct from `--workers`, the in-process thread count
+    /// used when no remote fleet is available).
+    pub expected_workers: usize,
+    /// Relay fault plan DSL (`--listen` only); see docs/NET.md.
+    pub net_fault_plan: Option<String>,
+    /// Handshake completion deadline, milliseconds (`--listen` only).
+    pub handshake_timeout_ms: u64,
 }
 
 impl Default for ServeArgs {
@@ -92,8 +115,25 @@ impl Default for ServeArgs {
             commit_window_ms: 0,
             segment_bytes: 4 << 20,
             crash_at: None,
+            listen: None,
+            connect: None,
+            transport: None,
+            expected_workers: 2,
+            net_fault_plan: None,
+            handshake_timeout_ms: 10_000,
         }
     }
+}
+
+/// Options for the `worker` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerArgs {
+    /// The daemon's address (`uds:<path>` | `tcp:<host>:<port>`).
+    pub connect: String,
+    /// First reconnect delay, milliseconds (`None` = default 50).
+    pub backoff_initial_ms: Option<u64>,
+    /// Reconnect delay cap, milliseconds (`None` = default 2000).
+    pub backoff_max_ms: Option<u64>,
 }
 
 /// Options for the `bench` regression gate.
@@ -216,7 +256,10 @@ USAGE:
     edgelet chaos   [OPTIONS] deterministic fault-injection campaign
     edgelet bench   [OPTIONS] measure suites; gate on a committed baseline
     edgelet serve   [OPTIONS] live runtime: N concurrent queries, one device pool
+                              (with --listen: socket daemon for remote workers)
     edgelet submit  [OPTIONS] live runtime: one query; exit nonzero on a miss
+                              (with --connect: submit to a daemon over a socket)
+    edgelet worker --connect ADDR   worker process serving a daemon's epochs
     edgelet experiments       list the figure-regeneration binaries
     edgelet help              this text
 
@@ -277,6 +320,23 @@ OPTIONS (serve/submit — plus all plan/run world options):
     --crash-at POINT    abort at a scripted point for restart drills:
                         after-admit|mid-query|before-checkpoint
                         (requires --durable)
+
+OPTIONS (multi-process deployment; addresses are uds:<path> | tcp:<host>:<port>):
+    --listen ADDR       serve only: bind a daemon socket; epochs run on
+                        remote worker processes when the fleet is full,
+                        in-process otherwise
+    --connect ADDR      submit: send the query to a daemon
+                        worker: the daemon to serve
+    --transport T       declared transport, uds|tcp; must match the
+                        address scheme (E150 guard)
+    --expected-workers N  worker processes per epoch (serve --listen)
+                                                         [default: 2]
+    --handshake-timeout-ms N  handshake deadline        [default: 10000]
+    --net-fault-plan P  relay fault rules, e.g.
+                        `drop,from=3;dup,extra-ms=1,after-s=0.5`
+                        (see docs/NET.md)
+    --backoff-initial-ms N  worker reconnect delay       [default: 50]
+    --backoff-max-ms N      worker reconnect delay cap   [default: 2000]
 
 Exit status is nonzero when the campaign found failing triples, a
 replayed corpus entry's oracle verdict changed, a bench suite
@@ -383,11 +443,64 @@ pub fn parse(argv: &[String]) -> Result<Command> {
                     }
                 };
             }
+            if let Some(values) = flags.get("listen") {
+                s.listen = Some(single(values, "listen")?.clone());
+            }
+            if let Some(values) = flags.get("connect") {
+                s.connect = Some(single(values, "connect")?.clone());
+            }
+            if let Some(values) = flags.get("transport") {
+                let t = single(values, "transport")?;
+                if !["uds", "tcp"].contains(&t.as_str()) {
+                    return Err(Error::InvalidConfig(format!(
+                        "--transport expects uds|tcp, got `{t}`"
+                    )));
+                }
+                s.transport = Some(t.clone());
+            }
+            s.expected_workers = flag_parse(&flags, "expected-workers", 2usize)?;
+            s.handshake_timeout_ms = flag_parse(&flags, "handshake-timeout-ms", 10_000u64)?;
+            if let Some(values) = flags.get("net-fault-plan") {
+                s.net_fault_plan = Some(single(values, "net-fault-plan")?.clone());
+            }
+            if sub == "serve" {
+                if s.connect.is_some() {
+                    return Err(Error::InvalidConfig(
+                        "--connect is for `submit` and `worker`; a daemon listens (--listen)"
+                            .into(),
+                    ));
+                }
+            } else if s.listen.is_some() {
+                return Err(Error::InvalidConfig(
+                    "--listen is for `serve`; a client connects (--connect)".into(),
+                ));
+            }
             if sub == "serve" {
                 Ok(Command::Serve(s))
             } else {
                 Ok(Command::Submit(s))
             }
+        }
+        "worker" => {
+            let flags = collect_flags(rest)?;
+            let connect = flags
+                .get("connect")
+                .map(|v| single(v, "connect").cloned())
+                .transpose()?
+                .ok_or_else(|| Error::InvalidConfig("worker requires --connect <addr>".into()))?;
+            let backoff_initial_ms = flags
+                .get("backoff-initial-ms")
+                .map(|v| parse_value(single(v, "backoff-initial-ms")?, "backoff-initial-ms"))
+                .transpose()?;
+            let backoff_max_ms = flags
+                .get("backoff-max-ms")
+                .map(|v| parse_value(single(v, "backoff-max-ms")?, "backoff-max-ms"))
+                .transpose()?;
+            Ok(Command::Worker(WorkerArgs {
+                connect,
+                backoff_initial_ms,
+                backoff_max_ms,
+            }))
         }
         "plan" | "run" | "analyze" => {
             let flags = collect_flags(rest)?;
@@ -744,6 +857,59 @@ mod tests {
             panic!()
         };
         assert!(!s.durable && s.crash_at.is_some());
+    }
+
+    #[test]
+    fn net_args() {
+        // serve --listen with the daemon knobs.
+        let Command::Serve(s) = parse(&argv(
+            "serve --listen uds:/tmp/edgelet.sock --expected-workers 3 \
+             --handshake-timeout-ms 500 --transport uds --net-fault-plan drop,from=3",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.listen.as_deref(), Some("uds:/tmp/edgelet.sock"));
+        assert_eq!(s.expected_workers, 3);
+        assert_eq!(s.handshake_timeout_ms, 500);
+        assert_eq!(s.transport.as_deref(), Some("uds"));
+        assert_eq!(s.net_fault_plan.as_deref(), Some("drop,from=3"));
+        // submit --connect as a socket client.
+        let Command::Submit(s) = parse(&argv("submit --connect tcp:127.0.0.1:7000")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(s.connect.as_deref(), Some("tcp:127.0.0.1:7000"));
+        // Defaults stay compatible with the in-process mode.
+        let Command::Serve(s) = parse(&argv("serve")).unwrap() else {
+            panic!()
+        };
+        assert!(s.listen.is_none() && s.connect.is_none());
+        assert_eq!(s.expected_workers, 2);
+        // The wrong-direction flags are rejected at parse time.
+        assert!(parse(&argv("serve --connect uds:/tmp/a.sock")).is_err());
+        assert!(parse(&argv("submit --listen uds:/tmp/a.sock")).is_err());
+        assert!(parse(&argv("serve --transport carrier-pigeon")).is_err());
+    }
+
+    #[test]
+    fn worker_args() {
+        let Command::Worker(w) = parse(&argv("worker --connect uds:/tmp/edgelet.sock")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(w.connect, "uds:/tmp/edgelet.sock");
+        assert!(w.backoff_initial_ms.is_none() && w.backoff_max_ms.is_none());
+        let Command::Worker(w) = parse(&argv(
+            "worker --connect tcp:10.0.0.2:7000 --backoff-initial-ms 20 --backoff-max-ms 400",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(w.backoff_initial_ms, Some(20));
+        assert_eq!(w.backoff_max_ms, Some(400));
+        assert!(parse(&argv("worker")).is_err());
+        assert!(parse(&argv("worker --connect a --backoff-max-ms soon")).is_err());
     }
 
     #[test]

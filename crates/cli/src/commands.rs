@@ -33,17 +33,31 @@ pub fn execute_with_status(cmd: Command) -> Result<(String, i32)> {
         return bench_command(&args);
     }
     if let Command::Serve(args) = cmd {
+        // `--listen` switches to daemon mode: same service, plus a
+        // socket front-end for remote workers and submissions.
+        if args.listen.is_some() {
+            return crate::net::serve_listen(&args);
+        }
         return serve_command(&args);
     }
     if let Command::Submit(args) = cmd {
+        // `--connect` sends the query to a daemon instead of running
+        // it in-process.
+        if args.connect.is_some() {
+            return crate::net::submit_connect(&args);
+        }
         return submit_command(&args);
+    }
+    if let Command::Worker(args) = cmd {
+        return crate::net::worker_command(&args);
     }
     let text = match cmd {
         Command::Analyze { .. }
         | Command::Chaos(_)
         | Command::Bench(_)
         | Command::Serve(_)
-        | Command::Submit(_) => {
+        | Command::Submit(_)
+        | Command::Worker(_) => {
             unreachable!("handled above")
         }
         Command::Help => USAGE.to_string(),
@@ -459,6 +473,18 @@ fn submit_command(args: &ServeArgs) -> Result<(String, i32)> {
         Err(SubmitError::Failed(e)) => {
             return Err(Error::InvalidConfig(format!("live query failed: {e}")))
         }
+        Err(SubmitError::ShuttingDown) => {
+            // A graceful drain in progress: distinct from read-only so
+            // a client knows to retry elsewhere rather than give up on
+            // this daemon's durable state.
+            let text = if args.json {
+                "{\"verdict\":\"rejected_draining\",\"reason\":\"service shutting down\"}\n"
+                    .to_string()
+            } else {
+                "rejected (draining): service shutting down\n".to_string()
+            };
+            (text, 1)
+        }
         Err(SubmitError::ReadOnly { reason }) => {
             // Drained mode: a distinct verdict so operators (and the
             // restart-smoke CI job) can tell "media is read-only" from
@@ -488,7 +514,11 @@ fn submit_command(args: &ServeArgs) -> Result<(String, i32)> {
 /// before any thread spawns. Error-severity diagnostics terminate with
 /// a nonzero status; warnings render into `preamble` and the run
 /// proceeds.
-fn live_preflight(args: &ServeArgs, json: bool, preamble: &mut String) -> Option<(String, i32)> {
+pub(crate) fn live_preflight(
+    args: &ServeArgs,
+    json: bool,
+    preamble: &mut String,
+) -> Option<(String, i32)> {
     let mut lint =
         edgelet_analyze::check_live_config(args.workers, args.wall_deadline_ms, args.mailbox_cap);
     let crash_risk = args.query.crash_p > 0.0 || args.crash_at.is_some();
@@ -520,7 +550,7 @@ fn live_preflight(args: &ServeArgs, json: bool, preamble: &mut String) -> Option
 /// construction as `run`, handed to a [`edgelet_live::QueryService`] —
 /// volatile by default, WAL-anchored with `--durable` (in which case
 /// the recovery report of the startup replay is returned too).
-fn live_service(
+pub(crate) fn live_service(
     args: &ServeArgs,
 ) -> Result<(
     edgelet_live::QueryService,
@@ -592,7 +622,9 @@ fn recovery_line(report: &edgelet_live::RecoveryReport) -> Option<String> {
     ))
 }
 
-fn build_world(q: &QueryArgs) -> Result<(Platform, QuerySpec, PrivacyConfig, ResilienceConfig)> {
+pub(crate) fn build_world(
+    q: &QueryArgs,
+) -> Result<(Platform, QuerySpec, PrivacyConfig, ResilienceConfig)> {
     let network = parse_network(&q.network)?;
     let mut platform = Platform::build(PlatformConfig {
         seed: q.seed,

@@ -19,6 +19,7 @@
 
 pub mod args;
 pub mod commands;
+pub(crate) mod net;
 
 use edgelet_util::Result;
 

@@ -36,24 +36,28 @@
 //!   destination before the window that must process it opens, so
 //!   backpressure changes pacing, never outcomes.
 //!
+//! The round machinery itself — per-worker heaps, event dispatch,
+//! journaling, delta accumulation — lives in [`crate::round`]; this
+//! module owns world construction and the in-process threaded driver.
+//! The socket runtime (`edgelet-net`) drives the same rounds across
+//! processes via [`LiveEngine::into_parts`].
+//!
 //! The restrictions relative to the simulator: always-up devices (no
 //! churn), non-zero lookahead, and no fault-injection plans. Everything
 //! the query protocols use — timers, broadcasts, crashes, tracing,
 //! observations — behaves identically.
 
-use edgelet_sim::network::Fate;
+use crate::round::{fold_min, lock, LiveEnv, LiveKind, LiveWorker, RoundReport};
 use edgelet_sim::{
-    Actor, Availability, Command, Context, CrashCause, DeviceConfig, NetworkModel, SimMetrics,
-    SimTime, TimerToken, Trace, TraceEvent,
+    Availability, CrashCause, DeviceConfig, NetworkModel, SimMetrics, SimTime, Trace,
 };
 use edgelet_util::ids::DeviceId;
 use edgelet_util::rng::DetRng;
 use edgelet_util::sync::EpochGate;
-use edgelet_util::{Payload, Result};
-use edgelet_wire::{Envelope, Transport, TransportError};
-use std::collections::{BTreeSet, BinaryHeap};
+use edgelet_util::Result;
+use edgelet_wire::{Envelope, Transport};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 
 /// Maps payload bytes to a protocol message kind for `MsgKind` trace
 /// records (the live mirror of `edgelet_sim::Classifier`).
@@ -99,203 +103,6 @@ pub enum ExitReason {
     Aborted,
 }
 
-/// One device hosted by the live runtime. Mirrors the simulator's
-/// per-device state minus churn (live devices are always up).
-struct LiveDevice {
-    crashed: bool,
-    halted: bool,
-    actor: Option<Box<dyn Actor>>,
-    /// Actor-visible randomness (forked per device).
-    rng: DetRng,
-    /// Network fate/latency draws for messages this device sends.
-    net_rng: DetRng,
-    next_timer: u64,
-    /// Private spawn counter: the `seq` of every event this device spawns.
-    spawn_seq: u64,
-    cancelled: BTreeSet<TimerToken>,
-}
-
-/// Event kinds the live runtime processes (the simulator's set minus
-/// churn toggles).
-enum LiveKind {
-    Start(DeviceId),
-    Deliver {
-        to: DeviceId,
-        from: DeviceId,
-        payload: Payload,
-        sent_at: SimTime,
-    },
-    Timer {
-        device: DeviceId,
-        token: TimerToken,
-    },
-    Crash(DeviceId, CrashCause),
-}
-
-impl LiveKind {
-    fn target(&self) -> DeviceId {
-        match *self {
-            LiveKind::Start(d) => d,
-            LiveKind::Deliver { to, .. } => to,
-            LiveKind::Timer { device, .. } => device,
-            LiveKind::Crash(d, _) => d,
-        }
-    }
-}
-
-/// One scheduled event with its intrinsic key.
-struct LiveEvent {
-    at: SimTime,
-    origin: u64,
-    seq: u64,
-    kind: LiveKind,
-}
-
-impl LiveEvent {
-    fn key(&self) -> (SimTime, u64, u64) {
-        (self.at, self.origin, self.seq)
-    }
-}
-
-impl PartialEq for LiveEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
-    }
-}
-impl Eq for LiveEvent {}
-impl PartialOrd for LiveEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for LiveEvent {
-    /// Reversed: `BinaryHeap` is a max-heap, we need the minimal key.
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.key().cmp(&self.key())
-    }
-}
-
-/// A journal item: a side effect whose global ordering matters.
-enum JItem {
-    Trace(TraceEvent),
-    Observe(&'static str, f64),
-}
-
-/// One journal entry tagged with the producing event's key plus an
-/// intra-event counter; sorting by `(at, origin, seq, intra)` rebuilds
-/// one canonical order from any per-worker interleaving.
-struct JEntry {
-    at: SimTime,
-    origin: u64,
-    seq: u64,
-    intra: u32,
-    item: JItem,
-}
-
-/// Commutative metric deltas accumulated by one worker over one window.
-#[derive(Default)]
-struct Deltas {
-    sent: u64,
-    delivered: u64,
-    dropped: u64,
-    corrupted: u64,
-    to_crashed: u64,
-    bytes_sent: u64,
-    delay: edgelet_sim::DelayStats,
-    crashes: u64,
-    events: u64,
-    /// Net change in pending events (+spawned, -processed).
-    real_pending: i64,
-    /// Latest event time processed.
-    last_at: SimTime,
-}
-
-/// Buffered side effects of one worker's window.
-struct RoundOut {
-    journal: Vec<JEntry>,
-    deltas: Deltas,
-    /// Envelopes refused with backpressure, for barrier re-submission.
-    parked: Vec<Envelope>,
-    /// Sends buffered per destination lane, flushed in one batched
-    /// transport submission per lane at the end of the window (the
-    /// lookahead guarantees none of them can be due inside it).
-    outgoing: Vec<Vec<Envelope>>,
-    trace_on: bool,
-    cur: (SimTime, u64, u64),
-    intra: u32,
-}
-
-impl RoundOut {
-    fn new(trace_on: bool, lane_count: usize) -> Self {
-        RoundOut {
-            journal: Vec::new(),
-            deltas: Deltas::default(),
-            parked: Vec::new(),
-            outgoing: (0..lane_count).map(|_| Vec::new()).collect(),
-            trace_on,
-            cur: (SimTime::ZERO, 0, 0),
-            intra: 0,
-        }
-    }
-
-    /// Clears buffered effects while keeping capacity, so a recycled
-    /// report's window allocates nothing.
-    fn reset(&mut self) {
-        self.journal.clear();
-        self.deltas = Deltas::default();
-        self.parked.clear();
-        for lane in &mut self.outgoing {
-            lane.clear();
-        }
-        self.intra = 0;
-    }
-
-    fn begin_event(&mut self, key: (SimTime, u64, u64)) {
-        self.cur = key;
-        self.intra = 0;
-    }
-
-    fn push_item(&mut self, item: JItem) {
-        self.journal.push(JEntry {
-            at: self.cur.0,
-            origin: self.cur.1,
-            seq: self.cur.2,
-            intra: self.intra,
-            item,
-        });
-        self.intra += 1;
-    }
-
-    fn trace(&mut self, ev: TraceEvent) {
-        if self.trace_on {
-            self.push_item(JItem::Trace(ev));
-        }
-    }
-
-    fn observe(&mut self, name: &'static str, value: f64) {
-        self.push_item(JItem::Observe(name, value));
-    }
-}
-
-/// Result of one worker's window.
-struct RoundReport {
-    out: RoundOut,
-    /// Earliest event still in this worker's heap after the window.
-    heap_min: Option<u64>,
-    hit_budget: bool,
-}
-
-/// Immutable per-run context shared by all workers.
-struct LiveEnv<'a> {
-    network: &'a NetworkModel,
-    classifier: Option<PayloadClassifier>,
-    need_kind: bool,
-    trace_enabled: bool,
-    device_count: usize,
-    epoch: u64,
-    transport: &'a dyn Transport,
-}
-
 /// Shared coordination block; one generation = one window. Both
 /// barrier directions park instead of spinning ([`EpochGate`]), so an
 /// oversubscribed host degrades to blocking rather than a scheduler
@@ -330,346 +137,6 @@ struct StealCtx {
     staging: Vec<Mutex<Vec<Envelope>>>,
 }
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-/// One worker: a slice of the device population (ids with
-/// `index % worker_count == idx`, stored at `index / worker_count`)
-/// plus its event heap.
-struct LiveWorker {
-    idx: usize,
-    worker_count: usize,
-    devices: Vec<LiveDevice>,
-    heap: BinaryHeap<LiveEvent>,
-    /// Scratch buffer mailbox/staging contents are swapped into, so
-    /// ingestion holds neither lock while pushing onto the heap.
-    ingest_buf: Vec<Envelope>,
-}
-
-impl LiveWorker {
-    fn device_mut(&mut self, id: DeviceId) -> &mut LiveDevice {
-        debug_assert_eq!(id.index() % self.worker_count, self.idx);
-        &mut self.devices[id.index() / self.worker_count]
-    }
-
-    /// Runs one window: ingest mailbox spills and the pre-decoded
-    /// transport deliveries staged for this worker, execute every event
-    /// with `at < window_end && at <= clip`, then flush buffered sends
-    /// lane-by-lane. `reuse` recycles the previous window's report
-    /// (emptied by the barrier) so steady-state windows allocate
-    /// nothing.
-    #[allow(clippy::too_many_arguments)]
-    fn run_round(
-        &mut self,
-        env: &LiveEnv<'_>,
-        mailbox: &Mutex<Vec<Envelope>>,
-        staging: &Mutex<Vec<Envelope>>,
-        window_end_us: u64,
-        clip_us: u64,
-        budget: u64,
-        reuse: Option<RoundReport>,
-    ) -> RoundReport {
-        let mut buf = std::mem::take(&mut self.ingest_buf);
-        std::mem::swap(&mut *lock(mailbox), &mut buf);
-        for e in buf.drain(..) {
-            self.ingest(e);
-        }
-        std::mem::swap(&mut *lock(staging), &mut buf);
-        for e in buf.drain(..) {
-            self.ingest(e);
-        }
-        self.ingest_buf = buf;
-        let mut out = match reuse {
-            Some(r) => {
-                debug_assert!(r.out.journal.is_empty());
-                r.out
-            }
-            None => RoundOut::new(env.trace_enabled, self.worker_count),
-        };
-        let mut processed = 0u64;
-        let mut hit_budget = false;
-        while let Some(top) = self.heap.peek() {
-            let at_us = top.at.as_micros();
-            if at_us >= window_end_us || at_us > clip_us {
-                break;
-            }
-            if processed >= budget {
-                hit_budget = true;
-                break;
-            }
-            let Some(ev) = self.heap.pop() else { break };
-            processed += 1;
-            self.process_event(ev, env, &mut out);
-        }
-        // Flush the window's sends: one batched submission per
-        // destination lane, each taking the lane lock once. The
-        // lookahead guarantees nothing flushed here was due inside the
-        // window just executed.
-        for lane in 0..out.outgoing.len() {
-            let mut batch = std::mem::take(&mut out.outgoing[lane]);
-            if !batch.is_empty() {
-                match env.transport.submit_batch(&mut batch) {
-                    Ok(()) => {}
-                    Err(TransportError::Backpressure) => out.parked.append(&mut batch),
-                    Err(_) => {
-                        // Closed/unknown-epoch mid-run only happens if the
-                        // hosting service tore the epoch down; account the
-                        // remaining messages as lost.
-                        out.deltas.real_pending -= batch.len() as i64;
-                        out.deltas.dropped += batch.len() as u64;
-                        batch.clear();
-                    }
-                }
-            }
-            out.outgoing[lane] = batch;
-        }
-        // Pre-sort so the barrier can k-way-merge worker journals
-        // instead of concatenating and re-sorting under the barrier.
-        out.journal
-            .sort_unstable_by_key(|e| (e.at, e.origin, e.seq, e.intra));
-        let heap_min = self.heap.peek().map(|e| e.at.as_micros());
-        RoundReport {
-            out,
-            heap_min,
-            hit_budget,
-        }
-    }
-
-    fn ingest(&mut self, e: Envelope) {
-        debug_assert_eq!(e.to.index() % self.worker_count, self.idx);
-        self.heap.push(LiveEvent {
-            at: SimTime::from_micros(e.deliver_at_us),
-            origin: e.from.raw(),
-            seq: e.seq,
-            kind: LiveKind::Deliver {
-                to: e.to,
-                from: e.from,
-                payload: e.payload,
-                sent_at: SimTime::from_micros(e.sent_at_us),
-            },
-        });
-    }
-
-    /// Executes one event — the live mirror of the simulator shard's
-    /// `process_event`/`dispatch`.
-    fn process_event(&mut self, ev: LiveEvent, env: &LiveEnv<'_>, out: &mut RoundOut) {
-        out.begin_event(ev.key());
-        out.deltas.events += 1;
-        out.deltas.last_at = out.deltas.last_at.max(ev.at);
-        out.deltas.real_pending -= 1;
-        let now = ev.at;
-        match ev.kind {
-            LiveKind::Start(device) => {
-                self.with_actor(device, now, env, out, |actor, ctx| actor.on_start(ctx));
-            }
-            LiveKind::Deliver {
-                to,
-                from,
-                payload,
-                sent_at,
-            } => {
-                let state = self.device_mut(to);
-                if state.crashed {
-                    out.deltas.to_crashed += 1;
-                    return;
-                }
-                if state.halted || state.actor.is_none() {
-                    return;
-                }
-                out.deltas.delivered += 1;
-                out.deltas.delay.push_micros(now.since(sent_at).as_micros());
-                out.trace(TraceEvent::Delivered { from, to });
-                self.with_actor(to, now, env, out, |actor, ctx| {
-                    actor.on_message(ctx, from, &payload)
-                });
-            }
-            LiveKind::Timer { device, token } => {
-                let state = self.device_mut(device);
-                if state.crashed || state.halted {
-                    return;
-                }
-                if state.cancelled.remove(&token) {
-                    return;
-                }
-                out.trace(TraceEvent::TimerFired {
-                    device,
-                    token: token.0,
-                });
-                self.with_actor(device, now, env, out, |actor, ctx| {
-                    actor.on_timer(ctx, token)
-                });
-            }
-            LiveKind::Crash(device, cause) => {
-                let state = self.device_mut(device);
-                if state.crashed {
-                    return;
-                }
-                state.crashed = true;
-                state.actor = None;
-                out.deltas.crashes += 1;
-                out.trace(TraceEvent::Crashed { device, cause });
-            }
-        }
-    }
-
-    /// Runs a callback on a device's actor, then applies its commands.
-    fn with_actor<F>(
-        &mut self,
-        device: DeviceId,
-        now: SimTime,
-        env: &LiveEnv<'_>,
-        out: &mut RoundOut,
-        f: F,
-    ) where
-        F: FnOnce(&mut Box<dyn Actor>, &mut Context<'_>),
-    {
-        let state = self.device_mut(device);
-        if state.crashed || state.halted {
-            return;
-        }
-        let Some(mut actor) = state.actor.take() else {
-            return;
-        };
-        let mut ctx = Context::new(device, now, &mut state.rng, &mut state.next_timer);
-        f(&mut actor, &mut ctx);
-        let commands = ctx.take_commands();
-        drop(ctx);
-        self.device_mut(device).actor = Some(actor);
-        self.apply_commands(device, now, commands, env, out);
-    }
-
-    fn apply_commands(
-        &mut self,
-        device: DeviceId,
-        now: SimTime,
-        commands: Vec<Command>,
-        env: &LiveEnv<'_>,
-        out: &mut RoundOut,
-    ) {
-        for cmd in commands {
-            match cmd {
-                Command::Send { to, payload } => {
-                    self.submit_send(device, to, payload, now, env, out)
-                }
-                Command::Broadcast { to, payload } => {
-                    // Fan-out shares one buffer, a refcount bump per target.
-                    for target in to {
-                        self.submit_send(device, target, payload.share(), now, env, out);
-                    }
-                }
-                Command::SetTimer { token, fire_at } => {
-                    let seq = self.next_seq(device);
-                    out.deltas.real_pending += 1;
-                    self.heap.push(LiveEvent {
-                        at: fire_at,
-                        origin: device.raw(),
-                        seq,
-                        kind: LiveKind::Timer { device, token },
-                    });
-                }
-                Command::CancelTimer { token } => {
-                    self.device_mut(device).cancelled.insert(token);
-                }
-                Command::Observe { name, value } => out.observe(name, value),
-                Command::Halt => self.device_mut(device).halted = true,
-            }
-        }
-    }
-
-    fn next_seq(&mut self, device: DeviceId) -> u64 {
-        let d = self.device_mut(device);
-        let s = d.spawn_seq;
-        d.spawn_seq += 1;
-        s
-    }
-
-    fn submit_send(
-        &mut self,
-        from: DeviceId,
-        to: DeviceId,
-        payload: Payload,
-        now: SimTime,
-        env: &LiveEnv<'_>,
-        out: &mut RoundOut,
-    ) {
-        out.deltas.sent += 1;
-        out.deltas.bytes_sent += payload.len() as u64;
-        if to.index() >= env.device_count {
-            out.deltas.dropped += 1;
-            return;
-        }
-        let kind = if env.need_kind {
-            env.classifier.and_then(|c| c(payload.as_slice()))
-        } else {
-            None
-        };
-        if let Some(k) = kind {
-            out.trace(TraceEvent::MsgKind { from, to, kind: k });
-        }
-        self.transmit(from, to, payload, now, env, out);
-    }
-
-    /// Applies the network model and hands the message to the transport —
-    /// the live mirror of the simulator shard's `transmit`. Order of RNG
-    /// draws (fate, then latency; nothing on drop) is load-bearing.
-    fn transmit(
-        &mut self,
-        from: DeviceId,
-        to: DeviceId,
-        mut payload: Payload,
-        now: SimTime,
-        env: &LiveEnv<'_>,
-        out: &mut RoundOut,
-    ) {
-        let fate = {
-            let sender = self.device_mut(from);
-            env.network.fate(&mut sender.net_rng)
-        };
-        match fate {
-            Fate::Dropped => {
-                out.deltas.dropped += 1;
-                out.trace(TraceEvent::Dropped { from, to });
-                return;
-            }
-            Fate::Corrupted(offset) => {
-                // Detach this recipient's copy before flipping a bit so
-                // other recipients of a shared broadcast stay intact.
-                if !payload.is_empty() {
-                    let idx = offset % payload.len();
-                    let mut bytes = std::mem::take(&mut payload).into_vec();
-                    bytes[idx] ^= 0x01;
-                    payload = Payload::new(bytes);
-                }
-                out.deltas.corrupted += 1;
-            }
-            Fate::Delivered => {}
-        }
-        let bytes = payload.len();
-        out.trace(TraceEvent::Sent { from, to, bytes });
-        let latency = {
-            let sender = self.device_mut(from);
-            env.network.sample_latency(&mut sender.net_rng)
-        };
-        let at = now + latency;
-        let seq = self.next_seq(from);
-        out.deltas.real_pending += 1;
-        let env_msg = Envelope {
-            epoch: env.epoch,
-            from,
-            to,
-            seq,
-            sent_at_us: now.as_micros(),
-            deliver_at_us: at.as_micros(),
-            payload,
-        };
-        // Buffered, not submitted: the whole window's sends for one lane
-        // flush in a single batched submission at the end of the round.
-        let lane = to.index() % self.worker_count;
-        out.outgoing[lane].push(env_msg);
-    }
-}
-
 /// Worker thread body: parks for each window generation, joins the
 /// cooperative lane-decode phase, runs its round with a recycled
 /// report, and publishes the result.
@@ -682,7 +149,7 @@ fn worker_loop(
     mailboxes: &[Mutex<Vec<Envelope>>],
     slots: &[Mutex<Option<RoundReport>>],
 ) {
-    let me = worker.idx;
+    let me = worker.idx();
     let lanes = steal.staging.len() as u64;
     let mut seen = 0u64;
     loop {
@@ -738,6 +205,33 @@ fn worker_loop(
     }
 }
 
+/// A fully built live world detached from the in-process driver, for
+/// hosts that run the rounds themselves — the multi-process socket
+/// runtime's daemon and worker processes.
+///
+/// Produced by [`LiveEngine::into_parts`] *before* any window has run:
+/// the engine spawns threads only inside `run_until`, so everything here
+/// is plain owned state. A worker process keeps `workers[its index]`
+/// and discards the rest; the daemon discards all workers but keeps the
+/// initial `min_at` / `real_pending` bookkeeping for its coordinator
+/// loop.
+pub struct EngineParts {
+    /// The engine configuration (network model, budgets, worker count).
+    pub config: LiveConfig,
+    /// One built worker slice per configured worker, in index order.
+    pub workers: Vec<LiveWorker>,
+    /// Number of registered devices.
+    pub device_count: usize,
+    /// Count of events currently pending across all heaps.
+    pub real_pending: u64,
+    /// Payload classifier feeding `MsgKind` trace records.
+    pub classifier: Option<PayloadClassifier>,
+    /// Conservative lookahead in µs (minimum network latency; > 0).
+    pub lookahead_us: u64,
+    /// The epoch stamped on every envelope.
+    pub epoch: u64,
+}
+
 /// A deterministic live world of devices and actors, executing over a
 /// [`Transport`] on `workers` std threads.
 pub struct LiveEngine {
@@ -780,13 +274,7 @@ impl LiveEngine {
         }
         let worker_count = config.workers.max(1);
         let workers = (0..worker_count)
-            .map(|idx| LiveWorker {
-                idx,
-                worker_count,
-                devices: Vec::new(),
-                heap: BinaryHeap::new(),
-                ingest_buf: Vec::new(),
-            })
+            .map(|idx| LiveWorker::new(idx, worker_count))
             .collect();
         let trace_capacity = config.trace_capacity;
         Ok(LiveEngine {
@@ -832,18 +320,12 @@ impl LiveEngine {
         self.device_count += 1;
         let mut churn_rng = self.root_rng.fork_indexed("churn", id.raw());
         let up = cfg.availability.starts_up();
-        let device = LiveDevice {
-            crashed: false,
-            halted: false,
-            actor: None,
-            rng: self.root_rng.fork_indexed("device", id.raw()),
-            net_rng: self.root_rng.fork_indexed("netdev", id.raw()),
-            next_timer: 0,
-            spawn_seq: 0,
-            cancelled: BTreeSet::new(),
-        };
+        let device_rng = self.root_rng.fork_indexed("device", id.raw());
+        let net_rng = self.root_rng.fork_indexed("netdev", id.raw());
         let w = id.index() % self.workers.len();
-        self.workers[w].devices.push(device);
+        self.workers[w]
+            .devices
+            .push(crate::round::LiveDevice::new(device_rng, net_rng));
         debug_assert!(cfg.availability.next_period(up, &mut churn_rng).is_none());
         let mut crash_rng = self.root_rng.fork_indexed("crash", id.raw());
         if let Some(t) = cfg.crash.resolve(&mut crash_rng) {
@@ -860,7 +342,7 @@ impl LiveEngine {
     /// virtual time once the engine is stepped. Install order is part of
     /// the deterministic contract (it consumes per-device sequence
     /// numbers), matching [`edgelet_sim::Simulation::install_actor`].
-    pub fn install_actor(&mut self, device: DeviceId, actor: Box<dyn Actor>) {
+    pub fn install_actor(&mut self, device: DeviceId, actor: Box<dyn edgelet_sim::Actor>) {
         let w = device.index() % self.workers.len();
         let state = self.workers[w].device_mut(device);
         assert!(
@@ -886,12 +368,7 @@ impl LiveEngine {
         self.real_pending += 1;
         let target = kind.target();
         let w = target.index() % self.workers.len();
-        self.workers[w].heap.push(LiveEvent {
-            at,
-            origin: origin.raw(),
-            seq,
-            kind,
-        });
+        self.workers[w].push_event(at, origin.raw(), seq, kind);
     }
 
     /// Current virtual time.
@@ -917,6 +394,26 @@ impl LiveEngine {
     /// The epoch this engine stamps on every envelope.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Dismantles a *built but not yet run* world into its parts, for
+    /// hosts that drive the rounds themselves (the socket runtime).
+    ///
+    /// Must be called before any `run`/`run_until`: the split makes no
+    /// attempt to carry mid-run bookkeeping (`now`, accumulated metrics,
+    /// the open-cell watermark) because round hosts start those from
+    /// zero, exactly as a fresh `run_until` would.
+    pub fn into_parts(self) -> EngineParts {
+        debug_assert_eq!(self.now, SimTime::ZERO, "into_parts on a stepped engine");
+        EngineParts {
+            config: self.config,
+            workers: self.workers,
+            device_count: self.device_count,
+            real_pending: self.real_pending,
+            classifier: self.classifier,
+            lookahead_us: self.lookahead_us,
+            epoch: self.epoch,
+        }
     }
 
     /// Runs until quiescent or `max_events` is hit. Returns the final
@@ -958,7 +455,7 @@ impl LiveEngine {
 
         let mut min_at: Option<u64> = None;
         for w in self.workers.iter() {
-            min_at = fold_min(min_at, w.heap.peek().map(|e| e.at.as_micros()));
+            min_at = fold_min(min_at, w.heap_min());
         }
         for lane in 0..worker_count {
             min_at = fold_min(min_at, transport.pending(epoch, lane).map(|(_, m)| m));
@@ -1064,7 +561,7 @@ impl LiveEngine {
                         let mut best_key = (SimTime::ZERO, 0u64, 0u64, 0u32);
                         for (i, head) in heads.iter_mut().enumerate() {
                             if let Some(e) = head.peek() {
-                                let key = (e.at, e.origin, e.seq, e.intra);
+                                let key = e.key();
                                 if best.is_none() || key < best_key {
                                     best = Some(i);
                                     best_key = key;
@@ -1074,8 +571,10 @@ impl LiveEngine {
                         let Some(i) = best else { break };
                         let Some(entry) = heads[i].next() else { break };
                         match entry.item {
-                            JItem::Trace(ev) => trace.record(entry.at, ev),
-                            JItem::Observe(name, value) => metrics.observe(name, value),
+                            crate::round::JItem::Trace(ev) => trace.record(entry.at, ev),
+                            crate::round::JItem::Observe(name, value) => {
+                                metrics.observe(name, value)
+                            }
                         }
                     }
                 }
@@ -1129,12 +628,5 @@ impl LiveEngine {
             self.now = deadline;
         }
         exit
-    }
-}
-
-fn fold_min(a: Option<u64>, b: Option<u64>) -> Option<u64> {
-    match (a, b) {
-        (Some(a), Some(b)) => Some(a.min(b)),
-        (a, b) => a.or(b),
     }
 }

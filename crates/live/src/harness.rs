@@ -130,6 +130,62 @@ pub fn build_live_world(
     Ok(engine)
 }
 
+/// A fully planned, built, and actor-installed live world, stopped just
+/// short of execution — the construction half of [`run_live_query`].
+///
+/// Hosts that drive the rounds themselves (the multi-process socket
+/// runtime in `edgelet-net`) take this apart: the worker processes
+/// dismantle `engine` via [`LiveEngine::into_parts`] and keep their
+/// slice, the daemon keeps `plan` and the assembly handles for
+/// [`edgelet_exec::finish_report`]. `assembly.installs` comes back
+/// empty — every actor is already installed on `engine`.
+pub struct PreparedQuery {
+    /// The executed plan.
+    pub plan: QueryPlan,
+    /// The built world, every actor installed, not yet stepped.
+    pub engine: LiveEngine,
+    /// The assembly's report-side handles (`sliced_queries`, `record`,
+    /// `ledger`); `installs` is drained.
+    pub assembly: edgelet_exec::PlanAssembly,
+}
+
+/// Plans one query and builds its live world with every actor installed
+/// and the crash script applied, without running it. The deterministic
+/// construction contract is identical to [`run_live_query`] — same
+/// plan, same seed, same install order — so any two hosts calling this
+/// with the same inputs hold bit-identical worlds.
+pub fn prepare_live_query(
+    platform: &Platform,
+    spec: &QuerySpec,
+    privacy: &PrivacyConfig,
+    resilience: &ResilienceConfig,
+    transport: Arc<dyn Transport>,
+    opts: &LiveRunOptions,
+) -> Result<PreparedQuery> {
+    let plan = platform.plan_query(spec, privacy, resilience)?;
+    let mut engine = build_live_world(platform, spec, transport, opts)?;
+    let mut assembly = assemble_plan(
+        &plan,
+        platform.schema(),
+        platform.stores(),
+        platform.device_classes(),
+        &platform.config().exec,
+        platform.root_secret(spec),
+        engine.now().as_secs_f64(),
+    )?;
+    for (dev, actor) in assembly.installs.drain(..) {
+        engine.install_actor(dev, actor);
+    }
+    for (dev, at) in &opts.crash_script {
+        engine.crash_at(*dev, *at);
+    }
+    Ok(PreparedQuery {
+        plan,
+        engine,
+        assembly,
+    })
+}
+
 /// Plans and executes one query on a live world, mirroring
 /// [`Platform::run_query`]. `abort` (when given) is polled at window
 /// barriers; raising it stops the run with [`ExitReason::Aborted`].
@@ -142,23 +198,11 @@ pub fn run_live_query(
     opts: &LiveRunOptions,
     abort: Option<&AtomicBool>,
 ) -> Result<LiveRun> {
-    let plan = platform.plan_query(spec, privacy, resilience)?;
-    let mut engine = build_live_world(platform, spec, transport, opts)?;
-    let assembly = assemble_plan(
-        &plan,
-        platform.schema(),
-        platform.stores(),
-        platform.device_classes(),
-        &platform.config().exec,
-        platform.root_secret(spec),
-        engine.now().as_secs_f64(),
-    )?;
-    for (dev, actor) in assembly.installs {
-        engine.install_actor(dev, actor);
-    }
-    for (dev, at) in &opts.crash_script {
-        engine.crash_at(*dev, *at);
-    }
+    let PreparedQuery {
+        plan,
+        mut engine,
+        assembly,
+    } = prepare_live_query(platform, spec, privacy, resilience, transport, opts)?;
     let deadline = engine.now() + Duration::from_secs_f64(plan.spec.deadline_secs);
     let exit = engine.run_until(deadline, abort);
     let report = finish_report(

@@ -43,6 +43,7 @@ pub mod durable;
 pub mod engine;
 pub mod harness;
 pub mod model;
+pub mod round;
 pub mod service;
 pub mod transport;
 
@@ -50,7 +51,9 @@ pub use durable::{
     spec_digest, state_crc, CrashHandler, CrashPoint, DurabilityConfig, DurableState,
     RecoveryReport, WalRecord,
 };
-pub use engine::{ExitReason, LiveConfig, LiveEngine, PayloadClassifier};
-pub use harness::{build_live_world, run_live_query, LiveRun, LiveRunOptions};
-pub use service::{QueryService, ServiceConfig, SubmitError, SubmitOutcome};
+pub use engine::{EngineParts, ExitReason, LiveConfig, LiveEngine, PayloadClassifier};
+pub use harness::{
+    build_live_world, prepare_live_query, run_live_query, LiveRun, LiveRunOptions, PreparedQuery,
+};
+pub use service::{QueryService, RemoteExecutor, ServiceConfig, SubmitError, SubmitOutcome};
 pub use transport::StripedTransport;

@@ -123,6 +123,39 @@ impl SubmitOutcome {
     }
 }
 
+/// Offloads one epoch's execution to an external runtime — the
+/// multi-process socket deployment's daemon-side coordinator
+/// (`edgelet-net`).
+///
+/// The contract keeps the service deterministic regardless of what the
+/// remote side does:
+///
+/// * `None` — the remote runtime cannot take this query (no worker
+///   processes registered, or they are busy). The service runs the
+///   epoch in-process as if no remote executor were installed.
+/// * `Some(Ok(run))` — the remote run completed; the service uses it
+///   verbatim.
+/// * `Some(Err(_))` — the remote run started and died mid-flight (a
+///   worker process was killed, a socket broke). The service falls back
+///   to an in-process run of the *same epoch*: the remote path never
+///   touches the service's own transport lanes, and both paths build
+///   the world from the same spec and seed, so the fallback reproduces
+///   byte-identical results — a worker `kill -9` costs wall-clock time,
+///   never correctness.
+pub trait RemoteExecutor: Send + Sync {
+    /// Attempts to run `epoch` remotely; see the trait docs for the
+    /// meaning of each return shape. `abort` is the wall-clock watchdog
+    /// flag — a remote run should give up promptly once it is raised.
+    fn try_run(
+        &self,
+        epoch: u64,
+        spec: &QuerySpec,
+        privacy: &PrivacyConfig,
+        resilience: &ResilienceConfig,
+        abort: &AtomicBool,
+    ) -> Option<edgelet_util::Result<LiveRun>>;
+}
+
 /// An admission-controlled, multi-query live serving runtime.
 pub struct QueryService {
     platform: Platform,
@@ -134,6 +167,8 @@ pub struct QueryService {
     shutting_down: AtomicBool,
     watchdog: Watchdog,
     durable: Option<DurableCtl>,
+    remote: Mutex<Option<Arc<dyn RemoteExecutor>>>,
+    remote_fallbacks: AtomicU64,
 }
 
 /// Durable-mode control block: the WAL front end plus the in-memory
@@ -255,7 +290,21 @@ impl QueryService {
             shutting_down: AtomicBool::new(false),
             watchdog: Watchdog::new(),
             durable,
+            remote: Mutex::new(None),
+            remote_fallbacks: AtomicU64::new(0),
         }
+    }
+
+    /// Installs (or replaces) the remote executor consulted before each
+    /// in-process run; see [`RemoteExecutor`].
+    pub fn set_remote(&self, remote: Arc<dyn RemoteExecutor>) {
+        *lock(&self.remote) = Some(remote);
+    }
+
+    /// Number of epochs that fell back to in-process execution after a
+    /// remote attempt declined or failed (0 without a remote executor).
+    pub fn remote_fallbacks(&self) -> u64 {
+        self.remote_fallbacks.load(Ordering::Acquire)
     }
 
     /// The shared transport (inspection: pending lanes, rejected
@@ -426,7 +475,11 @@ impl QueryService {
         })
     }
 
-    /// Registers `epoch`, executes one query under it, retires it.
+    /// Executes one query under `epoch`: a remote attempt first when a
+    /// [`RemoteExecutor`] is installed, then the in-process engine (the
+    /// deterministic fallback) — registering and retiring the epoch on
+    /// the shared transport only around the in-process run, since the
+    /// remote path moves envelopes over its own sockets.
     fn run_epoch(
         &self,
         epoch: u64,
@@ -435,25 +488,43 @@ impl QueryService {
         resilience: &ResilienceConfig,
         wall_deadline: Option<std::time::Duration>,
     ) -> Result<(LiveRun, bool), SubmitError> {
-        self.transport
-            .register_epoch(epoch, self.config.workers.max(1));
         let abort = Arc::new(AtomicBool::new(false));
         let armed = wall_deadline.map(|timeout| self.watchdog.arm(timeout, abort.clone()));
-        let opts = LiveRunOptions::new(self.config.workers.max(1), epoch);
-        let transport: Arc<dyn edgelet_wire::Transport> = self.transport.clone();
-        let result = run_live_query(
-            &self.platform,
-            spec,
-            privacy,
-            resilience,
-            transport,
-            &opts,
-            Some(&abort),
-        );
+        // Clone the executor out so the `remote` lock is not held for
+        // the duration of the (potentially long) remote run.
+        let remote = { lock(&self.remote).clone() };
+        let mut remote_run: Option<LiveRun> = None;
+        if let Some(r) = remote {
+            match r.try_run(epoch, spec, privacy, resilience, &abort) {
+                Some(Ok(run)) => remote_run = Some(run),
+                Some(Err(_)) | None => {
+                    self.remote_fallbacks.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+        let result = match remote_run {
+            Some(run) => Ok(run),
+            None => {
+                self.transport
+                    .register_epoch(epoch, self.config.workers.max(1));
+                let opts = LiveRunOptions::new(self.config.workers.max(1), epoch);
+                let transport: Arc<dyn edgelet_wire::Transport> = self.transport.clone();
+                let result = run_live_query(
+                    &self.platform,
+                    spec,
+                    privacy,
+                    resilience,
+                    transport,
+                    &opts,
+                    Some(&abort),
+                );
+                self.transport.retire_epoch(epoch);
+                result
+            }
+        };
         if let Some(id) = armed {
             self.watchdog.disarm(id);
         }
-        self.transport.retire_epoch(epoch);
         let run = result?;
         let wall_aborted = run.exit == ExitReason::Aborted;
         Ok((run, wall_aborted))

@@ -1,0 +1,786 @@
+//! The daemon side of the multi-process deployment: connection
+//! acceptance, the worker registry, and the window coordinator that
+//! plugs into [`edgelet_live::QueryService`] as its
+//! [`RemoteExecutor`].
+//!
+//! # Control loop
+//!
+//! `edgelet serve` binds a [`Listener`] and runs:
+//!
+//! * an **accept thread** that hands each connection to a short-lived
+//!   handshake thread;
+//! * per-connection **handshake threads** that validate the versioned
+//!   `Hello` (reject on frame/envelope/protocol version mismatch),
+//!   assign workers the lowest free registry slot, and park the
+//!   registered stream — or queue client submissions for the host;
+//! * a **deadline sweeper** over a real [`TimerHeap`]: a connection
+//!   that has not completed its handshake by the deadline is shut
+//!   down, unblocking its handler.
+//!
+//! # The coordinator
+//!
+//! [`Daemon::try_run`] is a faithful mirror of
+//! `LiveEngine::run_until`'s window decision loop — same quiescence /
+//! deadline / budget tests in the same order, same barrier merge in
+//! worker order, same canonical journal replay — with the thread
+//! barrier replaced by `OpenWindow`/`RoundDone` messages and envelope
+//! relay (through the optional [`NetFaultProxy`]) replacing the shared
+//! transport. The parity argument is in `docs/NET.md`; the
+//! proof-by-test is `tests/net_parity.rs`.
+//!
+//! # Failure = fallback
+//!
+//! Any socket error mid-epoch drops every taken worker connection
+//! (workers observe EOF and reconnect with backoff) and returns
+//! `Some(Err(..))`, which the service answers with a deterministic
+//! in-process rerun of the same epoch — the `kill -9` takeover drill
+//! in CI exercises exactly this path.
+
+use crate::conn::{Addr, Listener, MsgStream, Stream, TimerHeap};
+use crate::fault::{FaultVerdict, NetFaultProxy};
+use crate::proto::{NetMsg, Role, WireJEntry, WireRecord, PROTO_VERSION};
+use edgelet_live::round::fold_min;
+use edgelet_live::{ExitReason, LiveRun, PreparedQuery, RemoteExecutor};
+use edgelet_query::{PrivacyConfig, QuerySpec, ResilienceConfig};
+use edgelet_sim::{FaultPlan, SimMetrics, SimTime, Trace};
+use edgelet_util::{Error, Result};
+use edgelet_wire::{from_bytes, Envelope};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Builds the fully-prepared live world for one epoch from canonical
+/// world-spec bytes.
+///
+/// Both the daemon and every worker process run the same builder over
+/// the same bytes, so all of them hold bit-identical worlds (same
+/// seed, same device order, same RNG fork schedule, same actor install
+/// order) — the foundation the relay protocol's parity rests on. The
+/// socket layer never interprets the bytes; the host (the CLI) defines
+/// their encoding.
+pub trait WorldBuilder: Send + Sync {
+    /// Builds the world for `epoch`, sliced for `workers` processes.
+    fn build(&self, spec: &[u8], epoch: u64, workers: usize) -> Result<PreparedQuery>;
+}
+
+/// Daemon configuration.
+#[derive(Clone)]
+pub struct NetConfig {
+    /// Worker processes the coordinator waits for before running an
+    /// epoch remotely (fewer registered → local fallback).
+    pub expected_workers: usize,
+    /// Handshake completion deadline per connection.
+    pub handshake_timeout: Duration,
+    /// Per-message receive timeout during an epoch (`RoundDone`,
+    /// `QueryDone`); world construction gets `prepare_timeout`.
+    pub io_timeout: Duration,
+    /// `Ready` deadline after `Prepare` (world building takes a while).
+    pub prepare_timeout: Duration,
+    /// Optional relay fault plan; when set, workers route own-lane
+    /// sends through the daemon so the proxy observes every envelope.
+    pub fault_plan: Option<FaultPlan>,
+    /// Canonical world-spec bytes this daemon serves.
+    pub world_spec: Vec<u8>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            expected_workers: 1,
+            handshake_timeout: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(60),
+            prepare_timeout: Duration::from_secs(120),
+            fault_plan: None,
+            world_spec: Vec::new(),
+        }
+    }
+}
+
+/// One client submission pulled off a connection: the opaque spec
+/// bytes plus the stream to answer on.
+pub struct Submission {
+    /// The client's world-spec bytes, verbatim.
+    pub spec: Vec<u8>,
+    stream: MsgStream,
+}
+
+impl Submission {
+    /// Answers the client and closes the connection.
+    pub fn respond(mut self, artifact: Vec<u8>) {
+        self.stream.send(&NetMsg::SubmitResp { artifact }).ok();
+        self.stream.shutdown();
+    }
+
+    /// Refuses the submission with a reason and closes the connection.
+    pub fn reject(mut self, reason: String) {
+        self.stream.send(&NetMsg::Reject { reason }).ok();
+        self.stream.shutdown();
+    }
+}
+
+/// Shared daemon state.
+struct DaemonShared {
+    /// Registered worker connections by slot; `None` = free.
+    registry: Mutex<Vec<Option<MsgStream>>>,
+    registry_cv: Condvar,
+    /// Client submissions awaiting the host.
+    submissions: Mutex<VecDeque<Submission>>,
+    submissions_cv: Condvar,
+    /// Handshake deadlines: token → shutdown handle for the pending
+    /// connection.
+    deadlines: Mutex<TimerHeap<Stream>>,
+    deadlines_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Total workers ever registered (observability).
+    registrations: AtomicU64,
+    /// Sessions rejected during handshake (observability).
+    rejections: AtomicU64,
+}
+
+/// The daemon: accept loop, worker registry, and window coordinator.
+pub struct Daemon {
+    shared: Arc<DaemonShared>,
+    config: NetConfig,
+    builder: Arc<dyn WorldBuilder>,
+    addr: Addr,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    sweeper_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Daemon {
+    /// Binds `addr` and starts the accept and sweeper threads.
+    pub fn start(addr: &Addr, config: NetConfig, builder: Arc<dyn WorldBuilder>) -> Result<Daemon> {
+        let listener = Listener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        let shared = Arc::new(DaemonShared {
+            registry: Mutex::new((0..config.expected_workers).map(|_| None).collect()),
+            registry_cv: Condvar::new(),
+            submissions: Mutex::new(VecDeque::new()),
+            submissions_cv: Condvar::new(),
+            deadlines: Mutex::new(TimerHeap::new()),
+            deadlines_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            registrations: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let handshake_timeout = config.handshake_timeout;
+        let accept_thread = std::thread::Builder::new()
+            .name("net-accept".into())
+            .spawn(move || {
+                accept_loop(listener, accept_shared, handshake_timeout);
+            })
+            .map_err(|e| Error::Protocol(format!("spawn accept thread: {e}")))?;
+        let sweeper_shared = Arc::clone(&shared);
+        let sweeper_thread = std::thread::Builder::new()
+            .name("net-deadline-sweeper".into())
+            .spawn(move || sweeper_loop(sweeper_shared))
+            .map_err(|e| Error::Protocol(format!("spawn sweeper thread: {e}")))?;
+        Ok(Daemon {
+            shared,
+            config,
+            builder,
+            addr: bound,
+            accept_thread: Mutex::new(Some(accept_thread)),
+            sweeper_thread: Mutex::new(Some(sweeper_thread)),
+        })
+    }
+
+    /// The address the daemon is actually listening on.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Number of workers currently registered.
+    pub fn registered_workers(&self) -> usize {
+        lock(&self.shared.registry)
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
+    }
+
+    /// Total worker registrations accepted so far (reconnects count).
+    pub fn total_registrations(&self) -> u64 {
+        self.shared.registrations.load(Ordering::Relaxed)
+    }
+
+    /// Sessions rejected during handshake so far.
+    pub fn total_rejections(&self) -> u64 {
+        self.shared.rejections.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until all expected workers are registered, or `timeout`.
+    pub fn wait_workers(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut reg = lock(&self.shared.registry);
+        loop {
+            if reg.iter().all(|s| s.is_some()) {
+                return true;
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return false;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (g, _) = self
+                .shared
+                .registry_cv
+                .wait_timeout(reg, left)
+                .unwrap_or_else(|e| e.into_inner());
+            reg = g;
+        }
+    }
+
+    /// Pulls the next client submission, blocking up to `timeout`.
+    pub fn next_submission(&self, timeout: Duration) -> Option<Submission> {
+        let deadline = Instant::now() + timeout;
+        let mut q = lock(&self.shared.submissions);
+        loop {
+            if let Some(s) = q.pop_front() {
+                return Some(s);
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (g, _) = self
+                .shared
+                .submissions_cv
+                .wait_timeout(q, left)
+                .unwrap_or_else(|e| e.into_inner());
+            q = g;
+        }
+    }
+
+    /// Stops the accept loop, closes every registered connection, and
+    /// joins the daemon threads.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Unblock the accept thread with a throwaway connection.
+        Stream::connect(&self.addr).ok();
+        self.shared.deadlines_cv.notify_all();
+        self.shared.registry_cv.notify_all();
+        self.shared.submissions_cv.notify_all();
+        // Take every stream and both thread handles out under their
+        // locks, then close/join outside them: a socket shutdown or a
+        // join must never stall a handshake contending for the lock.
+        let mut streams = Vec::new();
+        {
+            let mut reg = lock(&self.shared.registry);
+            for slot in reg.iter_mut() {
+                if let Some(s) = slot.take() {
+                    streams.push(s);
+                }
+            }
+        }
+        for s in streams {
+            s.shutdown();
+        }
+        let accept = { lock(&self.accept_thread).take() };
+        if let Some(h) = accept {
+            h.join().ok();
+        }
+        let sweeper = { lock(&self.sweeper_thread).take() };
+        if let Some(h) = sweeper {
+            h.join().ok();
+        }
+    }
+
+    /// Takes every registered worker stream out of the registry,
+    /// probing each with a `Ping` (half-open detection: a worker that
+    /// was killed leaves a dead socket behind; the probe surfaces it
+    /// now rather than mid-epoch). Returns `None` unless all
+    /// `expected_workers` slots hold live connections.
+    fn take_live_workers(&self) -> Option<Vec<MsgStream>> {
+        let mut taken: Vec<(usize, MsgStream)> = {
+            let mut reg = lock(&self.shared.registry);
+            if reg.iter().any(|s| s.is_none()) {
+                return None;
+            }
+            reg.iter_mut()
+                .enumerate()
+                .map(|(i, s)| (i, s.take().expect("checked non-empty")))
+                .collect()
+        };
+        let nonce = self.shared.registrations.load(Ordering::Relaxed) ^ 0x6e65_745f_7069_6e67;
+        let mut all_live = true;
+        for (_, stream) in taken.iter_mut() {
+            let live = stream.send(&NetMsg::Ping { nonce }).is_ok()
+                && matches!(
+                    stream.recv(Some(self.config.io_timeout)),
+                    Ok(NetMsg::Pong { nonce: n }) if n == nonce
+                );
+            if !live {
+                all_live = false;
+            }
+        }
+        if all_live {
+            return Some(taken.into_iter().map(|(_, s)| s).collect());
+        }
+        // Drop dead connections (slots stay free for reconnects); put
+        // live ones back.
+        let mut reg = lock(&self.shared.registry);
+        for (i, stream) in taken {
+            // A stream that failed the probe is dropped here; the rest
+            // return to their slots. Re-probing on the next epoch is
+            // cheap and keeps this branch simple.
+            if reg[i].is_none() {
+                reg[i] = Some(stream);
+            }
+        }
+        drop(reg);
+        None
+    }
+
+    /// Returns worker streams to their registry slots after a
+    /// successful epoch.
+    fn return_workers(&self, streams: Vec<MsgStream>) {
+        let mut reg = lock(&self.shared.registry);
+        for (slot, stream) in reg.iter_mut().zip(streams) {
+            *slot = Some(stream);
+        }
+        drop(reg);
+        self.shared.registry_cv.notify_all();
+    }
+
+    /// The distributed run of one epoch; `Err` here means "fall back to
+    /// the in-process path" (the caller drops the worker streams
+    /// first).
+    fn run_distributed(
+        &self,
+        epoch: u64,
+        workers: &mut [MsgStream],
+        abort: &AtomicBool,
+    ) -> Result<LiveRun> {
+        let worker_count = workers.len();
+        let fault_mode = self.config.fault_plan.is_some();
+        let mut proxy = match &self.config.fault_plan {
+            Some(plan) => Some(NetFaultProxy::new(plan.clone())?),
+            None => None,
+        };
+
+        // Build the daemon's own copy of the world: it keeps the plan
+        // and the report-side assembly handles; the worker slices are
+        // dropped (remote processes hold the real ones).
+        let PreparedQuery {
+            plan,
+            engine,
+            assembly,
+        } = self
+            .builder
+            .build(&self.config.world_spec, epoch, worker_count)?;
+        let deadline_us = edgelet_sim::Duration::from_secs_f64(plan.spec.deadline_secs).as_micros();
+        let parts = engine.into_parts();
+        let mut min_at: Option<u64> = None;
+        for w in &parts.workers {
+            min_at = fold_min(min_at, w.heap_min());
+        }
+        drop(parts.workers);
+        let classifier = parts.classifier;
+        let width = parts.lookahead_us.max(1);
+        let max_events = parts.config.max_events;
+
+        // Prepare every worker, then await all Ready acks.
+        for (i, stream) in workers.iter_mut().enumerate() {
+            stream.send(&NetMsg::Prepare {
+                epoch,
+                spec: self.config.world_spec.clone(),
+                worker_count: worker_count as u32,
+                worker_index: i as u32,
+                fault_mode,
+            })?;
+        }
+        for stream in workers.iter_mut() {
+            match stream.recv(Some(self.config.prepare_timeout))? {
+                NetMsg::Ready { epoch: e } if e == epoch => {}
+                NetMsg::Reject { reason } => {
+                    return Err(Error::Protocol(format!(
+                        "worker rejected prepare: {reason}"
+                    )))
+                }
+                other => return Err(Error::Protocol(format!("expected Ready, got {other:?}"))),
+            }
+        }
+
+        // ---- the window decision loop (run_until's mirror) ----
+        let mut metrics = SimMetrics::default();
+        let mut trace = Trace::new(parts.config.trace_capacity);
+        let mut real_pending = parts.real_pending;
+        let mut cell_open_until = 0u64;
+        let mut pending_relay: Vec<Vec<Envelope>> = vec![Vec::new(); worker_count];
+        let mut journal_scratch: Vec<WireJEntry> = Vec::new();
+        let mut final_record: Option<WireRecord> = None;
+
+        let exit = loop {
+            if abort.load(Ordering::Acquire) {
+                break ExitReason::Aborted;
+            }
+            let Some(m) = min_at else {
+                break ExitReason::Quiescent;
+            };
+            if m >= cell_open_until && real_pending == 0 {
+                break ExitReason::Quiescent;
+            }
+            if m > deadline_us {
+                break ExitReason::Deadline;
+            }
+            if metrics.events_processed >= max_events {
+                break ExitReason::Budget;
+            }
+            let window_end = m.saturating_add(width);
+            cell_open_until = window_end;
+            let budget = max_events - metrics.events_processed;
+            for (i, stream) in workers.iter_mut().enumerate() {
+                if !pending_relay[i].is_empty() {
+                    stream.send(&NetMsg::Envelopes {
+                        epoch,
+                        batch: std::mem::take(&mut pending_relay[i]),
+                    })?;
+                }
+                stream.send(&NetMsg::OpenWindow {
+                    epoch,
+                    window_end_us: window_end,
+                    clip_us: deadline_us,
+                    budget,
+                })?;
+            }
+            // Collect every worker's round, in worker order — the same
+            // order the in-process barrier merges report slots.
+            let mut next_min: Option<u64> = None;
+            journal_scratch.clear();
+            for stream in workers.iter_mut() {
+                let round = match stream.recv(Some(self.config.io_timeout))? {
+                    NetMsg::RoundDone { epoch: e, round } if e == epoch => round,
+                    other => {
+                        return Err(Error::Protocol(format!(
+                            "expected RoundDone, got {other:?}"
+                        )))
+                    }
+                };
+                let d = &round.deltas;
+                metrics.messages_sent += d.sent;
+                metrics.messages_delivered += d.delivered;
+                metrics.messages_dropped += d.dropped;
+                metrics.messages_corrupted += d.corrupted;
+                metrics.messages_to_crashed += d.to_crashed;
+                metrics.bytes_sent += d.bytes_sent;
+                metrics.delivery_delay.merge(&d.delay_stats());
+                metrics.crashes += d.crashes;
+                metrics.events_processed += d.events;
+                real_pending = ((real_pending as i64) + d.real_pending).max(0) as u64;
+                next_min = fold_min(next_min, round.pending_min);
+                journal_scratch.extend(round.journal);
+                // Relay the worker's outgoing envelopes, applying the
+                // fault proxy en route. Event keys are globally unique,
+                // so arrival order across workers cannot affect the
+                // destination heap's ordering.
+                for env in round.outgoing {
+                    let verdicts = match proxy.as_mut() {
+                        None => vec![env],
+                        Some(p) => match p.apply(env, classifier) {
+                            FaultVerdict::Pass(e) => vec![e],
+                            FaultVerdict::Delayed { env: e, .. } => vec![e],
+                            FaultVerdict::Duplicated { envs, .. } => {
+                                real_pending += 1;
+                                envs.into()
+                            }
+                            FaultVerdict::Drop { .. } => {
+                                real_pending = real_pending.saturating_sub(1);
+                                metrics.messages_dropped += 1;
+                                Vec::new()
+                            }
+                        },
+                    };
+                    for e in verdicts {
+                        next_min = fold_min(next_min, Some(e.deliver_at_us));
+                        let dest = e.to.index() % worker_count;
+                        pending_relay[dest].push(e);
+                    }
+                }
+            }
+            // Canonical journal replay: worker journals are pre-sorted
+            // and event keys are globally unique, so one sort of the
+            // concatenation equals the in-process k-way merge.
+            journal_scratch.sort_unstable_by_key(|e| e.key());
+            for entry in journal_scratch.drain(..) {
+                let (at, item) = entry.into_item();
+                match item {
+                    edgelet_live::round::JItem::Trace(ev) => trace.record(at, ev),
+                    edgelet_live::round::JItem::Observe(name, value) => {
+                        metrics.observe(name, value)
+                    }
+                }
+            }
+            min_at = next_min;
+        };
+
+        // Teardown: collect every worker's final partials.
+        let bye = if exit == ExitReason::Aborted {
+            NetMsg::Abort { epoch }
+        } else {
+            NetMsg::Finish { epoch }
+        };
+        for stream in workers.iter_mut() {
+            stream.send(&bye)?;
+        }
+        for stream in workers.iter_mut() {
+            match stream.recv(Some(self.config.io_timeout))? {
+                NetMsg::QueryDone {
+                    epoch: e,
+                    ledger,
+                    record,
+                } if e == epoch => {
+                    // Ledger charges are per-device and devices are
+                    // disjoint across workers, so merging partials in
+                    // worker order reconstructs the global ledger
+                    // exactly.
+                    let partial: edgelet_exec::Ledger = from_bytes(&ledger)?;
+                    lock(&assembly.ledger).merge(&partial);
+                    if let Some(r) = record {
+                        final_record = Some(r);
+                    }
+                }
+                other => {
+                    return Err(Error::Protocol(format!(
+                        "expected QueryDone, got {other:?}"
+                    )))
+                }
+            }
+        }
+        let record = final_record
+            .ok_or_else(|| Error::Protocol("no worker reported the querier record".into()))?;
+        {
+            let mut rec = lock(&assembly.record);
+            rec.payload = record.payload;
+            rec.completed_at = record.completed_at_us.map(SimTime::from_micros);
+            rec.partitions_merged = record.partitions_merged;
+            rec.partitions_complete = record.partitions_complete;
+            rec.winning_replica = record.winning_replica;
+            rec.results_received = record.results_received;
+        }
+
+        let report = edgelet_exec::finish_report(
+            &plan,
+            &assembly.sliced_queries,
+            &assembly.record,
+            &assembly.ledger,
+            &metrics,
+        )?;
+        let trace_digest = trace.enabled().then(|| trace.digest());
+        let trace_records = trace.records().cloned().collect();
+        Ok(LiveRun {
+            plan,
+            report,
+            trace_digest,
+            trace: trace_records,
+            exit,
+        })
+    }
+}
+
+impl RemoteExecutor for Daemon {
+    fn try_run(
+        &self,
+        epoch: u64,
+        _spec: &QuerySpec,
+        _privacy: &PrivacyConfig,
+        _resilience: &ResilienceConfig,
+        abort: &AtomicBool,
+    ) -> Option<edgelet_util::Result<LiveRun>> {
+        // The daemon runs the canonical world spec it was configured
+        // with; the host (the CLI submit path) guarantees the service's
+        // submitted query matches it before calling submit.
+        let mut workers = self.take_live_workers()?;
+        match self.run_distributed(epoch, &mut workers, abort) {
+            Ok(run) => {
+                self.return_workers(workers);
+                Some(Ok(run))
+            }
+            Err(e) => {
+                // Drop every taken connection: the workers observe EOF,
+                // reset their epoch state, and reconnect with backoff.
+                for w in &workers {
+                    w.shutdown();
+                }
+                drop(workers);
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Accept loop: one handshake thread per connection, each tracked by a
+/// deadline in the sweeper's timer heap.
+fn accept_loop(listener: Listener, shared: Arc<DaemonShared>, handshake_timeout: Duration) {
+    loop {
+        let stream = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let token = match stream.try_clone() {
+            Ok(handle) => {
+                let t = lock(&shared.deadlines).push(Instant::now() + handshake_timeout, handle);
+                shared.deadlines_cv.notify_all();
+                t
+            }
+            Err(_) => continue,
+        };
+        let hs_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("net-handshake".into())
+            .spawn(move || {
+                handshake(stream, &hs_shared, handshake_timeout);
+                lock(&hs_shared.deadlines).cancel(token);
+            })
+            .ok();
+    }
+}
+
+/// Deadline sweeper: shuts down connections whose handshake deadline
+/// passed, unblocking their handler threads.
+fn sweeper_loop(shared: Arc<DaemonShared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Pop expired streams under the lock, shut them down outside
+        // it: the OS-level shutdown must not stall handshake threads
+        // scheduling their own deadlines.
+        let due = {
+            let mut deadlines = lock(&shared.deadlines);
+            let due = deadlines.pop_due(Instant::now());
+            if due.is_empty() {
+                let wait = deadlines
+                    .next_deadline()
+                    .map(|d| d.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_secs(1));
+                let _woken = shared
+                    .deadlines_cv
+                    .wait_timeout(deadlines, wait.max(Duration::from_millis(10)))
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            due
+        };
+        for stream in due {
+            stream.shutdown();
+        }
+    }
+}
+
+/// One connection's handshake: validate versions, register or queue.
+fn handshake(stream: Stream, shared: &Arc<DaemonShared>, timeout: Duration) {
+    let mut ms = MsgStream::new(stream);
+    let hello = match ms.recv(Some(timeout)) {
+        Ok(NetMsg::Hello {
+            role,
+            proto,
+            frame_version,
+            envelope_version,
+        }) => {
+            let mut mismatch = Vec::new();
+            if proto != PROTO_VERSION {
+                mismatch.push(format!("proto {proto} != {PROTO_VERSION}"));
+            }
+            if frame_version != edgelet_wire::FRAME_VERSION {
+                mismatch.push(format!(
+                    "frame version {frame_version} != {}",
+                    edgelet_wire::FRAME_VERSION
+                ));
+            }
+            if envelope_version != edgelet_wire::ENVELOPE_VERSION {
+                mismatch.push(format!(
+                    "envelope version {envelope_version} != {}",
+                    edgelet_wire::ENVELOPE_VERSION
+                ));
+            }
+            if !mismatch.is_empty() {
+                shared.rejections.fetch_add(1, Ordering::Relaxed);
+                ms.send(&NetMsg::Reject {
+                    reason: format!("version mismatch: {}", mismatch.join(", ")),
+                })
+                .ok();
+                ms.shutdown();
+                return;
+            }
+            role
+        }
+        _ => {
+            shared.rejections.fetch_add(1, Ordering::Relaxed);
+            ms.shutdown();
+            return;
+        }
+    };
+    match hello {
+        Role::Worker => {
+            let slot = { lock(&shared.registry).iter().position(|s| s.is_none()) };
+            let Some(slot) = slot else {
+                shared.rejections.fetch_add(1, Ordering::Relaxed);
+                ms.send(&NetMsg::Reject {
+                    reason: "all worker slots taken".into(),
+                })
+                .ok();
+                ms.shutdown();
+                return;
+            };
+            if ms
+                .send(&NetMsg::Welcome {
+                    worker_index: slot as u32,
+                })
+                .is_err()
+            {
+                return;
+            }
+            let mut reg = lock(&shared.registry);
+            // Re-check under the lock: another handshake may have taken
+            // the slot between the scan and now; fall back to any free
+            // slot (the index sent in Welcome is informational for
+            // logging — `Prepare` carries the authoritative per-epoch
+            // index).
+            let slot = match reg.iter().position(|s| s.is_none()) {
+                Some(s) => s,
+                None => {
+                    drop(reg);
+                    shared.rejections.fetch_add(1, Ordering::Relaxed);
+                    ms.send(&NetMsg::Reject {
+                        reason: "all worker slots taken".into(),
+                    })
+                    .ok();
+                    ms.shutdown();
+                    return;
+                }
+            };
+            reg[slot] = Some(ms);
+            drop(reg);
+            shared.registrations.fetch_add(1, Ordering::Relaxed);
+            shared.registry_cv.notify_all();
+        }
+        Role::Client => match ms.recv(Some(timeout)) {
+            Ok(NetMsg::SubmitReq { spec }) => {
+                lock(&shared.submissions).push_back(Submission { spec, stream: ms });
+                shared.submissions_cv.notify_all();
+            }
+            _ => {
+                ms.shutdown();
+            }
+        },
+    }
+}

@@ -1,0 +1,296 @@
+//! [`NetFaultProxy`] — the simulator's fault-injection DSL applied at
+//! the socket relay.
+//!
+//! The daemon relays every cross-worker envelope between rounds; the
+//! proxy sits on that path and evaluates the *same*
+//! [`edgelet_sim::FaultPlan`] rules with the same
+//! first-firing-rule-wins semantics as the sim engine
+//! ([`edgelet_sim::evaluate_plan`] is shared code, not a re-
+//! implementation). Determinism argument:
+//!
+//! * Only [window-safe](FaultPlan::is_window_safe) plans are accepted —
+//!   every rule's decision is a pure function of the message itself
+//!   (kind, endpoints, virtual time), never of cross-message counters.
+//!   Relay arrival order therefore cannot change any verdict.
+//! * Actions are limited to the *stateless envelope* subset: `Drop`,
+//!   `Delay`, `Duplicate`. `Reorder` holds state between matches and
+//!   `CrashSender`/`CrashReceiver` mutate device state the daemon does
+//!   not own — those plans must run on the sim engine.
+//! * A duplicated copy gets `max(extra_delay, 1µs)` added so its
+//!   intrinsic event key `(deliver_at, origin, seq)` differs from the
+//!   original's — two identical keys would make the heap order between
+//!   them undefined.
+//!
+//! Fault runs are checked by *verdict parity* (the chaos oracles),
+//! not byte parity: the sim engine re-draws latency for duplicates and
+//! records `FaultInjected` trace events from inside the round, which a
+//! relay-side proxy deliberately does not forge.
+
+use edgelet_live::PayloadClassifier;
+use edgelet_sim::{evaluate_plan, FaultAction, FaultCounters, FaultPlan, MatchPoint, SimTime};
+use edgelet_util::{Error, Result};
+use edgelet_wire::Envelope;
+
+/// What the proxy decided for one relayed envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// No rule fired; relay unchanged.
+    Pass(Envelope),
+    /// A `Drop` rule fired; the envelope vanishes.
+    Drop {
+        /// Index of the firing rule.
+        rule: u32,
+    },
+    /// A `Delay` rule fired; relay with a pushed-back delivery time.
+    Delayed {
+        /// Index of the firing rule.
+        rule: u32,
+        /// The envelope with `deliver_at_us` advanced.
+        env: Envelope,
+    },
+    /// A `Duplicate` rule fired; relay both copies.
+    Duplicated {
+        /// Index of the firing rule.
+        rule: u32,
+        /// Original plus the delayed copy.
+        envs: [Envelope; 2],
+    },
+}
+
+/// A deterministic fault injector on the daemon's envelope relay path.
+pub struct NetFaultProxy {
+    plan: FaultPlan,
+    counters: FaultCounters,
+}
+
+impl NetFaultProxy {
+    /// Builds a proxy for `plan`, rejecting plans whose decisions or
+    /// actions cannot be carried deterministically at the relay (see
+    /// module docs).
+    pub fn new(plan: FaultPlan) -> Result<NetFaultProxy> {
+        if !plan.is_window_safe() {
+            return Err(Error::InvalidConfig(
+                "net fault proxy requires a window-safe plan (no skip/limit/reorder)".into(),
+            ));
+        }
+        for (i, rule) in plan.rules.iter().enumerate() {
+            match rule.action {
+                FaultAction::Drop | FaultAction::Delay(_) | FaultAction::Duplicate { .. } => {}
+                FaultAction::Reorder | FaultAction::CrashSender | FaultAction::CrashReceiver => {
+                    return Err(Error::InvalidConfig(format!(
+                        "net fault proxy rule {i}: action {:?} needs engine state; \
+                         only Drop/Delay/Duplicate run at the relay",
+                        rule.action.kind()
+                    )));
+                }
+            }
+        }
+        let counters = FaultCounters::for_plan(&plan);
+        Ok(NetFaultProxy { plan, counters })
+    }
+
+    /// Evaluates the plan against one relayed envelope.
+    pub fn apply(&mut self, env: Envelope, classifier: Option<PayloadClassifier>) -> FaultVerdict {
+        let kind = classifier.and_then(|f| f(env.payload.as_slice()));
+        let fired = evaluate_plan(
+            &self.plan,
+            &mut self.counters,
+            MatchPoint::Send,
+            kind,
+            env.from,
+            env.to,
+            SimTime::from_micros(env.sent_at_us),
+        );
+        match fired {
+            None => FaultVerdict::Pass(env),
+            Some((rule, FaultAction::Drop)) => FaultVerdict::Drop { rule },
+            Some((rule, FaultAction::Delay(extra))) => {
+                let mut env = env;
+                env.deliver_at_us += extra.as_micros();
+                FaultVerdict::Delayed { rule, env }
+            }
+            Some((rule, FaultAction::Duplicate { extra_delay })) => {
+                let mut copy = env.clone();
+                // At least 1µs so the copy's intrinsic key differs.
+                copy.deliver_at_us += extra_delay.as_micros().max(1);
+                FaultVerdict::Duplicated {
+                    rule,
+                    envs: [env, copy],
+                }
+            }
+            // Constructor rejects everything else.
+            Some((_, other)) => unreachable!("unreachable relay action {:?}", other.kind()),
+        }
+    }
+
+    /// Per-rule occurrence counters accumulated so far.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// The plan this proxy carries.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgelet_sim::{Duration, FaultRule, MsgMatch};
+    use edgelet_util::ids::DeviceId;
+    use edgelet_util::Payload;
+
+    fn env(from: u64, to: u64, sent_at_us: u64) -> Envelope {
+        Envelope {
+            epoch: 1,
+            from: DeviceId::new(from),
+            to: DeviceId::new(to),
+            seq: 9,
+            sent_at_us,
+            deliver_at_us: sent_at_us + 5_000,
+            payload: Payload::from(vec![1u8, 2, 3]),
+        }
+    }
+
+    #[test]
+    fn rejects_stateful_plans() {
+        let mut rule = FaultRule::new(FaultAction::Drop);
+        rule.skip = 1;
+        assert!(NetFaultProxy::new(FaultPlan::new().rule(rule)).is_err());
+
+        let mut rule = FaultRule::new(FaultAction::Drop);
+        rule.limit = Some(3);
+        assert!(NetFaultProxy::new(FaultPlan::new().rule(rule)).is_err());
+
+        for action in [
+            FaultAction::Reorder,
+            FaultAction::CrashSender,
+            FaultAction::CrashReceiver,
+        ] {
+            assert!(NetFaultProxy::new(FaultPlan::new().rule(FaultRule::new(action))).is_err());
+        }
+    }
+
+    #[test]
+    fn drop_delay_duplicate_fire_and_count() {
+        let plan = FaultPlan::new()
+            .rule(FaultRule {
+                matcher: MsgMatch {
+                    from: Some(vec![DeviceId::new(1)]),
+                    ..Default::default()
+                },
+                action: FaultAction::Drop,
+                skip: 0,
+                limit: None,
+            })
+            .rule(FaultRule {
+                matcher: MsgMatch {
+                    from: Some(vec![DeviceId::new(2)]),
+                    ..Default::default()
+                },
+                action: FaultAction::Delay(Duration::from_millis(2)),
+                skip: 0,
+                limit: None,
+            })
+            .rule(FaultRule {
+                matcher: MsgMatch {
+                    from: Some(vec![DeviceId::new(3)]),
+                    ..Default::default()
+                },
+                action: FaultAction::Duplicate {
+                    extra_delay: Duration::ZERO,
+                },
+                skip: 0,
+                limit: None,
+            });
+        let mut proxy = NetFaultProxy::new(plan).unwrap();
+
+        assert_eq!(
+            proxy.apply(env(1, 9, 100), None),
+            FaultVerdict::Drop { rule: 0 }
+        );
+
+        match proxy.apply(env(2, 9, 100), None) {
+            FaultVerdict::Delayed { rule: 1, env } => {
+                assert_eq!(env.deliver_at_us, 100 + 5_000 + 2_000);
+            }
+            other => panic!("expected delay, got {other:?}"),
+        }
+
+        match proxy.apply(env(3, 9, 100), None) {
+            FaultVerdict::Duplicated { rule: 2, envs } => {
+                assert_eq!(envs[0].deliver_at_us, 5_100);
+                // Zero extra delay still floors at 1µs for a distinct key.
+                assert_eq!(envs[1].deliver_at_us, 5_101);
+            }
+            other => panic!("expected duplicate, got {other:?}"),
+        }
+
+        match proxy.apply(env(4, 9, 100), None) {
+            FaultVerdict::Pass(env) => assert_eq!(env.from, DeviceId::new(4)),
+            other => panic!("expected pass, got {other:?}"),
+        }
+
+        assert_eq!(proxy.counters().fired, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn window_rules_use_virtual_send_time() {
+        let plan = FaultPlan::new().rule(FaultRule {
+            matcher: MsgMatch {
+                after: Some(SimTime::from_micros(1_000)),
+                until: Some(SimTime::from_micros(2_000)),
+                ..Default::default()
+            },
+            action: FaultAction::Drop,
+            skip: 0,
+            limit: None,
+        });
+        let mut proxy = NetFaultProxy::new(plan).unwrap();
+        assert!(matches!(
+            proxy.apply(env(1, 2, 500), None),
+            FaultVerdict::Pass(_)
+        ));
+        assert!(matches!(
+            proxy.apply(env(1, 2, 1_500), None),
+            FaultVerdict::Drop { .. }
+        ));
+        assert!(matches!(
+            proxy.apply(env(1, 2, 2_000), None),
+            FaultVerdict::Pass(_)
+        ));
+    }
+
+    #[test]
+    fn verdicts_are_arrival_order_independent() {
+        let plan = FaultPlan::new().rule(FaultRule {
+            matcher: MsgMatch {
+                from: Some(vec![DeviceId::new(1)]),
+                ..Default::default()
+            },
+            action: FaultAction::Drop,
+            skip: 0,
+            limit: None,
+        });
+        let envs: Vec<Envelope> = (0..6).map(|i| env(i % 3, 9, 100 * i)).collect();
+        let verdict_of = |order: &[usize]| -> Vec<(usize, bool)> {
+            let mut proxy = NetFaultProxy::new(plan.clone()).unwrap();
+            let mut out: Vec<(usize, bool)> = order
+                .iter()
+                .map(|&i| {
+                    let dropped = matches!(
+                        proxy.apply(envs[i].clone(), None),
+                        FaultVerdict::Drop { .. }
+                    );
+                    (i, dropped)
+                })
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        let forward: Vec<usize> = (0..6).collect();
+        let reverse: Vec<usize> = (0..6).rev().collect();
+        assert_eq!(verdict_of(&forward), verdict_of(&reverse));
+    }
+}

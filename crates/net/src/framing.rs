@@ -1,0 +1,343 @@
+//! Socket frame boundary: length-prefixed, CRC-trailed frames over a
+//! byte stream.
+//!
+//! The in-process wire format ([`edgelet_wire::frame`]) assumes the
+//! decoder holds one complete message; a socket hands us an arbitrary
+//! byte *stream* — partial length prefixes, coalesced back-to-back
+//! frames, a CRC split across two reads. [`NetFrame`] adds the missing
+//! boundary:
+//!
+//! ```text
+//! +----+----+----------------+------------------+--------------+
+//! | 'E'| 'N'| length: u32 LE | body: len bytes  | crc32: u32 LE|
+//! +----+----+----------------+------------------+--------------+
+//! ```
+//!
+//! The CRC (same from-scratch CRC-32 as the frame layer,
+//! [`edgelet_wire::crc::crc32`]) covers magic + length + body, so a
+//! flipped bit anywhere before the trailer is caught. The body is an
+//! ordinary wire-encoded protocol message ([`crate::proto::NetMsg`]) —
+//! the socket layer never re-encodes protocol content, it only frames
+//! it.
+//!
+//! [`FrameDecoder`] is a *push* decoder: feed it whatever the socket
+//! produced, pull zero or more complete frames. It is deterministic and
+//! total — any byte sequence yields a well-defined sequence of frames
+//! and/or one terminal error, never a panic, never an unbounded
+//! allocation (`MAX_FRAME_LEN` caps the length prefix before any buffer
+//! grows). A stream error is **terminal**: a transport that delivered
+//! garbage cannot be trusted about subsequent boundaries either, so the
+//! connection is torn down and re-established (the reconnect path) —
+//! resynchronization by rejection, the deterministic option.
+
+use edgelet_util::{Error, Result};
+use edgelet_wire::crc::crc32;
+
+/// Magic prefix of every socket frame ("EN", for envelope-over-network).
+pub const NET_MAGIC: [u8; 2] = *b"EN";
+
+/// Hard cap on one frame's body length. Generous for the protocol's
+/// largest message (a whole window's relayed envelope batch), tight
+/// enough that a corrupt length prefix cannot drive allocation.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Byte overhead added around a body: magic + length + CRC.
+pub const FRAME_OVERHEAD: usize = 2 + 4 + 4;
+
+/// Encodes one frame around `body`.
+pub fn encode_frame(body: &[u8]) -> Vec<u8> {
+    assert!(body.len() <= MAX_FRAME_LEN, "frame body over MAX_FRAME_LEN");
+    let mut out = Vec::with_capacity(body.len() + FRAME_OVERHEAD);
+    out.extend_from_slice(&NET_MAGIC);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Incremental frame decoder over an arbitrary chunking of the stream.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by yielded frames; compacted
+    /// lazily so a burst of coalesced frames costs one copy, not one
+    /// per frame.
+    consumed: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder at a frame boundary.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends bytes read from the socket.
+    ///
+    /// After a decode error the decoder is poisoned and further input
+    /// is ignored — the caller must drop the connection (see module
+    /// docs on deterministic resynchronization).
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned {
+            return;
+        }
+        if self.consumed > 0 && self.consumed == self.buf.len() {
+            self.buf.clear();
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pulls the next complete frame body, `Ok(None)` if more input is
+    /// needed, or a terminal error (bad magic, oversized length, CRC
+    /// mismatch) after which the decoder stays poisoned.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        if self.poisoned {
+            return Err(Error::Decode("frame stream poisoned".into()));
+        }
+        let avail = &self.buf[self.consumed..];
+        if avail.len() < 2 {
+            // With one byte in hand we can still reject a wrong magic
+            // prefix early; a lone correct first byte waits for more.
+            if avail.len() == 1 && avail[0] != NET_MAGIC[0] {
+                return self.poison("bad frame magic");
+            }
+            return Ok(None);
+        }
+        if avail[..2] != NET_MAGIC {
+            return self.poison("bad frame magic");
+        }
+        if avail.len() < 6 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[2], avail[3], avail[4], avail[5]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return self.poison("frame length over limit");
+        }
+        let total = FRAME_OVERHEAD + len;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let crc_off = 6 + len;
+        let expect = crc32(&avail[..crc_off]);
+        let got = u32::from_le_bytes([
+            avail[crc_off],
+            avail[crc_off + 1],
+            avail[crc_off + 2],
+            avail[crc_off + 3],
+        ]);
+        if expect != got {
+            return self.poison("frame crc mismatch");
+        }
+        let body = avail[6..crc_off].to_vec();
+        self.consumed += total;
+        Ok(Some(body))
+    }
+
+    /// Drains every complete frame currently buffered.
+    pub fn drain_frames(&mut self) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        while let Some(body) = self.next_frame()? {
+            out.push(body);
+        }
+        Ok(out)
+    }
+
+    /// True once a decode error occurred; the connection must be torn
+    /// down.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Bytes buffered but not yet yielded (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    fn poison(&mut self, what: &str) -> Result<Option<Vec<u8>>> {
+        self.poisoned = true;
+        self.buf.clear();
+        self.consumed = 0;
+        Err(Error::Decode(format!("net frame: {what}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let body = b"hello edgelet".to_vec();
+        let wire = encode_frame(&body);
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert_eq!(dec.next_frame().unwrap(), Some(body));
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn empty_body_roundtrips() {
+        let wire = encode_frame(&[]);
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert_eq!(dec.next_frame().unwrap(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let body: Vec<u8> = (0u8..200).collect();
+        let wire = encode_frame(&body);
+        let mut dec = FrameDecoder::new();
+        for &b in &wire[..wire.len() - 1] {
+            dec.push(&[b]);
+            assert_eq!(dec.next_frame().unwrap(), None, "frame yielded early");
+        }
+        dec.push(&wire[wire.len() - 1..]);
+        assert_eq!(dec.next_frame().unwrap(), Some(body));
+    }
+
+    #[test]
+    fn coalesced_back_to_back_frames() {
+        let mut wire = Vec::new();
+        let bodies: Vec<Vec<u8>> = (0..5).map(|i| vec![i as u8; i * 7]).collect();
+        for b in &bodies {
+            wire.extend_from_slice(&encode_frame(b));
+        }
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert_eq!(dec.drain_frames().unwrap(), bodies);
+    }
+
+    #[test]
+    fn corrupt_crc_poisons() {
+        let mut wire = encode_frame(b"payload");
+        let last = wire.len() - 1;
+        wire[last] ^= 0x40;
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert!(dec.next_frame().is_err());
+        assert!(dec.is_poisoned());
+        // Poisoned decoders stay poisoned: a valid frame after the
+        // corruption is not trusted.
+        dec.push(&encode_frame(b"valid"));
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn corrupt_body_bit_is_caught() {
+        let mut wire = encode_frame(b"payload-bytes");
+        wire[8] ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn wrong_magic_rejected_immediately() {
+        let mut dec = FrameDecoder::new();
+        dec.push(b"XY");
+        assert!(dec.next_frame().is_err());
+        let mut dec = FrameDecoder::new();
+        dec.push(b"Q");
+        assert!(dec.next_frame().is_err(), "wrong first byte rejects early");
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&NET_MAGIC);
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert!(dec.next_frame().is_err());
+    }
+
+    proptest! {
+        /// Frame-boundary torture (ISSUE satellite): any split or
+        /// coalescing of a valid framed stream yields exactly the
+        /// original bodies, in order, with no error.
+        #[test]
+        fn prop_arbitrary_chunking_preserves_frames(
+            bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 0..8),
+            cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..16),
+        ) {
+            let mut wire = Vec::new();
+            for b in &bodies {
+                wire.extend_from_slice(&encode_frame(b));
+            }
+            let mut offsets: Vec<usize> = cuts.iter().map(|i| i.index(wire.len() + 1)).collect();
+            offsets.push(0);
+            offsets.push(wire.len());
+            offsets.sort_unstable();
+            offsets.dedup();
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for pair in offsets.windows(2) {
+                dec.push(&wire[pair[0]..pair[1]]);
+                while let Some(body) = dec.next_frame().unwrap() {
+                    got.push(body);
+                }
+            }
+            prop_assert_eq!(got, bodies);
+        }
+
+        /// Any byte garbage: the decoder never panics, and whatever
+        /// frames it does yield carry a valid CRC by construction.
+        #[test]
+        fn prop_random_bytes_never_panic(
+            chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..8),
+        ) {
+            let mut dec = FrameDecoder::new();
+            for c in &chunks {
+                dec.push(c);
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(_)) => continue,
+                        Ok(None) => break,
+                        Err(_) => {
+                            prop_assert!(dec.is_poisoned());
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        /// A single flipped bit anywhere in a framed stream either
+        /// leaves earlier (untouched) frames intact and then errors, or
+        /// errors immediately — it never yields a corrupted body.
+        #[test]
+        fn prop_bitflip_never_yields_corrupt_body(
+            bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..64), 1..4),
+            flip_byte in any::<prop::sample::Index>(),
+            flip_bit in 0u8..8,
+        ) {
+            let mut wire = Vec::new();
+            for b in &bodies {
+                wire.extend_from_slice(&encode_frame(b));
+            }
+            let pos = flip_byte.index(wire.len());
+            wire[pos] ^= 1 << flip_bit;
+            let mut dec = FrameDecoder::new();
+            dec.push(&wire);
+            let mut yielded = Vec::new();
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(b)) => yielded.push(b),
+                    Ok(None) => break,
+                    Err(_) => break,
+                }
+            }
+            // Every yielded body must be one of the originals (a prefix
+            // of the stream before the flip), byte for byte.
+            prop_assert!(yielded.len() <= bodies.len());
+            for (got, want) in yielded.iter().zip(&bodies) {
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! `edgelet-net` — socket-backed transport and multi-process worker
+//! deployment for the live runtime.
+//!
+//! The live runtime (`edgelet-live`) proved the protocol runs
+//! bit-identically to the simulator inside one process; this crate
+//! takes the remaining step of the paper's edge deployment story: the
+//! same conservative-window execution spread across *processes*, over
+//! real sockets — Unix domain sockets on one device, TCP across
+//! devices — with the same bar: byte-identical result payloads,
+//! ledgers, and state CRCs (`tests/net_parity.rs`).
+//!
+//! * [`framing`] — length-prefixed CRC-trailed frames over a byte
+//!   stream; the push decoder is total and deterministic under any
+//!   chunking (property-tested);
+//! * [`proto`] — the versioned control protocol: handshake, client
+//!   submissions, and the daemon↔worker window coordination messages,
+//!   all exact integer encodings of the runtime's round state;
+//! * [`conn`] — blocking UDS/TCP listeners and streams, framed message
+//!   streams, reconnect [`conn::Backoff`], and the real-time
+//!   [`conn::TimerHeap`] behind handshake deadlines and reconnect
+//!   pacing;
+//! * [`transport`] — [`transport::SocketTransport`], the
+//!   [`edgelet_wire::Transport`] impl over a connected socket, plus the
+//!   worker-side [`transport::CollectorTransport`] and the
+//!   world-construction [`transport::SinkTransport`];
+//! * [`daemon`] — the `edgelet serve` side: accept loop, worker
+//!   registry with half-open detection, and the window coordinator
+//!   that plugs into [`edgelet_live::QueryService`] as its
+//!   [`edgelet_live::RemoteExecutor`] (socket failure → deterministic
+//!   in-process fallback);
+//! * [`worker`] — the `edgelet worker` side: backoff reconnect loop,
+//!   versioned handshake, and the per-window round server;
+//! * [`fault`] — [`fault::NetFaultProxy`]: the simulator's fault DSL
+//!   evaluated on the daemon's relay path, restricted to the
+//!   order-independent subset so verdicts stay deterministic.
+//!
+//! Protocol and determinism model: `docs/NET.md`, `docs/PROTOCOL.md`
+//! §8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod daemon;
+pub mod fault;
+pub mod framing;
+pub mod proto;
+pub mod transport;
+pub mod worker;
+
+pub use conn::{Addr, Backoff, Listener, MsgStream, Stream, TimerHeap};
+pub use daemon::{Daemon, NetConfig, Submission, WorldBuilder};
+pub use fault::{FaultVerdict, NetFaultProxy};
+pub use framing::{encode_frame, FrameDecoder, FRAME_OVERHEAD, MAX_FRAME_LEN, NET_MAGIC};
+pub use proto::{NetMsg, Role, WireRecord, WireRound, PROTO_VERSION};
+pub use transport::{CollectorTransport, SinkTransport, SocketTransport};
+pub use worker::{run_worker, SessionEnd, WorkerConfig};

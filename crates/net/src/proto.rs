@@ -1,0 +1,953 @@
+//! The edgelet-net control protocol: every message that crosses a
+//! socket, as wire-codec values framed by [`crate::framing`].
+//!
+//! The protocol has three planes (documented in `docs/NET.md` and
+//! `docs/PROTOCOL.md` §8):
+//!
+//! * **Session** — `Hello`/`Welcome`/`Reject` versioned handshake
+//!   (rejects on [`edgelet_wire::FRAME_VERSION`],
+//!   [`edgelet_wire::ENVELOPE_VERSION`], or [`PROTO_VERSION`]
+//!   mismatch), `Ping`/`Pong` liveness probes.
+//! * **Client** — `SubmitReq`/`SubmitResp`: a query submission carrying
+//!   opaque world-spec bytes and an opaque result artifact (the daemon
+//!   host defines both; the socket layer never interprets them).
+//! * **Coordination** — the daemon↔worker window protocol: `Prepare`/
+//!   `Ready` (build the world), `Envelopes`+`OpenWindow`/`RoundDone`
+//!   (one conservative window), `Finish`|`Abort`/`QueryDone` (teardown
+//!   and result partials).
+//!
+//! Everything the coordination plane ships — metric deltas, journal
+//! entries, the querier record — is an exact integer encoding of the
+//! live runtime's round state ([`edgelet_live::round`]), so merging
+//! remote partials is bit-identical to the in-process barrier merge.
+
+use edgelet_live::round::{Deltas, JEntry, JItem};
+use edgelet_sim::{CrashCause, DelayStats, FaultKind, SimTime, TraceEvent};
+use edgelet_util::ids::DeviceId;
+use edgelet_util::{Error, Result};
+use edgelet_wire::{Decode, Encode, Envelope, Reader, Writer};
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Version of this control protocol; bump on message layout changes.
+/// Carried in `Hello` and rejected on mismatch, alongside the frame and
+/// envelope versions.
+pub const PROTO_VERSION: u16 = 1;
+
+/// The peer's role, declared in `Hello`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// A worker process offering round execution.
+    Worker,
+    /// A client submitting queries.
+    Client,
+}
+
+/// One window's worth of a worker's round output, on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRound {
+    /// Commutative metric deltas (exact integers).
+    pub deltas: WireDeltas,
+    /// Earliest event still pending on this worker (heap plus locally
+    /// stashed own-lane sends), µs.
+    pub pending_min: Option<u64>,
+    /// The window stopped on the event budget.
+    pub hit_budget: bool,
+    /// Ordered side effects, pre-sorted by `(at, origin, seq, intra)`.
+    pub journal: Vec<WireJEntry>,
+    /// Envelopes for other workers, flattened in lane-then-FIFO order.
+    pub outgoing: Vec<Envelope>,
+}
+
+/// Exact wire image of [`edgelet_live::round::Deltas`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireDeltas {
+    /// Messages submitted by actors.
+    pub sent: u64,
+    /// Messages handed to receiving actors.
+    pub delivered: u64,
+    /// Messages dropped.
+    pub dropped: u64,
+    /// Messages corrupted in transit.
+    pub corrupted: u64,
+    /// Messages discarded at a crashed receiver.
+    pub to_crashed: u64,
+    /// Payload bytes submitted.
+    pub bytes_sent: u64,
+    /// Delivery-delay partial statistic as `(count, sum, min, max)` µs.
+    pub delay: (u64, u64, u64, u64),
+    /// Crash events applied.
+    pub crashes: u64,
+    /// Events processed.
+    pub events: u64,
+    /// Net change in pending events.
+    pub real_pending: i64,
+    /// Latest event time processed, µs.
+    pub last_at_us: u64,
+}
+
+impl WireDeltas {
+    /// Captures a round's deltas losslessly.
+    pub fn from_deltas(d: &Deltas) -> Self {
+        WireDeltas {
+            sent: d.sent,
+            delivered: d.delivered,
+            dropped: d.dropped,
+            corrupted: d.corrupted,
+            to_crashed: d.to_crashed,
+            bytes_sent: d.bytes_sent,
+            delay: d.delay.raw_parts(),
+            crashes: d.crashes,
+            events: d.events,
+            real_pending: d.real_pending,
+            last_at_us: d.last_at.as_micros(),
+        }
+    }
+
+    /// The delay partial as a mergeable [`DelayStats`].
+    pub fn delay_stats(&self) -> DelayStats {
+        DelayStats::from_raw_parts(self.delay.0, self.delay.1, self.delay.2, self.delay.3)
+    }
+}
+
+/// Wire image of one journal entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireJEntry {
+    /// Virtual time of the producing event, µs.
+    pub at_us: u64,
+    /// Raw id of the spawning device.
+    pub origin: u64,
+    /// The producing event's spawn sequence number.
+    pub seq: u64,
+    /// Ordinal within the producing event.
+    pub intra: u32,
+    /// The side effect.
+    pub item: WireJItem,
+}
+
+impl WireJEntry {
+    /// Captures a journal entry.
+    pub fn from_entry(e: &JEntry) -> Self {
+        WireJEntry {
+            at_us: e.at.as_micros(),
+            origin: e.origin,
+            seq: e.seq,
+            intra: e.intra,
+            item: match &e.item {
+                JItem::Trace(ev) => WireJItem::Trace(ev.clone()),
+                JItem::Observe(name, value) => WireJItem::Observe(name.to_string(), *value),
+            },
+        }
+    }
+
+    /// The canonical merge key.
+    pub fn key(&self) -> (u64, u64, u64, u32) {
+        (self.at_us, self.origin, self.seq, self.intra)
+    }
+
+    /// Rebuilds the runtime-side journal item; observation names are
+    /// interned (the runtime requires `&'static str`).
+    pub fn into_item(self) -> (SimTime, JItem) {
+        let at = SimTime::from_micros(self.at_us);
+        let item = match self.item {
+            WireJItem::Trace(ev) => JItem::Trace(ev),
+            WireJItem::Observe(name, value) => JItem::Observe(intern_name(&name), value),
+        };
+        (at, item)
+    }
+}
+
+/// Wire image of a journal item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireJItem {
+    /// A trace event.
+    Trace(TraceEvent),
+    /// A metric observation.
+    Observe(String, f64),
+}
+
+/// Interns an observation name to the `&'static str` the metrics API
+/// requires. The set of names is the small fixed vocabulary the role
+/// actors observe, so the leak is bounded by the protocol, not by
+/// traffic.
+pub fn intern_name(name: &str) -> &'static str {
+    static NAMES: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut set = NAMES.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(existing) = set.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+/// Wire image of the querier's outcome record
+/// ([`edgelet_exec::roles::querier::QuerierRecord`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireRecord {
+    /// First result's raw payload bytes.
+    pub payload: Option<Vec<u8>>,
+    /// Virtual arrival time of the first result, µs.
+    pub completed_at_us: Option<u64>,
+    /// Partitions merged into the first result.
+    pub partitions_merged: u64,
+    /// Of which complete.
+    pub partitions_complete: u64,
+    /// Replica index that won the race.
+    pub winning_replica: u32,
+    /// Total results received.
+    pub results_received: u64,
+}
+
+/// Every message of the control protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetMsg {
+    /// Opens a session; the first message on every connection.
+    Hello {
+        /// The peer's role.
+        role: Role,
+        /// [`PROTO_VERSION`] of the peer.
+        proto: u16,
+        /// [`edgelet_wire::FRAME_VERSION`] of the peer.
+        frame_version: u8,
+        /// [`edgelet_wire::ENVELOPE_VERSION`] of the peer.
+        envelope_version: u8,
+    },
+    /// Accepts a session.
+    Welcome {
+        /// The worker's registry index (0 for clients).
+        worker_index: u32,
+    },
+    /// Refuses a session or a request; the connection closes after.
+    Reject {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echoed back in the matching `Pong`.
+        nonce: u64,
+    },
+    /// Liveness reply.
+    Pong {
+        /// The probe's nonce.
+        nonce: u64,
+    },
+    /// Client query submission; `spec` is opaque to the socket layer.
+    SubmitReq {
+        /// Host-defined world-spec bytes.
+        spec: Vec<u8>,
+    },
+    /// Submission outcome; `artifact` is opaque to the socket layer.
+    SubmitResp {
+        /// Host-defined result artifact bytes.
+        artifact: Vec<u8>,
+    },
+    /// Build the world for one epoch.
+    Prepare {
+        /// The query epoch.
+        epoch: u64,
+        /// Host-defined world-spec bytes.
+        spec: Vec<u8>,
+        /// Total worker processes in this run.
+        worker_count: u32,
+        /// This worker's slice index for this epoch.
+        worker_index: u32,
+        /// When set, own-lane sends also route via the daemon so the
+        /// fault proxy observes every envelope.
+        fault_mode: bool,
+    },
+    /// The world for `epoch` is built and idle at its first window.
+    Ready {
+        /// The query epoch.
+        epoch: u64,
+    },
+    /// Execute one conservative window.
+    OpenWindow {
+        /// The query epoch.
+        epoch: u64,
+        /// Exclusive end of the window, µs.
+        window_end_us: u64,
+        /// Deadline clip (inclusive), µs.
+        clip_us: u64,
+        /// Remaining event budget.
+        budget: u64,
+    },
+    /// Envelopes relayed to this worker's slice, staged before the next
+    /// `OpenWindow`.
+    Envelopes {
+        /// The query epoch.
+        epoch: u64,
+        /// The relayed envelopes.
+        batch: Vec<Envelope>,
+    },
+    /// One window's results.
+    RoundDone {
+        /// The query epoch.
+        epoch: u64,
+        /// The round output.
+        round: WireRound,
+    },
+    /// The run is over; report final partials.
+    Finish {
+        /// The query epoch.
+        epoch: u64,
+    },
+    /// The run is cancelled; report final partials anyway.
+    Abort {
+        /// The query epoch.
+        epoch: u64,
+    },
+    /// Final per-worker partials: the ledger slice and, from the
+    /// querier's owner, the outcome record.
+    QueryDone {
+        /// The query epoch.
+        epoch: u64,
+        /// Wire-encoded [`edgelet_exec::Ledger`] partial.
+        ledger: Vec<u8>,
+        /// The querier record, from its owning worker only.
+        record: Option<WireRecord>,
+    },
+}
+
+impl NetMsg {
+    /// A `Hello` carrying this build's version triplet.
+    pub fn hello(role: Role) -> NetMsg {
+        NetMsg::Hello {
+            role,
+            proto: PROTO_VERSION,
+            frame_version: edgelet_wire::FRAME_VERSION,
+            envelope_version: edgelet_wire::ENVELOPE_VERSION,
+        }
+    }
+}
+
+// ---- codecs ----
+
+impl Encode for Role {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(match self {
+            Role::Worker => 0,
+            Role::Client => 1,
+        });
+    }
+}
+
+impl Decode for Role {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.varint()? {
+            0 => Ok(Role::Worker),
+            1 => Ok(Role::Client),
+            other => Err(Error::Decode(format!("invalid role {other}"))),
+        }
+    }
+}
+
+impl Encode for WireDeltas {
+    fn encode(&self, w: &mut Writer) {
+        self.sent.encode(w);
+        self.delivered.encode(w);
+        self.dropped.encode(w);
+        self.corrupted.encode(w);
+        self.to_crashed.encode(w);
+        self.bytes_sent.encode(w);
+        self.delay.0.encode(w);
+        self.delay.1.encode(w);
+        self.delay.2.encode(w);
+        self.delay.3.encode(w);
+        self.crashes.encode(w);
+        self.events.encode(w);
+        self.real_pending.encode(w);
+        self.last_at_us.encode(w);
+    }
+}
+
+impl Decode for WireDeltas {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(WireDeltas {
+            sent: u64::decode(r)?,
+            delivered: u64::decode(r)?,
+            dropped: u64::decode(r)?,
+            corrupted: u64::decode(r)?,
+            to_crashed: u64::decode(r)?,
+            bytes_sent: u64::decode(r)?,
+            delay: (
+                u64::decode(r)?,
+                u64::decode(r)?,
+                u64::decode(r)?,
+                u64::decode(r)?,
+            ),
+            crashes: u64::decode(r)?,
+            events: u64::decode(r)?,
+            real_pending: i64::decode(r)?,
+            last_at_us: u64::decode(r)?,
+        })
+    }
+}
+
+fn encode_device(w: &mut Writer, d: DeviceId) {
+    w.put_varint(d.raw());
+}
+
+fn decode_device(r: &mut Reader<'_>) -> Result<DeviceId> {
+    Ok(DeviceId::new(r.varint()?))
+}
+
+fn encode_trace_event(w: &mut Writer, ev: &TraceEvent) {
+    match ev {
+        TraceEvent::Sent { from, to, bytes } => {
+            w.put_varint(0);
+            encode_device(w, *from);
+            encode_device(w, *to);
+            w.put_varint(*bytes as u64);
+        }
+        TraceEvent::Delivered { from, to } => {
+            w.put_varint(1);
+            encode_device(w, *from);
+            encode_device(w, *to);
+        }
+        TraceEvent::Dropped { from, to } => {
+            w.put_varint(2);
+            encode_device(w, *from);
+            encode_device(w, *to);
+        }
+        TraceEvent::WentDown(d) => {
+            w.put_varint(3);
+            encode_device(w, *d);
+        }
+        TraceEvent::CameUp(d) => {
+            w.put_varint(4);
+            encode_device(w, *d);
+        }
+        TraceEvent::Crashed { device, cause } => {
+            w.put_varint(5);
+            encode_device(w, *device);
+            match cause {
+                CrashCause::Organic => w.put_varint(0),
+                CrashCause::Injected { rule } => {
+                    w.put_varint(1);
+                    w.put_varint(u64::from(*rule));
+                }
+            }
+        }
+        TraceEvent::TimerFired { device, token } => {
+            w.put_varint(6);
+            encode_device(w, *device);
+            w.put_varint(*token);
+        }
+        TraceEvent::FaultInjected {
+            rule,
+            kind,
+            from,
+            to,
+        } => {
+            w.put_varint(7);
+            w.put_varint(u64::from(*rule));
+            w.put_varint(u64::from(kind.code()));
+            encode_device(w, *from);
+            encode_device(w, *to);
+        }
+        TraceEvent::MsgKind { from, to, kind } => {
+            w.put_varint(8);
+            encode_device(w, *from);
+            encode_device(w, *to);
+            w.put_varint(u64::from(*kind));
+        }
+    }
+}
+
+fn decode_fault_kind(code: u64) -> Result<FaultKind> {
+    Ok(match code {
+        0 => FaultKind::Drop,
+        1 => FaultKind::Delay,
+        2 => FaultKind::Duplicate,
+        3 => FaultKind::Reorder,
+        4 => FaultKind::CrashSender,
+        5 => FaultKind::CrashReceiver,
+        other => return Err(Error::Decode(format!("invalid fault kind {other}"))),
+    })
+}
+
+fn decode_trace_event(r: &mut Reader<'_>) -> Result<TraceEvent> {
+    Ok(match r.varint()? {
+        0 => TraceEvent::Sent {
+            from: decode_device(r)?,
+            to: decode_device(r)?,
+            bytes: usize::decode(r)?,
+        },
+        1 => TraceEvent::Delivered {
+            from: decode_device(r)?,
+            to: decode_device(r)?,
+        },
+        2 => TraceEvent::Dropped {
+            from: decode_device(r)?,
+            to: decode_device(r)?,
+        },
+        3 => TraceEvent::WentDown(decode_device(r)?),
+        4 => TraceEvent::CameUp(decode_device(r)?),
+        5 => {
+            let device = decode_device(r)?;
+            let cause = match r.varint()? {
+                0 => CrashCause::Organic,
+                1 => CrashCause::Injected {
+                    rule: u32::decode(r)?,
+                },
+                other => return Err(Error::Decode(format!("invalid crash cause {other}"))),
+            };
+            TraceEvent::Crashed { device, cause }
+        }
+        6 => TraceEvent::TimerFired {
+            device: decode_device(r)?,
+            token: r.varint()?,
+        },
+        7 => TraceEvent::FaultInjected {
+            rule: u32::decode(r)?,
+            kind: decode_fault_kind(r.varint()?)?,
+            from: decode_device(r)?,
+            to: decode_device(r)?,
+        },
+        8 => TraceEvent::MsgKind {
+            from: decode_device(r)?,
+            to: decode_device(r)?,
+            kind: u16::decode(r)?,
+        },
+        other => return Err(Error::Decode(format!("invalid trace event tag {other}"))),
+    })
+}
+
+impl Encode for WireJItem {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            WireJItem::Trace(ev) => {
+                w.put_varint(0);
+                encode_trace_event(w, ev);
+            }
+            WireJItem::Observe(name, value) => {
+                w.put_varint(1);
+                name.encode(w);
+                value.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for WireJItem {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.varint()? {
+            0 => WireJItem::Trace(decode_trace_event(r)?),
+            1 => WireJItem::Observe(String::decode(r)?, f64::decode(r)?),
+            other => return Err(Error::Decode(format!("invalid journal item tag {other}"))),
+        })
+    }
+}
+
+impl Encode for WireJEntry {
+    fn encode(&self, w: &mut Writer) {
+        self.at_us.encode(w);
+        self.origin.encode(w);
+        self.seq.encode(w);
+        self.intra.encode(w);
+        self.item.encode(w);
+    }
+}
+
+impl Decode for WireJEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(WireJEntry {
+            at_us: u64::decode(r)?,
+            origin: u64::decode(r)?,
+            seq: u64::decode(r)?,
+            intra: u32::decode(r)?,
+            item: WireJItem::decode(r)?,
+        })
+    }
+}
+
+impl Encode for WireRound {
+    fn encode(&self, w: &mut Writer) {
+        self.deltas.encode(w);
+        self.pending_min.encode(w);
+        self.hit_budget.encode(w);
+        self.journal.encode(w);
+        self.outgoing.encode(w);
+    }
+}
+
+impl Decode for WireRound {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(WireRound {
+            deltas: WireDeltas::decode(r)?,
+            pending_min: Option::<u64>::decode(r)?,
+            hit_budget: bool::decode(r)?,
+            journal: Vec::<WireJEntry>::decode(r)?,
+            outgoing: Vec::<Envelope>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for WireRecord {
+    fn encode(&self, w: &mut Writer) {
+        self.payload.encode(w);
+        self.completed_at_us.encode(w);
+        self.partitions_merged.encode(w);
+        self.partitions_complete.encode(w);
+        self.winning_replica.encode(w);
+        self.results_received.encode(w);
+    }
+}
+
+impl Decode for WireRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(WireRecord {
+            payload: Option::<Vec<u8>>::decode(r)?,
+            completed_at_us: Option::<u64>::decode(r)?,
+            partitions_merged: u64::decode(r)?,
+            partitions_complete: u64::decode(r)?,
+            winning_replica: u32::decode(r)?,
+            results_received: u64::decode(r)?,
+        })
+    }
+}
+
+impl Encode for NetMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            NetMsg::Hello {
+                role,
+                proto,
+                frame_version,
+                envelope_version,
+            } => {
+                w.put_varint(1);
+                role.encode(w);
+                proto.encode(w);
+                frame_version.encode(w);
+                envelope_version.encode(w);
+            }
+            NetMsg::Welcome { worker_index } => {
+                w.put_varint(2);
+                worker_index.encode(w);
+            }
+            NetMsg::Reject { reason } => {
+                w.put_varint(3);
+                reason.encode(w);
+            }
+            NetMsg::Ping { nonce } => {
+                w.put_varint(4);
+                nonce.encode(w);
+            }
+            NetMsg::Pong { nonce } => {
+                w.put_varint(5);
+                nonce.encode(w);
+            }
+            NetMsg::SubmitReq { spec } => {
+                w.put_varint(6);
+                spec.encode(w);
+            }
+            NetMsg::SubmitResp { artifact } => {
+                w.put_varint(7);
+                artifact.encode(w);
+            }
+            NetMsg::Prepare {
+                epoch,
+                spec,
+                worker_count,
+                worker_index,
+                fault_mode,
+            } => {
+                w.put_varint(8);
+                epoch.encode(w);
+                spec.encode(w);
+                worker_count.encode(w);
+                worker_index.encode(w);
+                fault_mode.encode(w);
+            }
+            NetMsg::Ready { epoch } => {
+                w.put_varint(9);
+                epoch.encode(w);
+            }
+            NetMsg::OpenWindow {
+                epoch,
+                window_end_us,
+                clip_us,
+                budget,
+            } => {
+                w.put_varint(10);
+                epoch.encode(w);
+                window_end_us.encode(w);
+                clip_us.encode(w);
+                budget.encode(w);
+            }
+            NetMsg::Envelopes { epoch, batch } => {
+                w.put_varint(11);
+                epoch.encode(w);
+                batch.encode(w);
+            }
+            NetMsg::RoundDone { epoch, round } => {
+                w.put_varint(12);
+                epoch.encode(w);
+                round.encode(w);
+            }
+            NetMsg::Finish { epoch } => {
+                w.put_varint(13);
+                epoch.encode(w);
+            }
+            NetMsg::Abort { epoch } => {
+                w.put_varint(14);
+                epoch.encode(w);
+            }
+            NetMsg::QueryDone {
+                epoch,
+                ledger,
+                record,
+            } => {
+                w.put_varint(15);
+                epoch.encode(w);
+                ledger.encode(w);
+                record.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for NetMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.varint()? {
+            1 => NetMsg::Hello {
+                role: Role::decode(r)?,
+                proto: u16::decode(r)?,
+                frame_version: u8::decode(r)?,
+                envelope_version: u8::decode(r)?,
+            },
+            2 => NetMsg::Welcome {
+                worker_index: u32::decode(r)?,
+            },
+            3 => NetMsg::Reject {
+                reason: String::decode(r)?,
+            },
+            4 => NetMsg::Ping {
+                nonce: u64::decode(r)?,
+            },
+            5 => NetMsg::Pong {
+                nonce: u64::decode(r)?,
+            },
+            6 => NetMsg::SubmitReq {
+                spec: Vec::<u8>::decode(r)?,
+            },
+            7 => NetMsg::SubmitResp {
+                artifact: Vec::<u8>::decode(r)?,
+            },
+            8 => NetMsg::Prepare {
+                epoch: u64::decode(r)?,
+                spec: Vec::<u8>::decode(r)?,
+                worker_count: u32::decode(r)?,
+                worker_index: u32::decode(r)?,
+                fault_mode: bool::decode(r)?,
+            },
+            9 => NetMsg::Ready {
+                epoch: u64::decode(r)?,
+            },
+            10 => NetMsg::OpenWindow {
+                epoch: u64::decode(r)?,
+                window_end_us: u64::decode(r)?,
+                clip_us: u64::decode(r)?,
+                budget: u64::decode(r)?,
+            },
+            11 => NetMsg::Envelopes {
+                epoch: u64::decode(r)?,
+                batch: Vec::<Envelope>::decode(r)?,
+            },
+            12 => NetMsg::RoundDone {
+                epoch: u64::decode(r)?,
+                round: WireRound::decode(r)?,
+            },
+            13 => NetMsg::Finish {
+                epoch: u64::decode(r)?,
+            },
+            14 => NetMsg::Abort {
+                epoch: u64::decode(r)?,
+            },
+            15 => NetMsg::QueryDone {
+                epoch: u64::decode(r)?,
+                ledger: Vec::<u8>::decode(r)?,
+                record: Option::<WireRecord>::decode(r)?,
+            },
+            other => return Err(Error::Decode(format!("invalid net message tag {other}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgelet_util::Payload;
+    use edgelet_wire::{from_bytes, to_bytes};
+
+    fn env(seq: u64) -> Envelope {
+        Envelope {
+            epoch: 7,
+            from: DeviceId::new(1),
+            to: DeviceId::new(2),
+            seq,
+            sent_at_us: 1_000,
+            deliver_at_us: 2_000,
+            payload: Payload::from(vec![9u8, 8, 7]),
+        }
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        let msgs = vec![
+            NetMsg::hello(Role::Worker),
+            NetMsg::hello(Role::Client),
+            NetMsg::Welcome { worker_index: 3 },
+            NetMsg::Reject {
+                reason: "frame version mismatch".into(),
+            },
+            NetMsg::Ping { nonce: 99 },
+            NetMsg::Pong { nonce: 99 },
+            NetMsg::SubmitReq {
+                spec: vec![1, 2, 3],
+            },
+            NetMsg::SubmitResp {
+                artifact: vec![4, 5],
+            },
+            NetMsg::Prepare {
+                epoch: 11,
+                spec: vec![1],
+                worker_count: 2,
+                worker_index: 1,
+                fault_mode: true,
+            },
+            NetMsg::Ready { epoch: 11 },
+            NetMsg::OpenWindow {
+                epoch: 11,
+                window_end_us: 5_000,
+                clip_us: u64::MAX >> 1,
+                budget: 1_000_000,
+            },
+            NetMsg::Envelopes {
+                epoch: 11,
+                batch: vec![env(0), env(1)],
+            },
+            NetMsg::RoundDone {
+                epoch: 11,
+                round: WireRound {
+                    deltas: WireDeltas {
+                        sent: 4,
+                        delivered: 3,
+                        delay: (3, 4_500, 1_000, 2_000),
+                        real_pending: -2,
+                        last_at_us: 4_400,
+                        ..WireDeltas::default()
+                    },
+                    pending_min: Some(6_000),
+                    hit_budget: false,
+                    journal: vec![
+                        WireJEntry {
+                            at_us: 2_000,
+                            origin: 1,
+                            seq: 0,
+                            intra: 0,
+                            item: WireJItem::Trace(TraceEvent::Delivered {
+                                from: DeviceId::new(1),
+                                to: DeviceId::new(2),
+                            }),
+                        },
+                        WireJEntry {
+                            at_us: 2_000,
+                            origin: 1,
+                            seq: 0,
+                            intra: 1,
+                            item: WireJItem::Observe("kmeans/inertia".into(), 0.5),
+                        },
+                    ],
+                    outgoing: vec![env(2)],
+                },
+            },
+            NetMsg::Finish { epoch: 11 },
+            NetMsg::Abort { epoch: 11 },
+            NetMsg::QueryDone {
+                epoch: 11,
+                ledger: vec![0, 1, 2],
+                record: Some(WireRecord {
+                    payload: Some(vec![42]),
+                    completed_at_us: Some(9_000_000),
+                    partitions_merged: 4,
+                    partitions_complete: 4,
+                    winning_replica: 1,
+                    results_received: 2,
+                }),
+            },
+        ];
+        for m in msgs {
+            let bytes = to_bytes(&m);
+            let back: NetMsg = from_bytes(&bytes).unwrap();
+            assert_eq!(back, m, "roundtrip mismatch");
+        }
+    }
+
+    #[test]
+    fn every_trace_event_variant_roundtrips() {
+        let d = DeviceId::new(5);
+        let events = vec![
+            TraceEvent::Sent {
+                from: d,
+                to: DeviceId::new(6),
+                bytes: 123,
+            },
+            TraceEvent::Delivered {
+                from: d,
+                to: DeviceId::new(6),
+            },
+            TraceEvent::Dropped {
+                from: d,
+                to: DeviceId::new(6),
+            },
+            TraceEvent::WentDown(d),
+            TraceEvent::CameUp(d),
+            TraceEvent::Crashed {
+                device: d,
+                cause: CrashCause::Organic,
+            },
+            TraceEvent::Crashed {
+                device: d,
+                cause: CrashCause::Injected { rule: 3 },
+            },
+            TraceEvent::TimerFired {
+                device: d,
+                token: 17,
+            },
+            TraceEvent::FaultInjected {
+                rule: 2,
+                kind: FaultKind::Duplicate,
+                from: d,
+                to: DeviceId::new(6),
+            },
+            TraceEvent::MsgKind {
+                from: d,
+                to: DeviceId::new(6),
+                kind: 9,
+            },
+        ];
+        for ev in events {
+            let item = WireJItem::Trace(ev.clone());
+            let back: WireJItem = from_bytes(&to_bytes(&item)).unwrap();
+            assert_eq!(back, item);
+        }
+    }
+
+    #[test]
+    fn intern_name_is_stable() {
+        let a = intern_name("net/test-observation");
+        let b = intern_name("net/test-observation");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn unknown_tags_fail_cleanly() {
+        let bytes = to_bytes(&200u64);
+        assert!(from_bytes::<NetMsg>(&bytes).is_err());
+        assert!(from_bytes::<WireJItem>(&bytes).is_err());
+    }
+}

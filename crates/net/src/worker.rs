@@ -1,0 +1,379 @@
+//! The worker side of the multi-process deployment: `edgelet worker
+//! --connect <addr>` runs this loop in its own process.
+//!
+//! A worker connects with truncated-exponential [`Backoff`] (paced by
+//! the same real-time [`TimerHeap`] the daemon's sweeper uses),
+//! completes the versioned handshake, and then serves the epoch
+//! protocol: `Prepare` builds the *entire* world from the canonical
+//! spec bytes (bit-identical to the daemon's and every sibling's copy)
+//! and keeps only its assigned slice; each `OpenWindow` runs one
+//! conservative window through the very same
+//! [`edgelet_live::round::LiveWorker::run_round`] the in-process
+//! engine's threads call; `Finish`/`Abort` reports the ledger partial
+//! (and the querier record when this slice owns the querier).
+//!
+//! Sends within the window go into a [`CollectorTransport`]; after the
+//! round the worker keeps its own lane locally (staged for the next
+//! window) and ships every other lane to the daemon for relay — unless
+//! the epoch runs in fault mode, in which case *all* lanes route
+//! through the daemon so the fault proxy observes every envelope.
+//!
+//! Daemon death (EOF or any protocol error) drops all epoch state and
+//! re-enters the reconnect loop — a fresh `Prepare` rebuilds the world
+//! deterministically, so a worker surviving a daemon restart poisons
+//! nothing.
+
+use crate::conn::{Addr, Backoff, MsgStream, Stream, TimerHeap};
+use crate::daemon::WorldBuilder;
+use crate::proto::{NetMsg, Role, WireDeltas, WireJEntry, WireRecord, WireRound};
+use crate::transport::CollectorTransport;
+use edgelet_live::round::{fold_min, LiveEnv, LiveWorker, RoundReport};
+use edgelet_live::PreparedQuery;
+use edgelet_util::{Error, Result};
+use edgelet_wire::Envelope;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Worker process configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// The daemon's address.
+    pub connect: Addr,
+    /// First reconnect delay.
+    pub backoff_initial: Duration,
+    /// Reconnect delay cap.
+    pub backoff_max: Duration,
+    /// `Welcome` deadline after sending `Hello`.
+    pub handshake_timeout: Duration,
+}
+
+impl WorkerConfig {
+    /// Defaults for `addr`: 50ms→2s backoff, 10s handshake deadline.
+    pub fn new(connect: Addr) -> WorkerConfig {
+        WorkerConfig {
+            connect,
+            backoff_initial: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            handshake_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Why one connection session ended (observability / tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The daemon refused the handshake; reconnecting is pointless.
+    Rejected(String),
+    /// The connection died (EOF, timeout, frame corruption); the loop
+    /// backs off and reconnects.
+    Disconnected(String),
+}
+
+/// The state a worker holds for one prepared epoch.
+struct EpochState {
+    epoch: u64,
+    slice: LiveWorker,
+    assembly: edgelet_exec::PlanAssembly,
+    collector: Arc<CollectorTransport>,
+    network: edgelet_sim::NetworkModel,
+    classifier: Option<edgelet_live::PayloadClassifier>,
+    trace_enabled: bool,
+    device_count: usize,
+    worker_index: usize,
+    worker_count: usize,
+    fault_mode: bool,
+    /// Envelopes staged for the next window (daemon relays + own-lane
+    /// stash-backs).
+    staging: Mutex<Vec<Envelope>>,
+    /// Always empty — `run_round` requires a mailbox; the socket path
+    /// has no barrier spills.
+    mailbox: Mutex<Vec<Envelope>>,
+    /// Recycled round report, same as the in-process barrier slots.
+    reuse: Option<RoundReport>,
+}
+
+impl EpochState {
+    /// Builds the world for `epoch` and keeps slice `worker_index`.
+    fn build(
+        builder: &dyn WorldBuilder,
+        spec: &[u8],
+        epoch: u64,
+        worker_count: usize,
+        worker_index: usize,
+        fault_mode: bool,
+    ) -> Result<EpochState> {
+        if worker_index >= worker_count {
+            return Err(Error::InvalidConfig(format!(
+                "worker index {worker_index} out of range for {worker_count} workers"
+            )));
+        }
+        let PreparedQuery {
+            plan: _,
+            engine,
+            assembly,
+        } = builder.build(spec, epoch, worker_count)?;
+        let parts = engine.into_parts();
+        if parts.workers.len() != worker_count {
+            return Err(Error::InvalidConfig(format!(
+                "world built {} slices, daemon expects {worker_count}",
+                parts.workers.len()
+            )));
+        }
+        let slice = parts
+            .workers
+            .into_iter()
+            .nth(worker_index)
+            .expect("index checked above");
+        Ok(EpochState {
+            epoch,
+            slice,
+            assembly,
+            collector: Arc::new(CollectorTransport::new(worker_count)),
+            network: parts.config.network.clone(),
+            classifier: parts.classifier,
+            trace_enabled: parts.config.trace_capacity > 0,
+            device_count: parts.device_count,
+            worker_index,
+            worker_count,
+            fault_mode,
+            staging: Mutex::new(Vec::new()),
+            mailbox: Mutex::new(Vec::new()),
+            reuse: None,
+        })
+    }
+
+    /// Runs one window and assembles the wire round.
+    fn run_window(&mut self, window_end_us: u64, clip_us: u64, budget: u64) -> WireRound {
+        let env = LiveEnv {
+            network: &self.network,
+            classifier: self.classifier,
+            need_kind: self.classifier.is_some() && self.trace_enabled,
+            trace_enabled: self.trace_enabled,
+            device_count: self.device_count,
+            epoch: self.epoch,
+            transport: self.collector.as_ref(),
+        };
+        let mut report = self.slice.run_round(
+            &env,
+            &self.mailbox,
+            &self.staging,
+            window_end_us,
+            clip_us,
+            budget,
+            self.reuse.take(),
+        );
+        debug_assert!(
+            report.out.parked.is_empty(),
+            "collector never backpressures"
+        );
+        // Partition the window's sends: own lane stays local (staged
+        // for the next window — the lookahead guarantees nothing in it
+        // is due before `window_end_us`), other lanes ship to the
+        // daemon. Fault mode ships everything so the relay proxy sees
+        // every envelope.
+        let mut outgoing: Vec<Envelope> = Vec::new();
+        let mut stash_min: Option<u64> = None;
+        for (lane, envs) in self.collector.take_lanes() {
+            if lane == self.worker_index && !self.fault_mode {
+                let mut staging = lock(&self.staging);
+                for e in envs {
+                    stash_min = fold_min(stash_min, Some(e.deliver_at_us));
+                    staging.push(e);
+                }
+            } else {
+                outgoing.extend(envs);
+            }
+        }
+        let pending_min = fold_min(report.heap_min, stash_min);
+        let journal = report
+            .out
+            .journal
+            .iter()
+            .map(WireJEntry::from_entry)
+            .collect();
+        let round = WireRound {
+            deltas: WireDeltas::from_deltas(&report.out.deltas),
+            pending_min,
+            hit_budget: report.hit_budget,
+            journal,
+            outgoing,
+        };
+        report.out.reset();
+        self.reuse = Some(report);
+        round
+    }
+
+    /// The final partials for `QueryDone`.
+    fn finish(&self) -> (Vec<u8>, Option<WireRecord>) {
+        let ledger = edgelet_wire::to_bytes(&*lock(&self.assembly.ledger));
+        let querier_owner = (self.device_count - 1) % self.worker_count;
+        let record = (querier_owner == self.worker_index).then(|| {
+            let rec = lock(&self.assembly.record);
+            WireRecord {
+                payload: rec.payload.clone(),
+                completed_at_us: rec.completed_at.map(|t| t.as_micros()),
+                partitions_merged: rec.partitions_merged,
+                partitions_complete: rec.partitions_complete,
+                winning_replica: rec.winning_replica,
+                results_received: rec.results_received,
+            }
+        });
+        (ledger, record)
+    }
+}
+
+/// Runs the worker process loop: connect (with backoff), handshake,
+/// serve epochs, reconnect on failure — until `stop` is raised.
+///
+/// Returns the terminal session end when the daemon *rejected* the
+/// handshake (version mismatch — retrying cannot help) or `Ok(())`
+/// when stopped.
+pub fn run_worker(
+    cfg: &WorkerConfig,
+    builder: Arc<dyn WorldBuilder>,
+    stop: &AtomicBool,
+) -> std::result::Result<(), SessionEnd> {
+    let mut backoff = Backoff::new(cfg.backoff_initial, cfg.backoff_max);
+    let mut timers: TimerHeap<()> = TimerHeap::new();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        match connect_session(cfg, builder.as_ref(), stop) {
+            Ok(()) => return Ok(()),
+            Err(SessionEnd::Rejected(reason)) => return Err(SessionEnd::Rejected(reason)),
+            Err(SessionEnd::Disconnected(_)) => {
+                // Reconnect after the backoff delay, paced through the
+                // timer heap so the wait is interruptible by `stop`.
+                let token = timers.push(Instant::now() + backoff.delay(), ());
+                loop {
+                    if stop.load(Ordering::Acquire) {
+                        return Ok(());
+                    }
+                    if !timers.pop_due(Instant::now()).is_empty() {
+                        break;
+                    }
+                    let nap = timers
+                        .next_deadline()
+                        .map(|d| d.saturating_duration_since(Instant::now()))
+                        .unwrap_or_default()
+                        .min(Duration::from_millis(50));
+                    std::thread::sleep(nap.max(Duration::from_millis(1)));
+                }
+                timers.cancel(token);
+            }
+        }
+    }
+}
+
+/// One connection session: handshake then serve until disconnect.
+fn connect_session(
+    cfg: &WorkerConfig,
+    builder: &dyn WorldBuilder,
+    stop: &AtomicBool,
+) -> std::result::Result<(), SessionEnd> {
+    let disc = |what: String| SessionEnd::Disconnected(what);
+    let stream = Stream::connect(&cfg.connect).map_err(|e| disc(format!("connect: {e:?}")))?;
+    let mut ms = MsgStream::new(stream);
+    ms.send(&NetMsg::hello(Role::Worker))
+        .map_err(|e| disc(format!("hello: {e:?}")))?;
+    match ms.recv(Some(cfg.handshake_timeout)) {
+        Ok(NetMsg::Welcome { .. }) => {}
+        Ok(NetMsg::Reject { reason }) => return Err(SessionEnd::Rejected(reason)),
+        Ok(other) => return Err(disc(format!("expected Welcome, got {other:?}"))),
+        Err(e) => return Err(disc(format!("handshake: {e:?}"))),
+    }
+
+    let mut epoch: Option<EpochState> = None;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            ms.shutdown();
+            return Ok(());
+        }
+        // Poll-style receive so `stop` is observed between messages.
+        let msg = match ms.recv(Some(Duration::from_millis(500))) {
+            Ok(m) => m,
+            Err(e) => {
+                let s = format!("{e:?}");
+                if s.contains("timeout") {
+                    continue;
+                }
+                return Err(disc(format!("recv: {s}")));
+            }
+        };
+        match msg {
+            NetMsg::Ping { nonce } => {
+                ms.send(&NetMsg::Pong { nonce })
+                    .map_err(|e| disc(format!("pong: {e:?}")))?;
+            }
+            NetMsg::Prepare {
+                epoch: ep,
+                spec,
+                worker_count,
+                worker_index,
+                fault_mode,
+            } => {
+                match EpochState::build(
+                    builder,
+                    &spec,
+                    ep,
+                    worker_count as usize,
+                    worker_index as usize,
+                    fault_mode,
+                ) {
+                    Ok(state) => {
+                        epoch = Some(state);
+                        ms.send(&NetMsg::Ready { epoch: ep })
+                            .map_err(|e| disc(format!("ready: {e:?}")))?;
+                    }
+                    Err(e) => {
+                        ms.send(&NetMsg::Reject {
+                            reason: format!("prepare failed: {e:?}"),
+                        })
+                        .ok();
+                        return Err(disc(format!("prepare failed: {e:?}")));
+                    }
+                }
+            }
+            NetMsg::Envelopes { epoch: ep, batch } => {
+                let Some(state) = epoch.as_ref().filter(|s| s.epoch == ep) else {
+                    return Err(disc(format!("envelopes for unprepared epoch {ep}")));
+                };
+                lock(&state.staging).extend(batch);
+            }
+            NetMsg::OpenWindow {
+                epoch: ep,
+                window_end_us,
+                clip_us,
+                budget,
+            } => {
+                let Some(state) = epoch.as_mut().filter(|s| s.epoch == ep) else {
+                    return Err(disc(format!("window for unprepared epoch {ep}")));
+                };
+                let round = state.run_window(window_end_us, clip_us, budget);
+                ms.send(&NetMsg::RoundDone { epoch: ep, round })
+                    .map_err(|e| disc(format!("round done: {e:?}")))?;
+            }
+            NetMsg::Finish { epoch: ep } | NetMsg::Abort { epoch: ep } => {
+                let Some(state) = epoch.take().filter(|s| s.epoch == ep) else {
+                    return Err(disc(format!("finish for unprepared epoch {ep}")));
+                };
+                let (ledger, record) = state.finish();
+                ms.send(&NetMsg::QueryDone {
+                    epoch: ep,
+                    ledger,
+                    record,
+                })
+                .map_err(|e| disc(format!("query done: {e:?}")))?;
+            }
+            other => {
+                return Err(disc(format!("unexpected message {other:?}")));
+            }
+        }
+    }
+}

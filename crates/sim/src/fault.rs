@@ -379,7 +379,7 @@ pub(crate) struct HeldMsg {
 /// decision *reads* the counters (`skip`/`limit`) force the sequential
 /// executor — see [`FaultPlan::is_window_safe`].
 #[derive(Debug, Default, Clone)]
-pub(crate) struct FaultCounters {
+pub struct FaultCounters {
     /// Matches seen per rule at its match point (including skipped).
     pub matched: Vec<u64>,
     /// Times each rule actually fired.
@@ -387,6 +387,7 @@ pub(crate) struct FaultCounters {
 }
 
 impl FaultCounters {
+    /// Fresh zeroed counters sized for every rule in `plan`.
     pub fn for_plan(plan: &FaultPlan) -> Self {
         let n = plan.rules.len();
         FaultCounters {
@@ -420,7 +421,14 @@ impl FaultCounters {
 /// Evaluate all rules of `plan` bound to `point` against a message,
 /// advancing the occurrence counters in `counters`; returns the first
 /// firing rule's index and action.
-pub(crate) fn evaluate_plan(
+///
+/// Public so out-of-crate fault carriers (the socket relay's
+/// `NetFaultProxy` in `edgelet-net`) evaluate the same DSL with the
+/// same first-firing-rule-wins semantics as the engine. For
+/// [window-safe](FaultPlan::is_window_safe) plans the firing decision
+/// never reads the counters, so callers may keep per-connection
+/// counters and still decide identically regardless of arrival order.
+pub fn evaluate_plan(
     plan: &FaultPlan,
     counters: &mut FaultCounters,
     point: MatchPoint,

@@ -49,7 +49,8 @@ pub use churn::{Availability, CrashPlan};
 pub use endpoint::SimEndpoint;
 pub use engine::{DeviceConfig, SimConfig, Simulation};
 pub use fault::{
-    Classifier, CrashCause, FaultAction, FaultKind, FaultPlan, FaultRule, MatchPoint, MsgMatch,
+    evaluate_plan, Classifier, CrashCause, FaultAction, FaultCounters, FaultKind, FaultPlan,
+    FaultRule, MatchPoint, MsgMatch,
 };
 pub use metrics::{DelayStats, SimMetrics};
 pub use network::{LatencyModel, NetworkModel};

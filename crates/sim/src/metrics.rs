@@ -70,6 +70,24 @@ impl DelayStats {
     pub fn max(&self) -> f64 {
         self.max_us as f64 / 1e6
     }
+
+    /// The exact integer fields `(count, sum_us, min_us, max_us)`, for
+    /// wire transfer of partial statistics between processes. Paired
+    /// with [`DelayStats::from_raw_parts`] this is lossless, so merged
+    /// remote partials stay bit-identical to an in-process merge.
+    pub fn raw_parts(&self) -> (u64, u64, u64, u64) {
+        (self.count, self.sum_us, self.min_us, self.max_us)
+    }
+
+    /// Rebuilds a statistic from [`DelayStats::raw_parts`] output.
+    pub fn from_raw_parts(count: u64, sum_us: u64, min_us: u64, max_us: u64) -> Self {
+        DelayStats {
+            count,
+            sum_us,
+            min_us,
+            max_us,
+        }
+    }
 }
 
 /// Counters and distributions collected during one simulation run.
